@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation study of the microarchitectural constants DESIGN.md §5
+ * fixes (not a paper table, but the design-choice analysis the paper's
+ * §5 narrative implies): how the Vcycle length responds to
+ *  - the pipeline's operand-to-result latency (the price of the
+ *    14-stage pipeline that buys the 475 MHz clock), and
+ *  - the NoC hop latency (the price of the pipelined torus).
+ *
+ * Together with Table 1 (frequency vs. grid) this quantifies the
+ * trade the paper's hardware makes: deeper pipelines raise the clock
+ * but lengthen every dependence chain in the static schedule.
+ */
+
+#include "bench/common.hh"
+#include "compiler/compiler.hh"
+
+using namespace manticore;
+
+int
+main()
+{
+    bench::printEnvironment(
+        "Ablation: VCPL sensitivity to pipeline and NoC latencies "
+        "(8x8 grid)");
+
+    const unsigned latencies[] = {1, 4, 8, 11, 16};
+    std::printf("VCPL vs pipeline operand-to-result latency "
+                "(hardware default 11):\n%8s", "bench");
+    for (unsigned lat : latencies)
+        std::printf("   L=%-4u", lat);
+    std::printf("\n");
+    for (const designs::Benchmark &bm : designs::allBenchmarks()) {
+        netlist::Netlist nl = bm.build(1u << 20);
+        std::printf("%8s", bm.name.c_str());
+        for (unsigned lat : latencies) {
+            compiler::CompileOptions opts;
+            opts.config.gridX = opts.config.gridY = 8;
+            opts.config.pipelineLatency = lat;
+            compiler::CompileResult r = compiler::compile(nl, opts);
+            std::printf("%9u", r.program.vcpl);
+        }
+        std::printf("\n");
+    }
+
+    const unsigned hops[] = {1, 2, 4};
+    std::printf("\nVCPL vs NoC hop latency (hardware default 1):\n%8s",
+                "bench");
+    for (unsigned h : hops)
+        std::printf("   H=%-4u", h);
+    std::printf("\n");
+    for (const designs::Benchmark &bm : designs::allBenchmarks()) {
+        netlist::Netlist nl = bm.build(1u << 20);
+        std::printf("%8s", bm.name.c_str());
+        for (unsigned h : hops) {
+            compiler::CompileOptions opts;
+            opts.config.gridX = opts.config.gridY = 8;
+            opts.config.hopLatency = h;
+            compiler::CompileResult r = compiler::compile(nl, opts);
+            std::printf("%9u", r.program.vcpl);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nReading: serial designs (jpeg) scale their VCPL "
+                "almost linearly with the\npipeline latency — every "
+                "dependence edge pays it — while wide designs hide\n"
+                "it behind parallel issue.  Hop latency only matters "
+                "for send-heavy designs.\nA shallower pipeline would "
+                "cut VCPL but also the clock (Table 1): the paper's\n"
+                "14-stage/475 MHz point trades schedule length for "
+                "frequency.\n");
+    return 0;
+}

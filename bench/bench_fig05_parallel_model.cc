@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Fig. 5 (and the appendix's Fig. 14): the limit study of fine-grained
+ * parallel RTL simulation on a general-purpose host.
+ *
+ * Model 1 (Listing 1): P threads each execute N/P independent
+ * unoptimisable instructions per simulated cycle, separated by two
+ * barriers (end of computation, end of communication).  Model 2 adds
+ * instruction-cache pressure by dispatching the work through a large
+ * table of non-inlinable kernels instead of one tight loop (the
+ * paper's full unroll).
+ *
+ * Output: rate (kHz) per (model, granularity, threads), the maximum
+ * self-relative speedup table of Fig. 5, and the [min, max] rate table
+ * of Fig. 14.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hh"
+
+namespace {
+
+// The paper's nonOpt(): four independent xor-add chains.
+struct Lanes
+{
+    uint64_t a = 1, b = 2, c = 3, d = 4;
+};
+
+inline void
+nonOpt(Lanes &l)
+{
+    l.a ^= l.a + 1;
+    l.b ^= l.b + 1;
+    l.c ^= l.c + 1;
+    l.d ^= l.d + 1;
+}
+
+constexpr unsigned kInstrPerNonOpt = 8; // 4 adds + 4 xors
+
+/** Model 2's icache pressure: a big bank of distinct non-inlinable
+ *  kernels, each a short burst of nonOpt work. */
+#define KERNEL(n) \
+    __attribute__((noinline)) void kernel##n(Lanes &l) \
+    { \
+        nonOpt(l); \
+        nonOpt(l); \
+        nonOpt(l); \
+        nonOpt(l); \
+    }
+KERNEL(0) KERNEL(1) KERNEL(2) KERNEL(3) KERNEL(4) KERNEL(5)
+KERNEL(6) KERNEL(7) KERNEL(8) KERNEL(9) KERNEL(10) KERNEL(11)
+KERNEL(12) KERNEL(13) KERNEL(14) KERNEL(15)
+#undef KERNEL
+
+using KernelFn = void (*)(Lanes &);
+constexpr KernelFn kKernels[16] = {
+    kernel0, kernel1, kernel2,  kernel3,  kernel4,  kernel5,
+    kernel6, kernel7, kernel8,  kernel9,  kernel10, kernel11,
+    kernel12, kernel13, kernel14, kernel15};
+constexpr unsigned kInstrPerKernel = 4 * kInstrPerNonOpt;
+
+/** Run the strong-scaling experiment; returns the rate in kHz. */
+double
+runModel(bool icache_model, uint64_t instr_per_cycle, unsigned threads,
+         uint64_t cycles)
+{
+    std::barrier sync(static_cast<std::ptrdiff_t>(threads));
+    std::vector<std::thread> pool;
+    auto start = std::chrono::steady_clock::now();
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            Lanes lanes;
+            lanes.a += t;
+            uint64_t local_instr = instr_per_cycle / threads;
+            for (uint64_t c = 0; c < cycles; ++c) {
+                if (!icache_model) {
+                    // Model 1: tight loop.
+                    for (uint64_t i = local_instr; i >= kInstrPerNonOpt;
+                         i -= kInstrPerNonOpt)
+                        nonOpt(lanes);
+                } else {
+                    // Model 2: walk the kernel table (poor icache and
+                    // branch-target locality, like unrolled RTL code).
+                    uint64_t i = local_instr;
+                    uint64_t k = c + t;
+                    while (i >= kInstrPerKernel) {
+                        kKernels[(k++) & 15](lanes);
+                        i -= kInstrPerKernel;
+                    }
+                }
+                sync.arrive_and_wait(); // end of computation
+                sync.arrive_and_wait(); // end of (zero-cost) comm
+            }
+            // Keep the work observable.
+            std::atomic_signal_fence(std::memory_order_seq_cst);
+            volatile uint64_t sink = lanes.a ^ lanes.b ^ lanes.c ^ lanes.d;
+            (void)sink;
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return static_cast<double>(cycles) / sec / 1000.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    manticore::bench::printEnvironment(
+        "Fig. 5 / Fig. 14: parallel-simulation limit study "
+        "(models 1 and 2)");
+
+    const std::vector<std::pair<const char *, uint64_t>> grains = {
+        {"1.7K", 1'700},     {"6.9K", 6'900},   {"27.6K", 27'600},
+        {"110.6K", 110'600}, {"442.4K", 442'400},
+        {"1.8M", 1'800'000}, {"3.5M", 3'500'000}};
+    unsigned max_threads =
+        std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
+
+    for (int model = 1; model <= 2; ++model) {
+        std::printf("\nmodel %d (%s)\n", model,
+                    model == 1 ? "synchronisation cost only"
+                               : "plus i-cache pressure");
+        std::printf("%10s", "grain\\thr");
+        for (unsigned t = 1; t <= max_threads; ++t)
+            std::printf("%10u", t);
+        std::printf("%10s%10s%10s\n", "max-spdup", "min-kHz", "max-kHz");
+
+        for (const auto &[label, grain] : grains) {
+            // Budget: bound both total instructions (coarse grains)
+            // and total barrier crossings (fine grains) per cell.
+            uint64_t cycles = std::clamp<uint64_t>(
+                static_cast<uint64_t>(2.0e8 / grain), 8, 2000);
+            std::printf("%10s", label);
+            std::vector<double> rates;
+            for (unsigned t = 1; t <= max_threads; ++t) {
+                double khz = runModel(model == 2, grain, t, cycles);
+                rates.push_back(khz);
+                std::printf("%10.1f", khz);
+            }
+            double best = *std::max_element(rates.begin(), rates.end());
+            double worst = *std::min_element(rates.begin(), rates.end());
+            std::printf("%10.2f%10.1f%10.1f\n", best / rates[0], worst,
+                        best);
+        }
+    }
+    std::printf(
+        "\nnote: on a single-hardware-thread host the multi-thread "
+        "columns show\nthe synchronisation penalty directly (speedup "
+        "<= 1); the paper's multi-core\nhosts additionally show the "
+        "rise-then-fall the model predicts.\n");
+    return 0;
+}

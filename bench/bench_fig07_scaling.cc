@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 7: Manticore's multicore scaling.  As in the paper, speedups
+ * are the compiler's cycle-exact VCPL predictions (the machine is
+ * deterministic, so the compiler can count cycles): speedup(n) =
+ * VCPL(1 core) / VCPL(n cores) per benchmark, across grids up to
+ * 18x18 = 324 cores.
+ */
+
+#include "bench/common.hh"
+#include "compiler/compiler.hh"
+
+using namespace manticore;
+
+int
+main()
+{
+    bench::printEnvironment(
+        "Fig. 7: Manticore multicore scaling "
+        "(compiler-predicted VCPL, as in the paper)");
+
+    const unsigned grids[] = {1, 3, 5, 7, 9, 11, 13, 15, 16, 17, 18};
+
+    std::printf("%8s", "bench");
+    for (unsigned g : grids)
+        std::printf("%7u", g * g);
+    std::printf("\n");
+
+    for (const designs::Benchmark &bm : designs::allBenchmarksLarge()) {
+        netlist::Netlist nl = bm.build(1u << 20);
+        std::printf("%8s", bm.name.c_str());
+        double base_vcpl = 0.0;
+        for (unsigned g : grids) {
+            compiler::CompileOptions opts;
+            opts.config.gridX = opts.config.gridY = g;
+            // Small grids are VCPL predictions only (the paper's
+            // single-core baselines cannot boot either).
+            opts.enforceImemLimit = false;
+            compiler::CompileResult result = compiler::compile(nl, opts);
+            double vcpl = result.program.vcpl;
+            if (g == 1)
+                base_vcpl = vcpl;
+            std::printf("%7.1f", base_vcpl / vcpl);
+        }
+        std::printf("   (1-core VCPL %.0f)\n", base_vcpl);
+    }
+    std::printf("\npaper: scaling continues to 200-300 cores for "
+                "parallel designs (mc, mm),\nplateaus early for "
+                "serial ones (jpeg).\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 8: the cost of going off-chip.  FIFO and RAM microbenchmarks
+ * at 1/64/512 KiB on a 1x1 grid at 500 MHz, one load + one store per
+ * Vcycle.  Reports machine cycles normalised to the 1 KiB (all
+ * on-chip) configuration, the active/stalled split, and the cache hit
+ * rate — all from the machine's hardware performance counters, as in
+ * the paper.  (The paper runs 16Mi Vcycles; the shape stabilises
+ * orders of magnitude earlier, so we run a scaled horizon.)
+ */
+
+#include "bench/common.hh"
+#include "compiler/compiler.hh"
+#include "machine/machine.hh"
+#include "runtime/host.hh"
+
+using namespace manticore;
+
+namespace {
+
+struct Row
+{
+    double total_cycles;
+    double active, stalled;
+    double hit_rate;
+};
+
+Row
+runMicro(bool fifo, unsigned kib, uint64_t vcycles)
+{
+    netlist::Netlist nl = fifo
+                              ? designs::buildFifoMicro(kib, vcycles * 4)
+                              : designs::buildRamMicro(kib, vcycles * 4);
+    compiler::CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 1;
+    opts.config.clockKhz = 500'000.0; // §7.7 runs a 1x1 grid at 500 MHz
+    compiler::CompileResult result = compiler::compile(nl, opts);
+    machine::Machine m(result.program, opts.config);
+    runtime::Host host(result.program, m.globalMemory());
+    host.attach(m);
+    m.run(vcycles);
+    const machine::PerfCounters &perf = m.perf();
+    double accesses =
+        static_cast<double>(perf.cacheHits + perf.cacheMisses);
+    Row row;
+    row.total_cycles = static_cast<double>(perf.totalCycles());
+    row.active = static_cast<double>(perf.activeCycles);
+    row.stalled = static_cast<double>(perf.stallCycles);
+    row.hit_rate = accesses > 0
+                       ? 100.0 * static_cast<double>(perf.cacheHits) /
+                             accesses
+                       : 100.0;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printEnvironment(
+        "Fig. 8: global-stall cost — FIFO vs RAM at 1/64/512 KiB "
+        "(1x1 grid, 500 MHz)");
+
+    constexpr uint64_t kVcycles = 1 << 15; // scaled from the paper's 16Mi
+    const unsigned sizes[] = {1, 64, 512};
+
+    for (bool fifo : {true, false}) {
+        std::printf("\n%s\n", fifo ? "FIFO (sequential access)"
+                                   : "RAM (xorshift random access)");
+        std::printf("%8s %12s %10s %10s %10s\n", "size", "norm-cycles",
+                    "active%", "stalled%", "hit-rate%");
+        double base = 0.0;
+        for (unsigned kib : sizes) {
+            Row row = runMicro(fifo, kib, kVcycles);
+            if (kib == 1)
+                base = row.total_cycles;
+            std::printf("%6uKiB %12.2f %10.2f %10.2f %10.2f\n", kib,
+                        row.total_cycles / base,
+                        100.0 * row.active / row.total_cycles,
+                        100.0 * row.stalled / row.total_cycles,
+                        row.hit_rate);
+        }
+    }
+    std::printf("\npaper: FIFO hit rates 99.99/96.87%%, RAM 512KiB "
+                "drops to 62.49%% and\nruns ~2x slower; cache hits "
+                "cost stalls even when they hit.\n");
+    return 0;
+}

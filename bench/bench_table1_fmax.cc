@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 1: clock frequency (MHz) achieved on the U200 for various
+ * Manticore grid sizes under automatic and guided floorplanning,
+ * regenerated from the analytic physical-design model (DESIGN.md §1
+ * documents the substitution for Vivado place-and-route).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "machine/fpga_model.hh"
+
+using namespace manticore;
+
+int
+main()
+{
+    bench::printEnvironment(
+        "Table 1: U200 clock frequency vs grid size "
+        "(auto vs guided floorplanning)");
+
+    machine::FpgaModel model;
+    const unsigned grids[] = {8, 10, 12, 15, 16};
+
+    std::printf("%-8s", "Grid");
+    for (unsigned g : grids)
+        std::printf("%6ux%-4u", g, g);
+    std::printf("\n%-8s", "Auto");
+    for (unsigned g : grids)
+        std::printf("%7.0f   ", model.fmaxMhz(g, g, false));
+    std::printf("\n%-8s", "Guided");
+    for (unsigned g : grids)
+        std::printf("%7.0f   ", model.fmaxMhz(g, g, true));
+    std::printf("\n\npaper:  auto   500 485 480 395 180\n");
+    std::printf("        guided  -   -  500 475 450\n");
+    std::printf("URAM budget caps the grid at %u cores "
+                "(paper: 398).\n",
+                model.maxCores());
+    return 0;
+}

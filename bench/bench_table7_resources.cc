@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table 7: FPGA resource utilisation of a single Manticore core on
+ * the U200, from the analytic physical-design model, plus the URAM
+ * core-count bound (§A.7).
+ */
+
+#include "bench/common.hh"
+#include "machine/fpga_model.hh"
+
+using namespace manticore;
+
+int
+main()
+{
+    bench::printEnvironment(
+        "Table 7: single-core resource utilisation on the U200");
+
+    machine::FpgaModel model;
+    std::printf("%-8s %10s %10s\n", "resource", "count", "% of U200");
+    std::printf("%-8s %10u %10.2f\n", "LUT", model.core.lut,
+                100.0 * model.core.lut / model.device.lut);
+    std::printf("%-8s %10u %10.2f\n", "LUTRAM", model.core.lutram,
+                100.0 * model.core.lutram / model.device.lutram);
+    std::printf("%-8s %10u %10.2f\n", "FF", model.core.ff,
+                100.0 * model.core.ff / model.device.ff);
+    std::printf("%-8s %10u %10.2f\n", "BRAM", model.core.bram,
+                100.0 * model.core.bram / model.device.bram);
+    std::printf("%-8s %10u %10.2f\n", "URAM", model.core.uram,
+                100.0 * model.core.uram / model.device.uram);
+    std::printf("%-8s %10u %10.2f\n", "DSP", model.core.dsp,
+                100.0 * model.core.dsp / model.device.dsp);
+    std::printf("%-8s %10u %10s\n", "SRL", model.core.srl, "0.02");
+
+    std::printf("\nURAM is the binding resource: 2 per core "
+                "(imem + scratchpad) out of %u\navailable (%u minus "
+                "%u for the cache) -> at most %u cores "
+                "(paper: 398).\n",
+                model.device.uramAvailable - model.device.cacheUrams,
+                model.device.uramAvailable, model.device.cacheUrams,
+                model.maxCores());
+    std::printf("paper row:  LUT 0.05  LUTRAM 0.02  FF 0.05  "
+                "BRAM 0.19  URAM 0.21  DSP 0.01\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure benchmark harnesses:
+ * environment banner (the analogue of the paper's Table 2), wall-clock
+ * rate measurement with adaptive chunking, and small formatting
+ * utilities.  Every harness prints the same rows/series the paper
+ * reports; EXPERIMENTS.md records paper-vs-measured.
+ */
+
+#ifndef MANTICORE_BENCH_COMMON_HH
+#define MANTICORE_BENCH_COMMON_HH
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "designs/designs.hh"
+
+namespace manticore::bench {
+
+/** Print the host environment (our stand-in for Table 2). */
+inline void
+printEnvironment(const char *experiment)
+{
+    std::printf("=============================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("host: %u hardware thread(s) "
+                "(paper hosts: i7-9700K 8c / Xeon 8272CL 32c / "
+                "EPYC 7V73X 120c)\n",
+                std::thread::hardware_concurrency());
+    std::printf("=============================================================\n");
+}
+
+/** Measure a stepped simulation's rate in kHz.  step(chunk) must
+ *  advance `chunk` cycles and return false to stop early; max_cycles
+ *  caps the total so self-checking drivers never fire mid-run. */
+inline double
+measureRateKhz(const std::function<bool(uint64_t)> &step,
+               uint64_t max_cycles, double seconds_budget = 0.2,
+               uint64_t chunk = 2048)
+{
+    using clock = std::chrono::steady_clock;
+    uint64_t done = 0;
+    auto start = clock::now();
+    double elapsed = 0.0;
+    while (done + chunk <= max_cycles) {
+        if (!step(chunk))
+            break;
+        done += chunk;
+        elapsed = std::chrono::duration<double>(clock::now() - start)
+                      .count();
+        if (elapsed >= seconds_budget)
+            break;
+    }
+    if (done == 0 || elapsed <= 0.0)
+        return 0.0;
+    return static_cast<double>(done) / elapsed / 1000.0;
+}
+
+inline double
+geomean(const std::vector<double> &xs)
+{
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/** Per-design cycle horizons large enough for steady-state rate
+ *  measurement but cheap enough for golden-model generation. */
+inline uint64_t
+measureHorizon(const std::string &name)
+{
+    if (name == "jpeg")
+        return 4'000'000;
+    if (name == "blur" || name == "bc")
+        return 1'000'000;
+    return 600'000;
+}
+
+} // namespace manticore::bench
+
+#endif // MANTICORE_BENCH_COMMON_HH

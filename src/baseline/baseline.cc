@@ -1,0 +1,404 @@
+#include "baseline/baseline.hh"
+
+#include <algorithm>
+
+#include "netlist/evaluator.hh"
+#include "support/logging.hh"
+
+namespace manticore::baseline {
+
+using netlist::Netlist;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::OpKind;
+
+namespace {
+
+uint64_t
+widthMask(unsigned width)
+{
+    return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+} // namespace
+
+CompiledDesign::CompiledDesign(Netlist nl_in) : _netlist(std::move(nl_in))
+{
+    const Netlist &netlist = _netlist;
+    netlist.validate();
+    _numSlots = netlist.numNodes();
+
+    for (const netlist::Register &r : netlist.registers()) {
+        MANTICORE_ASSERT(r.width <= 64,
+                         "baseline engine supports <=64-bit signals (",
+                         r.name, " is ", r.width, " bits)");
+        _regInit.push_back(r.init.toUint64());
+    }
+    for (const netlist::Memory &m : netlist.memories()) {
+        MANTICORE_ASSERT(m.width <= 64, "memory too wide for baseline");
+        std::vector<uint64_t> image;
+        for (const BitVector &v : m.init)
+            image.push_back(v.toUint64());
+        _memInit.push_back(std::move(image));
+    }
+
+    std::vector<uint32_t> node_level(netlist.numNodes(), 0);
+    for (NodeId id = 0; id < netlist.numNodes(); ++id) {
+        const Node &n = netlist.node(id);
+        MANTICORE_ASSERT(n.width <= 64, "signal too wide for baseline");
+        Op op;
+        op.kind = n.kind;
+        op.dst = id;
+        op.mask = widthMask(n.width);
+        op.lo = n.lo;
+        uint32_t level = 0;
+        for (NodeId operand : n.operands)
+            level = std::max(level, node_level[operand] + 1);
+        node_level[id] = level;
+        switch (n.kind) {
+          case OpKind::Const:
+            op.imm = n.value.toUint64();
+            break;
+          case OpKind::Input:
+            op.imm = 0; // inputs are driven to zero in the baseline
+            break;
+          case OpKind::RegRead:
+            op.mem = n.regId;
+            break;
+          case OpKind::MemRead:
+            op.mem = n.memId;
+            op.a = n.operands[0];
+            op.imm = netlist.memory(n.memId).depth;
+            break;
+          case OpKind::Concat:
+            op.a = n.operands[0];
+            op.b = n.operands[1];
+            op.shiftB = netlist.node(n.operands[1]).width;
+            break;
+          default:
+            if (n.operands.size() > 0)
+                op.a = n.operands[0];
+            if (n.operands.size() > 1)
+                op.b = n.operands[1];
+            if (n.operands.size() > 2)
+                op.c = n.operands[2];
+            break;
+        }
+        // Signed compare needs the operand width to locate sign bits.
+        if (n.kind == OpKind::Slt || n.kind == OpKind::Ult ||
+            n.kind == OpKind::Eq)
+            op.imm = netlist.node(n.operands[0]).width;
+        if (n.kind == OpKind::SExt)
+            op.imm = netlist.node(n.operands[0]).width;
+        if (n.kind == OpKind::RedAnd)
+            op.imm = widthMask(netlist.node(n.operands[0]).width);
+        _opLevel.push_back(level);
+        _numLevels = std::max(_numLevels, level + 1);
+        _ops.push_back(op);
+    }
+
+    for (const netlist::Register &r : netlist.registers())
+        _regCommits.push_back(
+            {static_cast<uint32_t>(&r - netlist.registers().data()),
+             r.next});
+    for (const netlist::MemWrite &w : netlist.memWrites())
+        _memCommits.push_back({w.mem, w.addr, w.data, w.enable,
+                               netlist.memory(w.mem).depth - 1ull});
+    for (const netlist::Assert &a : netlist.asserts()) {
+        Check c;
+        c.kind = Check::Kind::Assert;
+        c.enable = a.enable;
+        c.cond = a.cond;
+        c.text = a.message;
+        _checks.push_back(std::move(c));
+    }
+    for (const netlist::Display &d : netlist.displays()) {
+        Check c;
+        c.kind = Check::Kind::Display;
+        c.enable = d.enable;
+        c.cond = 0;
+        c.text = d.format;
+        for (NodeId arg : d.args) {
+            c.args.push_back(arg);
+            c.argMasks.push_back(widthMask(netlist.node(arg).width));
+        }
+        _checks.push_back(std::move(c));
+    }
+    for (const netlist::Finish &f : netlist.finishes()) {
+        Check c;
+        c.kind = Check::Kind::Finish;
+        c.enable = f.enable;
+        c.cond = 0;
+        _checks.push_back(std::move(c));
+    }
+}
+
+SimState::SimState(const CompiledDesign &design)
+    : values(design.numSlots(), 0), regs(design.regInit()),
+      mems(design.memInit())
+{
+}
+
+void
+evalOp(const CompiledDesign::Op &op, SimState &st)
+{
+    uint64_t *v = st.values.data();
+    uint64_t r;
+    switch (op.kind) {
+      case OpKind::Const:
+      case OpKind::Input:
+        r = op.imm;
+        break;
+      case OpKind::RegRead:
+        r = st.regs[op.mem];
+        break;
+      case OpKind::MemRead:
+        r = st.mems[op.mem][v[op.a] % op.imm];
+        break;
+      case OpKind::Add: r = (v[op.a] + v[op.b]) & op.mask; break;
+      case OpKind::Sub: r = (v[op.a] - v[op.b]) & op.mask; break;
+      case OpKind::Mul: r = (v[op.a] * v[op.b]) & op.mask; break;
+      case OpKind::And: r = v[op.a] & v[op.b]; break;
+      case OpKind::Or: r = v[op.a] | v[op.b]; break;
+      case OpKind::Xor: r = v[op.a] ^ v[op.b]; break;
+      case OpKind::Not: r = ~v[op.a] & op.mask; break;
+      case OpKind::Shl:
+        r = v[op.b] >= 64 ? 0 : (v[op.a] << v[op.b]) & op.mask;
+        break;
+      case OpKind::Lshr:
+        r = v[op.b] >= 64 ? 0 : v[op.a] >> v[op.b];
+        break;
+      case OpKind::Eq: r = v[op.a] == v[op.b]; break;
+      case OpKind::Ult: r = v[op.a] < v[op.b]; break;
+      case OpKind::Slt: {
+        unsigned w = static_cast<unsigned>(op.imm);
+        int64_t a = static_cast<int64_t>(v[op.a] << (64 - w)) >> (64 - w);
+        int64_t b = static_cast<int64_t>(v[op.b] << (64 - w)) >> (64 - w);
+        r = a < b;
+        break;
+      }
+      case OpKind::Mux: r = v[op.a] ? v[op.b] : v[op.c]; break;
+      case OpKind::Slice: r = (v[op.a] >> op.lo) & op.mask; break;
+      case OpKind::Concat:
+        r = ((v[op.a] << op.shiftB) | v[op.b]) & op.mask;
+        break;
+      case OpKind::ZExt: r = v[op.a]; break;
+      case OpKind::SExt: {
+        unsigned w = static_cast<unsigned>(op.imm);
+        uint64_t sign = (v[op.a] >> (w - 1)) & 1;
+        r = sign ? (v[op.a] | (~0ull << w)) & op.mask : v[op.a];
+        break;
+      }
+      case OpKind::RedOr: r = v[op.a] != 0; break;
+      case OpKind::RedAnd: r = v[op.a] == op.imm; break;
+      case OpKind::RedXor: r = __builtin_popcountll(v[op.a]) & 1; break;
+      default:
+        r = 0;
+        break;
+    }
+    v[op.dst] = r;
+}
+
+SimStatus
+commitCycle(const CompiledDesign &design, SimState &st)
+{
+    const uint64_t *v = st.values.data();
+
+    bool finished = false;
+    for (const CompiledDesign::Check &c : design.checks()) {
+        if (!v[c.enable])
+            continue;
+        switch (c.kind) {
+          case CompiledDesign::Check::Kind::Assert:
+            if (!v[c.cond]) {
+                st.status = SimStatus::AssertFailed;
+                st.failureMessage =
+                    "cycle " + std::to_string(st.cycle) +
+                    ": assertion failed: " + c.text;
+                return st.status;
+            }
+            break;
+          case CompiledDesign::Check::Kind::Display:
+            if (st.collectDisplays) {
+                std::vector<BitVector> args;
+                for (size_t i = 0; i < c.args.size(); ++i) {
+                    unsigned width = 64 - static_cast<unsigned>(
+                        __builtin_clzll(c.argMasks[i] | 1));
+                    args.emplace_back(width, v[c.args[i]]);
+                }
+                st.displayLog.push_back(
+                    netlist::Evaluator::formatDisplay(c.text, args));
+            }
+            break;
+          case CompiledDesign::Check::Kind::Finish:
+            finished = true;
+            break;
+        }
+    }
+
+    for (const CompiledDesign::RegCommit &rc : design.regCommits())
+        st.regs[rc.reg] = st.values[rc.next];
+    for (const CompiledDesign::MemCommit &mc : design.memCommits()) {
+        if (st.values[mc.enable])
+            st.mems[mc.mem][st.values[mc.addr] & mc.addrMask] =
+                st.values[mc.data];
+    }
+
+    ++st.cycle;
+    if (finished)
+        st.status = SimStatus::Finished;
+    return st.status;
+}
+
+SimStatus
+SerialSimulator::step()
+{
+    if (_state.status != SimStatus::Ok)
+        return _state.status;
+    for (const CompiledDesign::Op &op : _design.ops())
+        evalOp(op, _state);
+    return commitCycle(_design, _state);
+}
+
+SimStatus
+SerialSimulator::run(uint64_t max_cycles)
+{
+    for (uint64_t i = 0; i < max_cycles && _state.status == SimStatus::Ok;
+         ++i)
+        step();
+    return _state.status;
+}
+
+ThreadedSimulator::ThreadedSimulator(const CompiledDesign &design,
+                                     unsigned threads)
+    : _design(design), _state(design), _threads(std::max(1u, threads))
+{
+    // Macro-task formation: chunk each topological level into at most
+    // `threads` contiguous ranges.  Ops were emitted in id order, so
+    // we first sort op indices by level (stable to preserve intra-
+    // level order) and record task boundaries.
+    const auto &ops = design.ops();
+    std::vector<uint32_t> order(ops.size());
+    for (uint32_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return design.opLevel()[a] < design.opLevel()[b];
+                     });
+    _levelOrder = std::move(order);
+
+    std::vector<uint32_t> task_of_op(ops.size(), 0);
+    size_t pos = 0;
+    for (uint32_t level = 0; level < design.numLevels(); ++level) {
+        size_t begin = pos;
+        while (pos < _levelOrder.size() &&
+               design.opLevel()[_levelOrder[pos]] == level)
+            ++pos;
+        size_t count = pos - begin;
+        size_t chunks = std::min<size_t>(_threads, count);
+        for (size_t c = 0; c < chunks; ++c) {
+            size_t lo = begin + count * c / chunks;
+            size_t hi = begin + count * (c + 1) / chunks;
+            Task t;
+            t.begin = static_cast<uint32_t>(lo);
+            t.end = static_cast<uint32_t>(hi);
+            uint32_t tid = static_cast<uint32_t>(_tasks.size());
+            for (size_t k = lo; k < hi; ++k)
+                task_of_op[_levelOrder[k]] = tid;
+            _tasks.push_back(std::move(t));
+        }
+    }
+
+    // Task dependencies: the tasks producing any operand.
+    for (Task &t : _tasks) {
+        std::vector<uint32_t> deps;
+        for (uint32_t k = t.begin; k < t.end; ++k) {
+            const Node &n =
+                design.netlist().node(_levelOrder[k]);
+            for (NodeId operand : n.operands) {
+                uint32_t d = task_of_op[operand];
+                if (d != task_of_op[_levelOrder[k]])
+                    deps.push_back(d);
+            }
+        }
+        std::sort(deps.begin(), deps.end());
+        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+        t.deps = std::move(deps);
+    }
+
+    // Static assignment: round-robin within each level.
+    _assignment.resize(_threads);
+    std::vector<uint32_t> per_level_counter(design.numLevels(), 0);
+    for (uint32_t t = 0; t < _tasks.size(); ++t) {
+        uint32_t level =
+            design.opLevel()[_levelOrder[_tasks[t].begin]];
+        _assignment[per_level_counter[level]++ % _threads].push_back(t);
+    }
+
+    _taskEpoch = std::make_unique<std::atomic<uint64_t>[]>(_tasks.size());
+    for (size_t t = 0; t < _tasks.size(); ++t)
+        _taskEpoch[t].store(0, std::memory_order_relaxed);
+
+    for (unsigned w = 0; w < _threads; ++w)
+        _pool.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadedSimulator::~ThreadedSimulator()
+{
+    _shutdown.store(true, std::memory_order_release);
+    _goEpoch.fetch_add(1, std::memory_order_acq_rel);
+    for (std::thread &t : _pool)
+        t.join();
+}
+
+void
+ThreadedSimulator::runTask(uint32_t t)
+{
+    const Task &task = _tasks[t];
+    uint64_t epoch = _goEpoch.load(std::memory_order_acquire);
+    // Spin on producer tasks: the fine-grain synchronisation Verilator
+    // pays between mtasks.  Yield so oversubscribed hosts make
+    // progress (a blocked spinner would otherwise burn its whole
+    // scheduler quantum).
+    for (uint32_t dep : task.deps)
+        while (_taskEpoch[dep].load(std::memory_order_acquire) < epoch)
+            std::this_thread::yield();
+    for (uint32_t k = task.begin; k < task.end; ++k)
+        evalOp(_design.ops()[_levelOrder[k]], _state);
+    _taskEpoch[t].store(epoch, std::memory_order_release);
+}
+
+void
+ThreadedSimulator::workerLoop(unsigned tid)
+{
+    uint64_t seen = 0;
+    while (true) {
+        while (_goEpoch.load(std::memory_order_acquire) == seen)
+            std::this_thread::yield();
+        if (_shutdown.load(std::memory_order_acquire))
+            return;
+        seen = _goEpoch.load(std::memory_order_acquire);
+        for (uint32_t t : _assignment[tid])
+            runTask(t);
+        _workersDone.fetch_add(1, std::memory_order_acq_rel);
+    }
+}
+
+SimStatus
+ThreadedSimulator::run(uint64_t max_cycles)
+{
+    for (uint64_t i = 0; i < max_cycles && _state.status == SimStatus::Ok;
+         ++i) {
+        _workersDone.store(0, std::memory_order_release);
+        _goEpoch.fetch_add(1, std::memory_order_acq_rel);
+        // Barrier 1: computation phase ends when all workers check in.
+        while (_workersDone.load(std::memory_order_acquire) < _threads)
+            std::this_thread::yield();
+        // Barrier 2 (commit rendezvous): registers, memories, side
+        // effects — the "communication" of newly computed values.
+        commitCycle(_design, _state);
+    }
+    return _state.status;
+}
+
+} // namespace manticore::baseline

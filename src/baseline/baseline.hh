@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The software full-cycle RTL simulator used as the paper's baseline
+ * (standing in for Verilator v5.006; DESIGN.md §1).
+ *
+ * CompiledDesign flattens a (<=64-bit) netlist into a dense array of
+ * word operations over value slots — the moral equivalent of
+ * Verilator's generated C++.  SerialSimulator evaluates it one cycle
+ * at a time.  ThreadedSimulator executes the same op stream with a
+ * pool of worker threads: ops are grouped into macro-tasks (levelised
+ * chunks of the DAG — a simplification of Verilator's Sarkar-based
+ * coarsening with the same synchronisation structure), tasks
+ * synchronise through atomic completion epochs, and each simulated
+ * cycle ends with the two barrier rendezvous §7.1 describes.
+ */
+
+#ifndef MANTICORE_BASELINE_BASELINE_HH
+#define MANTICORE_BASELINE_BASELINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace manticore::baseline {
+
+enum class SimStatus
+{
+    Ok,
+    Finished,
+    AssertFailed,
+};
+
+/** A netlist compiled to a flat evaluation program over 64-bit value
+ *  slots.  Only designs whose signals are at most 64 bits wide are
+ *  supported (all bundled benchmarks qualify); use the reference
+ *  netlist::Evaluator for wider designs. */
+class CompiledDesign
+{
+  public:
+    /** Keeps its own copy of the netlist; temporaries are fine. */
+    explicit CompiledDesign(netlist::Netlist netlist);
+
+    struct Op
+    {
+        netlist::OpKind kind;
+        uint32_t dst;
+        uint32_t a = 0, b = 0, c = 0;
+        uint32_t mem = 0;
+        uint32_t lo = 0;
+        uint64_t mask = 0;   ///< width mask of the result
+        uint64_t imm = 0;    ///< constant payload
+        unsigned shiftB = 0; ///< concat: width of the low operand
+    };
+
+    struct RegCommit
+    {
+        uint32_t reg;
+        uint32_t next; ///< value slot
+    };
+
+    struct MemCommit
+    {
+        uint32_t mem;
+        uint32_t addr, data, enable; ///< value slots
+        uint64_t addrMask;
+    };
+
+    struct Check
+    {
+        enum class Kind { Assert, Display, Finish } kind;
+        uint32_t enable; ///< value slot
+        uint32_t cond;   ///< Assert only
+        std::string text;
+        std::vector<uint32_t> args;
+        std::vector<uint64_t> argMasks;
+    };
+
+    const netlist::Netlist &netlist() const { return _netlist; }
+    const std::vector<Op> &ops() const { return _ops; }
+    const std::vector<RegCommit> &regCommits() const { return _regCommits; }
+    const std::vector<MemCommit> &memCommits() const { return _memCommits; }
+    const std::vector<Check> &checks() const { return _checks; }
+    size_t numSlots() const { return _numSlots; }
+    const std::vector<uint64_t> &regInit() const { return _regInit; }
+    const std::vector<std::vector<uint64_t>> &memInit() const
+    {
+        return _memInit;
+    }
+    /// Topological level of each op (for macro-task formation).
+    const std::vector<uint32_t> &opLevel() const { return _opLevel; }
+    uint32_t numLevels() const { return _numLevels; }
+
+  private:
+    netlist::Netlist _netlist;
+    std::vector<Op> _ops;
+    std::vector<RegCommit> _regCommits;
+    std::vector<MemCommit> _memCommits;
+    std::vector<Check> _checks;
+    std::vector<uint64_t> _regInit;
+    std::vector<std::vector<uint64_t>> _memInit;
+    std::vector<uint32_t> _opLevel;
+    uint32_t _numLevels = 0;
+    size_t _numSlots = 0;
+};
+
+/** Mutable simulation state shared by both engines. */
+struct SimState
+{
+    explicit SimState(const CompiledDesign &design);
+
+    std::vector<uint64_t> values;
+    std::vector<uint64_t> regs;
+    std::vector<std::vector<uint64_t>> mems;
+    uint64_t cycle = 0;
+    SimStatus status = SimStatus::Ok;
+    std::string failureMessage;
+    std::vector<std::string> displayLog;
+    bool collectDisplays = true;
+};
+
+/** Evaluate one op against the state (shared by both engines). */
+void evalOp(const CompiledDesign::Op &op, SimState &state);
+
+/** Side effects + state commit for one cycle; returns the status. */
+SimStatus commitCycle(const CompiledDesign &design, SimState &state);
+
+class SerialSimulator
+{
+  public:
+    explicit SerialSimulator(const CompiledDesign &design)
+        : _design(design), _state(design)
+    {}
+
+    SimStatus step();
+    SimStatus run(uint64_t max_cycles);
+
+    SimState &state() { return _state; }
+    uint64_t cycle() const { return _state.cycle; }
+    SimStatus status() const { return _state.status; }
+
+  private:
+    const CompiledDesign &_design;
+    SimState _state;
+};
+
+/** Parallel engine: persistent worker pool, macro-tasks with atomic
+ *  dependence epochs, two barriers per simulated cycle. */
+class ThreadedSimulator
+{
+  public:
+    ThreadedSimulator(const CompiledDesign &design, unsigned threads);
+    ~ThreadedSimulator();
+
+    SimStatus run(uint64_t max_cycles);
+
+    SimState &state() { return _state; }
+    uint64_t cycle() const { return _state.cycle; }
+    SimStatus status() const { return _state.status; }
+    size_t numTasks() const { return _tasks.size(); }
+
+  private:
+    struct Task
+    {
+        uint32_t begin, end; ///< op range
+        std::vector<uint32_t> deps;
+    };
+
+    void workerLoop(unsigned tid);
+    void runTask(uint32_t t);
+
+    const CompiledDesign &_design;
+    SimState _state;
+    unsigned _threads;
+    std::vector<uint32_t> _levelOrder; ///< op indices sorted by level
+    std::vector<Task> _tasks;
+    std::vector<std::vector<uint32_t>> _assignment; ///< per worker
+    std::unique_ptr<std::atomic<uint64_t>[]> _taskEpoch;
+    std::atomic<uint64_t> _goEpoch{0};
+    std::atomic<unsigned> _workersDone{0};
+    std::atomic<bool> _shutdown{false};
+    std::vector<std::thread> _pool;
+};
+
+} // namespace manticore::baseline
+
+#endif // MANTICORE_BASELINE_BASELINE_HH

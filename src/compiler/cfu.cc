@@ -1,0 +1,465 @@
+#include "compiler/cfu.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/ilp.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace manticore::compiler {
+
+using isa::CustomFunction;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+using isa::kNoReg;
+
+namespace {
+
+bool
+isLogic(Opcode op)
+{
+    return op == Opcode::And || op == Opcode::Or || op == Opcode::Xor;
+}
+
+struct Candidate
+{
+    size_t root;                 ///< body index of the cone root
+    std::vector<Reg> leaves;     ///< variable inputs (<= 4)
+    std::vector<size_t> nodes;   ///< body indices replaced (incl. root)
+    CustomFunction function;
+    size_t savings() const { return nodes.size() - 1; }
+};
+
+class ProcessCfu
+{
+  public:
+    ProcessCfu(isa::Process &proc, ProcessMeta &meta,
+               const std::unordered_set<Reg> &const_regs,
+               const std::unordered_map<Reg, uint16_t> &init,
+               const isa::MachineConfig &config, CfuStats &stats)
+        : _proc(proc), _meta(meta), _constRegs(const_regs), _init(init),
+          _config(config), _stats(stats)
+    {}
+
+    void
+    run()
+    {
+        index();
+        enumerateCandidates();
+        if (_candidates.empty())
+            return;
+        select();
+        rewrite();
+    }
+
+  private:
+    void
+    index()
+    {
+        for (size_t i = 0; i < _proc.body.size(); ++i) {
+            const Instruction &inst = _proc.body[i];
+            Reg d = inst.opcode == Opcode::Send ? kNoReg
+                                                : inst.destination();
+            if (d != kNoReg)
+                _def[d] = i;
+            for (Reg s : inst.sources())
+                _users[s].push_back(i);
+            // Carry consumers pin their producer: fusing an
+            // instruction whose carry bit is read would lose it.
+            if (inst.readsCarry() && inst.rs3 != kNoReg)
+                _carryRead.insert(inst.rs3);
+        }
+    }
+
+    bool
+    isConst(Reg r) const
+    {
+        return _constRegs.count(r) != 0;
+    }
+
+    /** Logic-instruction body index defining r, or SIZE_MAX. */
+    size_t
+    logicDef(Reg r) const
+    {
+        if (isConst(r))
+            return SIZE_MAX;
+        auto it = _def.find(r);
+        if (it == _def.end())
+            return SIZE_MAX;
+        return isLogic(_proc.body[it->second].opcode) ? it->second
+                                                      : SIZE_MAX;
+    }
+
+    /** Cuts of the value r: sets of <= 4 variable leaves.  Constants
+     *  contribute no leaves.  Non-logic values are themselves leaves. */
+    const std::vector<std::vector<Reg>> &
+    cutsOf(Reg r)
+    {
+        auto it = _cuts.find(r);
+        if (it != _cuts.end())
+            return it->second;
+        std::vector<std::vector<Reg>> cuts;
+        if (isConst(r)) {
+            cuts.push_back({});
+        } else if (logicDef(r) == SIZE_MAX) {
+            cuts.push_back({r});
+        } else {
+            const Instruction &inst = _proc.body[logicDef(r)];
+            const auto &ca = cutsOf(inst.rs1);
+            const auto &cb = cutsOf(inst.rs2);
+            // The trivial cut: the value itself is a leaf.
+            cuts.push_back({r});
+            for (const auto &a : ca) {
+                for (const auto &b : cb) {
+                    std::vector<Reg> merged;
+                    std::set_union(a.begin(), a.end(), b.begin(),
+                                   b.end(), std::back_inserter(merged));
+                    if (merged.size() > 4)
+                        continue;
+                    if (std::find(cuts.begin(), cuts.end(), merged) ==
+                        cuts.end())
+                        cuts.push_back(merged);
+                    if (cuts.size() >= kMaxCutsPerNode)
+                        break;
+                }
+                if (cuts.size() >= kMaxCutsPerNode)
+                    break;
+            }
+        }
+        return _cuts.emplace(r, std::move(cuts)).first->second;
+    }
+
+    /** Collect the cone of `root` stopping at `leaves`; returns false
+     *  when the cone is not a valid fusion target. */
+    bool
+    collectCone(size_t root, const std::vector<Reg> &leaves,
+                std::vector<size_t> &nodes) const
+    {
+        std::vector<Reg> stack = {_proc.body[root].rd};
+        std::unordered_set<Reg> visited;
+        while (!stack.empty()) {
+            Reg r = stack.back();
+            stack.pop_back();
+            if (visited.count(r))
+                continue;
+            visited.insert(r);
+            size_t d = logicDef(r);
+            MANTICORE_ASSERT(d != SIZE_MAX, "cone hit a non-logic def");
+            nodes.push_back(d);
+            if (_carryRead.count(r))
+                return false;
+            const Instruction &inst = _proc.body[d];
+            for (Reg s : {inst.rs1, inst.rs2}) {
+                if (isConst(s))
+                    continue;
+                if (std::find(leaves.begin(), leaves.end(), s) !=
+                    leaves.end())
+                    continue;
+                if (logicDef(s) == SIZE_MAX)
+                    return false; // leaf not in the cut
+                stack.push_back(s);
+            }
+        }
+        std::sort(nodes.begin(), nodes.end());
+        nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+        return true;
+    }
+
+    /** MFFC test: every non-root cone node is used only inside. */
+    bool
+    isMffc(size_t root, const std::vector<size_t> &nodes) const
+    {
+        std::unordered_set<size_t> in_cone(nodes.begin(), nodes.end());
+        for (size_t n : nodes) {
+            if (n == root)
+                continue;
+            auto it = _users.find(_proc.body[n].rd);
+            if (it == _users.end())
+                return false;
+            for (size_t user : it->second)
+                if (!in_cone.count(user))
+                    return false;
+        }
+        return true;
+    }
+
+    /** Evaluate one bit lane of the cone for one leaf-value combo. */
+    bool
+    evalCone(size_t root, const std::vector<Reg> &leaves, unsigned lane,
+             unsigned combo,
+             std::unordered_map<Reg, bool> &memo) const
+    {
+        Reg r = _proc.body[root].rd;
+        std::function<bool(Reg)> eval = [&](Reg v) -> bool {
+            auto it = memo.find(v);
+            if (it != memo.end())
+                return it->second;
+            bool result;
+            auto leaf = std::find(leaves.begin(), leaves.end(), v);
+            if (leaf != leaves.end()) {
+                result = (combo >> (leaf - leaves.begin())) & 1;
+            } else if (isConst(v)) {
+                result = (_init.at(v) >> lane) & 1;
+            } else {
+                size_t d = logicDef(v);
+                MANTICORE_ASSERT(d != SIZE_MAX, "eval outside cone");
+                const Instruction &inst = _proc.body[d];
+                bool a = eval(inst.rs1);
+                bool b = eval(inst.rs2);
+                switch (inst.opcode) {
+                  case Opcode::And: result = a && b; break;
+                  case Opcode::Or: result = a || b; break;
+                  case Opcode::Xor: result = a != b; break;
+                  default: MANTICORE_PANIC("non-logic in cone");
+                }
+            }
+            memo[v] = result;
+            return result;
+        };
+        return eval(r);
+    }
+
+    CustomFunction
+    coneFunction(size_t root, const std::vector<Reg> &leaves) const
+    {
+        CustomFunction f;
+        for (unsigned lane = 0; lane < 16; ++lane) {
+            uint16_t table = 0;
+            for (unsigned combo = 0; combo < 16; ++combo) {
+                std::unordered_map<Reg, bool> memo;
+                if (evalCone(root, leaves, lane, combo, memo))
+                    table |= static_cast<uint16_t>(1u << combo);
+            }
+            f.lut[lane] = table;
+        }
+        return f;
+    }
+
+    void
+    enumerateCandidates()
+    {
+        for (size_t i = 0; i < _proc.body.size(); ++i) {
+            if (!isLogic(_proc.body[i].opcode))
+                continue;
+            for (const auto &cut : cutsOf(_proc.body[i].rd)) {
+                if (cut.size() == 1 && cut[0] == _proc.body[i].rd)
+                    continue; // trivial cut
+                std::vector<size_t> nodes;
+                if (!collectCone(i, cut, nodes))
+                    continue;
+                if (nodes.size() < 2)
+                    continue; // no saving from a single instruction
+                if (!isMffc(i, nodes))
+                    continue;
+                Candidate c;
+                c.root = i;
+                c.leaves = cut;
+                c.nodes = std::move(nodes);
+                c.function = coneFunction(i, cut);
+                _candidates.push_back(std::move(c));
+            }
+        }
+        _stats.candidates += _candidates.size();
+    }
+
+    void
+    select()
+    {
+        // ILP: maximise saved instructions subject to each body
+        // instruction being covered by at most one selected cone.
+        IlpProblem ilp;
+        for (const Candidate &c : _candidates)
+            ilp.addVariable(static_cast<double>(c.savings()));
+        std::unordered_map<size_t, std::vector<int>> covering;
+        for (size_t v = 0; v < _candidates.size(); ++v)
+            for (size_t n : _candidates[v].nodes)
+                covering[n].push_back(static_cast<int>(v));
+        for (auto &[node, vars] : covering)
+            if (vars.size() > 1)
+                ilp.addAtMostOne(vars);
+
+        IlpSolver solver(500'000);
+        IlpSolution sol = solver.solve(ilp);
+        _stats.ilpOptimal = _stats.ilpOptimal && sol.provenOptimal;
+
+        for (size_t v = 0; v < _candidates.size(); ++v)
+            if (sol.assignment[v])
+                _selected.push_back(v);
+
+        // Respect the CFU slot budget: group by exact truth table and
+        // keep the highest-saving function groups.
+        std::map<std::array<uint16_t, 16>, std::vector<size_t>> groups;
+        for (size_t v : _selected)
+            groups[_candidates[v].function.lut].push_back(v);
+        if (groups.size() > _config.custSlots) {
+            std::vector<std::pair<size_t, std::array<uint16_t, 16>>> rank;
+            for (auto &[lut, vars] : groups) {
+                size_t total = 0;
+                for (size_t v : vars)
+                    total += _candidates[v].savings();
+                rank.emplace_back(total, lut);
+            }
+            std::sort(rank.begin(), rank.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first > b.first;
+                      });
+            std::set<std::array<uint16_t, 16>> keep;
+            for (size_t k = 0; k < _config.custSlots; ++k)
+                keep.insert(rank[k].second);
+            std::vector<size_t> filtered;
+            for (size_t v : _selected)
+                if (keep.count(_candidates[v].function.lut))
+                    filtered.push_back(v);
+            _selected = std::move(filtered);
+        }
+        _stats.selected += _selected.size();
+    }
+
+    void
+    rewrite()
+    {
+        if (_selected.empty())
+            return;
+
+        // Assign function slots (shared across cones with equal LUTs).
+        std::map<std::array<uint16_t, 16>, uint16_t> slot_of;
+        for (size_t v : _selected) {
+            const auto &lut = _candidates[v].function.lut;
+            if (!slot_of.count(lut)) {
+                slot_of[lut] =
+                    static_cast<uint16_t>(_proc.functions.size());
+                _proc.functions.push_back(_candidates[v].function);
+            }
+        }
+        _stats.distinctFunctions = std::max(_stats.distinctFunctions,
+                                            _proc.functions.size());
+
+        std::unordered_map<size_t, size_t> cust_at; // root -> candidate
+        std::unordered_set<size_t> removed;
+        for (size_t v : _selected) {
+            const Candidate &c = _candidates[v];
+            cust_at[c.root] = v;
+            for (size_t n : c.nodes)
+                if (n != c.root)
+                    removed.insert(n);
+            _stats.instructionsRemoved += c.savings();
+        }
+
+        selfCheck();
+
+        std::vector<Instruction> new_body;
+        std::vector<int> new_mem;
+        for (size_t i = 0; i < _proc.body.size(); ++i) {
+            if (removed.count(i))
+                continue;
+            auto it = cust_at.find(i);
+            if (it == cust_at.end()) {
+                new_body.push_back(_proc.body[i]);
+                new_mem.push_back(_meta.memGroup[i]);
+                continue;
+            }
+            const Candidate &c = _candidates[it->second];
+            Instruction cust;
+            cust.opcode = Opcode::Cust;
+            cust.rd = _proc.body[i].rd;
+            Reg pads[4];
+            for (unsigned k = 0; k < 4; ++k)
+                pads[k] = k < c.leaves.size() ? c.leaves[k]
+                                              : c.leaves[0];
+            cust.rs1 = pads[0];
+            cust.rs2 = pads[1];
+            cust.rs3 = pads[2];
+            cust.rs4 = pads[3];
+            cust.imm = slot_of.at(c.function.lut);
+            new_body.push_back(cust);
+            new_mem.push_back(-1);
+        }
+        _proc.body = std::move(new_body);
+        _meta.memGroup = std::move(new_mem);
+    }
+
+    /** Differential check: each selected cone's LUT must reproduce the
+     *  original logic on random 16-bit vectors. */
+    void
+    selfCheck() const
+    {
+        Rng rng(0xcf05eedull ^ _proc.id);
+        for (size_t v : _selected) {
+            const Candidate &c = _candidates[v];
+            for (int trial = 0; trial < 8; ++trial) {
+                std::unordered_map<Reg, uint16_t> values;
+                for (Reg leaf : c.leaves)
+                    values[leaf] = static_cast<uint16_t>(rng.next());
+                // Evaluate the original cone word-wise.
+                std::function<uint16_t(Reg)> eval =
+                    [&](Reg r) -> uint16_t {
+                    auto it = values.find(r);
+                    if (it != values.end())
+                        return it->second;
+                    if (isConst(r))
+                        return _init.at(r);
+                    size_t d = logicDef(r);
+                    const Instruction &inst = _proc.body[d];
+                    uint16_t a = eval(inst.rs1);
+                    uint16_t b = eval(inst.rs2);
+                    switch (inst.opcode) {
+                      case Opcode::And: return a & b;
+                      case Opcode::Or: return a | b;
+                      case Opcode::Xor: return a ^ b;
+                      default: MANTICORE_PANIC("non-logic in cone");
+                    }
+                };
+                uint16_t expect = eval(_proc.body[c.root].rd);
+                uint16_t ins[4];
+                for (unsigned k = 0; k < 4; ++k)
+                    ins[k] = k < c.leaves.size() ? values[c.leaves[k]]
+                                                 : values[c.leaves[0]];
+                uint16_t got = c.function.apply(ins[0], ins[1], ins[2],
+                                                ins[3]);
+                MANTICORE_ASSERT(got == expect,
+                                 "CFU self-check failed in process ",
+                                 _proc.id);
+            }
+        }
+    }
+
+    static constexpr size_t kMaxCutsPerNode = 12;
+
+    isa::Process &_proc;
+    ProcessMeta &_meta;
+    const std::unordered_set<Reg> &_constRegs;
+    const std::unordered_map<Reg, uint16_t> &_init;
+    const isa::MachineConfig &_config;
+    CfuStats &_stats;
+
+    std::unordered_map<Reg, size_t> _def;
+    std::unordered_map<Reg, std::vector<size_t>> _users;
+    std::unordered_set<Reg> _carryRead;
+    std::unordered_map<Reg, std::vector<std::vector<Reg>>> _cuts;
+    std::vector<Candidate> _candidates;
+    std::vector<size_t> _selected;
+};
+
+} // namespace
+
+CfuStats
+synthesizeCustomFunctions(ProgramDraft &draft,
+                          const isa::MachineConfig &config)
+{
+    CfuStats stats;
+    for (size_t p = 0; p < draft.program.processes.size(); ++p) {
+        isa::Process &proc = draft.program.processes[p];
+        ProcessCfu cfu(proc, draft.meta[p], draft.constRegs, proc.init,
+                       config, stats);
+        cfu.run();
+    }
+    return stats;
+}
+
+} // namespace manticore::compiler

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Custom function synthesis (§6.2 of the paper): collapse chains of
+ * bitwise logic instructions (AND/OR/XOR, with constants folded into
+ * the truth tables) into single CUST instructions evaluated by the
+ * per-core custom function units.
+ *
+ * Pipeline per process: prune the dependence graph to logic-only
+ * connected components, enumerate all 4-input cuts, keep the
+ * maximum-fanout-free cones (MFFCs), group cones computing the same
+ * function by truth-table signature, then select a maximum-saving set
+ * of non-overlapping cones with a 0/1 ILP (branch-and-bound), and
+ * rewrite the body.  A built-in differential self-check validates
+ * every rewritten cone against its original on random vectors.
+ */
+
+#ifndef MANTICORE_COMPILER_CFU_HH
+#define MANTICORE_COMPILER_CFU_HH
+
+#include "compiler/draft.hh"
+#include "isa/config.hh"
+
+namespace manticore::compiler {
+
+struct CfuStats
+{
+    size_t candidates = 0;
+    size_t selected = 0;
+    size_t distinctFunctions = 0;
+    size_t instructionsRemoved = 0; ///< net (removed minus CUSTs added)
+    bool ilpOptimal = true;
+};
+
+/** Run custom-function synthesis on every process of the draft. */
+CfuStats synthesizeCustomFunctions(ProgramDraft &draft,
+                                   const isa::MachineConfig &config);
+
+} // namespace manticore::compiler
+
+#endif // MANTICORE_COMPILER_CFU_HH

@@ -1,0 +1,100 @@
+#include "compiler/compiler.hh"
+
+#include <chrono>
+
+#include "netlist/optimize.hh"
+#include "support/logging.hh"
+
+namespace manticore::compiler {
+
+namespace {
+
+class PhaseTimer
+{
+  public:
+    PhaseTimer(CompileResult &result, const char *name)
+        : _result(result), _name(name),
+          _start(std::chrono::steady_clock::now())
+    {}
+
+    ~PhaseTimer()
+    {
+        auto end = std::chrono::steady_clock::now();
+        double sec =
+            std::chrono::duration<double>(end - _start).count();
+        _result.phaseSeconds[_name] += sec;
+        _result.totalSeconds += sec;
+    }
+
+  private:
+    CompileResult &_result;
+    const char *_name;
+    std::chrono::steady_clock::time_point _start;
+};
+
+} // namespace
+
+CompileResult
+compile(const netlist::Netlist &netlist, const CompileOptions &options)
+{
+    CompileResult result;
+
+    // Frontend optimisation on the netlist itself (fold/CSE/DCE),
+    // mirroring the Yosys-side cleanups of §6.
+    netlist::Netlist optimized("unused");
+    const netlist::Netlist *source = &netlist;
+    if (options.enableOptimizations) {
+        PhaseTimer t(result, "opt");
+        optimized = netlist::optimizeNetlist(netlist);
+        source = &optimized;
+    }
+
+    LoweredProgram lowered;
+    {
+        PhaseTimer t(result, "lower");
+        lowered = lower(*source, options.config.scratchSize);
+    }
+
+    if (options.enableOptimizations) {
+        PhaseTimer t(result, "opt");
+        result.opt = optimize(lowered);
+    }
+    result.loweredInstructions = lowered.body.size();
+
+    Partition part;
+    {
+        PhaseTimer t(result, "prl");
+        part = partition(lowered, options.config.numCores(),
+                         options.mergeAlgo);
+    }
+    result.partition = part.stats;
+
+    ProgramDraft draft;
+    {
+        PhaseTimer t(result, "prl");
+        draft = materialize(lowered, part);
+    }
+
+    if (options.enableCustomFunctions) {
+        PhaseTimer t(result, "cf");
+        result.cfu = synthesizeCustomFunctions(draft, options.config);
+    }
+
+    {
+        PhaseTimer t(result, "sch");
+        result.schedule = scheduleProgram(draft, options.config,
+                                          options.enforceImemLimit);
+    }
+
+    {
+        PhaseTimer t(result, "otr");
+        result.regalloc = allocateRegisters(draft, options.config);
+        result.program = std::move(draft.program);
+        result.regChunkHome = std::move(draft.regChunkHome);
+        isa::validate(result.program, options.config);
+    }
+
+    return result;
+}
+
+} // namespace manticore::compiler

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Manticore compiler driver (§6, Fig. 4): netlist -> lower assembly ->
+ * optimisation -> parallelisation (split + merge) -> custom function
+ * synthesis -> scheduling/routing -> register allocation -> binary
+ * program.  Collects per-phase wall-clock times (Fig. 13 / Table 8)
+ * and the statistics every evaluation experiment consumes.
+ */
+
+#ifndef MANTICORE_COMPILER_COMPILER_HH
+#define MANTICORE_COMPILER_COMPILER_HH
+
+#include <map>
+#include <string>
+
+#include "compiler/cfu.hh"
+#include "compiler/opt.hh"
+#include "compiler/partition.hh"
+#include "compiler/regalloc.hh"
+#include "compiler/schedule.hh"
+#include "isa/isa.hh"
+#include "netlist/netlist.hh"
+
+namespace manticore::compiler {
+
+struct CompileOptions
+{
+    isa::MachineConfig config;
+    MergeAlgo mergeAlgo = MergeAlgo::Balanced;
+    bool enableCustomFunctions = true;
+    bool enableOptimizations = true;
+    /// Allow bodies larger than the instruction memory, producing a
+    /// VCPL prediction for configurations that cannot actually boot
+    /// (used for Fig. 7's small-grid baselines, as in the paper).
+    bool enforceImemLimit = true;
+};
+
+struct CompileResult
+{
+    isa::Program program;
+
+    /// Per netlist register, per 16-bit chunk: (process id, machine
+    /// register) holding the authoritative current value — the host's
+    /// observation hook into design state.
+    std::vector<std::vector<RegChunkHome>> regChunkHome;
+
+    OptStats opt;
+    PartitionStats partition;
+    CfuStats cfu;
+    ScheduleStats schedule;
+    RegAllocStats regalloc;
+
+    /// Lowered (pre-partition) instruction count.
+    size_t loweredInstructions = 0;
+    /// Wall-clock seconds per phase, keyed "lower"/"opt"/"prl"/"cf"/
+    /// "sch"/"otr" (Fig. 13 nomenclature).
+    std::map<std::string, double> phaseSeconds;
+    double totalSeconds = 0.0;
+
+    /// Simulation rate in kHz for a given compute clock (§7.6:
+    /// rate = clock / VCPL).
+    double
+    simulationRateKhz(double clock_khz) const
+    {
+        return clock_khz / program.vcpl;
+    }
+};
+
+/** Compile a closed netlist for the configured grid. */
+CompileResult compile(const netlist::Netlist &netlist,
+                      const CompileOptions &options);
+
+} // namespace manticore::compiler
+
+#endif // MANTICORE_COMPILER_COMPILER_HH

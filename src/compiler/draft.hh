@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ProgramDraft: the compiler's working representation between
+ * partitioning and final code emission — an isa::Program still in
+ * virtual (SSA) registers, plus the side metadata that scheduling,
+ * CFU synthesis, and register allocation need.
+ */
+
+#ifndef MANTICORE_COMPILER_DRAFT_HH
+#define MANTICORE_COMPILER_DRAFT_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "compiler/lowered.hh"
+#include "compiler/partition.hh"
+#include "isa/isa.hh"
+
+namespace manticore::compiler {
+
+struct ProcessMeta
+{
+    /// Per instruction: netlist memory id or -1 (parallel to body).
+    std::vector<int> memGroup;
+};
+
+/** Where an RTL register chunk's authoritative current value lives. */
+struct RegChunkHome
+{
+    uint32_t process = 0;
+    isa::Reg reg = isa::kNoReg; ///< virtual until regalloc, then machine
+};
+
+struct ProgramDraft
+{
+    isa::Program program;
+    std::vector<ProcessMeta> meta;
+    /// Virtual registers that are RTL-register current values
+    /// (persistent; MOV/SEND targets).
+    std::unordered_set<isa::Reg> currentRegs;
+    /// Virtual registers that are compile-time constants.
+    std::unordered_set<isa::Reg> constRegs;
+    /// Per netlist register, per 16-bit chunk: the owning core and the
+    /// register holding its current value.  This is the observation
+    /// hook the host uses to inspect design state (and the anchor for
+    /// the differential tests).
+    std::vector<std::vector<RegChunkHome>> regChunkHome;
+};
+
+/** Instantiate the final processes: copy each partition's instruction
+ *  subset, insert owner-to-reader SENDs for every RTL register chunk,
+ *  build per-process boot constants, and lay out memories in the
+ *  owning core's scratchpad. */
+ProgramDraft materialize(const LoweredProgram &lowered,
+                         const Partition &partition);
+
+} // namespace manticore::compiler
+
+#endif // MANTICORE_COMPILER_DRAFT_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The monolithic lower-assembly program produced by the lowering pass
+ * (§6, step 3 of the paper): a single SSA process whose 16-bit
+ * instructions match Manticore's datapath, plus the metadata the later
+ * passes (optimisation, partitioning, scheduling, register allocation)
+ * need: constant pool, RTL-register chunk bookkeeping, memory
+ * allocations, and per-instruction memory/privilege tags.
+ */
+
+#ifndef MANTICORE_COMPILER_LOWERED_HH
+#define MANTICORE_COMPILER_LOWERED_HH
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "netlist/netlist.hh"
+
+namespace manticore::compiler {
+
+/** Scratchpad or DRAM allocation of one netlist memory. */
+struct MemAlloc
+{
+    netlist::MemId mem = 0;
+    /// When the memory does not fit the on-chip scratchpad budget it
+    /// lowers to privileged GLD/GST through the cache (§5.3, §7.7).
+    bool global = false;
+    /// Scratch-resident: boot-constant register holding the base; its
+    /// value is assigned after partitioning fixes per-core layouts.
+    isa::Reg baseReg = isa::kNoReg;
+    /// DRAM-resident: the fixed global word base.
+    uint64_t globalBase = 0;
+    /// 16-bit words per element (ceil(width/16)).
+    unsigned wordsPerElement = 0;
+    /// Total words (depth * wordsPerElement).
+    uint64_t words = 0;
+    /// Initial contents, chunked little-endian.
+    std::vector<uint16_t> image;
+};
+
+/** One 16-bit chunk of an RTL register: its stable current-value
+ *  register, the SSA next value, and the MOV that commits it. */
+struct RegChunkInfo
+{
+    isa::Reg current = isa::kNoReg;
+    isa::Reg next = isa::kNoReg;
+    /// Index of the committing MOV in LoweredProgram::body.
+    uint32_t movIndex = 0;
+};
+
+struct LoweredProgram
+{
+    /// Topologically ordered instruction sequence (virtual registers).
+    std::vector<isa::Instruction> body;
+    /// Per-instruction netlist memory id, or -1: instructions tagged
+    /// with the same memory must live in the same process (§6.1).
+    std::vector<int> memGroup;
+    /// Per-instruction privileged flag (GLD/GST/EXPECT and the PREDs
+    /// guarding privileged stores).
+    std::vector<bool> privileged;
+
+    /// Boot-time register constants: the constant pool, RTL register
+    /// initial values, and (placeholder) memory base registers.
+    std::unordered_map<isa::Reg, uint16_t> init;
+    /// The subset of init registers that are true compile-time
+    /// constants (eligible for folding into CFU truth tables).
+    std::unordered_set<isa::Reg> constRegs;
+
+    std::vector<MemAlloc> memAllocs;
+    /// Per netlist register: chunk bookkeeping (index parallels
+    /// netlist::Netlist::registers()).
+    std::vector<std::vector<RegChunkInfo>> rtlRegs;
+
+    isa::ExceptionTable exceptions;
+    uint64_t globalWordsReserved = 0;
+    /// Boot image of DRAM-resident memories.
+    std::vector<std::pair<uint64_t, uint16_t>> globalInit;
+
+    /// First virtual register id not yet used.
+    isa::Reg nextVirtualReg = 0;
+
+    /// Instruction count excluding NOPs (there are none here, so the
+    /// body size; kept for symmetry with later stages).
+    size_t instructionCount() const { return body.size(); }
+};
+
+/** Lower a validated netlist into a monolithic process.  The netlist
+ *  must be closed (no free Input nodes) and memory depths must be
+ *  powers of two (addresses are masked, matching the reference
+ *  evaluator's modulo semantics).  Memories larger than
+ *  scratch_budget words are placed in DRAM behind the privileged
+ *  core's cache instead of a scratchpad. */
+LoweredProgram lower(const netlist::Netlist &netlist,
+                     unsigned scratch_budget = 16384);
+
+} // namespace manticore::compiler
+
+#endif // MANTICORE_COMPILER_LOWERED_HH

@@ -1,0 +1,887 @@
+/**
+ * @file
+ * The lowering pass: word-level netlist -> monolithic 16-bit lower
+ * assembly (§6 step 3).  Arbitrary-width operations become chunked
+ * sequences over the 16-bit datapath: adds/subs ripple through the
+ * register file's carry bit (ADDC/SUBB), multiplies expand into
+ * schoolbook partial products, comparisons into chunk chains of
+ * SEQ/SLTU plus logic, constant shifts into slice/shift/or assemblies,
+ * dynamic shifts into mux trees, memories into scratchpad LLD/LST with
+ * PRED-guarded stores, and $display/$finish/assertions into predicated
+ * global stores plus EXPECT exceptions.
+ */
+
+#include "compiler/lowered.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace manticore::compiler {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+using isa::kNoReg;
+using netlist::Netlist;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::OpKind;
+
+namespace {
+
+unsigned
+chunksOf(unsigned width)
+{
+    return (width + 15) / 16;
+}
+
+/** Logical bit count of the top chunk. */
+unsigned
+topBits(unsigned width)
+{
+    unsigned rem = width % 16;
+    return rem == 0 ? 16 : rem;
+}
+
+bool
+isPowerOfTwo(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+class Lowerer
+{
+  public:
+    Lowerer(const Netlist &nl, unsigned scratch_budget)
+        : _nl(nl), _scratchBudget(scratch_budget)
+    {}
+
+    LoweredProgram run();
+
+  private:
+    Reg newReg() { return _out.nextVirtualReg++; }
+
+    Reg
+    constReg(uint16_t value)
+    {
+        auto it = _constPool.find(value);
+        if (it != _constPool.end())
+            return it->second;
+        Reg r = newReg();
+        _out.init[r] = value;
+        _out.constRegs.insert(r);
+        _constPool[value] = r;
+        return r;
+    }
+
+    /** Append an instruction producing a fresh register. */
+    Reg
+    emit(Opcode op, Reg rs1 = kNoReg, Reg rs2 = kNoReg, Reg rs3 = kNoReg,
+         Reg rs4 = kNoReg, uint16_t imm = 0)
+    {
+        Instruction inst;
+        inst.opcode = op;
+        inst.rd = newReg();
+        inst.rs1 = rs1;
+        inst.rs2 = rs2;
+        inst.rs3 = rs3;
+        inst.rs4 = rs4;
+        inst.imm = imm;
+        _out.body.push_back(inst);
+        _out.memGroup.push_back(_memTag);
+        _out.privileged.push_back(_privTag);
+        return inst.rd;
+    }
+
+    /** Append an instruction with no (fresh) destination. */
+    void
+    emitRaw(Instruction inst)
+    {
+        _out.body.push_back(inst);
+        _out.memGroup.push_back(_memTag);
+        _out.privileged.push_back(_privTag);
+    }
+
+    std::vector<Reg>
+    constChunks(const BitVector &value)
+    {
+        unsigned n = chunksOf(value.width());
+        std::vector<Reg> regs(n);
+        for (unsigned c = 0; c < n; ++c) {
+            unsigned len = std::min(16u, value.width() - 16 * c);
+            regs[c] = constReg(
+                static_cast<uint16_t>(value.slice(16 * c, len).toUint64()));
+        }
+        return regs;
+    }
+
+    /** AND the top chunk with the width mask if it has garbage room. */
+    void
+    maskTop(std::vector<Reg> &chunks, unsigned width)
+    {
+        unsigned tb = topBits(width);
+        if (tb < 16) {
+            uint16_t mask = static_cast<uint16_t>((1u << tb) - 1);
+            chunks.back() =
+                emit(Opcode::And, chunks.back(), constReg(mask));
+        }
+    }
+
+    std::vector<Reg> lowerAdd(const std::vector<Reg> &a,
+                              const std::vector<Reg> &b, unsigned width,
+                              bool subtract);
+    std::vector<Reg> lowerMul(const std::vector<Reg> &a,
+                              const std::vector<Reg> &b, unsigned width);
+    Reg wideEq(const std::vector<Reg> &a, const std::vector<Reg> &b);
+    Reg wideUlt(const std::vector<Reg> &a, const std::vector<Reg> &b);
+
+    /** Chunks of src << amt, width-preserving over out_width bits,
+     *  zero-extending src as needed.  Emits no code for pure chunk
+     *  remaps. */
+    std::vector<Reg> shiftLeftConst(const std::vector<Reg> &src,
+                                    unsigned out_width, unsigned amt);
+    /** Chunks of src >> amt over the source width (caller truncates). */
+    std::vector<Reg> shiftRightConst(const std::vector<Reg> &src,
+                                     unsigned src_width, unsigned amt);
+
+    std::vector<Reg> lowerDynShift(NodeId node, bool left);
+
+    void lowerNode(NodeId id);
+    void lowerMemWrites();
+    void lowerSideEffects();
+    void lowerRegisterCommits();
+
+    /** Scratch-resident memories: register holding base + scaled
+     *  element offset (single 16-bit address). */
+    Reg memElementAddr(netlist::MemId mem, NodeId addr_node);
+
+    /** DRAM-resident memories: (lo, hi) register pair holding the
+     *  32-bit global word address of the element. */
+    std::pair<Reg, Reg> memElementAddrGlobal(netlist::MemId mem,
+                                             NodeId addr_node);
+
+    const Netlist &_nl;
+    unsigned _scratchBudget;
+    LoweredProgram _out;
+    std::vector<std::vector<Reg>> _chunks;
+    std::unordered_map<uint16_t, Reg> _constPool;
+    int _memTag = -1;
+    bool _privTag = false;
+};
+
+std::vector<Reg>
+Lowerer::lowerAdd(const std::vector<Reg> &a, const std::vector<Reg> &b,
+                  unsigned width, bool subtract)
+{
+    std::vector<Reg> out(a.size());
+    Reg carry_src = kNoReg;
+    for (size_t c = 0; c < a.size(); ++c) {
+        Opcode op;
+        if (c == 0)
+            op = subtract ? Opcode::Sub : Opcode::Add;
+        else
+            op = subtract ? Opcode::Subb : Opcode::Addc;
+        out[c] = emit(op, a[c], b[c], carry_src);
+        carry_src = out[c];
+    }
+    maskTop(out, width);
+    return out;
+}
+
+std::vector<Reg>
+Lowerer::lowerMul(const std::vector<Reg> &a, const std::vector<Reg> &b,
+                  unsigned width)
+{
+    size_t n = a.size();
+    Reg zero = constReg(0);
+    std::vector<Reg> acc(n, zero);
+
+    // Accumulate a partial product into acc[k] and ripple the carry.
+    auto accumulate = [&](size_t k, Reg value) {
+        Reg sum = emit(Opcode::Add, acc[k], value);
+        acc[k] = sum;
+        Reg carry = sum;
+        for (size_t kk = k + 1; kk < n; ++kk) {
+            Reg s = emit(Opcode::Addc, acc[kk], zero, carry);
+            acc[kk] = s;
+            carry = s;
+        }
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; i + j < n; ++j) {
+            Reg lo = emit(Opcode::Mul, a[i], b[j]);
+            accumulate(i + j, lo);
+            if (i + j + 1 < n) {
+                Reg hi = emit(Opcode::Mulh, a[i], b[j]);
+                accumulate(i + j + 1, hi);
+            }
+        }
+    }
+    maskTop(acc, width);
+    return acc;
+}
+
+Reg
+Lowerer::wideEq(const std::vector<Reg> &a, const std::vector<Reg> &b)
+{
+    Reg acc = kNoReg;
+    for (size_t c = 0; c < a.size(); ++c) {
+        Reg eq = emit(Opcode::Seq, a[c], b[c]);
+        acc = (acc == kNoReg) ? eq : emit(Opcode::And, acc, eq);
+    }
+    return acc;
+}
+
+Reg
+Lowerer::wideUlt(const std::vector<Reg> &a, const std::vector<Reg> &b)
+{
+    // lt = lt_k | (eq_k & lt_{k-1}), scanning low to high chunks.
+    Reg lt = emit(Opcode::Sltu, a[0], b[0]);
+    for (size_t c = 1; c < a.size(); ++c) {
+        Reg lt_k = emit(Opcode::Sltu, a[c], b[c]);
+        Reg eq_k = emit(Opcode::Seq, a[c], b[c]);
+        Reg keep = emit(Opcode::And, eq_k, lt);
+        lt = emit(Opcode::Or, lt_k, keep);
+    }
+    return lt;
+}
+
+std::vector<Reg>
+Lowerer::shiftLeftConst(const std::vector<Reg> &src, unsigned out_width,
+                        unsigned amt)
+{
+    unsigned n = chunksOf(out_width);
+    unsigned cs = amt / 16;
+    unsigned bs = amt % 16;
+    Reg zero = constReg(0);
+    std::vector<Reg> out(n, zero);
+    for (unsigned k = 0; k < n; ++k) {
+        Reg low = kNoReg;  // src[k - cs] << bs
+        Reg high = kNoReg; // src[k - cs - 1] >> (16 - bs)
+        if (k >= cs && k - cs < src.size()) {
+            Reg s = src[k - cs];
+            low = bs == 0 ? s : emit(Opcode::Sll, s, constReg(bs));
+        }
+        if (bs != 0 && k >= cs + 1 && k - cs - 1 < src.size()) {
+            high = emit(Opcode::Slice, src[k - cs - 1], kNoReg, kNoReg,
+                        kNoReg, Instruction::packSlice(16 - bs, bs));
+        }
+        if (low != kNoReg && high != kNoReg)
+            out[k] = emit(Opcode::Or, low, high);
+        else if (low != kNoReg)
+            out[k] = low;
+        else if (high != kNoReg)
+            out[k] = high;
+    }
+    maskTop(out, out_width);
+    return out;
+}
+
+std::vector<Reg>
+Lowerer::shiftRightConst(const std::vector<Reg> &src, unsigned src_width,
+                         unsigned amt)
+{
+    unsigned n = chunksOf(src_width);
+    unsigned cs = amt / 16;
+    unsigned bs = amt % 16;
+    Reg zero = constReg(0);
+    std::vector<Reg> out(n, zero);
+    for (unsigned k = 0; k < n; ++k) {
+        Reg low = kNoReg;  // src[k + cs] >> bs
+        Reg high = kNoReg; // src[k + cs + 1] << (16 - bs)
+        if (k + cs < src.size()) {
+            Reg s = src[k + cs];
+            low = bs == 0 ? s
+                          : emit(Opcode::Slice, s, kNoReg, kNoReg, kNoReg,
+                                 Instruction::packSlice(bs, 16 - bs));
+        }
+        if (bs != 0 && k + cs + 1 < src.size()) {
+            high = emit(Opcode::Sll, src[k + cs + 1], constReg(16 - bs));
+        }
+        if (low != kNoReg && high != kNoReg)
+            out[k] = emit(Opcode::Or, low, high);
+        else if (low != kNoReg)
+            out[k] = low;
+        else if (high != kNoReg)
+            out[k] = high;
+    }
+    return out;
+}
+
+std::vector<Reg>
+Lowerer::lowerDynShift(NodeId id, bool left)
+{
+    const Node &n = _nl.node(id);
+    unsigned width = n.width;
+    const std::vector<Reg> &val = _chunks[n.operands[0]];
+    const Node &amt_node = _nl.node(n.operands[1]);
+    const std::vector<Reg> &amt = _chunks[n.operands[1]];
+
+    // Mux tree over the amount bits that matter: stage k conditionally
+    // shifts by 2^k.
+    unsigned stages = 0;
+    while ((1u << stages) < width)
+        ++stages;
+
+    std::vector<Reg> cur = val;
+    for (unsigned k = 0; k < stages; ++k) {
+        if (k >= amt_node.width)
+            break;
+        // Amount bit k as a 1-bit value.
+        Reg amt_chunk = amt[k / 16];
+        Reg bit = emit(Opcode::Slice, amt_chunk, kNoReg, kNoReg, kNoReg,
+                       Instruction::packSlice(k % 16, 1));
+        std::vector<Reg> shifted =
+            left ? shiftLeftConst(cur, width, 1u << k)
+                 : shiftRightConst(cur, width, 1u << k);
+        shifted.resize(cur.size(), constReg(0));
+        std::vector<Reg> next(cur.size());
+        for (size_t c = 0; c < cur.size(); ++c)
+            next[c] = emit(Opcode::Mux, bit, shifted[c], cur[c]);
+        cur = next;
+    }
+
+    // Amounts >= width (including high amount bits) yield zero.
+    Reg oversize = kNoReg;
+    for (unsigned b = stages; b < amt_node.width; ++b) {
+        Reg chunk = amt[b / 16];
+        Reg bit = emit(Opcode::Slice, chunk, kNoReg, kNoReg, kNoReg,
+                       Instruction::packSlice(b % 16, 1));
+        oversize =
+            oversize == kNoReg ? bit : emit(Opcode::Or, oversize, bit);
+    }
+    // Low bits can also encode an amount >= width when width is not a
+    // power of two.
+    if (!isPowerOfTwo(width)) {
+        unsigned low_bits = std::min(stages, amt_node.width);
+        if (low_bits > 0) {
+            Reg low = amt[0];
+            if (low_bits < 16)
+                low = emit(Opcode::Slice, amt[0], kNoReg, kNoReg, kNoReg,
+                           Instruction::packSlice(0, low_bits));
+            Reg ge = emit(Opcode::Sltu, low, constReg(
+                static_cast<uint16_t>(std::min(width, 0xffffu))));
+            Reg too_big = emit(Opcode::Xor, ge, constReg(1));
+            oversize = oversize == kNoReg
+                           ? too_big
+                           : emit(Opcode::Or, oversize, too_big);
+        }
+    }
+    if (oversize != kNoReg) {
+        Reg zero = constReg(0);
+        for (size_t c = 0; c < cur.size(); ++c)
+            cur[c] = emit(Opcode::Mux, oversize, zero, cur[c]);
+    }
+    return cur;
+}
+
+Reg
+Lowerer::memElementAddr(netlist::MemId mem, NodeId addr_node)
+{
+    const netlist::Memory &m = _nl.memory(mem);
+    MANTICORE_ASSERT(isPowerOfTwo(m.depth),
+                     "memory ", m.name, " depth must be a power of two");
+    const MemAlloc &alloc = _out.memAllocs[mem];
+    Reg idx = _chunks[addr_node][0];
+    Reg masked = emit(Opcode::And, idx,
+                      constReg(static_cast<uint16_t>(m.depth - 1)));
+    Reg scaled = masked;
+    if (alloc.wordsPerElement > 1)
+        scaled = emit(Opcode::Mul, masked,
+                      constReg(static_cast<uint16_t>(
+                          alloc.wordsPerElement)));
+    return emit(Opcode::Add, alloc.baseReg, scaled);
+}
+
+std::pair<Reg, Reg>
+Lowerer::memElementAddrGlobal(netlist::MemId mem, NodeId addr_node)
+{
+    const netlist::Memory &m = _nl.memory(mem);
+    MANTICORE_ASSERT(isPowerOfTwo(m.depth),
+                     "memory ", m.name, " depth must be a power of two");
+    const MemAlloc &alloc = _out.memAllocs[mem];
+    const auto &idx_chunks = _chunks[addr_node];
+    Reg zero = constReg(0);
+
+    // Mask the element index to depth-1, chunk-wise (32-bit support).
+    uint32_t depth_mask = m.depth - 1;
+    Reg i0 = emit(Opcode::And, idx_chunks[0],
+                  constReg(static_cast<uint16_t>(depth_mask & 0xffff)));
+    Reg i1 = zero;
+    if (idx_chunks.size() > 1 && (depth_mask >> 16) != 0)
+        i1 = emit(Opcode::And, idx_chunks[1],
+                  constReg(static_cast<uint16_t>(depth_mask >> 16)));
+
+    // Scale by words-per-element: 32-bit = 16x16 partial products.
+    Reg lo = i0;
+    Reg hi = i1;
+    if (alloc.wordsPerElement > 1) {
+        Reg w = constReg(static_cast<uint16_t>(alloc.wordsPerElement));
+        lo = emit(Opcode::Mul, i0, w);
+        Reg mid = emit(Opcode::Mulh, i0, w);
+        Reg top = emit(Opcode::Mul, i1, w);
+        hi = emit(Opcode::Add, mid, top);
+    }
+
+    // Add the DRAM base with carry.
+    Reg base_lo =
+        constReg(static_cast<uint16_t>(alloc.globalBase & 0xffff));
+    Reg base_hi =
+        constReg(static_cast<uint16_t>((alloc.globalBase >> 16) &
+                                       0xffff));
+    Reg addr_lo = emit(Opcode::Add, lo, base_lo);
+    Reg addr_hi = emit(Opcode::Addc, hi, base_hi, addr_lo);
+    return {addr_lo, addr_hi};
+}
+
+void
+Lowerer::lowerNode(NodeId id)
+{
+    const Node &n = _nl.node(id);
+    auto &out = _chunks[id];
+    auto ops = [&](unsigned k) -> const std::vector<Reg> & {
+        return _chunks[n.operands[k]];
+    };
+
+    switch (n.kind) {
+      case OpKind::Const:
+        out = constChunks(n.value);
+        break;
+      case OpKind::Input:
+        MANTICORE_FATAL("cannot compile open design: free input '",
+                        n.name, "' (drive it or make it a register)");
+        break;
+      case OpKind::RegRead: {
+        const auto &info = _out.rtlRegs[n.regId];
+        out.resize(info.size());
+        for (size_t c = 0; c < info.size(); ++c)
+            out[c] = info[c].current;
+        break;
+      }
+      case OpKind::MemRead: {
+        int saved = _memTag;
+        _memTag = static_cast<int>(n.memId);
+        unsigned nc = chunksOf(n.width);
+        out.resize(nc);
+        if (_out.memAllocs[n.memId].global) {
+            bool saved_priv = _privTag;
+            _privTag = true;
+            auto [lo, hi] = memElementAddrGlobal(n.memId, n.operands[0]);
+            for (unsigned c = 0; c < nc; ++c) {
+                Instruction inst;
+                inst.opcode = Opcode::Gld;
+                inst.rd = newReg();
+                inst.rs1 = lo;
+                inst.rs2 = hi;
+                inst.imm = static_cast<uint16_t>(c);
+                out[c] = inst.rd;
+                emitRaw(inst);
+            }
+            _privTag = saved_priv;
+        } else {
+            Reg addr = memElementAddr(n.memId, n.operands[0]);
+            for (unsigned c = 0; c < nc; ++c) {
+                Instruction inst;
+                inst.opcode = Opcode::Lld;
+                inst.rd = newReg();
+                inst.rs1 = addr;
+                inst.imm = static_cast<uint16_t>(c);
+                out[c] = inst.rd;
+                emitRaw(inst);
+            }
+        }
+        _memTag = saved;
+        break;
+      }
+      case OpKind::Add:
+        out = lowerAdd(ops(0), ops(1), n.width, false);
+        break;
+      case OpKind::Sub:
+        out = lowerAdd(ops(0), ops(1), n.width, true);
+        break;
+      case OpKind::Mul:
+        out = lowerMul(ops(0), ops(1), n.width);
+        break;
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::Xor: {
+        Opcode op = n.kind == OpKind::And
+                        ? Opcode::And
+                        : (n.kind == OpKind::Or ? Opcode::Or : Opcode::Xor);
+        out.resize(ops(0).size());
+        for (size_t c = 0; c < out.size(); ++c)
+            out[c] = emit(op, ops(0)[c], ops(1)[c]);
+        break;
+      }
+      case OpKind::Not: {
+        out.resize(ops(0).size());
+        for (size_t c = 0; c < out.size(); ++c) {
+            unsigned len = std::min(16u, n.width - 16 * unsigned(c));
+            uint16_t mask = len >= 16
+                                ? 0xffff
+                                : static_cast<uint16_t>((1u << len) - 1);
+            out[c] = emit(Opcode::Xor, ops(0)[c], constReg(mask));
+        }
+        break;
+      }
+      case OpKind::Shl:
+      case OpKind::Lshr: {
+        const Node &amt = _nl.node(n.operands[1]);
+        bool left = n.kind == OpKind::Shl;
+        if (amt.kind == OpKind::Const) {
+            uint64_t a = amt.value.fitsUint64() ? amt.value.toUint64()
+                                                : n.width;
+            if (a >= n.width) {
+                out.assign(chunksOf(n.width), constReg(0));
+            } else if (left) {
+                out = shiftLeftConst(ops(0), n.width,
+                                     static_cast<unsigned>(a));
+            } else {
+                out = shiftRightConst(ops(0), n.width,
+                                      static_cast<unsigned>(a));
+            }
+        } else {
+            out = lowerDynShift(id, left);
+        }
+        break;
+      }
+      case OpKind::Eq:
+        out = {wideEq(ops(0), ops(1))};
+        break;
+      case OpKind::Ult:
+        out = {wideUlt(ops(0), ops(1))};
+        break;
+      case OpKind::Slt: {
+        unsigned w = _nl.node(n.operands[0]).width;
+        if (w == 16) {
+            out = {emit(Opcode::Slts, ops(0)[0], ops(1)[0])};
+        } else {
+            unsigned tb = topBits(w);
+            Reg sa = emit(Opcode::Slice, ops(0).back(), kNoReg, kNoReg,
+                          kNoReg, Instruction::packSlice(tb - 1, 1));
+            Reg sb = emit(Opcode::Slice, ops(1).back(), kNoReg, kNoReg,
+                          kNoReg, Instruction::packSlice(tb - 1, 1));
+            Reg ult = wideUlt(ops(0), ops(1));
+            Reg diff = emit(Opcode::Xor, sa, sb);
+            out = {emit(Opcode::Mux, diff, sa, ult)};
+        }
+        break;
+      }
+      case OpKind::Mux: {
+        Reg sel = ops(0)[0];
+        out.resize(ops(1).size());
+        for (size_t c = 0; c < out.size(); ++c)
+            out[c] = emit(Opcode::Mux, sel, ops(1)[c], ops(2)[c]);
+        break;
+      }
+      case OpKind::Slice: {
+        unsigned src_width = _nl.node(n.operands[0]).width;
+        std::vector<Reg> shifted =
+            n.lo == 0 ? ops(0) : shiftRightConst(ops(0), src_width, n.lo);
+        shifted.resize(chunksOf(n.width), constReg(0));
+        out = shifted;
+        out.resize(chunksOf(n.width));
+        maskTop(out, n.width);
+        break;
+      }
+      case OpKind::Concat: {
+        unsigned lo_width = _nl.node(n.operands[1]).width;
+        const auto &lo = ops(1);
+        std::vector<Reg> hi_shifted =
+            shiftLeftConst(ops(0), n.width, lo_width);
+        out.resize(chunksOf(n.width));
+        for (size_t c = 0; c < out.size(); ++c) {
+            if (16 * (c + 1) <= lo_width) {
+                // Fully within lo; hi contributes nothing here.
+                out[c] = lo[c];
+            } else if (16 * c < lo_width) {
+                // Straddles the seam: low bits from lo's (masked) top
+                // chunk, high bits from the shifted hi vector.
+                out[c] = emit(Opcode::Or, lo[c], hi_shifted[c]);
+            } else {
+                out[c] = hi_shifted[c];
+            }
+        }
+        break;
+      }
+      case OpKind::ZExt: {
+        out = ops(0);
+        out.resize(chunksOf(n.width), constReg(0));
+        break;
+      }
+      case OpKind::SExt: {
+        unsigned src_width = _nl.node(n.operands[0]).width;
+        unsigned tb = topBits(src_width);
+        Reg sign = emit(Opcode::Slice, ops(0).back(), kNoReg, kNoReg,
+                        kNoReg, Instruction::packSlice(tb - 1, 1));
+        Reg fill = emit(Opcode::Sub, constReg(0), sign); // 0 or 0xffff
+        out = ops(0);
+        if (tb < 16) {
+            Reg ext = emit(Opcode::Sll, fill, constReg(tb));
+            out.back() = emit(Opcode::Or, out.back(), ext);
+        }
+        out.resize(chunksOf(n.width), fill);
+        maskTop(out, n.width);
+        break;
+      }
+      case OpKind::RedOr: {
+        Reg acc = ops(0)[0];
+        for (size_t c = 1; c < ops(0).size(); ++c)
+            acc = emit(Opcode::Or, acc, ops(0)[c]);
+        out = {emit(Opcode::Sltu, constReg(0), acc)};
+        break;
+      }
+      case OpKind::RedAnd: {
+        unsigned w = _nl.node(n.operands[0]).width;
+        Reg acc = kNoReg;
+        for (size_t c = 0; c < ops(0).size(); ++c) {
+            unsigned len = std::min(16u, w - 16 * unsigned(c));
+            uint16_t full = len >= 16
+                                ? 0xffff
+                                : static_cast<uint16_t>((1u << len) - 1);
+            Reg eq = emit(Opcode::Seq, ops(0)[c], constReg(full));
+            acc = acc == kNoReg ? eq : emit(Opcode::And, acc, eq);
+        }
+        out = {acc};
+        break;
+      }
+      case OpKind::RedXor: {
+        Reg acc = ops(0)[0];
+        for (size_t c = 1; c < ops(0).size(); ++c)
+            acc = emit(Opcode::Xor, acc, ops(0)[c]);
+        for (unsigned step : {8u, 4u, 2u, 1u}) {
+            Reg part = emit(Opcode::Slice, acc, kNoReg, kNoReg, kNoReg,
+                            Instruction::packSlice(step, 16 - step));
+            acc = emit(Opcode::Xor, acc, part);
+        }
+        out = {emit(Opcode::And, acc, constReg(1))};
+        break;
+      }
+    }
+
+    MANTICORE_ASSERT(!out.empty() || n.kind == OpKind::Input,
+                     "node not lowered");
+    MANTICORE_ASSERT(out.size() == chunksOf(n.width),
+                     "chunk count mismatch lowering ",
+                     netlist::opKindName(n.kind));
+}
+
+void
+Lowerer::lowerMemWrites()
+{
+    for (const netlist::MemWrite &w : _nl.memWrites()) {
+        int saved = _memTag;
+        _memTag = static_cast<int>(w.mem);
+        Reg enable = _chunks[w.enable][0];
+        const auto &data = _chunks[w.data];
+
+        if (_out.memAllocs[w.mem].global) {
+            bool saved_priv = _privTag;
+            _privTag = true;
+            auto [lo, hi] = memElementAddrGlobal(w.mem, w.addr);
+            Instruction pred;
+            pred.opcode = Opcode::Pred;
+            pred.rs1 = enable;
+            emitRaw(pred);
+            for (size_t c = 0; c < data.size(); ++c) {
+                Instruction st;
+                st.opcode = Opcode::Gst;
+                st.rs1 = lo;
+                st.rs2 = hi;
+                st.rs3 = data[c];
+                st.imm = static_cast<uint16_t>(c);
+                emitRaw(st);
+            }
+            _privTag = saved_priv;
+        } else {
+            Reg addr = memElementAddr(w.mem, w.addr);
+            Instruction pred;
+            pred.opcode = Opcode::Pred;
+            pred.rs1 = enable;
+            emitRaw(pred);
+            for (size_t c = 0; c < data.size(); ++c) {
+                Instruction st;
+                st.opcode = Opcode::Lst;
+                st.rs1 = addr;
+                st.rs2 = data[c];
+                st.imm = static_cast<uint16_t>(c);
+                emitRaw(st);
+            }
+        }
+        _memTag = saved;
+    }
+}
+
+void
+Lowerer::lowerSideEffects()
+{
+    _privTag = true;
+    Reg zero = constReg(0);
+    Reg one = constReg(1);
+
+    for (const netlist::Display &d : _nl.displays()) {
+        isa::ExceptionInfo info;
+        info.kind = isa::ExceptionKind::Display;
+        info.format = d.format;
+
+        Reg enable = _chunks[d.enable][0];
+        Instruction pred;
+        pred.opcode = Opcode::Pred;
+        pred.rs1 = enable;
+        emitRaw(pred);
+
+        for (NodeId arg : d.args) {
+            const auto &chunks = _chunks[arg];
+            info.argWidths.push_back(_nl.node(arg).width);
+            std::vector<uint64_t> addrs;
+            for (Reg chunk : chunks) {
+                uint64_t addr = _out.globalWordsReserved++;
+                addrs.push_back(addr);
+                Instruction st;
+                st.opcode = Opcode::Gst;
+                st.rs1 = constReg(static_cast<uint16_t>(addr & 0xffff));
+                st.rs2 = constReg(static_cast<uint16_t>(addr >> 16));
+                st.rs3 = chunk;
+                emitRaw(st);
+            }
+            info.argChunkAddrs.push_back(std::move(addrs));
+        }
+
+        uint16_t eid = _out.exceptions.add(std::move(info));
+        Instruction exp;
+        exp.opcode = Opcode::Expect;
+        exp.rs1 = enable;
+        exp.rs2 = zero;
+        exp.imm = eid;
+        emitRaw(exp);
+    }
+
+    for (const netlist::Assert &a : _nl.asserts()) {
+        isa::ExceptionInfo info;
+        info.kind = isa::ExceptionKind::AssertFail;
+        info.format = a.message;
+        uint16_t eid = _out.exceptions.add(std::move(info));
+
+        // Raise when enable && !cond, i.e. when (enable & (cond ^ 1))
+        // differs from zero.
+        _privTag = false;
+        Reg not_cond = emit(Opcode::Xor, _chunks[a.cond][0], one);
+        Reg bad = emit(Opcode::And, _chunks[a.enable][0], not_cond);
+        _privTag = true;
+        Instruction exp;
+        exp.opcode = Opcode::Expect;
+        exp.rs1 = bad;
+        exp.rs2 = zero;
+        exp.imm = eid;
+        emitRaw(exp);
+    }
+
+    for (const netlist::Finish &f : _nl.finishes()) {
+        isa::ExceptionInfo info;
+        info.kind = isa::ExceptionKind::Finish;
+        info.format = "$finish";
+        uint16_t eid = _out.exceptions.add(std::move(info));
+        Instruction exp;
+        exp.opcode = Opcode::Expect;
+        exp.rs1 = _chunks[f.enable][0];
+        exp.rs2 = zero;
+        exp.imm = eid;
+        emitRaw(exp);
+    }
+    _privTag = false;
+}
+
+void
+Lowerer::lowerRegisterCommits()
+{
+    for (size_t r = 0; r < _nl.numRegisters(); ++r) {
+        const netlist::Register &reg = _nl.reg(static_cast<uint32_t>(r));
+        auto &info = _out.rtlRegs[r];
+        const auto &next_chunks = _chunks[reg.next];
+        for (size_t c = 0; c < info.size(); ++c) {
+            info[c].next = next_chunks[c];
+            info[c].movIndex = static_cast<uint32_t>(_out.body.size());
+            Instruction mov;
+            mov.opcode = Opcode::Mov;
+            mov.rd = info[c].current;
+            mov.rs1 = next_chunks[c];
+            emitRaw(mov);
+        }
+    }
+}
+
+LoweredProgram
+Lowerer::run()
+{
+    _nl.validate();
+    _chunks.resize(_nl.numNodes());
+
+    // RTL register current values: persistent boot-initialised regs.
+    _out.rtlRegs.resize(_nl.numRegisters());
+    for (size_t r = 0; r < _nl.numRegisters(); ++r) {
+        const netlist::Register &reg = _nl.reg(static_cast<uint32_t>(r));
+        unsigned nc = chunksOf(reg.width);
+        auto &info = _out.rtlRegs[r];
+        info.resize(nc);
+        for (unsigned c = 0; c < nc; ++c) {
+            Reg cur = newReg();
+            unsigned len = std::min(16u, reg.width - 16 * c);
+            _out.init[cur] = static_cast<uint16_t>(
+                reg.init.slice(16 * c, len).toUint64());
+            info[c].current = cur;
+        }
+    }
+
+    // Memory allocations: scratch-resident memories get symbolic base
+    // registers (patched after partitioning); memories over the
+    // scratch budget live in DRAM behind the privileged cache.
+    for (size_t m = 0; m < _nl.numMemories(); ++m) {
+        const netlist::Memory &mem = _nl.memory(static_cast<uint32_t>(m));
+        MemAlloc alloc;
+        alloc.mem = static_cast<netlist::MemId>(m);
+        alloc.wordsPerElement = chunksOf(mem.width);
+        alloc.words =
+            static_cast<uint64_t>(mem.depth) * alloc.wordsPerElement;
+        alloc.global = alloc.words > _scratchBudget;
+        for (const BitVector &elem : mem.init) {
+            for (unsigned c = 0; c < alloc.wordsPerElement; ++c) {
+                unsigned len = std::min(16u, mem.width - 16 * c);
+                alloc.image.push_back(static_cast<uint16_t>(
+                    elem.slice(16 * c, len).toUint64()));
+            }
+        }
+        if (alloc.global) {
+            alloc.globalBase = _out.globalWordsReserved;
+            _out.globalWordsReserved += alloc.words;
+            for (size_t w = 0; w < alloc.image.size(); ++w)
+                if (alloc.image[w] != 0)
+                    _out.globalInit.emplace_back(alloc.globalBase + w,
+                                                 alloc.image[w]);
+        } else {
+            alloc.baseReg = newReg();
+            _out.init[alloc.baseReg] = 0; // patched after partitioning
+        }
+        _out.memAllocs.push_back(std::move(alloc));
+    }
+
+    for (NodeId id : _nl.topologicalOrder())
+        lowerNode(id);
+
+    lowerMemWrites();
+    lowerSideEffects();
+    lowerRegisterCommits();
+
+    return std::move(_out);
+}
+
+} // namespace
+
+LoweredProgram
+lower(const Netlist &netlist, unsigned scratch_budget)
+{
+    return Lowerer(netlist, scratch_budget).run();
+}
+
+} // namespace manticore::compiler

@@ -1,0 +1,178 @@
+#include "compiler/draft.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace manticore::compiler {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+using isa::kNoReg;
+
+ProgramDraft
+materialize(const LoweredProgram &lowered, const Partition &partition)
+{
+    ProgramDraft draft;
+    draft.constRegs = lowered.constRegs;
+    draft.program.exceptions = lowered.exceptions;
+    draft.program.globalWordsReserved = lowered.globalWordsReserved;
+    draft.program.globalInit = lowered.globalInit;
+
+    // Process order: privileged first so it lands on core 0 at (0,0).
+    std::vector<int> order;
+    if (partition.privileged != -1)
+        order.push_back(partition.privileged);
+    for (size_t p = 0; p < partition.processes.size(); ++p)
+        if (static_cast<int>(p) != partition.privileged)
+            order.push_back(static_cast<int>(p));
+
+    size_t np = order.size();
+    draft.program.processes.resize(np);
+    draft.meta.resize(np);
+
+    // Copy bodies and build ownership/readership of RTL chunks.
+    struct ChunkUse
+    {
+        int owner = -1;
+        Reg next = kNoReg;
+        std::vector<int> readers;
+    };
+    std::unordered_map<Reg, ChunkUse> chunks; // keyed by current reg
+    for (const auto &reg_chunks : lowered.rtlRegs) {
+        for (const auto &c : reg_chunks) {
+            draft.currentRegs.insert(c.current);
+            chunks[c.current].next = c.next;
+        }
+    }
+
+    for (size_t slot = 0; slot < np; ++slot) {
+        const auto &indices = partition.processes[order[slot]];
+        isa::Process &proc = draft.program.processes[slot];
+        proc.id = static_cast<uint32_t>(slot);
+        proc.privileged =
+            partition.privileged != -1 && order[slot] == partition.privileged;
+        for (uint32_t idx : indices) {
+            proc.body.push_back(lowered.body[idx]);
+            draft.meta[slot].memGroup.push_back(lowered.memGroup[idx]);
+            const Instruction &inst = lowered.body[idx];
+            if (inst.opcode == Opcode::Mov) {
+                auto it = chunks.find(inst.rd);
+                MANTICORE_ASSERT(it != chunks.end(),
+                                 "MOV to non-current register");
+                MANTICORE_ASSERT(it->second.owner == -1,
+                                 "chunk owned twice");
+                it->second.owner = static_cast<int>(slot);
+            }
+        }
+    }
+
+    // Readership: any process whose body reads a current register.
+    for (size_t slot = 0; slot < np; ++slot) {
+        std::unordered_set<Reg> seen;
+        for (const Instruction &inst : draft.program.processes[slot].body) {
+            for (Reg s : inst.sources()) {
+                if (!draft.currentRegs.count(s) || seen.count(s))
+                    continue;
+                seen.insert(s);
+                chunks[s].readers.push_back(static_cast<int>(slot));
+            }
+        }
+    }
+
+    // Owner-to-reader SENDs; reader epilogue counts.
+    for (auto &[current, use] : chunks) {
+        MANTICORE_ASSERT(use.owner != -1, "chunk has no owner process");
+        for (int reader : use.readers) {
+            if (reader == use.owner)
+                continue;
+            Instruction send;
+            send.opcode = Opcode::Send;
+            send.target = static_cast<uint32_t>(reader);
+            send.rd = current;     // register in the *target* process
+            send.rs1 = use.next;   // freshly computed value
+            draft.program.processes[use.owner].body.push_back(send);
+            draft.meta[use.owner].memGroup.push_back(-1);
+            draft.program.processes[reader].epilogueLength += 1;
+        }
+    }
+
+    // Boot constants: every source with no in-process definition must
+    // be a boot-initialised register.
+    for (size_t slot = 0; slot < np; ++slot) {
+        isa::Process &proc = draft.program.processes[slot];
+        std::unordered_set<Reg> defined;
+        for (const Instruction &inst : proc.body) {
+            Reg d = inst.opcode == Opcode::Send ? kNoReg
+                                                : inst.destination();
+            if (d != kNoReg)
+                defined.insert(d);
+        }
+        auto need_init = [&](Reg r) {
+            auto it = lowered.init.find(r);
+            if (it != lowered.init.end()) {
+                proc.init.emplace(r, it->second);
+                return true;
+            }
+            return false;
+        };
+        for (const Instruction &inst : proc.body) {
+            if (inst.opcode == Opcode::Mov)
+                need_init(inst.rd); // current value needs a boot value
+            for (Reg s : inst.sources()) {
+                if (defined.count(s))
+                    continue;
+                // Received current values are boot-initialised too.
+                if (!need_init(s))
+                    MANTICORE_PANIC("process ", slot,
+                                    " reads undefined register $r", s,
+                                    " (split leaked a combinational "
+                                    "value across processes)");
+            }
+        }
+        // SEND target registers live in the reader; give the reader a
+        // boot value for them as well (done above via readers loop
+        // because readers always read the register).
+    }
+
+    // Observation map: per RTL register chunk, the owning process and
+    // the (virtual, for now) register holding the current value.
+    draft.regChunkHome.resize(lowered.rtlRegs.size());
+    for (size_t r = 0; r < lowered.rtlRegs.size(); ++r) {
+        for (const auto &c : lowered.rtlRegs[r]) {
+            const ChunkUse &use = chunks.at(c.current);
+            draft.regChunkHome[r].push_back(
+                {static_cast<uint32_t>(use.owner), c.current});
+        }
+    }
+
+    // Scratchpad layout: each memory lives in the unique process that
+    // touches it.
+    std::unordered_map<int, int> mem_owner; // mem id -> slot
+    for (size_t slot = 0; slot < np; ++slot)
+        for (int m : draft.meta[slot].memGroup)
+            if (m >= 0)
+                mem_owner.emplace(m, static_cast<int>(slot));
+    std::vector<uint32_t> scratch_top(np, 0);
+    for (const MemAlloc &alloc : lowered.memAllocs) {
+        if (alloc.global)
+            continue; // DRAM-resident: base folded in as a constant
+        auto it = mem_owner.find(static_cast<int>(alloc.mem));
+        if (it == mem_owner.end())
+            continue; // memory optimised away entirely
+        isa::Process &proc = draft.program.processes[it->second];
+        uint32_t base = scratch_top[it->second];
+        scratch_top[it->second] = base + alloc.words;
+        proc.init[alloc.baseReg] = static_cast<uint16_t>(base);
+        if (proc.scratchInit.size() < base + alloc.image.size())
+            proc.scratchInit.resize(base + alloc.image.size(), 0);
+        std::copy(alloc.image.begin(), alloc.image.end(),
+                  proc.scratchInit.begin() + base);
+    }
+
+    return draft;
+}
+
+} // namespace manticore::compiler

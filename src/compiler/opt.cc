@@ -1,0 +1,406 @@
+#include "compiler/opt.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace manticore::compiler {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+using isa::kNoReg;
+
+namespace {
+
+bool
+isPure(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov:
+      case Opcode::Pred:
+      case Opcode::Lst:
+      case Opcode::Gld:
+      case Opcode::Gst:
+      case Opcode::Expect:
+      case Opcode::Send:
+      case Opcode::Nop:
+      case Opcode::Set:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+isCommutative(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Mul:
+      case Opcode::Mulh:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Seq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Evaluate a pure ALU op over constant operands (carry-in zero). */
+uint16_t
+foldOp(const Instruction &inst, uint16_t a, uint16_t b, uint16_t c)
+{
+    switch (inst.opcode) {
+      case Opcode::Add: return static_cast<uint16_t>(a + b);
+      // A constant rs3 carries no overflow bit, so carry-in is zero.
+      case Opcode::Addc: return static_cast<uint16_t>(a + b);
+      case Opcode::Sub: return static_cast<uint16_t>(a - b);
+      // A constant rs3 carries no borrow bit, so borrow-in is zero.
+      case Opcode::Subb: return static_cast<uint16_t>(a - b);
+      case Opcode::Mul:
+        return static_cast<uint16_t>(static_cast<uint32_t>(a) * b);
+      case Opcode::Mulh:
+        return static_cast<uint16_t>((static_cast<uint32_t>(a) * b) >> 16);
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Sll: return b >= 16 ? 0 : static_cast<uint16_t>(a << b);
+      case Opcode::Srl: return b >= 16 ? 0 : static_cast<uint16_t>(a >> b);
+      case Opcode::Seq: return a == b ? 1 : 0;
+      case Opcode::Sltu: return a < b ? 1 : 0;
+      case Opcode::Slts:
+        return static_cast<int16_t>(a) < static_cast<int16_t>(b) ? 1 : 0;
+      case Opcode::Mux: return (a & 1) ? b : c;
+      case Opcode::Slice: {
+        unsigned lo = inst.sliceLo();
+        unsigned len = inst.sliceLen();
+        uint16_t mask =
+            len >= 16 ? 0xffff : static_cast<uint16_t>((1u << len) - 1);
+        return static_cast<uint16_t>((a >> lo) & mask);
+      }
+      default:
+        MANTICORE_PANIC("unfoldable opcode");
+    }
+}
+
+struct CseKey
+{
+    Opcode opcode;
+    Reg rs1, rs2, rs3, rs4;
+    uint16_t imm;
+
+    bool
+    operator==(const CseKey &o) const
+    {
+        return opcode == o.opcode && rs1 == o.rs1 && rs2 == o.rs2 &&
+               rs3 == o.rs3 && rs4 == o.rs4 && imm == o.imm;
+    }
+};
+
+struct CseKeyHash
+{
+    size_t
+    operator()(const CseKey &k) const
+    {
+        size_t h = static_cast<size_t>(k.opcode);
+        auto mix = [&](size_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        };
+        mix(k.rs1);
+        mix(k.rs2);
+        mix(k.rs3);
+        mix(k.rs4);
+        mix(k.imm);
+        return h;
+    }
+};
+
+class Optimizer
+{
+  public:
+    explicit Optimizer(LoweredProgram &prog) : _prog(prog)
+    {
+        for (Reg r : prog.constRegs)
+            _pool.emplace(prog.init.at(r), r);
+    }
+
+    OptStats
+    run()
+    {
+        _stats.instructionsBefore = _prog.body.size();
+        // Registers whose carry bit is consumed: folding them away
+        // would lose the carry, so they are exempt.
+        for (const Instruction &inst : _prog.body)
+            if (inst.readsCarry() && inst.rs3 != kNoReg)
+                _carryRead.insert(inst.rs3);
+
+        foldAndCse();
+        dce();
+        rebuildRegChunkIndices();
+
+        _stats.instructionsAfter = _prog.body.size();
+        return _stats;
+    }
+
+  private:
+    Reg
+    canon(Reg r) const
+    {
+        auto it = _replace.find(r);
+        return it == _replace.end() ? r : it->second;
+    }
+
+    bool isConst(Reg r) const { return _prog.constRegs.count(r) != 0; }
+    uint16_t constVal(Reg r) const { return _prog.init.at(r); }
+
+    Reg
+    makeConst(uint16_t v)
+    {
+        auto it = _pool.find(v);
+        if (it != _pool.end())
+            return it->second;
+        Reg r = _prog.nextVirtualReg++;
+        _prog.init[r] = v;
+        _prog.constRegs.insert(r);
+        _pool[v] = r;
+        return r;
+    }
+
+    /** Algebraic simplification; returns the replacement register or
+     *  kNoReg when the instruction must stay. */
+    Reg
+    simplify(const Instruction &inst)
+    {
+        bool carry_used = _carryRead.count(inst.rd) != 0;
+        auto cv = [&](Reg r) { return constVal(r); };
+
+        switch (inst.opcode) {
+          case Opcode::Mux:
+            if (isConst(inst.rs1))
+                return (cv(inst.rs1) & 1) ? inst.rs2 : inst.rs3;
+            if (inst.rs2 == inst.rs3)
+                return inst.rs2;
+            break;
+          case Opcode::And:
+            if (isConst(inst.rs2)) {
+                if (cv(inst.rs2) == 0)
+                    return makeConst(0);
+                if (cv(inst.rs2) == 0xffff)
+                    return inst.rs1;
+            }
+            if (isConst(inst.rs1)) {
+                if (cv(inst.rs1) == 0)
+                    return makeConst(0);
+                if (cv(inst.rs1) == 0xffff)
+                    return inst.rs2;
+            }
+            if (inst.rs1 == inst.rs2)
+                return inst.rs1;
+            break;
+          case Opcode::Or:
+          case Opcode::Xor:
+            if (isConst(inst.rs2) && cv(inst.rs2) == 0)
+                return inst.rs1;
+            if (isConst(inst.rs1) && cv(inst.rs1) == 0)
+                return inst.rs2;
+            if (inst.opcode == Opcode::Or && inst.rs1 == inst.rs2)
+                return inst.rs1;
+            break;
+          case Opcode::Add:
+            if (carry_used)
+                break;
+            if (isConst(inst.rs2) && cv(inst.rs2) == 0)
+                return inst.rs1;
+            if (isConst(inst.rs1) && cv(inst.rs1) == 0)
+                return inst.rs2;
+            break;
+          case Opcode::Sub:
+            if (carry_used)
+                break;
+            if (isConst(inst.rs2) && cv(inst.rs2) == 0)
+                return inst.rs1;
+            break;
+          case Opcode::Mul:
+            if (isConst(inst.rs2) && cv(inst.rs2) == 1)
+                return inst.rs1;
+            if (isConst(inst.rs1) && cv(inst.rs1) == 1)
+                return inst.rs2;
+            if ((isConst(inst.rs1) && cv(inst.rs1) == 0) ||
+                (isConst(inst.rs2) && cv(inst.rs2) == 0))
+                return makeConst(0);
+            break;
+          case Opcode::Slice:
+            if (inst.sliceLo() == 0 && inst.sliceLen() >= 16)
+                return inst.rs1;
+            break;
+          default:
+            break;
+        }
+        return kNoReg;
+    }
+
+    void
+    foldAndCse()
+    {
+        std::vector<Instruction> new_body;
+        std::vector<int> new_mem;
+        std::vector<bool> new_priv;
+        std::unordered_map<CseKey, Reg, CseKeyHash> table;
+
+        for (size_t i = 0; i < _prog.body.size(); ++i) {
+            Instruction inst = _prog.body[i];
+            if (inst.rs1 != kNoReg)
+                inst.rs1 = canon(inst.rs1);
+            if (inst.rs2 != kNoReg)
+                inst.rs2 = canon(inst.rs2);
+            if (inst.rs3 != kNoReg)
+                inst.rs3 = canon(inst.rs3);
+            if (inst.rs4 != kNoReg)
+                inst.rs4 = canon(inst.rs4);
+
+            if (!isPure(inst.opcode)) {
+                new_body.push_back(inst);
+                new_mem.push_back(_prog.memGroup[i]);
+                new_priv.push_back(_prog.privileged[i]);
+                continue;
+            }
+
+            // Full constant folding (carry consumers exempt; ADDC with
+            // a constant rs3 has carry-in 0 by definition).
+            bool all_const = true;
+            for (Reg s : inst.sources())
+                all_const &= isConst(s);
+            bool carry_used = _carryRead.count(inst.rd) != 0;
+            if (all_const && !carry_used && inst.opcode != Opcode::Lld &&
+                inst.opcode != Opcode::Cust) {
+                uint16_t a = inst.rs1 != kNoReg ? constVal(inst.rs1) : 0;
+                uint16_t b = inst.rs2 != kNoReg ? constVal(inst.rs2) : 0;
+                uint16_t c = inst.rs3 != kNoReg ? constVal(inst.rs3) : 0;
+                _replace[inst.rd] = makeConst(foldOp(inst, a, b, c));
+                ++_stats.folded;
+                continue;
+            }
+
+            if (!carry_used) {
+                Reg simple = simplify(inst);
+                if (simple != kNoReg) {
+                    _replace[inst.rd] = simple;
+                    ++_stats.folded;
+                    continue;
+                }
+            }
+
+            CseKey key{inst.opcode, inst.rs1, inst.rs2, inst.rs3,
+                       inst.rs4, inst.imm};
+            if (isCommutative(inst.opcode) && key.rs2 < key.rs1)
+                std::swap(key.rs1, key.rs2);
+            auto it = table.find(key);
+            if (it != table.end()) {
+                _replace[inst.rd] = it->second;
+                ++_stats.csed;
+                continue;
+            }
+            table.emplace(key, inst.rd);
+            new_body.push_back(inst);
+            new_mem.push_back(_prog.memGroup[i]);
+            new_priv.push_back(_prog.privileged[i]);
+        }
+
+        _prog.body = std::move(new_body);
+        _prog.memGroup = std::move(new_mem);
+        _prog.privileged = std::move(new_priv);
+
+        // Remap bookkeeping that refers to SSA values.
+        for (auto &chunks : _prog.rtlRegs)
+            for (auto &c : chunks)
+                c.next = canon(c.next);
+    }
+
+    void
+    dce()
+    {
+        std::unordered_map<Reg, size_t> def;
+        for (size_t i = 0; i < _prog.body.size(); ++i) {
+            Reg d = _prog.body[i].destination();
+            if (d != kNoReg)
+                def[d] = i;
+        }
+
+        std::vector<bool> live(_prog.body.size(), false);
+        std::vector<size_t> work;
+        for (size_t i = 0; i < _prog.body.size(); ++i) {
+            Opcode op = _prog.body[i].opcode;
+            if (!isPure(op)) {
+                live[i] = true;
+                work.push_back(i);
+            }
+        }
+        while (!work.empty()) {
+            size_t i = work.back();
+            work.pop_back();
+            for (Reg s : _prog.body[i].sources()) {
+                auto it = def.find(s);
+                if (it != def.end() && !live[it->second]) {
+                    live[it->second] = true;
+                    work.push_back(it->second);
+                }
+            }
+        }
+
+        std::vector<Instruction> new_body;
+        std::vector<int> new_mem;
+        std::vector<bool> new_priv;
+        for (size_t i = 0; i < _prog.body.size(); ++i) {
+            if (!live[i]) {
+                ++_stats.deadRemoved;
+                continue;
+            }
+            new_body.push_back(_prog.body[i]);
+            new_mem.push_back(_prog.memGroup[i]);
+            new_priv.push_back(_prog.privileged[i]);
+        }
+        _prog.body = std::move(new_body);
+        _prog.memGroup = std::move(new_mem);
+        _prog.privileged = std::move(new_priv);
+    }
+
+    void
+    rebuildRegChunkIndices()
+    {
+        std::unordered_map<Reg, uint32_t> mov_of;
+        for (size_t i = 0; i < _prog.body.size(); ++i)
+            if (_prog.body[i].opcode == Opcode::Mov)
+                mov_of[_prog.body[i].rd] = static_cast<uint32_t>(i);
+        for (auto &chunks : _prog.rtlRegs) {
+            for (auto &c : chunks) {
+                auto it = mov_of.find(c.current);
+                MANTICORE_ASSERT(it != mov_of.end(),
+                                 "register commit MOV lost in opt");
+                c.movIndex = it->second;
+            }
+        }
+    }
+
+    LoweredProgram &_prog;
+    OptStats _stats;
+    std::unordered_map<Reg, Reg> _replace;
+    std::unordered_map<uint16_t, Reg> _pool;
+    std::unordered_set<Reg> _carryRead;
+};
+
+} // namespace
+
+OptStats
+optimize(LoweredProgram &program)
+{
+    // Seed the constant pool with existing constants so folding reuses
+    // them instead of minting duplicates.
+    Optimizer opt(program);
+    return opt.run();
+}
+
+} // namespace manticore::compiler

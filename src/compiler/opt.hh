@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Backend optimisations on the monolithic lowered program (§6 step 4):
+ * constant folding, algebraic simplification, common-subexpression
+ * elimination, and dead-code elimination.  Run before partitioning so
+ * the parallelisation cost model sees the real instruction counts.
+ */
+
+#ifndef MANTICORE_COMPILER_OPT_HH
+#define MANTICORE_COMPILER_OPT_HH
+
+#include "compiler/lowered.hh"
+
+namespace manticore::compiler {
+
+struct OptStats
+{
+    size_t instructionsBefore = 0;
+    size_t instructionsAfter = 0;
+    size_t folded = 0;
+    size_t csed = 0;
+    size_t deadRemoved = 0;
+};
+
+/** Run constant folding + CSE to a fixpoint, then DCE, in place. */
+OptStats optimize(LoweredProgram &program);
+
+} // namespace manticore::compiler
+
+#endif // MANTICORE_COMPILER_OPT_HH

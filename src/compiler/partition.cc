@@ -1,0 +1,585 @@
+#include "compiler/partition.hh"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace manticore::compiler {
+
+using isa::Opcode;
+using isa::Reg;
+using isa::kNoReg;
+
+namespace {
+
+/** Union-find over seed ids. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : _parent(n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            _parent[i] = static_cast<int>(i);
+    }
+
+    int
+    find(int x)
+    {
+        while (_parent[x] != x) {
+            _parent[x] = _parent[_parent[x]];
+            x = _parent[x];
+        }
+        return x;
+    }
+
+    bool
+    unite(int a, int b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        _parent[b] = a;
+        return true;
+    }
+
+  private:
+    std::vector<int> _parent;
+};
+
+std::vector<uint32_t>
+sortedUnion(const std::vector<uint32_t> &a, const std::vector<uint32_t> &b)
+{
+    std::vector<uint32_t> out;
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out));
+    return out;
+}
+
+size_t
+unionSize(const std::vector<uint32_t> &a, const std::vector<uint32_t> &b)
+{
+    size_t i = 0, j = 0, n = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) {
+            ++i;
+            ++j;
+        } else if (a[i] < b[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+        ++n;
+    }
+    return n + (a.size() - i) + (b.size() - j);
+}
+
+/** The splitter: seeds, anchored-union fixpoint, cones. */
+class Splitter
+{
+  public:
+    explicit Splitter(const LoweredProgram &prog) : _prog(prog) {}
+
+    struct Result
+    {
+        std::vector<std::vector<uint32_t>> cones;
+        int privileged = -1;
+    };
+
+    Result
+    run()
+    {
+        buildSeeds();
+        buildDefMap();
+        closeOverAnchors();
+        return collect();
+    }
+
+  private:
+    void
+    buildSeeds()
+    {
+        size_t n = _prog.body.size();
+        _anchor.assign(n, -1);
+
+        // One seed per RTL register (all chunk MOVs together: the
+        // paper splits per sink register).
+        for (const auto &chunks : _prog.rtlRegs) {
+            int seed = static_cast<int>(_seedMembers.size());
+            _seedMembers.emplace_back();
+            for (const auto &c : chunks) {
+                _seedMembers.back().push_back(c.movIndex);
+                _anchor[c.movIndex] = seed;
+            }
+        }
+
+        // One seed per memory: every instruction tagged with it.
+        std::unordered_map<int, int> mem_seed;
+        for (size_t i = 0; i < n; ++i) {
+            int m = _prog.memGroup[i];
+            if (m < 0)
+                continue;
+            auto it = mem_seed.find(m);
+            int seed;
+            if (it == mem_seed.end()) {
+                seed = static_cast<int>(_seedMembers.size());
+                _seedMembers.emplace_back();
+                mem_seed[m] = seed;
+            } else {
+                seed = it->second;
+            }
+            _seedMembers[seed].push_back(static_cast<uint32_t>(i));
+            MANTICORE_ASSERT(_anchor[i] == -1, "doubly anchored instr");
+            _anchor[i] = seed;
+        }
+
+        // One seed for all privileged instructions.  DRAM-resident
+        // memory accesses are both memory-anchored and privileged; the
+        // memory seed keeps the instruction and the two seeds are
+        // united before the closure fixpoint.
+        int priv_seed = -1;
+        for (size_t i = 0; i < n; ++i) {
+            if (!_prog.privileged[i])
+                continue;
+            if (priv_seed == -1) {
+                priv_seed = static_cast<int>(_seedMembers.size());
+                _seedMembers.emplace_back();
+            }
+            if (_anchor[i] != -1) {
+                _pendingUnions.emplace_back(_anchor[i], priv_seed);
+                continue;
+            }
+            _seedMembers[priv_seed].push_back(static_cast<uint32_t>(i));
+            _anchor[i] = priv_seed;
+        }
+        _privSeed = priv_seed;
+    }
+
+    void
+    buildDefMap()
+    {
+        for (size_t i = 0; i < _prog.body.size(); ++i) {
+            Reg d = _prog.body[i].destination();
+            if (d != kNoReg && _prog.body[i].opcode != Opcode::Mov)
+                _def[d] = static_cast<uint32_t>(i);
+        }
+        // MOV destinations are the persistent current-value registers;
+        // readers of those must NOT pull the MOV into their cone (the
+        // value crosses the Vcycle boundary via SEND instead), so MOVs
+        // are deliberately absent from the def map.
+    }
+
+    /** Backward closure of one root's members; records anchor unions.
+     *  Returns true if any union was performed. */
+    bool
+    closeRoot(UnionFind &uf, int root, std::vector<uint32_t> *out)
+    {
+        bool changed = false;
+        std::vector<char> visited(_prog.body.size(), 0);
+        std::vector<uint32_t> stack;
+        for (size_t s = 0; s < _seedMembers.size(); ++s) {
+            if (uf.find(static_cast<int>(s)) != root)
+                continue;
+            for (uint32_t idx : _seedMembers[s]) {
+                if (!visited[idx]) {
+                    visited[idx] = 1;
+                    stack.push_back(idx);
+                }
+            }
+        }
+        std::vector<uint32_t> cone;
+        while (!stack.empty()) {
+            uint32_t idx = stack.back();
+            stack.pop_back();
+            cone.push_back(idx);
+            if (_anchor[idx] != -1 &&
+                uf.find(_anchor[idx]) != root) {
+                changed |= uf.unite(root, _anchor[idx]);
+                // Its members join on the next fixpoint iteration.
+            }
+            for (Reg s : _prog.body[idx].sources()) {
+                auto it = _def.find(s);
+                if (it == _def.end())
+                    continue; // init register (constant/current/base)
+                uint32_t d = it->second;
+                if (!visited[d]) {
+                    visited[d] = 1;
+                    stack.push_back(d);
+                }
+            }
+        }
+        if (out) {
+            std::sort(cone.begin(), cone.end());
+            *out = std::move(cone);
+        }
+        return changed;
+    }
+
+    void
+    closeOverAnchors()
+    {
+        _uf = std::make_unique<UnionFind>(_seedMembers.size());
+        for (auto [a, b] : _pendingUnions)
+            _uf->unite(a, b);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t s = 0; s < _seedMembers.size(); ++s) {
+                int root = _uf->find(static_cast<int>(s));
+                if (root != static_cast<int>(s))
+                    continue;
+                changed |= closeRoot(*_uf, root, nullptr);
+            }
+        }
+    }
+
+    Result
+    collect()
+    {
+        Result res;
+        std::unordered_map<int, int> root_to_proc;
+        for (size_t s = 0; s < _seedMembers.size(); ++s) {
+            int root = _uf->find(static_cast<int>(s));
+            if (root != static_cast<int>(s))
+                continue;
+            std::vector<uint32_t> cone;
+            closeRoot(*_uf, root, &cone);
+            root_to_proc[root] = static_cast<int>(res.cones.size());
+            res.cones.push_back(std::move(cone));
+        }
+        if (_privSeed != -1)
+            res.privileged = root_to_proc.at(_uf->find(_privSeed));
+        return res;
+    }
+
+    const LoweredProgram &_prog;
+    std::vector<std::vector<uint32_t>> _seedMembers;
+    std::vector<int> _anchor;
+    std::vector<std::pair<int, int>> _pendingUnions;
+    std::unordered_map<Reg, uint32_t> _def;
+    std::unique_ptr<UnionFind> _uf;
+    int _privSeed = -1;
+};
+
+/** Merging machinery shared by both algorithms. */
+class Merger
+{
+  public:
+    Merger(const LoweredProgram &prog, Splitter::Result split)
+        : _prog(prog)
+    {
+        _instrs = std::move(split.cones);
+        _alive.assign(_instrs.size(), true);
+        _privProc = split.privileged;
+        buildCommunication();
+    }
+
+    size_t splitEdges() const { return _splitEdges; }
+
+    /** Cost model: instructions + sends (§6.1; NOPs excluded because
+     *  scheduling has not happened yet). */
+    size_t
+    cost(int p) const
+    {
+        return _instrs[p].size() + sends(p);
+    }
+
+    size_t
+    sends(int p) const
+    {
+        size_t n = 0;
+        for (uint32_t chunk : _ownedChunks[p])
+            for (int r : _readers[chunk])
+                if (r != p)
+                    ++n;
+        return n;
+    }
+
+    size_t
+    mergedCost(int a, int b) const
+    {
+        size_t instrs = unionSize(_instrs[a], _instrs[b]);
+        size_t s = 0;
+        for (int p : {a, b})
+            for (uint32_t chunk : _ownedChunks[p])
+                for (int r : _readers[chunk])
+                    if (r != a && r != b)
+                        ++s;
+        return instrs + s;
+    }
+
+    void
+    merge(int a, int b)
+    {
+        MANTICORE_ASSERT(a != b && _alive[a] && _alive[b], "bad merge");
+        _instrs[a] = sortedUnion(_instrs[a], _instrs[b]);
+        for (uint32_t chunk : _ownedChunks[b])
+            _ownedChunks[a].push_back(chunk);
+        _ownedChunks[b].clear();
+        // Re-point b's readership at a.
+        for (uint32_t chunk : _readChunks[b]) {
+            auto &rd = _readers[chunk];
+            rd.erase(std::remove(rd.begin(), rd.end(), b), rd.end());
+            if (std::find(rd.begin(), rd.end(), a) == rd.end())
+                rd.push_back(a);
+        }
+        _readChunks[a].insert(_readChunks[a].end(),
+                              _readChunks[b].begin(),
+                              _readChunks[b].end());
+        std::sort(_readChunks[a].begin(), _readChunks[a].end());
+        _readChunks[a].erase(std::unique(_readChunks[a].begin(),
+                                         _readChunks[a].end()),
+                             _readChunks[a].end());
+        _readChunks[b].clear();
+        for (int n : _neighbors[b]) {
+            auto &nn = _neighbors[n];
+            nn.erase(b);
+            if (n != a) {
+                nn.insert(a);
+                _neighbors[a].insert(n);
+            }
+        }
+        _neighbors[a].erase(a);
+        _neighbors[b].clear();
+        _alive[b] = false;
+        if (_privProc == b)
+            _privProc = a;
+        --_aliveCount;
+    }
+
+    size_t aliveCount() const { return _aliveCount; }
+    bool alive(int p) const { return _alive[p]; }
+    size_t numProcs() const { return _instrs.size(); }
+    const std::unordered_set<int> &neighbors(int p) const
+    {
+        return _neighbors[p];
+    }
+    int privileged() const { return _privProc; }
+
+    Partition
+    finish(MergeAlgo, size_t split_count)
+    {
+        Partition part;
+        part.stats.splitProcesses = split_count;
+        part.stats.splitEdges = _splitEdges;
+        std::unordered_map<int, int> remap;
+        for (size_t p = 0; p < _instrs.size(); ++p) {
+            if (!_alive[p])
+                continue;
+            remap[static_cast<int>(p)] =
+                static_cast<int>(part.processes.size());
+            part.processes.push_back(std::move(_instrs[p]));
+            size_t c = part.processes.back().size() +
+                       sends(static_cast<int>(p));
+            part.stats.estimatedMaxCost =
+                std::max(part.stats.estimatedMaxCost, c);
+            part.stats.estimatedSends += sends(static_cast<int>(p));
+        }
+        part.stats.mergedProcesses = part.processes.size();
+        if (_privProc != -1)
+            part.privileged = remap.at(_privProc);
+        return part;
+    }
+
+  private:
+    void
+    buildCommunication()
+    {
+        // Chunk k (dense id) = RTL register chunk; owner = process
+        // containing its MOV; readers = processes reading `current`.
+        std::unordered_map<Reg, uint32_t> chunk_of_current;
+        std::unordered_map<uint32_t, uint32_t> chunk_of_mov;
+        uint32_t next_chunk = 0;
+        for (const auto &chunks : _prog.rtlRegs) {
+            for (const auto &c : chunks) {
+                chunk_of_current[c.current] = next_chunk;
+                chunk_of_mov[c.movIndex] = next_chunk;
+                ++next_chunk;
+            }
+        }
+        _readers.assign(next_chunk, {});
+        _ownedChunks.assign(_instrs.size(), {});
+        _readChunks.assign(_instrs.size(), {});
+        _neighbors.assign(_instrs.size(), {});
+        std::vector<int> owner(next_chunk, -1);
+
+        for (size_t p = 0; p < _instrs.size(); ++p) {
+            for (uint32_t idx : _instrs[p]) {
+                auto mv = chunk_of_mov.find(idx);
+                if (mv != chunk_of_mov.end() &&
+                    _prog.body[idx].opcode == Opcode::Mov)
+                    owner[mv->second] = static_cast<int>(p);
+                for (Reg s : _prog.body[idx].sources()) {
+                    auto it = chunk_of_current.find(s);
+                    if (it != chunk_of_current.end()) {
+                        auto &rd = _readers[it->second];
+                        if (std::find(rd.begin(), rd.end(),
+                                      static_cast<int>(p)) == rd.end()) {
+                            rd.push_back(static_cast<int>(p));
+                            _readChunks[p].push_back(it->second);
+                        }
+                    }
+                }
+            }
+        }
+
+        for (uint32_t c = 0; c < next_chunk; ++c) {
+            MANTICORE_ASSERT(owner[c] != -1, "chunk without owner");
+            _ownedChunks[owner[c]].push_back(c);
+            for (int r : _readers[c]) {
+                if (r != owner[c]) {
+                    _neighbors[owner[c]].insert(r);
+                    _neighbors[r].insert(owner[c]);
+                    ++_splitEdges;
+                }
+            }
+        }
+        _aliveCount = _instrs.size();
+    }
+
+    const LoweredProgram &_prog;
+    std::vector<std::vector<uint32_t>> _instrs;
+    std::vector<bool> _alive;
+    size_t _aliveCount = 0;
+    int _privProc = -1;
+    /// Per dense chunk id: reader process ids.
+    std::vector<std::vector<int>> _readers;
+    /// Per process: chunks it owns / chunks it reads.
+    std::vector<std::vector<uint32_t>> _ownedChunks;
+    std::vector<std::vector<uint32_t>> _readChunks;
+    std::vector<std::unordered_set<int>> _neighbors;
+    size_t _splitEdges = 0;
+};
+
+void
+mergeBalanced(Merger &m, unsigned num_cores)
+{
+    while (m.aliveCount() > 1) {
+        // Pick the cheapest alive process.
+        int best_p = -1;
+        size_t best_cost = 0;
+        size_t max_cost = 0;
+        for (size_t p = 0; p < m.numProcs(); ++p) {
+            if (!m.alive(static_cast<int>(p)))
+                continue;
+            size_t c = m.cost(static_cast<int>(p));
+            max_cost = std::max(max_cost, c);
+            if (best_p == -1 || c < best_cost) {
+                best_p = static_cast<int>(p);
+                best_cost = c;
+            }
+        }
+
+        // Candidate partners: communicating neighbours, plus the
+        // smallest non-neighbour.  Communication-aware merging wants
+        // neighbours (shared values stop being SENDs), but in
+        // hub-and-spoke designs a process's only neighbour can be a
+        // huge hub; offering one cheap outsider lets the cost model
+        // avoid accreting everything onto the hub.
+        int best_q = -1;
+        size_t best_merged = 0;
+        auto consider = [&](int q) {
+            if (q == best_p || !m.alive(q))
+                return;
+            size_t c = m.mergedCost(best_p, q);
+            if (best_q == -1 || c < best_merged) {
+                best_q = q;
+                best_merged = c;
+            }
+        };
+        for (int q : m.neighbors(best_p))
+            consider(q);
+        int smallest_other = -1;
+        size_t smallest_cost = 0;
+        for (size_t q = 0; q < m.numProcs(); ++q) {
+            int qi = static_cast<int>(q);
+            if (qi == best_p || !m.alive(qi) ||
+                m.neighbors(best_p).count(qi))
+                continue;
+            size_t c = m.cost(qi);
+            if (smallest_other == -1 || c < smallest_cost) {
+                smallest_other = qi;
+                smallest_cost = c;
+            }
+        }
+        if (smallest_other != -1)
+            consider(smallest_other);
+        if (best_q == -1)
+            break;
+
+        if (m.aliveCount() > num_cores) {
+            m.merge(best_p, best_q);
+        } else if (best_merged <= max_cost) {
+            // Past the core budget, keep merging only while it cannot
+            // create a new straggler (§6.1: merging can continue when
+            // it reduces execution time).
+            m.merge(best_p, best_q);
+        } else {
+            break;
+        }
+    }
+}
+
+void
+mergeLpt(Merger &m, unsigned num_cores)
+{
+    // Longest-processing-time-first bin packing, oblivious to
+    // communication: repeatedly place the largest un-binned process
+    // into the least-loaded bin (a bin is represented by the first
+    // process merged into it).
+    std::vector<int> order;
+    for (size_t p = 0; p < m.numProcs(); ++p)
+        if (m.alive(static_cast<int>(p)))
+            order.push_back(static_cast<int>(p));
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return m.cost(a) > m.cost(b);
+    });
+
+    size_t bins = std::min<size_t>(num_cores, order.size());
+    std::vector<int> bin_repr;
+    std::vector<size_t> bin_load;
+    for (int p : order) {
+        if (bin_repr.size() < bins) {
+            bin_repr.push_back(p);
+            bin_load.push_back(m.cost(p));
+            continue;
+        }
+        size_t best = 0;
+        for (size_t b = 1; b < bin_repr.size(); ++b)
+            if (bin_load[b] < bin_load[best])
+                best = b;
+        // LPT uses the linear cost estimate when packing.
+        bin_load[best] += m.cost(p);
+        m.merge(bin_repr[best], p);
+    }
+}
+
+} // namespace
+
+Partition
+partition(const LoweredProgram &program, unsigned num_cores,
+          MergeAlgo algo)
+{
+    MANTICORE_ASSERT(num_cores >= 1, "need at least one core");
+    Splitter splitter(program);
+    Splitter::Result split = splitter.run();
+    MANTICORE_ASSERT(!split.cones.empty(), "design has no sinks");
+    size_t split_count = split.cones.size();
+
+    Merger merger(program, std::move(split));
+    if (algo == MergeAlgo::Balanced)
+        mergeBalanced(merger, num_cores);
+    else
+        mergeLpt(merger, num_cores);
+
+    Partition part = merger.finish(algo, split_count);
+    MANTICORE_ASSERT(part.processes.size() <= num_cores,
+                     "merge produced too many processes");
+    return part;
+}
+
+} // namespace manticore::compiler

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Parallelisation (§6.1 of the paper): split the monolithic lowered
+ * process into a maximal set of tiny processes (one backward cone per
+ * sink, with node duplication), then merge them down to the core
+ * count.
+ *
+ * Splitting constraints mirror the paper: all instructions touching
+ * the same memory stay together, all privileged instructions stay
+ * together, and register-commit MOVs are owned by exactly one process.
+ * Cross-process dataflow is therefore restricted to end-of-Vcycle
+ * register updates, which materialise as SEND instructions.
+ *
+ * Two merge strategies are provided: the communication-aware balanced
+ * heuristic (B) the paper contributes, and the communication-oblivious
+ * longest-processing-time-first baseline (L) it compares against
+ * (§7.8.1 / Fig. 9 / Table 4).
+ */
+
+#ifndef MANTICORE_COMPILER_PARTITION_HH
+#define MANTICORE_COMPILER_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/lowered.hh"
+
+namespace manticore::compiler {
+
+enum class MergeAlgo
+{
+    Balanced, ///< communication-aware balanced merging (B)
+    Lpt,      ///< longest-processing-time-first bin packing (L)
+};
+
+struct PartitionStats
+{
+    /// Split-graph size before merging (Table 8's |V| and |E|).
+    size_t splitProcesses = 0;
+    size_t splitEdges = 0;
+    /// After merging.
+    size_t mergedProcesses = 0;
+    /// Estimated SEND count of the final partition (Table 4).
+    size_t estimatedSends = 0;
+    /// Estimated cost (instructions + sends) of the straggler.
+    size_t estimatedMaxCost = 0;
+};
+
+struct Partition
+{
+    /// Per final process: sorted indices into LoweredProgram::body.
+    /// Free instructions may appear in several processes (duplication).
+    std::vector<std::vector<uint32_t>> processes;
+    /// Index of the process holding privileged instructions (-1 when
+    /// the design has none).
+    int privileged = -1;
+    PartitionStats stats;
+};
+
+/** Split and merge; num_cores bounds the final process count. */
+Partition partition(const LoweredProgram &program, unsigned num_cores,
+                    MergeAlgo algo);
+
+} // namespace manticore::compiler
+
+#endif // MANTICORE_COMPILER_PARTITION_HH

@@ -1,0 +1,185 @@
+#include "compiler/regalloc.hh"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace manticore::compiler {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+using isa::kNoReg;
+
+namespace {
+
+struct ProcAlloc
+{
+    std::unordered_map<Reg, Reg> map; ///< virtual -> machine
+    unsigned used = 0;
+};
+
+} // namespace
+
+RegAllocStats
+allocateRegisters(ProgramDraft &draft, const isa::MachineConfig &config)
+{
+    RegAllocStats stats;
+    isa::Program &program = draft.program;
+    std::vector<ProcAlloc> allocs(program.processes.size());
+
+    for (size_t p = 0; p < program.processes.size(); ++p) {
+        isa::Process &proc = program.processes[p];
+        ProcAlloc &pa = allocs[p];
+
+        // 1. Persistent boot registers, in sorted order for
+        //    determinism.
+        std::vector<Reg> boot;
+        for (const auto &[reg, v] : proc.init)
+            boot.push_back(reg);
+        std::sort(boot.begin(), boot.end());
+        Reg next_machine = 0;
+        for (Reg r : boot)
+            pa.map[r] = next_machine++;
+        stats.persistentRegs =
+            std::max(stats.persistentRegs, next_machine);
+
+        // 2. Definition and last-use slots of SSA temporaries
+        //    (slot == body index after scheduling).
+        std::unordered_map<Reg, uint32_t> def_slot;
+        std::unordered_map<Reg, uint32_t> last_use;
+        std::unordered_map<Reg, std::vector<uint32_t>> current_reads;
+        for (size_t i = 0; i < proc.body.size(); ++i) {
+            const Instruction &inst = proc.body[i];
+            for (Reg s : inst.sources()) {
+                last_use[s] = static_cast<uint32_t>(i);
+                if (draft.currentRegs.count(s))
+                    current_reads[s].push_back(static_cast<uint32_t>(i));
+            }
+            Reg d = inst.opcode == Opcode::Send ? kNoReg
+                                                : inst.destination();
+            if (d != kNoReg && inst.opcode != Opcode::Mov &&
+                !proc.init.count(d))
+                def_slot.emplace(d, static_cast<uint32_t>(i));
+        }
+
+        // 3. Current/next coalescing: MOV rd (current) and rs1 (next)
+        //    share a register when all current readers issue before the
+        //    next value's writeback commits.
+        std::unordered_map<Reg, Reg> coalesced; // next -> machine reg
+        for (size_t i = 0; i < proc.body.size(); ++i) {
+            Instruction &inst = proc.body[i];
+            if (inst.opcode != Opcode::Mov)
+                continue;
+            Reg current = inst.rd;
+            Reg next = inst.rs1;
+            if (proc.init.count(next) || coalesced.count(next))
+                continue; // constant next, or already aliased
+            auto ds = def_slot.find(next);
+            if (ds == def_slot.end())
+                continue;
+            // Every reader of the current value must issue before the
+            // next value is even defined.  (The hardware would allow
+            // readers up to def+latency — the writeback window — but
+            // the in-order functional interpreter would observe the
+            // new value there, so we keep the engines equivalent.)
+            bool ok = true;
+            auto cr = current_reads.find(current);
+            if (cr != current_reads.end())
+                for (uint32_t reader : cr->second)
+                    ok &= reader < ds->second;
+            if (!ok)
+                continue;
+            coalesced[next] = pa.map.at(current);
+            ++stats.coalescedMovs;
+            inst = Instruction{}; // NOP; slot preserved
+        }
+        for (auto &[next, machine] : coalesced) {
+            pa.map[next] = machine;
+            def_slot.erase(next);
+        }
+
+        // 4. Linear scan over remaining temporaries in slot order.
+        std::vector<std::pair<uint32_t, Reg>> defs;
+        for (auto &[reg, slot] : def_slot)
+            defs.emplace_back(slot, reg);
+        std::sort(defs.begin(), defs.end());
+
+        // Active intervals ordered by expiry (last use).
+        std::priority_queue<std::pair<uint32_t, Reg>,
+                            std::vector<std::pair<uint32_t, Reg>>,
+                            std::greater<>>
+            active;
+        std::vector<Reg> free_pool;
+        unsigned high_water = next_machine;
+
+        for (auto [slot, reg] : defs) {
+            while (!active.empty() && active.top().first <= slot) {
+                free_pool.push_back(active.top().second);
+                active.pop();
+            }
+            Reg machine;
+            if (!free_pool.empty()) {
+                machine = free_pool.back();
+                free_pool.pop_back();
+            } else {
+                machine = high_water++;
+            }
+            pa.map[reg] = machine;
+            auto lu = last_use.find(reg);
+            uint32_t expiry = lu == last_use.end() ? slot : lu->second;
+            active.emplace(expiry, machine);
+        }
+        pa.used = high_water;
+        stats.maxMachineRegs = std::max(stats.maxMachineRegs, high_water);
+        if (high_water > config.regFileSize)
+            MANTICORE_FATAL("process ", p, " needs ", high_water,
+                            " machine registers (register file has ",
+                            config.regFileSize, ")");
+    }
+
+    // Rewrite the observation map to machine registers.
+    for (auto &chunks : draft.regChunkHome)
+        for (auto &home : chunks)
+            home.reg = allocs[home.process].map.at(home.reg);
+
+    // 5. Rewrite operands; SEND destinations use the *target*
+    //    process's mapping.
+    for (size_t p = 0; p < program.processes.size(); ++p) {
+        isa::Process &proc = program.processes[p];
+        ProcAlloc &pa = allocs[p];
+        auto remap = [&](Reg &r, const ProcAlloc &alloc) {
+            if (r == kNoReg)
+                return;
+            auto it = alloc.map.find(r);
+            MANTICORE_ASSERT(it != alloc.map.end(),
+                             "unmapped register $r", r, " in process ",
+                             p);
+            r = it->second;
+        };
+        for (Instruction &inst : proc.body) {
+            if (inst.opcode == Opcode::Nop)
+                continue;
+            remap(inst.rs1, pa);
+            remap(inst.rs2, pa);
+            remap(inst.rs3, pa);
+            remap(inst.rs4, pa);
+            if (inst.opcode == Opcode::Send)
+                remap(inst.rd, allocs[inst.target]);
+            else if (inst.rd != kNoReg)
+                remap(inst.rd, pa);
+        }
+        // Boot constants move to machine names.
+        std::unordered_map<Reg, uint16_t> new_init;
+        for (const auto &[reg, v] : proc.init)
+            new_init[pa.map.at(reg)] = v;
+        proc.init = std::move(new_init);
+    }
+
+    return stats;
+}
+
+} // namespace manticore::compiler

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Linear-scan register allocation onto the 2048-entry register file
+ * (§6.3 of the paper).  Boot-initialised registers (constants, RTL
+ * current values, memory bases) are persistent; SSA temporaries are
+ * allocated by interval.  The paper's current/next coalescing is
+ * applied: when every reader of an RTL register's current value issues
+ * before the next value's writeback, both share one machine register
+ * and the committing MOV degenerates to a NOP (its slot is kept to
+ * preserve the schedule).
+ */
+
+#ifndef MANTICORE_COMPILER_REGALLOC_HH
+#define MANTICORE_COMPILER_REGALLOC_HH
+
+#include "compiler/draft.hh"
+#include "isa/config.hh"
+
+namespace manticore::compiler {
+
+struct RegAllocStats
+{
+    unsigned maxMachineRegs = 0; ///< peak over all processes
+    unsigned coalescedMovs = 0;
+    unsigned persistentRegs = 0; ///< peak boot-register count
+};
+
+/** Rewrite the scheduled draft from virtual to machine registers
+ *  (including SEND targets, which name registers in the receiving
+ *  core).  fatal() when a process exceeds the register file. */
+RegAllocStats allocateRegisters(ProgramDraft &draft,
+                                const isa::MachineConfig &config);
+
+} // namespace manticore::compiler
+
+#endif // MANTICORE_COMPILER_REGALLOC_HH

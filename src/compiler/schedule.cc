@@ -1,0 +1,345 @@
+#include "compiler/schedule.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace manticore::compiler {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+using isa::kNoReg;
+
+namespace {
+
+constexpr uint32_t kUnscheduled = 0xffffffffu;
+
+struct Edge
+{
+    uint32_t to;
+    unsigned latency; ///< pipeline latency for data, 1 for ordering
+};
+
+bool
+isStoreChain(Opcode op)
+{
+    // Ordering chain shared by predication state and global-stall
+    // order: PRED, predicated stores, and privileged instructions all
+    // serialise in body order.
+    return op == Opcode::Pred || op == Opcode::Lst || op == Opcode::Gst ||
+           op == Opcode::Gld || op == Opcode::Expect;
+}
+
+/** Per-process dependence graph + scheduling state. */
+struct ProcSched
+{
+    std::vector<std::vector<Edge>> succs;
+    std::vector<unsigned> indegree;
+    std::vector<uint64_t> readyAt; ///< earliest issue cycle
+    std::vector<uint64_t> height;  ///< critical-path priority
+    std::vector<uint32_t> slotOf;  ///< issue slot per instruction
+    /// Ready instructions (indices), kept sorted by priority lazily.
+    std::vector<uint32_t> ready;
+    size_t scheduledCount = 0;
+    std::vector<Instruction> out; ///< padded body
+};
+
+/** Dimension-ordered route on the unidirectional torus: +X to the
+ *  target column, then +Y to the target row.  Returns link ids. */
+std::vector<uint32_t>
+routeLinks(unsigned x1, unsigned y1, unsigned x2, unsigned y2,
+           unsigned grid_x, unsigned grid_y)
+{
+    std::vector<uint32_t> links;
+    unsigned x = x1, y = y1;
+    while (x != x2) {
+        links.push_back((y * grid_x + x) * 2 + 0);
+        x = (x + 1) % grid_x;
+    }
+    while (y != y2) {
+        links.push_back((y * grid_x + x) * 2 + 1);
+        y = (y + 1) % grid_y;
+    }
+    return links;
+}
+
+} // namespace
+
+ScheduleStats
+scheduleProgram(ProgramDraft &draft, const isa::MachineConfig &config,
+                bool enforce_imem_limit)
+{
+    isa::Program &program = draft.program;
+    size_t np = program.processes.size();
+    MANTICORE_ASSERT(np <= config.numCores(), "more processes than cores");
+    unsigned latency = config.pipelineLatency;
+
+    // --- Placement: privileged process at (0,0), the rest row-major.
+    program.placement.assign(np, {0, 0});
+    {
+        unsigned x = 0, y = 0;
+        auto advance = [&]() {
+            if (++x == config.gridX) {
+                x = 0;
+                ++y;
+            }
+        };
+        advance(); // (0,0) is reserved for process 0
+        for (size_t p = 0; p < np; ++p) {
+            if (p == 0)
+                continue;
+            program.placement[p] = {x, y};
+            advance();
+        }
+    }
+
+    // --- Build per-process dependence graphs.
+    std::vector<ProcSched> sched(np);
+    for (size_t p = 0; p < np; ++p) {
+        const isa::Process &proc = program.processes[p];
+        size_t n = proc.body.size();
+        ProcSched &ps = sched[p];
+        ps.succs.resize(n);
+        ps.indegree.assign(n, 0);
+        ps.readyAt.assign(n, 0);
+        ps.slotOf.assign(n, kUnscheduled);
+
+        auto add_edge = [&](uint32_t from, uint32_t to, unsigned lat) {
+            ps.succs[from].push_back({to, lat});
+            ps.indegree[to]++;
+        };
+
+        // Data edges.  MOV destinations (current values) are excluded
+        // from the def map: their readers consume the previous
+        // Vcycle's value, modelled as WAR edges below.
+        std::unordered_map<Reg, uint32_t> def;
+        for (size_t i = 0; i < n; ++i) {
+            const Instruction &inst = proc.body[i];
+            Reg d = inst.opcode == Opcode::Send ? kNoReg
+                                                : inst.destination();
+            if (d != kNoReg && inst.opcode != Opcode::Mov)
+                def[d] = static_cast<uint32_t>(i);
+        }
+        std::unordered_map<Reg, std::vector<uint32_t>> current_readers;
+        for (size_t i = 0; i < n; ++i) {
+            const Instruction &inst = proc.body[i];
+            for (Reg s : inst.sources()) {
+                auto it = def.find(s);
+                if (it != def.end() && it->second != i)
+                    add_edge(it->second, static_cast<uint32_t>(i),
+                             latency);
+                if (draft.currentRegs.count(s))
+                    current_readers[s].push_back(
+                        static_cast<uint32_t>(i));
+            }
+        }
+
+        // WAR: the committing MOV of a current value issues after all
+        // of its in-process readers.
+        for (size_t i = 0; i < n; ++i) {
+            const Instruction &inst = proc.body[i];
+            if (inst.opcode != Opcode::Mov)
+                continue;
+            auto it = current_readers.find(inst.rd);
+            if (it == current_readers.end())
+                continue;
+            for (uint32_t reader : it->second)
+                if (reader != i)
+                    add_edge(reader, static_cast<uint32_t>(i), 1);
+        }
+
+        // Store/privilege chain, and RTL memory read-before-write.
+        uint32_t prev_chain = kUnscheduled;
+        std::unordered_map<int, uint32_t> first_store_of_mem;
+        std::unordered_map<int, std::vector<uint32_t>> loads_of_mem;
+        for (size_t i = 0; i < n; ++i) {
+            const Instruction &inst = proc.body[i];
+            if (isStoreChain(inst.opcode)) {
+                if (prev_chain != kUnscheduled)
+                    add_edge(prev_chain, static_cast<uint32_t>(i), 1);
+                prev_chain = static_cast<uint32_t>(i);
+            }
+            int m = draft.meta[p].memGroup[i];
+            if (inst.opcode == Opcode::Lld && m >= 0)
+                loads_of_mem[m].push_back(static_cast<uint32_t>(i));
+            if (inst.opcode == Opcode::Lst && m >= 0 &&
+                !first_store_of_mem.count(m))
+                first_store_of_mem[m] = static_cast<uint32_t>(i);
+        }
+        for (auto &[m, first_store] : first_store_of_mem)
+            for (uint32_t load : loads_of_mem[m])
+                add_edge(load, first_store, 1);
+
+        // Priorities: longest path to any sink (edges are forward in
+        // body order, so a reverse sweep is a topological order).
+        ps.height.assign(n, 0);
+        for (size_t i = n; i-- > 0;) {
+            for (const Edge &e : ps.succs[i])
+                ps.height[i] = std::max(ps.height[i],
+                                        ps.height[e.to] + e.latency);
+        }
+
+        for (size_t i = 0; i < n; ++i)
+            if (ps.indegree[i] == 0)
+                ps.ready.push_back(static_cast<uint32_t>(i));
+    }
+
+    // --- Global abstract simulation with NoC link reservations.
+    std::unordered_set<uint64_t> link_busy; // linkId << 32 | cycle
+    ScheduleStats stats;
+
+    uint64_t cycle = 0;
+    size_t done = 0;
+    std::vector<size_t> remaining(np);
+    for (size_t p = 0; p < np; ++p) {
+        remaining[p] = program.processes[p].body.size();
+        if (remaining[p] == 0)
+            ++done;
+    }
+
+    while (done < np) {
+        MANTICORE_ASSERT(cycle < 50'000'000, "scheduler livelock");
+        for (size_t p = 0; p < np; ++p) {
+            if (remaining[p] == 0)
+                continue;
+            ProcSched &ps = sched[p];
+            const isa::Process &proc = program.processes[p];
+
+            // Pick the ready instruction with the greatest height whose
+            // readyAt has passed; SENDs must also reserve their route.
+            int best = -1;
+            uint64_t best_height = 0;
+            for (size_t k = 0; k < ps.ready.size(); ++k) {
+                uint32_t i = ps.ready[k];
+                if (ps.readyAt[i] > cycle)
+                    continue;
+                if (best != -1 && ps.height[i] <= best_height)
+                    continue;
+                const Instruction &inst = proc.body[i];
+                if (inst.opcode == Opcode::Send) {
+                    auto [sx, sy] = program.placement[p];
+                    auto [tx, ty] = program.placement[inst.target];
+                    std::vector<uint32_t> links = routeLinks(
+                        sx, sy, tx, ty, config.gridX, config.gridY);
+                    uint64_t entry = cycle + config.sendInjectLatency;
+                    bool free = true;
+                    for (size_t h = 0; h < links.size(); ++h) {
+                        uint64_t key =
+                            (static_cast<uint64_t>(links[h]) << 32) |
+                            (entry + h * config.hopLatency);
+                        if (link_busy.count(key)) {
+                            free = false;
+                            break;
+                        }
+                    }
+                    if (!free)
+                        continue;
+                }
+                best = static_cast<int>(k);
+                best_height = ps.height[i];
+            }
+
+            uint32_t slot = static_cast<uint32_t>(ps.out.size());
+            if (best == -1) {
+                ps.out.push_back(Instruction{}); // NOP
+                continue;
+            }
+
+            uint32_t i = ps.ready[best];
+            ps.ready.erase(ps.ready.begin() + best);
+            const Instruction &inst = proc.body[i];
+            ps.slotOf[i] = slot;
+            ps.out.push_back(inst);
+            --remaining[p];
+            if (remaining[p] == 0)
+                ++done;
+
+            if (inst.opcode == Opcode::Send) {
+                auto [sx, sy] = program.placement[p];
+                auto [tx, ty] = program.placement[inst.target];
+                std::vector<uint32_t> links =
+                    routeLinks(sx, sy, tx, ty, config.gridX,
+                               config.gridY);
+                uint64_t entry = cycle + config.sendInjectLatency;
+                for (size_t h = 0; h < links.size(); ++h)
+                    link_busy.insert(
+                        (static_cast<uint64_t>(links[h]) << 32) |
+                        (entry + h * config.hopLatency));
+                unsigned arrival = static_cast<unsigned>(
+                    entry + links.size() * config.hopLatency);
+                stats.latestArrival =
+                    std::max(stats.latestArrival, arrival);
+            }
+
+            for (const Edge &e : ps.succs[i]) {
+                ps.readyAt[e.to] = std::max(
+                    ps.readyAt[e.to],
+                    static_cast<uint64_t>(slot) + e.latency);
+                if (--ps.indegree[e.to] == 0)
+                    ps.ready.push_back(e.to);
+            }
+        }
+        ++cycle;
+    }
+
+    // --- Assemble padded bodies, compute the VCPL.
+    unsigned vcpl = 0;
+    uint32_t straggler = 0;
+    for (size_t p = 0; p < np; ++p) {
+        // Trim trailing NOPs: they are subsumed by the sleep window.
+        auto &out = sched[p].out;
+        while (!out.empty() && out.back().opcode == Opcode::Nop)
+            out.pop_back();
+        unsigned len = static_cast<unsigned>(out.size()) +
+                       program.processes[p].epilogueLength;
+        if (enforce_imem_limit) {
+            MANTICORE_ASSERT(len <= config.imemSize,
+                             "process ", p, " needs ", len,
+                             " instruction slots (imem is ",
+                             config.imemSize, ")");
+        }
+        if (len > vcpl) {
+            vcpl = len;
+            straggler = static_cast<uint32_t>(p);
+        }
+    }
+    vcpl = std::max(vcpl, stats.latestArrival + 1);
+    vcpl += latency; // drain/sleep window so all writebacks commit
+
+    for (size_t p = 0; p < np; ++p) {
+        program.processes[p].body = std::move(sched[p].out);
+        for (const Instruction &inst : program.processes[p].body) {
+            if (inst.opcode == Opcode::Nop)
+                ++stats.totalNops;
+            else
+                ++stats.totalInstructions;
+            if (inst.opcode == Opcode::Send)
+                ++stats.totalSends;
+        }
+        stats.maxBodyLength = std::max(
+            stats.maxBodyLength,
+            static_cast<unsigned>(program.processes[p].body.size()));
+    }
+
+    program.vcpl = vcpl;
+    stats.vcpl = vcpl;
+    stats.stragglerPid = straggler;
+    for (const Instruction &inst : program.processes[straggler].body) {
+        if (inst.opcode == Opcode::Nop)
+            continue;
+        if (inst.opcode == Opcode::Send)
+            ++stats.stragglerSend;
+        else
+            ++stats.stragglerCompute;
+        if (inst.opcode == Opcode::Cust)
+            ++stats.stragglerCust;
+    }
+    stats.stragglerNop =
+        vcpl - stats.stragglerSend - stats.stragglerCompute;
+    return stats;
+}
+
+} // namespace manticore::compiler

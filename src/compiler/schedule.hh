@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Static scheduling, placement, and NoC routing (§6.3 of the paper).
+ *
+ * The scheduler performs an abstract cycle-accurate simulation of one
+ * Vcycle: every process advances one slot per machine cycle; an
+ * instruction issues when its data dependencies have cleared the
+ * pipeline (operand-to-result latency) and its ordering chains
+ * (memory read-before-write, PRED/store/privileged serialisation,
+ * current-value WAR before the committing MOV) are satisfied.  SENDs
+ * additionally reserve every link of their dimension-ordered route on
+ * the unidirectional torus; a SEND that would collide is delayed —
+ * this is what guarantees the bufferless switches never drop messages
+ * (§5.2).  Unissuable slots become NOPs.
+ *
+ * The resulting Vcycle length (VCPL: max body+epilogue, bounded below
+ * by the latest message arrival, plus a drain window for writeback) is
+ * the figure of merit the paper reports throughout §7.
+ */
+
+#ifndef MANTICORE_COMPILER_SCHEDULE_HH
+#define MANTICORE_COMPILER_SCHEDULE_HH
+
+#include "compiler/draft.hh"
+#include "isa/config.hh"
+
+namespace manticore::compiler {
+
+struct ScheduleStats
+{
+    unsigned vcpl = 0;
+    unsigned maxBodyLength = 0;
+    uint64_t totalInstructions = 0; ///< non-NOP over all cores
+    uint64_t totalSends = 0;
+    uint64_t totalNops = 0;         ///< padding NOPs over all cores
+    /// Straggler (the core that defines the VCPL) breakdown (Fig. 9).
+    uint32_t stragglerPid = 0;
+    unsigned stragglerCompute = 0;
+    unsigned stragglerSend = 0;
+    unsigned stragglerNop = 0;
+    unsigned stragglerCust = 0;     ///< CUSTs within compute (Fig. 10)
+    unsigned latestArrival = 0;
+};
+
+/** Schedule the draft in place: pads bodies with NOPs, fills
+ *  placement, epilogue lengths, and Program::vcpl.
+ *
+ *  enforce_imem_limit=false produces VCPL *predictions* for
+ *  configurations whose bodies exceed the instruction memory — the
+ *  paper does exactly this for Fig. 7's single-core baselines, which
+ *  cannot run on the prototype. */
+ScheduleStats scheduleProgram(ProgramDraft &draft,
+                              const isa::MachineConfig &config,
+                              bool enforce_imem_limit = true);
+
+} // namespace manticore::compiler
+
+#endif // MANTICORE_COMPILER_SCHEDULE_HH

@@ -1,0 +1,1023 @@
+#include "designs/designs.hh"
+
+#include <array>
+#include <vector>
+
+#include "netlist/builder.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace manticore::designs {
+
+using netlist::CircuitBuilder;
+using netlist::MemHandle;
+using netlist::Netlist;
+using netlist::RegHandle;
+using netlist::Signal;
+
+namespace {
+
+/** Standard test driver: count cycles; at check_cycles display the
+ *  checksum, assert it equals the golden value, and $finish. */
+void
+addDriver(CircuitBuilder &b, uint64_t check_cycles, Signal checksum,
+          uint32_t golden, const std::string &name)
+{
+    auto cycle = b.reg("drv_cycle", 32);
+    b.next(cycle, cycle.read() + b.lit(32, 1));
+    Signal at_end = cycle.read() == b.lit(32, check_cycles);
+    b.display(at_end, name + ": checksum=%d after %d cycles",
+              {checksum, cycle.read()});
+    b.assertAlways(at_end, checksum == b.lit(32, golden),
+                   name + " checksum mismatch (golden " +
+                       std::to_string(golden) + ")");
+    b.finish(at_end);
+}
+
+/** Galois-free 16-bit Fibonacci LFSR step (taps 0xB400). */
+Signal
+lfsr16(CircuitBuilder &b, Signal x)
+{
+    Signal sh = x.lshr(1u);
+    return b.mux(x.bit(0), sh ^ b.lit(16, 0xB400), sh);
+}
+uint16_t
+lfsr16(uint16_t x)
+{
+    uint16_t sh = x >> 1;
+    return (x & 1) ? sh ^ 0xB400 : sh;
+}
+
+/** xorshift32 step. */
+Signal
+xorshift32(Signal x)
+{
+    Signal a = x ^ x.shl(13u);
+    Signal c = a ^ a.lshr(17u);
+    return c ^ c.shl(5u);
+}
+uint32_t
+xorshift32(uint32_t x)
+{
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    return x;
+}
+
+Signal
+rotr32(Signal x, unsigned n)
+{
+    return x.lshr(n) | x.shl(32 - n);
+}
+uint32_t
+rotr32(uint32_t x, unsigned n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+Signal
+rotl32(Signal x, unsigned n)
+{
+    return x.shl(n) | x.lshr(32 - n);
+}
+uint32_t
+rotl32(uint32_t x, unsigned n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// bc: SHA-256-style miner pipeline.
+// --------------------------------------------------------------------
+
+Netlist
+buildBcSized(uint64_t check_cycles, unsigned kRounds)
+{
+    static const uint32_t kKBase[5] = {0x428a2f98, 0x71374491,
+                                       0xb5c0fbcf, 0xe9b5dba5,
+                                       0x3956c25b};
+    std::vector<uint32_t> kK(kRounds);
+    for (unsigned i = 0; i < kRounds; ++i)
+        kK[i] = kKBase[i % 5] + i * 0x9e3779b9u;
+    static const uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                      0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                      0x1f83d9ab, 0x5be0cd19};
+    constexpr uint32_t kTarget = 0x04000000;
+
+    CircuitBuilder b("bc");
+
+    auto nonce = b.reg("nonce", 32, 1);
+    b.next(nonce, nonce.read() + b.lit(32, 1));
+
+    // Pipeline registers: 8 working variables + the nonce per stage.
+    std::vector<std::array<RegHandle, 8>> vars(kRounds);
+    std::vector<RegHandle> npipe(kRounds);
+    for (unsigned s = 0; s < kRounds; ++s) {
+        for (unsigned v = 0; v < 8; ++v)
+            vars[s][v] = b.reg("h" + std::to_string(s) + "_" +
+                                   std::to_string(v),
+                               32, kInit[v]);
+        npipe[s] = b.reg("npipe" + std::to_string(s), 32);
+    }
+
+    auto round_sig = [&](std::array<Signal, 8> in, Signal w,
+                         uint32_t k) -> std::array<Signal, 8> {
+        Signal s1 = rotr32(in[4], 6) ^ rotr32(in[4], 11) ^
+                    rotr32(in[4], 25);
+        Signal ch = (in[4] & in[5]) ^ (~in[4] & in[6]);
+        Signal t1 = in[7] + s1 + ch + b.lit(32, k) + w;
+        Signal s0 = rotr32(in[0], 2) ^ rotr32(in[0], 13) ^
+                    rotr32(in[0], 22);
+        Signal maj = (in[0] & in[1]) ^ (in[0] & in[2]) ^
+                     (in[1] & in[2]);
+        Signal t2 = s0 + maj;
+        return {t1 + t2, in[0], in[1], in[2], in[3] + t1,
+                in[4], in[5], in[6]};
+    };
+    auto round_gold = [&](std::array<uint32_t, 8> in, uint32_t w,
+                          uint32_t k) -> std::array<uint32_t, 8> {
+        uint32_t s1 = rotr32(in[4], 6) ^ rotr32(in[4], 11) ^
+                      rotr32(in[4], 25);
+        uint32_t ch = (in[4] & in[5]) ^ (~in[4] & in[6]);
+        uint32_t t1 = in[7] + s1 + ch + k + w;
+        uint32_t s0 = rotr32(in[0], 2) ^ rotr32(in[0], 13) ^
+                      rotr32(in[0], 22);
+        uint32_t maj = (in[0] & in[1]) ^ (in[0] & in[2]) ^
+                       (in[1] & in[2]);
+        uint32_t t2 = s0 + maj;
+        return {t1 + t2, in[0], in[1], in[2], in[3] + t1,
+                in[4],   in[5], in[6]};
+    };
+
+    // Stage 0 consumes the fresh nonce; stage s consumes stage s-1.
+    for (unsigned s = 0; s < kRounds; ++s) {
+        std::array<Signal, 8> in;
+        Signal w = s == 0 ? nonce.read() : npipe[s - 1].read();
+        for (unsigned v = 0; v < 8; ++v)
+            in[v] = s == 0 ? b.lit(32, kInit[v]) : vars[s - 1][v].read();
+        std::array<Signal, 8> out =
+            round_sig(in, w ^ b.lit(32, kK[(s * 3) % kRounds]), kK[s]);
+        for (unsigned v = 0; v < 8; ++v)
+            b.next(vars[s][v], out[v]);
+        b.next(npipe[s], w);
+    }
+
+    Signal hash =
+        vars[kRounds - 1][0].read() + vars[kRounds - 1][4].read();
+    Signal found = hash < b.lit(32, kTarget);
+
+    auto found_count = b.reg("found_count", 32);
+    b.next(found_count, found_count.read() + found.zext(32));
+    auto checksum = b.reg("checksum", 32);
+    b.next(checksum, rotl32(checksum.read(), 1) ^ hash);
+
+    // Golden model.
+    uint32_t g_nonce = 1;
+    std::vector<std::array<uint32_t, 8>> g_vars(kRounds);
+    std::vector<uint32_t> g_npipe(kRounds, 0);
+    for (auto &stage : g_vars)
+        for (unsigned v = 0; v < 8; ++v)
+            stage[v] = kInit[v];
+    uint32_t g_checksum = 0;
+    for (uint64_t c = 0; c < check_cycles; ++c) {
+        uint32_t hash_now =
+            g_vars[kRounds - 1][0] + g_vars[kRounds - 1][4];
+        auto next_vars = g_vars;
+        auto next_npipe = g_npipe;
+        for (unsigned s = 0; s < kRounds; ++s) {
+            uint32_t w = s == 0 ? g_nonce : g_npipe[s - 1];
+            std::array<uint32_t, 8> in;
+            for (unsigned v = 0; v < 8; ++v)
+                in[v] = s == 0 ? kInit[v] : g_vars[s - 1][v];
+            next_vars[s] =
+                round_gold(in, w ^ kK[(s * 3) % kRounds], kK[s]);
+            next_npipe[s] = w;
+        }
+        g_checksum = rotl32(g_checksum, 1) ^ hash_now;
+        g_vars = next_vars;
+        g_npipe = next_npipe;
+        ++g_nonce;
+    }
+
+    addDriver(b, check_cycles, checksum.read(), g_checksum, "bc");
+    return b.build();
+}
+
+Netlist
+buildBc(uint64_t check_cycles)
+{
+    return buildBcSized(check_cycles, 5);
+}
+
+// --------------------------------------------------------------------
+// mm: 16x16 integer matrix-vector MAC array.
+// --------------------------------------------------------------------
+
+Netlist
+buildMmSized(uint64_t check_cycles, unsigned kN)
+{
+    CircuitBuilder b("mm");
+    Rng rng(0x3131);
+
+    // Stationary weights.
+    std::vector<std::vector<uint16_t>> weights(
+        kN, std::vector<uint16_t>(kN));
+    for (auto &row : weights)
+        for (auto &w : row)
+            w = static_cast<uint16_t>(rng.next());
+
+    // Streaming input vector: one LFSR per lane.
+    std::vector<RegHandle> x(kN);
+    std::vector<uint16_t> g_x(kN);
+    for (unsigned i = 0; i < kN; ++i) {
+        uint16_t seed = static_cast<uint16_t>(0xace1 + i * 0x1234 + 1);
+        x[i] = b.reg("x" + std::to_string(i), 16, seed);
+        g_x[i] = seed;
+        b.next(x[i], lfsr16(b, x[i].read()));
+    }
+
+    // MAC columns: acc[j] += sum_i x[i] * W[i][j].
+    std::vector<RegHandle> acc(kN);
+    std::vector<uint32_t> g_acc(kN, 0);
+    for (unsigned j = 0; j < kN; ++j)
+        acc[j] = b.reg("acc" + std::to_string(j), 32);
+    for (unsigned j = 0; j < kN; ++j) {
+        Signal dot = b.lit(32, 0);
+        for (unsigned i = 0; i < kN; ++i) {
+            Signal prod =
+                x[i].read().zext(32) * b.lit(32, weights[i][j]);
+            dot = dot + prod;
+        }
+        b.next(acc[j], acc[j].read() + dot);
+    }
+
+    Signal fold = acc[0].read();
+    for (unsigned j = 1; j < kN; ++j)
+        fold = fold ^ acc[j].read();
+    auto checksum = b.reg("checksum", 32);
+    b.next(checksum, rotl32(checksum.read(), 1) ^ fold);
+
+    // Golden model.
+    uint32_t g_checksum = 0;
+    for (uint64_t c = 0; c < check_cycles; ++c) {
+        uint32_t fold_now = 0;
+        for (unsigned j = 0; j < kN; ++j)
+            fold_now ^= g_acc[j];
+        g_checksum = rotl32(g_checksum, 1) ^ fold_now;
+        for (unsigned j = 0; j < kN; ++j) {
+            uint32_t dot = 0;
+            for (unsigned i = 0; i < kN; ++i)
+                dot += static_cast<uint32_t>(g_x[i]) * weights[i][j];
+            g_acc[j] += dot;
+        }
+        for (unsigned i = 0; i < kN; ++i)
+            g_x[i] = lfsr16(g_x[i]);
+    }
+
+    addDriver(b, check_cycles, checksum.read(), g_checksum, "mm");
+    return b.build();
+}
+
+Netlist
+buildMm(uint64_t check_cycles)
+{
+    return buildMmSized(check_cycles, 16);
+}
+
+// --------------------------------------------------------------------
+// cgra: 8x8 fixed-point PE grid on a torus.
+// --------------------------------------------------------------------
+
+Netlist
+buildCgraSized(uint64_t check_cycles, unsigned kDim)
+{
+    CircuitBuilder b("cgra");
+    Rng rng(0xc64a);
+
+    std::vector<std::vector<RegHandle>> pe(
+        kDim, std::vector<RegHandle>(kDim));
+    std::vector<std::vector<uint16_t>> g_pe(
+        kDim, std::vector<uint16_t>(kDim));
+    std::vector<std::vector<uint16_t>> kconst(
+        kDim, std::vector<uint16_t>(kDim));
+    for (unsigned i = 0; i < kDim; ++i) {
+        for (unsigned j = 0; j < kDim; ++j) {
+            uint16_t seed = static_cast<uint16_t>(rng.next() | 1);
+            pe[i][j] = b.reg(
+                "pe" + std::to_string(i) + "_" + std::to_string(j), 16,
+                seed);
+            g_pe[i][j] = seed;
+            kconst[i][j] = static_cast<uint16_t>(rng.next());
+        }
+    }
+
+    auto pe_next_sig = [&](unsigned i, unsigned j) -> Signal {
+        Signal self = pe[i][j].read();
+        Signal left = pe[i][(j + kDim - 1) % kDim].read();
+        Signal up = pe[(i + kDim - 1) % kDim][j].read();
+        Signal k = b.lit(16, kconst[i][j]);
+        switch ((i + j) % 4) {
+          case 0: return left + up + k;
+          case 1: return left ^ (up.shl(1u) | up.lshr(15u)) ^ k;
+          case 2: return (left * up) + k;
+          default:
+            return b.mux(self.bit(0), left, up) + (self ^ k);
+        }
+    };
+    auto pe_next_gold = [&](const std::vector<std::vector<uint16_t>> &g,
+                            unsigned i, unsigned j) -> uint16_t {
+        uint16_t self = g[i][j];
+        uint16_t left = g[i][(j + kDim - 1) % kDim];
+        uint16_t up = g[(i + kDim - 1) % kDim][j];
+        uint16_t k = kconst[i][j];
+        switch ((i + j) % 4) {
+          case 0: return left + up + k;
+          case 1:
+            return left ^ static_cast<uint16_t>((up << 1) | (up >> 15)) ^
+                   k;
+          case 2: return static_cast<uint16_t>(left * up) + k;
+          default:
+            return static_cast<uint16_t>(((self & 1) ? left : up) +
+                                         (self ^ k));
+        }
+    };
+
+    Signal fold = b.lit(16, 0);
+    for (unsigned i = 0; i < kDim; ++i)
+        for (unsigned j = 0; j < kDim; ++j) {
+            b.next(pe[i][j], pe_next_sig(i, j));
+            fold = fold ^ pe[i][j].read();
+        }
+    auto checksum = b.reg("checksum", 32);
+    b.next(checksum, rotl32(checksum.read(), 1) ^ fold.zext(32));
+
+    uint32_t g_checksum = 0;
+    for (uint64_t c = 0; c < check_cycles; ++c) {
+        uint16_t fold_now = 0;
+        for (unsigned i = 0; i < kDim; ++i)
+            for (unsigned j = 0; j < kDim; ++j)
+                fold_now ^= g_pe[i][j];
+        g_checksum = rotl32(g_checksum, 1) ^ fold_now;
+        std::vector<std::vector<uint16_t>> next(
+            kDim, std::vector<uint16_t>(kDim));
+        for (unsigned i = 0; i < kDim; ++i)
+            for (unsigned j = 0; j < kDim; ++j)
+                next[i][j] = pe_next_gold(g_pe, i, j);
+        g_pe = std::move(next);
+    }
+
+    addDriver(b, check_cycles, checksum.read(), g_checksum, "cgra");
+    return b.build();
+}
+
+Netlist
+buildCgra(uint64_t check_cycles)
+{
+    return buildCgraSized(check_cycles, 8);
+}
+
+// --------------------------------------------------------------------
+// vta: weight-stationary GEMM core with buffers and an FSM.
+// --------------------------------------------------------------------
+
+Netlist
+buildVta(uint64_t check_cycles)
+{
+    constexpr unsigned kBuf = 64;   // buffer elements
+    constexpr unsigned kLanes = 8;  // parallel MAC lanes
+    CircuitBuilder b("vta");
+
+    MemHandle inp = b.memory("inp_buf", 16, kBuf);
+    MemHandle wgt = b.memory("wgt_buf", 16, kBuf);
+
+    auto phase = b.reg("phase", 2);  // 0 load, 1 compute, 2 store
+    auto idx = b.reg("idx", 16);
+    auto lfsr_a = b.reg("lfsr_a", 16, 0xbeef);
+    auto lfsr_b = b.reg("lfsr_b", 16, 0x1dea);
+    b.next(lfsr_a, lfsr16(b, lfsr_a.read()));
+    b.next(lfsr_b, lfsr16(b, lfsr_b.read()));
+
+    Signal in_load = phase.read() == b.lit(2, 0);
+    Signal in_compute = phase.read() == b.lit(2, 1);
+    Signal in_store = phase.read() == b.lit(2, 2);
+
+    // LOAD: stream both buffers.
+    inp.write(idx.read(), lfsr_a.read(), in_load);
+    wgt.write(idx.read(), lfsr_b.read(), in_load);
+
+    // COMPUTE: kLanes MACs per cycle.
+    std::array<RegHandle, kLanes> acc;
+    for (unsigned l = 0; l < kLanes; ++l)
+        acc[l] = b.reg("acc" + std::to_string(l), 32);
+    for (unsigned l = 0; l < kLanes; ++l) {
+        Signal ia = (idx.read() + b.lit(16, l * 8)) & b.lit(16, kBuf - 1);
+        Signal iw = (idx.read() * b.lit(16, 3) + b.lit(16, l)) &
+                    b.lit(16, kBuf - 1);
+        Signal prod = inp.read(ia).zext(32) * wgt.read(iw).zext(32);
+        b.next(acc[l],
+               b.mux(in_compute, acc[l].read() + prod, acc[l].read()));
+    }
+
+    // STORE: fold one accumulator per cycle into the checksum.
+    auto checksum = b.reg("checksum", 32);
+    Signal lane_sel = idx.read() & b.lit(16, kLanes - 1);
+    Signal folded = acc[0].read();
+    for (unsigned l = 1; l < kLanes; ++l)
+        folded = b.mux(lane_sel == b.lit(16, l), acc[l].read(), folded);
+    b.next(checksum,
+           b.mux(in_store, rotl32(checksum.read(), 1) ^ folded,
+                 checksum.read()));
+
+    // FSM: load 64, compute 64, store 8, repeat.
+    Signal last_load = in_load & (idx.read() == b.lit(16, kBuf - 1));
+    Signal last_comp = in_compute & (idx.read() == b.lit(16, kBuf - 1));
+    Signal last_store = in_store & (idx.read() == b.lit(16, kLanes - 1));
+    Signal wrap = last_load | last_comp | last_store;
+    b.next(idx, b.mux(wrap, b.lit(16, 0), idx.read() + b.lit(16, 1)));
+    Signal phase_next =
+        b.mux(last_store, b.lit(2, 0),
+              b.mux(wrap, phase.read() + b.lit(2, 1), phase.read()));
+    b.next(phase, phase_next);
+
+    // Golden model.
+    uint16_t g_inp[kBuf] = {0}, g_wgt[kBuf] = {0};
+    uint32_t g_acc[kLanes] = {0};
+    uint16_t g_la = 0xbeef, g_lb = 0x1dea;
+    unsigned g_phase = 0, g_idx = 0;
+    uint32_t g_checksum = 0;
+    for (uint64_t c = 0; c < check_cycles; ++c) {
+        bool load = g_phase == 0, comp = g_phase == 1, store = g_phase == 2;
+        // Combinational reads against current state.
+        uint32_t prod[kLanes];
+        for (unsigned l = 0; l < kLanes; ++l) {
+            unsigned ia = (g_idx + l * 8) & (kBuf - 1);
+            unsigned iw = (g_idx * 3 + l) & (kBuf - 1);
+            prod[l] = static_cast<uint32_t>(g_inp[ia]) * g_wgt[iw];
+        }
+        unsigned lane = g_idx & (kLanes - 1);
+        uint32_t folded_now = g_acc[lane];
+        bool last_l = load && g_idx == kBuf - 1;
+        bool last_c = comp && g_idx == kBuf - 1;
+        bool last_s = store && g_idx == kLanes - 1;
+        bool wrap_now = last_l || last_c || last_s;
+        // Commits.
+        if (store)
+            g_checksum = rotl32(g_checksum, 1) ^ folded_now;
+        for (unsigned l = 0; l < kLanes; ++l)
+            if (comp)
+                g_acc[l] += prod[l];
+        if (load) {
+            g_inp[g_idx & (kBuf - 1)] = g_la;
+            g_wgt[g_idx & (kBuf - 1)] = g_lb;
+        }
+        g_la = lfsr16(g_la);
+        g_lb = lfsr16(g_lb);
+        g_idx = wrap_now ? 0 : (g_idx + 1) & 0xffff;
+        g_phase = last_s ? 0 : (wrap_now ? (g_phase + 1) & 3 : g_phase);
+    }
+
+    addDriver(b, check_cycles, checksum.read(), g_checksum, "vta");
+    return b.build();
+}
+
+// --------------------------------------------------------------------
+// jpeg: bit-serial Huffman decode FSM + transform tail.
+// --------------------------------------------------------------------
+
+namespace {
+
+/** Build a random 16-symbol Huffman-style decode tree; nodes encode
+ *  leaf(0x8000|sym) or internal(left<<7 | right). */
+std::vector<uint16_t>
+buildDecodeTree(Rng &rng)
+{
+    // Grow a random binary tree with 16 leaves by splitting leaves.
+    struct TreeNode
+    {
+        bool leaf = true;
+        unsigned sym = 0;
+        int left = -1, right = -1;
+    };
+    std::vector<TreeNode> nodes(1);
+    std::vector<int> leaves = {0};
+    unsigned next_sym = 0;
+    while (leaves.size() < 16) {
+        size_t pick = rng.below(leaves.size());
+        int n = leaves[pick];
+        leaves.erase(leaves.begin() + pick);
+        nodes[n].leaf = false;
+        nodes[n].left = static_cast<int>(nodes.size());
+        nodes.push_back(TreeNode{});
+        nodes[n].right = static_cast<int>(nodes.size());
+        nodes.push_back(TreeNode{});
+        leaves.push_back(nodes[n].left);
+        leaves.push_back(nodes[n].right);
+    }
+    for (int n : leaves)
+        nodes[n].sym = next_sym++;
+
+    std::vector<uint16_t> encoded(64, 0);
+    MANTICORE_ASSERT(nodes.size() <= 64, "decode tree too large");
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].leaf)
+            encoded[i] = static_cast<uint16_t>(0x8000 | nodes[i].sym);
+        else
+            encoded[i] = static_cast<uint16_t>((nodes[i].left << 7) |
+                                               nodes[i].right);
+    }
+    return encoded;
+}
+
+} // namespace
+
+Netlist
+buildJpeg(uint64_t check_cycles)
+{
+    CircuitBuilder b("jpeg");
+    Rng rng(0x12e6);
+
+    std::vector<uint16_t> tree = buildDecodeTree(rng);
+    std::vector<BitVector> tree_init;
+    for (uint16_t n : tree)
+        tree_init.emplace_back(16, n);
+    MemHandle troms = b.memory("huff_tree", 16, 64, tree_init);
+
+    uint16_t dequant[8];
+    uint16_t idct_w[8];
+    for (unsigned i = 0; i < 8; ++i) {
+        dequant[i] = static_cast<uint16_t>(1 + rng.below(255));
+        idct_w[i] = static_cast<uint16_t>(1 + rng.below(63));
+    }
+
+    auto bits = b.reg("bitsrc", 32, 0x9e3779b9);
+    b.next(bits, xorshift32(bits.read()));
+    Signal bit = bits.read().bit(0);
+
+    auto state = b.reg("state", 16);
+    Signal node = troms.read(state.read());
+    Signal is_leaf = node.bit(15);
+    Signal sym = node.slice(0, 8).zext(16);
+    Signal left = node.slice(7, 7).zext(16);
+    Signal right = node.slice(0, 7).zext(16);
+    b.next(state,
+           b.mux(is_leaf, b.lit(16, 0), b.mux(bit, right, left)));
+
+    // Transform tail: 8 rotating coefficients, dequantised symbols in,
+    // a weighted fold out every 8th symbol.
+    std::array<RegHandle, 8> coeff;
+    for (unsigned i = 0; i < 8; ++i)
+        coeff[i] = b.reg("coeff" + std::to_string(i), 16);
+    auto phase = b.reg("sym_phase", 16);
+
+    Signal dq = b.lit(16, dequant[0]);
+    for (unsigned i = 1; i < 8; ++i)
+        dq = b.mux(phase.read() == b.lit(16, i), b.lit(16, dequant[i]),
+                   dq);
+    Signal newc = sym * dq;
+    for (unsigned i = 0; i < 8; ++i) {
+        Signal shifted = i == 0 ? newc : coeff[i - 1].read();
+        b.next(coeff[i],
+               b.mux(is_leaf, shifted, coeff[i].read()));
+    }
+    b.next(phase, b.mux(is_leaf,
+                        (phase.read() + b.lit(16, 1)) & b.lit(16, 7),
+                        phase.read()));
+
+    Signal out = b.lit(32, 0);
+    for (unsigned i = 0; i < 8; ++i)
+        out = out + coeff[i].read().zext(32) * b.lit(32, idct_w[i]);
+    Signal emit = is_leaf & (phase.read() == b.lit(16, 7));
+    auto checksum = b.reg("checksum", 32);
+    b.next(checksum,
+           b.mux(emit, rotl32(checksum.read(), 1) ^ out,
+                 checksum.read()));
+
+    // Golden model.
+    uint32_t g_bits = 0x9e3779b9;
+    uint16_t g_state = 0;
+    uint16_t g_coeff[8] = {0};
+    uint16_t g_phase = 0;
+    uint32_t g_checksum = 0;
+    for (uint64_t c = 0; c < check_cycles; ++c) {
+        bool bit_now = g_bits & 1;
+        uint16_t node_now = tree[g_state];
+        bool leaf = node_now & 0x8000;
+        uint16_t s = node_now & 0xff;
+        uint16_t l = (node_now >> 7) & 0x7f;
+        uint16_t r = node_now & 0x7f;
+        uint32_t out_now = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            out_now += static_cast<uint32_t>(g_coeff[i]) * idct_w[i];
+        bool emit_now = leaf && g_phase == 7;
+        if (emit_now)
+            g_checksum = rotl32(g_checksum, 1) ^ out_now;
+        if (leaf) {
+            uint16_t newc_now =
+                static_cast<uint16_t>(s * dequant[g_phase & 7]);
+            for (unsigned i = 8; i-- > 1;)
+                g_coeff[i] = g_coeff[i - 1];
+            g_coeff[0] = newc_now;
+            g_phase = (g_phase + 1) & 7;
+            g_state = 0;
+        } else {
+            g_state = bit_now ? r : l;
+        }
+        g_bits = xorshift32(g_bits);
+    }
+
+    addDriver(b, check_cycles, checksum.read(), g_checksum, "jpeg");
+    return b.build();
+}
+
+// --------------------------------------------------------------------
+// blur: 3x3 stencil over line buffers.
+// --------------------------------------------------------------------
+
+Netlist
+buildBlur(uint64_t check_cycles)
+{
+    constexpr unsigned kRowLen = 16;
+    CircuitBuilder b("blur");
+    static const uint16_t kKernel[3][3] = {
+        {1, 2, 1}, {2, 4, 2}, {1, 2, 1}};
+
+    auto pixel_src = b.reg("pixel_src", 16, 0x5eed);
+    b.next(pixel_src, lfsr16(b, pixel_src.read()));
+
+    RegHandle rows[3][kRowLen];
+    uint16_t g_rows[3][kRowLen] = {};
+    for (unsigned r = 0; r < 3; ++r)
+        for (unsigned x = 0; x < kRowLen; ++x)
+            rows[r][x] = b.reg(
+                "row" + std::to_string(r) + "_" + std::to_string(x), 16);
+
+    // Shift: new pixel enters row0; row ends feed the next row.
+    for (unsigned r = 0; r < 3; ++r) {
+        for (unsigned x = 0; x < kRowLen; ++x) {
+            Signal in = x > 0 ? rows[r][x - 1].read()
+                              : (r == 0 ? pixel_src.read()
+                                        : rows[r - 1][kRowLen - 1].read());
+            b.next(rows[r][x], in);
+        }
+    }
+
+    Signal fold = b.lit(16, 0);
+    for (unsigned x = 1; x + 1 < kRowLen; ++x) {
+        Signal o = b.lit(16, 0);
+        for (unsigned dy = 0; dy < 3; ++dy)
+            for (unsigned dx = 0; dx < 3; ++dx)
+                o = o + rows[dy][x + dx - 1].read() *
+                            b.lit(16, kKernel[dy][dx]);
+        fold = fold ^ o;
+    }
+    auto checksum = b.reg("checksum", 32);
+    b.next(checksum, rotl32(checksum.read(), 1) ^ fold.zext(32));
+
+    // Golden model.
+    uint16_t g_src = 0x5eed;
+    uint32_t g_checksum = 0;
+    for (uint64_t c = 0; c < check_cycles; ++c) {
+        uint16_t fold_now = 0;
+        for (unsigned x = 1; x + 1 < kRowLen; ++x) {
+            uint16_t o = 0;
+            for (unsigned dy = 0; dy < 3; ++dy)
+                for (unsigned dx = 0; dx < 3; ++dx)
+                    o = static_cast<uint16_t>(
+                        o + g_rows[dy][x + dx - 1] * kKernel[dy][dx]);
+            fold_now ^= o;
+        }
+        g_checksum = rotl32(g_checksum, 1) ^ fold_now;
+        for (unsigned r = 3; r-- > 0;) {
+            for (unsigned x = kRowLen; x-- > 1;)
+                g_rows[r][x] = g_rows[r][x - 1];
+            g_rows[r][0] =
+                r == 0 ? g_src : g_rows[r - 1][kRowLen - 1];
+        }
+        g_src = lfsr16(g_src);
+    }
+
+    addDriver(b, check_cycles, checksum.read(), g_checksum, "blur");
+    return b.build();
+}
+
+// --------------------------------------------------------------------
+// mc: Monte-Carlo price paths.
+// --------------------------------------------------------------------
+
+Netlist
+buildMcSized(uint64_t check_cycles, unsigned kPaths)
+{
+    CircuitBuilder b("mc");
+
+    std::vector<RegHandle> rng_regs(kPaths), price(kPaths);
+    std::vector<uint32_t> g_rng(kPaths), g_price(kPaths);
+    for (unsigned p = 0; p < kPaths; ++p) {
+        uint32_t seed = 0x1234567 + p * 0x9e3779b9;
+        rng_regs[p] = b.reg("rng" + std::to_string(p), 32, seed);
+        g_rng[p] = seed;
+        price[p] = b.reg("price" + std::to_string(p), 32, 1 << 16);
+        g_price[p] = 1 << 16;
+    }
+
+    Signal fold = b.lit(32, 0);
+    for (unsigned p = 0; p < kPaths; ++p) {
+        uint32_t vol = 200 + p * 7;
+        b.next(rng_regs[p], xorshift32(rng_regs[p].read()));
+        Signal noise = rng_regs[p].read() & b.lit(32, 0xffff);
+        Signal drift =
+            (price[p].read().lshr(8u) * b.lit(32, vol)).lshr(8u);
+        Signal updated =
+            price[p].read() + drift + noise - b.lit(32, 0x8000);
+        b.next(price[p], updated);
+        fold = fold ^ price[p].read();
+    }
+    auto checksum = b.reg("checksum", 32);
+    b.next(checksum, rotl32(checksum.read(), 1) ^ fold);
+
+    uint32_t g_checksum = 0;
+    for (uint64_t c = 0; c < check_cycles; ++c) {
+        uint32_t fold_now = 0;
+        for (unsigned p = 0; p < kPaths; ++p)
+            fold_now ^= g_price[p];
+        g_checksum = rotl32(g_checksum, 1) ^ fold_now;
+        for (unsigned p = 0; p < kPaths; ++p) {
+            uint32_t vol = 200 + p * 7;
+            uint32_t noise = g_rng[p] & 0xffff;
+            uint32_t drift = ((g_price[p] >> 8) * vol) >> 8;
+            g_price[p] = g_price[p] + drift + noise - 0x8000;
+            g_rng[p] = xorshift32(g_rng[p]);
+        }
+    }
+
+    addDriver(b, check_cycles, checksum.read(), g_checksum, "mc");
+    return b.build();
+}
+
+Netlist
+buildMc(uint64_t check_cycles)
+{
+    return buildMcSized(check_cycles, 16);
+}
+
+// --------------------------------------------------------------------
+// noc: 4x4 deflection torus with conservation assertions.
+// --------------------------------------------------------------------
+
+Netlist
+buildNoc(uint64_t check_cycles)
+{
+    constexpr unsigned kDim = 4;
+    CircuitBuilder b("noc");
+
+    // Flit: [15:14] destX, [13:12] destY, [11:0] payload.
+    struct Router
+    {
+        RegHandle xv, xf, yv, yf; // X/Y ring buffers (valid + flit)
+        RegHandle gen;            // local traffic LFSR
+        RegHandle pendv, pendf;   // pending injection
+    };
+    Router r[kDim][kDim];
+    struct GRouter
+    {
+        bool xv = false, yv = false, pendv = false;
+        uint16_t xf = 0, yf = 0, pendf = 0, gen = 0;
+    };
+    GRouter g[kDim][kDim];
+
+    for (unsigned x = 0; x < kDim; ++x) {
+        for (unsigned y = 0; y < kDim; ++y) {
+            std::string id = std::to_string(x) + std::to_string(y);
+            r[x][y].xv = b.reg("xv" + id, 1);
+            r[x][y].xf = b.reg("xf" + id, 16);
+            r[x][y].yv = b.reg("yv" + id, 1);
+            r[x][y].yf = b.reg("yf" + id, 16);
+            uint16_t seed =
+                static_cast<uint16_t>(0x7231 + x * 47 + y * 131);
+            r[x][y].gen = b.reg("gen" + id, 16, seed);
+            g[x][y].gen = seed;
+            r[x][y].pendv = b.reg("pendv" + id, 1);
+            r[x][y].pendf = b.reg("pendf" + id, 16);
+        }
+    }
+
+    auto counters_injected = b.reg("injected", 32);
+    auto counters_delivered = b.reg("delivered", 32);
+    auto checksum = b.reg("checksum", 32);
+
+    // Per-router routing logic.  Outputs wired to the east/south
+    // neighbours' ring buffers.
+    struct RouterOut
+    {
+        Signal outXv, outXf, outYv, outYf;
+        Signal eject, ejectF;
+        Signal injected;
+        Signal pendvN, pendfN;
+    };
+    std::vector<std::vector<RouterOut>> out(
+        kDim, std::vector<RouterOut>(kDim));
+
+    for (unsigned x = 0; x < kDim; ++x) {
+        for (unsigned y = 0; y < kDim; ++y) {
+            Signal xv = r[x][y].xv.read();
+            Signal xf = r[x][y].xf.read();
+            Signal yv = r[x][y].yv.read();
+            Signal yf = r[x][y].yf.read();
+
+            Signal myx = b.lit(2, x), myy = b.lit(2, y);
+            Signal a_dx = xf.slice(14, 2), a_dy = xf.slice(12, 2);
+            Signal b_dy = yf.slice(12, 2);
+
+            // A (on the X ring): continue X, turn to Y, or eject.
+            Signal a_wantX = xv & !(a_dx == myx);
+            Signal a_here = xv & (a_dx == myx);
+            Signal a_wantY = a_here & !(a_dy == myy);
+            Signal a_wantEj = a_here & (a_dy == myy);
+            // B (on the Y ring): continue Y or eject.
+            Signal b_wantY = yv & !(b_dy == myy);
+            Signal b_wantEj = yv & (b_dy == myy);
+
+            // Y output: B has priority (ring continuation).
+            Signal outYv = b_wantY | a_wantY;
+            Signal outYf = b.mux(b_wantY, yf, xf);
+            // Eject: B first; A ejects only when B does not.
+            Signal eject = b_wantEj | (a_wantEj & !b_wantEj);
+            Signal ejectF = b.mux(b_wantEj, yf, xf);
+            // A deflects back to X if it lost its port.
+            Signal a_deflect = (a_wantY & b_wantY) |
+                               (a_wantEj & b_wantEj);
+            Signal a_toX = a_wantX | a_deflect;
+
+            // Local injection: pend flit enters X when X is free.
+            Signal can_inject = r[x][y].pendv.read() & !a_toX;
+            Signal outXv = a_toX | can_inject;
+            Signal outXf = b.mux(a_toX, xf, r[x][y].pendf.read());
+
+            // Pending generation: refill when empty.
+            Signal gen = r[x][y].gen.read();
+            Signal dest = gen.slice(4, 4);
+            Signal self = b.lit(4, x | (y << 2));
+            Signal fixed =
+                b.mux(dest == self, dest ^ b.lit(4, 5), dest);
+            // Flit layout: destX=[15:14] destY=[13:12]; fixed is
+            // (x | y<<2), so destX = fixed[1:0], destY = fixed[3:2].
+            Signal new_flit = b.cat(
+                {fixed.slice(0, 2), fixed.slice(2, 2), gen.slice(0, 12)});
+            Signal pend_empty = (!r[x][y].pendv.read()) | can_inject;
+            Signal pendvN = b.lit(1, 1); // refilled every cycle
+            Signal pendfN =
+                b.mux(pend_empty, new_flit, r[x][y].pendf.read());
+            b.next(r[x][y].gen, lfsr16(b, gen));
+
+            out[x][y] = {outXv, outXf, outYv,  outYf, eject,
+                         ejectF, can_inject, pendvN, pendfN};
+        }
+    }
+
+    // Wire ring buffers: east/south neighbours receive the outputs.
+    for (unsigned x = 0; x < kDim; ++x) {
+        for (unsigned y = 0; y < kDim; ++y) {
+            const RouterOut &west = out[(x + kDim - 1) % kDim][y];
+            const RouterOut &north = out[x][(y + kDim - 1) % kDim];
+            b.next(r[x][y].xv, west.outXv);
+            b.next(r[x][y].xf, west.outXf);
+            b.next(r[x][y].yv, north.outYv);
+            b.next(r[x][y].yf, north.outYf);
+            b.next(r[x][y].pendv, out[x][y].pendvN);
+            b.next(r[x][y].pendf, out[x][y].pendfN);
+        }
+    }
+
+    // Counters, checksum, and the conservation invariant.
+    Signal inj = b.lit(32, 0), del = b.lit(32, 0), fold = b.lit(16, 0);
+    Signal inflight = b.lit(32, 0);
+    for (unsigned x = 0; x < kDim; ++x) {
+        for (unsigned y = 0; y < kDim; ++y) {
+            inj = inj + out[x][y].injected.zext(32);
+            del = del + out[x][y].eject.zext(32);
+            fold = fold ^ b.mux(out[x][y].eject, out[x][y].ejectF,
+                                b.lit(16, 0));
+            inflight = inflight + r[x][y].xv.read().zext(32) +
+                       r[x][y].yv.read().zext(32);
+        }
+    }
+    b.next(counters_injected, counters_injected.read() + inj);
+    b.next(counters_delivered, counters_delivered.read() + del);
+    b.next(checksum, rotl32(checksum.read(), 1) ^ fold.zext(32));
+
+    // Conservation: flits injected == delivered + in flight, checked
+    // against the *registered* counters every cycle.
+    Signal expect_inflight =
+        counters_injected.read() - counters_delivered.read();
+    b.assertAlways(b.lit(1, 1), expect_inflight == inflight,
+                   "noc flit conservation violated");
+
+    // Golden model.
+    uint32_t g_checksum = 0;
+    for (uint64_t c = 0; c < check_cycles; ++c) {
+        struct GOut
+        {
+            bool xv = false, yv = false, ej = false, inj = false;
+            uint16_t xf = 0, yf = 0, ejf = 0;
+            bool pendvN = true;
+            uint16_t pendfN = 0;
+        };
+        GOut go[kDim][kDim];
+        uint16_t fold_now = 0;
+        for (unsigned x = 0; x < kDim; ++x) {
+            for (unsigned y = 0; y < kDim; ++y) {
+                GRouter &cur = g[x][y];
+                unsigned a_dx = (cur.xf >> 14) & 3;
+                unsigned a_dy = (cur.xf >> 12) & 3;
+                unsigned b_dy = (cur.yf >> 12) & 3;
+                bool a_wantX = cur.xv && a_dx != x;
+                bool a_here = cur.xv && a_dx == x;
+                bool a_wantY = a_here && a_dy != y;
+                bool a_wantEj = a_here && a_dy == y;
+                bool b_wantY = cur.yv && b_dy != y;
+                bool b_wantEj = cur.yv && b_dy == y;
+                GOut &o = go[x][y];
+                o.yv = b_wantY || a_wantY;
+                o.yf = b_wantY ? cur.yf : cur.xf;
+                o.ej = b_wantEj || (a_wantEj && !b_wantEj);
+                o.ejf = b_wantEj ? cur.yf : cur.xf;
+                bool a_deflect =
+                    (a_wantY && b_wantY) || (a_wantEj && b_wantEj);
+                bool a_toX = a_wantX || a_deflect;
+                bool can_inject = cur.pendv && !a_toX;
+                o.xv = a_toX || can_inject;
+                o.xf = a_toX ? cur.xf : cur.pendf;
+                o.inj = can_inject;
+                unsigned dest = (cur.gen >> 4) & 15;
+                unsigned self = x | (y << 2);
+                unsigned fixed = dest == self ? (dest ^ 5) : dest;
+                uint16_t new_flit = static_cast<uint16_t>(
+                    ((fixed & 3) << 14) | (((fixed >> 2) & 3) << 12) |
+                    (cur.gen & 0xfff));
+                bool pend_empty = !cur.pendv || can_inject;
+                o.pendfN = pend_empty ? new_flit : cur.pendf;
+                if (o.ej)
+                    fold_now ^= o.ejf;
+            }
+        }
+        g_checksum = rotl32(g_checksum, 1) ^ fold_now;
+        GRouter next_g[kDim][kDim];
+        for (unsigned x = 0; x < kDim; ++x) {
+            for (unsigned y = 0; y < kDim; ++y) {
+                const GOut &west = go[(x + kDim - 1) % kDim][y];
+                const GOut &north = go[x][(y + kDim - 1) % kDim];
+                next_g[x][y].xv = west.xv;
+                next_g[x][y].xf = west.xf;
+                next_g[x][y].yv = north.yv;
+                next_g[x][y].yf = north.yf;
+                next_g[x][y].pendv = go[x][y].pendvN;
+                next_g[x][y].pendf = go[x][y].pendfN;
+                next_g[x][y].gen = lfsr16(g[x][y].gen);
+            }
+        }
+        for (unsigned x = 0; x < kDim; ++x)
+            for (unsigned y = 0; y < kDim; ++y)
+                g[x][y] = next_g[x][y];
+    }
+
+    addDriver(b, check_cycles, checksum.read(), g_checksum, "noc");
+    return b.build();
+}
+
+const std::vector<Benchmark> &
+allBenchmarks()
+{
+    static const std::vector<Benchmark> kBenchmarks = {
+        {"vta", buildVta, 600},
+        {"mc", buildMc, 512},
+        {"noc", buildNoc, 512},
+        {"mm", buildMm, 256},
+        {"rv32r", buildRv32r, 512},
+        {"cgra", buildCgra, 512},
+        {"bc", buildBc, 512},
+        {"blur", buildBlur, 512},
+        {"jpeg", buildJpeg, 2048},
+    };
+    return kBenchmarks;
+}
+
+const std::vector<Benchmark> &
+allBenchmarksLarge()
+{
+    static const std::vector<Benchmark> kBenchmarks = {
+        {"vta", buildVta, 600},
+        {"mc", [](uint64_t c) { return buildMcSized(c, 128); }, 512},
+        {"noc", buildNoc, 512},
+        {"mm", [](uint64_t c) { return buildMmSized(c, 32); }, 256},
+        {"rv32r", buildRv32r, 512},
+        {"cgra", [](uint64_t c) { return buildCgraSized(c, 16); }, 512},
+        {"bc", [](uint64_t c) { return buildBcSized(c, 16); }, 512},
+        {"blur", buildBlur, 512},
+        {"jpeg", buildJpeg, 2048},
+    };
+    return kBenchmarks;
+}
+
+} // namespace manticore::designs

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * §7.7 global-stall microbenchmarks: a FIFO that streams its backing
+ * memory sequentially and a RAM that reads/writes pseudo-random
+ * (xorshift) addresses, each performing one load and one store per
+ * Vcycle.  At 1 KiB the memory fits a scratchpad; at 64 KiB it lives
+ * in DRAM but fits the privileged cache; at 512 KiB it spills to
+ * DRAM proper — reproducing Fig. 8's three regimes.
+ */
+
+#include "designs/designs.hh"
+
+#include "netlist/builder.hh"
+#include "support/logging.hh"
+
+namespace manticore::designs {
+
+using netlist::CircuitBuilder;
+using netlist::MemHandle;
+using netlist::Netlist;
+using netlist::Signal;
+
+namespace {
+
+Signal
+lfsr16s(CircuitBuilder &b, Signal x)
+{
+    Signal sh = x.lshr(1u);
+    return b.mux(x.bit(0), sh ^ b.lit(16, 0xB400), sh);
+}
+uint16_t
+lfsr16g(uint16_t x)
+{
+    uint16_t sh = x >> 1;
+    return (x & 1) ? sh ^ 0xB400 : sh;
+}
+
+Signal
+xorshift32s(Signal x)
+{
+    Signal a = x ^ x.shl(13u);
+    Signal c = a ^ a.lshr(17u);
+    return c ^ c.shl(5u);
+}
+uint32_t
+xorshift32g(uint32_t x)
+{
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    return x;
+}
+
+void
+microDriver(CircuitBuilder &b, uint64_t check_cycles, Signal checksum,
+            uint32_t golden, const std::string &name)
+{
+    auto cycle = b.reg("drv_cycle", 32);
+    b.next(cycle, cycle.read() + b.lit(32, 1));
+    Signal at_end = cycle.read() == b.lit(32, check_cycles);
+    b.display(at_end, name + ": checksum=%d", {checksum});
+    b.assertAlways(at_end, checksum == b.lit(32, golden),
+                   name + " checksum mismatch");
+    b.finish(at_end);
+}
+
+} // namespace
+
+Netlist
+buildFifoMicro(unsigned size_kib, uint64_t check_cycles)
+{
+    unsigned depth = size_kib * 1024 / 2; // 16-bit elements
+    MANTICORE_ASSERT((depth & (depth - 1)) == 0, "depth must be pow2");
+    CircuitBuilder b("fifo_micro_" + std::to_string(size_kib) + "k");
+
+    MemHandle mem = b.memory("fifo_mem", 16, depth);
+    unsigned aw = 32;
+    // Half-full steady state.  The occupancy is offset by a non-power-
+    // of-two so the two streaming pointers never alias to the same
+    // direct-mapped cache set (a real FIFO's sizing, not a benchmark
+    // of pathological conflict misses).
+    unsigned occupancy = depth / 2 + (depth > 2048 ? 1063 : 0);
+    auto head = b.reg("head", aw);
+    auto tail = b.reg("tail", aw, occupancy);
+    auto src = b.reg("src", 16, 0x5a5a);
+    b.next(src, lfsr16s(b, src.read()));
+
+    Signal popped = mem.read(head.read());
+    mem.write(tail.read(), src.read(), b.lit(1, 1));
+    b.next(head, head.read() + b.lit(aw, 1));
+    b.next(tail, tail.read() + b.lit(aw, 1));
+
+    auto checksum = b.reg("checksum", 32);
+    b.next(checksum,
+           (checksum.read().shl(1u) | checksum.read().lshr(31u)) ^
+               popped.zext(32));
+
+    // Golden.
+    std::vector<uint16_t> g_mem(depth, 0);
+    uint32_t g_head = 0, g_tail = occupancy;
+    uint16_t g_src = 0x5a5a;
+    uint32_t g_checksum = 0;
+    for (uint64_t c = 0; c < check_cycles; ++c) {
+        uint16_t popped_now = g_mem[g_head & (depth - 1)];
+        g_checksum = ((g_checksum << 1) | (g_checksum >> 31)) ^
+                     popped_now;
+        g_mem[g_tail & (depth - 1)] = g_src;
+        ++g_head;
+        ++g_tail;
+        g_src = lfsr16g(g_src);
+    }
+
+    microDriver(b, check_cycles, checksum.read(), g_checksum,
+                "fifo_micro");
+    return b.build();
+}
+
+Netlist
+buildRamMicro(unsigned size_kib, uint64_t check_cycles)
+{
+    unsigned depth = size_kib * 1024 / 2;
+    MANTICORE_ASSERT((depth & (depth - 1)) == 0, "depth must be pow2");
+    CircuitBuilder b("ram_micro_" + std::to_string(size_kib) + "k");
+
+    MemHandle mem = b.memory("ram_mem", 16, depth);
+    auto raddr = b.reg("raddr", 32, 0xdead4ea1);
+    auto waddr = b.reg("waddr", 32, 0x12345679);
+    auto src = b.reg("src", 16, 0x0bad);
+    b.next(raddr, xorshift32s(raddr.read()));
+    b.next(waddr, xorshift32s(waddr.read()));
+    b.next(src, lfsr16s(b, src.read()));
+
+    Signal loaded = mem.read(raddr.read());
+    mem.write(waddr.read(), src.read(), b.lit(1, 1));
+
+    auto checksum = b.reg("checksum", 32);
+    b.next(checksum,
+           (checksum.read().shl(1u) | checksum.read().lshr(31u)) ^
+               loaded.zext(32));
+
+    // Golden.
+    std::vector<uint16_t> g_mem(depth, 0);
+    uint32_t g_ra = 0xdead4ea1, g_wa = 0x12345679;
+    uint16_t g_src = 0x0bad;
+    uint32_t g_checksum = 0;
+    for (uint64_t c = 0; c < check_cycles; ++c) {
+        uint16_t loaded_now = g_mem[g_ra & (depth - 1)];
+        g_checksum = ((g_checksum << 1) | (g_checksum >> 31)) ^
+                     loaded_now;
+        g_mem[g_wa & (depth - 1)] = g_src;
+        g_ra = xorshift32g(g_ra);
+        g_wa = xorshift32g(g_wa);
+        g_src = lfsr16g(g_src);
+    }
+
+    microDriver(b, check_cycles, checksum.read(), g_checksum,
+                "ram_micro");
+    return b.build();
+}
+
+} // namespace manticore::designs

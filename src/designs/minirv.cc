@@ -1,0 +1,254 @@
+/**
+ * @file
+ * rv32r: sixteen MiniRV cores on a ring (the paper's benchmark is 16
+ * riscv-mini cores; DESIGN.md documents the substitution).  MiniRV is
+ * a from-scratch 16-bit accumulator-style RISC: 32-entry instruction
+ * ROM, eight registers, ALU (add/xor/and/shift/mul), a branch, and
+ * ring send/receive.  Each core runs a small self-looping program
+ * parameterised by its core id; a cross-core XOR fold feeds the
+ * self-checking driver.
+ */
+
+#include "designs/designs.hh"
+
+#include <array>
+
+#include "netlist/builder.hh"
+#include "support/logging.hh"
+
+namespace manticore::designs {
+
+using netlist::CircuitBuilder;
+using netlist::MemHandle;
+using netlist::Netlist;
+using netlist::RegHandle;
+using netlist::Signal;
+
+namespace {
+
+constexpr unsigned kCores = 16;
+constexpr unsigned kImem = 32;
+constexpr unsigned kRegs = 8;
+
+enum MiniOp : uint16_t
+{
+    kAddi = 0,
+    kAdd = 1,
+    kXor = 2,
+    kAnd = 3,
+    kSll = 4,
+    kLoadi = 5,
+    kBnez = 6,
+    kSendR = 7,
+    kRecv = 8,
+    kMul = 9,
+};
+
+uint16_t
+encode(MiniOp op, unsigned rd, unsigned rs, int imm6)
+{
+    return static_cast<uint16_t>((op << 12) | ((rd & 7) << 9) |
+                                 ((rs & 7) << 6) | (imm6 & 0x3f));
+}
+
+/** The per-core program: an arithmetic loop with ring traffic. */
+std::array<uint16_t, kImem>
+coreProgram(unsigned core)
+{
+    std::array<uint16_t, kImem> prog{};
+    unsigned i = 0;
+    prog[i++] = encode(kLoadi, 1, 0, 21);                  // r1 = 21
+    prog[i++] = encode(kLoadi, 2, 0, (core % 28) + 3);     // r2 = id+3
+    prog[i++] = encode(kAddi, 3, 3, 5);                    // r3 += 5
+    prog[i++] = encode(kXor, 4, 3, 2);                     // r4 = r3^r2
+    prog[i++] = encode(kMul, 5, 4, 3);                     // r5 = r4*r3
+    prog[i++] = encode(kSll, 6, 5, (core % 7) + 1);        // r6 = r5<<k
+    prog[i++] = encode(kSendR, 0, 6, 0);                   // ring <- r6
+    prog[i++] = encode(kRecv, 7, 0, 0);                    // r7 = ring
+    prog[i++] = encode(kAdd, 7, 7, 5);                     // r7 += r5
+    prog[i++] = encode(kAnd, 3, 7, 4);                     // r3 = r7&r4
+    prog[i++] = encode(kAddi, 1, 1, -1);                   // r1 -= 1
+    prog[i++] = encode(kBnez, 0, 1, -9);                   // loop to 2
+    prog[i++] = encode(kAddi, 3, 3, 9);                    // epilogue
+    prog[i++] = encode(kLoadi, 1, 0, 17);                  // r1 = 17
+    prog[i++] = encode(kBnez, 0, 1, -12);                  // loop to 2
+    while (i < kImem)
+        prog[i++] = encode(kAddi, 3, 3, 1);
+    // pc wraps to 0 after slot 31, restarting the program.
+    return prog;
+}
+
+int
+sext6(uint16_t imm)
+{
+    return (imm & 0x20) ? static_cast<int>(imm) - 64
+                        : static_cast<int>(imm);
+}
+
+/** Golden C++ model of one core's architectural step. */
+struct GCore
+{
+    uint16_t pc = 0;
+    std::array<uint16_t, kRegs> r{};
+    uint16_t ringOut = 0;
+};
+
+void
+stepCore(GCore &c, const std::array<uint16_t, kImem> &prog,
+         uint16_t ring_in, GCore &next)
+{
+    uint16_t inst = prog[c.pc & (kImem - 1)];
+    uint16_t op = inst >> 12;
+    unsigned rd = (inst >> 9) & 7;
+    unsigned rs = (inst >> 6) & 7;
+    uint16_t imm = inst & 0x3f;
+    uint16_t rsv = c.r[rs];
+    uint16_t rtv = c.r[imm & 7];
+
+    uint16_t res;
+    switch (op) {
+      case kAddi: res = static_cast<uint16_t>(rsv + sext6(imm)); break;
+      case kAdd: res = static_cast<uint16_t>(rsv + rtv); break;
+      case kXor: res = rsv ^ rtv; break;
+      case kAnd: res = rsv & rtv; break;
+      case kSll: {
+        unsigned amt = imm & 15;
+        res = static_cast<uint16_t>(rsv << amt);
+        break;
+      }
+      case kLoadi: res = imm; break;
+      case kRecv: res = ring_in; break;
+      case kMul: res = static_cast<uint16_t>(rsv * rtv); break;
+      default: res = rsv; break;
+    }
+
+    next = c;
+    bool writes = op != kBnez && op != kSendR;
+    if (writes)
+        next.r[rd] = res;
+    next.ringOut = op == kSendR ? rsv : c.ringOut;
+    if (op == kBnez && rsv != 0)
+        next.pc = static_cast<uint16_t>((c.pc + sext6(imm)) &
+                                        (kImem - 1));
+    else
+        next.pc = static_cast<uint16_t>((c.pc + 1) & (kImem - 1));
+}
+
+} // namespace
+
+Netlist
+buildRv32r(uint64_t check_cycles)
+{
+    CircuitBuilder b("rv32r");
+
+    struct HwCore
+    {
+        RegHandle pc;
+        std::array<RegHandle, kRegs> r;
+        RegHandle ringOut;
+        MemHandle imem;
+    };
+    std::array<HwCore, kCores> cores;
+    std::array<std::array<uint16_t, kImem>, kCores> progs;
+
+    for (unsigned c = 0; c < kCores; ++c) {
+        progs[c] = coreProgram(c);
+        std::vector<BitVector> image;
+        for (uint16_t word : progs[c])
+            image.emplace_back(16, word);
+        std::string id = std::to_string(c);
+        cores[c].imem = b.memory("imem" + id, 16, kImem, image);
+        cores[c].pc = b.reg("pc" + id, 16);
+        for (unsigned k = 0; k < kRegs; ++k)
+            cores[c].r[k] =
+                b.reg("c" + id + "_r" + std::to_string(k), 16);
+        cores[c].ringOut = b.reg("ring" + id, 16);
+    }
+
+    Signal fold = b.lit(16, 0);
+    for (unsigned c = 0; c < kCores; ++c) {
+        HwCore &core = cores[c];
+        Signal ring_in =
+            cores[(c + kCores - 1) % kCores].ringOut.read();
+
+        Signal inst = core.imem.read(core.pc.read());
+        Signal op = inst.slice(12, 4);
+        Signal rd = inst.slice(9, 3);
+        Signal rs = inst.slice(6, 3);
+        Signal imm = inst.slice(0, 6);
+        Signal imm_s = imm.sext(16);
+        Signal imm_z = imm.zext(16);
+
+        // Register-file read ports (mux trees).
+        auto read_port = [&](Signal sel) {
+            Signal v = core.r[0].read();
+            for (unsigned k = 1; k < kRegs; ++k)
+                v = b.mux(sel == b.lit(3, k), core.r[k].read(), v);
+            return v;
+        };
+        Signal rsv = read_port(rs);
+        Signal rtv = read_port(imm.slice(0, 3));
+
+        auto is = [&](MiniOp o) { return op == b.lit(4, o); };
+
+        Signal res = rsv;
+        res = b.mux(is(kAddi), rsv + imm_s, res);
+        res = b.mux(is(kAdd), rsv + rtv, res);
+        res = b.mux(is(kXor), rsv ^ rtv, res);
+        res = b.mux(is(kAnd), rsv & rtv, res);
+        res = b.mux(is(kSll), rsv.shl(imm_z & b.lit(16, 15)), res);
+        res = b.mux(is(kLoadi), imm_z, res);
+        res = b.mux(is(kRecv), ring_in, res);
+        res = b.mux(is(kMul), rsv * rtv, res);
+
+        Signal writes = (!is(kBnez)) & (!is(kSendR));
+        for (unsigned k = 0; k < kRegs; ++k) {
+            Signal hit = writes & (rd == b.lit(3, k));
+            b.next(core.r[k], b.mux(hit, res, core.r[k].read()));
+        }
+        b.next(core.ringOut, b.mux(is(kSendR), rsv, core.ringOut.read()));
+
+        Signal taken = is(kBnez) & !(rsv == b.lit(16, 0));
+        Signal pc_next = b.mux(taken, core.pc.read() + imm_s,
+                               core.pc.read() + b.lit(16, 1));
+        b.next(core.pc, pc_next & b.lit(16, kImem - 1));
+
+        fold = fold ^ core.r[7].read() ^ core.pc.read();
+    }
+
+    auto checksum = b.reg("checksum", 32);
+    Signal csh = checksum.read().shl(1u) |
+                 checksum.read().lshr(31u);
+    b.next(checksum, csh ^ fold.zext(32));
+
+    // Golden model.
+    std::array<GCore, kCores> g, gn;
+    uint32_t g_checksum = 0;
+    for (uint64_t cyc = 0; cyc < check_cycles; ++cyc) {
+        uint16_t fold_now = 0;
+        for (unsigned c = 0; c < kCores; ++c)
+            fold_now ^= g[c].r[7] ^ g[c].pc;
+        g_checksum =
+            ((g_checksum << 1) | (g_checksum >> 31)) ^ fold_now;
+        for (unsigned c = 0; c < kCores; ++c) {
+            uint16_t ring_in = g[(c + kCores - 1) % kCores].ringOut;
+            stepCore(g[c], progs[c], ring_in, gn[c]);
+        }
+        g = gn;
+    }
+
+    // Driver.
+    auto cycle = b.reg("drv_cycle", 32);
+    b.next(cycle, cycle.read() + b.lit(32, 1));
+    Signal at_end = cycle.read() == b.lit(32, check_cycles);
+    b.display(at_end, "rv32r: checksum=%d after %d cycles",
+              {checksum.read(), cycle.read()});
+    b.assertAlways(at_end, checksum.read() == b.lit(32, g_checksum),
+                   "rv32r checksum mismatch (golden " +
+                       std::to_string(g_checksum) + ")");
+    b.finish(at_end);
+
+    return b.build();
+}
+
+} // namespace manticore::designs

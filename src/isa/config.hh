@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Machine configuration shared by the compiler, the ISA interpreter,
+ * and the cycle-level machine simulator.  Defaults mirror the paper's
+ * FPGA prototype (§5): 16-bit datapath, 2048x17 register file, 4096-
+ * entry instruction memory, 16384x16 scratchpad, 32 CFU slots,
+ * unidirectional 2-D torus NoC, privileged core with a 128 KiB
+ * direct-mapped write-back cache in front of DRAM.
+ */
+
+#ifndef MANTICORE_ISA_CONFIG_HH
+#define MANTICORE_ISA_CONFIG_HH
+
+namespace manticore::isa {
+
+struct MachineConfig
+{
+    /// Grid dimensions (paper evaluates 15x15 = 225 cores).
+    unsigned gridX = 15;
+    unsigned gridY = 15;
+
+    /// Instruction memory entries per core (also bounds the receive
+    /// window: incoming messages are stored as SET instructions).
+    unsigned imemSize = 4096;
+
+    /// Machine registers per core (17-bit entries: 16 data + carry).
+    unsigned regFileSize = 2048;
+
+    /// Scratchpad words (16-bit) per core.
+    unsigned scratchSize = 16384;
+
+    /// Custom-function slots per core.
+    unsigned custSlots = 32;
+
+    /// Slots between an instruction and the first slot that can read
+    /// its result (14-stage pipeline, §5.1).
+    unsigned pipelineLatency = 11;
+
+    /// Cycles from SEND issue until the message enters the NoC.
+    unsigned sendInjectLatency = 2;
+
+    /// Cycles per NoC hop (switch traversal).
+    unsigned hopLatency = 1;
+
+    /// Privileged-core data cache (global memory path, §5.3).
+    unsigned cacheBytes = 128 * 1024;
+    unsigned cacheLineBytes = 64;
+    /// Global stall cycles charged on a cache hit / miss (every access
+    /// preemptively stalls all cores and the NoC, §5.3).
+    unsigned cacheHitStall = 12;
+    unsigned cacheMissStall = 120;
+
+    /// Compute-clock frequency of the modelled implementation in kHz
+    /// (475 MHz for the guided 15x15 floorplan, Table 1).
+    double clockKhz = 475'000.0;
+
+    unsigned numCores() const { return gridX * gridY; }
+};
+
+} // namespace manticore::isa
+
+#endif // MANTICORE_ISA_CONFIG_HH

@@ -1,0 +1,264 @@
+#include "isa/encode.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace manticore::isa {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'A', 'N', 'T', 'I', 'C', 'O', 'R'};
+constexpr uint32_t kVersion = 1;
+
+class Writer
+{
+  public:
+    explicit Writer(std::vector<uint8_t> &out) : _out(out) {}
+
+    void
+    bytes(const void *data, size_t n)
+    {
+        const uint8_t *p = static_cast<const uint8_t *>(data);
+        _out.insert(_out.end(), p, p + n);
+    }
+
+    void u8(uint8_t v) { bytes(&v, 1); }
+    void u16(uint16_t v) { bytes(&v, 2); }
+    void u32(uint32_t v) { bytes(&v, 4); }
+    void u64(uint64_t v) { bytes(&v, 8); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        bytes(s.data(), s.size());
+    }
+
+  private:
+    std::vector<uint8_t> &_out;
+};
+
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t> &in) : _in(in) {}
+
+    void
+    bytes(void *data, size_t n)
+    {
+        MANTICORE_ASSERT(_pos + n <= _in.size(), "binary image truncated");
+        std::memcpy(data, _in.data() + _pos, n);
+        _pos += n;
+    }
+
+    uint8_t u8() { uint8_t v; bytes(&v, 1); return v; }
+    uint16_t u16() { uint16_t v; bytes(&v, 2); return v; }
+    uint32_t u32() { uint32_t v; bytes(&v, 4); return v; }
+    uint64_t u64() { uint64_t v; bytes(&v, 8); return v; }
+
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        std::string s(n, '\0');
+        bytes(s.data(), n);
+        return s;
+    }
+
+  private:
+    const std::vector<uint8_t> &_in;
+    size_t _pos = 0;
+};
+
+} // namespace
+
+void
+encodeInstruction(const Instruction &inst, uint8_t out[16])
+{
+    // opcode(1) rd(2) rs1(2) rs2(2) rs3(2) rs4(2) imm(2) target(3)
+    auto reg16 = [](Reg r) -> uint16_t {
+        return r == kNoReg ? 0xffff : static_cast<uint16_t>(r);
+    };
+    out[0] = static_cast<uint8_t>(inst.opcode);
+    uint16_t fields[6] = {reg16(inst.rd), reg16(inst.rs1),
+                          reg16(inst.rs2), reg16(inst.rs3),
+                          reg16(inst.rs4), inst.imm};
+    std::memcpy(out + 1, fields, 12);
+    out[13] = static_cast<uint8_t>(inst.target);
+    out[14] = static_cast<uint8_t>(inst.target >> 8);
+    out[15] = static_cast<uint8_t>(inst.target >> 16);
+}
+
+Instruction
+decodeInstruction(const uint8_t in[16])
+{
+    Instruction inst;
+    MANTICORE_ASSERT(in[0] < static_cast<uint8_t>(Opcode::NumOpcodes),
+                     "bad opcode byte ", static_cast<int>(in[0]));
+    inst.opcode = static_cast<Opcode>(in[0]);
+    uint16_t fields[6];
+    std::memcpy(fields, in + 1, 12);
+    auto reg = [](uint16_t v) -> Reg {
+        return v == 0xffff ? kNoReg : v;
+    };
+    inst.rd = reg(fields[0]);
+    inst.rs1 = reg(fields[1]);
+    inst.rs2 = reg(fields[2]);
+    inst.rs3 = reg(fields[3]);
+    inst.rs4 = reg(fields[4]);
+    inst.imm = fields[5];
+    inst.target = in[13] | (in[14] << 8) | (in[15] << 16);
+    return inst;
+}
+
+std::vector<uint8_t>
+encodeProgram(const Program &program)
+{
+    std::vector<uint8_t> out;
+    Writer w(out);
+    w.bytes(kMagic, 8);
+    w.u32(kVersion);
+
+    w.u32(static_cast<uint32_t>(program.exceptions.size()));
+    for (size_t i = 0; i < program.exceptions.size(); ++i) {
+        const ExceptionInfo &e =
+            program.exceptions.info(static_cast<uint16_t>(i));
+        w.u8(static_cast<uint8_t>(e.kind));
+        w.str(e.format);
+        w.u32(static_cast<uint32_t>(e.argChunkAddrs.size()));
+        for (size_t a = 0; a < e.argChunkAddrs.size(); ++a) {
+            w.u32(e.argWidths[a]);
+            w.u32(static_cast<uint32_t>(e.argChunkAddrs[a].size()));
+            for (uint64_t addr : e.argChunkAddrs[a])
+                w.u64(addr);
+        }
+    }
+
+    w.u64(program.globalWordsReserved);
+    w.u64(static_cast<uint64_t>(program.globalInit.size()));
+    for (const auto &[addr, value] : program.globalInit) {
+        w.u64(addr);
+        w.u16(value);
+    }
+    w.u32(program.vcpl);
+
+    w.u32(static_cast<uint32_t>(program.placement.size()));
+    for (auto [x, y] : program.placement) {
+        w.u32(x);
+        w.u32(y);
+    }
+
+    w.u32(static_cast<uint32_t>(program.processes.size()));
+    for (const Process &p : program.processes) {
+        w.u32(p.id);
+        w.u8(p.privileged ? 1 : 0);
+        w.u32(p.epilogueLength);
+
+        w.u32(static_cast<uint32_t>(p.init.size()));
+        for (const auto &[reg, v] : p.init) {
+            w.u32(reg);
+            w.u16(v);
+        }
+
+        w.u32(static_cast<uint32_t>(p.functions.size()));
+        for (const CustomFunction &f : p.functions)
+            for (uint16_t lane : f.lut)
+                w.u16(lane);
+
+        w.u32(static_cast<uint32_t>(p.scratchInit.size()));
+        for (uint16_t word : p.scratchInit)
+            w.u16(word);
+
+        w.u32(static_cast<uint32_t>(p.body.size()));
+        for (const Instruction &inst : p.body) {
+            uint8_t rec[16];
+            encodeInstruction(inst, rec);
+            w.bytes(rec, 16);
+        }
+    }
+    return out;
+}
+
+Program
+decodeProgram(const std::vector<uint8_t> &image)
+{
+    Reader r(image);
+    char magic[8];
+    r.bytes(magic, 8);
+    MANTICORE_ASSERT(std::memcmp(magic, kMagic, 8) == 0, "bad magic");
+    uint32_t version = r.u32();
+    MANTICORE_ASSERT(version == kVersion, "unsupported version ", version);
+
+    Program program;
+    uint32_t num_exc = r.u32();
+    for (uint32_t i = 0; i < num_exc; ++i) {
+        ExceptionInfo e;
+        e.kind = static_cast<ExceptionKind>(r.u8());
+        e.format = r.str();
+        uint32_t num_args = r.u32();
+        for (uint32_t a = 0; a < num_args; ++a) {
+            e.argWidths.push_back(r.u32());
+            uint32_t chunks = r.u32();
+            std::vector<uint64_t> addrs;
+            for (uint32_t c = 0; c < chunks; ++c)
+                addrs.push_back(r.u64());
+            e.argChunkAddrs.push_back(std::move(addrs));
+        }
+        program.exceptions.add(std::move(e));
+    }
+
+    program.globalWordsReserved = r.u64();
+    uint64_t num_ginit = r.u64();
+    for (uint64_t i = 0; i < num_ginit; ++i) {
+        uint64_t addr = r.u64();
+        uint16_t value = r.u16();
+        program.globalInit.emplace_back(addr, value);
+    }
+    program.vcpl = r.u32();
+
+    uint32_t num_place = r.u32();
+    for (uint32_t i = 0; i < num_place; ++i) {
+        uint32_t x = r.u32();
+        uint32_t y = r.u32();
+        program.placement.emplace_back(x, y);
+    }
+
+    uint32_t num_procs = r.u32();
+    for (uint32_t i = 0; i < num_procs; ++i) {
+        Process p;
+        p.id = r.u32();
+        p.privileged = r.u8() != 0;
+        p.epilogueLength = r.u32();
+
+        uint32_t num_init = r.u32();
+        for (uint32_t k = 0; k < num_init; ++k) {
+            Reg reg = r.u32();
+            p.init[reg] = r.u16();
+        }
+
+        uint32_t num_funcs = r.u32();
+        for (uint32_t k = 0; k < num_funcs; ++k) {
+            CustomFunction f;
+            for (auto &lane : f.lut)
+                lane = r.u16();
+            p.functions.push_back(f);
+        }
+
+        uint32_t num_scratch = r.u32();
+        p.scratchInit.resize(num_scratch);
+        for (auto &word : p.scratchInit)
+            word = r.u16();
+
+        uint32_t num_insts = r.u32();
+        for (uint32_t k = 0; k < num_insts; ++k) {
+            uint8_t rec[16];
+            r.bytes(rec, 16);
+            p.body.push_back(decodeInstruction(rec));
+        }
+        program.processes.push_back(std::move(p));
+    }
+    return program;
+}
+
+} // namespace manticore::isa

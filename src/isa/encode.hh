@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Binary program encoding: the artifact the compiler emits and the
+ * runtime's bootloader streams into the instruction memories (§A.3.1).
+ *
+ * Layout (all little-endian):
+ *   "MANTICOR" magic, u32 version, u32 process count, exception table,
+ *   then per process: header (id, flags, counts), boot-constant pairs,
+ *   CFU truth tables, scratchpad image, and the instruction stream at
+ *   16 bytes per instruction.  The per-process footer carries
+ *   EPILOGUE_LENGTH as described in the paper's boot protocol.
+ *
+ * Note on density: the FPGA prototype packs instructions into 64-bit
+ * words; we use a fixed 16-byte record so every field is addressable
+ * without bit-twiddling.  Timing is unaffected (one instruction per
+ * slot either way); DESIGN.md records the deviation.
+ */
+
+#ifndef MANTICORE_ISA_ENCODE_HH
+#define MANTICORE_ISA_ENCODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace manticore::isa {
+
+/** Serialise a program to its binary image. */
+std::vector<uint8_t> encodeProgram(const Program &program);
+
+/** Parse a binary image back into a program; fatal() on corruption. */
+Program decodeProgram(const std::vector<uint8_t> &image);
+
+/** Encode one instruction into a 16-byte record. */
+void encodeInstruction(const Instruction &inst, uint8_t out[16]);
+Instruction decodeInstruction(const uint8_t in[16]);
+
+} // namespace manticore::isa
+
+#endif // MANTICORE_ISA_ENCODE_HH

@@ -1,0 +1,284 @@
+#include "isa/interpreter.hh"
+
+#include "support/logging.hh"
+
+namespace manticore::isa {
+
+namespace {
+
+constexpr uint32_t kCarryBit = 1u << 16;
+
+uint16_t val(uint32_t r) { return static_cast<uint16_t>(r); }
+uint32_t carry(uint32_t r) { return (r & kCarryBit) ? 1 : 0; }
+
+} // namespace
+
+Interpreter::Interpreter(const Program &program, const MachineConfig &config)
+    : _program(program), _config(config)
+{
+    validate(program, config);
+    _procs.resize(program.processes.size());
+    for (size_t i = 0; i < program.processes.size(); ++i) {
+        const Process &p = program.processes[i];
+        Reg max_reg = 0;
+        for (const Instruction &inst : p.body) {
+            if (inst.destination() != kNoReg)
+                max_reg = std::max(max_reg, inst.destination());
+            for (Reg s : inst.sources())
+                max_reg = std::max(max_reg, s);
+            if (inst.opcode == Opcode::Send) {
+                // rd names a register in the *target* process; handled
+                // when the message is applied.
+            }
+        }
+        for (const auto &[reg, v] : p.init)
+            max_reg = std::max(max_reg, reg);
+        _procs[i].regs.assign(static_cast<size_t>(max_reg) + 1, 0);
+        for (const auto &[reg, v] : p.init)
+            _procs[i].regs[reg] = v;
+        _procs[i].scratch.assign(_config.scratchSize, 0);
+        for (size_t a = 0; a < p.scratchInit.size(); ++a)
+            _procs[i].scratch[a] = p.scratchInit[a];
+    }
+    for (const auto &[addr, value] : program.globalInit)
+        _global.write(addr, value);
+}
+
+uint32_t &
+Interpreter::regRef(uint32_t pid, Reg reg)
+{
+    auto &regs = _procs[pid].regs;
+    if (reg >= regs.size())
+        regs.resize(reg + 1, 0);
+    return regs[reg];
+}
+
+uint16_t
+Interpreter::regValue(uint32_t pid, Reg reg) const
+{
+    const auto &regs = _procs.at(pid).regs;
+    return reg < regs.size() ? val(regs[reg]) : 0;
+}
+
+bool
+Interpreter::regCarry(uint32_t pid, Reg reg) const
+{
+    const auto &regs = _procs.at(pid).regs;
+    return reg < regs.size() && (regs[reg] & kCarryBit);
+}
+
+uint16_t
+Interpreter::scratchValue(uint32_t pid, uint32_t addr) const
+{
+    return _procs.at(pid).scratch.at(addr);
+}
+
+void
+Interpreter::executeProcess(uint32_t pid)
+{
+    const Process &p = _program.processes[pid];
+    ProcState &st = _procs[pid];
+
+    for (const Instruction &inst : p.body) {
+        if (_status == RunStatus::Failed)
+            return;
+        if (inst.opcode != Opcode::Nop)
+            ++_instretNonNop;
+        auto rs = [&](Reg r) -> uint32_t {
+            return r < st.regs.size() ? st.regs[r] : 0;
+        };
+        auto wr = [&](uint16_t v, bool c = false) {
+            regRef(pid, inst.rd) = v | (c ? kCarryBit : 0);
+        };
+        switch (inst.opcode) {
+          case Opcode::Nop:
+            break;
+          case Opcode::Set:
+            wr(inst.imm);
+            break;
+          case Opcode::Mov:
+            wr(val(rs(inst.rs1)));
+            break;
+          case Opcode::Add: {
+            uint32_t s = val(rs(inst.rs1)) + val(rs(inst.rs2));
+            wr(static_cast<uint16_t>(s), s > 0xffff);
+            break;
+          }
+          case Opcode::Addc: {
+            uint32_t s = val(rs(inst.rs1)) + val(rs(inst.rs2)) +
+                         carry(rs(inst.rs3));
+            wr(static_cast<uint16_t>(s), s > 0xffff);
+            break;
+          }
+          case Opcode::Sub: {
+            uint32_t a = val(rs(inst.rs1));
+            uint32_t b = val(rs(inst.rs2));
+            wr(static_cast<uint16_t>(a - b), b > a);
+            break;
+          }
+          case Opcode::Subb: {
+            uint32_t a = val(rs(inst.rs1));
+            uint32_t b = val(rs(inst.rs2)) + carry(rs(inst.rs3));
+            wr(static_cast<uint16_t>(a - b), b > a);
+            break;
+          }
+          case Opcode::Mul: {
+            uint32_t m = static_cast<uint32_t>(val(rs(inst.rs1))) *
+                         val(rs(inst.rs2));
+            wr(static_cast<uint16_t>(m));
+            break;
+          }
+          case Opcode::Mulh: {
+            uint32_t m = static_cast<uint32_t>(val(rs(inst.rs1))) *
+                         val(rs(inst.rs2));
+            wr(static_cast<uint16_t>(m >> 16));
+            break;
+          }
+          case Opcode::And:
+            wr(val(rs(inst.rs1)) & val(rs(inst.rs2)));
+            break;
+          case Opcode::Or:
+            wr(val(rs(inst.rs1)) | val(rs(inst.rs2)));
+            break;
+          case Opcode::Xor:
+            wr(val(rs(inst.rs1)) ^ val(rs(inst.rs2)));
+            break;
+          case Opcode::Sll: {
+            unsigned amt = val(rs(inst.rs2));
+            wr(amt >= 16 ? 0
+                         : static_cast<uint16_t>(val(rs(inst.rs1)) << amt));
+            break;
+          }
+          case Opcode::Srl: {
+            unsigned amt = val(rs(inst.rs2));
+            wr(amt >= 16 ? 0
+                         : static_cast<uint16_t>(val(rs(inst.rs1)) >> amt));
+            break;
+          }
+          case Opcode::Seq:
+            wr(val(rs(inst.rs1)) == val(rs(inst.rs2)) ? 1 : 0);
+            break;
+          case Opcode::Sltu:
+            wr(val(rs(inst.rs1)) < val(rs(inst.rs2)) ? 1 : 0);
+            break;
+          case Opcode::Slts:
+            wr(static_cast<int16_t>(val(rs(inst.rs1))) <
+                       static_cast<int16_t>(val(rs(inst.rs2)))
+                   ? 1
+                   : 0);
+            break;
+          case Opcode::Mux:
+            wr((rs(inst.rs1) & 1) ? val(rs(inst.rs2))
+                                  : val(rs(inst.rs3)));
+            break;
+          case Opcode::Slice: {
+            unsigned lo = inst.sliceLo();
+            unsigned len = inst.sliceLen();
+            uint16_t mask =
+                len >= 16 ? 0xffff
+                          : static_cast<uint16_t>((1u << len) - 1);
+            wr(static_cast<uint16_t>((val(rs(inst.rs1)) >> lo) & mask));
+            break;
+          }
+          case Opcode::Cust: {
+            const CustomFunction &f = p.functions[inst.imm];
+            wr(f.apply(val(rs(inst.rs1)), val(rs(inst.rs2)),
+                       val(rs(inst.rs3)), val(rs(inst.rs4))));
+            break;
+          }
+          case Opcode::Lld: {
+            uint32_t addr =
+                (val(rs(inst.rs1)) + inst.imm) % _config.scratchSize;
+            wr(st.scratch[addr]);
+            break;
+          }
+          case Opcode::Lst: {
+            if (st.pred) {
+                uint32_t addr =
+                    (val(rs(inst.rs1)) + inst.imm) % _config.scratchSize;
+                st.scratch[addr] = val(rs(inst.rs2));
+            }
+            break;
+          }
+          case Opcode::Gld: {
+            uint64_t addr = (val(rs(inst.rs1)) |
+                             (static_cast<uint64_t>(val(rs(inst.rs2)))
+                              << 16)) +
+                            inst.imm;
+            wr(_global.read(addr));
+            break;
+          }
+          case Opcode::Gst: {
+            if (st.pred) {
+                uint64_t addr =
+                    (val(rs(inst.rs1)) |
+                     (static_cast<uint64_t>(val(rs(inst.rs2))) << 16)) +
+                    inst.imm;
+                _global.write(addr, val(rs(inst.rs3)));
+            }
+            break;
+          }
+          case Opcode::Pred:
+            st.pred = rs(inst.rs1) & 1;
+            break;
+          case Opcode::Send:
+            ++_sends;
+            _pendingSends.push_back(
+                {inst.target, inst.rd, val(rs(inst.rs1))});
+            break;
+          case Opcode::Expect: {
+            if (val(rs(inst.rs1)) != val(rs(inst.rs2))) {
+                HostAction action = HostAction::Finish;
+                if (onException)
+                    action = onException(pid, inst.imm);
+                if (action == HostAction::Finish &&
+                    _status == RunStatus::Running) {
+                    _status = RunStatus::Finished;
+                } else if (action == HostAction::Fail) {
+                    _status = RunStatus::Failed;
+                }
+            }
+            break;
+          }
+          case Opcode::NumOpcodes:
+            MANTICORE_PANIC("bad opcode");
+        }
+    }
+}
+
+RunStatus
+Interpreter::stepVcycle()
+{
+    if (_status == RunStatus::Failed)
+        return _status;
+    RunStatus entry_status = _status;
+
+    for (uint32_t pid = 0; pid < _program.processes.size(); ++pid) {
+        executeProcess(pid);
+        if (_status == RunStatus::Failed)
+            return _status;
+    }
+
+    // Vcycle epilogue: apply all buffered messages as SETs.
+    for (const Message &m : _pendingSends)
+        regRef(m.targetPid, m.targetReg) = m.value;
+    _pendingSends.clear();
+
+    ++_vcycle;
+    // A Finish raised before this Vcycle keeps the program finished;
+    // one raised during it takes effect now (the Vcycle completes).
+    if (entry_status == RunStatus::Finished)
+        _status = RunStatus::Finished;
+    return _status;
+}
+
+RunStatus
+Interpreter::run(uint64_t max_vcycles)
+{
+    for (uint64_t i = 0; i < max_vcycles && _status == RunStatus::Running;
+         ++i)
+        stepVcycle();
+    return _status;
+}
+
+} // namespace manticore::isa

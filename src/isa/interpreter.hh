@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Full-fledged functional ISA simulator, parameterised by the hardware
+ * configuration (§6 of the paper).  It executes one Vcycle at a time:
+ * every process body runs to completion in program order, SENDs are
+ * buffered and applied at the Vcycle boundary (the epilogue), and
+ * EXPECT mismatches are serviced through a host callback exactly at
+ * the raise point, mirroring the global-stall exception mechanism.
+ *
+ * The interpreter is untimed; the machine simulator (src/machine) adds
+ * the cycle-level pipeline/NoC/cache model.  Both must produce
+ * identical architectural state, which the test suite checks.
+ */
+
+#ifndef MANTICORE_ISA_INTERPRETER_HH
+#define MANTICORE_ISA_INTERPRETER_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace manticore::isa {
+
+/** Word-addressed 16-bit global (DRAM) memory shared by the
+ *  interpreter, the machine simulator, and the host runtime. */
+class GlobalMemory
+{
+  public:
+    uint16_t
+    read(uint64_t addr) const
+    {
+        auto it = _words.find(addr);
+        return it == _words.end() ? 0 : it->second;
+    }
+
+    void write(uint64_t addr, uint16_t value) { _words[addr] = value; }
+    size_t footprint() const { return _words.size(); }
+
+  private:
+    std::unordered_map<uint64_t, uint16_t> _words;
+};
+
+enum class RunStatus
+{
+    Running,
+    Finished,
+    Failed,
+};
+
+/** What the host decides after servicing an exception. */
+enum class HostAction
+{
+    Continue,
+    Finish,
+    Fail,
+};
+
+class Interpreter
+{
+  public:
+    Interpreter(const Program &program, const MachineConfig &config);
+
+    /** Execute one Vcycle; returns the status after servicing any
+     *  exceptions raised during it. */
+    RunStatus stepVcycle();
+
+    /** Run until finish/failure or max_vcycles. */
+    RunStatus run(uint64_t max_vcycles);
+
+    uint64_t vcycle() const { return _vcycle; }
+    RunStatus status() const { return _status; }
+
+    /** Raised when an EXPECT fires; defaults to Finish on any
+     *  exception.  The runtime::Host installs the real servicing. */
+    std::function<HostAction(uint32_t pid, uint16_t eid)> onException;
+
+    /** 16-bit value of a register of a process. */
+    uint16_t regValue(uint32_t pid, Reg reg) const;
+    /** Carry bit of a register of a process. */
+    bool regCarry(uint32_t pid, Reg reg) const;
+    uint16_t scratchValue(uint32_t pid, uint32_t addr) const;
+
+    GlobalMemory &globalMemory() { return _global; }
+    const GlobalMemory &globalMemory() const { return _global; }
+
+    /** Dynamic instruction count (excluding NOp) over all processes. */
+    uint64_t instructionsExecuted() const { return _instretNonNop; }
+    uint64_t sendsExecuted() const { return _sends; }
+
+  private:
+    struct ProcState
+    {
+        std::vector<uint32_t> regs; ///< bit 16 = carry
+        std::vector<uint16_t> scratch;
+        bool pred = false;
+    };
+
+    void executeProcess(uint32_t pid);
+    uint32_t &regRef(uint32_t pid, Reg reg);
+
+    const Program &_program;
+    MachineConfig _config;
+    std::vector<ProcState> _procs;
+    GlobalMemory _global;
+
+    struct Message
+    {
+        uint32_t targetPid;
+        Reg targetReg;
+        uint16_t value;
+    };
+    std::vector<Message> _pendingSends;
+
+    uint64_t _vcycle = 0;
+    RunStatus _status = RunStatus::Running;
+    uint64_t _instretNonNop = 0;
+    uint64_t _sends = 0;
+};
+
+} // namespace manticore::isa
+
+#endif // MANTICORE_ISA_INTERPRETER_HH

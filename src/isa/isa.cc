@@ -1,0 +1,228 @@
+#include "isa/isa.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace manticore::isa {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "NOP";
+      case Opcode::Set: return "SET";
+      case Opcode::Mov: return "MOV";
+      case Opcode::Add: return "ADD";
+      case Opcode::Addc: return "ADDC";
+      case Opcode::Sub: return "SUB";
+      case Opcode::Subb: return "SUBB";
+      case Opcode::Mul: return "MUL";
+      case Opcode::Mulh: return "MULH";
+      case Opcode::And: return "AND";
+      case Opcode::Or: return "OR";
+      case Opcode::Xor: return "XOR";
+      case Opcode::Sll: return "SLL";
+      case Opcode::Srl: return "SRL";
+      case Opcode::Seq: return "SEQ";
+      case Opcode::Sltu: return "SLTU";
+      case Opcode::Slts: return "SLTS";
+      case Opcode::Mux: return "MUX";
+      case Opcode::Slice: return "SLICE";
+      case Opcode::Cust: return "CUST";
+      case Opcode::Lld: return "LLD";
+      case Opcode::Lst: return "LST";
+      case Opcode::Gld: return "GLD";
+      case Opcode::Gst: return "GST";
+      case Opcode::Pred: return "PRED";
+      case Opcode::Send: return "SEND";
+      case Opcode::Expect: return "EXPECT";
+      case Opcode::NumOpcodes: break;
+    }
+    return "?";
+}
+
+std::vector<Reg>
+Instruction::sources() const
+{
+    std::vector<Reg> srcs;
+    auto push = [&](Reg r) {
+        if (r != kNoReg)
+            srcs.push_back(r);
+    };
+    switch (opcode) {
+      case Opcode::Nop:
+      case Opcode::Set:
+        break;
+      case Opcode::Mov:
+      case Opcode::Pred:
+      case Opcode::Send:
+        push(rs1);
+        break;
+      case Opcode::Slice:
+      case Opcode::Lld:
+        push(rs1);
+        break;
+      case Opcode::Lst:
+        push(rs1);
+        push(rs2);
+        break;
+      case Opcode::Addc:
+      case Opcode::Subb:
+      case Opcode::Mux:
+      case Opcode::Gst:
+        push(rs1);
+        push(rs2);
+        push(rs3);
+        break;
+      case Opcode::Cust:
+        push(rs1);
+        push(rs2);
+        push(rs3);
+        push(rs4);
+        break;
+      default:
+        push(rs1);
+        push(rs2);
+        break;
+    }
+    return srcs;
+}
+
+Reg
+Instruction::destination() const
+{
+    switch (opcode) {
+      case Opcode::Nop:
+      case Opcode::Lst:
+      case Opcode::Gst:
+      case Opcode::Pred:
+      case Opcode::Send:
+      case Opcode::Expect:
+        return kNoReg;
+      default:
+        return rd;
+    }
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(opcode);
+    auto r = [](Reg reg) { return "$r" + std::to_string(reg); };
+    switch (opcode) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Set:
+        os << " " << r(rd) << ", " << imm;
+        break;
+      case Opcode::Mov:
+        os << " " << r(rd) << ", " << r(rs1);
+        break;
+      case Opcode::Slice:
+        os << " " << r(rd) << ", " << r(rs1) << "[" << sliceLo() << " +: "
+           << sliceLen() << "]";
+        break;
+      case Opcode::Cust:
+        os << " " << r(rd) << ", f" << imm << "(" << r(rs1) << ", "
+           << r(rs2) << ", " << r(rs3) << ", " << r(rs4) << ")";
+        break;
+      case Opcode::Lld:
+        os << " " << r(rd) << ", [" << r(rs1) << " + " << imm << "]";
+        break;
+      case Opcode::Lst:
+        os << " [" << r(rs1) << " + " << imm << "], " << r(rs2);
+        break;
+      case Opcode::Gld:
+        os << " " << r(rd) << ", [" << r(rs1) << ":" << r(rs2) << "]";
+        break;
+      case Opcode::Gst:
+        os << " [" << r(rs1) << ":" << r(rs2) << "], " << r(rs3);
+        break;
+      case Opcode::Pred:
+        os << " " << r(rs1);
+        break;
+      case Opcode::Send:
+        os << " p" << target << "." << r(rd) << ", " << r(rs1);
+        break;
+      case Opcode::Expect:
+        os << " " << r(rs1) << ", " << r(rs2) << ", eid=" << imm;
+        break;
+      case Opcode::Addc:
+      case Opcode::Subb:
+      case Opcode::Mux:
+        os << " " << r(rd) << ", " << r(rs1) << ", " << r(rs2) << ", "
+           << r(rs3);
+        break;
+      default:
+        os << " " << r(rd) << ", " << r(rs1) << ", " << r(rs2);
+        break;
+    }
+    return os.str();
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    for (const Process &p : processes) {
+        os << ".p" << p.id << (p.privileged ? " (privileged)" : "");
+        if (p.id < placement.size())
+            os << " @(" << placement[p.id].first << ","
+               << placement[p.id].second << ")";
+        os << "\n";
+        for (const auto &[reg, val] : p.init)
+            os << "  init $r" << reg << " = " << val << "\n";
+        for (size_t i = 0; i < p.body.size(); ++i)
+            os << "  0x" << std::hex << i << std::dec << ": "
+               << p.body[i].toString() << "\n";
+    }
+    return os.str();
+}
+
+void
+validate(const Program &program, const MachineConfig &config)
+{
+    size_t num_priv = 0;
+    for (const Process &p : program.processes) {
+        if (p.privileged)
+            ++num_priv;
+        for (const Instruction &inst : p.body) {
+            bool priv_inst = inst.opcode == Opcode::Gld ||
+                             inst.opcode == Opcode::Gst ||
+                             inst.opcode == Opcode::Expect;
+            if (priv_inst && !p.privileged)
+                MANTICORE_FATAL("privileged instruction ",
+                                inst.toString(), " in process ", p.id);
+            if (inst.opcode == Opcode::Cust &&
+                inst.imm >= p.functions.size())
+                MANTICORE_FATAL("CUST references missing function ",
+                                inst.imm, " in process ", p.id);
+            if (inst.opcode == Opcode::Send &&
+                inst.target >= program.processes.size())
+                MANTICORE_FATAL("SEND to unknown process ", inst.target);
+            if (inst.opcode == Opcode::Slice &&
+                (inst.sliceLo() >= 16 || inst.sliceLen() == 0 ||
+                 inst.sliceLo() + inst.sliceLen() > 16))
+                MANTICORE_FATAL("bad SLICE range in process ", p.id);
+        }
+        if (p.functions.size() > config.custSlots)
+            MANTICORE_FATAL("process ", p.id, " uses ",
+                            p.functions.size(), " CFU slots (max ",
+                            config.custSlots, ")");
+        if (p.scratchInit.size() > config.scratchSize)
+            MANTICORE_FATAL("process ", p.id, " scratch overflow");
+    }
+    if (num_priv > 1)
+        MANTICORE_FATAL("multiple privileged processes");
+    if (!program.placement.empty()) {
+        if (program.placement.size() != program.processes.size())
+            MANTICORE_FATAL("placement size mismatch");
+        for (auto [x, y] : program.placement)
+            if (x >= config.gridX || y >= config.gridY)
+                MANTICORE_FATAL("placement outside grid");
+    }
+}
+
+} // namespace manticore::isa

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The Manticore lower-assembly instruction set (§4.2 of the paper) and
+ * its program containers.
+ *
+ * The datapath is 16 bits wide.  Registers are 17 bits: the low 16
+ * hold the value, the 17th is an overflow/carry bit written by ADD/SUB
+ * and consumed by ADDC/SUBB to build wide arithmetic (§5.1).  Programs
+ * are branch-free; control flow is replaced by predication (MUX for
+ * values, PRED-gated stores for memory).  Cores communicate only via
+ * SEND; received messages become SET instructions executed in the
+ * Vcycle epilogue.  EXPECT raises a host-serviced exception when its
+ * operands differ and is the mechanism behind $display/$finish and
+ * assertions.  GLD/GST (and EXPECT) are privileged: they globally
+ * stall the grid and may only appear in the one privileged process.
+ *
+ * Before register allocation, register operands are virtual (dense
+ * uint32 SSA names); afterwards they are machine registers
+ * (0..regFileSize-1).  The same Instruction struct serves both.
+ */
+
+#ifndef MANTICORE_ISA_ISA_HH
+#define MANTICORE_ISA_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/config.hh"
+
+namespace manticore::isa {
+
+using Reg = uint32_t;
+constexpr Reg kNoReg = 0xffffffffu;
+
+enum class Opcode : uint8_t
+{
+    Nop,
+    Set,   ///< rd = imm (also the wire format of received messages)
+    Mov,   ///< rd = rs1 (RTL register current<-next update)
+    Add,   ///< rd = rs1 + rs2; rd.carry = carry-out
+    Addc,  ///< rd = rs1 + rs2 + rs3.carry; rd.carry = carry-out
+    Sub,   ///< rd = rs1 - rs2; rd.carry = borrow-out
+    Subb,  ///< rd = rs1 - rs2 - rs3.carry; rd.carry = borrow-out
+    Mul,   ///< rd = low16(rs1 * rs2)
+    Mulh,  ///< rd = high16(rs1 * rs2)
+    And,
+    Or,
+    Xor,
+    Sll,   ///< rd = rs1 << rs2 (>=16 yields 0)
+    Srl,   ///< rd = rs1 >> rs2 (>=16 yields 0)
+    Seq,   ///< rd = (rs1 == rs2)
+    Sltu,  ///< rd = (rs1 < rs2), unsigned
+    Slts,  ///< rd = (rs1 < rs2), signed 16-bit
+    Mux,   ///< rd = (rs1 & 1) ? rs2 : rs3
+    Slice, ///< rd = (rs1 >> sliceLo()) & ((1 << sliceLen()) - 1)
+    Cust,  ///< rd = CFU[imm](rs1, rs2, rs3, rs4), per-bit-lane LUTs
+    Lld,   ///< rd = scratch[rs1 + imm]
+    Lst,   ///< if (pred) scratch[rs1 + imm] = rs2
+    Gld,   ///< privileged: rd = global[(rs1 | rs2 << 16) + imm]
+    Gst,   ///< privileged: if (pred) global[(rs1 | rs2 << 16) + imm] = rs3
+    Pred,  ///< pred = rs1 & 1
+    Send,  ///< send value rs1 to register rd of process 'target'
+    Expect,///< privileged: raise exception imm when rs1 != rs2
+    NumOpcodes,
+};
+
+const char *opcodeName(Opcode op);
+
+struct Instruction
+{
+    Opcode opcode = Opcode::Nop;
+    Reg rd = kNoReg;
+    Reg rs1 = kNoReg;
+    Reg rs2 = kNoReg;
+    Reg rs3 = kNoReg;
+    Reg rs4 = kNoReg;
+    /// SET immediate / EXPECT exception id / CUST slot / LLD-LST
+    /// offset / packed SLICE (lo | len << 8).
+    uint16_t imm = 0;
+    /// SEND target process id.
+    uint32_t target = 0;
+
+    unsigned sliceLo() const { return imm & 0xff; }
+    unsigned sliceLen() const { return imm >> 8; }
+    static uint16_t packSlice(unsigned lo, unsigned len)
+    {
+        return static_cast<uint16_t>((lo & 0xff) | (len << 8));
+    }
+
+    /// Registers read by this instruction (in rs order).
+    std::vector<Reg> sources() const;
+    /// Register written, or kNoReg.  SEND writes no local register.
+    Reg destination() const;
+    /// True for instructions that read the rs3 carry bit.
+    bool readsCarry() const
+    {
+        return opcode == Opcode::Addc || opcode == Opcode::Subb;
+    }
+
+    std::string toString() const;
+};
+
+/** Kinds of host services reachable through EXPECT exceptions. */
+enum class ExceptionKind : uint8_t
+{
+    Display,    ///< $display: format against args in global memory
+    Finish,     ///< $finish: stop simulation after this Vcycle
+    AssertFail, ///< failed assertion: stop with an error
+};
+
+struct ExceptionInfo
+{
+    ExceptionKind kind = ExceptionKind::Finish;
+    std::string format;  ///< Display format / assert message
+    /// Global-memory word addresses of the display argument chunks,
+    /// low-to-high per argument.
+    std::vector<std::vector<uint64_t>> argChunkAddrs;
+    std::vector<unsigned> argWidths;
+};
+
+class ExceptionTable
+{
+  public:
+    uint16_t add(ExceptionInfo info)
+    {
+        _infos.push_back(std::move(info));
+        return static_cast<uint16_t>(_infos.size() - 1);
+    }
+    const ExceptionInfo &info(uint16_t eid) const { return _infos.at(eid); }
+    size_t size() const { return _infos.size(); }
+
+  private:
+    std::vector<ExceptionInfo> _infos;
+};
+
+/** One CFU slot: 16 per-bit-lane truth tables.  Output bit i is
+ *  lut[i] indexed by {rs4_i, rs3_i, rs2_i, rs1_i} (rs1 is the LSB of
+ *  the index), giving 16 x 16 = 256 configuration bits (§5.1). */
+struct CustomFunction
+{
+    std::array<uint16_t, 16> lut{};
+
+    uint16_t
+    apply(uint16_t a, uint16_t b, uint16_t c, uint16_t d) const
+    {
+        uint16_t out = 0;
+        for (unsigned i = 0; i < 16; ++i) {
+            unsigned idx = ((a >> i) & 1) | (((b >> i) & 1) << 1) |
+                           (((c >> i) & 1) << 2) | (((d >> i) & 1) << 3);
+            out |= static_cast<uint16_t>((lut[i] >> idx) & 1) << i;
+        }
+        return out;
+    }
+
+    bool operator==(const CustomFunction &o) const { return lut == o.lut; }
+};
+
+/** A process: the unit of parallelism, mapped 1:1 onto a core. */
+struct Process
+{
+    uint32_t id = 0;
+    bool privileged = false;
+    std::vector<Instruction> body;
+    /// Boot-time register constants (constants + RTL register inits).
+    std::unordered_map<Reg, uint16_t> init;
+    /// CFU configurations, indexed by CUST imm.
+    std::vector<CustomFunction> functions;
+    /// Initial scratchpad contents (prefix; rest is zero).
+    std::vector<uint16_t> scratchInit;
+    /// Number of messages this process receives per Vcycle
+    /// (EPILOGUE_LENGTH, filled by the scheduler).
+    unsigned epilogueLength = 0;
+};
+
+/** A compiled program: processes, placement, exception metadata. */
+struct Program
+{
+    std::vector<Process> processes;
+    ExceptionTable exceptions;
+    /// Core coordinates (x, y) per process id; filled at placement.
+    std::vector<std::pair<unsigned, unsigned>> placement;
+    /// Highest global-memory word address used by lowering (the
+    /// display-argument buffer and DRAM-resident design memories).
+    uint64_t globalWordsReserved = 0;
+    /// DRAM boot image: initial contents of DRAM-resident memories,
+    /// copied in by the runtime before execution starts (§A.3).
+    std::vector<std::pair<uint64_t, uint16_t>> globalInit;
+    /// Virtual critical-path length in machine cycles, filled by the
+    /// scheduler: the Vcycle length every core obeys.
+    unsigned vcpl = 0;
+
+    std::string toString() const;
+};
+
+/** Structural checks: operand presence, privileged placement, imm
+ *  ranges, CFU indices; fatal() on violation. */
+void validate(const Program &program, const MachineConfig &config);
+
+} // namespace manticore::isa
+
+#endif // MANTICORE_ISA_ISA_HH

@@ -1,0 +1,77 @@
+#include "machine/fpga_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace manticore::machine {
+
+unsigned
+FpgaModel::maxCores() const
+{
+    return (device.uramAvailable - device.cacheUrams) / core.uram;
+}
+
+namespace {
+
+/** Piecewise-linear interpolation over (cores, MHz) calibration
+ *  points; extrapolates the final segment's slope past the last
+ *  point, clamped at 50 MHz. */
+double
+interp(const std::vector<std::pair<double, double>> &pts, double cores)
+{
+    if (cores <= pts.front().first)
+        return pts.front().second;
+    for (size_t i = 1; i < pts.size(); ++i) {
+        if (cores <= pts[i].first) {
+            double t = (cores - pts[i - 1].first) /
+                       (pts[i].first - pts[i - 1].first);
+            return pts[i - 1].second +
+                   t * (pts[i].second - pts[i - 1].second);
+        }
+    }
+    const auto &[x1, y1] = pts[pts.size() - 2];
+    const auto &[x2, y2] = pts.back();
+    double slope = (y2 - y1) / (x2 - x1);
+    return std::max(50.0, y2 + slope * (cores - x2));
+}
+
+} // namespace
+
+double
+FpgaModel::fmaxMhz(unsigned grid_x, unsigned grid_y, bool guided) const
+{
+    unsigned cores = grid_x * grid_y;
+    if (cores > maxCores())
+        return 0.0;
+
+    // Mechanism (§7.2, §A.5): below ~160 cores the design fits the
+    // shell-free top of the die and closes near 500 MHz.  Beyond that,
+    // cores wrap around the immovable shell and cross SLRs.  With
+    // automatic floorplanning the critical path snakes through the
+    // congested C-region and frequency collapses; guided floorplanning
+    // pins the torus switches to the centre SLR and splits cores over
+    // the outer SLRs, paying only a mild per-crossing cost.  The
+    // calibration points are Table 1's measurements.
+    static const std::vector<std::pair<double, double>> auto_pts = {
+        {64, 500}, {100, 485}, {144, 480}, {160, 475},
+        {225, 395}, {256, 180}};
+    static const std::vector<std::pair<double, double>> guided_pts = {
+        {64, 500}, {144, 500}, {160, 495}, {225, 475}, {256, 450}};
+    return interp(guided ? guided_pts : auto_pts,
+                  static_cast<double>(cores));
+}
+
+std::vector<std::pair<std::string, double>>
+FpgaModel::coreUtilization() const
+{
+    return {
+        {"LUT", static_cast<double>(core.lut) / device.lut},
+        {"LUTRAM", static_cast<double>(core.lutram) / device.lutram},
+        {"FF", static_cast<double>(core.ff) / device.ff},
+        {"BRAM", static_cast<double>(core.bram) / device.bram},
+        {"URAM", static_cast<double>(core.uram) / device.uram},
+        {"DSP", static_cast<double>(core.dsp) / device.dsp},
+    };
+}
+
+} // namespace manticore::machine

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Analytic model of the Manticore FPGA physical design on the Alveo
+ * U200 (§7.2, §A.5, §A.7 of the paper).  The real artifact is a
+ * Vivado place-and-route run; this model encodes the mechanisms the
+ * paper describes — the three-SLR floorplan, the immovable PCIe shell
+ * carving a C-shaped user region, SLR-crossing costs, and the URAM
+ * budget that caps the core count — and reproduces the reported
+ * frequency/resource tables from them.  DESIGN.md documents this
+ * substitution.
+ */
+
+#ifndef MANTICORE_MACHINE_FPGA_MODEL_HH
+#define MANTICORE_MACHINE_FPGA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace manticore::machine {
+
+/** Per-core resource vector (Table 7). */
+struct CoreResources
+{
+    unsigned lut = 545;
+    unsigned lutram = 128;
+    unsigned ff = 1358;
+    unsigned bram = 4;
+    unsigned uram = 2;
+    unsigned dsp = 1;
+    unsigned srl = 102;
+};
+
+/** U200 device totals (public datasheet figures). */
+struct DeviceResources
+{
+    unsigned lut = 1'182'240;
+    unsigned lutram = 591'840;
+    unsigned ff = 2'364'480;
+    unsigned bram = 2160;
+    unsigned uram = 960;
+    unsigned dsp = 6840;
+    unsigned slrs = 3;
+    /// URAMs usable by Manticore after the shell's share (the paper
+    /// counts "800 available URAMs", §7.2 fn. 4)...
+    unsigned uramAvailable = 800;
+    /// ...of which the privileged core's cache takes four.
+    unsigned cacheUrams = 4;
+};
+
+class FpgaModel
+{
+  public:
+    FpgaModel() = default;
+
+    /** Maximum cores the URAM budget allows (398 on the U200). */
+    unsigned maxCores() const;
+
+    /** Achievable clock (MHz) for a grid, with automatic or guided
+     *  floorplanning (Table 1).  Returns 0 when the grid does not
+     *  fit. */
+    double fmaxMhz(unsigned grid_x, unsigned grid_y, bool guided) const;
+
+    /** Fraction [0,1] of each device resource a single core uses. */
+    std::vector<std::pair<std::string, double>> coreUtilization() const;
+
+    CoreResources core;
+    DeviceResources device;
+
+  private:
+    /// Cores that fit in the shell-free region at the top of the die
+    /// (the paper: below 160 cores timing closes untouched).
+    static constexpr unsigned kUnobstructedCores = 160;
+    static constexpr double kBaseMhz = 500.0;
+};
+
+} // namespace manticore::machine
+
+#endif // MANTICORE_MACHINE_FPGA_MODEL_HH

@@ -1,0 +1,382 @@
+#include "machine/machine.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace manticore::machine {
+
+using isa::HostAction;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+using isa::RunStatus;
+using isa::kNoReg;
+
+namespace {
+constexpr uint32_t kCarryBit = 1u << 16;
+}
+
+CacheModel::CacheModel(const isa::MachineConfig &config)
+    : _wordsPerLine(config.cacheLineBytes / 2),
+      _numLines(config.cacheBytes / config.cacheLineBytes),
+      _hitStall(config.cacheHitStall), _missStall(config.cacheMissStall),
+      _tags(_numLines, 0), _valid(_numLines, false)
+{
+}
+
+unsigned
+CacheModel::access(uint64_t word_addr, bool is_write, PerfCounters &perf)
+{
+    (void)is_write; // write-allocate: hits and misses cost the same
+    uint64_t line = word_addr / _wordsPerLine;
+    unsigned idx = static_cast<unsigned>(line % _numLines);
+    uint64_t tag = line / _numLines;
+    if (_valid[idx] && _tags[idx] == tag) {
+        ++perf.cacheHits;
+        return _hitStall;
+    }
+    ++perf.cacheMisses;
+    _valid[idx] = true;
+    _tags[idx] = tag;
+    return _missStall;
+}
+
+Machine::Machine(const isa::Program &program,
+                 const isa::MachineConfig &config)
+    : _program(program), _config(config), _cache(config)
+{
+    isa::validate(program, config);
+    MANTICORE_ASSERT(!program.placement.empty(),
+                     "program must be placed (run the scheduler)");
+    MANTICORE_ASSERT(program.vcpl > 0, "program must be scheduled");
+
+    _cores.resize(program.processes.size());
+    for (size_t p = 0; p < program.processes.size(); ++p) {
+        const isa::Process &proc = program.processes[p];
+        MANTICORE_ASSERT(proc.body.size() + proc.epilogueLength <=
+                             _config.imemSize,
+                         "instruction memory overflow in process ", p);
+        Reg max_reg = 0;
+        for (const auto &[reg, v] : proc.init)
+            max_reg = std::max(max_reg, reg);
+        for (const Instruction &inst : proc.body) {
+            for (Reg s : inst.sources())
+                max_reg = std::max(max_reg, s);
+            if (inst.destination() != kNoReg)
+                max_reg = std::max(max_reg, inst.destination());
+        }
+        _cores[p].regs.assign(
+            std::min<size_t>(max_reg + 1, _config.regFileSize), 0);
+        for (const auto &[reg, v] : proc.init)
+            _cores[p].regs.at(reg) = v;
+        _cores[p].scratch.assign(_config.scratchSize, 0);
+        std::copy(proc.scratchInit.begin(), proc.scratchInit.end(),
+                  _cores[p].scratch.begin());
+    }
+    for (const auto &[addr, value] : program.globalInit)
+        _global.write(addr, value);
+}
+
+uint16_t
+Machine::readReg(const Core &core, Reg r) const
+{
+    return static_cast<uint16_t>(readRegRaw(core, r));
+}
+
+uint32_t
+Machine::readRegRaw(const Core &core, Reg r) const
+{
+    return r < core.regs.size() ? core.regs[r] : 0;
+}
+
+void
+Machine::commitDue(Core &core, uint64_t cycle)
+{
+    auto it = core.pending.begin();
+    while (it != core.pending.end()) {
+        if (it->commitCycle <= cycle) {
+            if (it->reg >= core.regs.size())
+                core.regs.resize(it->reg + 1, 0);
+            core.regs[it->reg] = it->value;
+            it = core.pending.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Machine::executeSlot(uint32_t pid, const Instruction &inst, uint64_t cycle)
+{
+    Core &core = _cores[pid];
+    if (inst.opcode != Opcode::Nop)
+        ++_perf.instructionsExecuted;
+
+    auto rs = [&](Reg r) { return readReg(core, r); };
+    auto rsraw = [&](Reg r) { return readRegRaw(core, r); };
+    auto wr = [&](uint16_t v, bool c = false) {
+        core.pending.push_back(
+            {cycle + _config.pipelineLatency, inst.rd,
+             static_cast<uint32_t>(v) | (c ? kCarryBit : 0)});
+    };
+
+    switch (inst.opcode) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Set:
+        wr(inst.imm);
+        break;
+      case Opcode::Mov:
+        wr(rs(inst.rs1));
+        break;
+      case Opcode::Add: {
+        uint32_t s = rs(inst.rs1) + rs(inst.rs2);
+        wr(static_cast<uint16_t>(s), s > 0xffff);
+        break;
+      }
+      case Opcode::Addc: {
+        uint32_t s = rs(inst.rs1) + rs(inst.rs2) +
+                     ((rsraw(inst.rs3) & kCarryBit) ? 1 : 0);
+        wr(static_cast<uint16_t>(s), s > 0xffff);
+        break;
+      }
+      case Opcode::Sub: {
+        uint32_t a = rs(inst.rs1), b = rs(inst.rs2);
+        wr(static_cast<uint16_t>(a - b), b > a);
+        break;
+      }
+      case Opcode::Subb: {
+        uint32_t a = rs(inst.rs1);
+        uint32_t b = rs(inst.rs2) +
+                     ((rsraw(inst.rs3) & kCarryBit) ? 1 : 0);
+        wr(static_cast<uint16_t>(a - b), b > a);
+        break;
+      }
+      case Opcode::Mul:
+        wr(static_cast<uint16_t>(
+            static_cast<uint32_t>(rs(inst.rs1)) * rs(inst.rs2)));
+        break;
+      case Opcode::Mulh:
+        wr(static_cast<uint16_t>(
+            (static_cast<uint32_t>(rs(inst.rs1)) * rs(inst.rs2)) >> 16));
+        break;
+      case Opcode::And:
+        wr(rs(inst.rs1) & rs(inst.rs2));
+        break;
+      case Opcode::Or:
+        wr(rs(inst.rs1) | rs(inst.rs2));
+        break;
+      case Opcode::Xor:
+        wr(rs(inst.rs1) ^ rs(inst.rs2));
+        break;
+      case Opcode::Sll: {
+        unsigned amt = rs(inst.rs2);
+        wr(amt >= 16 ? 0 : static_cast<uint16_t>(rs(inst.rs1) << amt));
+        break;
+      }
+      case Opcode::Srl: {
+        unsigned amt = rs(inst.rs2);
+        wr(amt >= 16 ? 0 : static_cast<uint16_t>(rs(inst.rs1) >> amt));
+        break;
+      }
+      case Opcode::Seq:
+        wr(rs(inst.rs1) == rs(inst.rs2) ? 1 : 0);
+        break;
+      case Opcode::Sltu:
+        wr(rs(inst.rs1) < rs(inst.rs2) ? 1 : 0);
+        break;
+      case Opcode::Slts:
+        wr(static_cast<int16_t>(rs(inst.rs1)) <
+                   static_cast<int16_t>(rs(inst.rs2))
+               ? 1
+               : 0);
+        break;
+      case Opcode::Mux:
+        wr((rs(inst.rs1) & 1) ? rs(inst.rs2) : rs(inst.rs3));
+        break;
+      case Opcode::Slice: {
+        unsigned lo = inst.sliceLo();
+        unsigned len = inst.sliceLen();
+        uint16_t mask =
+            len >= 16 ? 0xffff : static_cast<uint16_t>((1u << len) - 1);
+        wr(static_cast<uint16_t>((rs(inst.rs1) >> lo) & mask));
+        break;
+      }
+      case Opcode::Cust: {
+        const isa::CustomFunction &f =
+            _program.processes[pid].functions[inst.imm];
+        wr(f.apply(rs(inst.rs1), rs(inst.rs2), rs(inst.rs3),
+                   rs(inst.rs4)));
+        break;
+      }
+      case Opcode::Lld: {
+        uint32_t addr = (rs(inst.rs1) + inst.imm) % _config.scratchSize;
+        wr(core.scratch[addr]);
+        break;
+      }
+      case Opcode::Lst: {
+        if (core.pred) {
+            uint32_t addr =
+                (rs(inst.rs1) + inst.imm) % _config.scratchSize;
+            core.scratch[addr] = rs(inst.rs2);
+        }
+        break;
+      }
+      case Opcode::Gld: {
+        uint64_t addr =
+            (rs(inst.rs1) |
+             (static_cast<uint64_t>(rs(inst.rs2)) << 16)) +
+            inst.imm;
+        _pendingStall += _cache.access(addr, false, _perf);
+        wr(_global.read(addr));
+        break;
+      }
+      case Opcode::Gst: {
+        // A predicated-off store never reaches the memory stage, so
+        // no global stall is charged; a retiring store stalls
+        // preemptively whether it hits or misses (§5.3).
+        if (core.pred) {
+            uint64_t addr =
+                (rs(inst.rs1) |
+                 (static_cast<uint64_t>(rs(inst.rs2)) << 16)) +
+                inst.imm;
+            _pendingStall += _cache.access(addr, true, _perf);
+            _global.write(addr, rs(inst.rs3));
+        }
+        break;
+      }
+      case Opcode::Pred:
+        core.pred = rs(inst.rs1) & 1;
+        break;
+      case Opcode::Send: {
+        auto [sx, sy] = _program.placement[pid];
+        auto [tx, ty] = _program.placement[inst.target];
+        uint64_t entry = cycle + _config.sendInjectLatency;
+        unsigned x = sx, y = sy;
+        unsigned hops = 0;
+        auto reserve = [&](unsigned dim) {
+            uint32_t link = (y * _config.gridX + x) * 2 + dim;
+            uint64_t key = (static_cast<uint64_t>(link) << 32) |
+                           (entry + hops * _config.hopLatency);
+            if (!_linkBusy.insert(key).second)
+                MANTICORE_PANIC("NoC link collision at cycle ",
+                                entry + hops, " on link ", link,
+                                " — compiler routing bug");
+            ++hops;
+        };
+        while (x != tx) {
+            reserve(0);
+            x = (x + 1) % _config.gridX;
+        }
+        while (y != ty) {
+            reserve(1);
+            y = (y + 1) % _config.gridY;
+        }
+        uint64_t arrival = entry + hops * _config.hopLatency;
+        MANTICORE_ASSERT(arrival <= _program.vcpl,
+                         "message arrives after the Vcycle window");
+        _inFlight.push_back(
+            {inst.target, inst.rd, rs(inst.rs1), arrival});
+        break;
+      }
+      case Opcode::Expect: {
+        if (rs(inst.rs1) != rs(inst.rs2)) {
+            // Precise exception: the grid stalls, the host services.
+            _pendingStall += _config.cacheMissStall;
+            HostAction action = HostAction::Finish;
+            if (onException)
+                action = onException(pid, inst.imm);
+            if (action == HostAction::Finish &&
+                _status == RunStatus::Running)
+                _status = RunStatus::Finished;
+            else if (action == HostAction::Fail)
+                _status = RunStatus::Failed;
+        }
+        break;
+      }
+      case Opcode::NumOpcodes:
+        MANTICORE_PANIC("bad opcode");
+    }
+}
+
+RunStatus
+Machine::runVcycle()
+{
+    if (_status == RunStatus::Failed)
+        return _status;
+    RunStatus entry_status = _status;
+
+    _linkBusy.clear();
+    _inFlight.clear();
+
+    for (uint64_t cycle = 0; cycle < _program.vcpl; ++cycle) {
+        for (uint32_t pid = 0; pid < _cores.size(); ++pid) {
+            commitDue(_cores[pid], cycle);
+            const auto &body = _program.processes[pid].body;
+            if (cycle < body.size())
+                executeSlot(pid, body[cycle], cycle);
+            if (_status == RunStatus::Failed)
+                return _status;
+        }
+    }
+
+    // Drain: everything commits inside the sleep window by
+    // construction (VCPL >= max body + latency).
+    for (auto &core : _cores) {
+        commitDue(core, _program.vcpl + _config.pipelineLatency);
+        MANTICORE_ASSERT(core.pending.empty(),
+                         "write escaped the Vcycle drain window");
+    }
+
+    // Epilogue: apply received messages; verify the static count.
+    std::vector<unsigned> received(_cores.size(), 0);
+    for (const Message &m : _inFlight) {
+        Core &core = _cores[m.targetPid];
+        if (m.targetReg >= core.regs.size())
+            core.regs.resize(m.targetReg + 1, 0);
+        core.regs[m.targetReg] = m.value;
+        ++received[m.targetPid];
+        ++_perf.messagesDelivered;
+    }
+    for (uint32_t pid = 0; pid < _cores.size(); ++pid) {
+        MANTICORE_ASSERT(
+            received[pid] == _program.processes[pid].epilogueLength,
+            "process ", pid, " received ", received[pid],
+            " messages, expected ",
+            _program.processes[pid].epilogueLength);
+    }
+
+    ++_perf.vcycles;
+    _perf.activeCycles += _program.vcpl;
+    _perf.stallCycles += _pendingStall;
+    _pendingStall = 0;
+
+    if (entry_status == RunStatus::Finished)
+        _status = RunStatus::Finished;
+    return _status;
+}
+
+RunStatus
+Machine::run(uint64_t max_vcycles)
+{
+    for (uint64_t i = 0; i < max_vcycles && _status == RunStatus::Running;
+         ++i)
+        runVcycle();
+    return _status;
+}
+
+uint16_t
+Machine::regValue(uint32_t pid, Reg reg) const
+{
+    const auto &regs = _cores.at(pid).regs;
+    return reg < regs.size() ? static_cast<uint16_t>(regs[reg]) : 0;
+}
+
+uint16_t
+Machine::scratchValue(uint32_t pid, uint32_t addr) const
+{
+    return _cores.at(pid).scratch.at(addr);
+}
+
+} // namespace manticore::machine

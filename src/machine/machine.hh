@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Cycle-level simulator of the Manticore grid (§4, §5 of the paper) —
+ * this repository's substitute for the Alveo U200 prototype.
+ *
+ * The model executes the static schedule exactly as the hardware
+ * contract promises the compiler:
+ *  - all cores run in lockstep, one instruction slot per compute
+ *    cycle, with register writebacks committing pipelineLatency
+ *    cycles after issue;
+ *  - SENDs traverse the unidirectional torus with dimension-ordered
+ *    routing at one cycle per hop; the bufferless switches are
+ *    *verified*, not trusted: two messages on one link in the same
+ *    cycle abort the simulation (the compiler must prevent this);
+ *  - received messages are applied at the Vcycle boundary (the
+ *    epilogue SET window), and their count is checked against the
+ *    compiler's EPILOGUE_LENGTH;
+ *  - global memory accesses and exceptions globally stall the grid:
+ *    the privileged core's direct-mapped write-back cache charges
+ *    hit/miss stall cycles to everyone (§5.3), counted separately by
+ *    the hardware performance counters (§7.7).
+ */
+
+#ifndef MANTICORE_MACHINE_MACHINE_HH
+#define MANTICORE_MACHINE_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "isa/config.hh"
+#include "isa/interpreter.hh"
+#include "isa/isa.hh"
+
+namespace manticore::machine {
+
+/** Hardware performance counters (used by Fig. 8). */
+struct PerfCounters
+{
+    uint64_t vcycles = 0;
+    /// Compute-clock cycles spent executing (vcycles * VCPL).
+    uint64_t activeCycles = 0;
+    /// Extra cycles the control domain held the compute clock.
+    uint64_t stallCycles = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t messagesDelivered = 0;
+    uint64_t instructionsExecuted = 0; ///< non-NOP
+
+    uint64_t totalCycles() const { return activeCycles + stallCycles; }
+};
+
+/** Direct-mapped write-back write-allocate cache model.  Only the
+ *  timing metadata lives here; data goes straight to GlobalMemory
+ *  (the host flushes the cache when it intervenes, §A.3.2, so the
+ *  backing store is always the architectural truth). */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const isa::MachineConfig &config);
+
+    /** Access one 16-bit word; returns the stall cycles charged. */
+    unsigned access(uint64_t word_addr, bool is_write,
+                    PerfCounters &perf);
+
+  private:
+    unsigned _wordsPerLine;
+    unsigned _numLines;
+    unsigned _hitStall;
+    unsigned _missStall;
+    std::vector<uint64_t> _tags;
+    std::vector<bool> _valid;
+};
+
+class Machine
+{
+  public:
+    Machine(const isa::Program &program,
+            const isa::MachineConfig &config);
+
+    /** Simulate one Vcycle (VCPL compute cycles plus any stalls). */
+    isa::RunStatus runVcycle();
+
+    /** Run until finish/failure or max_vcycles. */
+    isa::RunStatus run(uint64_t max_vcycles);
+
+    isa::RunStatus status() const { return _status; }
+    const PerfCounters &perf() const { return _perf; }
+
+    /** Host exception servicing, as in the ISA interpreter. */
+    std::function<isa::HostAction(uint32_t pid, uint16_t eid)> onException;
+
+    uint16_t regValue(uint32_t pid, isa::Reg reg) const;
+    uint16_t scratchValue(uint32_t pid, uint32_t addr) const;
+    isa::GlobalMemory &globalMemory() { return _global; }
+    const isa::GlobalMemory &globalMemory() const { return _global; }
+
+  private:
+    struct PendingWrite
+    {
+        uint64_t commitCycle;
+        isa::Reg reg;
+        uint32_t value; ///< 17-bit (bit 16 = carry)
+    };
+
+    struct Core
+    {
+        std::vector<uint32_t> regs;
+        std::vector<uint16_t> scratch;
+        std::vector<PendingWrite> pending;
+        bool pred = false;
+    };
+
+    struct Message
+    {
+        uint32_t targetPid;
+        isa::Reg targetReg;
+        uint16_t value;
+        uint64_t arrivalCycle; ///< within the current Vcycle
+    };
+
+    void executeSlot(uint32_t pid, const isa::Instruction &inst,
+                     uint64_t cycle);
+    void commitDue(Core &core, uint64_t cycle);
+    uint16_t readReg(const Core &core, isa::Reg r) const;
+    uint32_t readRegRaw(const Core &core, isa::Reg r) const;
+
+    const isa::Program &_program;
+    isa::MachineConfig _config;
+    std::vector<Core> _cores;
+    isa::GlobalMemory _global;
+    CacheModel _cache;
+    PerfCounters _perf;
+    isa::RunStatus _status = isa::RunStatus::Running;
+
+    std::vector<Message> _inFlight;
+    /// Link occupancy within the current Vcycle: linkId << 32 | cycle.
+    std::unordered_set<uint64_t> _linkBusy;
+    uint64_t _pendingStall = 0;
+};
+
+} // namespace manticore::machine
+
+#endif // MANTICORE_MACHINE_MACHINE_HH

@@ -1,0 +1,315 @@
+#include "netlist/builder.hh"
+
+#include "support/logging.hh"
+
+namespace manticore::netlist {
+
+Signal
+CircuitBuilder::makeNode(OpKind kind, unsigned width,
+                         std::vector<NodeId> operands, unsigned lo)
+{
+    Node n;
+    n.kind = kind;
+    n.width = width;
+    n.operands = std::move(operands);
+    n.lo = lo;
+    NodeId id = _netlist.addNode(std::move(n));
+    return Signal(this, id, width);
+}
+
+Signal
+CircuitBuilder::lit(unsigned width, uint64_t value)
+{
+    return lit(BitVector(width, value));
+}
+
+Signal
+CircuitBuilder::lit(const BitVector &value)
+{
+    Node n;
+    n.kind = OpKind::Const;
+    n.width = value.width();
+    n.value = value;
+    NodeId id = _netlist.addNode(std::move(n));
+    return Signal(this, id, value.width());
+}
+
+Signal
+CircuitBuilder::input(const std::string &name, unsigned width)
+{
+    Node n;
+    n.kind = OpKind::Input;
+    n.width = width;
+    n.name = name;
+    NodeId id = _netlist.addNode(std::move(n));
+    return Signal(this, id, width);
+}
+
+RegHandle
+CircuitBuilder::reg(const std::string &name, unsigned width, uint64_t init)
+{
+    return reg(name, BitVector(width, init));
+}
+
+RegHandle
+CircuitBuilder::reg(const std::string &name, const BitVector &init)
+{
+    Register r;
+    r.name = name;
+    r.width = init.width();
+    r.init = init;
+    RegId id = _netlist.addRegister(std::move(r));
+    return RegHandle(this, id);
+}
+
+void
+CircuitBuilder::next(RegHandle r, Signal v)
+{
+    MANTICORE_ASSERT(r._builder == this && v._builder == this,
+                     "cross-builder wiring");
+    _netlist.connectNext(r._id, v._id);
+}
+
+MemHandle
+CircuitBuilder::memory(const std::string &name, unsigned width,
+                       unsigned depth, std::vector<BitVector> init)
+{
+    Memory m;
+    m.name = name;
+    m.width = width;
+    m.depth = depth;
+    m.init = std::move(init);
+    MemId id = _netlist.addMemory(std::move(m));
+    return MemHandle(this, id);
+}
+
+Signal
+CircuitBuilder::mux(Signal sel, Signal then_v, Signal else_v)
+{
+    MANTICORE_ASSERT(sel._width == 1, "mux selector must be 1-bit");
+    MANTICORE_ASSERT(then_v._width == else_v._width, "mux arm widths");
+    return makeNode(OpKind::Mux, then_v._width,
+                    {sel._id, then_v._id, else_v._id});
+}
+
+Signal
+CircuitBuilder::cat(Signal hi, Signal lo)
+{
+    return makeNode(OpKind::Concat, hi._width + lo._width,
+                    {hi._id, lo._id});
+}
+
+Signal
+CircuitBuilder::cat(const std::vector<Signal> &parts)
+{
+    MANTICORE_ASSERT(!parts.empty(), "cat of nothing");
+    Signal acc = parts.front();
+    for (size_t i = 1; i < parts.size(); ++i)
+        acc = cat(acc, parts[i]);
+    return acc;
+}
+
+void
+CircuitBuilder::assertAlways(Signal enable, Signal cond, std::string message)
+{
+    Assert a;
+    a.enable = enable._id;
+    a.cond = cond._id;
+    a.message = std::move(message);
+    _netlist.addAssert(std::move(a));
+}
+
+void
+CircuitBuilder::display(Signal enable, std::string format,
+                        std::vector<Signal> args)
+{
+    Display d;
+    d.enable = enable._id;
+    d.format = std::move(format);
+    for (Signal s : args)
+        d.args.push_back(s._id);
+    _netlist.addDisplay(std::move(d));
+}
+
+void
+CircuitBuilder::finish(Signal enable)
+{
+    Finish f;
+    f.enable = enable._id;
+    _netlist.addFinish(f);
+}
+
+Netlist
+CircuitBuilder::build()
+{
+    _netlist.validate();
+    return std::move(_netlist);
+}
+
+namespace {
+
+Signal
+binaryOp(CircuitBuilder *b, OpKind kind, Signal a, Signal o)
+{
+    MANTICORE_ASSERT(a.width() == o.width(), "width mismatch in ",
+                     opKindName(kind), ": ", a.width(), " vs ", o.width());
+    return b->makeNode(kind, a.width(), {a.id(), o.id()});
+}
+
+Signal
+compareOp(CircuitBuilder *b, OpKind kind, Signal a, Signal o)
+{
+    MANTICORE_ASSERT(a.width() == o.width(), "compare width mismatch");
+    return b->makeNode(kind, 1, {a.id(), o.id()});
+}
+
+} // namespace
+
+Signal Signal::operator+(Signal o) const
+{ return binaryOp(_builder, OpKind::Add, *this, o); }
+
+Signal Signal::operator-(Signal o) const
+{ return binaryOp(_builder, OpKind::Sub, *this, o); }
+
+Signal Signal::operator*(Signal o) const
+{ return binaryOp(_builder, OpKind::Mul, *this, o); }
+
+Signal Signal::operator&(Signal o) const
+{ return binaryOp(_builder, OpKind::And, *this, o); }
+
+Signal Signal::operator|(Signal o) const
+{ return binaryOp(_builder, OpKind::Or, *this, o); }
+
+Signal Signal::operator^(Signal o) const
+{ return binaryOp(_builder, OpKind::Xor, *this, o); }
+
+Signal
+Signal::operator~() const
+{
+    return _builder->makeNode(OpKind::Not, _width, {_id});
+}
+
+Signal
+Signal::operator!() const
+{
+    MANTICORE_ASSERT(_width == 1, "logical not needs a 1-bit signal");
+    return ~(*this);
+}
+
+Signal Signal::operator==(Signal o) const
+{ return compareOp(_builder, OpKind::Eq, *this, o); }
+
+Signal
+Signal::operator!=(Signal o) const
+{
+    return !(*this == o);
+}
+
+Signal Signal::operator<(Signal o) const
+{ return compareOp(_builder, OpKind::Ult, *this, o); }
+
+Signal
+Signal::operator>=(Signal o) const
+{
+    return !(*this < o);
+}
+
+Signal
+Signal::shl(Signal amount) const
+{
+    return _builder->makeNode(OpKind::Shl, _width, {_id, amount._id});
+}
+
+Signal
+Signal::lshr(Signal amount) const
+{
+    return _builder->makeNode(OpKind::Lshr, _width, {_id, amount._id});
+}
+
+Signal
+Signal::shl(unsigned amount) const
+{
+    return shl(_builder->lit(32, amount));
+}
+
+Signal
+Signal::lshr(unsigned amount) const
+{
+    return lshr(_builder->lit(32, amount));
+}
+
+Signal
+Signal::slice(unsigned lo, unsigned len) const
+{
+    MANTICORE_ASSERT(lo + len <= _width, "slice out of range");
+    return _builder->makeNode(OpKind::Slice, len, {_id}, lo);
+}
+
+Signal
+Signal::zext(unsigned new_width) const
+{
+    if (new_width == _width)
+        return *this;
+    MANTICORE_ASSERT(new_width > _width, "zext must widen");
+    return _builder->makeNode(OpKind::ZExt, new_width, {_id});
+}
+
+Signal
+Signal::sext(unsigned new_width) const
+{
+    if (new_width == _width)
+        return *this;
+    MANTICORE_ASSERT(new_width > _width, "sext must widen");
+    return _builder->makeNode(OpKind::SExt, new_width, {_id});
+}
+
+Signal
+Signal::reduceOr() const
+{
+    return _builder->makeNode(OpKind::RedOr, 1, {_id});
+}
+
+Signal
+Signal::reduceAnd() const
+{
+    return _builder->makeNode(OpKind::RedAnd, 1, {_id});
+}
+
+Signal
+Signal::reduceXor() const
+{
+    return _builder->makeNode(OpKind::RedXor, 1, {_id});
+}
+
+Signal
+RegHandle::read() const
+{
+    const Register &r = _builder->_netlist.reg(_id);
+    return Signal(_builder, r.current, r.width);
+}
+
+Signal
+MemHandle::read(Signal addr) const
+{
+    const Memory &m = _builder->_netlist.memory(_id);
+    Node n;
+    n.kind = OpKind::MemRead;
+    n.width = m.width;
+    n.memId = _id;
+    n.operands = {addr.id()};
+    NodeId id = _builder->_netlist.addNode(std::move(n));
+    return Signal(_builder, id, m.width);
+}
+
+void
+MemHandle::write(Signal addr, Signal data, Signal enable) const
+{
+    MemWrite w;
+    w.mem = _id;
+    w.addr = addr.id();
+    w.data = data.id();
+    w.enable = enable.id();
+    _builder->_netlist.addMemWrite(w);
+}
+
+} // namespace manticore::netlist

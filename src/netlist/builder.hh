@@ -1,0 +1,168 @@
+/**
+ * @file
+ * CircuitBuilder: an embedded C++ DSL for describing single-clock RTL
+ * designs, producing a Netlist.  This is the repository's substitute
+ * for the paper's Yosys Verilog frontend (DESIGN.md §1): benchmarks are
+ * written as C++ generator functions over this API instead of Verilog
+ * sources.
+ *
+ * Example (the paper's Listing 2 EvenOdd module):
+ * @code
+ *   CircuitBuilder b("even_odd");
+ *   auto counter = b.reg("counter", 16);
+ *   b.next(counter, counter.read() + b.lit(16, 1));
+ *   Signal is_even = ~counter.read().bit(0);
+ *   b.display(is_even, "%d is an even number", {counter.read()});
+ *   b.display(!is_even, "%d is an odd number", {counter.read()});
+ *   b.finish(counter.read() == b.lit(16, 20));
+ *   Netlist nl = b.finish();
+ * @endcode
+ */
+
+#ifndef MANTICORE_NETLIST_BUILDER_HH
+#define MANTICORE_NETLIST_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace manticore::netlist {
+
+class CircuitBuilder;
+
+/** A typed wire in the circuit under construction.  Signals are cheap
+ *  value types (builder pointer + node id) with operator overloads for
+ *  the common combinational operations. */
+class Signal
+{
+  public:
+    Signal() = default;
+    Signal(CircuitBuilder *builder, NodeId id, unsigned width)
+        : _builder(builder), _id(id), _width(width)
+    {}
+
+    NodeId id() const { return _id; }
+    unsigned width() const { return _width; }
+    bool valid() const { return _builder != nullptr; }
+
+    Signal operator+(Signal o) const;
+    Signal operator-(Signal o) const;
+    Signal operator*(Signal o) const;
+    Signal operator&(Signal o) const;
+    Signal operator|(Signal o) const;
+    Signal operator^(Signal o) const;
+    Signal operator~() const;
+    /** Logical not of a 1-bit signal. */
+    Signal operator!() const;
+    Signal operator==(Signal o) const;
+    Signal operator!=(Signal o) const;
+    /** Unsigned less-than. */
+    Signal operator<(Signal o) const;
+    Signal operator>=(Signal o) const;
+
+    /** Dynamic shifts (amount is a signal). */
+    Signal shl(Signal amount) const;
+    Signal lshr(Signal amount) const;
+    /** Constant shifts. */
+    Signal shl(unsigned amount) const;
+    Signal lshr(unsigned amount) const;
+
+    /** Bits [lo, lo+len). */
+    Signal slice(unsigned lo, unsigned len) const;
+    /** Single bit as a 1-bit signal. */
+    Signal bit(unsigned i) const { return slice(i, 1); }
+    Signal zext(unsigned new_width) const;
+    Signal sext(unsigned new_width) const;
+    /** Truncate to the low new_width bits. */
+    Signal trunc(unsigned new_width) const { return slice(0, new_width); }
+    Signal reduceOr() const;
+    Signal reduceAnd() const;
+    Signal reduceXor() const;
+
+  private:
+    friend class CircuitBuilder;
+    CircuitBuilder *_builder = nullptr;
+    NodeId _id = kInvalidNode;
+    unsigned _width = 0;
+};
+
+/** Handle to a register: read its current value, assign its next. */
+class RegHandle
+{
+  public:
+    RegHandle() = default;
+    RegHandle(CircuitBuilder *builder, RegId id) : _builder(builder), _id(id) {}
+    Signal read() const;
+    RegId id() const { return _id; }
+
+  private:
+    friend class CircuitBuilder;
+    CircuitBuilder *_builder = nullptr;
+    RegId _id = kInvalidReg;
+};
+
+/** Handle to an on-chip memory (async read, sync predicated write). */
+class MemHandle
+{
+  public:
+    MemHandle() = default;
+    MemHandle(CircuitBuilder *builder, MemId id) : _builder(builder), _id(id) {}
+    Signal read(Signal addr) const;
+    void write(Signal addr, Signal data, Signal enable) const;
+    MemId id() const { return _id; }
+
+  private:
+    friend class CircuitBuilder;
+    CircuitBuilder *_builder = nullptr;
+    MemId _id = kInvalidReg;
+};
+
+class CircuitBuilder
+{
+  public:
+    explicit CircuitBuilder(std::string name) : _netlist(std::move(name)) {}
+
+    /** Literal constant. */
+    Signal lit(unsigned width, uint64_t value);
+    Signal lit(const BitVector &value);
+    /** Free design input (testbench-driven; defaults to 0). */
+    Signal input(const std::string &name, unsigned width);
+
+    RegHandle reg(const std::string &name, unsigned width,
+                  uint64_t init = 0);
+    RegHandle reg(const std::string &name, const BitVector &init);
+    void next(RegHandle r, Signal v);
+
+    MemHandle memory(const std::string &name, unsigned width,
+                     unsigned depth,
+                     std::vector<BitVector> init = {});
+
+    Signal mux(Signal sel, Signal then_v, Signal else_v);
+    Signal cat(Signal hi, Signal lo);
+    /** Concatenate many signals; front of the list is the MSB side. */
+    Signal cat(const std::vector<Signal> &parts);
+
+    void assertAlways(Signal enable, Signal cond, std::string message);
+    void display(Signal enable, std::string format,
+                 std::vector<Signal> args);
+    void finish(Signal enable);
+
+    /** Validate and return the finished netlist. */
+    Netlist build();
+
+    Netlist &netlist() { return _netlist; }
+
+    Signal makeNode(OpKind kind, unsigned width,
+                    std::vector<NodeId> operands, unsigned lo = 0);
+
+  private:
+    friend class Signal;
+    friend class RegHandle;
+    friend class MemHandle;
+    Netlist _netlist;
+};
+
+} // namespace manticore::netlist
+
+#endif // MANTICORE_NETLIST_BUILDER_HH

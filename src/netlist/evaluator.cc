@@ -1,0 +1,199 @@
+#include "netlist/evaluator.hh"
+
+#include "support/logging.hh"
+
+namespace manticore::netlist {
+
+Evaluator::Evaluator(Netlist netlist) : _netlist(std::move(netlist))
+{
+    _netlist.validate();
+    for (const Register &r : _netlist.registers())
+        _regs.push_back(r.init);
+    for (const Memory &m : _netlist.memories())
+        _mems.push_back(m.init);
+    _values.resize(_netlist.numNodes());
+    _inputs.resize(_netlist.numNodes());
+    for (size_t i = 0; i < _netlist.numNodes(); ++i) {
+        const Node &n = _netlist.node(i);
+        if (n.kind == OpKind::Input)
+            _inputs[i] = BitVector(n.width);
+    }
+}
+
+void
+Evaluator::setInput(const std::string &name, const BitVector &value)
+{
+    for (size_t i = 0; i < _netlist.numNodes(); ++i) {
+        const Node &n = _netlist.node(i);
+        if (n.kind == OpKind::Input && n.name == name) {
+            MANTICORE_ASSERT(value.width() == n.width,
+                             "input width mismatch for ", name);
+            _inputs[i] = value;
+            return;
+        }
+    }
+    MANTICORE_FATAL("no such input: ", name);
+}
+
+void
+Evaluator::evaluateNodes()
+{
+    const auto &nodes = _netlist.nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        auto op = [&](unsigned k) -> const BitVector & {
+            return _values[n.operands[k]];
+        };
+        switch (n.kind) {
+          case OpKind::Const: _values[i] = n.value; break;
+          case OpKind::Input: _values[i] = _inputs[i]; break;
+          case OpKind::RegRead: _values[i] = _regs[n.regId]; break;
+          case OpKind::MemRead: {
+            const auto &mem = _mems[n.memId];
+            uint64_t addr = op(0).toUint64() % mem.size();
+            _values[i] = mem[addr];
+            break;
+          }
+          case OpKind::Add: _values[i] = op(0).add(op(1)); break;
+          case OpKind::Sub: _values[i] = op(0).sub(op(1)); break;
+          case OpKind::Mul: _values[i] = op(0).mul(op(1)); break;
+          case OpKind::And: _values[i] = op(0).bitAnd(op(1)); break;
+          case OpKind::Or: _values[i] = op(0).bitOr(op(1)); break;
+          case OpKind::Xor: _values[i] = op(0).bitXor(op(1)); break;
+          case OpKind::Not: _values[i] = op(0).bitNot(); break;
+          case OpKind::Shl: {
+            const BitVector &amt = op(1);
+            uint64_t a = amt.fitsUint64() ? amt.toUint64() : n.width;
+            _values[i] = op(0).shl(a);
+            break;
+          }
+          case OpKind::Lshr: {
+            const BitVector &amt = op(1);
+            uint64_t a = amt.fitsUint64() ? amt.toUint64() : n.width;
+            _values[i] = op(0).lshr(a);
+            break;
+          }
+          case OpKind::Eq: _values[i] = op(0).eq(op(1)); break;
+          case OpKind::Ult: _values[i] = op(0).ult(op(1)); break;
+          case OpKind::Slt: _values[i] = op(0).slt(op(1)); break;
+          case OpKind::Mux:
+            _values[i] = op(0).isZero() ? op(2) : op(1);
+            break;
+          case OpKind::Slice: _values[i] = op(0).slice(n.lo, n.width); break;
+          case OpKind::Concat: _values[i] = op(0).concat(op(1)); break;
+          case OpKind::ZExt: _values[i] = op(0).resize(n.width); break;
+          case OpKind::SExt: _values[i] = op(0).sext(n.width); break;
+          case OpKind::RedOr: _values[i] = op(0).reduceOr(); break;
+          case OpKind::RedAnd: _values[i] = op(0).reduceAnd(); break;
+          case OpKind::RedXor: _values[i] = op(0).reduceXor(); break;
+        }
+    }
+}
+
+std::string
+Evaluator::formatDisplay(const std::string &format,
+                         const std::vector<BitVector> &args)
+{
+    std::string out;
+    size_t arg = 0;
+    for (size_t i = 0; i < format.size(); ++i) {
+        if (format[i] == '%' && i + 1 < format.size()) {
+            char spec = format[i + 1];
+            if (spec == '%') {
+                out.push_back('%');
+                ++i;
+                continue;
+            }
+            if (spec == 'd' || spec == 'x' || spec == 'h' || spec == 'b') {
+                MANTICORE_ASSERT(arg < args.size(),
+                                 "too few display arguments");
+                const BitVector &v = args[arg++];
+                if (spec == 'd' && v.fitsUint64())
+                    out += std::to_string(v.toUint64());
+                else
+                    out += v.toString();
+                ++i;
+                continue;
+            }
+        }
+        out.push_back(format[i]);
+    }
+    return out;
+}
+
+SimStatus
+Evaluator::step()
+{
+    if (_status != SimStatus::Ok)
+        return _status;
+
+    evaluateNodes();
+
+    // Side effects observe this cycle's combinational values.
+    for (const Assert &a : _netlist.asserts()) {
+        if (!_values[a.enable].isZero() && _values[a.cond].isZero()) {
+            _status = SimStatus::AssertFailed;
+            _failureMessage = "cycle " + std::to_string(_cycle) +
+                              ": assertion failed: " + a.message;
+            return _status;
+        }
+    }
+    for (const Display &d : _netlist.displays()) {
+        if (!_values[d.enable].isZero()) {
+            std::vector<BitVector> args;
+            for (NodeId arg : d.args)
+                args.push_back(_values[arg]);
+            std::string line = formatDisplay(d.format, args);
+            _displayLog.push_back(line);
+            if (onDisplay)
+                onDisplay(line);
+        }
+    }
+    bool finished = false;
+    for (const Finish &f : _netlist.finishes())
+        if (!_values[f.enable].isZero())
+            finished = true;
+
+    // Commit: registers then memory writes (all reads already done).
+    for (size_t r = 0; r < _regs.size(); ++r)
+        _regs[r] = _values[_netlist.reg(static_cast<RegId>(r)).next];
+    for (const MemWrite &w : _netlist.memWrites()) {
+        if (!_values[w.enable].isZero()) {
+            auto &mem = _mems[w.mem];
+            uint64_t addr = _values[w.addr].toUint64() % mem.size();
+            mem[addr] = _values[w.data];
+        }
+    }
+
+    ++_cycle;
+    if (finished)
+        _status = SimStatus::Finished;
+    return _status;
+}
+
+SimStatus
+Evaluator::run(uint64_t max_cycles)
+{
+    for (uint64_t i = 0; i < max_cycles && _status == SimStatus::Ok; ++i)
+        step();
+    return _status;
+}
+
+const BitVector &
+Evaluator::regValue(const std::string &name) const
+{
+    for (size_t i = 0; i < _netlist.numRegisters(); ++i)
+        if (_netlist.reg(static_cast<RegId>(i)).name == name)
+            return _regs[i];
+    MANTICORE_FATAL("no such register: ", name);
+}
+
+const BitVector &
+Evaluator::memValue(MemId id, uint64_t addr) const
+{
+    MANTICORE_ASSERT(id < _mems.size() && addr < _mems[id].size(),
+                     "memValue out of range");
+    return _mems[id][addr];
+}
+
+} // namespace manticore::netlist

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reference cycle-accurate evaluator for the word-level netlist IR.
+ *
+ * This is the "netlist interpreter" of §6 of the paper: a slow but
+ * obviously-correct executable semantics used to validate every
+ * compiler pass and both execution engines (the ISA interpreter and
+ * the machine simulator) against.
+ */
+
+#ifndef MANTICORE_NETLIST_EVALUATOR_HH
+#define MANTICORE_NETLIST_EVALUATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace manticore::netlist {
+
+enum class SimStatus
+{
+    Ok,           ///< still running
+    Finished,     ///< a $finish fired
+    AssertFailed, ///< an assertion failed
+};
+
+class Evaluator
+{
+  public:
+    /** The evaluator keeps its own copy of the netlist, so callers
+     *  may pass temporaries. */
+    explicit Evaluator(Netlist netlist);
+
+    /** Drive a free input (applies from the next step() onward). */
+    void setInput(const std::string &name, const BitVector &value);
+
+    /** Simulate one clock cycle: evaluate the DAG, emit side effects,
+     *  commit registers and memory writes. */
+    SimStatus step();
+
+    /** Step up to max_cycles or until $finish / assert failure. */
+    SimStatus run(uint64_t max_cycles);
+
+    uint64_t cycle() const { return _cycle; }
+    SimStatus status() const { return _status; }
+    const std::string &failureMessage() const { return _failureMessage; }
+
+    const BitVector &regValue(RegId id) const { return _regs[id]; }
+    const BitVector &regValue(const std::string &name) const;
+    const BitVector &memValue(MemId id, uint64_t addr) const;
+
+    /** Combinational value of a node as of the last completed step. */
+    const BitVector &nodeValue(NodeId id) const { return _values[id]; }
+
+    /** Display lines emitted so far (also passed to onDisplay). */
+    const std::vector<std::string> &displayLog() const { return _displayLog; }
+
+    /** Optional callback invoked for each $display line. */
+    std::function<void(const std::string &)> onDisplay;
+
+    /** Render a display format string against argument values. */
+    static std::string formatDisplay(const std::string &format,
+                                     const std::vector<BitVector> &args);
+
+  private:
+    void evaluateNodes();
+
+    Netlist _netlist;
+    std::vector<BitVector> _regs;
+    std::vector<std::vector<BitVector>> _mems;
+    std::vector<BitVector> _values;
+    std::vector<BitVector> _inputs; ///< per-node current input drive
+    uint64_t _cycle = 0;
+    SimStatus _status = SimStatus::Ok;
+    std::string _failureMessage;
+    std::vector<std::string> _displayLog;
+};
+
+} // namespace manticore::netlist
+
+#endif // MANTICORE_NETLIST_EVALUATOR_HH

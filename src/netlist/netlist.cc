@@ -1,0 +1,296 @@
+#include "netlist/netlist.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace manticore::netlist {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Const: return "const";
+      case OpKind::Input: return "input";
+      case OpKind::RegRead: return "regread";
+      case OpKind::MemRead: return "memread";
+      case OpKind::Add: return "add";
+      case OpKind::Sub: return "sub";
+      case OpKind::Mul: return "mul";
+      case OpKind::And: return "and";
+      case OpKind::Or: return "or";
+      case OpKind::Xor: return "xor";
+      case OpKind::Not: return "not";
+      case OpKind::Shl: return "shl";
+      case OpKind::Lshr: return "lshr";
+      case OpKind::Eq: return "eq";
+      case OpKind::Ult: return "ult";
+      case OpKind::Slt: return "slt";
+      case OpKind::Mux: return "mux";
+      case OpKind::Slice: return "slice";
+      case OpKind::Concat: return "concat";
+      case OpKind::ZExt: return "zext";
+      case OpKind::SExt: return "sext";
+      case OpKind::RedOr: return "redor";
+      case OpKind::RedAnd: return "redand";
+      case OpKind::RedXor: return "redxor";
+    }
+    return "?";
+}
+
+unsigned
+opKindArity(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Const:
+      case OpKind::Input:
+      case OpKind::RegRead:
+        return 0;
+      case OpKind::MemRead:
+      case OpKind::Not:
+      case OpKind::Slice:
+      case OpKind::ZExt:
+      case OpKind::SExt:
+      case OpKind::RedOr:
+      case OpKind::RedAnd:
+      case OpKind::RedXor:
+        return 1;
+      case OpKind::Mux:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+NodeId
+Netlist::addNode(Node node)
+{
+    MANTICORE_ASSERT(node.width > 0, "node must have a width");
+    MANTICORE_ASSERT(node.operands.size() == opKindArity(node.kind),
+                     "arity mismatch for ", opKindName(node.kind));
+    for (NodeId op : node.operands)
+        MANTICORE_ASSERT(op < _nodes.size(), "operand out of range");
+    _nodes.push_back(std::move(node));
+    return static_cast<NodeId>(_nodes.size()) - 1;
+}
+
+RegId
+Netlist::addRegister(Register reg)
+{
+    MANTICORE_ASSERT(reg.width > 0, "register must have a width");
+    if (reg.init.width() == 0)
+        reg.init = BitVector(reg.width);
+    MANTICORE_ASSERT(reg.init.width() == reg.width,
+                     "register init width mismatch for ", reg.name);
+    RegId id = static_cast<RegId>(_registers.size());
+    _registers.push_back(std::move(reg));
+
+    Node read;
+    read.kind = OpKind::RegRead;
+    read.width = _registers[id].width;
+    read.regId = id;
+    read.name = _registers[id].name;
+    _registers[id].current = addNode(std::move(read));
+    return id;
+}
+
+MemId
+Netlist::addMemory(Memory mem)
+{
+    MANTICORE_ASSERT(mem.width > 0 && mem.depth > 0,
+                     "memory must have width and depth");
+    if (mem.init.empty())
+        mem.init.assign(mem.depth, BitVector(mem.width));
+    MANTICORE_ASSERT(mem.init.size() == mem.depth,
+                     "memory init size mismatch for ", mem.name);
+    _memories.push_back(std::move(mem));
+    return static_cast<MemId>(_memories.size()) - 1;
+}
+
+void
+Netlist::connectNext(RegId reg, NodeId next)
+{
+    MANTICORE_ASSERT(reg < _registers.size(), "bad register id");
+    MANTICORE_ASSERT(_registers[reg].next == kInvalidNode,
+                     "register ", _registers[reg].name, " already wired");
+    MANTICORE_ASSERT(next < _nodes.size(), "bad next node");
+    MANTICORE_ASSERT(_nodes[next].width == _registers[reg].width,
+                     "next width mismatch for ", _registers[reg].name);
+    _registers[reg].next = next;
+}
+
+void
+Netlist::validate() const
+{
+    for (size_t i = 0; i < _nodes.size(); ++i) {
+        const Node &n = _nodes[i];
+        switch (n.kind) {
+          case OpKind::Const:
+            MANTICORE_ASSERT(n.value.width() == n.width,
+                             "const width mismatch at node ", i);
+            break;
+          case OpKind::RegRead:
+            MANTICORE_ASSERT(n.regId < _registers.size(),
+                             "bad reg id at node ", i);
+            break;
+          case OpKind::MemRead: {
+            MANTICORE_ASSERT(n.memId < _memories.size(),
+                             "bad mem id at node ", i);
+            const Memory &m = _memories[n.memId];
+            MANTICORE_ASSERT(n.width == m.width,
+                             "memread width mismatch at node ", i);
+            break;
+          }
+          case OpKind::Add:
+          case OpKind::Sub:
+          case OpKind::Mul:
+          case OpKind::And:
+          case OpKind::Or:
+          case OpKind::Xor: {
+            unsigned w0 = _nodes[n.operands[0]].width;
+            unsigned w1 = _nodes[n.operands[1]].width;
+            MANTICORE_ASSERT(w0 == w1 && w0 == n.width,
+                             "binary width mismatch at node ", i, " (",
+                             opKindName(n.kind), ")");
+            break;
+          }
+          case OpKind::Not:
+            MANTICORE_ASSERT(_nodes[n.operands[0]].width == n.width,
+                             "not width mismatch at node ", i);
+            break;
+          case OpKind::Shl:
+          case OpKind::Lshr:
+            MANTICORE_ASSERT(_nodes[n.operands[0]].width == n.width,
+                             "shift width mismatch at node ", i);
+            break;
+          case OpKind::Eq:
+          case OpKind::Ult:
+          case OpKind::Slt:
+            MANTICORE_ASSERT(n.width == 1, "compare must be 1-bit");
+            MANTICORE_ASSERT(_nodes[n.operands[0]].width ==
+                                 _nodes[n.operands[1]].width,
+                             "compare operand mismatch at node ", i);
+            break;
+          case OpKind::Mux:
+            MANTICORE_ASSERT(_nodes[n.operands[0]].width == 1,
+                             "mux selector must be 1-bit at node ", i);
+            MANTICORE_ASSERT(_nodes[n.operands[1]].width == n.width &&
+                                 _nodes[n.operands[2]].width == n.width,
+                             "mux width mismatch at node ", i);
+            break;
+          case OpKind::Slice:
+            MANTICORE_ASSERT(n.lo + n.width <=
+                                 _nodes[n.operands[0]].width,
+                             "slice out of range at node ", i);
+            break;
+          case OpKind::Concat:
+            MANTICORE_ASSERT(n.width == _nodes[n.operands[0]].width +
+                                            _nodes[n.operands[1]].width,
+                             "concat width mismatch at node ", i);
+            break;
+          case OpKind::ZExt:
+          case OpKind::SExt:
+            MANTICORE_ASSERT(n.width >= _nodes[n.operands[0]].width,
+                             "ext must widen at node ", i);
+            break;
+          case OpKind::RedOr:
+          case OpKind::RedAnd:
+          case OpKind::RedXor:
+            MANTICORE_ASSERT(n.width == 1, "reduction must be 1-bit");
+            break;
+          case OpKind::Input:
+            break;
+        }
+    }
+    for (const Register &r : _registers) {
+        if (r.next == kInvalidNode)
+            MANTICORE_FATAL("register ", r.name, " has no next value");
+    }
+    for (const MemWrite &w : _memWrites) {
+        MANTICORE_ASSERT(w.mem < _memories.size(), "bad memwrite mem");
+        MANTICORE_ASSERT(_nodes[w.data].width == _memories[w.mem].width,
+                         "memwrite data width mismatch");
+        MANTICORE_ASSERT(_nodes[w.enable].width == 1,
+                         "memwrite enable must be 1-bit");
+    }
+    for (const Assert &a : _asserts) {
+        MANTICORE_ASSERT(_nodes[a.enable].width == 1 &&
+                             _nodes[a.cond].width == 1,
+                         "assert operands must be 1-bit");
+    }
+    for (const Finish &f : _finishes)
+        MANTICORE_ASSERT(_nodes[f.enable].width == 1,
+                         "finish enable must be 1-bit");
+    for (const Display &d : _displays)
+        MANTICORE_ASSERT(_nodes[d.enable].width == 1,
+                         "display enable must be 1-bit");
+    // Acyclicity is established by construction: operands must exist
+    // before a node is added, so node ids already form a topological
+    // order and cycles are impossible.
+}
+
+std::vector<NodeId>
+Netlist::topologicalOrder() const
+{
+    // Construction order is topological (operands precede users).
+    std::vector<NodeId> order(_nodes.size());
+    for (size_t i = 0; i < _nodes.size(); ++i)
+        order[i] = static_cast<NodeId>(i);
+    return order;
+}
+
+std::string
+Netlist::toString() const
+{
+    std::ostringstream os;
+    os << "netlist " << _name << " {\n";
+    for (size_t i = 0; i < _registers.size(); ++i) {
+        const Register &r = _registers[i];
+        os << "  reg r" << i << " \"" << r.name << "\" width=" << r.width
+           << " init=" << r.init.toString() << " next=n" << r.next
+           << "\n";
+    }
+    for (size_t i = 0; i < _memories.size(); ++i) {
+        const Memory &m = _memories[i];
+        os << "  mem m" << i << " \"" << m.name << "\" width=" << m.width
+           << " depth=" << m.depth << "\n";
+    }
+    for (size_t i = 0; i < _nodes.size(); ++i) {
+        const Node &n = _nodes[i];
+        os << "  n" << i << " = " << opKindName(n.kind) << " w"
+           << n.width;
+        if (n.kind == OpKind::Const)
+            os << " " << n.value.toString();
+        if (n.kind == OpKind::Slice)
+            os << " lo=" << n.lo;
+        if (n.kind == OpKind::RegRead)
+            os << " r" << n.regId;
+        if (n.kind == OpKind::MemRead)
+            os << " m" << n.memId;
+        for (NodeId op : n.operands)
+            os << " n" << op;
+        if (!n.name.empty())
+            os << " ; " << n.name;
+        os << "\n";
+    }
+    for (const MemWrite &w : _memWrites) {
+        os << "  memwrite m" << w.mem << " addr=n" << w.addr << " data=n"
+           << w.data << " en=n" << w.enable << "\n";
+    }
+    for (const Assert &a : _asserts) {
+        os << "  assert en=n" << a.enable << " cond=n" << a.cond << " \""
+           << a.message << "\"\n";
+    }
+    for (const Display &d : _displays) {
+        os << "  display en=n" << d.enable << " \"" << d.format << "\"";
+        for (NodeId arg : d.args)
+            os << " n" << arg;
+        os << "\n";
+    }
+    for (const Finish &f : _finishes)
+        os << "  finish en=n" << f.enable << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace manticore::netlist

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Word-level netlist intermediate representation.
+ *
+ * This is the compiler's input format and the output format of the
+ * CircuitBuilder DSL (our substitute for the paper's Yosys Verilog
+ * frontend, see DESIGN.md §1).  A netlist is a DAG of combinational
+ * word-level operations whose sources are constants, design inputs,
+ * register current-values and asynchronous memory reads, and whose
+ * sinks are register next-values, memory writes, and simulation
+ * side effects ($display / $finish / assertions).
+ *
+ * Mirroring §2.1 of the paper, splitting each register into a current
+ * (RegRead node) and next (Register::next edge) value makes the graph
+ * acyclic; a simulated cycle evaluates the DAG, then commits all nexts.
+ */
+
+#ifndef MANTICORE_NETLIST_NETLIST_HH
+#define MANTICORE_NETLIST_NETLIST_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/bitvector.hh"
+
+namespace manticore::netlist {
+
+using NodeId = uint32_t;
+using RegId = uint32_t;
+using MemId = uint32_t;
+
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+constexpr NodeId kInvalidReg = std::numeric_limits<RegId>::max();
+
+/** Combinational operation kinds.  All arithmetic is unsigned and
+ *  width-preserving except where noted. */
+enum class OpKind : uint8_t
+{
+    Const,   ///< literal; Node::value holds it
+    Input,   ///< free design input (testbench-driven)
+    RegRead, ///< current value of Node::regId
+    MemRead, ///< asynchronous read of Node::memId at operand 0
+    Add,     ///< operands (a, b)
+    Sub,
+    Mul,     ///< truncating multiply
+    And,
+    Or,
+    Xor,
+    Not,     ///< operand (a)
+    Shl,     ///< (a, amount); amount is any width, >=width(a) -> 0
+    Lshr,
+    Eq,      ///< (a, b) -> 1 bit
+    Ult,
+    Slt,
+    Mux,     ///< (sel[1], then, else)
+    Slice,   ///< (a); bits [lo, lo+width)
+    Concat,  ///< (hi, lo); width = w(hi)+w(lo)
+    ZExt,    ///< (a); width >= w(a)
+    SExt,
+    RedOr,   ///< (a) -> 1 bit
+    RedAnd,
+    RedXor,
+};
+
+const char *opKindName(OpKind kind);
+
+/** Number of operands each kind expects (Const/Input/RegRead: 0). */
+unsigned opKindArity(OpKind kind);
+
+struct Node
+{
+    OpKind kind;
+    unsigned width = 0;
+    std::vector<NodeId> operands;
+    BitVector value;   ///< Const payload
+    unsigned lo = 0;   ///< Slice low bit
+    RegId regId = kInvalidReg;
+    MemId memId = kInvalidReg;
+    std::string name;  ///< optional debug name (Inputs are named)
+};
+
+struct Register
+{
+    std::string name;
+    unsigned width = 0;
+    BitVector init;
+    NodeId current = kInvalidNode; ///< the RegRead node
+    NodeId next = kInvalidNode;    ///< combinational next value (required)
+};
+
+struct Memory
+{
+    std::string name;
+    unsigned width = 0;
+    unsigned depth = 0;
+    std::vector<BitVector> init; ///< optional; zero-filled otherwise
+};
+
+/** Synchronous, predicated memory write committed at end of cycle. */
+struct MemWrite
+{
+    MemId mem = kInvalidReg;
+    NodeId addr = kInvalidNode;
+    NodeId data = kInvalidNode;
+    NodeId enable = kInvalidNode; ///< 1-bit
+};
+
+/** $display-style side effect: when enable is 1, report args. */
+struct Display
+{
+    NodeId enable = kInvalidNode;
+    std::string format; ///< "%d"-style placeholders, one per arg
+    std::vector<NodeId> args;
+};
+
+/** $finish: stop simulation when enable is 1. */
+struct Finish
+{
+    NodeId enable = kInvalidNode;
+};
+
+/** Assertion: when enable is 1, cond must be 1; mirrors the paper's
+ *  Expect instruction (exception on mismatch). */
+struct Assert
+{
+    NodeId enable = kInvalidNode;
+    NodeId cond = kInvalidNode;
+    std::string message;
+};
+
+class Netlist
+{
+  public:
+    explicit Netlist(std::string name = "top") : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    NodeId addNode(Node node);
+    RegId addRegister(Register reg);
+    MemId addMemory(Memory mem);
+    void addMemWrite(MemWrite write) { _memWrites.push_back(write); }
+    void addDisplay(Display d) { _displays.push_back(std::move(d)); }
+    void addFinish(Finish f) { _finishes.push_back(f); }
+    void addAssert(Assert a) { _asserts.push_back(std::move(a)); }
+
+    /** Wire a register's next-value edge (must be done exactly once). */
+    void connectNext(RegId reg, NodeId next);
+
+    const Node &node(NodeId id) const { return _nodes[id]; }
+    Node &node(NodeId id) { return _nodes[id]; }
+    const Register &reg(RegId id) const { return _registers[id]; }
+    const Memory &memory(MemId id) const { return _memories[id]; }
+
+    size_t numNodes() const { return _nodes.size(); }
+    size_t numRegisters() const { return _registers.size(); }
+    size_t numMemories() const { return _memories.size(); }
+
+    const std::vector<Node> &nodes() const { return _nodes; }
+    const std::vector<Register> &registers() const { return _registers; }
+    const std::vector<Memory> &memories() const { return _memories; }
+    const std::vector<MemWrite> &memWrites() const { return _memWrites; }
+    const std::vector<Display> &displays() const { return _displays; }
+    const std::vector<Finish> &finishes() const { return _finishes; }
+    const std::vector<Assert> &asserts() const { return _asserts; }
+
+    /** Structural validation: widths, arities, wired registers, no
+     *  combinational cycles.  Calls fatal() on the first violation. */
+    void validate() const;
+
+    /** Topological order over all nodes (sources first).  Requires a
+     *  valid (acyclic) netlist. */
+    std::vector<NodeId> topologicalOrder() const;
+
+    /** Human-readable dump for debugging and golden tests. */
+    std::string toString() const;
+
+  private:
+    std::string _name;
+    std::vector<Node> _nodes;
+    std::vector<Register> _registers;
+    std::vector<Memory> _memories;
+    std::vector<MemWrite> _memWrites;
+    std::vector<Display> _displays;
+    std::vector<Finish> _finishes;
+    std::vector<Assert> _asserts;
+};
+
+} // namespace manticore::netlist
+
+#endif // MANTICORE_NETLIST_NETLIST_HH

@@ -1,0 +1,245 @@
+#include "netlist/optimize.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace manticore::netlist {
+
+namespace {
+
+/** Structural key for CSE. */
+struct NodeKey
+{
+    OpKind kind;
+    unsigned width;
+    unsigned lo;
+    uint32_t aux; ///< regId / memId
+    std::vector<NodeId> operands;
+    BitVector value;
+
+    bool
+    operator==(const NodeKey &o) const
+    {
+        return kind == o.kind && width == o.width && lo == o.lo &&
+               aux == o.aux && operands == o.operands &&
+               value == o.value;
+    }
+};
+
+struct NodeKeyHash
+{
+    size_t
+    operator()(const NodeKey &k) const
+    {
+        size_t h = static_cast<size_t>(k.kind) * 0x9e3779b97f4a7c15ull;
+        auto mix = [&](size_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        };
+        mix(k.width);
+        mix(k.lo);
+        mix(k.aux);
+        for (NodeId op : k.operands)
+            mix(op);
+        mix(k.value.hash());
+        return h;
+    }
+};
+
+/** Evaluate a node whose operands are all constants. */
+BitVector
+foldNode(const Node &n, const std::vector<const BitVector *> &ops)
+{
+    switch (n.kind) {
+      case OpKind::Add: return ops[0]->add(*ops[1]);
+      case OpKind::Sub: return ops[0]->sub(*ops[1]);
+      case OpKind::Mul: return ops[0]->mul(*ops[1]);
+      case OpKind::And: return ops[0]->bitAnd(*ops[1]);
+      case OpKind::Or: return ops[0]->bitOr(*ops[1]);
+      case OpKind::Xor: return ops[0]->bitXor(*ops[1]);
+      case OpKind::Not: return ops[0]->bitNot();
+      case OpKind::Shl:
+        return ops[0]->shl(ops[1]->fitsUint64() ? ops[1]->toUint64()
+                                                : n.width);
+      case OpKind::Lshr:
+        return ops[0]->lshr(ops[1]->fitsUint64() ? ops[1]->toUint64()
+                                                 : n.width);
+      case OpKind::Eq: return ops[0]->eq(*ops[1]);
+      case OpKind::Ult: return ops[0]->ult(*ops[1]);
+      case OpKind::Slt: return ops[0]->slt(*ops[1]);
+      case OpKind::Mux:
+        return ops[0]->isZero() ? *ops[2] : *ops[1];
+      case OpKind::Slice: return ops[0]->slice(n.lo, n.width);
+      case OpKind::Concat: return ops[0]->concat(*ops[1]);
+      case OpKind::ZExt: return ops[0]->resize(n.width);
+      case OpKind::SExt: return ops[0]->sext(n.width);
+      case OpKind::RedOr: return ops[0]->reduceOr();
+      case OpKind::RedAnd: return ops[0]->reduceAnd();
+      case OpKind::RedXor: return ops[0]->reduceXor();
+      default:
+        MANTICORE_PANIC("unfoldable node");
+    }
+}
+
+bool
+isFoldable(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Const:
+      case OpKind::Input:
+      case OpKind::RegRead:
+      case OpKind::MemRead:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+Netlist
+optimizeNetlist(const Netlist &input, NetlistOptStats *stats)
+{
+    input.validate();
+    NetlistOptStats local;
+    local.nodesBefore = input.numNodes();
+
+    // --- Pass 1 (forward): fold + CSE, building a remap old->new in a
+    // fresh netlist.  Registers/memories are re-created first so ids
+    // are stable.
+    Netlist out(input.name());
+    for (const Register &r : input.registers()) {
+        Register copy = r;
+        copy.current = kInvalidNode;
+        copy.next = kInvalidNode;
+        out.addRegister(std::move(copy)); // creates a new RegRead node
+    }
+    for (const Memory &m : input.memories())
+        out.addMemory(m);
+
+    // Liveness (backward over construction order): sinks first.
+    std::vector<bool> live(input.numNodes(), false);
+    auto mark = [&](NodeId id) { live[id] = true; };
+    for (const Register &r : input.registers())
+        mark(r.next);
+    for (const MemWrite &w : input.memWrites()) {
+        mark(w.addr);
+        mark(w.data);
+        mark(w.enable);
+    }
+    for (const Display &d : input.displays()) {
+        mark(d.enable);
+        for (NodeId a : d.args)
+            mark(a);
+    }
+    for (const Assert &a : input.asserts()) {
+        mark(a.enable);
+        mark(a.cond);
+    }
+    for (const Finish &f : input.finishes())
+        mark(f.enable);
+    for (size_t i = input.numNodes(); i-- > 0;) {
+        if (!live[i])
+            continue;
+        for (NodeId op : input.node(static_cast<NodeId>(i)).operands)
+            live[op] = true;
+    }
+
+    std::vector<NodeId> remap(input.numNodes(), kInvalidNode);
+    std::unordered_map<NodeKey, NodeId, NodeKeyHash> cse;
+    std::unordered_map<BitVector, NodeId> const_pool;
+
+    auto intern_const = [&](const BitVector &v) -> NodeId {
+        auto it = const_pool.find(v);
+        if (it != const_pool.end())
+            return it->second;
+        Node c;
+        c.kind = OpKind::Const;
+        c.width = v.width();
+        c.value = v;
+        NodeId id = out.addNode(std::move(c));
+        const_pool.emplace(v, id);
+        return id;
+    };
+
+    for (NodeId id = 0; id < input.numNodes(); ++id) {
+        if (!live[id]) {
+            ++local.deadRemoved;
+            continue;
+        }
+        const Node &n = input.node(id);
+        if (n.kind == OpKind::RegRead) {
+            remap[id] = out.reg(n.regId).current;
+            continue;
+        }
+        if (n.kind == OpKind::Const) {
+            remap[id] = intern_const(n.value);
+            continue;
+        }
+
+        // Try constant folding.
+        if (isFoldable(n.kind)) {
+            bool all_const = true;
+            std::vector<const BitVector *> vals;
+            for (NodeId op : n.operands) {
+                const Node &mapped = out.node(remap[op]);
+                if (mapped.kind != OpKind::Const) {
+                    all_const = false;
+                    break;
+                }
+                vals.push_back(&mapped.value);
+            }
+            if (all_const && !n.operands.empty()) {
+                remap[id] = intern_const(foldNode(n, vals));
+                ++local.folded;
+                continue;
+            }
+        }
+
+        Node copy = n;
+        for (NodeId &op : copy.operands)
+            op = remap[op];
+
+        NodeKey key{copy.kind, copy.width, copy.lo,
+                    copy.kind == OpKind::MemRead ? copy.memId
+                                                 : kInvalidReg,
+                    copy.operands, copy.value};
+        auto it = cse.find(key);
+        if (it != cse.end()) {
+            remap[id] = it->second;
+            ++local.csed;
+            continue;
+        }
+        NodeId fresh = out.addNode(std::move(copy));
+        cse.emplace(std::move(key), fresh);
+        remap[id] = fresh;
+    }
+
+    // --- Rewire sinks.
+    for (size_t r = 0; r < input.numRegisters(); ++r)
+        out.connectNext(static_cast<RegId>(r),
+                        remap[input.reg(static_cast<RegId>(r)).next]);
+    for (const MemWrite &w : input.memWrites())
+        out.addMemWrite(
+            {w.mem, remap[w.addr], remap[w.data], remap[w.enable]});
+    for (const Display &d : input.displays()) {
+        Display copy = d;
+        copy.enable = remap[d.enable];
+        for (NodeId &a : copy.args)
+            a = remap[a];
+        out.addDisplay(std::move(copy));
+    }
+    for (const Assert &a : input.asserts())
+        out.addAssert({remap[a.enable], remap[a.cond], a.message});
+    for (const Finish &f : input.finishes())
+        out.addFinish({remap[f.enable]});
+
+    out.validate();
+    local.nodesAfter = out.numNodes();
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace manticore::netlist

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Frontend netlist optimisations (the paper's frontend "performs a
+ * few optimizations" before emitting netlist assembly, §6): constant
+ * folding, structural common-subexpression elimination, and dead-code
+ * elimination from the sinks (register nexts, memory writes, and
+ * simulation side effects).  Registers and memories are preserved;
+ * only combinational nodes are folded or dropped.
+ */
+
+#ifndef MANTICORE_NETLIST_OPTIMIZE_HH
+#define MANTICORE_NETLIST_OPTIMIZE_HH
+
+#include "netlist/netlist.hh"
+
+namespace manticore::netlist {
+
+struct NetlistOptStats
+{
+    size_t nodesBefore = 0;
+    size_t nodesAfter = 0;
+    size_t folded = 0;
+    size_t csed = 0;
+    size_t deadRemoved = 0;
+};
+
+/** Optimise the netlist, returning a new equivalent netlist and
+ *  filling stats if given. */
+Netlist optimizeNetlist(const Netlist &input,
+                        NetlistOptStats *stats = nullptr);
+
+} // namespace manticore::netlist
+
+#endif // MANTICORE_NETLIST_OPTIMIZE_HH

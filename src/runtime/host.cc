@@ -1,0 +1,47 @@
+#include "runtime/host.hh"
+
+#include "netlist/evaluator.hh"
+#include "support/bitvector.hh"
+
+namespace manticore::runtime {
+
+isa::HostAction
+Host::service(uint32_t pid, uint16_t eid)
+{
+    (void)pid;
+    const isa::ExceptionInfo &info = _program.exceptions.info(eid);
+    switch (info.kind) {
+      case isa::ExceptionKind::Display: {
+        // Reassemble each argument from its 16-bit chunks in DRAM.
+        std::vector<BitVector> args;
+        for (size_t a = 0; a < info.argChunkAddrs.size(); ++a) {
+            BitVector value(info.argWidths[a]);
+            const auto &addrs = info.argChunkAddrs[a];
+            for (size_t c = 0; c < addrs.size(); ++c) {
+                uint16_t word = _global.read(addrs[c]);
+                for (unsigned b = 0; b < 16; ++b) {
+                    unsigned bit = static_cast<unsigned>(c) * 16 + b;
+                    if (bit < value.width() && ((word >> b) & 1))
+                        value.setBit(bit, true);
+                }
+            }
+            args.push_back(std::move(value));
+        }
+        std::string line =
+            netlist::Evaluator::formatDisplay(info.format, args);
+        _displayLog.push_back(line);
+        if (onDisplay)
+            onDisplay(line);
+        return isa::HostAction::Continue;
+      }
+      case isa::ExceptionKind::Finish:
+        _finished = true;
+        return isa::HostAction::Finish;
+      case isa::ExceptionKind::AssertFail:
+        _failureMessage = "assertion failed: " + info.format;
+        return isa::HostAction::Fail;
+    }
+    return isa::HostAction::Fail;
+}
+
+} // namespace manticore::runtime

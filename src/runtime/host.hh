@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Host-side runtime (§A.3 of the paper): services the EXPECT
+ * exceptions raised by a running program.  On a $display exception it
+ * reads the argument chunks the program stored to global memory
+ * (conceptually after flushing the cache), formats, and logs the line;
+ * $finish stops the run; a failed assertion stops it with an error.
+ *
+ * The Host is engine-agnostic: attach() wires it to either the
+ * functional ISA interpreter or the cycle-level machine simulator.
+ */
+
+#ifndef MANTICORE_RUNTIME_HOST_HH
+#define MANTICORE_RUNTIME_HOST_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/interpreter.hh"
+#include "isa/isa.hh"
+#include "machine/machine.hh"
+
+namespace manticore::runtime {
+
+class Host
+{
+  public:
+    Host(const isa::Program &program, isa::GlobalMemory &global)
+        : _program(program), _global(global)
+    {}
+
+    /** Service one exception; returns what the engine should do. */
+    isa::HostAction service(uint32_t pid, uint16_t eid);
+
+    /** Wire this host into an execution engine. */
+    void
+    attach(isa::Interpreter &interp)
+    {
+        interp.onException = [this](uint32_t pid, uint16_t eid) {
+            return service(pid, eid);
+        };
+    }
+
+    void
+    attach(machine::Machine &m)
+    {
+        m.onException = [this](uint32_t pid, uint16_t eid) {
+            return service(pid, eid);
+        };
+    }
+
+    const std::vector<std::string> &displayLog() const
+    {
+        return _displayLog;
+    }
+    const std::string &failureMessage() const { return _failureMessage; }
+    bool finished() const { return _finished; }
+
+    /** Optional live sink for $display lines. */
+    std::function<void(const std::string &)> onDisplay;
+
+  private:
+    const isa::Program &_program;
+    isa::GlobalMemory &_global;
+    std::vector<std::string> _displayLog;
+    std::string _failureMessage;
+    bool _finished = false;
+};
+
+} // namespace manticore::runtime
+
+#endif // MANTICORE_RUNTIME_HOST_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Simulation: the library's top-level convenience API.  Give it a
+ * netlist and a machine configuration; it compiles the design, boots
+ * the cycle-level machine, wires up the host runtime, and exposes
+ * run / rate / log accessors.  This is the entry point the examples
+ * and benchmarks use — the "three lines to simulate your design"
+ * experience of the README quickstart.
+ */
+
+#ifndef MANTICORE_RUNTIME_SIMULATION_HH
+#define MANTICORE_RUNTIME_SIMULATION_HH
+
+#include <memory>
+
+#include "compiler/compiler.hh"
+#include "machine/machine.hh"
+#include "netlist/netlist.hh"
+#include "runtime/host.hh"
+
+namespace manticore::runtime {
+
+class Simulation
+{
+  public:
+    Simulation(const netlist::Netlist &netlist,
+               const compiler::CompileOptions &options = {});
+
+    /** Simulate up to max_vcycles RTL cycles. */
+    isa::RunStatus run(uint64_t max_vcycles);
+
+    isa::RunStatus status() const { return _machine->status(); }
+    uint64_t vcycles() const { return _machine->perf().vcycles; }
+
+    /** Effective simulation rate (kHz) at the configured compute
+     *  clock, accounting for global stalls. */
+    double effectiveRateKhz() const;
+
+    const compiler::CompileResult &compileResult() const
+    {
+        return _compiled;
+    }
+    machine::Machine &machine() { return *_machine; }
+    Host &host() { return *_host; }
+    const std::vector<std::string> &displayLog() const
+    {
+        return _host->displayLog();
+    }
+
+  private:
+    compiler::CompileResult _compiled;
+    isa::MachineConfig _config;
+    std::unique_ptr<machine::Machine> _machine;
+    std::unique_ptr<Host> _host;
+};
+
+} // namespace manticore::runtime
+
+#endif // MANTICORE_RUNTIME_SIMULATION_HH

@@ -1,0 +1,90 @@
+#include "runtime/waveform.hh"
+
+#include "support/logging.hh"
+
+namespace manticore::runtime {
+
+WaveformRecorder::WaveformRecorder(const netlist::Netlist &netlist,
+                                   const compiler::CompileResult &result)
+    : _homes(result.regChunkHome)
+{
+    MANTICORE_ASSERT(netlist.numRegisters() == _homes.size(),
+                     "netlist/compile mismatch");
+    for (size_t r = 0; r < netlist.numRegisters(); ++r) {
+        const netlist::Register &reg =
+            netlist.reg(static_cast<uint32_t>(r));
+        _names.push_back(reg.name.empty() ? "reg" + std::to_string(r)
+                                          : reg.name);
+        _widths.push_back(reg.width);
+        _last.emplace_back(0);
+    }
+}
+
+BitVector
+WaveformRecorder::read(const machine::Machine &machine, size_t reg) const
+{
+    BitVector value(_widths[reg]);
+    const auto &homes = _homes[reg];
+    for (size_t c = 0; c < homes.size(); ++c) {
+        uint16_t word = machine.regValue(homes[c].process, homes[c].reg);
+        for (unsigned b = 0; b < 16; ++b) {
+            unsigned bit = static_cast<unsigned>(c) * 16 + b;
+            if (bit < value.width() && ((word >> b) & 1))
+                value.setBit(bit, true);
+        }
+    }
+    return value;
+}
+
+void
+WaveformRecorder::sample(const machine::Machine &machine, uint64_t vcycle)
+{
+    for (size_t r = 0; r < _homes.size(); ++r) {
+        BitVector now = read(machine, r);
+        if (_last[r].width() == 0 || now != _last[r]) {
+            _changes.push_back({vcycle, static_cast<uint32_t>(r), now});
+            _last[r] = now;
+        }
+    }
+}
+
+void
+WaveformRecorder::writeVcd(std::ostream &os) const
+{
+    os << "$timescale 1ns $end\n";
+    os << "$scope module " << "manticore" << " $end\n";
+    auto ident = [](uint32_t r) {
+        // Printable VCD identifier codes: base-94 over '!'..'~'.
+        std::string id;
+        do {
+            id.push_back(static_cast<char>('!' + r % 94));
+            r /= 94;
+        } while (r != 0);
+        return id;
+    };
+    for (size_t r = 0; r < _names.size(); ++r) {
+        os << "$var wire " << _widths[r] << " "
+           << ident(static_cast<uint32_t>(r)) << " " << _names[r]
+           << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    uint64_t current = ~0ull;
+    for (const Change &c : _changes) {
+        if (c.vcycle != current) {
+            os << "#" << c.vcycle << "\n";
+            current = c.vcycle;
+        }
+        if (_widths[c.reg] == 1) {
+            os << (c.value.isZero() ? "0" : "1") << ident(c.reg)
+               << "\n";
+        } else {
+            os << "b";
+            for (unsigned b = _widths[c.reg]; b-- > 0;)
+                os << (c.value.bit(b) ? '1' : '0');
+            os << " " << ident(c.reg) << "\n";
+        }
+    }
+}
+
+} // namespace manticore::runtime

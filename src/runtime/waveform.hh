@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Out-of-band waveform collection (§8 of the paper sketches hardware
+ * support for this as future work; here the host implements it using
+ * the compiler's observation map).  The recorder samples every RTL
+ * register's current value from the machine at each Vcycle boundary
+ * and emits a standard VCD (value change dump) readable by GTKWave
+ * and friends.
+ */
+
+#ifndef MANTICORE_RUNTIME_WAVEFORM_HH
+#define MANTICORE_RUNTIME_WAVEFORM_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "machine/machine.hh"
+#include "netlist/netlist.hh"
+
+namespace manticore::runtime {
+
+class WaveformRecorder
+{
+  public:
+    /** @param netlist the source design (for register names/widths)
+     *  @param result its compilation (for the observation map). */
+    WaveformRecorder(const netlist::Netlist &netlist,
+                     const compiler::CompileResult &result);
+
+    /** Sample all registers from the machine at the current Vcycle.
+     *  Call once after every Machine::runVcycle(). */
+    void sample(const machine::Machine &machine, uint64_t vcycle);
+
+    /** Write the collected changes as a VCD document. */
+    void writeVcd(std::ostream &os) const;
+
+    size_t changesRecorded() const { return _changes.size(); }
+
+  private:
+    struct Change
+    {
+        uint64_t vcycle;
+        uint32_t reg;
+        BitVector value;
+    };
+
+    BitVector read(const machine::Machine &machine, size_t reg) const;
+
+    std::vector<std::string> _names;
+    std::vector<unsigned> _widths;
+    std::vector<std::vector<compiler::RegChunkHome>> _homes;
+    std::vector<BitVector> _last;
+    std::vector<Change> _changes;
+};
+
+} // namespace manticore::runtime
+
+#endif // MANTICORE_RUNTIME_WAVEFORM_HH

@@ -1,0 +1,362 @@
+#include "support/bitvector.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace manticore {
+
+BitVector::BitVector(unsigned width)
+    : _width(width), _limbs(limbCount(width), 0)
+{
+}
+
+BitVector::BitVector(unsigned width, uint64_t value)
+    : _width(width), _limbs(limbCount(width), 0)
+{
+    MANTICORE_ASSERT(width > 0, "value constructor needs a width");
+    _limbs[0] = value;
+    maskTop();
+}
+
+BitVector
+BitVector::fromLimbs(unsigned width, const std::vector<uint64_t> &limbs)
+{
+    BitVector v(width);
+    for (size_t i = 0; i < v._limbs.size() && i < limbs.size(); ++i)
+        v._limbs[i] = limbs[i];
+    v.maskTop();
+    return v;
+}
+
+BitVector
+BitVector::fromBinaryString(const std::string &bits)
+{
+    MANTICORE_ASSERT(!bits.empty(), "empty binary string");
+    BitVector v(static_cast<unsigned>(bits.size()));
+    for (size_t i = 0; i < bits.size(); ++i) {
+        char c = bits[bits.size() - 1 - i];
+        MANTICORE_ASSERT(c == '0' || c == '1', "bad binary digit: ", c);
+        if (c == '1')
+            v.setBit(static_cast<unsigned>(i), true);
+    }
+    return v;
+}
+
+BitVector
+BitVector::ones(unsigned width)
+{
+    BitVector v(width);
+    for (auto &l : v._limbs)
+        l = ~0ull;
+    v.maskTop();
+    return v;
+}
+
+void
+BitVector::maskTop()
+{
+    if (_width == 0)
+        return;
+    unsigned rem = _width % 64;
+    if (rem != 0)
+        _limbs.back() &= (~0ull >> (64 - rem));
+}
+
+bool
+BitVector::isZero() const
+{
+    for (auto l : _limbs)
+        if (l != 0)
+            return false;
+    return true;
+}
+
+bool
+BitVector::bit(unsigned i) const
+{
+    MANTICORE_ASSERT(i < _width, "bit index ", i, " out of width ", _width);
+    return (_limbs[i / 64] >> (i % 64)) & 1ull;
+}
+
+void
+BitVector::setBit(unsigned i, bool v)
+{
+    MANTICORE_ASSERT(i < _width, "bit index ", i, " out of width ", _width);
+    uint64_t mask = 1ull << (i % 64);
+    if (v)
+        _limbs[i / 64] |= mask;
+    else
+        _limbs[i / 64] &= ~mask;
+}
+
+uint64_t
+BitVector::toUint64() const
+{
+    return _limbs.empty() ? 0 : _limbs[0];
+}
+
+bool
+BitVector::fitsUint64() const
+{
+    for (size_t i = 1; i < _limbs.size(); ++i)
+        if (_limbs[i] != 0)
+            return false;
+    return true;
+}
+
+BitVector
+BitVector::add(const BitVector &o) const
+{
+    MANTICORE_ASSERT(_width == o._width, "add width mismatch: ", _width,
+                     " vs ", o._width);
+    BitVector r(_width);
+    unsigned __int128 carry = 0;
+    for (size_t i = 0; i < _limbs.size(); ++i) {
+        unsigned __int128 s = carry;
+        s += _limbs[i];
+        s += o._limbs[i];
+        r._limbs[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+    }
+    r.maskTop();
+    return r;
+}
+
+BitVector
+BitVector::sub(const BitVector &o) const
+{
+    MANTICORE_ASSERT(_width == o._width, "sub width mismatch");
+    BitVector r(_width);
+    unsigned __int128 borrow = 0;
+    for (size_t i = 0; i < _limbs.size(); ++i) {
+        unsigned __int128 d = static_cast<unsigned __int128>(_limbs[i]);
+        d -= o._limbs[i];
+        d -= borrow;
+        r._limbs[i] = static_cast<uint64_t>(d);
+        borrow = (d >> 64) ? 1 : 0;
+    }
+    r.maskTop();
+    return r;
+}
+
+BitVector
+BitVector::mul(const BitVector &o) const
+{
+    MANTICORE_ASSERT(_width == o._width, "mul width mismatch");
+    BitVector r(_width);
+    size_t n = _limbs.size();
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t carry = 0;
+        if (_limbs[i] == 0)
+            continue;
+        for (size_t j = 0; i + j < n; ++j) {
+            unsigned __int128 cur = r._limbs[i + j];
+            cur += static_cast<unsigned __int128>(_limbs[i]) * o._limbs[j];
+            cur += carry;
+            r._limbs[i + j] = static_cast<uint64_t>(cur);
+            carry = static_cast<uint64_t>(cur >> 64);
+        }
+    }
+    r.maskTop();
+    return r;
+}
+
+BitVector
+BitVector::bitAnd(const BitVector &o) const
+{
+    MANTICORE_ASSERT(_width == o._width, "and width mismatch");
+    BitVector r(_width);
+    for (size_t i = 0; i < _limbs.size(); ++i)
+        r._limbs[i] = _limbs[i] & o._limbs[i];
+    return r;
+}
+
+BitVector
+BitVector::bitOr(const BitVector &o) const
+{
+    MANTICORE_ASSERT(_width == o._width, "or width mismatch");
+    BitVector r(_width);
+    for (size_t i = 0; i < _limbs.size(); ++i)
+        r._limbs[i] = _limbs[i] | o._limbs[i];
+    return r;
+}
+
+BitVector
+BitVector::bitXor(const BitVector &o) const
+{
+    MANTICORE_ASSERT(_width == o._width, "xor width mismatch");
+    BitVector r(_width);
+    for (size_t i = 0; i < _limbs.size(); ++i)
+        r._limbs[i] = _limbs[i] ^ o._limbs[i];
+    return r;
+}
+
+BitVector
+BitVector::bitNot() const
+{
+    BitVector r(_width);
+    for (size_t i = 0; i < _limbs.size(); ++i)
+        r._limbs[i] = ~_limbs[i];
+    r.maskTop();
+    return r;
+}
+
+BitVector
+BitVector::shl(uint64_t amount) const
+{
+    BitVector r(_width);
+    if (amount >= _width)
+        return r;
+    unsigned limb_shift = static_cast<unsigned>(amount / 64);
+    unsigned bit_shift = static_cast<unsigned>(amount % 64);
+    for (size_t i = _limbs.size(); i-- > limb_shift;) {
+        uint64_t v = _limbs[i - limb_shift] << bit_shift;
+        if (bit_shift != 0 && i > limb_shift)
+            v |= _limbs[i - limb_shift - 1] >> (64 - bit_shift);
+        r._limbs[i] = v;
+    }
+    r.maskTop();
+    return r;
+}
+
+BitVector
+BitVector::lshr(uint64_t amount) const
+{
+    BitVector r(_width);
+    if (amount >= _width)
+        return r;
+    unsigned limb_shift = static_cast<unsigned>(amount / 64);
+    unsigned bit_shift = static_cast<unsigned>(amount % 64);
+    for (size_t i = 0; i + limb_shift < _limbs.size(); ++i) {
+        uint64_t v = _limbs[i + limb_shift] >> bit_shift;
+        if (bit_shift != 0 && i + limb_shift + 1 < _limbs.size())
+            v |= _limbs[i + limb_shift + 1] << (64 - bit_shift);
+        r._limbs[i] = v;
+    }
+    return r;
+}
+
+BitVector
+BitVector::eq(const BitVector &o) const
+{
+    MANTICORE_ASSERT(_width == o._width, "eq width mismatch");
+    return BitVector(1, _limbs == o._limbs ? 1 : 0);
+}
+
+BitVector
+BitVector::ult(const BitVector &o) const
+{
+    MANTICORE_ASSERT(_width == o._width, "ult width mismatch");
+    for (size_t i = _limbs.size(); i-- > 0;) {
+        if (_limbs[i] != o._limbs[i])
+            return BitVector(1, _limbs[i] < o._limbs[i] ? 1 : 0);
+    }
+    return BitVector(1, 0);
+}
+
+BitVector
+BitVector::slt(const BitVector &o) const
+{
+    MANTICORE_ASSERT(_width == o._width, "slt width mismatch");
+    bool sa = bit(_width - 1);
+    bool sb = o.bit(_width - 1);
+    if (sa != sb)
+        return BitVector(1, sa ? 1 : 0);
+    return ult(o);
+}
+
+BitVector
+BitVector::slice(unsigned lo, unsigned len) const
+{
+    MANTICORE_ASSERT(len > 0 && lo + len <= _width, "slice [", lo, "+:",
+                     len, "] out of width ", _width);
+    return lshr(lo).resize(len);
+}
+
+BitVector
+BitVector::concat(const BitVector &o) const
+{
+    BitVector r = resize(_width + o._width).shl(o._width);
+    BitVector low = o.resize(_width + o._width);
+    return r.bitOr(low);
+}
+
+BitVector
+BitVector::resize(unsigned new_width) const
+{
+    BitVector r(new_width);
+    size_t n = std::min(r._limbs.size(), _limbs.size());
+    for (size_t i = 0; i < n; ++i)
+        r._limbs[i] = _limbs[i];
+    r.maskTop();
+    return r;
+}
+
+BitVector
+BitVector::sext(unsigned new_width) const
+{
+    if (new_width <= _width)
+        return resize(new_width);
+    BitVector r = resize(new_width);
+    if (_width > 0 && bit(_width - 1)) {
+        for (unsigned i = _width; i < new_width; ++i)
+            r.setBit(i, true);
+    }
+    return r;
+}
+
+BitVector
+BitVector::reduceOr() const
+{
+    return BitVector(1, isZero() ? 0 : 1);
+}
+
+BitVector
+BitVector::reduceAnd() const
+{
+    return BitVector(1, *this == ones(_width) ? 1 : 0);
+}
+
+BitVector
+BitVector::reduceXor() const
+{
+    unsigned parity = 0;
+    for (auto l : _limbs)
+        parity ^= static_cast<unsigned>(__builtin_popcountll(l)) & 1u;
+    return BitVector(1, parity & 1u);
+}
+
+bool
+BitVector::operator==(const BitVector &o) const
+{
+    return _width == o._width && _limbs == o._limbs;
+}
+
+std::string
+BitVector::toString() const
+{
+    static const char *digits = "0123456789abcdef";
+    std::string hex;
+    unsigned nibbles = (_width + 3) / 4;
+    for (unsigned i = 0; i < nibbles; ++i) {
+        unsigned lo = i * 4;
+        unsigned len = std::min(4u, _width - lo);
+        uint64_t nib = lshr(lo).toUint64() & ((1u << len) - 1);
+        hex.push_back(digits[nib]);
+    }
+    std::reverse(hex.begin(), hex.end());
+    return std::to_string(_width) + "'h" + hex;
+}
+
+size_t
+BitVector::hash() const
+{
+    size_t h = _width * 0x9e3779b97f4a7c15ull;
+    for (auto l : _limbs) {
+        h ^= l + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+}
+
+} // namespace manticore

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Arbitrary-width bit vector used as the value type of the word-level
+ * netlist IR and its reference evaluator.
+ *
+ * Semantics mirror Verilog packed vectors with unsigned arithmetic:
+ * every value has an explicit width in bits; arithmetic and logic
+ * operations are width-preserving and wrap modulo 2^width; comparisons
+ * return a 1-bit value.  Storage is little-endian in 64-bit limbs with
+ * all bits above the width kept at zero (a class invariant).
+ */
+
+#ifndef MANTICORE_SUPPORT_BITVECTOR_HH
+#define MANTICORE_SUPPORT_BITVECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace manticore {
+
+class BitVector
+{
+  public:
+    /** Construct a zero value of the given width (width 0 is allowed
+     *  only as a default-constructed placeholder). */
+    explicit BitVector(unsigned width = 0);
+
+    /** Construct from a uint64, truncated to the given width. */
+    BitVector(unsigned width, uint64_t value);
+
+    /** Build from explicit limbs (little-endian); truncates to width. */
+    static BitVector fromLimbs(unsigned width,
+                               const std::vector<uint64_t> &limbs);
+
+    /** Parse from a binary string, MSB first, e.g. "1010" (width 4). */
+    static BitVector fromBinaryString(const std::string &bits);
+
+    /** All-ones value of the given width. */
+    static BitVector ones(unsigned width);
+
+    unsigned width() const { return _width; }
+    bool isZero() const;
+
+    /** Value of bit i (0 = LSB). */
+    bool bit(unsigned i) const;
+
+    /** Set bit i to v (i must be < width). */
+    void setBit(unsigned i, bool v);
+
+    /** Low 64 bits of the value. */
+    uint64_t toUint64() const;
+
+    /** True if the value fits in 64 bits. */
+    bool fitsUint64() const;
+
+    /** Arithmetic (width-preserving, operands must have equal width). */
+    BitVector add(const BitVector &o) const;
+    BitVector sub(const BitVector &o) const;
+    BitVector mul(const BitVector &o) const;
+
+    /** Bitwise logic (width-preserving, equal widths). */
+    BitVector bitAnd(const BitVector &o) const;
+    BitVector bitOr(const BitVector &o) const;
+    BitVector bitXor(const BitVector &o) const;
+    BitVector bitNot() const;
+
+    /** Shifts by a dynamic amount; shifts >= width yield zero. */
+    BitVector shl(uint64_t amount) const;
+    BitVector lshr(uint64_t amount) const;
+
+    /** Comparisons; result is a 1-bit vector. */
+    BitVector eq(const BitVector &o) const;
+    BitVector ult(const BitVector &o) const;
+    BitVector slt(const BitVector &o) const;
+
+    /** Extract bits [lo, lo+len) as a new value of width len. */
+    BitVector slice(unsigned lo, unsigned len) const;
+
+    /** Concatenate: this becomes the high part, o the low part. */
+    BitVector concat(const BitVector &o) const;
+
+    /** Zero-extend or truncate to a new width. */
+    BitVector resize(unsigned new_width) const;
+
+    /** Sign-extend (from current MSB) or truncate to a new width. */
+    BitVector sext(unsigned new_width) const;
+
+    /** OR/AND/XOR reduction over all bits; result is 1-bit. */
+    BitVector reduceOr() const;
+    BitVector reduceAnd() const;
+    BitVector reduceXor() const;
+
+    bool operator==(const BitVector &o) const;
+    bool operator!=(const BitVector &o) const { return !(*this == o); }
+
+    /** Hex string, e.g. "16'h00ff". */
+    std::string toString() const;
+
+    /** Stable hash for use in value-numbering tables. */
+    size_t hash() const;
+
+    const std::vector<uint64_t> &limbs() const { return _limbs; }
+
+  private:
+    void maskTop();
+    static unsigned limbCount(unsigned width) { return (width + 63) / 64; }
+
+    unsigned _width;
+    std::vector<uint64_t> _limbs;
+};
+
+} // namespace manticore
+
+namespace std {
+template <>
+struct hash<manticore::BitVector>
+{
+    size_t
+    operator()(const manticore::BitVector &v) const
+    {
+        return v.hash();
+    }
+};
+} // namespace std
+
+#endif // MANTICORE_SUPPORT_BITVECTOR_HH

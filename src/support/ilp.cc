@@ -1,0 +1,168 @@
+#include "support/ilp.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace manticore {
+
+int
+IlpProblem::addVariable(double objective)
+{
+    _objective.push_back(objective);
+    return static_cast<int>(_objective.size()) - 1;
+}
+
+void
+IlpProblem::addConstraint(const std::vector<int> &vars,
+                          const std::vector<double> &coeffs, double bound)
+{
+    MANTICORE_ASSERT(vars.size() == coeffs.size(), "row size mismatch");
+    for (double c : coeffs)
+        MANTICORE_ASSERT(c >= 0.0, "ILP solver requires coeffs >= 0");
+    _rowVars.push_back(vars);
+    _rowCoeffs.push_back(coeffs);
+    _bounds.push_back(bound);
+}
+
+void
+IlpProblem::addAtMostOne(const std::vector<int> &vars)
+{
+    addConstraint(vars, std::vector<double>(vars.size(), 1.0), 1.0);
+}
+
+namespace {
+
+/** Branch-and-bound search state shared across the recursion. */
+struct SearchState
+{
+    const IlpProblem *prob;
+    /// Variables ordered by decreasing objective (branch order).
+    std::vector<int> order;
+    /// Remaining objective mass from a given order position onward.
+    std::vector<double> suffixProfit;
+    /// Slack left in each constraint row.
+    std::vector<double> slack;
+    std::vector<bool> current;
+    std::vector<bool> best;
+    double currentProfit = 0.0;
+    double bestProfit = -1.0;
+    uint64_t nodes = 0;
+    uint64_t budget = 0;
+    bool aborted = false;
+    std::vector<std::vector<int>> varRows;
+};
+
+/** True if setting var to one keeps all of its rows feasible. */
+bool
+fits(const SearchState &st, int var)
+{
+    const auto &prob = *st.prob;
+    for (int row : st.varRows[var]) {
+        const auto &rv = prob._rowVars[row];
+        const auto &rc = prob._rowCoeffs[row];
+        double coeff = 0.0;
+        for (size_t i = 0; i < rv.size(); ++i) {
+            if (rv[i] == var) {
+                coeff = rc[i];
+                break;
+            }
+        }
+        if (coeff > st.slack[row] + 1e-9)
+            return false;
+    }
+    return true;
+}
+
+void
+apply(SearchState &st, int var, int dir)
+{
+    const auto &prob = *st.prob;
+    for (int row : st.varRows[var]) {
+        const auto &rv = prob._rowVars[row];
+        const auto &rc = prob._rowCoeffs[row];
+        for (size_t i = 0; i < rv.size(); ++i) {
+            if (rv[i] == var) {
+                st.slack[row] -= dir * rc[i];
+                break;
+            }
+        }
+    }
+}
+
+void
+branch(SearchState &st, size_t pos)
+{
+    if (st.aborted)
+        return;
+    if (++st.nodes > st.budget) {
+        st.aborted = true;
+        return;
+    }
+    if (st.currentProfit > st.bestProfit) {
+        st.bestProfit = st.currentProfit;
+        st.best = st.current;
+    }
+    if (pos >= st.order.size())
+        return;
+    // Prune: even taking every remaining variable cannot beat the best.
+    if (st.currentProfit + st.suffixProfit[pos] <= st.bestProfit + 1e-12)
+        return;
+
+    int var = st.order[pos];
+    // Try x=1 first (profit-greedy order makes this the promising side).
+    if (st.prob->_objective[var] > 0 && fits(st, var)) {
+        apply(st, var, +1);
+        st.current[var] = true;
+        st.currentProfit += st.prob->_objective[var];
+        branch(st, pos + 1);
+        st.currentProfit -= st.prob->_objective[var];
+        st.current[var] = false;
+        apply(st, var, -1);
+    }
+    branch(st, pos + 1);
+}
+
+} // namespace
+
+IlpSolution
+IlpSolver::solve(const IlpProblem &problem) const
+{
+    int n = problem.numVariables();
+    SearchState st;
+    st.prob = &problem;
+    st.budget = _nodeBudget;
+    st.slack = problem._bounds;
+    st.current.assign(n, false);
+    st.best.assign(n, false);
+
+    st.varRows.assign(n, {});
+    for (int row = 0; row < problem.numConstraints(); ++row)
+        for (int v : problem._rowVars[row])
+            st.varRows[v].push_back(row);
+
+    st.order.resize(n);
+    std::iota(st.order.begin(), st.order.end(), 0);
+    std::sort(st.order.begin(), st.order.end(), [&](int a, int b) {
+        return problem._objective[a] > problem._objective[b];
+    });
+
+    st.suffixProfit.assign(n + 1, 0.0);
+    for (int i = n - 1; i >= 0; --i) {
+        double obj = problem._objective[st.order[i]];
+        st.suffixProfit[i] = st.suffixProfit[i + 1] + std::max(0.0, obj);
+    }
+
+    st.bestProfit = 0.0;
+    branch(st, 0);
+
+    IlpSolution sol;
+    sol.assignment = st.best;
+    sol.objective = st.bestProfit;
+    sol.provenOptimal = !st.aborted;
+    sol.nodesExplored = st.nodes;
+    return sol;
+}
+
+} // namespace manticore

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A small exact 0/1 integer-linear-program solver used by custom
+ * function synthesis (§6.2 of the paper) to select a maximum-saving set
+ * of non-overlapping MFFCs.
+ *
+ * The model is: maximize c.x subject to A.x <= b with x binary and all
+ * constraint coefficients non-negative (a set-packing structure).  The
+ * solver runs branch-and-bound with a remaining-profit upper bound and
+ * falls back to its own greedy incumbent when the node budget runs out,
+ * so it always returns a feasible solution and reports whether it is
+ * provably optimal.
+ */
+
+#ifndef MANTICORE_SUPPORT_ILP_HH
+#define MANTICORE_SUPPORT_ILP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace manticore {
+
+class IlpProblem
+{
+  public:
+    /** Add a binary variable with the given objective weight; returns
+     *  its index. */
+    int addVariable(double objective);
+
+    /** Add a constraint sum(coeff_i * x_{var_i}) <= bound.  Coefficients
+     *  must be non-negative. */
+    void addConstraint(const std::vector<int> &vars,
+                       const std::vector<double> &coeffs, double bound);
+
+    /** Convenience: at most one of the given variables may be set. */
+    void addAtMostOne(const std::vector<int> &vars);
+
+    int numVariables() const { return static_cast<int>(_objective.size()); }
+    int numConstraints() const { return static_cast<int>(_bounds.size()); }
+
+    // Solver-facing internals (read-only in practice; exposed because
+    // the branch-and-bound search walks them directly).
+    std::vector<double> _objective;
+    /// Per-constraint sparse rows.
+    std::vector<std::vector<int>> _rowVars;
+    std::vector<std::vector<double>> _rowCoeffs;
+    std::vector<double> _bounds;
+    /// Per-variable list of constraints it appears in (built on solve).
+    std::vector<std::vector<int>> _varRows;
+};
+
+struct IlpSolution
+{
+    std::vector<bool> assignment;
+    double objective = 0.0;
+    /// True when branch-and-bound finished within its node budget.
+    bool provenOptimal = false;
+    uint64_t nodesExplored = 0;
+};
+
+class IlpSolver
+{
+  public:
+    /** @param node_budget maximum number of branch-and-bound nodes
+     *  before falling back to the best incumbent found so far. */
+    explicit IlpSolver(uint64_t node_budget = 2'000'000)
+        : _nodeBudget(node_budget)
+    {}
+
+    IlpSolution solve(const IlpProblem &problem) const;
+
+  private:
+    uint64_t _nodeBudget;
+};
+
+} // namespace manticore
+
+#endif // MANTICORE_SUPPORT_ILP_HH

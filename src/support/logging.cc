@@ -1,0 +1,36 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace manticore {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg.c_str());
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace manticore

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: panic() for internal
+ * invariant violations (aborts), fatal() for user-facing errors (clean
+ * exit), warn()/inform() for status messages.
+ */
+
+#ifndef MANTICORE_SUPPORT_LOGGING_HH
+#define MANTICORE_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace manticore {
+
+/** Terminate with an internal-error message; use for simulator bugs. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Terminate with a user-error message; use for bad inputs/configs. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a warning to stderr without stopping. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatAll(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace manticore
+
+#define MANTICORE_PANIC(...) \
+    ::manticore::panicImpl(__FILE__, __LINE__, \
+                           ::manticore::detail::formatAll(__VA_ARGS__))
+
+#define MANTICORE_FATAL(...) \
+    ::manticore::fatalImpl(__FILE__, __LINE__, \
+                           ::manticore::detail::formatAll(__VA_ARGS__))
+
+#define MANTICORE_WARN(...) \
+    ::manticore::warnImpl(::manticore::detail::formatAll(__VA_ARGS__))
+
+#define MANTICORE_INFORM(...) \
+    ::manticore::informImpl(::manticore::detail::formatAll(__VA_ARGS__))
+
+/** Assert that must hold regardless of user input (internal invariant). */
+#define MANTICORE_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            MANTICORE_PANIC("assertion failed: " #cond " ", \
+                            ::manticore::detail::formatAll(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // MANTICORE_SUPPORT_LOGGING_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic xoshiro256** random-number generator.  Everything in
+ * the repository that needs randomness (workload generators, property
+ * tests) uses this so that runs are reproducible from a seed.
+ */
+
+#ifndef MANTICORE_SUPPORT_RNG_HH
+#define MANTICORE_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace manticore {
+
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x6d616e7469636f72ull) // "manticor"
+    {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        uint64_t z = seed;
+        for (auto &s : _state) {
+            z += 0x9e3779b97f4a7c15ull;
+            uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+            s = x ^ (x >> 31);
+        }
+    }
+
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return bound == 0 ? 0 : next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    bool chance(double p) { return (next() >> 11) * 0x1.0p-53 < p; }
+
+  private:
+    static uint64_t rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t _state[4];
+};
+
+} // namespace manticore
+
+#endif // MANTICORE_SUPPORT_RNG_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * BitVector unit and property tests: arithmetic against native 64-bit
+ * references across widths, structural ops (slice/concat/extend), and
+ * invariants (mask discipline, hashing, string forms).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bitvector.hh"
+#include "support/rng.hh"
+
+using manticore::BitVector;
+using manticore::Rng;
+
+namespace {
+
+uint64_t
+maskOf(unsigned width)
+{
+    return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+class BitVectorWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+} // namespace
+
+TEST(BitVector, ConstructAndRead)
+{
+    BitVector v(16, 0xabcd);
+    EXPECT_EQ(v.width(), 16u);
+    EXPECT_EQ(v.toUint64(), 0xabcdu);
+    EXPECT_TRUE(v.bit(0));
+    EXPECT_FALSE(v.bit(1));
+    EXPECT_TRUE(v.bit(15));
+}
+
+TEST(BitVector, TruncatesToWidth)
+{
+    BitVector v(4, 0xff);
+    EXPECT_EQ(v.toUint64(), 0xfu);
+}
+
+TEST(BitVector, OnesAndZero)
+{
+    EXPECT_TRUE(BitVector(80).isZero());
+    BitVector ones = BitVector::ones(80);
+    EXPECT_FALSE(ones.isZero());
+    for (unsigned i = 0; i < 80; ++i)
+        EXPECT_TRUE(ones.bit(i));
+    EXPECT_EQ(ones.bitNot(), BitVector(80));
+}
+
+TEST(BitVector, FromBinaryString)
+{
+    BitVector v = BitVector::fromBinaryString("1010");
+    EXPECT_EQ(v.width(), 4u);
+    EXPECT_EQ(v.toUint64(), 10u);
+}
+
+TEST(BitVector, ToStringHex)
+{
+    EXPECT_EQ(BitVector(16, 0x00ff).toString(), "16'h00ff");
+    EXPECT_EQ(BitVector(4, 0xa).toString(), "4'ha");
+    EXPECT_EQ(BitVector(5, 0x1f).toString(), "5'h1f");
+}
+
+TEST_P(BitVectorWidths, ArithmeticMatchesNativeReference)
+{
+    unsigned width = GetParam();
+    Rng rng(width * 977 + 5);
+    for (int trial = 0; trial < 200; ++trial) {
+        uint64_t a = rng.next() & maskOf(width);
+        uint64_t b = rng.next() & maskOf(width);
+        BitVector va(width, a), vb(width, b);
+        EXPECT_EQ(va.add(vb).toUint64(), (a + b) & maskOf(width));
+        EXPECT_EQ(va.sub(vb).toUint64(), (a - b) & maskOf(width));
+        EXPECT_EQ(va.mul(vb).toUint64(), (a * b) & maskOf(width));
+        EXPECT_EQ(va.bitAnd(vb).toUint64(), a & b);
+        EXPECT_EQ(va.bitOr(vb).toUint64(), a | b);
+        EXPECT_EQ(va.bitXor(vb).toUint64(), a ^ b);
+        EXPECT_EQ(va.bitNot().toUint64(), ~a & maskOf(width));
+        EXPECT_EQ(va.eq(vb).toUint64(), a == b ? 1u : 0u);
+        EXPECT_EQ(va.ult(vb).toUint64(), a < b ? 1u : 0u);
+        unsigned sh = static_cast<unsigned>(rng.below(width + 4));
+        uint64_t shl_ref = sh >= width ? 0 : (a << sh) & maskOf(width);
+        uint64_t shr_ref = sh >= width ? 0 : a >> sh;
+        EXPECT_EQ(va.shl(sh).toUint64(), shl_ref);
+        EXPECT_EQ(va.lshr(sh).toUint64(), shr_ref);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVectorWidths,
+                         ::testing::Values(1u, 3u, 8u, 16u, 17u, 31u,
+                                           32u, 33u, 48u, 63u, 64u));
+
+TEST(BitVector, WideArithmeticCarriesAcrossLimbs)
+{
+    // (2^64 - 1) + 1 = 2^64 within a 96-bit vector.
+    BitVector a = BitVector::ones(96).slice(0, 64).resize(96);
+    BitVector one(96, 1);
+    BitVector sum = a.add(one);
+    EXPECT_FALSE(sum.bit(63));
+    EXPECT_TRUE(sum.bit(64));
+    EXPECT_EQ(sum.sub(one), a);
+}
+
+TEST(BitVector, WideMultiply)
+{
+    // (2^40 + 3) * (2^30 + 5) mod 2^96.
+    BitVector a(96, 3);
+    a.setBit(40, true);
+    BitVector b(96, 5);
+    b.setBit(30, true);
+    BitVector p = a.mul(b);
+    // = 2^70 + 5*2^40 + 3*2^30 + 15
+    BitVector expect(96, 15);
+    expect.setBit(70, true);
+    expect = expect.add(BitVector(96, 5).shl(40));
+    expect = expect.add(BitVector(96, 3).shl(30));
+    EXPECT_EQ(p, expect);
+}
+
+TEST(BitVector, SliceConcatRoundTrip)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 100; ++trial) {
+        unsigned width = 2 + rng.below(100);
+        BitVector v(width);
+        for (unsigned i = 0; i < width; ++i)
+            if (rng.chance(0.5))
+                v.setBit(i, true);
+        unsigned cut = 1 + rng.below(width - 1);
+        BitVector lo = v.slice(0, cut);
+        BitVector hi = v.slice(cut, width - cut);
+        EXPECT_EQ(hi.concat(lo), v) << "width " << width << " cut "
+                                    << cut;
+    }
+}
+
+TEST(BitVector, SignedOps)
+{
+    BitVector neg2(8, 0xfe);
+    BitVector pos3(8, 3);
+    EXPECT_EQ(neg2.slt(pos3).toUint64(), 1u);
+    EXPECT_EQ(pos3.slt(neg2).toUint64(), 0u);
+    EXPECT_EQ(neg2.sext(16).toUint64(), 0xfffeu);
+    EXPECT_EQ(pos3.sext(16).toUint64(), 3u);
+    EXPECT_EQ(neg2.resize(16).toUint64(), 0xfeu);
+}
+
+TEST(BitVector, Reductions)
+{
+    EXPECT_EQ(BitVector(33, 0).reduceOr().toUint64(), 0u);
+    EXPECT_EQ(BitVector(33, 4).reduceOr().toUint64(), 1u);
+    EXPECT_EQ(BitVector::ones(33).reduceAnd().toUint64(), 1u);
+    EXPECT_EQ(BitVector(33, 1).reduceAnd().toUint64(), 0u);
+    EXPECT_EQ(BitVector(8, 0b1011).reduceXor().toUint64(), 1u);
+    EXPECT_EQ(BitVector(8, 0b1010).reduceXor().toUint64(), 0u);
+}
+
+TEST(BitVector, HashDistinguishesWidthAndValue)
+{
+    EXPECT_NE(BitVector(8, 1).hash(), BitVector(9, 1).hash());
+    EXPECT_NE(BitVector(8, 1).hash(), BitVector(8, 2).hash());
+    EXPECT_EQ(BitVector(8, 1).hash(), BitVector(8, 1).hash());
+}
+
+TEST(BitVector, FitsUint64)
+{
+    BitVector v(100, 7);
+    EXPECT_TRUE(v.fitsUint64());
+    v.setBit(77, true);
+    EXPECT_FALSE(v.fitsUint64());
+}

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Compiler pass unit tests: lowering structure, optimisation effects,
+ * partitioning invariants (memory/privilege anchoring, duplication),
+ * CFU synthesis statistics, scheduling contracts (hazard distances,
+ * imem bounds), and register allocation (coalescing, capacity).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "designs/designs.hh"
+#include "machine/machine.hh"
+#include "netlist/builder.hh"
+#include "runtime/host.hh"
+#include "support/rng.hh"
+
+using namespace manticore;
+using compiler::CompileOptions;
+using compiler::CompileResult;
+using isa::Opcode;
+
+namespace {
+
+netlist::Netlist
+chainOfLogic()
+{
+    // Long AND/OR/XOR chain: prime CFU-synthesis territory.
+    netlist::CircuitBuilder b("logic");
+    auto a = b.reg("a", 16, 0x1111);
+    auto c = b.reg("c", 16, 0x2222);
+    auto d = b.reg("d", 16, 0x3333);
+    auto e = b.reg("e", 16, 0x4444);
+    // The picoRV32 expression from §4.2:
+    // (a & 0xf) | b | (c & 0x3) | (d ^ 0x1)
+    netlist::Signal expr = (a.read() & b.lit(16, 0xf)) | c.read() |
+                           (d.read() & b.lit(16, 3)) |
+                           (e.read() ^ b.lit(16, 1));
+    auto out = b.reg("out", 16);
+    b.next(out, expr);
+    b.next(a, a.read() ^ out.read());
+    b.next(c, c.read() | out.read());
+    b.next(d, d.read() & out.read());
+    b.next(e, e.read() + b.lit(16, 1));
+    return b.build();
+}
+
+} // namespace
+
+TEST(CompilerOpt, FoldsConstantsAndRemovesDeadCode)
+{
+    netlist::CircuitBuilder b("opt");
+    auto r = b.reg("r", 16);
+    // (1 + 2) * r is live; an unused sub-expression is dead.
+    netlist::Signal live = (b.lit(16, 1) + b.lit(16, 2)) * r.read();
+    (void)(r.read() - b.lit(16, 5)); // dead
+    b.next(r, live);
+    netlist::Netlist nl = b.build();
+
+    compiler::LoweredProgram lowered = compiler::lower(nl);
+    size_t before = lowered.body.size();
+    compiler::OptStats stats = compiler::optimize(lowered);
+    EXPECT_GT(stats.folded, 0u);
+    EXPECT_GT(stats.deadRemoved, 0u);
+    EXPECT_LT(lowered.body.size(), before);
+    // The add of two constants must be gone entirely.
+    for (const auto &inst : lowered.body)
+        EXPECT_NE(inst.opcode, Opcode::Sub);
+}
+
+TEST(CompilerOpt, CseMergesIdenticalExpressions)
+{
+    netlist::CircuitBuilder b("cse");
+    auto r = b.reg("r", 16, 1);
+    auto s = b.reg("s", 16, 2);
+    // The same expression feeds two registers.
+    b.next(r, (r.read() ^ s.read()) + s.read());
+    b.next(s, (r.read() ^ s.read()) + s.read());
+    netlist::Netlist nl = b.build();
+    compiler::LoweredProgram lowered = compiler::lower(nl);
+    compiler::OptStats stats = compiler::optimize(lowered);
+    EXPECT_GT(stats.csed, 0u);
+}
+
+TEST(CompilerPartition, SameMemoryInstructionsStayTogether)
+{
+    netlist::CircuitBuilder b("memanchor");
+    auto mem = b.memory("m", 16, 16);
+    auto p = b.reg("p", 16);
+    auto q = b.reg("q", 16);
+    // Two independent registers both read the memory.
+    b.next(p, p.read() + mem.read(p.read().trunc(4)));
+    b.next(q, q.read() ^ mem.read(q.read().trunc(4)));
+    mem.write(p.read().trunc(4), q.read(), b.lit(1, 1));
+    netlist::Netlist nl = b.build();
+
+    compiler::LoweredProgram lowered = compiler::lower(nl);
+    compiler::optimize(lowered);
+    compiler::Partition part =
+        compiler::partition(lowered, 16, compiler::MergeAlgo::Balanced);
+
+    // Every instruction tagged with the memory must be in exactly one
+    // process.
+    int mem_proc = -1;
+    for (size_t pr = 0; pr < part.processes.size(); ++pr) {
+        for (uint32_t idx : part.processes[pr]) {
+            if (lowered.memGroup[idx] >= 0) {
+                if (mem_proc == -1)
+                    mem_proc = static_cast<int>(pr);
+                EXPECT_EQ(mem_proc, static_cast<int>(pr))
+                    << "memory instructions split across processes";
+            }
+        }
+    }
+    EXPECT_NE(mem_proc, -1);
+}
+
+TEST(CompilerPartition, PrivilegedInstructionsSingleProcess)
+{
+    netlist::Netlist nl = designs::buildCgra(32);
+    compiler::LoweredProgram lowered = compiler::lower(nl);
+    compiler::optimize(lowered);
+    compiler::Partition part =
+        compiler::partition(lowered, 64, compiler::MergeAlgo::Balanced);
+    ASSERT_GE(part.privileged, 0);
+    for (size_t pr = 0; pr < part.processes.size(); ++pr) {
+        for (uint32_t idx : part.processes[pr]) {
+            if (lowered.privileged[idx])
+                EXPECT_EQ(static_cast<int>(pr), part.privileged);
+        }
+    }
+}
+
+TEST(CompilerPartition, RespectsCoreBudget)
+{
+    netlist::Netlist nl = designs::buildMc(32);
+    compiler::LoweredProgram lowered = compiler::lower(nl);
+    compiler::optimize(lowered);
+    for (unsigned cores : {1u, 2u, 4u, 9u, 100u}) {
+        compiler::Partition part = compiler::partition(
+            lowered, cores, compiler::MergeAlgo::Balanced);
+        EXPECT_LE(part.processes.size(), cores);
+        compiler::Partition lpt =
+            compiler::partition(lowered, cores, compiler::MergeAlgo::Lpt);
+        EXPECT_LE(lpt.processes.size(), cores);
+    }
+}
+
+TEST(CompilerPartition, BalancedSendsFewerThanLpt)
+{
+    // The headline claim of §7.8.1 (Table 4): communication-aware
+    // merging sends less.
+    netlist::Netlist nl = designs::buildMc(32);
+    compiler::LoweredProgram lowered = compiler::lower(nl);
+    compiler::optimize(lowered);
+    auto bal =
+        compiler::partition(lowered, 64, compiler::MergeAlgo::Balanced);
+    auto lpt = compiler::partition(lowered, 64, compiler::MergeAlgo::Lpt);
+    EXPECT_LE(bal.stats.estimatedSends, lpt.stats.estimatedSends);
+}
+
+TEST(CompilerCfu, FusesThePaperExpression)
+{
+    netlist::Netlist nl = chainOfLogic();
+    CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 2;
+    CompileResult result = compiler::compile(nl, opts);
+    EXPECT_GT(result.cfu.selected, 0u);
+    EXPECT_GT(result.cfu.instructionsRemoved, 0u);
+    bool has_cust = false;
+    for (const auto &proc : result.program.processes)
+        for (const auto &inst : proc.body)
+            has_cust |= inst.opcode == Opcode::Cust;
+    EXPECT_TRUE(has_cust);
+}
+
+TEST(CompilerCfu, DisableProducesNoCust)
+{
+    netlist::Netlist nl = chainOfLogic();
+    CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 2;
+    opts.enableCustomFunctions = false;
+    CompileResult result = compiler::compile(nl, opts);
+    for (const auto &proc : result.program.processes) {
+        EXPECT_TRUE(proc.functions.empty());
+        for (const auto &inst : proc.body)
+            EXPECT_NE(inst.opcode, Opcode::Cust);
+    }
+}
+
+TEST(CompilerCfu, ReducesVcpl)
+{
+    netlist::Netlist nl = designs::buildBc(32);
+    CompileOptions with;
+    with.config.gridX = with.config.gridY = 4;
+    CompileOptions without = with;
+    without.enableCustomFunctions = false;
+    unsigned v_with = compiler::compile(nl, with).program.vcpl;
+    unsigned v_without = compiler::compile(nl, without).program.vcpl;
+    EXPECT_LE(v_with, v_without);
+}
+
+TEST(CompilerSchedule, HazardContractHolds)
+{
+    // Post-regalloc static check: any instruction reading a register
+    // written earlier in the same body must be at least
+    // pipelineLatency slots later (persistent boot registers excepted
+    // because their readers precede their writers by construction,
+    // checked via the WAR ordering instead).
+    netlist::Netlist nl = designs::buildCgra(32);
+    CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 4;
+    CompileResult result = compiler::compile(nl, opts);
+    unsigned lat = opts.config.pipelineLatency;
+
+    for (const auto &proc : result.program.processes) {
+        std::unordered_map<isa::Reg, size_t> last_write;
+        for (size_t slot = 0; slot < proc.body.size(); ++slot) {
+            const auto &inst = proc.body[slot];
+            for (isa::Reg s : inst.sources()) {
+                auto it = last_write.find(s);
+                if (it == last_write.end())
+                    continue;
+                bool is_boot = proc.init.count(s) != 0;
+                if (is_boot)
+                    continue; // current-value WAR handled separately
+                EXPECT_GE(slot, it->second + lat)
+                    << "hazard violation in process " << proc.id
+                    << " slot " << slot << ": "
+                    << inst.toString();
+            }
+            if (inst.destination() != isa::kNoReg &&
+                inst.opcode != isa::Opcode::Send)
+                last_write[inst.destination()] = slot;
+        }
+    }
+}
+
+TEST(CompilerSchedule, BodiesFitInstructionMemory)
+{
+    netlist::Netlist nl = designs::buildMm(16);
+    CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 3;
+    CompileResult result = compiler::compile(nl, opts);
+    for (const auto &proc : result.program.processes)
+        EXPECT_LE(proc.body.size() + proc.epilogueLength,
+                  opts.config.imemSize);
+    EXPECT_GE(result.program.vcpl, result.schedule.maxBodyLength);
+}
+
+TEST(CompilerSchedule, MoreCoresDoNotIncreaseVcplMuch)
+{
+    // Scaling sanity (Fig. 7 flavor): mc on 16 cores should beat mc
+    // on 1 core by a wide margin.
+    netlist::Netlist nl = designs::buildMc(16);
+    CompileOptions one;
+    one.config.gridX = one.config.gridY = 1;
+    CompileOptions many;
+    many.config.gridX = many.config.gridY = 4;
+    unsigned v1 = compiler::compile(nl, one).program.vcpl;
+    unsigned v16 = compiler::compile(nl, many).program.vcpl;
+    EXPECT_LT(v16, v1);
+    EXPECT_GT(static_cast<double>(v1) / v16, 2.0);
+}
+
+TEST(CompilerRegalloc, CoalescesMovs)
+{
+    netlist::Netlist nl = designs::buildCgra(16);
+    CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 3;
+    CompileResult result = compiler::compile(nl, opts);
+    EXPECT_GT(result.regalloc.coalescedMovs, 0u);
+    EXPECT_LE(result.regalloc.maxMachineRegs,
+              opts.config.regFileSize);
+}
+
+TEST(CompilerEndToEnd, RegChunkHomeTracksCounter)
+{
+    netlist::CircuitBuilder b("wide_counter");
+    auto c = b.reg("c", 40);
+    b.next(c, c.read() + b.lit(40, 1));
+    b.finish(b.lit(1, 0));
+    netlist::Netlist nl = b.build();
+
+    CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 2;
+    CompileResult result = compiler::compile(nl, opts);
+    ASSERT_EQ(result.regChunkHome.size(), 1u);
+    EXPECT_EQ(result.regChunkHome[0].size(), 3u); // 40 bits = 3 chunks
+}
+
+TEST(CompilerDeterminism, SameInputSameBinary)
+{
+    // A static-scheduling compiler must be bit-reproducible: the
+    // schedule *is* the correctness argument.
+    netlist::Netlist nl1 = designs::buildNoc(64);
+    netlist::Netlist nl2 = designs::buildNoc(64);
+    CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 5;
+    CompileResult a = compiler::compile(nl1, opts);
+    CompileResult b = compiler::compile(nl2, opts);
+    ASSERT_EQ(a.program.processes.size(), b.program.processes.size());
+    EXPECT_EQ(a.program.vcpl, b.program.vcpl);
+    for (size_t p = 0; p < a.program.processes.size(); ++p) {
+        const auto &pa = a.program.processes[p];
+        const auto &pb = b.program.processes[p];
+        ASSERT_EQ(pa.body.size(), pb.body.size()) << "process " << p;
+        for (size_t i = 0; i < pa.body.size(); ++i)
+            ASSERT_EQ(pa.body[i].toString(), pb.body[i].toString())
+                << "process " << p << " slot " << i;
+        EXPECT_EQ(pa.init, pb.init);
+        EXPECT_EQ(pa.epilogueLength, pb.epilogueLength);
+    }
+}
+
+TEST(CompilerConfig, NonSquareGridsWork)
+{
+    netlist::Netlist nl = designs::buildCgra(48);
+    for (auto [gx, gy] : {std::pair<unsigned, unsigned>{1, 8},
+                          {8, 1},
+                          {3, 7}}) {
+        CompileOptions opts;
+        opts.config.gridX = gx;
+        opts.config.gridY = gy;
+        CompileResult result = compiler::compile(nl, opts);
+        machine::Machine m(result.program, opts.config);
+        runtime::Host host(result.program, m.globalMemory());
+        host.attach(m);
+        EXPECT_EQ(m.run(64), isa::RunStatus::Finished)
+            << gx << "x" << gy << ": " << host.failureMessage();
+    }
+}
+
+TEST(CompilerConfig, TinyImemRejectedUnlessPredicting)
+{
+    netlist::Netlist nl = designs::buildMm(16);
+    CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 1;
+    opts.config.imemSize = 64; // far too small for the whole design
+    EXPECT_DEATH(compiler::compile(nl, opts), "instruction slots");
+    opts.enforceImemLimit = false;
+    CompileResult result = compiler::compile(nl, opts);
+    EXPECT_GT(result.program.vcpl, 64u); // prediction still produced
+}
+
+TEST(CompilerConfig, OptimizationsOffStillCorrect)
+{
+    netlist::Netlist nl = designs::buildBlur(48);
+    CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 3;
+    opts.enableOptimizations = false;
+    CompileResult result = compiler::compile(nl, opts);
+    machine::Machine m(result.program, opts.config);
+    runtime::Host host(result.program, m.globalMemory());
+    host.attach(m);
+    EXPECT_EQ(m.run(64), isa::RunStatus::Finished)
+        << host.failureMessage();
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * End-to-end validation of all nine paper benchmarks and the two
+ * microbenchmarks: each design carries a generator-computed golden
+ * checksum assertion, so "runs to Finished" means functionally
+ * correct.  Every design is checked on (1) the reference netlist
+ * evaluator, (2) the compiled program on the functional ISA
+ * interpreter, (3) the compiled program on the cycle-level machine,
+ * and (4) the baseline (Verilator-substitute) serial engine, plus the
+ * threaded baseline for a subset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.hh"
+#include "compiler/compiler.hh"
+#include "designs/designs.hh"
+#include "isa/interpreter.hh"
+#include "machine/machine.hh"
+#include "netlist/evaluator.hh"
+#include "runtime/host.hh"
+
+using namespace manticore;
+
+namespace {
+
+struct Case
+{
+    const char *name;
+    netlist::Netlist (*build)(uint64_t);
+    uint64_t cycles;
+};
+
+class DesignTest : public ::testing::TestWithParam<Case>
+{
+};
+
+} // namespace
+
+TEST_P(DesignTest, ReferenceEvaluatorPassesGolden)
+{
+    const Case &c = GetParam();
+    netlist::Netlist nl = c.build(c.cycles);
+    netlist::Evaluator eval(nl);
+    auto status = eval.run(c.cycles + 8);
+    EXPECT_EQ(status, netlist::SimStatus::Finished)
+        << eval.failureMessage();
+    EXPECT_EQ(eval.cycle(), c.cycles + 1);
+}
+
+TEST_P(DesignTest, BaselineSerialPassesGolden)
+{
+    const Case &c = GetParam();
+    netlist::Netlist nl = c.build(c.cycles);
+    baseline::CompiledDesign design(nl);
+    baseline::SerialSimulator sim(design);
+    auto status = sim.run(c.cycles + 8);
+    EXPECT_EQ(status, baseline::SimStatus::Finished)
+        << sim.state().failureMessage;
+}
+
+TEST_P(DesignTest, BaselineThreadedPassesGolden)
+{
+    const Case &c = GetParam();
+    netlist::Netlist nl = c.build(c.cycles);
+    baseline::CompiledDesign design(nl);
+    baseline::ThreadedSimulator sim(design, 4);
+    auto status = sim.run(c.cycles + 8);
+    EXPECT_EQ(status, baseline::SimStatus::Finished)
+        << sim.state().failureMessage;
+}
+
+TEST_P(DesignTest, CompiledProgramPassesOnInterpreterAndMachine)
+{
+    const Case &c = GetParam();
+    netlist::Netlist nl = c.build(c.cycles);
+
+    compiler::CompileOptions opts;
+    opts.config.gridX = 6;
+    opts.config.gridY = 6;
+    compiler::CompileResult result = compiler::compile(nl, opts);
+
+    {
+        isa::Interpreter interp(result.program, opts.config);
+        runtime::Host host(result.program, interp.globalMemory());
+        host.attach(interp);
+        auto status = interp.run(c.cycles + 8);
+        EXPECT_EQ(status, isa::RunStatus::Finished)
+            << host.failureMessage();
+    }
+    {
+        machine::Machine m(result.program, opts.config);
+        runtime::Host host(result.program, m.globalMemory());
+        host.attach(m);
+        auto status = m.run(c.cycles + 8);
+        EXPECT_EQ(status, isa::RunStatus::Finished)
+            << host.failureMessage();
+        EXPECT_EQ(m.perf().vcycles, c.cycles + 1);
+    }
+}
+
+TEST_P(DesignTest, CompiledWithLptPartitioningAlsoPasses)
+{
+    const Case &c = GetParam();
+    netlist::Netlist nl = c.build(c.cycles);
+
+    compiler::CompileOptions opts;
+    opts.config.gridX = 5;
+    opts.config.gridY = 5;
+    opts.mergeAlgo = compiler::MergeAlgo::Lpt;
+    compiler::CompileResult result = compiler::compile(nl, opts);
+
+    machine::Machine m(result.program, opts.config);
+    runtime::Host host(result.program, m.globalMemory());
+    host.attach(m);
+    EXPECT_EQ(m.run(c.cycles + 8), isa::RunStatus::Finished)
+        << host.failureMessage();
+}
+
+TEST_P(DesignTest, CompiledWithoutCustomFunctionsAlsoPasses)
+{
+    const Case &c = GetParam();
+    netlist::Netlist nl = c.build(c.cycles);
+
+    compiler::CompileOptions opts;
+    opts.config.gridX = 4;
+    opts.config.gridY = 4;
+    opts.enableCustomFunctions = false;
+    compiler::CompileResult result = compiler::compile(nl, opts);
+
+    machine::Machine m(result.program, opts.config);
+    runtime::Host host(result.program, m.globalMemory());
+    host.attach(m);
+    EXPECT_EQ(m.run(c.cycles + 8), isa::RunStatus::Finished)
+        << host.failureMessage();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, DesignTest,
+    ::testing::Values(Case{"bc", designs::buildBc, 96},
+                      Case{"mm", designs::buildMm, 48},
+                      Case{"cgra", designs::buildCgra, 96},
+                      Case{"vta", designs::buildVta, 300},
+                      Case{"rv32r", designs::buildRv32r, 96},
+                      Case{"jpeg", designs::buildJpeg, 256},
+                      Case{"blur", designs::buildBlur, 96},
+                      Case{"mc", designs::buildMc, 96},
+                      Case{"noc", designs::buildNoc, 96}),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        return std::string(info.param.name);
+    });
+
+TEST(MicroBenchmarks, FifoAllSizesPassGolden)
+{
+    for (unsigned kib : {1u, 64u, 512u}) {
+        netlist::Netlist nl = designs::buildFifoMicro(kib, 64);
+        netlist::Evaluator eval(nl);
+        EXPECT_EQ(eval.run(80), netlist::SimStatus::Finished)
+            << "fifo " << kib << "KiB: " << eval.failureMessage();
+
+        compiler::CompileOptions opts;
+        opts.config.gridX = 1;
+        opts.config.gridY = 1;
+        compiler::CompileResult result = compiler::compile(nl, opts);
+        machine::Machine m(result.program, opts.config);
+        runtime::Host host(result.program, m.globalMemory());
+        host.attach(m);
+        EXPECT_EQ(m.run(80), isa::RunStatus::Finished)
+            << "fifo " << kib << "KiB: " << host.failureMessage();
+        if (kib > 1) {
+            EXPECT_GT(m.perf().cacheHits + m.perf().cacheMisses, 0u)
+                << "large fifo should access DRAM";
+        }
+    }
+}
+
+TEST(MicroBenchmarks, RamAllSizesPassGolden)
+{
+    for (unsigned kib : {1u, 64u, 512u}) {
+        netlist::Netlist nl = designs::buildRamMicro(kib, 64);
+        netlist::Evaluator eval(nl);
+        EXPECT_EQ(eval.run(80), netlist::SimStatus::Finished)
+            << "ram " << kib << "KiB: " << eval.failureMessage();
+
+        compiler::CompileOptions opts;
+        opts.config.gridX = 1;
+        opts.config.gridY = 1;
+        compiler::CompileResult result = compiler::compile(nl, opts);
+        machine::Machine m(result.program, opts.config);
+        runtime::Host host(result.program, m.globalMemory());
+        host.attach(m);
+        EXPECT_EQ(m.run(80), isa::RunStatus::Finished)
+            << "ram " << kib << "KiB: " << host.failureMessage();
+    }
+}

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * ISA-level unit tests: instruction semantics on the functional
+ * interpreter (carry chains, predication, CFU truth tables, sends,
+ * exceptions), binary encode/decode round trips, and program
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/encode.hh"
+#include "isa/interpreter.hh"
+#include "isa/isa.hh"
+#include "support/rng.hh"
+
+using namespace manticore;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Process;
+using isa::Program;
+using isa::Reg;
+
+namespace {
+
+Instruction
+make(Opcode op, Reg rd = isa::kNoReg, Reg rs1 = isa::kNoReg,
+     Reg rs2 = isa::kNoReg, Reg rs3 = isa::kNoReg, uint16_t imm = 0)
+{
+    Instruction i;
+    i.opcode = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.rs3 = rs3;
+    i.imm = imm;
+    return i;
+}
+
+Program
+singleProcess(std::vector<Instruction> body,
+              std::unordered_map<Reg, uint16_t> init = {},
+              bool privileged = false)
+{
+    Program p;
+    Process proc;
+    proc.id = 0;
+    proc.privileged = privileged;
+    proc.body = std::move(body);
+    proc.init = std::move(init);
+    p.processes.push_back(std::move(proc));
+    return p;
+}
+
+} // namespace
+
+TEST(IsaInterp, AddSetsCarryAndAddcConsumesIt)
+{
+    // r10 = 0xffff + 1 (carry out), r11 = 0 + 0 + carry(r10) = 1.
+    Program p = singleProcess(
+        {make(Opcode::Add, 10, 1, 2),
+         make(Opcode::Addc, 11, 0, 0, 10)},
+        {{0, 0}, {1, 0xffff}, {2, 1}});
+    isa::MachineConfig cfg;
+    cfg.gridX = cfg.gridY = 1;
+    isa::Interpreter interp(p, cfg);
+    interp.stepVcycle();
+    EXPECT_EQ(interp.regValue(0, 10), 0u);
+    EXPECT_TRUE(interp.regCarry(0, 10));
+    EXPECT_EQ(interp.regValue(0, 11), 1u);
+}
+
+TEST(IsaInterp, SubBorrowChain)
+{
+    // 0x0000_0000 - 1 over two chunks = 0xffff_ffff.
+    Program p = singleProcess(
+        {make(Opcode::Sub, 10, 0, 1),
+         make(Opcode::Subb, 11, 0, 0, 10)},
+        {{0, 0}, {1, 1}});
+    isa::MachineConfig cfg;
+    cfg.gridX = cfg.gridY = 1;
+    isa::Interpreter interp(p, cfg);
+    interp.stepVcycle();
+    EXPECT_EQ(interp.regValue(0, 10), 0xffffu);
+    EXPECT_EQ(interp.regValue(0, 11), 0xffffu);
+}
+
+TEST(IsaInterp, MulAndMulh)
+{
+    Program p = singleProcess(
+        {make(Opcode::Mul, 10, 1, 2), make(Opcode::Mulh, 11, 1, 2)},
+        {{1, 0x1234}, {2, 0x5678}});
+    isa::MachineConfig cfg;
+    cfg.gridX = cfg.gridY = 1;
+    isa::Interpreter interp(p, cfg);
+    interp.stepVcycle();
+    uint32_t full = 0x1234u * 0x5678u;
+    EXPECT_EQ(interp.regValue(0, 10), full & 0xffff);
+    EXPECT_EQ(interp.regValue(0, 11), full >> 16);
+}
+
+TEST(IsaInterp, SliceAndShifts)
+{
+    Program p = singleProcess(
+        {make(Opcode::Slice, 10, 1, isa::kNoReg, isa::kNoReg,
+              Instruction::packSlice(4, 8)),
+         make(Opcode::Sll, 11, 1, 2), make(Opcode::Srl, 12, 1, 3)},
+        {{1, 0xabcd}, {2, 4}, {3, 8}});
+    isa::MachineConfig cfg;
+    cfg.gridX = cfg.gridY = 1;
+    isa::Interpreter interp(p, cfg);
+    interp.stepVcycle();
+    EXPECT_EQ(interp.regValue(0, 10), 0xbcu);
+    EXPECT_EQ(interp.regValue(0, 11), 0xbcd0u);
+    EXPECT_EQ(interp.regValue(0, 12), 0xabu);
+}
+
+TEST(IsaInterp, PredicationGatesStores)
+{
+    Program p = singleProcess(
+        {make(Opcode::Pred, isa::kNoReg, 0),      // pred = 0
+         make(Opcode::Lst, isa::kNoReg, 2, 5, isa::kNoReg, 0),
+         make(Opcode::Pred, isa::kNoReg, 1),      // pred = 1
+         make(Opcode::Lst, isa::kNoReg, 2, 5, isa::kNoReg, 1),
+         make(Opcode::Lld, 10, 2, isa::kNoReg, isa::kNoReg, 0),
+         make(Opcode::Lld, 11, 2, isa::kNoReg, isa::kNoReg, 1)},
+        {{0, 0}, {1, 1}, {2, 100}, {5, 0x7777}});
+    isa::MachineConfig cfg;
+    cfg.gridX = cfg.gridY = 1;
+    isa::Interpreter interp(p, cfg);
+    interp.stepVcycle();
+    EXPECT_EQ(interp.regValue(0, 10), 0u);       // gated store skipped
+    EXPECT_EQ(interp.regValue(0, 11), 0x7777u);  // enabled store landed
+    EXPECT_EQ(interp.scratchValue(0, 101), 0x7777u);
+}
+
+TEST(IsaInterp, CustomFunctionAppliesPerLaneLut)
+{
+    // f = (a & b) ^ c, built lane-uniformly.
+    isa::CustomFunction f;
+    for (unsigned lane = 0; lane < 16; ++lane) {
+        uint16_t t = 0;
+        for (unsigned idx = 0; idx < 16; ++idx) {
+            bool a = idx & 1, b = idx & 2, c = idx & 4;
+            if ((a && b) != c)
+                t |= static_cast<uint16_t>(1u << idx);
+        }
+        f.lut[lane] = t;
+    }
+    EXPECT_EQ(f.apply(0xff00, 0xf0f0, 0x0f0f, 0),
+              ((0xff00 & 0xf0f0) ^ 0x0f0f));
+
+    Program p = singleProcess({make(Opcode::Cust, 10, 1, 2, 3, 0)},
+                              {{1, 0x1234}, {2, 0xff00}, {3, 0x00ff}});
+    p.processes[0].body[0].rs4 = 1;
+    p.processes[0].functions.push_back(f);
+    isa::MachineConfig cfg;
+    cfg.gridX = cfg.gridY = 1;
+    isa::Interpreter interp(p, cfg);
+    interp.stepVcycle();
+    EXPECT_EQ(interp.regValue(0, 10), (0x1234 & 0xff00) ^ 0x00ff);
+}
+
+TEST(IsaInterp, SendDeliversAtVcycleBoundary)
+{
+    Program p;
+    Process p0;
+    p0.id = 0;
+    p0.init = {{1, 0xaaaa}};
+    Instruction send = make(Opcode::Send, 7, 1);
+    send.target = 1;
+    p0.body = {send};
+    Process p1;
+    p1.id = 1;
+    p1.init = {{7, 0x1111}};
+    // p1 copies its r7 to r8 — sees the OLD value this Vcycle.
+    p1.body = {make(Opcode::Mov, 8, 7)};
+    p1.epilogueLength = 1;
+    p.processes = {p0, p1};
+
+    isa::MachineConfig cfg;
+    cfg.gridX = 2;
+    cfg.gridY = 1;
+    isa::Interpreter interp(p, cfg);
+    interp.stepVcycle();
+    EXPECT_EQ(interp.regValue(1, 8), 0x1111u); // pre-update value
+    EXPECT_EQ(interp.regValue(1, 7), 0xaaaau); // updated at boundary
+}
+
+TEST(IsaInterp, ExpectRaisesThroughHostCallback)
+{
+    Program p = singleProcess({make(Opcode::Expect, isa::kNoReg, 1, 0,
+                                    isa::kNoReg, 3)},
+                              {{0, 0}, {1, 5}}, true);
+    p.exceptions.add({isa::ExceptionKind::Finish, "f", {}, {}});
+    p.exceptions.add({isa::ExceptionKind::Finish, "f", {}, {}});
+    p.exceptions.add({isa::ExceptionKind::Finish, "f", {}, {}});
+    p.exceptions.add({isa::ExceptionKind::Finish, "$finish", {}, {}});
+    isa::MachineConfig cfg;
+    cfg.gridX = cfg.gridY = 1;
+    isa::Interpreter interp(p, cfg);
+    uint16_t seen = 0xffff;
+    interp.onException = [&](uint32_t, uint16_t eid) {
+        seen = eid;
+        return isa::HostAction::Finish;
+    };
+    auto status = interp.stepVcycle();
+    EXPECT_EQ(seen, 3u);
+    EXPECT_EQ(status, isa::RunStatus::Finished);
+}
+
+TEST(IsaEncode, InstructionRoundTrip)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 500; ++trial) {
+        Instruction in;
+        in.opcode = static_cast<Opcode>(
+            rng.below(static_cast<uint64_t>(Opcode::NumOpcodes)));
+        in.rd = rng.chance(0.1) ? isa::kNoReg
+                                : static_cast<Reg>(rng.below(2048));
+        in.rs1 = static_cast<Reg>(rng.below(2048));
+        in.rs2 = static_cast<Reg>(rng.below(2048));
+        in.rs3 = static_cast<Reg>(rng.below(2048));
+        in.rs4 = static_cast<Reg>(rng.below(2048));
+        in.imm = static_cast<uint16_t>(rng.next());
+        in.target = static_cast<uint32_t>(rng.below(1 << 24));
+        uint8_t rec[16];
+        isa::encodeInstruction(in, rec);
+        Instruction out = isa::decodeInstruction(rec);
+        EXPECT_EQ(out.opcode, in.opcode);
+        EXPECT_EQ(out.rd, in.rd);
+        EXPECT_EQ(out.rs1, in.rs1);
+        EXPECT_EQ(out.rs2, in.rs2);
+        EXPECT_EQ(out.rs3, in.rs3);
+        EXPECT_EQ(out.rs4, in.rs4);
+        EXPECT_EQ(out.imm, in.imm);
+        EXPECT_EQ(out.target, in.target);
+    }
+}
+
+TEST(IsaEncode, ProgramRoundTripPreservesEverything)
+{
+    Program p;
+    Process proc;
+    proc.id = 0;
+    proc.privileged = true;
+    proc.epilogueLength = 3;
+    proc.body = {make(Opcode::Add, 5, 1, 2),
+                 make(Opcode::Expect, isa::kNoReg, 0, 0, isa::kNoReg, 0)};
+    proc.init = {{1, 100}, {2, 200}};
+    isa::CustomFunction f;
+    f.lut[3] = 0xbeef;
+    proc.functions.push_back(f);
+    proc.scratchInit = {1, 2, 3, 4};
+    p.processes.push_back(proc);
+    p.placement = {{0, 0}};
+    p.vcpl = 77;
+    p.globalWordsReserved = 9;
+    p.globalInit = {{5, 0xaa}, {100000, 0xbb}};
+    isa::ExceptionInfo e;
+    e.kind = isa::ExceptionKind::Display;
+    e.format = "x=%d";
+    e.argChunkAddrs = {{1, 2}};
+    e.argWidths = {20};
+    p.exceptions.add(e);
+
+    Program q = isa::decodeProgram(isa::encodeProgram(p));
+    ASSERT_EQ(q.processes.size(), 1u);
+    EXPECT_EQ(q.processes[0].privileged, true);
+    EXPECT_EQ(q.processes[0].epilogueLength, 3u);
+    EXPECT_EQ(q.processes[0].body.size(), 2u);
+    EXPECT_EQ(q.processes[0].init.at(2), 200);
+    EXPECT_EQ(q.processes[0].functions[0].lut[3], 0xbeef);
+    EXPECT_EQ(q.processes[0].scratchInit,
+              (std::vector<uint16_t>{1, 2, 3, 4}));
+    EXPECT_EQ(q.vcpl, 77u);
+    EXPECT_EQ(q.globalInit.size(), 2u);
+    EXPECT_EQ(q.globalInit[1].first, 100000u);
+    EXPECT_EQ(q.exceptions.info(0).format, "x=%d");
+    EXPECT_EQ(q.exceptions.info(0).argChunkAddrs[0],
+              (std::vector<uint64_t>{1, 2}));
+    EXPECT_EQ(q.exceptions.info(0).argWidths[0], 20u);
+    EXPECT_EQ(q.placement[0], (std::pair<unsigned, unsigned>{0, 0}));
+}
+
+TEST(IsaValidate, RejectsPrivilegedInstructionInNormalProcess)
+{
+    Program p = singleProcess({make(Opcode::Gld, 1, 0, 0)},
+                              {{0, 0}}, /*privileged=*/false);
+    isa::MachineConfig cfg;
+    EXPECT_EXIT(isa::validate(p, cfg), ::testing::ExitedWithCode(1),
+                "privileged instruction");
+}
+
+TEST(IsaValidate, RejectsBadSliceRange)
+{
+    Program p = singleProcess(
+        {make(Opcode::Slice, 1, 0, isa::kNoReg, isa::kNoReg,
+              Instruction::packSlice(12, 8))},
+        {{0, 0}});
+    isa::MachineConfig cfg;
+    EXPECT_EXIT(isa::validate(p, cfg), ::testing::ExitedWithCode(1),
+                "bad SLICE");
+}
+
+TEST(IsaPrint, ToStringShowsOperands)
+{
+    Instruction i = make(Opcode::Add, 3, 1, 2);
+    EXPECT_EQ(i.toString(), "ADD $r3, $r1, $r2");
+    Instruction s = make(Opcode::Send, 9, 4);
+    s.target = 7;
+    EXPECT_EQ(s.toString(), "SEND p7.$r9, $r4");
+}

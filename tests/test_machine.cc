@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Machine-simulator unit tests: cache model timing, global-stall
+ * accounting via performance counters, message delivery/epilogue
+ * verification, and FPGA physical-design model values (Table 1,
+ * Table 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "designs/designs.hh"
+#include "machine/fpga_model.hh"
+#include "machine/machine.hh"
+#include "netlist/builder.hh"
+#include "runtime/host.hh"
+#include "runtime/simulation.hh"
+
+using namespace manticore;
+
+TEST(CacheModel, HitsAfterFirstMiss)
+{
+    isa::MachineConfig cfg;
+    machine::PerfCounters perf;
+    machine::CacheModel cache(cfg);
+    unsigned first = cache.access(100, false, perf);
+    EXPECT_EQ(first, cfg.cacheMissStall);
+    unsigned second = cache.access(101, false, perf);
+    EXPECT_EQ(second, cfg.cacheHitStall); // same 64-byte line
+    EXPECT_EQ(perf.cacheHits, 1u);
+    EXPECT_EQ(perf.cacheMisses, 1u);
+}
+
+TEST(CacheModel, DirectMappedConflicts)
+{
+    isa::MachineConfig cfg;
+    machine::PerfCounters perf;
+    machine::CacheModel cache(cfg);
+    unsigned words_per_line = cfg.cacheLineBytes / 2;
+    unsigned num_lines = cfg.cacheBytes / cfg.cacheLineBytes;
+    uint64_t stride = static_cast<uint64_t>(words_per_line) * num_lines;
+    cache.access(0, false, perf);
+    cache.access(stride, false, perf);  // evicts line 0
+    cache.access(0, false, perf);       // misses again
+    EXPECT_EQ(perf.cacheMisses, 3u);
+    EXPECT_EQ(perf.cacheHits, 0u);
+}
+
+TEST(Machine, GlobalStallChargedForDramResidentMemory)
+{
+    // 64 KiB RAM goes to DRAM; every Vcycle does a load and a store.
+    netlist::Netlist nl = designs::buildRamMicro(64, 1000);
+    compiler::CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 1;
+    compiler::CompileResult result = compiler::compile(nl, opts);
+    machine::Machine m(result.program, opts.config);
+    runtime::Host host(result.program, m.globalMemory());
+    host.attach(m);
+    m.run(32);
+    const machine::PerfCounters &perf = m.perf();
+    EXPECT_GT(perf.stallCycles, 0u);
+    EXPECT_GT(perf.cacheHits + perf.cacheMisses, 0u);
+    EXPECT_EQ(perf.totalCycles(),
+              perf.activeCycles + perf.stallCycles);
+}
+
+TEST(Machine, ScratchResidentMemoryNeverStalls)
+{
+    netlist::Netlist nl = designs::buildFifoMicro(1, 1000);
+    compiler::CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 1;
+    compiler::CompileResult result = compiler::compile(nl, opts);
+    machine::Machine m(result.program, opts.config);
+    m.run(32);
+    EXPECT_EQ(m.perf().cacheHits + m.perf().cacheMisses, 0u);
+    EXPECT_EQ(m.perf().stallCycles, 0u);
+}
+
+TEST(Machine, MessagesMatchEpilogueLengths)
+{
+    netlist::Netlist nl = designs::buildCgra(64);
+    compiler::CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 4;
+    compiler::CompileResult result = compiler::compile(nl, opts);
+    uint64_t expected_per_vcycle = 0;
+    for (const auto &proc : result.program.processes)
+        expected_per_vcycle += proc.epilogueLength;
+    machine::Machine m(result.program, opts.config);
+    runtime::Host host(result.program, m.globalMemory());
+    host.attach(m);
+    m.run(10);
+    // runVcycle() asserts exact counts internally; cross-check totals.
+    EXPECT_EQ(m.perf().messagesDelivered,
+              expected_per_vcycle * m.perf().vcycles);
+}
+
+TEST(Machine, EffectiveRateAccountsForStalls)
+{
+    netlist::Netlist nl = designs::buildRamMicro(512, 100000);
+    compiler::CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 1;
+    runtime::Simulation sim(nl, opts);
+    sim.run(64);
+    double ideal =
+        sim.compileResult().simulationRateKhz(opts.config.clockKhz);
+    EXPECT_LT(sim.effectiveRateKhz(), ideal);
+}
+
+TEST(FpgaModel, UramBudgetCapsCores)
+{
+    machine::FpgaModel model;
+    EXPECT_EQ(model.maxCores(), 398u);
+}
+
+TEST(FpgaModel, Table1FrequenciesReproduced)
+{
+    machine::FpgaModel model;
+    // Automatic floorplanning (Table 1 top row).
+    EXPECT_NEAR(model.fmaxMhz(8, 8, false), 500, 1);
+    EXPECT_NEAR(model.fmaxMhz(10, 10, false), 485, 1);
+    EXPECT_NEAR(model.fmaxMhz(12, 12, false), 480, 1);
+    EXPECT_NEAR(model.fmaxMhz(15, 15, false), 395, 1);
+    EXPECT_NEAR(model.fmaxMhz(16, 16, false), 180, 1);
+    // Guided floorplanning (Table 1 bottom row).
+    EXPECT_NEAR(model.fmaxMhz(12, 12, true), 500, 1);
+    EXPECT_NEAR(model.fmaxMhz(15, 15, true), 475, 1);
+    EXPECT_NEAR(model.fmaxMhz(16, 16, true), 450, 1);
+    // Guided never loses to automatic.
+    for (unsigned g = 2; g <= 19; ++g)
+        EXPECT_GE(model.fmaxMhz(g, g, true), model.fmaxMhz(g, g, false));
+    // Too big for the URAM budget.
+    EXPECT_EQ(model.fmaxMhz(20, 20, true), 0.0);
+}
+
+TEST(FpgaModel, Table7UtilizationFractions)
+{
+    machine::FpgaModel model;
+    auto util = model.coreUtilization();
+    // Paper: every core resource under 0.21% of the device, with URAM
+    // dominant (Table 7 row: 0.05 0.02 0.05 0.19 0.21 0.01).
+    double uram_frac = 0.0;
+    for (const auto &[name, frac] : util) {
+        EXPECT_LT(frac, 0.0025) << name;
+        if (name == "URAM")
+            uram_frac = frac;
+    }
+    EXPECT_NEAR(uram_frac, 0.0025, 0.0006);
+    for (const auto &[name, frac] : util)
+        EXPECT_LE(frac, uram_frac + 1e-9)
+            << "URAM should be the binding resource, not " << name;
+}
+
+TEST(Machine, StateMatchesInterpreterOnScratchpads)
+{
+    netlist::Netlist nl = designs::buildVta(200);
+    compiler::CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 2;
+    compiler::CompileResult result = compiler::compile(nl, opts);
+
+    isa::Interpreter interp(result.program, opts.config);
+    machine::Machine mach(result.program, opts.config);
+    for (int i = 0; i < 80; ++i) {
+        interp.stepVcycle();
+        mach.runVcycle();
+    }
+    for (uint32_t pid = 0; pid < result.program.processes.size();
+         ++pid) {
+        for (uint32_t a = 0; a < 256; ++a)
+            ASSERT_EQ(interp.scratchValue(pid, a),
+                      mach.scratchValue(pid, a))
+                << "scratch divergence pid " << pid << " addr " << a;
+    }
+}
+
+TEST(Machine, HeavyNocTrafficHasNoCollisions)
+{
+    // 64 Monte-Carlo paths on a full 15x15 grid: hundreds of SENDs
+    // per Vcycle converging on the checksum owner.  The machine
+    // panics on any link collision, late arrival, or epilogue-count
+    // mismatch, so surviving the run proves the compiler's routing.
+    netlist::Netlist nl = designs::buildMcSized(1u << 20, 64);
+    compiler::CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 15;
+    compiler::CompileResult result = compiler::compile(nl, opts);
+
+    uint64_t sends = result.schedule.totalSends;
+    EXPECT_GT(sends, 100u) << "expected heavy NoC traffic";
+
+    machine::Machine m(result.program, opts.config);
+    isa::Interpreter interp(result.program, opts.config);
+    for (int i = 0; i < 12; ++i) {
+        m.runVcycle();
+        interp.stepVcycle();
+    }
+    EXPECT_EQ(m.perf().messagesDelivered, sends * 12);
+    // Spot-check convergence of state across engines.
+    for (size_t r = 0; r < result.regChunkHome.size(); ++r)
+        for (const auto &home : result.regChunkHome[r])
+            ASSERT_EQ(m.regValue(home.process, home.reg),
+                      interp.regValue(home.process, home.reg));
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Netlist IR, CircuitBuilder, and reference evaluator unit tests:
+ * operator semantics, register/memory commit ordering (reads see old
+ * values), side-effect semantics, display formatting, and structural
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hh"
+#include "netlist/evaluator.hh"
+
+using namespace manticore;
+using netlist::CircuitBuilder;
+using netlist::Evaluator;
+using netlist::Netlist;
+using netlist::Signal;
+using netlist::SimStatus;
+
+TEST(Netlist, CounterCounts)
+{
+    CircuitBuilder b("counter");
+    auto c = b.reg("c", 8);
+    b.next(c, c.read() + b.lit(8, 1));
+    Netlist nl = b.build();
+    Evaluator eval(nl);
+    eval.run(10);
+    EXPECT_EQ(eval.regValue("c").toUint64(), 10u);
+}
+
+TEST(Netlist, RegisterInitValueRespected)
+{
+    CircuitBuilder b("init");
+    auto c = b.reg("c", 8, 42);
+    b.next(c, c.read());
+    Evaluator eval(b.build());
+    eval.run(3);
+    EXPECT_EQ(eval.regValue("c").toUint64(), 42u);
+}
+
+TEST(Netlist, MemoryReadsSeeOldValueWithinCycle)
+{
+    // mem[0] starts at 7; in the same cycle we read addr 0 and write
+    // addr 0.  RTL semantics: the read sees 7, the write lands after.
+    CircuitBuilder b("rdwr");
+    std::vector<BitVector> init(4, BitVector(16, 7));
+    auto mem = b.memory("m", 16, 4, init);
+    auto seen = b.reg("seen", 16);
+    Signal zero = b.lit(16, 0);
+    b.next(seen, mem.read(zero));
+    mem.write(zero, b.lit(16, 99), b.lit(1, 1));
+    Evaluator eval(b.build());
+    eval.step();
+    EXPECT_EQ(eval.regValue("seen").toUint64(), 7u);  // old value
+    EXPECT_EQ(eval.memValue(0, 0).toUint64(), 99u);   // committed
+    eval.step();
+    EXPECT_EQ(eval.regValue("seen").toUint64(), 99u); // new value
+}
+
+TEST(Netlist, MemoryWriteEnableGates)
+{
+    CircuitBuilder b("gated");
+    auto mem = b.memory("m", 8, 4);
+    auto tick = b.reg("tick", 1);
+    b.next(tick, ~tick.read());
+    mem.write(b.lit(8, 1).trunc(2), b.lit(8, 0x55), tick.read());
+    auto probe = b.reg("probe", 8);
+    b.next(probe, mem.read(b.lit(2, 1)));
+    Evaluator eval(b.build());
+    eval.step(); // tick=0: no write
+    EXPECT_EQ(eval.memValue(0, 1).toUint64(), 0u);
+    eval.step(); // tick=1: write fires
+    EXPECT_EQ(eval.memValue(0, 1).toUint64(), 0x55u);
+}
+
+TEST(Netlist, MuxSelectsAndCompareWorks)
+{
+    CircuitBuilder b("mux");
+    auto c = b.reg("c", 4);
+    b.next(c, c.read() + b.lit(4, 1));
+    auto out = b.reg("out", 8);
+    Signal small = c.read() < b.lit(4, 3);
+    b.next(out, b.mux(small, b.lit(8, 1), b.lit(8, 2)));
+    Evaluator eval(b.build());
+    eval.step();
+    EXPECT_EQ(eval.regValue("out").toUint64(), 1u); // c was 0
+    eval.run(4);
+    EXPECT_EQ(eval.regValue("out").toUint64(), 2u); // c >= 3
+}
+
+TEST(Netlist, AssertFailureStopsWithMessage)
+{
+    CircuitBuilder b("bad");
+    auto c = b.reg("c", 8);
+    b.next(c, c.read() + b.lit(8, 1));
+    b.assertAlways(c.read() == b.lit(8, 3), b.lit(1, 0),
+                   "c reached three");
+    Evaluator eval(b.build());
+    auto status = eval.run(100);
+    EXPECT_EQ(status, SimStatus::AssertFailed);
+    EXPECT_NE(eval.failureMessage().find("c reached three"),
+              std::string::npos);
+    EXPECT_EQ(eval.cycle(), 3u); // failed before committing cycle 3
+}
+
+TEST(Netlist, FinishStopsAfterCommit)
+{
+    CircuitBuilder b("fin");
+    auto c = b.reg("c", 8);
+    b.next(c, c.read() + b.lit(8, 1));
+    b.finish(c.read() == b.lit(8, 5));
+    Evaluator eval(b.build());
+    EXPECT_EQ(eval.run(100), SimStatus::Finished);
+    EXPECT_EQ(eval.cycle(), 6u);
+    EXPECT_EQ(eval.regValue("c").toUint64(), 6u); // commit happened
+}
+
+TEST(Netlist, DisplayFormatting)
+{
+    std::vector<BitVector> args = {BitVector(16, 42), BitVector(8, 7)};
+    EXPECT_EQ(Evaluator::formatDisplay("a=%d b=%d!", args),
+              "a=42 b=7!");
+    EXPECT_EQ(Evaluator::formatDisplay("100%% done", {}), "100% done");
+    EXPECT_EQ(Evaluator::formatDisplay("x=%x", {BitVector(8, 0xab)}),
+              "x=8'hab");
+}
+
+TEST(Netlist, InputsDriveValues)
+{
+    CircuitBuilder b("in");
+    Signal in = b.input("din", 8);
+    auto out = b.reg("out", 8);
+    b.next(out, in + b.lit(8, 1));
+    Evaluator eval(b.build());
+    eval.setInput("din", BitVector(8, 10));
+    eval.step();
+    EXPECT_EQ(eval.regValue("out").toUint64(), 11u);
+    eval.setInput("din", BitVector(8, 20));
+    eval.step();
+    EXPECT_EQ(eval.regValue("out").toUint64(), 21u);
+}
+
+TEST(Netlist, WideSignalsEvaluate)
+{
+    CircuitBuilder b("wide");
+    auto acc = b.reg("acc", 100);
+    BitVector big(100, 1); // 2^64 + 1 as a 100-bit literal
+    big.setBit(64, true);
+    b.next(acc, acc.read() + b.lit(big));
+    Evaluator eval(b.build());
+    eval.run(4);
+    // 4 * (2^64 + 1)
+    BitVector expect(100, 4);
+    expect.setBit(66, true);
+    EXPECT_EQ(eval.regValue("acc"), expect);
+}
+
+TEST(Netlist, ToStringDumpIsStable)
+{
+    CircuitBuilder b("dump");
+    auto c = b.reg("c", 4);
+    b.next(c, c.read() + b.lit(4, 1));
+    Netlist nl = b.build();
+    std::string dump = nl.toString();
+    EXPECT_NE(dump.find("netlist dump"), std::string::npos);
+    EXPECT_NE(dump.find("reg r0 \"c\""), std::string::npos);
+    EXPECT_NE(dump.find("add"), std::string::npos);
+}
+
+TEST(Netlist, TopologicalOrderIsConstructionOrder)
+{
+    CircuitBuilder b("topo");
+    auto c = b.reg("c", 4);
+    Signal s = c.read() + b.lit(4, 1);
+    b.next(c, s);
+    Netlist nl = b.build();
+    auto order = nl.topologicalOrder();
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
