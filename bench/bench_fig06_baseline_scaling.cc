@@ -10,6 +10,7 @@
 
 #include "baseline/baseline.hh"
 #include "bench/common.hh"
+#include "netlist/evaluator.hh"
 
 using namespace manticore;
 
@@ -23,6 +24,9 @@ main()
     unsigned max_threads =
         std::min(8u, std::max(2u, std::thread::hardware_concurrency()));
     std::printf("%8s", "bench");
+    for (netlist::EvalMode mode :
+         {netlist::EvalMode::Reference, netlist::EvalMode::Compiled})
+        std::printf("  %-9s", netlist::evalModeName(mode));
     for (unsigned t = 1; t <= max_threads; ++t)
         std::printf("  thr%-5u", t);
     std::printf("\n");
@@ -33,6 +37,20 @@ main()
         baseline::CompiledDesign design(nl);
 
         std::printf("%8s", bm.name.c_str());
+
+        // Netlist-evaluator baselines (the rates every engine is
+        // measured against): reference graph walker vs compiled tape.
+        for (netlist::EvalMode mode :
+             {netlist::EvalMode::Reference, netlist::EvalMode::Compiled}) {
+            auto eval = netlist::makeEvaluator(nl, mode);
+            double khz = bench::measureRateKhz(
+                [&](uint64_t chunk) {
+                    return eval->run(chunk) == netlist::SimStatus::Ok;
+                },
+                horizon - 8, 0.1,
+                mode == netlist::EvalMode::Reference ? 256 : 2048);
+            std::printf("  %-9.1f", khz);
+        }
         double serial_khz = 0.0;
         for (unsigned t = 1; t <= max_threads; ++t) {
             double khz;

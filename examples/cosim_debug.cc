@@ -31,7 +31,10 @@ main()
     options.config.gridX = options.config.gridY = 6;
     compiler::CompileResult cr = compiler::compile(design, options);
 
-    netlist::Evaluator golden(design);
+    // Golden model: the compiled tape evaluator (cycle-exact with the
+    // reference Evaluator, ~10x faster; swap the mode to compare).
+    auto golden =
+        netlist::makeEvaluator(design, netlist::EvalMode::Compiled);
     machine::Machine mach(cr.program, options.config);
     runtime::Host host(cr.program, mach.globalMemory());
     host.attach(mach);
@@ -53,11 +56,11 @@ main()
     std::printf("cycle: pc3 waveform (machine == evaluator checked "
                 "every cycle)\n");
     for (int cycle = 0; cycle < 40; ++cycle) {
-        golden.step();
+        golden->step();
         mach.runVcycle();
         uint16_t hw = mach.regValue(home.process, home.reg);
         uint16_t ref = static_cast<uint16_t>(
-            golden.regValue(static_cast<uint32_t>(watched)).toUint64());
+            golden->regValue(static_cast<uint32_t>(watched)).toUint64());
         if (hw != ref) {
             std::printf("DIVERGENCE at cycle %d: machine %u vs "
                         "evaluator %u\n",

@@ -15,6 +15,7 @@
 #ifndef MANTICORE_ISA_INTERPRETER_HH
 #define MANTICORE_ISA_INTERPRETER_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -25,22 +26,52 @@
 namespace manticore::isa {
 
 /** Word-addressed 16-bit global (DRAM) memory shared by the
- *  interpreter, the machine simulator, and the host runtime. */
+ *  interpreter, the machine simulator, and the host runtime.
+ *
+ *  Sparse paged store: 4 KiB pages (2048 words) keyed by page number
+ *  in a flat hash map, so streaming access touches one map lookup and
+ *  then dense array words instead of one hash probe per word.  Each
+ *  page carries a written-word bitmap so footprint() still reports the
+ *  number of distinct words ever written (including zero writes),
+ *  matching the old per-word map's semantics. */
 class GlobalMemory
 {
   public:
     uint16_t
     read(uint64_t addr) const
     {
-        auto it = _words.find(addr);
-        return it == _words.end() ? 0 : it->second;
+        auto it = _pages.find(addr / kPageWords);
+        return it == _pages.end() ? 0
+                                  : it->second.words[addr % kPageWords];
     }
 
-    void write(uint64_t addr, uint16_t value) { _words[addr] = value; }
-    size_t footprint() const { return _words.size(); }
+    void
+    write(uint64_t addr, uint16_t value)
+    {
+        Page &p = _pages[addr / kPageWords];
+        uint64_t off = addr % kPageWords;
+        uint64_t bit = 1ull << (off % 64);
+        if (!(p.written[off / 64] & bit)) {
+            p.written[off / 64] |= bit;
+            ++_footprint;
+        }
+        p.words[off] = value;
+    }
+
+    /** Number of distinct words ever written. */
+    size_t footprint() const { return _footprint; }
 
   private:
-    std::unordered_map<uint64_t, uint16_t> _words;
+    static constexpr uint64_t kPageWords = 2048; ///< 4 KiB per page
+
+    struct Page
+    {
+        std::array<uint16_t, kPageWords> words{};
+        std::array<uint64_t, kPageWords / 64> written{};
+    };
+
+    std::unordered_map<uint64_t, Page> _pages;
+    size_t _footprint = 0;
 };
 
 enum class RunStatus

@@ -1,0 +1,464 @@
+#include "netlist/compiled_evaluator.hh"
+
+#include "support/limbops.hh"
+#include "support/logging.hh"
+
+namespace manticore::netlist {
+
+namespace lo = ::manticore::limbops;
+
+CompiledEvaluator::CompiledEvaluator(Netlist netlist)
+    : _netlist(std::move(netlist))
+{
+    _netlist.validate();
+    compile();
+}
+
+void
+CompiledEvaluator::compile()
+{
+    const auto &nodes = _netlist.nodes();
+
+    // Arena layout: every node gets a private fixed limb span.
+    _slotOf.resize(nodes.size());
+    uint64_t offset = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        _slotOf[i] = static_cast<uint32_t>(offset);
+        offset += lo::nlimbs(nodes[i].width);
+    }
+    _arena.assign(offset, 0);
+
+    // Constants are written once, here; register current slots start
+    // at their init values; inputs start at zero (as the reference
+    // evaluator's _inputs do).
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        if (n.kind == OpKind::Const) {
+            lo::copy(&_arena[_slotOf[i]], n.value.limbs().data(),
+                     lo::nlimbs(n.width));
+        }
+    }
+    for (const Register &r : _netlist.registers()) {
+        lo::copy(&_arena[_slotOf[r.current]], r.init.limbs().data(),
+                 lo::nlimbs(r.width));
+    }
+
+    // Memories become dense limb arrays.
+    _mems.reserve(_netlist.numMemories());
+    for (const Memory &m : _netlist.memories()) {
+        MemState ms;
+        ms.width = m.width;
+        ms.wordLimbs = lo::nlimbs(m.width);
+        ms.depth = m.depth;
+        ms.words.assign(static_cast<size_t>(ms.depth) * ms.wordLimbs, 0);
+        for (unsigned a = 0; a < m.depth; ++a)
+            lo::copy(&ms.words[static_cast<size_t>(a) * ms.wordLimbs],
+                     m.init[a].limbs().data(), ms.wordLimbs);
+        _mems.push_back(std::move(ms));
+    }
+
+    // Lower each combinational node to one tape instruction.  Node ids
+    // are already topologically ordered (operands precede users).
+    _tape.reserve(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        if (n.kind == OpKind::Const || n.kind == OpKind::Input ||
+            n.kind == OpKind::RegRead)
+            continue; // no tape entry; slot written out-of-band
+
+        Instr in;
+        in.dst = _slotOf[i];
+        in.width = n.width;
+        in.mask = lo::topMask(n.width);
+        if (!n.operands.empty()) {
+            in.a = _slotOf[n.operands[0]];
+            in.aw = nodes[n.operands[0]].width;
+        }
+        if (n.operands.size() > 1) {
+            in.b = _slotOf[n.operands[1]];
+            in.bw = nodes[n.operands[1]].width;
+        }
+        if (n.operands.size() > 2)
+            in.c = _slotOf[n.operands[2]];
+
+        bool narrow = n.width <= 64;       // result fits one limb
+        bool narrow_a = in.aw <= 64;       // operand 0 fits one limb
+
+        switch (n.kind) {
+          case OpKind::Add: in.op = narrow ? Op::NAdd : Op::WAdd; break;
+          case OpKind::Sub: in.op = narrow ? Op::NSub : Op::WSub; break;
+          case OpKind::Mul: in.op = narrow ? Op::NMul : Op::WMul; break;
+          case OpKind::And: in.op = narrow ? Op::NAnd : Op::WAnd; break;
+          case OpKind::Or: in.op = narrow ? Op::NOr : Op::WOr; break;
+          case OpKind::Xor: in.op = narrow ? Op::NXor : Op::WXor; break;
+          case OpKind::Not: in.op = narrow ? Op::NNot : Op::WNot; break;
+          case OpKind::Shl: in.op = narrow ? Op::NShl : Op::WShl; break;
+          case OpKind::Lshr:
+            in.op = narrow ? Op::NLshr : Op::WLshr;
+            break;
+          case OpKind::Eq: in.op = narrow_a ? Op::NEq : Op::WEq; break;
+          case OpKind::Ult: in.op = narrow_a ? Op::NUlt : Op::WUlt; break;
+          case OpKind::Slt: in.op = narrow_a ? Op::NSlt : Op::WSlt; break;
+          case OpKind::Mux: in.op = narrow ? Op::NMux : Op::WMux; break;
+          case OpKind::Slice:
+            in.lo = n.lo;
+            in.op = narrow_a ? Op::NSlice : Op::WSlice;
+            break;
+          case OpKind::Concat:
+            in.op = narrow ? Op::NConcat : Op::WConcat;
+            break;
+          case OpKind::ZExt:
+            in.op = narrow ? Op::NZExt : Op::WZExt;
+            break;
+          case OpKind::SExt:
+            in.op = narrow ? Op::NSExt : Op::WSExt;
+            break;
+          case OpKind::RedOr:
+            in.op = narrow_a ? Op::NRedOr : Op::WRedOr;
+            break;
+          case OpKind::RedAnd:
+            in.op = narrow_a ? Op::NRedAnd : Op::WRedAnd;
+            in.mask = lo::topMask(in.aw); // operand mask
+            break;
+          case OpKind::RedXor:
+            in.op = narrow_a ? Op::NRedXor : Op::WRedXor;
+            break;
+          case OpKind::MemRead:
+            in.lo = n.memId;
+            in.op = _mems[n.memId].wordLimbs == 1 ? Op::NMemRead
+                                                  : Op::WMemRead;
+            break;
+          case OpKind::Const:
+          case OpKind::Input:
+          case OpKind::RegRead:
+            continue; // unreachable
+        }
+        _tape.push_back(in);
+    }
+
+    // Register commits.  The current slot doubles as register storage,
+    // so a commit whose next value is itself a RegRead slot must be
+    // double-buffered through _staging (the reference evaluator reads
+    // all pre-commit values; see step()).
+    uint32_t staging_limbs = 0;
+    for (const Register &r : _netlist.registers()) {
+        RegCommit rc;
+        rc.dst = _slotOf[r.current];
+        rc.src = _slotOf[r.next];
+        rc.limbs = lo::nlimbs(r.width);
+        if (_netlist.node(r.next).kind == OpKind::RegRead) {
+            rc.staging = staging_limbs;
+            staging_limbs += rc.limbs;
+        } else {
+            rc.staging = kNoStaging;
+        }
+        _regCommits.push_back(rc);
+    }
+    _staging.assign(staging_limbs, 0);
+
+    for (const MemWrite &w : _netlist.memWrites()) {
+        MemCommit mc;
+        mc.mem = w.mem;
+        mc.addr = _slotOf[w.addr];
+        mc.data = _slotOf[w.data];
+        mc.enable = _slotOf[w.enable];
+        _memCommits.push_back(mc);
+    }
+
+    for (const Assert &a : _netlist.asserts()) {
+        EffAssert ea;
+        ea.enable = _slotOf[a.enable];
+        ea.cond = _slotOf[a.cond];
+        ea.message = a.message;
+        _asserts.push_back(std::move(ea));
+    }
+    for (const Display &d : _netlist.displays()) {
+        EffDisplay ed;
+        ed.enable = _slotOf[d.enable];
+        ed.format = d.format;
+        for (NodeId arg : d.args) {
+            ed.argSlots.push_back(_slotOf[arg]);
+            ed.argWidths.push_back(_netlist.node(arg).width);
+        }
+        _displays.push_back(std::move(ed));
+    }
+    for (const Finish &f : _netlist.finishes())
+        _finishes.push_back(_slotOf[f.enable]);
+}
+
+uint64_t
+CompiledEvaluator::shiftAmount(const Instr &in) const
+{
+    // Mirrors the reference: amounts that do not fit 64 bits shift
+    // everything out.
+    const uint64_t *b = &_arena[in.b];
+    if (in.bw <= 64 || lo::fitsUint64(b, lo::nlimbs(in.bw)))
+        return b[0];
+    return in.width;
+}
+
+void
+CompiledEvaluator::runTape()
+{
+    uint64_t *A = _arena.data();
+    for (const Instr &in : _tape) {
+        switch (in.op) {
+          case Op::NAdd:
+            A[in.dst] = (A[in.a] + A[in.b]) & in.mask;
+            break;
+          case Op::NSub:
+            A[in.dst] = (A[in.a] - A[in.b]) & in.mask;
+            break;
+          case Op::NMul:
+            A[in.dst] = (A[in.a] * A[in.b]) & in.mask;
+            break;
+          case Op::NAnd: A[in.dst] = A[in.a] & A[in.b]; break;
+          case Op::NOr: A[in.dst] = A[in.a] | A[in.b]; break;
+          case Op::NXor: A[in.dst] = A[in.a] ^ A[in.b]; break;
+          case Op::NNot: A[in.dst] = ~A[in.a] & in.mask; break;
+          case Op::NShl: {
+            uint64_t amt = shiftAmount(in);
+            A[in.dst] = amt >= in.width ? 0
+                                        : (A[in.a] << amt) & in.mask;
+            break;
+          }
+          case Op::NLshr: {
+            uint64_t amt = shiftAmount(in);
+            A[in.dst] = amt >= in.width ? 0 : A[in.a] >> amt;
+            break;
+          }
+          case Op::NEq: A[in.dst] = A[in.a] == A[in.b]; break;
+          case Op::NUlt: A[in.dst] = A[in.a] < A[in.b]; break;
+          case Op::NSlt: {
+            uint64_t sbit = 1ull << (in.aw - 1);
+            A[in.dst] = (A[in.a] ^ sbit) < (A[in.b] ^ sbit);
+            break;
+          }
+          case Op::NMux:
+            A[in.dst] = A[in.a] ? A[in.b] : A[in.c];
+            break;
+          case Op::NSlice:
+            A[in.dst] = (A[in.a] >> in.lo) & in.mask;
+            break;
+          case Op::NConcat:
+            A[in.dst] = (A[in.a] << in.bw) | A[in.b];
+            break;
+          case Op::NZExt: A[in.dst] = A[in.a]; break;
+          case Op::NSExt: {
+            uint64_t v = A[in.a];
+            if (in.aw < in.width && ((v >> (in.aw - 1)) & 1))
+                v |= (~0ull << in.aw) & in.mask;
+            A[in.dst] = v;
+            break;
+          }
+          case Op::NRedOr: A[in.dst] = A[in.a] != 0; break;
+          case Op::NRedAnd: A[in.dst] = A[in.a] == in.mask; break;
+          case Op::NRedXor:
+            A[in.dst] =
+                static_cast<unsigned>(__builtin_popcountll(A[in.a])) & 1u;
+            break;
+          case Op::NMemRead: {
+            const MemState &m = _mems[in.lo];
+            A[in.dst] = m.words[A[in.a] % m.depth];
+            break;
+          }
+          case Op::WAdd: lo::add(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WSub: lo::sub(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WMul: lo::mul(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WAnd: lo::bitAnd(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WOr: lo::bitOr(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WXor: lo::bitXor(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WNot: lo::bitNot(A + in.dst, A + in.a, in.width); break;
+          case Op::WShl:
+            lo::shl(A + in.dst, A + in.a, shiftAmount(in), in.width);
+            break;
+          case Op::WLshr:
+            lo::lshr(A + in.dst, A + in.a, shiftAmount(in), in.width);
+            break;
+          case Op::WEq:
+            A[in.dst] = lo::eq(A + in.a, A + in.b, in.aw);
+            break;
+          case Op::WUlt:
+            A[in.dst] = lo::ult(A + in.a, A + in.b, in.aw);
+            break;
+          case Op::WSlt:
+            A[in.dst] = lo::slt(A + in.a, A + in.b, in.aw);
+            break;
+          case Op::WMux: {
+            const uint64_t *src = A[in.a] ? A + in.b : A + in.c;
+            lo::copy(A + in.dst, src, lo::nlimbs(in.width));
+            break;
+          }
+          case Op::WSlice:
+            lo::slice(A + in.dst, A + in.a, in.aw, in.lo, in.width);
+            break;
+          case Op::WConcat:
+            lo::concat(A + in.dst, A + in.a, A + in.b, in.aw, in.bw);
+            break;
+          case Op::WZExt:
+            lo::zext(A + in.dst, A + in.a, in.width, in.aw);
+            break;
+          case Op::WSExt:
+            lo::sext(A + in.dst, A + in.a, in.width, in.aw);
+            break;
+          case Op::WRedOr:
+            A[in.dst] = lo::reduceOr(A + in.a, in.aw);
+            break;
+          case Op::WRedAnd:
+            A[in.dst] = lo::reduceAnd(A + in.a, in.aw);
+            break;
+          case Op::WRedXor:
+            A[in.dst] = lo::reduceXor(A + in.a, in.aw);
+            break;
+          case Op::WMemRead: {
+            const MemState &m = _mems[in.lo];
+            uint64_t addr = A[in.a] % m.depth;
+            lo::copy(A + in.dst, &m.words[addr * m.wordLimbs],
+                     m.wordLimbs);
+            break;
+          }
+        }
+    }
+}
+
+SimStatus
+CompiledEvaluator::step()
+{
+    if (_status != SimStatus::Ok)
+        return _status;
+
+    runTape();
+
+    const uint64_t *A = _arena.data();
+
+    // Side effects observe this cycle's combinational values, in the
+    // same order as the reference evaluator.
+    for (const EffAssert &a : _asserts) {
+        if (A[a.enable] && !A[a.cond]) {
+            _status = SimStatus::AssertFailed;
+            _failureMessage = "cycle " + std::to_string(_cycle) +
+                              ": assertion failed: " + a.message;
+            return _status;
+        }
+    }
+    for (const EffDisplay &d : _displays) {
+        if (A[d.enable]) {
+            std::vector<BitVector> args;
+            args.reserve(d.argSlots.size());
+            for (size_t i = 0; i < d.argSlots.size(); ++i)
+                args.push_back(slotValue(d.argSlots[i], d.argWidths[i]));
+            std::string line = Evaluator::formatDisplay(d.format, args);
+            _displayLog.push_back(line);
+            if (onDisplay)
+                onDisplay(line);
+        }
+    }
+    bool finished = false;
+    for (uint32_t en : _finishes)
+        if (A[en])
+            finished = true;
+
+    // Commit.  Memory writes read node slots, so they must run before
+    // register commits overwrite the RegRead slots; register commits
+    // whose source is itself a RegRead slot go through _staging.  Both
+    // reproduce the reference semantics of committing against the
+    // pre-commit combinational snapshot.
+    for (const MemCommit &w : _memCommits) {
+        if (_arena[w.enable]) {
+            MemState &m = _mems[w.mem];
+            uint64_t addr = _arena[w.addr] % m.depth;
+            lo::copy(&m.words[addr * m.wordLimbs], &_arena[w.data],
+                     m.wordLimbs);
+        }
+    }
+    for (const RegCommit &rc : _regCommits)
+        if (rc.staging != kNoStaging)
+            lo::copy(&_staging[rc.staging], &_arena[rc.src], rc.limbs);
+    for (const RegCommit &rc : _regCommits) {
+        if (rc.staging != kNoStaging)
+            lo::copy(&_arena[rc.dst], &_staging[rc.staging], rc.limbs);
+        else
+            lo::copy(&_arena[rc.dst], &_arena[rc.src], rc.limbs);
+    }
+
+    ++_cycle;
+    if (finished)
+        _status = SimStatus::Finished;
+    return _status;
+}
+
+void
+CompiledEvaluator::setInput(const std::string &name, const BitVector &value)
+{
+    NodeId id = resolveInput(_netlist, name, value);
+    lo::copy(&_arena[_slotOf[id]], value.limbs().data(),
+             lo::nlimbs(value.width()));
+}
+
+BitVector
+CompiledEvaluator::slotValue(uint32_t slot, unsigned width) const
+{
+    std::vector<uint64_t> limbs(&_arena[slot],
+                                &_arena[slot] + lo::nlimbs(width));
+    return BitVector::fromLimbs(width, limbs);
+}
+
+BitVector
+CompiledEvaluator::regValue(RegId id) const
+{
+    MANTICORE_ASSERT(id < _netlist.numRegisters(), "bad register id");
+    const Register &r = _netlist.reg(id);
+    return slotValue(_slotOf[r.current], r.width);
+}
+
+BitVector
+CompiledEvaluator::regValue(const std::string &name) const
+{
+    RegId id = _netlist.findRegister(name);
+    if (id == kInvalidReg)
+        MANTICORE_FATAL("no such register: ", name);
+    return regValue(id);
+}
+
+BitVector
+CompiledEvaluator::memValue(MemId id, uint64_t addr) const
+{
+    MANTICORE_ASSERT(id < _mems.size() && addr < _mems[id].depth,
+                     "memValue out of range");
+    const MemState &m = _mems[id];
+    std::vector<uint64_t> limbs(
+        &m.words[addr * m.wordLimbs],
+        &m.words[addr * m.wordLimbs] + m.wordLimbs);
+    return BitVector::fromLimbs(m.width, limbs);
+}
+
+BitVector
+CompiledEvaluator::nodeValue(NodeId id) const
+{
+    MANTICORE_ASSERT(id < _netlist.numNodes(), "bad node id");
+    return slotValue(_slotOf[id], _netlist.node(id).width);
+}
+
+const char *
+evalModeName(EvalMode mode)
+{
+    switch (mode) {
+      case EvalMode::Reference: return "reference";
+      case EvalMode::Compiled: return "compiled";
+    }
+    return "?";
+}
+
+std::unique_ptr<EvaluatorBase>
+makeEvaluator(Netlist netlist, EvalMode mode)
+{
+    switch (mode) {
+      case EvalMode::Reference:
+        return std::make_unique<Evaluator>(std::move(netlist));
+      case EvalMode::Compiled:
+        return std::make_unique<CompiledEvaluator>(std::move(netlist));
+    }
+    MANTICORE_FATAL("unknown evaluator mode");
+}
+
+} // namespace manticore::netlist

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Zero-allocation compiled tape evaluator for the word-level netlist.
+ *
+ * The constructor lowers the netlist once into
+ *
+ *  - a single contiguous uint64_t arena holding every node's value as
+ *    a fixed limb span (Const slots written once, Input slots written
+ *    by setInput, RegRead slots doubling as the register storage), and
+ *  - a flat array of POD instructions (the "tape"), one per
+ *    combinational node, dispatched by a switch in a tight loop.
+ *
+ * Nodes of width <= 64 use specialised single-limb opcodes (no loops,
+ * no function calls); wider nodes run the span kernels from
+ * support/limbops.hh.  Side effects (asserts / displays / $finish /
+ * register commit / memory writes) are precompiled into effect lists
+ * with node slots already resolved, so the hot loop never touches a
+ * Node, a std::string, or the heap.
+ *
+ * See src/netlist/README.md for the layout and the measured speedup
+ * over the reference Evaluator.
+ */
+
+#ifndef MANTICORE_NETLIST_COMPILED_EVALUATOR_HH
+#define MANTICORE_NETLIST_COMPILED_EVALUATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/evaluator.hh"
+#include "netlist/netlist.hh"
+
+namespace manticore::netlist {
+
+class CompiledEvaluator : public EvaluatorBase
+{
+  public:
+    /** Keeps its own copy of the netlist (cold data only: the copy is
+     *  consulted by name-based accessors, never by the hot loop). */
+    explicit CompiledEvaluator(Netlist netlist);
+
+    void setInput(const std::string &name, const BitVector &value) override;
+    SimStatus step() override;
+
+    uint64_t cycle() const override { return _cycle; }
+    SimStatus status() const override { return _status; }
+    const std::string &failureMessage() const override
+    {
+        return _failureMessage;
+    }
+
+    BitVector regValue(RegId id) const override;
+    BitVector regValue(const std::string &name) const override;
+    BitVector memValue(MemId id, uint64_t addr) const override;
+
+    /** Debug accessor: the node's current arena slot contents.  For
+     *  combinational nodes this is the value of the last completed
+     *  step, like Evaluator::nodeValue; but because RegRead slots
+     *  double as register storage (and Input slots are written by
+     *  setInput directly), those two kinds reflect the *post-commit* /
+     *  latest-driven value rather than the pre-commit snapshot the
+     *  reference evaluator keeps.  Use regValue() for committed
+     *  register state — it is identical across both engines. */
+    BitVector nodeValue(NodeId id) const;
+
+    const std::vector<std::string> &displayLog() const override
+    {
+        return _displayLog;
+    }
+
+    /** Introspection for tests and benches. */
+    size_t tapeLength() const { return _tape.size(); }
+    size_t arenaLimbs() const { return _arena.size(); }
+
+  private:
+    /** Tape opcodes: N* = single-limb fast path, W* = span kernels. */
+    enum class Op : uint8_t
+    {
+        NAdd, NSub, NMul, NAnd, NOr, NXor, NNot,
+        NShl, NLshr, NEq, NUlt, NSlt, NMux,
+        NSlice, NConcat, NZExt, NSExt,
+        NRedOr, NRedAnd, NRedXor, NMemRead,
+        WAdd, WSub, WMul, WAnd, WOr, WXor, WNot,
+        WShl, WLshr, WEq, WUlt, WSlt, WMux,
+        WSlice, WConcat, WZExt, WSExt,
+        WRedOr, WRedAnd, WRedXor, WMemRead,
+    };
+
+    /** One tape instruction.  dst/a/b/c are limb offsets into the
+     *  arena; widths are bit widths; lo doubles as the slice low bit
+     *  and the memory id for MemRead; mask is the result mask for
+     *  narrow ops (the operand mask for narrow reductions). */
+    struct Instr
+    {
+        Op op;
+        uint32_t dst = 0;
+        uint32_t a = 0, b = 0, c = 0;
+        uint32_t width = 0;
+        uint32_t aw = 0, bw = 0;
+        uint32_t lo = 0;
+        uint64_t mask = 0;
+    };
+
+    struct MemState
+    {
+        unsigned width = 0;
+        unsigned wordLimbs = 0;
+        uint64_t depth = 0;
+        std::vector<uint64_t> words; ///< depth * wordLimbs limbs
+    };
+
+    struct RegCommit
+    {
+        uint32_t dst;     ///< current (RegRead) slot
+        uint32_t src;     ///< next-value slot
+        uint32_t limbs;
+        uint32_t staging; ///< offset into _staging, or kNoStaging
+    };
+    static constexpr uint32_t kNoStaging = ~0u;
+
+    struct MemCommit
+    {
+        uint32_t mem;
+        uint32_t addr, data, enable; ///< slots
+    };
+
+    struct EffAssert
+    {
+        uint32_t enable, cond; ///< slots (1-bit each)
+        std::string message;
+    };
+
+    struct EffDisplay
+    {
+        uint32_t enable; ///< slot
+        std::string format;
+        std::vector<uint32_t> argSlots;
+        std::vector<uint32_t> argWidths;
+    };
+
+    void compile();
+    void runTape();
+    uint64_t shiftAmount(const Instr &in) const;
+    BitVector slotValue(uint32_t slot, unsigned width) const;
+
+    Netlist _netlist; ///< cold copy for name/width lookups only
+
+    std::vector<uint64_t> _arena;
+    std::vector<uint32_t> _slotOf; ///< node id -> arena limb offset
+    std::vector<Instr> _tape;
+    std::vector<MemState> _mems;
+    std::vector<RegCommit> _regCommits;
+    std::vector<uint64_t> _staging; ///< double-buffer for reg commits
+    std::vector<MemCommit> _memCommits;
+    std::vector<EffAssert> _asserts;
+    std::vector<EffDisplay> _displays;
+    std::vector<uint32_t> _finishes; ///< enable slots
+
+    uint64_t _cycle = 0;
+    SimStatus _status = SimStatus::Ok;
+    std::string _failureMessage;
+    std::vector<std::string> _displayLog;
+};
+
+} // namespace manticore::netlist
+
+#endif // MANTICORE_NETLIST_COMPILED_EVALUATOR_HH

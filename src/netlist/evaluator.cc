@@ -20,19 +20,22 @@ Evaluator::Evaluator(Netlist netlist) : _netlist(std::move(netlist))
     }
 }
 
+NodeId
+EvaluatorBase::resolveInput(const Netlist &netlist, const std::string &name,
+                            const BitVector &value)
+{
+    NodeId id = netlist.findInput(name);
+    if (id == kInvalidNode)
+        MANTICORE_FATAL("no such input: ", name);
+    MANTICORE_ASSERT(value.width() == netlist.node(id).width,
+                     "input width mismatch for ", name);
+    return id;
+}
+
 void
 Evaluator::setInput(const std::string &name, const BitVector &value)
 {
-    for (size_t i = 0; i < _netlist.numNodes(); ++i) {
-        const Node &n = _netlist.node(i);
-        if (n.kind == OpKind::Input && n.name == name) {
-            MANTICORE_ASSERT(value.width() == n.width,
-                             "input width mismatch for ", name);
-            _inputs[i] = value;
-            return;
-        }
-    }
-    MANTICORE_FATAL("no such input: ", name);
+    _inputs[resolveInput(_netlist, name, value)] = value;
 }
 
 void
@@ -50,6 +53,10 @@ Evaluator::evaluateNodes()
           case OpKind::RegRead: _values[i] = _regs[n.regId]; break;
           case OpKind::MemRead: {
             const auto &mem = _mems[n.memId];
+            if (mem.empty()) { // guarded against in validate()
+                _values[i] = BitVector(n.width);
+                break;
+            }
             uint64_t addr = op(0).toUint64() % mem.size();
             _values[i] = mem[addr];
             break;
@@ -160,6 +167,8 @@ Evaluator::step()
     for (const MemWrite &w : _netlist.memWrites()) {
         if (!_values[w.enable].isZero()) {
             auto &mem = _mems[w.mem];
+            if (mem.empty()) // guarded against in validate()
+                continue;
             uint64_t addr = _values[w.addr].toUint64() % mem.size();
             mem[addr] = _values[w.data];
         }
@@ -171,24 +180,16 @@ Evaluator::step()
     return _status;
 }
 
-SimStatus
-Evaluator::run(uint64_t max_cycles)
-{
-    for (uint64_t i = 0; i < max_cycles && _status == SimStatus::Ok; ++i)
-        step();
-    return _status;
-}
-
-const BitVector &
+BitVector
 Evaluator::regValue(const std::string &name) const
 {
-    for (size_t i = 0; i < _netlist.numRegisters(); ++i)
-        if (_netlist.reg(static_cast<RegId>(i)).name == name)
-            return _regs[i];
-    MANTICORE_FATAL("no such register: ", name);
+    RegId id = _netlist.findRegister(name);
+    if (id == kInvalidReg)
+        MANTICORE_FATAL("no such register: ", name);
+    return _regs[id];
 }
 
-const BitVector &
+BitVector
 Evaluator::memValue(MemId id, uint64_t addr) const
 {
     MANTICORE_ASSERT(id < _mems.size() && addr < _mems[id].size(),

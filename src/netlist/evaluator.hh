@@ -1,11 +1,21 @@
 /**
  * @file
- * Reference cycle-accurate evaluator for the word-level netlist IR.
+ * Cycle-accurate evaluators for the word-level netlist IR.
  *
- * This is the "netlist interpreter" of §6 of the paper: a slow but
- * obviously-correct executable semantics used to validate every
- * compiler pass and both execution engines (the ISA interpreter and
- * the machine simulator) against.
+ * Two engines implement the same EvaluatorBase interface:
+ *
+ *  - Evaluator: the "netlist interpreter" of §6 of the paper — a slow
+ *    but obviously-correct executable semantics used to validate every
+ *    compiler pass and both execution engines against.  It walks the
+ *    Node graph directly and allocates a fresh BitVector per node per
+ *    cycle.
+ *
+ *  - CompiledEvaluator (compiled_evaluator.hh): the netlist lowered
+ *    once to a flat op tape over a preallocated limb arena — zero
+ *    allocations and no Node/string access in the hot loop.
+ *
+ * makeEvaluator() picks an engine at runtime so harnesses can compare
+ * the two (see src/netlist/README.md).
  */
 
 #ifndef MANTICORE_NETLIST_EVALUATOR_HH
@@ -13,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,39 +38,93 @@ enum class SimStatus
     AssertFailed, ///< an assertion failed
 };
 
-class Evaluator
+/** Common interface of the reference and compiled evaluators. */
+class EvaluatorBase
+{
+  public:
+    virtual ~EvaluatorBase() = default;
+
+    /** Drive a free input (applies from the next step() onward). */
+    virtual void setInput(const std::string &name,
+                          const BitVector &value) = 0;
+
+    /** Simulate one clock cycle: evaluate the DAG, emit side effects,
+     *  commit registers and memory writes. */
+    virtual SimStatus step() = 0;
+
+    /** Step up to max_cycles or until $finish / assert failure. */
+    virtual SimStatus
+    run(uint64_t max_cycles)
+    {
+        for (uint64_t i = 0; i < max_cycles && status() == SimStatus::Ok;
+             ++i)
+            step();
+        return status();
+    }
+
+    virtual uint64_t cycle() const = 0;
+    virtual SimStatus status() const = 0;
+    virtual const std::string &failureMessage() const = 0;
+
+    virtual BitVector regValue(RegId id) const = 0;
+    virtual BitVector regValue(const std::string &name) const = 0;
+    virtual BitVector memValue(MemId id, uint64_t addr) const = 0;
+
+    /** Display lines emitted so far (also passed to onDisplay). */
+    virtual const std::vector<std::string> &displayLog() const = 0;
+
+    /** Optional callback invoked for each $display line. */
+    std::function<void(const std::string &)> onDisplay;
+
+  protected:
+    /** Shared setInput validation: resolve an input by name and check
+     *  the driven width, fatal()ing on unknown names / bad widths. */
+    static NodeId resolveInput(const Netlist &netlist,
+                               const std::string &name,
+                               const BitVector &value);
+};
+
+/** Which evaluator engine makeEvaluator() should build. */
+enum class EvalMode
+{
+    Reference, ///< graph-walking Evaluator (allocating, obviously correct)
+    Compiled,  ///< tape/arena CompiledEvaluator (zero-allocation)
+};
+
+const char *evalModeName(EvalMode mode);
+
+/** Build an evaluator over (a copy of) the netlist in the given mode. */
+std::unique_ptr<EvaluatorBase> makeEvaluator(Netlist netlist,
+                                             EvalMode mode);
+
+class Evaluator : public EvaluatorBase
 {
   public:
     /** The evaluator keeps its own copy of the netlist, so callers
      *  may pass temporaries. */
     explicit Evaluator(Netlist netlist);
 
-    /** Drive a free input (applies from the next step() onward). */
-    void setInput(const std::string &name, const BitVector &value);
+    void setInput(const std::string &name, const BitVector &value) override;
+    SimStatus step() override;
 
-    /** Simulate one clock cycle: evaluate the DAG, emit side effects,
-     *  commit registers and memory writes. */
-    SimStatus step();
+    uint64_t cycle() const override { return _cycle; }
+    SimStatus status() const override { return _status; }
+    const std::string &failureMessage() const override
+    {
+        return _failureMessage;
+    }
 
-    /** Step up to max_cycles or until $finish / assert failure. */
-    SimStatus run(uint64_t max_cycles);
-
-    uint64_t cycle() const { return _cycle; }
-    SimStatus status() const { return _status; }
-    const std::string &failureMessage() const { return _failureMessage; }
-
-    const BitVector &regValue(RegId id) const { return _regs[id]; }
-    const BitVector &regValue(const std::string &name) const;
-    const BitVector &memValue(MemId id, uint64_t addr) const;
+    BitVector regValue(RegId id) const override { return _regs[id]; }
+    BitVector regValue(const std::string &name) const override;
+    BitVector memValue(MemId id, uint64_t addr) const override;
 
     /** Combinational value of a node as of the last completed step. */
     const BitVector &nodeValue(NodeId id) const { return _values[id]; }
 
-    /** Display lines emitted so far (also passed to onDisplay). */
-    const std::vector<std::string> &displayLog() const { return _displayLog; }
-
-    /** Optional callback invoked for each $display line. */
-    std::function<void(const std::string &)> onDisplay;
+    const std::vector<std::string> &displayLog() const override
+    {
+        return _displayLog;
+    }
 
     /** Render a display format string against argument values. */
     static std::string formatDisplay(const std::string &format,

@@ -70,8 +70,11 @@ Netlist::addNode(Node node)
                      "arity mismatch for ", opKindName(node.kind));
     for (NodeId op : node.operands)
         MANTICORE_ASSERT(op < _nodes.size(), "operand out of range");
+    NodeId id = static_cast<NodeId>(_nodes.size());
+    if (node.kind == OpKind::Input && !node.name.empty())
+        _inputIndex.emplace(node.name, id);
     _nodes.push_back(std::move(node));
-    return static_cast<NodeId>(_nodes.size()) - 1;
+    return id;
 }
 
 RegId
@@ -83,6 +86,8 @@ Netlist::addRegister(Register reg)
     MANTICORE_ASSERT(reg.init.width() == reg.width,
                      "register init width mismatch for ", reg.name);
     RegId id = static_cast<RegId>(_registers.size());
+    if (!reg.name.empty())
+        _regIndex.emplace(reg.name, id);
     _registers.push_back(std::move(reg));
 
     Node read;
@@ -119,9 +124,33 @@ Netlist::connectNext(RegId reg, NodeId next)
     _registers[reg].next = next;
 }
 
+NodeId
+Netlist::findInput(const std::string &name) const
+{
+    auto it = _inputIndex.find(name);
+    return it == _inputIndex.end() ? kInvalidNode : it->second;
+}
+
+RegId
+Netlist::findRegister(const std::string &name) const
+{
+    auto it = _regIndex.find(name);
+    return it == _regIndex.end() ? kInvalidReg : it->second;
+}
+
 void
 Netlist::validate() const
 {
+    for (size_t m = 0; m < _memories.size(); ++m) {
+        const Memory &mem = _memories[m];
+        MANTICORE_ASSERT(mem.width > 0, "memory ", mem.name,
+                         " has zero width");
+        MANTICORE_ASSERT(mem.depth > 0, "memory ", mem.name,
+                         " has zero depth");
+        MANTICORE_ASSERT(mem.init.size() == mem.depth,
+                         "memory ", mem.name, " init size ",
+                         mem.init.size(), " != depth ", mem.depth);
+    }
     for (size_t i = 0; i < _nodes.size(); ++i) {
         const Node &n = _nodes[i];
         switch (n.kind) {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "support/bitvector.hh"
@@ -165,6 +166,12 @@ class Netlist
     const std::vector<Finish> &finishes() const { return _finishes; }
     const std::vector<Assert> &asserts() const { return _asserts; }
 
+    /** O(1) name lookups (first definition wins when names repeat,
+     *  matching what a linear scan used to return).  Missing names
+     *  yield kInvalidNode / kInvalidReg. */
+    NodeId findInput(const std::string &name) const;
+    RegId findRegister(const std::string &name) const;
+
     /** Structural validation: widths, arities, wired registers, no
      *  combinational cycles.  Calls fatal() on the first violation. */
     void validate() const;
@@ -185,6 +192,8 @@ class Netlist
     std::vector<Display> _displays;
     std::vector<Finish> _finishes;
     std::vector<Assert> _asserts;
+    std::unordered_map<std::string, NodeId> _inputIndex;
+    std::unordered_map<std::string, RegId> _regIndex;
 };
 
 } // namespace manticore::netlist

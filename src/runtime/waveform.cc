@@ -20,6 +20,18 @@ WaveformRecorder::WaveformRecorder(const netlist::Netlist &netlist,
     }
 }
 
+WaveformRecorder::WaveformRecorder(const netlist::Netlist &netlist)
+{
+    for (size_t r = 0; r < netlist.numRegisters(); ++r) {
+        const netlist::Register &reg =
+            netlist.reg(static_cast<uint32_t>(r));
+        _names.push_back(reg.name.empty() ? "reg" + std::to_string(r)
+                                          : reg.name);
+        _widths.push_back(reg.width);
+        _last.emplace_back(0);
+    }
+}
+
 BitVector
 WaveformRecorder::read(const machine::Machine &machine, size_t reg) const
 {
@@ -37,15 +49,27 @@ WaveformRecorder::read(const machine::Machine &machine, size_t reg) const
 }
 
 void
+WaveformRecorder::record(size_t reg, BitVector now, uint64_t vcycle)
+{
+    if (_last[reg].width() == 0 || now != _last[reg]) {
+        _changes.push_back({vcycle, static_cast<uint32_t>(reg), now});
+        _last[reg] = std::move(now);
+    }
+}
+
+void
 WaveformRecorder::sample(const machine::Machine &machine, uint64_t vcycle)
 {
-    for (size_t r = 0; r < _homes.size(); ++r) {
-        BitVector now = read(machine, r);
-        if (_last[r].width() == 0 || now != _last[r]) {
-            _changes.push_back({vcycle, static_cast<uint32_t>(r), now});
-            _last[r] = now;
-        }
-    }
+    for (size_t r = 0; r < _homes.size(); ++r)
+        record(r, read(machine, r), vcycle);
+}
+
+void
+WaveformRecorder::sample(const netlist::EvaluatorBase &eval,
+                         uint64_t vcycle)
+{
+    for (size_t r = 0; r < _names.size(); ++r)
+        record(r, eval.regValue(static_cast<uint32_t>(r)), vcycle);
 }
 
 void

@@ -17,6 +17,7 @@
 
 #include "compiler/compiler.hh"
 #include "machine/machine.hh"
+#include "netlist/evaluator.hh"
 #include "netlist/netlist.hh"
 
 namespace manticore::runtime {
@@ -29,9 +30,18 @@ class WaveformRecorder
     WaveformRecorder(const netlist::Netlist &netlist,
                      const compiler::CompileResult &result);
 
+    /** Evaluator-backed recorder (no compilation needed): samples come
+     *  from a netlist::EvaluatorBase (reference or compiled) instead
+     *  of the machine's observation map. */
+    explicit WaveformRecorder(const netlist::Netlist &netlist);
+
     /** Sample all registers from the machine at the current Vcycle.
      *  Call once after every Machine::runVcycle(). */
     void sample(const machine::Machine &machine, uint64_t vcycle);
+
+    /** Sample all registers from an evaluator (either engine).  Call
+     *  once after every EvaluatorBase::step(). */
+    void sample(const netlist::EvaluatorBase &eval, uint64_t vcycle);
 
     /** Write the collected changes as a VCD document. */
     void writeVcd(std::ostream &os) const;
@@ -47,6 +57,7 @@ class WaveformRecorder
     };
 
     BitVector read(const machine::Machine &machine, size_t reg) const;
+    void record(size_t reg, BitVector now, uint64_t vcycle);
 
     std::vector<std::string> _names;
     std::vector<unsigned> _widths;

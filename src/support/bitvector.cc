@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/limbops.hh"
 #include "support/logging.hh"
 
 namespace manticore {
@@ -111,15 +112,7 @@ BitVector::add(const BitVector &o) const
     MANTICORE_ASSERT(_width == o._width, "add width mismatch: ", _width,
                      " vs ", o._width);
     BitVector r(_width);
-    unsigned __int128 carry = 0;
-    for (size_t i = 0; i < _limbs.size(); ++i) {
-        unsigned __int128 s = carry;
-        s += _limbs[i];
-        s += o._limbs[i];
-        r._limbs[i] = static_cast<uint64_t>(s);
-        carry = s >> 64;
-    }
-    r.maskTop();
+    limbops::add(r._limbs.data(), _limbs.data(), o._limbs.data(), _width);
     return r;
 }
 
@@ -128,15 +121,7 @@ BitVector::sub(const BitVector &o) const
 {
     MANTICORE_ASSERT(_width == o._width, "sub width mismatch");
     BitVector r(_width);
-    unsigned __int128 borrow = 0;
-    for (size_t i = 0; i < _limbs.size(); ++i) {
-        unsigned __int128 d = static_cast<unsigned __int128>(_limbs[i]);
-        d -= o._limbs[i];
-        d -= borrow;
-        r._limbs[i] = static_cast<uint64_t>(d);
-        borrow = (d >> 64) ? 1 : 0;
-    }
-    r.maskTop();
+    limbops::sub(r._limbs.data(), _limbs.data(), o._limbs.data(), _width);
     return r;
 }
 
@@ -145,20 +130,7 @@ BitVector::mul(const BitVector &o) const
 {
     MANTICORE_ASSERT(_width == o._width, "mul width mismatch");
     BitVector r(_width);
-    size_t n = _limbs.size();
-    for (size_t i = 0; i < n; ++i) {
-        uint64_t carry = 0;
-        if (_limbs[i] == 0)
-            continue;
-        for (size_t j = 0; i + j < n; ++j) {
-            unsigned __int128 cur = r._limbs[i + j];
-            cur += static_cast<unsigned __int128>(_limbs[i]) * o._limbs[j];
-            cur += carry;
-            r._limbs[i + j] = static_cast<uint64_t>(cur);
-            carry = static_cast<uint64_t>(cur >> 64);
-        }
-    }
-    r.maskTop();
+    limbops::mul(r._limbs.data(), _limbs.data(), o._limbs.data(), _width);
     return r;
 }
 
@@ -167,8 +139,7 @@ BitVector::bitAnd(const BitVector &o) const
 {
     MANTICORE_ASSERT(_width == o._width, "and width mismatch");
     BitVector r(_width);
-    for (size_t i = 0; i < _limbs.size(); ++i)
-        r._limbs[i] = _limbs[i] & o._limbs[i];
+    limbops::bitAnd(r._limbs.data(), _limbs.data(), o._limbs.data(), _width);
     return r;
 }
 
@@ -177,8 +148,7 @@ BitVector::bitOr(const BitVector &o) const
 {
     MANTICORE_ASSERT(_width == o._width, "or width mismatch");
     BitVector r(_width);
-    for (size_t i = 0; i < _limbs.size(); ++i)
-        r._limbs[i] = _limbs[i] | o._limbs[i];
+    limbops::bitOr(r._limbs.data(), _limbs.data(), o._limbs.data(), _width);
     return r;
 }
 
@@ -187,8 +157,7 @@ BitVector::bitXor(const BitVector &o) const
 {
     MANTICORE_ASSERT(_width == o._width, "xor width mismatch");
     BitVector r(_width);
-    for (size_t i = 0; i < _limbs.size(); ++i)
-        r._limbs[i] = _limbs[i] ^ o._limbs[i];
+    limbops::bitXor(r._limbs.data(), _limbs.data(), o._limbs.data(), _width);
     return r;
 }
 
@@ -196,9 +165,7 @@ BitVector
 BitVector::bitNot() const
 {
     BitVector r(_width);
-    for (size_t i = 0; i < _limbs.size(); ++i)
-        r._limbs[i] = ~_limbs[i];
-    r.maskTop();
+    limbops::bitNot(r._limbs.data(), _limbs.data(), _width);
     return r;
 }
 
@@ -206,17 +173,8 @@ BitVector
 BitVector::shl(uint64_t amount) const
 {
     BitVector r(_width);
-    if (amount >= _width)
-        return r;
-    unsigned limb_shift = static_cast<unsigned>(amount / 64);
-    unsigned bit_shift = static_cast<unsigned>(amount % 64);
-    for (size_t i = _limbs.size(); i-- > limb_shift;) {
-        uint64_t v = _limbs[i - limb_shift] << bit_shift;
-        if (bit_shift != 0 && i > limb_shift)
-            v |= _limbs[i - limb_shift - 1] >> (64 - bit_shift);
-        r._limbs[i] = v;
-    }
-    r.maskTop();
+    if (_width != 0)
+        limbops::shl(r._limbs.data(), _limbs.data(), amount, _width);
     return r;
 }
 
@@ -224,16 +182,8 @@ BitVector
 BitVector::lshr(uint64_t amount) const
 {
     BitVector r(_width);
-    if (amount >= _width)
-        return r;
-    unsigned limb_shift = static_cast<unsigned>(amount / 64);
-    unsigned bit_shift = static_cast<unsigned>(amount % 64);
-    for (size_t i = 0; i + limb_shift < _limbs.size(); ++i) {
-        uint64_t v = _limbs[i + limb_shift] >> bit_shift;
-        if (bit_shift != 0 && i + limb_shift + 1 < _limbs.size())
-            v |= _limbs[i + limb_shift + 1] << (64 - bit_shift);
-        r._limbs[i] = v;
-    }
+    if (_width != 0)
+        limbops::lshr(r._limbs.data(), _limbs.data(), amount, _width);
     return r;
 }
 

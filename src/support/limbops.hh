@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Non-allocating kernels over little-endian 64-bit limb spans — the
+ * zero-allocation core that BitVector and the compiled netlist
+ * evaluator share.  Every function writes its result into caller
+ * storage; none allocates.  A value of width w occupies nlimbs(w)
+ * limbs and keeps all bits above w at zero (the same invariant
+ * BitVector maintains); every kernel that can produce high garbage
+ * re-masks before returning.
+ *
+ * Unless noted otherwise the destination span must not alias the
+ * sources (the compiled evaluator's arena gives every node a private
+ * slot, so this holds by construction there).
+ */
+
+#ifndef MANTICORE_SUPPORT_LIMBOPS_HH
+#define MANTICORE_SUPPORT_LIMBOPS_HH
+
+#include <cstdint>
+
+namespace manticore::limbops {
+
+inline unsigned
+nlimbs(unsigned width)
+{
+    return (width + 63) / 64;
+}
+
+/** Mask covering the valid bits of the top limb of a width-w value. */
+inline uint64_t
+topMask(unsigned width)
+{
+    unsigned rem = width % 64;
+    return rem == 0 ? ~0ull : (~0ull >> (64 - rem));
+}
+
+inline void
+maskTop(uint64_t *v, unsigned width)
+{
+    if (width != 0)
+        v[nlimbs(width) - 1] &= topMask(width);
+}
+
+inline void
+clear(uint64_t *d, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        d[i] = 0;
+}
+
+/** d and s may alias (copy is limb-by-limb forward). */
+inline void
+copy(uint64_t *d, const uint64_t *s, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        d[i] = s[i];
+}
+
+inline bool
+isZero(const uint64_t *s, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        if (s[i] != 0)
+            return false;
+    return true;
+}
+
+inline bool
+fitsUint64(const uint64_t *s, unsigned n)
+{
+    for (unsigned i = 1; i < n; ++i)
+        if (s[i] != 0)
+            return false;
+    return true;
+}
+
+inline void
+add(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    unsigned __int128 carry = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned __int128 s = carry;
+        s += a[i];
+        s += b[i];
+        d[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+    }
+    maskTop(d, width);
+}
+
+inline void
+sub(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    unsigned __int128 borrow = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned __int128 x = static_cast<unsigned __int128>(a[i]);
+        x -= b[i];
+        x -= borrow;
+        d[i] = static_cast<uint64_t>(x);
+        borrow = (x >> 64) ? 1 : 0;
+    }
+    maskTop(d, width);
+}
+
+/** Truncating schoolbook multiply; d must not alias a or b. */
+inline void
+mul(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    clear(d, n);
+    for (unsigned i = 0; i < n; ++i) {
+        if (a[i] == 0)
+            continue;
+        uint64_t carry = 0;
+        for (unsigned j = 0; i + j < n; ++j) {
+            unsigned __int128 cur = d[i + j];
+            cur += static_cast<unsigned __int128>(a[i]) * b[j];
+            cur += carry;
+            d[i + j] = static_cast<uint64_t>(cur);
+            carry = static_cast<uint64_t>(cur >> 64);
+        }
+    }
+    maskTop(d, width);
+}
+
+inline void
+bitAnd(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    for (unsigned i = 0; i < n; ++i)
+        d[i] = a[i] & b[i];
+}
+
+inline void
+bitOr(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    for (unsigned i = 0; i < n; ++i)
+        d[i] = a[i] | b[i];
+}
+
+inline void
+bitXor(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    for (unsigned i = 0; i < n; ++i)
+        d[i] = a[i] ^ b[i];
+}
+
+inline void
+bitNot(uint64_t *d, const uint64_t *a, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    for (unsigned i = 0; i < n; ++i)
+        d[i] = ~a[i];
+    maskTop(d, width);
+}
+
+/** Left shift by a dynamic amount; amounts >= width yield zero.
+ *  d must not alias a. */
+inline void
+shl(uint64_t *d, const uint64_t *a, uint64_t amount, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    if (amount >= width) {
+        clear(d, n);
+        return;
+    }
+    unsigned limb_shift = static_cast<unsigned>(amount / 64);
+    unsigned bit_shift = static_cast<unsigned>(amount % 64);
+    for (unsigned i = n; i-- > limb_shift;) {
+        uint64_t v = a[i - limb_shift] << bit_shift;
+        if (bit_shift != 0 && i > limb_shift)
+            v |= a[i - limb_shift - 1] >> (64 - bit_shift);
+        d[i] = v;
+    }
+    for (unsigned i = 0; i < limb_shift && i < n; ++i)
+        d[i] = 0;
+    maskTop(d, width);
+}
+
+/** Logical right shift; amounts >= width yield zero.  d must not
+ *  alias a. */
+inline void
+lshr(uint64_t *d, const uint64_t *a, uint64_t amount, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    if (amount >= width) {
+        clear(d, n);
+        return;
+    }
+    unsigned limb_shift = static_cast<unsigned>(amount / 64);
+    unsigned bit_shift = static_cast<unsigned>(amount % 64);
+    for (unsigned i = 0; i + limb_shift < n; ++i) {
+        uint64_t v = a[i + limb_shift] >> bit_shift;
+        if (bit_shift != 0 && i + limb_shift + 1 < n)
+            v |= a[i + limb_shift + 1] << (64 - bit_shift);
+        d[i] = v;
+    }
+    for (unsigned i = n - limb_shift; i < n; ++i)
+        d[i] = 0;
+}
+
+inline bool
+eq(const uint64_t *a, const uint64_t *b, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    for (unsigned i = 0; i < n; ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
+}
+
+inline bool
+ult(const uint64_t *a, const uint64_t *b, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    for (unsigned i = n; i-- > 0;)
+        if (a[i] != b[i])
+            return a[i] < b[i];
+    return false;
+}
+
+inline bool
+slt(const uint64_t *a, const uint64_t *b, unsigned width)
+{
+    bool sa = (a[(width - 1) / 64] >> ((width - 1) % 64)) & 1;
+    bool sb = (b[(width - 1) / 64] >> ((width - 1) % 64)) & 1;
+    if (sa != sb)
+        return sa;
+    return ult(a, b, width);
+}
+
+/** Extract bits [lo, lo+len) of a width-src_width value into d.
+ *  d must not alias s. */
+inline void
+slice(uint64_t *d, const uint64_t *s, unsigned src_width, unsigned lo,
+      unsigned len)
+{
+    unsigned sn = nlimbs(src_width);
+    unsigned dn = nlimbs(len);
+    unsigned limb_shift = lo / 64;
+    unsigned bit_shift = lo % 64;
+    for (unsigned i = 0; i < dn; ++i) {
+        uint64_t v = 0;
+        if (i + limb_shift < sn) {
+            v = s[i + limb_shift] >> bit_shift;
+            if (bit_shift != 0 && i + limb_shift + 1 < sn)
+                v |= s[i + limb_shift + 1] << (64 - bit_shift);
+        }
+        d[i] = v;
+    }
+    maskTop(d, len);
+}
+
+/** Zero-extend (or truncate) a width-sw value into a width-dw slot. */
+inline void
+zext(uint64_t *d, const uint64_t *s, unsigned dw, unsigned sw)
+{
+    unsigned dn = nlimbs(dw);
+    unsigned sn = nlimbs(sw);
+    unsigned n = dn < sn ? dn : sn;
+    for (unsigned i = 0; i < n; ++i)
+        d[i] = s[i];
+    for (unsigned i = n; i < dn; ++i)
+        d[i] = 0;
+    maskTop(d, dw);
+}
+
+/** Sign-extend (or truncate) a width-sw value into a width-dw slot. */
+inline void
+sext(uint64_t *d, const uint64_t *s, unsigned dw, unsigned sw)
+{
+    zext(d, s, dw, sw);
+    if (dw <= sw || sw == 0)
+        return;
+    bool sign = (s[(sw - 1) / 64] >> ((sw - 1) % 64)) & 1;
+    if (!sign)
+        return;
+    // Fill bits [sw, dw) with ones.
+    unsigned dn = nlimbs(dw);
+    unsigned limb = sw / 64;
+    d[limb] |= ~0ull << (sw % 64);
+    for (unsigned i = limb + 1; i < dn; ++i)
+        d[i] = ~0ull;
+    maskTop(d, dw);
+}
+
+/** Concatenate hi (width hw) over lo (width lw) into a hw+lw value.
+ *  d must not alias hi or lo. */
+inline void
+concat(uint64_t *d, const uint64_t *hi, const uint64_t *lo, unsigned hw,
+       unsigned lw)
+{
+    unsigned dw = hw + lw;
+    zext(d, lo, dw, lw);
+    unsigned dn = nlimbs(dw);
+    unsigned hn = nlimbs(hw);
+    unsigned limb_off = lw / 64;
+    unsigned sh = lw % 64;
+    for (unsigned j = 0; j < hn; ++j) {
+        if (limb_off + j < dn)
+            d[limb_off + j] |= hi[j] << sh;
+        if (sh != 0 && limb_off + j + 1 < dn)
+            d[limb_off + j + 1] |= hi[j] >> (64 - sh);
+    }
+    maskTop(d, dw);
+}
+
+inline bool
+reduceOr(const uint64_t *s, unsigned width)
+{
+    return !isZero(s, nlimbs(width));
+}
+
+inline bool
+reduceAnd(const uint64_t *s, unsigned width)
+{
+    unsigned n = nlimbs(width);
+    for (unsigned i = 0; i + 1 < n; ++i)
+        if (s[i] != ~0ull)
+            return false;
+    return s[n - 1] == topMask(width);
+}
+
+inline bool
+reduceXor(const uint64_t *s, unsigned width)
+{
+    unsigned parity = 0;
+    unsigned n = nlimbs(width);
+    for (unsigned i = 0; i < n; ++i)
+        parity ^= static_cast<unsigned>(__builtin_popcountll(s[i]));
+    return parity & 1u;
+}
+
+} // namespace manticore::limbops
+
+#endif // MANTICORE_SUPPORT_LIMBOPS_HH

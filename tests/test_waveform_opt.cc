@@ -17,6 +17,8 @@
 #include "netlist/optimize.hh"
 #include "runtime/waveform.hh"
 
+using manticore::netlist::EvalMode;
+
 using namespace manticore;
 
 TEST(NetlistOpt, FoldsCsesAndRemovesDeadNodes)
@@ -110,6 +112,32 @@ TEST(Waveform, RecordsCounterChangesAsVcd)
     EXPECT_NE(vcd.find("flag"), std::string::npos);
     EXPECT_NE(vcd.find("b00000011"), std::string::npos); // count == 3
     EXPECT_NE(vcd.find("#5"), std::string::npos);
+}
+
+TEST(Waveform, RecordsFromEitherEvaluatorEngine)
+{
+    netlist::CircuitBuilder b("wv");
+    auto count = b.reg("count", 8);
+    b.next(count, count.read() + b.lit(8, 1));
+    netlist::Netlist nl = b.build();
+
+    std::string vcds[2];
+    for (EvalMode mode : {EvalMode::Reference, EvalMode::Compiled}) {
+        auto eval = netlist::makeEvaluator(nl, mode);
+        runtime::WaveformRecorder wave(nl);
+        for (uint64_t v = 0; v < 10; ++v) {
+            eval->step();
+            wave.sample(*eval, v);
+        }
+        EXPECT_EQ(wave.changesRecorded(), 10u);
+        std::ostringstream os;
+        wave.writeVcd(os);
+        vcds[mode == EvalMode::Compiled] = os.str();
+    }
+    // Same design, same stimulus: both engines must produce the
+    // byte-identical waveform.
+    EXPECT_EQ(vcds[0], vcds[1]);
+    EXPECT_NE(vcds[0].find("count"), std::string::npos);
 }
 
 TEST(Waveform, MatchesEvaluatorOnBenchmark)
