@@ -24,14 +24,13 @@
 #include <vector>
 
 #include "compiler/lowered.hh"
+#include "support/mergealgo.hh"
 
 namespace manticore::compiler {
 
-enum class MergeAlgo
-{
-    Balanced, ///< communication-aware balanced merging (B)
-    Lpt,      ///< longest-processing-time-first bin packing (L)
-};
+/// Merge strategy (B / L); the enum is shared with the netlist-level
+/// partitioner (netlist/partition.hh) so harnesses sweep one knob.
+using MergeAlgo = ::manticore::MergeAlgo;
 
 struct PartitionStats
 {

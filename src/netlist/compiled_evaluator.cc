@@ -1,5 +1,6 @@
 #include "netlist/compiled_evaluator.hh"
 
+#include "netlist/parallel_evaluator.hh"
 #include "support/limbops.hh"
 #include "support/logging.hh"
 
@@ -44,18 +45,7 @@ CompiledEvaluator::compile()
     }
 
     // Memories become dense limb arrays.
-    _mems.reserve(_netlist.numMemories());
-    for (const Memory &m : _netlist.memories()) {
-        MemState ms;
-        ms.width = m.width;
-        ms.wordLimbs = lo::nlimbs(m.width);
-        ms.depth = m.depth;
-        ms.words.assign(static_cast<size_t>(ms.depth) * ms.wordLimbs, 0);
-        for (unsigned a = 0; a < m.depth; ++a)
-            lo::copy(&ms.words[static_cast<size_t>(a) * ms.wordLimbs],
-                     m.init[a].limbs().data(), ms.wordLimbs);
-        _mems.push_back(std::move(ms));
-    }
+    _mems = tape::buildMemStates(_netlist);
 
     // Lower each combinational node to one tape instruction.  Node ids
     // are already topologically ordered (operands precede users).
@@ -65,75 +55,11 @@ CompiledEvaluator::compile()
         if (n.kind == OpKind::Const || n.kind == OpKind::Input ||
             n.kind == OpKind::RegRead)
             continue; // no tape entry; slot written out-of-band
-
-        Instr in;
-        in.dst = _slotOf[i];
-        in.width = n.width;
-        in.mask = lo::topMask(n.width);
-        if (!n.operands.empty()) {
-            in.a = _slotOf[n.operands[0]];
-            in.aw = nodes[n.operands[0]].width;
-        }
-        if (n.operands.size() > 1) {
-            in.b = _slotOf[n.operands[1]];
-            in.bw = nodes[n.operands[1]].width;
-        }
-        if (n.operands.size() > 2)
-            in.c = _slotOf[n.operands[2]];
-
-        bool narrow = n.width <= 64;       // result fits one limb
-        bool narrow_a = in.aw <= 64;       // operand 0 fits one limb
-
-        switch (n.kind) {
-          case OpKind::Add: in.op = narrow ? Op::NAdd : Op::WAdd; break;
-          case OpKind::Sub: in.op = narrow ? Op::NSub : Op::WSub; break;
-          case OpKind::Mul: in.op = narrow ? Op::NMul : Op::WMul; break;
-          case OpKind::And: in.op = narrow ? Op::NAnd : Op::WAnd; break;
-          case OpKind::Or: in.op = narrow ? Op::NOr : Op::WOr; break;
-          case OpKind::Xor: in.op = narrow ? Op::NXor : Op::WXor; break;
-          case OpKind::Not: in.op = narrow ? Op::NNot : Op::WNot; break;
-          case OpKind::Shl: in.op = narrow ? Op::NShl : Op::WShl; break;
-          case OpKind::Lshr:
-            in.op = narrow ? Op::NLshr : Op::WLshr;
-            break;
-          case OpKind::Eq: in.op = narrow_a ? Op::NEq : Op::WEq; break;
-          case OpKind::Ult: in.op = narrow_a ? Op::NUlt : Op::WUlt; break;
-          case OpKind::Slt: in.op = narrow_a ? Op::NSlt : Op::WSlt; break;
-          case OpKind::Mux: in.op = narrow ? Op::NMux : Op::WMux; break;
-          case OpKind::Slice:
-            in.lo = n.lo;
-            in.op = narrow_a ? Op::NSlice : Op::WSlice;
-            break;
-          case OpKind::Concat:
-            in.op = narrow ? Op::NConcat : Op::WConcat;
-            break;
-          case OpKind::ZExt:
-            in.op = narrow ? Op::NZExt : Op::WZExt;
-            break;
-          case OpKind::SExt:
-            in.op = narrow ? Op::NSExt : Op::WSExt;
-            break;
-          case OpKind::RedOr:
-            in.op = narrow_a ? Op::NRedOr : Op::WRedOr;
-            break;
-          case OpKind::RedAnd:
-            in.op = narrow_a ? Op::NRedAnd : Op::WRedAnd;
-            in.mask = lo::topMask(in.aw); // operand mask
-            break;
-          case OpKind::RedXor:
-            in.op = narrow_a ? Op::NRedXor : Op::WRedXor;
-            break;
-          case OpKind::MemRead:
-            in.lo = n.memId;
-            in.op = _mems[n.memId].wordLimbs == 1 ? Op::NMemRead
-                                                  : Op::WMemRead;
-            break;
-          case OpKind::Const:
-          case OpKind::Input:
-          case OpKind::RegRead:
-            continue; // unreachable
-        }
-        _tape.push_back(in);
+        uint32_t a = n.operands.size() > 0 ? _slotOf[n.operands[0]] : 0;
+        uint32_t b = n.operands.size() > 1 ? _slotOf[n.operands[1]] : 0;
+        uint32_t c = n.operands.size() > 2 ? _slotOf[n.operands[2]] : 0;
+        _tape.push_back(tape::lower(_netlist, static_cast<NodeId>(i),
+                                    _slotOf[i], a, b, c, _mems));
     }
 
     // Register commits.  The current slot doubles as register storage,
@@ -165,160 +91,8 @@ CompiledEvaluator::compile()
         _memCommits.push_back(mc);
     }
 
-    for (const Assert &a : _netlist.asserts()) {
-        EffAssert ea;
-        ea.enable = _slotOf[a.enable];
-        ea.cond = _slotOf[a.cond];
-        ea.message = a.message;
-        _asserts.push_back(std::move(ea));
-    }
-    for (const Display &d : _netlist.displays()) {
-        EffDisplay ed;
-        ed.enable = _slotOf[d.enable];
-        ed.format = d.format;
-        for (NodeId arg : d.args) {
-            ed.argSlots.push_back(_slotOf[arg]);
-            ed.argWidths.push_back(_netlist.node(arg).width);
-        }
-        _displays.push_back(std::move(ed));
-    }
-    for (const Finish &f : _netlist.finishes())
-        _finishes.push_back(_slotOf[f.enable]);
-}
-
-uint64_t
-CompiledEvaluator::shiftAmount(const Instr &in) const
-{
-    // Mirrors the reference: amounts that do not fit 64 bits shift
-    // everything out.
-    const uint64_t *b = &_arena[in.b];
-    if (in.bw <= 64 || lo::fitsUint64(b, lo::nlimbs(in.bw)))
-        return b[0];
-    return in.width;
-}
-
-void
-CompiledEvaluator::runTape()
-{
-    uint64_t *A = _arena.data();
-    for (const Instr &in : _tape) {
-        switch (in.op) {
-          case Op::NAdd:
-            A[in.dst] = (A[in.a] + A[in.b]) & in.mask;
-            break;
-          case Op::NSub:
-            A[in.dst] = (A[in.a] - A[in.b]) & in.mask;
-            break;
-          case Op::NMul:
-            A[in.dst] = (A[in.a] * A[in.b]) & in.mask;
-            break;
-          case Op::NAnd: A[in.dst] = A[in.a] & A[in.b]; break;
-          case Op::NOr: A[in.dst] = A[in.a] | A[in.b]; break;
-          case Op::NXor: A[in.dst] = A[in.a] ^ A[in.b]; break;
-          case Op::NNot: A[in.dst] = ~A[in.a] & in.mask; break;
-          case Op::NShl: {
-            uint64_t amt = shiftAmount(in);
-            A[in.dst] = amt >= in.width ? 0
-                                        : (A[in.a] << amt) & in.mask;
-            break;
-          }
-          case Op::NLshr: {
-            uint64_t amt = shiftAmount(in);
-            A[in.dst] = amt >= in.width ? 0 : A[in.a] >> amt;
-            break;
-          }
-          case Op::NEq: A[in.dst] = A[in.a] == A[in.b]; break;
-          case Op::NUlt: A[in.dst] = A[in.a] < A[in.b]; break;
-          case Op::NSlt: {
-            uint64_t sbit = 1ull << (in.aw - 1);
-            A[in.dst] = (A[in.a] ^ sbit) < (A[in.b] ^ sbit);
-            break;
-          }
-          case Op::NMux:
-            A[in.dst] = A[in.a] ? A[in.b] : A[in.c];
-            break;
-          case Op::NSlice:
-            A[in.dst] = (A[in.a] >> in.lo) & in.mask;
-            break;
-          case Op::NConcat:
-            A[in.dst] = (A[in.a] << in.bw) | A[in.b];
-            break;
-          case Op::NZExt: A[in.dst] = A[in.a]; break;
-          case Op::NSExt: {
-            uint64_t v = A[in.a];
-            if (in.aw < in.width && ((v >> (in.aw - 1)) & 1))
-                v |= (~0ull << in.aw) & in.mask;
-            A[in.dst] = v;
-            break;
-          }
-          case Op::NRedOr: A[in.dst] = A[in.a] != 0; break;
-          case Op::NRedAnd: A[in.dst] = A[in.a] == in.mask; break;
-          case Op::NRedXor:
-            A[in.dst] =
-                static_cast<unsigned>(__builtin_popcountll(A[in.a])) & 1u;
-            break;
-          case Op::NMemRead: {
-            const MemState &m = _mems[in.lo];
-            A[in.dst] = m.words[A[in.a] % m.depth];
-            break;
-          }
-          case Op::WAdd: lo::add(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WSub: lo::sub(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WMul: lo::mul(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WAnd: lo::bitAnd(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WOr: lo::bitOr(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WXor: lo::bitXor(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WNot: lo::bitNot(A + in.dst, A + in.a, in.width); break;
-          case Op::WShl:
-            lo::shl(A + in.dst, A + in.a, shiftAmount(in), in.width);
-            break;
-          case Op::WLshr:
-            lo::lshr(A + in.dst, A + in.a, shiftAmount(in), in.width);
-            break;
-          case Op::WEq:
-            A[in.dst] = lo::eq(A + in.a, A + in.b, in.aw);
-            break;
-          case Op::WUlt:
-            A[in.dst] = lo::ult(A + in.a, A + in.b, in.aw);
-            break;
-          case Op::WSlt:
-            A[in.dst] = lo::slt(A + in.a, A + in.b, in.aw);
-            break;
-          case Op::WMux: {
-            const uint64_t *src = A[in.a] ? A + in.b : A + in.c;
-            lo::copy(A + in.dst, src, lo::nlimbs(in.width));
-            break;
-          }
-          case Op::WSlice:
-            lo::slice(A + in.dst, A + in.a, in.aw, in.lo, in.width);
-            break;
-          case Op::WConcat:
-            lo::concat(A + in.dst, A + in.a, A + in.b, in.aw, in.bw);
-            break;
-          case Op::WZExt:
-            lo::zext(A + in.dst, A + in.a, in.width, in.aw);
-            break;
-          case Op::WSExt:
-            lo::sext(A + in.dst, A + in.a, in.width, in.aw);
-            break;
-          case Op::WRedOr:
-            A[in.dst] = lo::reduceOr(A + in.a, in.aw);
-            break;
-          case Op::WRedAnd:
-            A[in.dst] = lo::reduceAnd(A + in.a, in.aw);
-            break;
-          case Op::WRedXor:
-            A[in.dst] = lo::reduceXor(A + in.a, in.aw);
-            break;
-          case Op::WMemRead: {
-            const MemState &m = _mems[in.lo];
-            uint64_t addr = A[in.a] % m.depth;
-            lo::copy(A + in.dst, &m.words[addr * m.wordLimbs],
-                     m.wordLimbs);
-            break;
-          }
-        }
-    }
+    _effects = tape::Effects::compile(
+        _netlist, [this](NodeId id) { return _slotOf[id]; });
 }
 
 SimStatus
@@ -327,36 +101,17 @@ CompiledEvaluator::step()
     if (_status != SimStatus::Ok)
         return _status;
 
-    runTape();
+    tape::run(_tape, _arena.data(), _mems);
 
     const uint64_t *A = _arena.data();
 
     // Side effects observe this cycle's combinational values, in the
-    // same order as the reference evaluator.
-    for (const EffAssert &a : _asserts) {
-        if (A[a.enable] && !A[a.cond]) {
-            _status = SimStatus::AssertFailed;
-            _failureMessage = "cycle " + std::to_string(_cycle) +
-                              ": assertion failed: " + a.message;
-            return _status;
-        }
-    }
-    for (const EffDisplay &d : _displays) {
-        if (A[d.enable]) {
-            std::vector<BitVector> args;
-            args.reserve(d.argSlots.size());
-            for (size_t i = 0; i < d.argSlots.size(); ++i)
-                args.push_back(slotValue(d.argSlots[i], d.argWidths[i]));
-            std::string line = Evaluator::formatDisplay(d.format, args);
-            _displayLog.push_back(line);
-            if (onDisplay)
-                onDisplay(line);
-        }
-    }
+    // same order as the reference evaluator; a failed assert
+    // suppresses displays, $finish and the commit.
     bool finished = false;
-    for (uint32_t en : _finishes)
-        if (A[en])
-            finished = true;
+    if (!_effects.fire(A, _cycle, _status, _failureMessage, _displayLog,
+                       onDisplay, finished))
+        return _status;
 
     // Commit.  Memory writes read node slots, so they must run before
     // register commits overwrite the RegRead slots; register commits
@@ -365,7 +120,7 @@ CompiledEvaluator::step()
     // pre-commit combinational snapshot.
     for (const MemCommit &w : _memCommits) {
         if (_arena[w.enable]) {
-            MemState &m = _mems[w.mem];
+            tape::MemState &m = _mems[w.mem];
             uint64_t addr = _arena[w.addr] % m.depth;
             lo::copy(&m.words[addr * m.wordLimbs], &_arena[w.data],
                      m.wordLimbs);
@@ -398,9 +153,7 @@ CompiledEvaluator::setInput(const std::string &name, const BitVector &value)
 BitVector
 CompiledEvaluator::slotValue(uint32_t slot, unsigned width) const
 {
-    std::vector<uint64_t> limbs(&_arena[slot],
-                                &_arena[slot] + lo::nlimbs(width));
-    return BitVector::fromLimbs(width, limbs);
+    return tape::readSlot(&_arena[slot], width);
 }
 
 BitVector
@@ -425,11 +178,7 @@ CompiledEvaluator::memValue(MemId id, uint64_t addr) const
 {
     MANTICORE_ASSERT(id < _mems.size() && addr < _mems[id].depth,
                      "memValue out of range");
-    const MemState &m = _mems[id];
-    std::vector<uint64_t> limbs(
-        &m.words[addr * m.wordLimbs],
-        &m.words[addr * m.wordLimbs] + m.wordLimbs);
-    return BitVector::fromLimbs(m.width, limbs);
+    return _mems[id].value(addr);
 }
 
 BitVector
@@ -445,18 +194,22 @@ evalModeName(EvalMode mode)
     switch (mode) {
       case EvalMode::Reference: return "reference";
       case EvalMode::Compiled: return "compiled";
+      case EvalMode::Parallel: return "parallel";
     }
     return "?";
 }
 
 std::unique_ptr<EvaluatorBase>
-makeEvaluator(Netlist netlist, EvalMode mode)
+makeEvaluator(Netlist netlist, EvalMode mode, const EvalOptions &options)
 {
     switch (mode) {
       case EvalMode::Reference:
         return std::make_unique<Evaluator>(std::move(netlist));
       case EvalMode::Compiled:
         return std::make_unique<CompiledEvaluator>(std::move(netlist));
+      case EvalMode::Parallel:
+        return std::make_unique<ParallelCompiledEvaluator>(
+            std::move(netlist), options);
     }
     MANTICORE_FATAL("unknown evaluator mode");
 }

@@ -7,18 +7,17 @@
  *  - a single contiguous uint64_t arena holding every node's value as
  *    a fixed limb span (Const slots written once, Input slots written
  *    by setInput, RegRead slots doubling as the register storage), and
- *  - a flat array of POD instructions (the "tape"), one per
- *    combinational node, dispatched by a switch in a tight loop.
+ *  - a flat array of POD instructions (the "tape", see tape.hh), one
+ *    per combinational node, dispatched by a switch in a tight loop.
  *
- * Nodes of width <= 64 use specialised single-limb opcodes (no loops,
- * no function calls); wider nodes run the span kernels from
- * support/limbops.hh.  Side effects (asserts / displays / $finish /
- * register commit / memory writes) are precompiled into effect lists
- * with node slots already resolved, so the hot loop never touches a
- * Node, a std::string, or the heap.
+ * Side effects (asserts / displays / $finish / register commit /
+ * memory writes) are precompiled into effect lists with node slots
+ * already resolved, so the hot loop never touches a Node, a
+ * std::string, or the heap.
  *
  * See src/netlist/README.md for the layout and the measured speedup
- * over the reference Evaluator.
+ * over the reference Evaluator.  The partition-parallel variant of
+ * this engine lives in parallel_evaluator.hh.
  */
 
 #ifndef MANTICORE_NETLIST_COMPILED_EVALUATOR_HH
@@ -30,6 +29,7 @@
 
 #include "netlist/evaluator.hh"
 #include "netlist/netlist.hh"
+#include "netlist/tape.hh"
 
 namespace manticore::netlist {
 
@@ -74,42 +74,6 @@ class CompiledEvaluator : public EvaluatorBase
     size_t arenaLimbs() const { return _arena.size(); }
 
   private:
-    /** Tape opcodes: N* = single-limb fast path, W* = span kernels. */
-    enum class Op : uint8_t
-    {
-        NAdd, NSub, NMul, NAnd, NOr, NXor, NNot,
-        NShl, NLshr, NEq, NUlt, NSlt, NMux,
-        NSlice, NConcat, NZExt, NSExt,
-        NRedOr, NRedAnd, NRedXor, NMemRead,
-        WAdd, WSub, WMul, WAnd, WOr, WXor, WNot,
-        WShl, WLshr, WEq, WUlt, WSlt, WMux,
-        WSlice, WConcat, WZExt, WSExt,
-        WRedOr, WRedAnd, WRedXor, WMemRead,
-    };
-
-    /** One tape instruction.  dst/a/b/c are limb offsets into the
-     *  arena; widths are bit widths; lo doubles as the slice low bit
-     *  and the memory id for MemRead; mask is the result mask for
-     *  narrow ops (the operand mask for narrow reductions). */
-    struct Instr
-    {
-        Op op;
-        uint32_t dst = 0;
-        uint32_t a = 0, b = 0, c = 0;
-        uint32_t width = 0;
-        uint32_t aw = 0, bw = 0;
-        uint32_t lo = 0;
-        uint64_t mask = 0;
-    };
-
-    struct MemState
-    {
-        unsigned width = 0;
-        unsigned wordLimbs = 0;
-        uint64_t depth = 0;
-        std::vector<uint64_t> words; ///< depth * wordLimbs limbs
-    };
-
     struct RegCommit
     {
         uint32_t dst;     ///< current (RegRead) slot
@@ -125,37 +89,19 @@ class CompiledEvaluator : public EvaluatorBase
         uint32_t addr, data, enable; ///< slots
     };
 
-    struct EffAssert
-    {
-        uint32_t enable, cond; ///< slots (1-bit each)
-        std::string message;
-    };
-
-    struct EffDisplay
-    {
-        uint32_t enable; ///< slot
-        std::string format;
-        std::vector<uint32_t> argSlots;
-        std::vector<uint32_t> argWidths;
-    };
-
     void compile();
-    void runTape();
-    uint64_t shiftAmount(const Instr &in) const;
     BitVector slotValue(uint32_t slot, unsigned width) const;
 
     Netlist _netlist; ///< cold copy for name/width lookups only
 
     std::vector<uint64_t> _arena;
     std::vector<uint32_t> _slotOf; ///< node id -> arena limb offset
-    std::vector<Instr> _tape;
-    std::vector<MemState> _mems;
+    std::vector<tape::Instr> _tape;
+    std::vector<tape::MemState> _mems;
     std::vector<RegCommit> _regCommits;
     std::vector<uint64_t> _staging; ///< double-buffer for reg commits
     std::vector<MemCommit> _memCommits;
-    std::vector<EffAssert> _asserts;
-    std::vector<EffDisplay> _displays;
-    std::vector<uint32_t> _finishes; ///< enable slots
+    tape::Effects _effects;
 
     uint64_t _cycle = 0;
     SimStatus _status = SimStatus::Ok;

@@ -14,8 +14,13 @@
  *    once to a flat op tape over a preallocated limb arena — zero
  *    allocations and no Node/string access in the hot loop.
  *
+ * A third engine, ParallelCompiledEvaluator (parallel_evaluator.hh),
+ * partitions the netlist and evaluates one tape per partition on a
+ * persistent worker pool with the paper's two-barrier Vcycle
+ * structure (§6.1).
+ *
  * makeEvaluator() picks an engine at runtime so harnesses can compare
- * the two (see src/netlist/README.md).
+ * them (see src/netlist/README.md).
  */
 
 #ifndef MANTICORE_NETLIST_EVALUATOR_HH
@@ -28,6 +33,7 @@
 #include <vector>
 
 #include "netlist/netlist.hh"
+#include "support/mergealgo.hh"
 
 namespace manticore::netlist {
 
@@ -89,13 +95,26 @@ enum class EvalMode
 {
     Reference, ///< graph-walking Evaluator (allocating, obviously correct)
     Compiled,  ///< tape/arena CompiledEvaluator (zero-allocation)
+    Parallel,  ///< partition-parallel tapes on a worker pool (§6.1)
 };
 
 const char *evalModeName(EvalMode mode);
 
+/** Engine options; only EvalMode::Parallel consults them today. */
+struct EvalOptions
+{
+    /// Worker-pool size (and partition-count bound); 0 means
+    /// std::thread::hardware_concurrency().
+    unsigned numThreads = 0;
+    /// Partition merge strategy (§6.1 / Fig. 9): the paper's
+    /// communication-aware Balanced heuristic or the LPT baseline.
+    MergeAlgo mergeAlgo = MergeAlgo::Balanced;
+};
+
 /** Build an evaluator over (a copy of) the netlist in the given mode. */
 std::unique_ptr<EvaluatorBase> makeEvaluator(Netlist netlist,
-                                             EvalMode mode);
+                                             EvalMode mode,
+                                             const EvalOptions &options = {});
 
 class Evaluator : public EvaluatorBase
 {

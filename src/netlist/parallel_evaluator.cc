@@ -1,0 +1,383 @@
+#include "netlist/parallel_evaluator.hh"
+
+#include <exception>
+#include <unordered_map>
+
+#include "support/limbops.hh"
+#include "support/logging.hh"
+
+namespace manticore::netlist {
+
+namespace lo = ::manticore::limbops;
+
+namespace {
+
+constexpr uint32_t kNoSlot = ~0u;
+
+uint64_t
+alignLimbs(uint64_t offset)
+{
+    // Cache-line align region starts (8 limbs = 64 bytes) so distinct
+    // processes never share a line they write.
+    return (offset + 7) & ~uint64_t{7};
+}
+
+/** Spin-then-yield wait for a generation counter to move past `last`;
+ *  returns the new value.  Yielding keeps oversubscribed (or
+ *  single-core) hosts making progress, as in baseline's worker pool. */
+uint64_t
+waitAbove(const std::atomic<uint64_t> &gen, uint64_t last)
+{
+    uint64_t v;
+    unsigned spins = 0;
+    while ((v = gen.load(std::memory_order_acquire)) == last) {
+        if (++spins > 256) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+    return v;
+}
+
+void
+waitCount(const std::atomic<uint32_t> &counter, uint32_t target)
+{
+    unsigned spins = 0;
+    while (counter.load(std::memory_order_acquire) < target) {
+        if (++spins > 256) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+}
+
+} // namespace
+
+ParallelCompiledEvaluator::ParallelCompiledEvaluator(
+    Netlist netlist, const EvalOptions &options)
+    : _netlist(std::move(netlist))
+{
+    _netlist.validate();
+    unsigned hw = std::thread::hardware_concurrency();
+    _numThreads = options.numThreads != 0 ? options.numThreads
+                                          : std::max(1u, hw);
+    compile(options.mergeAlgo);
+    for (size_t p = 1; p < _procs.size(); ++p)
+        _pool.emplace_back([this, p] { workerLoop(p); });
+}
+
+ParallelCompiledEvaluator::~ParallelCompiledEvaluator()
+{
+    // Workers always park at the compute rendezvous between steps;
+    // bumping both generations with _shutdown set releases them from
+    // either wait.
+    _shutdown.store(true, std::memory_order_relaxed);
+    _computeGen.fetch_add(1, std::memory_order_release);
+    _commitGen.fetch_add(1, std::memory_order_release);
+    for (std::thread &t : _pool)
+        t.join();
+}
+
+void
+ParallelCompiledEvaluator::compile(MergeAlgo algo)
+{
+    NetlistPartition part = partitionNetlist(_netlist, _numThreads, algo);
+    _stats = part.stats;
+    _mems = tape::buildMemStates(_netlist);
+
+    const auto &nodes = _netlist.nodes();
+    uint64_t offset = 0;
+
+    // Shared source region: constants and inputs, written only at
+    // build time / between steps.
+    _sourceSlot.assign(nodes.size(), kNoSlot);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].kind == OpKind::Const ||
+            nodes[i].kind == OpKind::Input) {
+            _sourceSlot[i] = static_cast<uint32_t>(offset);
+            offset += lo::nlimbs(nodes[i].width);
+        }
+    }
+
+    // Shared register file, grouped by committing process and
+    // cache-line aligned per group: the only shared slots written
+    // after construction, each by exactly one process per cycle.
+    _regSlot.assign(_netlist.numRegisters(), kNoSlot);
+    for (const NetlistProcess &proc : part.processes) {
+        offset = alignLimbs(offset);
+        for (RegId r : proc.registers) {
+            MANTICORE_ASSERT(_regSlot[r] == kNoSlot,
+                             "register owned by two processes");
+            _regSlot[r] = static_cast<uint32_t>(offset);
+            offset += lo::nlimbs(_netlist.reg(r).width);
+        }
+    }
+    for (size_t r = 0; r < _netlist.numRegisters(); ++r)
+        MANTICORE_ASSERT(_regSlot[r] != kNoSlot, "unowned register");
+
+    // Per-process private regions: cone node slots, then staging for
+    // RegRead-sourced commit operands.  Lowering happens in the same
+    // sweep — node ids are topologically ordered and cones are
+    // operand-closed, so every operand slot is resolvable by the time
+    // it is needed.
+    int effects_proc = -1;
+    std::unordered_map<NodeId, uint32_t> effects_local;
+    _procs.resize(part.processes.size());
+    for (size_t p = 0; p < part.processes.size(); ++p) {
+        const NetlistProcess &src = part.processes[p];
+        Proc &proc = _procs[p];
+        offset = alignLimbs(offset);
+
+        std::unordered_map<NodeId, uint32_t> local;
+        local.reserve(src.nodes.size() * 2);
+        for (NodeId id : src.nodes) {
+            local[id] = static_cast<uint32_t>(offset);
+            offset += lo::nlimbs(nodes[id].width);
+        }
+
+        auto resolve = [&](NodeId id) -> uint32_t {
+            const Node &n = _netlist.node(id);
+            if (n.kind == OpKind::RegRead)
+                return _regSlot[n.regId];
+            if (n.kind == OpKind::Const || n.kind == OpKind::Input)
+                return _sourceSlot[id];
+            auto it = local.find(id);
+            MANTICORE_ASSERT(it != local.end(),
+                             "operand escapes its process cone");
+            return it->second;
+        };
+
+        proc.tape.reserve(src.nodes.size());
+        for (NodeId id : src.nodes) {
+            const Node &n = _netlist.node(id);
+            uint32_t a = n.operands.size() > 0 ? resolve(n.operands[0]) : 0;
+            uint32_t b = n.operands.size() > 1 ? resolve(n.operands[1]) : 0;
+            uint32_t c = n.operands.size() > 2 ? resolve(n.operands[2]) : 0;
+            proc.tape.push_back(
+                tape::lower(_netlist, id, local[id], a, b, c, _mems));
+        }
+
+        // Commit operands that live in the shared register file are
+        // staged into the private region pre-barrier; everything else
+        // (private slots, stable constants/inputs) is read directly.
+        std::unordered_map<NodeId, uint32_t> staged;
+        auto commitSlot = [&](NodeId id) -> uint32_t {
+            const Node &n = _netlist.node(id);
+            if (n.kind != OpKind::RegRead)
+                return resolve(id);
+            auto it = staged.find(id);
+            if (it != staged.end())
+                return it->second;
+            uint32_t slot = static_cast<uint32_t>(offset);
+            uint32_t limbs = lo::nlimbs(n.width);
+            offset += limbs;
+            staged.emplace(id, slot);
+            proc.stages.push_back({slot, _regSlot[n.regId], limbs});
+            return slot;
+        };
+
+        for (RegId r : src.registers) {
+            const Register &reg = _netlist.reg(r);
+            proc.regCommits.push_back({_regSlot[r], commitSlot(reg.next),
+                                       lo::nlimbs(reg.width)});
+        }
+        for (uint32_t w : src.memWrites) {
+            const MemWrite &mw = _netlist.memWrites()[w];
+            proc.memCommits.push_back({mw.mem, commitSlot(mw.addr),
+                                       commitSlot(mw.data),
+                                       commitSlot(mw.enable)});
+        }
+
+        if (src.effects) {
+            effects_proc = static_cast<int>(p);
+            effects_local = std::move(local);
+        }
+    }
+
+    // Side effects, resolved against the effects process's region (or
+    // shared slots); the master fires them between the two barriers.
+    bool have_effects = !_netlist.asserts().empty() ||
+                        !_netlist.displays().empty() ||
+                        !_netlist.finishes().empty();
+    if (have_effects) {
+        MANTICORE_ASSERT(effects_proc != -1, "effects cone unassigned");
+        _effects = tape::Effects::compile(
+            _netlist, [&](NodeId id) -> uint32_t {
+                const Node &n = _netlist.node(id);
+                if (n.kind == OpKind::RegRead)
+                    return _regSlot[n.regId];
+                if (n.kind == OpKind::Const || n.kind == OpKind::Input)
+                    return _sourceSlot[id];
+                auto it = effects_local.find(id);
+                MANTICORE_ASSERT(it != effects_local.end(),
+                                 "effect node outside effects cone");
+                return it->second;
+            });
+    }
+
+    MANTICORE_ASSERT(offset < kNoSlot, "design too large for 32-bit slots");
+    _arena.assign(offset, 0);
+
+    for (size_t i = 0; i < nodes.size(); ++i)
+        if (nodes[i].kind == OpKind::Const)
+            lo::copy(&_arena[_sourceSlot[i]], nodes[i].value.limbs().data(),
+                     lo::nlimbs(nodes[i].width));
+    for (size_t r = 0; r < _netlist.numRegisters(); ++r) {
+        const Register &reg = _netlist.reg(static_cast<RegId>(r));
+        lo::copy(&_arena[_regSlot[r]], reg.init.limbs().data(),
+                 lo::nlimbs(reg.width));
+    }
+}
+
+void
+ParallelCompiledEvaluator::computeProc(const Proc &proc)
+{
+    uint64_t *A = _arena.data();
+    tape::run(proc.tape, A, _mems);
+    for (const StageCopy &s : proc.stages)
+        lo::copy(A + s.dst, A + s.src, s.limbs);
+}
+
+void
+ParallelCompiledEvaluator::commitProc(const Proc &proc)
+{
+    uint64_t *A = _arena.data();
+    // Memory writes never read shared register-file slots (those were
+    // staged), so intra-process commit order is free; registers and
+    // memories owned by other processes are untouched by design.
+    for (const MemCommit &w : proc.memCommits) {
+        if (A[w.enable]) {
+            tape::MemState &m = _mems[w.mem];
+            uint64_t addr = A[w.addr] % m.depth;
+            lo::copy(&m.words[addr * m.wordLimbs], A + w.data,
+                     m.wordLimbs);
+        }
+    }
+    for (const RegCommit &rc : proc.regCommits)
+        lo::copy(A + rc.dst, A + rc.src, rc.limbs);
+}
+
+void
+ParallelCompiledEvaluator::workerLoop(size_t proc_index)
+{
+    uint64_t seen_compute = 0, seen_commit = 0;
+    while (true) {
+        seen_compute = waitAbove(_computeGen, seen_compute);
+        if (_shutdown.load(std::memory_order_relaxed))
+            return;
+        computeProc(_procs[proc_index]);
+        _computeDone.fetch_add(1, std::memory_order_release);
+        seen_commit = waitAbove(_commitGen, seen_commit);
+        if (_shutdown.load(std::memory_order_relaxed))
+            return;
+        if (_doCommit)
+            commitProc(_procs[proc_index]);
+        _commitDone.fetch_add(1, std::memory_order_release);
+    }
+}
+
+SimStatus
+ParallelCompiledEvaluator::step()
+{
+    if (_status != SimStatus::Ok)
+        return _status;
+
+    const uint32_t workers = static_cast<uint32_t>(_pool.size());
+
+    // Compute phase: all processes run their tapes and stage commit
+    // operands; the master runs process 0 inline.
+    _computeDone.store(0, std::memory_order_relaxed);
+    _commitDone.store(0, std::memory_order_relaxed);
+    _computeGen.fetch_add(1, std::memory_order_release);
+    if (!_procs.empty())
+        computeProc(_procs[0]);
+    waitCount(_computeDone, workers);
+
+    // Barrier 1 passed: every combinational value is visible.  Fire
+    // side effects in netlist order on the master thread — a failed
+    // assert suppresses this cycle's displays, $finish and commit,
+    // like the serial engines.  If firing throws (a throwing
+    // onDisplay callback, allocation failure while formatting), the
+    // commit rendezvous must still complete or the workers stay
+    // parked at it and the next step() deadlocks; the cycle is then
+    // neither committed nor counted (and the display log rolled
+    // back), so a caller that catches can retry it — though an
+    // external onDisplay sink may see already-delivered lines again.
+    const uint64_t *A = _arena.data();
+    bool finished = false;
+    std::exception_ptr thrown;
+    try {
+        _doCommit = _effects.fire(A, _cycle, _status, _failureMessage,
+                                  _displayLog, onDisplay, finished);
+    } catch (...) {
+        thrown = std::current_exception();
+        _doCommit = false;
+    }
+
+    // Commit phase: every process sends its owned registers / memory
+    // writes into the shared state.
+    _commitGen.fetch_add(1, std::memory_order_release);
+    if (_doCommit && !_procs.empty())
+        commitProc(_procs[0]);
+    waitCount(_commitDone, workers);
+    if (thrown)
+        std::rethrow_exception(thrown);
+
+    if (!_doCommit)
+        return _status; // assertion failed: no commit, no cycle
+
+    ++_cycle;
+    if (finished)
+        _status = SimStatus::Finished;
+    return _status;
+}
+
+void
+ParallelCompiledEvaluator::setInput(const std::string &name,
+                                    const BitVector &value)
+{
+    NodeId id = resolveInput(_netlist, name, value);
+    lo::copy(&_arena[_sourceSlot[id]], value.limbs().data(),
+             lo::nlimbs(value.width()));
+}
+
+BitVector
+ParallelCompiledEvaluator::slotValue(uint32_t slot, unsigned width) const
+{
+    return tape::readSlot(&_arena[slot], width);
+}
+
+BitVector
+ParallelCompiledEvaluator::regValue(RegId id) const
+{
+    MANTICORE_ASSERT(id < _netlist.numRegisters(), "bad register id");
+    return slotValue(_regSlot[id], _netlist.reg(id).width);
+}
+
+BitVector
+ParallelCompiledEvaluator::regValue(const std::string &name) const
+{
+    RegId id = _netlist.findRegister(name);
+    if (id == kInvalidReg)
+        MANTICORE_FATAL("no such register: ", name);
+    return regValue(id);
+}
+
+BitVector
+ParallelCompiledEvaluator::memValue(MemId id, uint64_t addr) const
+{
+    MANTICORE_ASSERT(id < _mems.size() && addr < _mems[id].depth,
+                     "memValue out of range");
+    return _mems[id].value(addr);
+}
+
+size_t
+ParallelCompiledEvaluator::tapeLength() const
+{
+    size_t n = 0;
+    for (const Proc &p : _procs)
+        n += p.tape.size();
+    return n;
+}
+
+} // namespace manticore::netlist

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Partition-parallel compiled tape evaluator (§6.1 of the paper,
+ * carried to host threads): the netlist is split into balanced
+ * processes by netlist/partition.hh, each process is lowered to its
+ * own flat op tape over a private limb region, and a persistent
+ * worker pool evaluates all tapes every cycle with the paper's
+ * two-barrier Vcycle structure:
+ *
+ *   compute phase   every process runs its tape, reading the shared
+ *                   register file / inputs / constants / memories and
+ *                   writing only its private region; it then stages
+ *                   copies of any RegRead-sourced commit operands.
+ *   barrier 1       all processes computed; the master (calling)
+ *                   thread fires side effects in netlist order and
+ *                   decides whether to commit.
+ *   commit phase    each process commits the registers and memory
+ *                   writes it owns into the shared register file /
+ *                   memory images (the cross-process "SENDs").
+ *   barrier 2       the Vcycle is complete.
+ *
+ * Everything lives in ONE uint64_t arena split into a shared source
+ * region (constants, inputs, the register file grouped by owner and
+ * cache-line aligned) and per-process private regions, so tape
+ * instructions address any operand by global limb offset and the
+ * compute phase is race-free by construction: private regions are
+ * written only by their owner, shared slots only between barriers by
+ * the unique owner of each register / memory.
+ *
+ * The engine is cycle-exact with the reference Evaluator (including
+ * side-effect ordering and pre-commit snapshot semantics) and
+ * deterministic across runs and thread counts.
+ */
+
+#ifndef MANTICORE_NETLIST_PARALLEL_EVALUATOR_HH
+#define MANTICORE_NETLIST_PARALLEL_EVALUATOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netlist/evaluator.hh"
+#include "netlist/netlist.hh"
+#include "netlist/partition.hh"
+#include "netlist/tape.hh"
+
+namespace manticore::netlist {
+
+class ParallelCompiledEvaluator : public EvaluatorBase
+{
+  public:
+    /** Keeps its own copy of the netlist (cold data only).  options
+     *  bounds the worker-pool size (0 = hardware concurrency) and
+     *  picks the merge strategy. */
+    explicit ParallelCompiledEvaluator(Netlist netlist,
+                                       const EvalOptions &options = {});
+    ~ParallelCompiledEvaluator() override;
+
+    ParallelCompiledEvaluator(const ParallelCompiledEvaluator &) = delete;
+    ParallelCompiledEvaluator &
+    operator=(const ParallelCompiledEvaluator &) = delete;
+
+    void setInput(const std::string &name, const BitVector &value) override;
+    SimStatus step() override;
+
+    uint64_t cycle() const override { return _cycle; }
+    SimStatus status() const override { return _status; }
+    const std::string &failureMessage() const override
+    {
+        return _failureMessage;
+    }
+
+    BitVector regValue(RegId id) const override;
+    BitVector regValue(const std::string &name) const override;
+    BitVector memValue(MemId id, uint64_t addr) const override;
+
+    const std::vector<std::string> &displayLog() const override
+    {
+        return _displayLog;
+    }
+
+    /** Introspection for tests and benches. */
+    size_t numProcesses() const { return _procs.size(); }
+    unsigned numThreads() const { return _numThreads; }
+    const NetlistPartitionStats &partitionStats() const { return _stats; }
+    size_t tapeLength() const; ///< total instructions across processes
+    size_t arenaLimbs() const { return _arena.size(); }
+
+  private:
+    /** Pre-barrier copy of a shared (RegRead) commit operand into the
+     *  process's private staging, so the commit phase never reads a
+     *  slot another process may be committing. */
+    struct StageCopy
+    {
+        uint32_t dst, src, limbs;
+    };
+
+    struct RegCommit
+    {
+        uint32_t dst; ///< shared register-file slot (owned)
+        uint32_t src; ///< private, staged, or stable shared slot
+        uint32_t limbs;
+    };
+
+    struct MemCommit
+    {
+        uint32_t mem;
+        uint32_t addr, data, enable; ///< private/staged/stable slots
+    };
+
+    /** One partition process, fully lowered. */
+    struct Proc
+    {
+        std::vector<tape::Instr> tape;
+        std::vector<StageCopy> stages;
+        std::vector<RegCommit> regCommits;
+        std::vector<MemCommit> memCommits;
+    };
+
+    void compile(MergeAlgo algo);
+    void computeProc(const Proc &proc);
+    void commitProc(const Proc &proc);
+    void workerLoop(size_t proc_index);
+    BitVector slotValue(uint32_t slot, unsigned width) const;
+
+    Netlist _netlist; ///< cold copy for name/width lookups only
+
+    std::vector<uint64_t> _arena;
+    std::vector<uint32_t> _sourceSlot; ///< node id -> slot (Const/Input)
+    std::vector<uint32_t> _regSlot;    ///< reg id -> register-file slot
+    std::vector<tape::MemState> _mems;
+    std::vector<Proc> _procs;
+    tape::Effects _effects;
+    NetlistPartitionStats _stats;
+    unsigned _numThreads = 1;
+
+    // Two-barrier worker-pool rendezvous.  The master participates by
+    // running process 0 inline; workers run processes 1..N-1.  All
+    // cross-thread data movement is ordered through the release/
+    // acquire chains on these counters.
+    std::atomic<uint64_t> _computeGen{0};
+    std::atomic<uint64_t> _commitGen{0};
+    std::atomic<uint32_t> _computeDone{0};
+    std::atomic<uint32_t> _commitDone{0};
+    std::atomic<bool> _shutdown{false};
+    bool _doCommit = false; ///< master->workers, ordered by _commitGen
+    std::vector<std::thread> _pool;
+
+    uint64_t _cycle = 0;
+    SimStatus _status = SimStatus::Ok;
+    std::string _failureMessage;
+    std::vector<std::string> _displayLog;
+};
+
+} // namespace manticore::netlist
+
+#endif // MANTICORE_NETLIST_PARALLEL_EVALUATOR_HH

@@ -1,0 +1,320 @@
+#include "netlist/tape.hh"
+
+#include "support/limbops.hh"
+#include "support/logging.hh"
+
+namespace manticore::netlist::tape {
+
+namespace lo = ::manticore::limbops;
+
+std::vector<MemState>
+buildMemStates(const Netlist &netlist)
+{
+    std::vector<MemState> mems;
+    mems.reserve(netlist.numMemories());
+    for (const Memory &m : netlist.memories()) {
+        MemState ms;
+        ms.width = m.width;
+        ms.wordLimbs = lo::nlimbs(m.width);
+        ms.depth = m.depth;
+        ms.words.assign(static_cast<size_t>(ms.depth) * ms.wordLimbs, 0);
+        for (unsigned a = 0; a < m.depth; ++a)
+            lo::copy(&ms.words[static_cast<size_t>(a) * ms.wordLimbs],
+                     m.init[a].limbs().data(), ms.wordLimbs);
+        mems.push_back(std::move(ms));
+    }
+    return mems;
+}
+
+Instr
+lower(const Netlist &netlist, NodeId id, uint32_t dst, uint32_t a,
+      uint32_t b, uint32_t c, const std::vector<MemState> &mems)
+{
+    const Node &n = netlist.node(id);
+    Instr in;
+    in.dst = dst;
+    in.a = a;
+    in.b = b;
+    in.c = c;
+    in.width = n.width;
+    in.mask = lo::topMask(n.width);
+    if (!n.operands.empty())
+        in.aw = netlist.node(n.operands[0]).width;
+    if (n.operands.size() > 1)
+        in.bw = netlist.node(n.operands[1]).width;
+
+    bool narrow = n.width <= 64;   // result fits one limb
+    bool narrow_a = in.aw <= 64;   // operand 0 fits one limb
+
+    switch (n.kind) {
+      case OpKind::Add: in.op = narrow ? Op::NAdd : Op::WAdd; break;
+      case OpKind::Sub: in.op = narrow ? Op::NSub : Op::WSub; break;
+      case OpKind::Mul: in.op = narrow ? Op::NMul : Op::WMul; break;
+      case OpKind::And: in.op = narrow ? Op::NAnd : Op::WAnd; break;
+      case OpKind::Or: in.op = narrow ? Op::NOr : Op::WOr; break;
+      case OpKind::Xor: in.op = narrow ? Op::NXor : Op::WXor; break;
+      case OpKind::Not: in.op = narrow ? Op::NNot : Op::WNot; break;
+      case OpKind::Shl: in.op = narrow ? Op::NShl : Op::WShl; break;
+      case OpKind::Lshr:
+        in.op = narrow ? Op::NLshr : Op::WLshr;
+        break;
+      case OpKind::Eq: in.op = narrow_a ? Op::NEq : Op::WEq; break;
+      case OpKind::Ult: in.op = narrow_a ? Op::NUlt : Op::WUlt; break;
+      case OpKind::Slt: in.op = narrow_a ? Op::NSlt : Op::WSlt; break;
+      case OpKind::Mux: in.op = narrow ? Op::NMux : Op::WMux; break;
+      case OpKind::Slice:
+        in.lo = n.lo;
+        in.op = narrow_a ? Op::NSlice : Op::WSlice;
+        break;
+      case OpKind::Concat:
+        in.op = narrow ? Op::NConcat : Op::WConcat;
+        break;
+      case OpKind::ZExt:
+        in.op = narrow ? Op::NZExt : Op::WZExt;
+        break;
+      case OpKind::SExt:
+        in.op = narrow ? Op::NSExt : Op::WSExt;
+        break;
+      case OpKind::RedOr:
+        in.op = narrow_a ? Op::NRedOr : Op::WRedOr;
+        break;
+      case OpKind::RedAnd:
+        in.op = narrow_a ? Op::NRedAnd : Op::WRedAnd;
+        in.mask = lo::topMask(in.aw); // operand mask
+        break;
+      case OpKind::RedXor:
+        in.op = narrow_a ? Op::NRedXor : Op::WRedXor;
+        break;
+      case OpKind::MemRead:
+        in.lo = n.memId;
+        in.op = mems[n.memId].wordLimbs == 1 ? Op::NMemRead
+                                             : Op::WMemRead;
+        break;
+      case OpKind::Const:
+      case OpKind::Input:
+      case OpKind::RegRead:
+        MANTICORE_FATAL("source node has no tape lowering");
+    }
+    return in;
+}
+
+BitVector
+readSlot(const uint64_t *slot, unsigned width)
+{
+    std::vector<uint64_t> limbs(slot, slot + lo::nlimbs(width));
+    return BitVector::fromLimbs(width, limbs);
+}
+
+BitVector
+MemState::value(uint64_t addr) const
+{
+    return readSlot(&words[addr * wordLimbs], width);
+}
+
+Effects
+Effects::compile(const Netlist &netlist,
+                 const std::function<uint32_t(NodeId)> &slot)
+{
+    Effects e;
+    for (const Assert &a : netlist.asserts())
+        e.asserts.push_back({slot(a.enable), slot(a.cond), a.message});
+    for (const Display &d : netlist.displays()) {
+        EffDisplay ed;
+        ed.enable = slot(d.enable);
+        ed.format = d.format;
+        for (NodeId arg : d.args) {
+            ed.argSlots.push_back(slot(arg));
+            ed.argWidths.push_back(netlist.node(arg).width);
+        }
+        e.displays.push_back(std::move(ed));
+    }
+    for (const Finish &f : netlist.finishes())
+        e.finishes.push_back(slot(f.enable));
+    return e;
+}
+
+bool
+Effects::fire(const uint64_t *A, uint64_t cycle, SimStatus &status,
+              std::string &failure_message,
+              std::vector<std::string> &log,
+              const std::function<void(const std::string &)> &on_display,
+              bool &finished) const
+{
+    for (const EffAssert &a : asserts) {
+        if (A[a.enable] && !A[a.cond]) {
+            status = SimStatus::AssertFailed;
+            failure_message = "cycle " + std::to_string(cycle) +
+                              ": assertion failed: " + a.message;
+            return false;
+        }
+    }
+    // If a display sink throws, roll the log back so the engine's own
+    // transcript stays exact when the caller retries the cycle.  An
+    // external on_display sink cannot be un-notified: lines delivered
+    // before the throw are redelivered on retry (at-least-once).
+    size_t mark = log.size();
+    try {
+        for (const EffDisplay &d : displays) {
+            if (A[d.enable]) {
+                std::vector<BitVector> args;
+                args.reserve(d.argSlots.size());
+                for (size_t i = 0; i < d.argSlots.size(); ++i)
+                    args.push_back(
+                        readSlot(A + d.argSlots[i], d.argWidths[i]));
+                std::string line =
+                    Evaluator::formatDisplay(d.format, args);
+                log.push_back(line);
+                if (on_display)
+                    on_display(line);
+            }
+        }
+    } catch (...) {
+        log.resize(mark);
+        throw;
+    }
+    for (uint32_t en : finishes)
+        if (A[en])
+            finished = true;
+    return true;
+}
+
+namespace {
+
+uint64_t
+shiftAmount(const Instr &in, const uint64_t *A)
+{
+    // Mirrors the reference: amounts that do not fit 64 bits shift
+    // everything out.
+    const uint64_t *b = A + in.b;
+    if (in.bw <= 64 || lo::fitsUint64(b, lo::nlimbs(in.bw)))
+        return b[0];
+    return in.width;
+}
+
+} // namespace
+
+void
+run(const Instr *instrs, size_t count, uint64_t *A, const MemState *mems)
+{
+    for (size_t i = 0; i < count; ++i) {
+        const Instr &in = instrs[i];
+        switch (in.op) {
+          case Op::NAdd:
+            A[in.dst] = (A[in.a] + A[in.b]) & in.mask;
+            break;
+          case Op::NSub:
+            A[in.dst] = (A[in.a] - A[in.b]) & in.mask;
+            break;
+          case Op::NMul:
+            A[in.dst] = (A[in.a] * A[in.b]) & in.mask;
+            break;
+          case Op::NAnd: A[in.dst] = A[in.a] & A[in.b]; break;
+          case Op::NOr: A[in.dst] = A[in.a] | A[in.b]; break;
+          case Op::NXor: A[in.dst] = A[in.a] ^ A[in.b]; break;
+          case Op::NNot: A[in.dst] = ~A[in.a] & in.mask; break;
+          case Op::NShl: {
+            uint64_t amt = shiftAmount(in, A);
+            A[in.dst] = amt >= in.width ? 0
+                                        : (A[in.a] << amt) & in.mask;
+            break;
+          }
+          case Op::NLshr: {
+            uint64_t amt = shiftAmount(in, A);
+            A[in.dst] = amt >= in.width ? 0 : A[in.a] >> amt;
+            break;
+          }
+          case Op::NEq: A[in.dst] = A[in.a] == A[in.b]; break;
+          case Op::NUlt: A[in.dst] = A[in.a] < A[in.b]; break;
+          case Op::NSlt: {
+            uint64_t sbit = 1ull << (in.aw - 1);
+            A[in.dst] = (A[in.a] ^ sbit) < (A[in.b] ^ sbit);
+            break;
+          }
+          case Op::NMux:
+            A[in.dst] = A[in.a] ? A[in.b] : A[in.c];
+            break;
+          case Op::NSlice:
+            A[in.dst] = (A[in.a] >> in.lo) & in.mask;
+            break;
+          case Op::NConcat:
+            A[in.dst] = (A[in.a] << in.bw) | A[in.b];
+            break;
+          case Op::NZExt: A[in.dst] = A[in.a]; break;
+          case Op::NSExt: {
+            uint64_t v = A[in.a];
+            if (in.aw < in.width && ((v >> (in.aw - 1)) & 1))
+                v |= (~0ull << in.aw) & in.mask;
+            A[in.dst] = v;
+            break;
+          }
+          case Op::NRedOr: A[in.dst] = A[in.a] != 0; break;
+          case Op::NRedAnd: A[in.dst] = A[in.a] == in.mask; break;
+          case Op::NRedXor:
+            A[in.dst] =
+                static_cast<unsigned>(__builtin_popcountll(A[in.a])) & 1u;
+            break;
+          case Op::NMemRead: {
+            const MemState &m = mems[in.lo];
+            A[in.dst] = m.words[A[in.a] % m.depth];
+            break;
+          }
+          case Op::WAdd: lo::add(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WSub: lo::sub(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WMul: lo::mul(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WAnd: lo::bitAnd(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WOr: lo::bitOr(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WXor: lo::bitXor(A + in.dst, A + in.a, A + in.b, in.width); break;
+          case Op::WNot: lo::bitNot(A + in.dst, A + in.a, in.width); break;
+          case Op::WShl:
+            lo::shl(A + in.dst, A + in.a, shiftAmount(in, A), in.width);
+            break;
+          case Op::WLshr:
+            lo::lshr(A + in.dst, A + in.a, shiftAmount(in, A), in.width);
+            break;
+          case Op::WEq:
+            A[in.dst] = lo::eq(A + in.a, A + in.b, in.aw);
+            break;
+          case Op::WUlt:
+            A[in.dst] = lo::ult(A + in.a, A + in.b, in.aw);
+            break;
+          case Op::WSlt:
+            A[in.dst] = lo::slt(A + in.a, A + in.b, in.aw);
+            break;
+          case Op::WMux: {
+            const uint64_t *src = A[in.a] ? A + in.b : A + in.c;
+            lo::copy(A + in.dst, src, lo::nlimbs(in.width));
+            break;
+          }
+          case Op::WSlice:
+            lo::slice(A + in.dst, A + in.a, in.aw, in.lo, in.width);
+            break;
+          case Op::WConcat:
+            lo::concat(A + in.dst, A + in.a, A + in.b, in.aw, in.bw);
+            break;
+          case Op::WZExt:
+            lo::zext(A + in.dst, A + in.a, in.width, in.aw);
+            break;
+          case Op::WSExt:
+            lo::sext(A + in.dst, A + in.a, in.width, in.aw);
+            break;
+          case Op::WRedOr:
+            A[in.dst] = lo::reduceOr(A + in.a, in.aw);
+            break;
+          case Op::WRedAnd:
+            A[in.dst] = lo::reduceAnd(A + in.a, in.aw);
+            break;
+          case Op::WRedXor:
+            A[in.dst] = lo::reduceXor(A + in.a, in.aw);
+            break;
+          case Op::WMemRead: {
+            const MemState &m = mems[in.lo];
+            uint64_t addr = A[in.a] % m.depth;
+            lo::copy(A + in.dst, &m.words[addr * m.wordLimbs],
+                     m.wordLimbs);
+            break;
+          }
+        }
+    }
+}
+
+} // namespace manticore::netlist::tape

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The flat op tape shared by both compiled netlist engines.
+ *
+ * A tape is an array of POD instructions, one per combinational node,
+ * whose operands are limb offsets into a single uint64_t arena.  The
+ * serial CompiledEvaluator lowers the whole netlist into one tape;
+ * the ParallelCompiledEvaluator lowers one tape per partition, all
+ * addressing disjoint regions of one shared arena.  Lowering
+ * (`lower`) and execution (`run`) live here so the two engines cannot
+ * drift apart semantically.
+ *
+ * Nodes of width <= 64 use specialised single-limb opcodes (no loops,
+ * no function calls); wider nodes run the span kernels from
+ * support/limbops.hh.
+ */
+
+#ifndef MANTICORE_NETLIST_TAPE_HH
+#define MANTICORE_NETLIST_TAPE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netlist/evaluator.hh"
+#include "netlist/netlist.hh"
+
+namespace manticore::netlist::tape {
+
+/** Tape opcodes: N* = single-limb fast path, W* = span kernels. */
+enum class Op : uint8_t
+{
+    NAdd, NSub, NMul, NAnd, NOr, NXor, NNot,
+    NShl, NLshr, NEq, NUlt, NSlt, NMux,
+    NSlice, NConcat, NZExt, NSExt,
+    NRedOr, NRedAnd, NRedXor, NMemRead,
+    WAdd, WSub, WMul, WAnd, WOr, WXor, WNot,
+    WShl, WLshr, WEq, WUlt, WSlt, WMux,
+    WSlice, WConcat, WZExt, WSExt,
+    WRedOr, WRedAnd, WRedXor, WMemRead,
+};
+
+/** One tape instruction.  dst/a/b/c are limb offsets into the
+ *  arena; widths are bit widths; lo doubles as the slice low bit
+ *  and the memory id for MemRead; mask is the result mask for
+ *  narrow ops (the operand mask for narrow reductions). */
+struct Instr
+{
+    Op op;
+    uint32_t dst = 0;
+    uint32_t a = 0, b = 0, c = 0;
+    uint32_t width = 0;
+    uint32_t aw = 0, bw = 0;
+    uint32_t lo = 0;
+    uint64_t mask = 0;
+};
+
+/** Dense limb-array image of one netlist memory. */
+struct MemState
+{
+    unsigned width = 0;
+    unsigned wordLimbs = 0;
+    uint64_t depth = 0;
+    std::vector<uint64_t> words; ///< depth * wordLimbs limbs
+
+    /** Materialise the word at addr (must be < depth). */
+    BitVector value(uint64_t addr) const;
+};
+
+/** Materialise a BitVector from an arena slot. */
+BitVector readSlot(const uint64_t *slot, unsigned width);
+
+/** Build the MemState images (init values applied) for a netlist. */
+std::vector<MemState> buildMemStates(const Netlist &netlist);
+
+/** Lower one combinational node to a tape instruction.  The caller
+ *  resolves operand slots (dst, a, b, c) — that is the only part
+ *  that differs between the serial arena layout and the parallel
+ *  per-partition layout.  `id` must not be a source node
+ *  (Const/Input/RegRead). */
+Instr lower(const Netlist &netlist, NodeId id, uint32_t dst, uint32_t a,
+            uint32_t b, uint32_t c, const std::vector<MemState> &mems);
+
+/** Execute a tape against arena base pointer A.  Reads memory words
+ *  but never writes them (memory commits are the engines' job). */
+void run(const Instr *instrs, size_t count, uint64_t *A,
+         const MemState *mems);
+
+inline void
+run(const std::vector<Instr> &tape, uint64_t *A,
+    const std::vector<MemState> &mems)
+{
+    run(tape.data(), tape.size(), A, mems.data());
+}
+
+/** The netlist's side effects with node slots pre-resolved, shared by
+ *  both compiled engines so the firing order and failure-message
+ *  format cannot drift between them (the differential tests compare
+ *  both verbatim). */
+struct Effects
+{
+    struct EffAssert
+    {
+        uint32_t enable, cond; ///< slots (1-bit each)
+        std::string message;
+    };
+
+    struct EffDisplay
+    {
+        uint32_t enable; ///< slot
+        std::string format;
+        std::vector<uint32_t> argSlots;
+        std::vector<uint32_t> argWidths;
+    };
+
+    std::vector<EffAssert> asserts;
+    std::vector<EffDisplay> displays;
+    std::vector<uint32_t> finishes; ///< enable slots
+
+    /** Collect the netlist's asserts/displays/finishes, resolving
+     *  node ids to arena slots through `slot`. */
+    static Effects compile(const Netlist &netlist,
+                           const std::function<uint32_t(NodeId)> &slot);
+
+    /** Fire against this cycle's values, reproducing the reference
+     *  evaluator's order: asserts first — a failure sets status and
+     *  the failure message and returns false, telling the caller to
+     *  suppress displays, $finish and the commit — then displays
+     *  (appended to `log` and passed to `on_display` if set), then
+     *  $finish (sets `finished`). */
+    bool fire(const uint64_t *A, uint64_t cycle, SimStatus &status,
+              std::string &failure_message,
+              std::vector<std::string> &log,
+              const std::function<void(const std::string &)> &on_display,
+              bool &finished) const;
+};
+
+} // namespace manticore::netlist::tape
+
+#endif // MANTICORE_NETLIST_TAPE_HH

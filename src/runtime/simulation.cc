@@ -1,6 +1,37 @@
 #include "runtime/simulation.hh"
 
+#include "runtime/waveform.hh"
+#include "support/logging.hh"
+
 namespace manticore::runtime {
+
+namespace {
+
+const char *
+runStatusName(isa::RunStatus status)
+{
+    switch (status) {
+      case isa::RunStatus::Running: return "running";
+      case isa::RunStatus::Finished: return "finished";
+      case isa::RunStatus::Failed: return "failed";
+    }
+    return "?";
+}
+
+/** The machine status a golden evaluator status corresponds to. */
+isa::RunStatus
+expectedMachineStatus(netlist::SimStatus status)
+{
+    switch (status) {
+      case netlist::SimStatus::Ok: return isa::RunStatus::Running;
+      case netlist::SimStatus::Finished: return isa::RunStatus::Finished;
+      case netlist::SimStatus::AssertFailed:
+        return isa::RunStatus::Failed;
+    }
+    return isa::RunStatus::Failed;
+}
+
+} // namespace
 
 Simulation::Simulation(const netlist::Netlist &netlist,
                        const compiler::CompileOptions &options)
@@ -14,10 +45,85 @@ Simulation::Simulation(const netlist::Netlist &netlist,
     _host->attach(*_machine);
 }
 
+Simulation::Simulation(const netlist::Netlist &netlist,
+                       const compiler::CompileOptions &options,
+                       netlist::EvalMode golden_mode,
+                       const netlist::EvalOptions &golden_options)
+    : Simulation(netlist, options)
+{
+    _netlist = netlist;
+    _goldenMode = golden_mode;
+    _goldenOptions = golden_options;
+}
+
 isa::RunStatus
 Simulation::run(uint64_t max_vcycles)
 {
     return _machine->run(max_vcycles);
+}
+
+isa::RunStatus
+Simulation::runCrossChecked(uint64_t max_vcycles)
+{
+    MANTICORE_ASSERT(_netlist.has_value(),
+                     "runCrossChecked requires constructing Simulation "
+                     "with a golden EvalMode");
+    if (!_golden)
+        _golden = netlist::makeEvaluator(*_netlist, _goldenMode,
+                                         _goldenOptions);
+    // The machine may have advanced via run() — before this call or
+    // between cross-checked calls.  The designs are closed
+    // (self-driving), so stepping the golden model up to the
+    // machine's Vcycle keeps the lockstep honest instead of
+    // reporting a phantom divergence.
+    while (_golden->cycle() < vcycles() &&
+           _golden->status() == netlist::SimStatus::Ok)
+        _golden->step();
+    for (uint64_t v = 0; v < max_vcycles; ++v) {
+        if (_machine->status() != isa::RunStatus::Running)
+            return _machine->status();
+        isa::RunStatus st = _machine->runVcycle();
+        netlist::SimStatus gst = _golden->step();
+
+        // Status agreement first: on a terminal cycle the engines'
+        // commit timing differs by design (the golden model skips the
+        // commit after a failed assert), so register comparison is
+        // only meaningful while both agree the run continues.
+        if (st != expectedMachineStatus(gst)) {
+            _divergence = "vcycle " + std::to_string(vcycles()) +
+                          ": machine status " + runStatusName(st) +
+                          " vs " + netlist::evalModeName(_goldenMode) +
+                          " evaluator status " +
+                          runStatusName(expectedMachineStatus(gst)) +
+                          (gst == netlist::SimStatus::AssertFailed
+                               ? " (" + _golden->failureMessage() + ")"
+                               : "");
+            return isa::RunStatus::Failed;
+        }
+        if (st != isa::RunStatus::Running)
+            return st;
+
+        for (size_t r = 0; r < _netlist->numRegisters(); ++r) {
+            const netlist::Register &reg =
+                _netlist->reg(static_cast<uint32_t>(r));
+            BitVector hw = readMachineRegister(
+                *_machine, _compiled.regChunkHome[r], reg.width);
+            BitVector gold =
+                _golden->regValue(static_cast<uint32_t>(r));
+            if (hw != gold) {
+                _divergence =
+                    "vcycle " + std::to_string(vcycles()) +
+                    ": register " +
+                    (reg.name.empty() ? "#" + std::to_string(r)
+                                      : reg.name) +
+                    ": machine " + hw.toString() + " vs " +
+                    netlist::evalModeName(_goldenMode) + " evaluator " +
+                    gold.toString();
+                return isa::RunStatus::Failed;
+            }
+        }
+    }
+    return _machine->status();
 }
 
 double

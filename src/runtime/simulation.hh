@@ -6,15 +6,24 @@
  * run / rate / log accessors.  This is the entry point the examples
  * and benchmarks use — the "three lines to simulate your design"
  * experience of the README quickstart.
+ *
+ * runCrossChecked() additionally locksteps the machine against a
+ * golden-model netlist evaluator.  The engine is selectable via
+ * EvalMode (reference / compiled / parallel) instead of hard-coding
+ * the reference evaluator, so long cross-checked runs can use the
+ * fast engines (see README.md §engines).
  */
 
 #ifndef MANTICORE_RUNTIME_SIMULATION_HH
 #define MANTICORE_RUNTIME_SIMULATION_HH
 
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "compiler/compiler.hh"
 #include "machine/machine.hh"
+#include "netlist/evaluator.hh"
 #include "netlist/netlist.hh"
 #include "runtime/host.hh"
 
@@ -23,11 +32,37 @@ namespace manticore::runtime {
 class Simulation
 {
   public:
+    /** Plain simulation: no golden model is kept, so the netlist is
+     *  not copied. */
     Simulation(const netlist::Netlist &netlist,
                const compiler::CompileOptions &options = {});
 
+    /** Cross-checkable simulation: keeps a copy of the netlist and
+     *  builds a golden-model evaluator of the given mode lazily on
+     *  the first runCrossChecked call.
+     *  @param golden_options engine options (thread count / merge
+     *  algorithm for EvalMode::Parallel). */
+    Simulation(const netlist::Netlist &netlist,
+               const compiler::CompileOptions &options,
+               netlist::EvalMode golden_mode,
+               const netlist::EvalOptions &golden_options = {});
+
     /** Simulate up to max_vcycles RTL cycles. */
     isa::RunStatus run(uint64_t max_vcycles);
+
+    /** Simulate up to max_vcycles RTL cycles with the machine and the
+     *  golden-model evaluator in lockstep, comparing engine status
+     *  and every RTL register at each Vcycle boundary.  Returns
+     *  Failed (with divergence() set) at the first mismatch.
+     *  Requires construction with a golden EvalMode. */
+    isa::RunStatus runCrossChecked(uint64_t max_vcycles);
+
+    /** Description of the first cross-check mismatch; empty if none. */
+    const std::string &divergence() const { return _divergence; }
+
+    /** Engine configured for cross-checks; meaningless (Reference)
+     *  when constructed without one. */
+    netlist::EvalMode goldenMode() const { return _goldenMode; }
 
     isa::RunStatus status() const { return _machine->status(); }
     uint64_t vcycles() const { return _machine->perf().vcycles; }
@@ -48,10 +83,17 @@ class Simulation
     }
 
   private:
+    /// Netlist copy for golden-model construction; engaged only by
+    /// the cross-checkable constructor.
+    std::optional<netlist::Netlist> _netlist;
     compiler::CompileResult _compiled;
     isa::MachineConfig _config;
+    netlist::EvalMode _goldenMode = netlist::EvalMode::Reference;
+    netlist::EvalOptions _goldenOptions;
     std::unique_ptr<machine::Machine> _machine;
     std::unique_ptr<Host> _host;
+    std::unique_ptr<netlist::EvaluatorBase> _golden;
+    std::string _divergence;
 };
 
 } // namespace manticore::runtime

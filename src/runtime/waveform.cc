@@ -33,10 +33,11 @@ WaveformRecorder::WaveformRecorder(const netlist::Netlist &netlist)
 }
 
 BitVector
-WaveformRecorder::read(const machine::Machine &machine, size_t reg) const
+readMachineRegister(const machine::Machine &machine,
+                    const std::vector<compiler::RegChunkHome> &homes,
+                    unsigned width)
 {
-    BitVector value(_widths[reg]);
-    const auto &homes = _homes[reg];
+    BitVector value(width);
     for (size_t c = 0; c < homes.size(); ++c) {
         uint16_t word = machine.regValue(homes[c].process, homes[c].reg);
         for (unsigned b = 0; b < 16; ++b) {
@@ -46,6 +47,12 @@ WaveformRecorder::read(const machine::Machine &machine, size_t reg) const
         }
     }
     return value;
+}
+
+BitVector
+WaveformRecorder::read(const machine::Machine &machine, size_t reg) const
+{
+    return readMachineRegister(machine, _homes[reg], _widths[reg]);
 }
 
 void

@@ -22,6 +22,13 @@
 
 namespace manticore::runtime {
 
+/** Reassemble one RTL register's current value from its machine
+ *  chunk homes (the compiler's observation map) — shared by the
+ *  waveform recorder and Simulation's golden-model cross-check. */
+BitVector readMachineRegister(
+    const machine::Machine &machine,
+    const std::vector<compiler::RegChunkHome> &homes, unsigned width);
+
 class WaveformRecorder
 {
   public:

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Partition-merge strategy selector, shared by the ISA-level
+ * partitioner (compiler/partition.hh) and the netlist-level
+ * partitioner behind the parallel evaluator (netlist/partition.hh).
+ * Both implement the same pair of §6.1 strategies, so harnesses sweep
+ * one enum across both layers.
+ */
+
+#ifndef MANTICORE_SUPPORT_MERGEALGO_HH
+#define MANTICORE_SUPPORT_MERGEALGO_HH
+
+namespace manticore {
+
+enum class MergeAlgo
+{
+    Balanced, ///< communication-aware balanced merging (B)
+    Lpt,      ///< longest-processing-time-first bin packing (L)
+};
+
+inline const char *
+mergeAlgoName(MergeAlgo algo)
+{
+    return algo == MergeAlgo::Balanced ? "balanced" : "lpt";
+}
+
+} // namespace manticore
+
+#endif // MANTICORE_SUPPORT_MERGEALGO_HH

@@ -1,23 +1,23 @@
 /**
  * @file
  * Differential tests for the compiled tape evaluator: randomized
- * netlists covering every OpKind, widths 1..200, memories, asserts,
- * displays and $finish, run through both the reference Evaluator and
- * the CompiledEvaluator with identical input stimulus, asserting
- * identical register / memory / display / status state every cycle.
- * Plus directed tests for the commit-ordering corner cases the arena
- * layout introduces (register storage doubling as RegRead slots).
+ * netlists (tests/random_circuit.hh) covering every OpKind, widths
+ * 1..200, memories, asserts, displays and $finish, run through both
+ * the reference Evaluator and the CompiledEvaluator with identical
+ * input stimulus, asserting identical register / memory / display /
+ * status state every cycle.  Plus directed tests for the
+ * commit-ordering corner cases the arena layout introduces (register
+ * storage doubling as RegRead slots).
  */
 
 #include <gtest/gtest.h>
 
-#include <map>
 #include <vector>
 
 #include "netlist/builder.hh"
 #include "netlist/compiled_evaluator.hh"
 #include "netlist/evaluator.hh"
-#include "support/rng.hh"
+#include "random_circuit.hh"
 
 using namespace manticore;
 using netlist::CompiledEvaluator;
@@ -29,261 +29,10 @@ using netlist::NodeId;
 using netlist::OpKind;
 using netlist::RegId;
 using netlist::SimStatus;
+using manticore::testing::RandomCircuit;
+using manticore::testing::randomValue;
 
 namespace {
-
-constexpr unsigned kMaxWidth = 200;
-
-BitVector
-randomValue(Rng &rng, unsigned width)
-{
-    std::vector<uint64_t> limbs((width + 63) / 64);
-    for (auto &l : limbs)
-        l = rng.next();
-    return BitVector::fromLimbs(width, limbs);
-}
-
-/** Grows a random but always-valid netlist over all OpKinds. */
-class RandomCircuit
-{
-  public:
-    explicit RandomCircuit(uint64_t seed) : _rng(seed), _netlist("rnd") {}
-
-    Netlist
-    build()
-    {
-        // Inputs, registers, memories first so the op soup can use them.
-        unsigned num_inputs = 2 + _rng.below(3);
-        for (unsigned i = 0; i < num_inputs; ++i) {
-            Node n;
-            n.kind = OpKind::Input;
-            n.width = randomWidth();
-            n.name = "in" + std::to_string(i);
-            _inputWidths.push_back(n.width);
-            record(_netlist.addNode(std::move(n)));
-        }
-        unsigned num_regs = 3 + _rng.below(4);
-        for (unsigned r = 0; r < num_regs; ++r) {
-            netlist::Register reg;
-            reg.name = "r" + std::to_string(r);
-            reg.width = randomWidth();
-            reg.init = randomValue(_rng, reg.width);
-            RegId id = _netlist.addRegister(std::move(reg));
-            _regs.push_back(id);
-            record(_netlist.reg(id).current);
-        }
-        unsigned num_mems = 1 + _rng.below(2);
-        for (unsigned m = 0; m < num_mems; ++m) {
-            netlist::Memory mem;
-            mem.name = "m" + std::to_string(m);
-            mem.width = randomWidth();
-            mem.depth = 4 + static_cast<unsigned>(_rng.below(13));
-            for (unsigned a = 0; a < mem.depth; ++a)
-                mem.init.push_back(randomValue(_rng, mem.width));
-            _mems.push_back(_netlist.addMemory(std::move(mem)));
-        }
-
-        unsigned num_ops = 40 + _rng.below(40);
-        for (unsigned i = 0; i < num_ops; ++i)
-            addRandomOp();
-
-        for (RegId r : _regs)
-            _netlist.connectNext(r, ofWidth(_netlist.reg(r).width));
-
-        unsigned num_writes = 1 + _rng.below(3);
-        for (unsigned i = 0; i < num_writes; ++i) {
-            netlist::MemWrite w;
-            w.mem = _mems[_rng.below(_mems.size())];
-            w.addr = any();
-            w.data = ofWidth(_netlist.memory(w.mem).width);
-            w.enable = ofWidth(1);
-            _netlist.addMemWrite(w);
-        }
-
-        unsigned num_displays = 1 + _rng.below(2);
-        for (unsigned i = 0; i < num_displays; ++i) {
-            netlist::Display d;
-            d.enable = ofWidth(1);
-            d.format = "a=%d b=%x";
-            d.args = {any(), any()};
-            _netlist.addDisplay(std::move(d));
-        }
-
-        if (_rng.chance(0.5)) {
-            netlist::Assert a;
-            a.enable = ofWidth(1);
-            a.cond = ofWidth(1);
-            a.message = "random assertion";
-            _netlist.addAssert(std::move(a));
-        }
-        if (_rng.chance(0.5)) {
-            netlist::Finish f;
-            f.enable = ofWidth(1);
-            _netlist.addFinish(f);
-        }
-
-        _netlist.validate();
-        return std::move(_netlist);
-    }
-
-    const std::vector<unsigned> &inputWidths() const
-    {
-        return _inputWidths;
-    }
-
-  private:
-    unsigned
-    randomWidth()
-    {
-        // Bias towards the interesting boundaries around 64.
-        switch (_rng.below(4)) {
-          case 0: return 1 + static_cast<unsigned>(_rng.below(16));
-          case 1: return 60 + static_cast<unsigned>(_rng.below(10));
-          default:
-            return 1 + static_cast<unsigned>(_rng.below(kMaxWidth));
-        }
-    }
-
-    void
-    record(NodeId id)
-    {
-        _pool.push_back(id);
-        _byWidth[_netlist.node(id).width].push_back(id);
-    }
-
-    NodeId any() { return _pool[_rng.below(_pool.size())]; }
-
-    /** A node of exactly width w (materialising a constant if the
-     *  pool has none). */
-    NodeId
-    ofWidth(unsigned w)
-    {
-        auto it = _byWidth.find(w);
-        if (it != _byWidth.end() && !it->second.empty() &&
-            !_rng.chance(0.1))
-            return it->second[_rng.below(it->second.size())];
-        Node c;
-        c.kind = OpKind::Const;
-        c.width = w;
-        c.value = randomValue(_rng, w);
-        NodeId id = _netlist.addNode(std::move(c));
-        record(id);
-        return id;
-    }
-
-    void
-    addRandomOp()
-    {
-        static const OpKind kinds[] = {
-            OpKind::Const, OpKind::MemRead, OpKind::Add, OpKind::Sub,
-            OpKind::Mul, OpKind::And, OpKind::Or, OpKind::Xor,
-            OpKind::Not, OpKind::Shl, OpKind::Lshr, OpKind::Eq,
-            OpKind::Ult, OpKind::Slt, OpKind::Mux, OpKind::Slice,
-            OpKind::Concat, OpKind::ZExt, OpKind::SExt, OpKind::RedOr,
-            OpKind::RedAnd, OpKind::RedXor,
-        };
-        OpKind kind = kinds[_rng.below(sizeof(kinds) / sizeof(kinds[0]))];
-        Node n;
-        n.kind = kind;
-        switch (kind) {
-          case OpKind::Const:
-            n.width = randomWidth();
-            n.value = randomValue(_rng, n.width);
-            break;
-          case OpKind::MemRead: {
-            n.memId = _mems[_rng.below(_mems.size())];
-            n.width = _netlist.memory(n.memId).width;
-            n.operands = {any()};
-            break;
-          }
-          case OpKind::Add:
-          case OpKind::Sub:
-          case OpKind::Mul:
-          case OpKind::And:
-          case OpKind::Or:
-          case OpKind::Xor: {
-            NodeId a = any();
-            n.width = _netlist.node(a).width;
-            n.operands = {a, ofWidth(n.width)};
-            break;
-          }
-          case OpKind::Not: {
-            NodeId a = any();
-            n.width = _netlist.node(a).width;
-            n.operands = {a};
-            break;
-          }
-          case OpKind::Shl:
-          case OpKind::Lshr: {
-            NodeId a = any();
-            n.width = _netlist.node(a).width;
-            n.operands = {a, any()};
-            break;
-          }
-          case OpKind::Eq:
-          case OpKind::Ult:
-          case OpKind::Slt: {
-            NodeId a = any();
-            n.width = 1;
-            n.operands = {a, ofWidth(_netlist.node(a).width)};
-            break;
-          }
-          case OpKind::Mux: {
-            NodeId t = any();
-            n.width = _netlist.node(t).width;
-            n.operands = {ofWidth(1), t, ofWidth(n.width)};
-            break;
-          }
-          case OpKind::Slice: {
-            NodeId a = any();
-            unsigned aw = _netlist.node(a).width;
-            unsigned len = 1 + static_cast<unsigned>(_rng.below(aw));
-            n.width = len;
-            n.lo = static_cast<unsigned>(_rng.below(aw - len + 1));
-            n.operands = {a};
-            break;
-          }
-          case OpKind::Concat: {
-            NodeId a = any();
-            NodeId b = any();
-            unsigned w =
-                _netlist.node(a).width + _netlist.node(b).width;
-            if (w > 250)
-                return; // keep the soup bounded
-            n.width = w;
-            n.operands = {a, b};
-            break;
-          }
-          case OpKind::ZExt:
-          case OpKind::SExt: {
-            NodeId a = any();
-            unsigned aw = _netlist.node(a).width;
-            n.width = aw + static_cast<unsigned>(_rng.below(66));
-            if (n.width > 250)
-                n.width = 250;
-            n.operands = {a};
-            break;
-          }
-          case OpKind::RedOr:
-          case OpKind::RedAnd:
-          case OpKind::RedXor:
-            n.width = 1;
-            n.operands = {any()};
-            break;
-          default:
-            return;
-        }
-        record(_netlist.addNode(std::move(n)));
-    }
-
-    Rng _rng;
-    Netlist _netlist;
-    std::vector<NodeId> _pool;
-    std::map<unsigned, std::vector<NodeId>> _byWidth;
-    std::vector<RegId> _regs;
-    std::vector<MemId> _mems;
-    std::vector<unsigned> _inputWidths;
-};
 
 /** Step both evaluators in lockstep, checking full architectural
  *  state every cycle. */

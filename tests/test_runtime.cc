@@ -100,6 +100,74 @@ TEST(Runtime, EncodedProgramRunsIdentically)
     EXPECT_EQ(dhost.displayLog(), rhost.displayLog());
 }
 
+TEST(Runtime, CrossCheckPassesWithEveryGoldenEngine)
+{
+    // The golden-model engine behind Simulation's lockstep
+    // cross-check is a knob, not hard-coded to the reference
+    // evaluator: all three engines must agree with the machine.
+    compiler::CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 3;
+    for (netlist::EvalMode mode :
+         {netlist::EvalMode::Reference, netlist::EvalMode::Compiled,
+          netlist::EvalMode::Parallel}) {
+        netlist::EvalOptions eopts;
+        eopts.numThreads = 2;
+        runtime::Simulation sim(designs::buildBlur(128), opts, mode,
+                                eopts);
+        EXPECT_EQ(sim.goldenMode(), mode);
+        EXPECT_EQ(sim.runCrossChecked(64), isa::RunStatus::Running)
+            << sim.divergence();
+        EXPECT_TRUE(sim.divergence().empty()) << sim.divergence();
+        EXPECT_EQ(sim.vcycles(), 64u);
+    }
+}
+
+TEST(Runtime, CrossCheckRunsToFinish)
+{
+    compiler::CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 2;
+    runtime::Simulation sim(wideDisplayDesign(), opts,
+                            netlist::EvalMode::Parallel, {2});
+    EXPECT_EQ(sim.runCrossChecked(100), isa::RunStatus::Finished)
+        << sim.divergence();
+    EXPECT_TRUE(sim.divergence().empty());
+}
+
+TEST(Runtime, CrossCheckResyncsAfterPlainRun)
+{
+    // Plain run() segments advance only the machine; the golden model
+    // must catch up instead of reporting a phantom divergence.
+    compiler::CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 3;
+    runtime::Simulation sim(designs::buildBlur(128), opts,
+                            netlist::EvalMode::Compiled);
+    EXPECT_EQ(sim.runCrossChecked(8), isa::RunStatus::Running);
+    EXPECT_EQ(sim.run(8), isa::RunStatus::Running);
+    EXPECT_EQ(sim.runCrossChecked(8), isa::RunStatus::Running)
+        << sim.divergence();
+    EXPECT_TRUE(sim.divergence().empty()) << sim.divergence();
+    EXPECT_EQ(sim.vcycles(), 24u);
+}
+
+TEST(Runtime, CrossCheckAgreesOnAssertFailure)
+{
+    // Both engines fail the same assertion: that is agreement (empty
+    // divergence), not a cross-check mismatch.
+    netlist::CircuitBuilder b("failing");
+    auto c = b.reg("c", 16);
+    b.next(c, c.read() + b.lit(16, 1));
+    b.assertAlways(b.lit(1, 1), c.read() < b.lit(16, 4),
+                   "counter escaped");
+    compiler::CompileOptions opts;
+    opts.config.gridX = opts.config.gridY = 1;
+    runtime::Simulation sim(b.build(), opts,
+                            netlist::EvalMode::Compiled);
+    EXPECT_EQ(sim.runCrossChecked(100), isa::RunStatus::Failed);
+    EXPECT_TRUE(sim.divergence().empty()) << sim.divergence();
+    EXPECT_NE(sim.host().failureMessage().find("counter escaped"),
+              std::string::npos);
+}
+
 TEST(Runtime, SimulationExposesCompileAndPerf)
 {
     compiler::CompileOptions opts;
