@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reference vs flat-tape functional ISA interpretation rate on the
+ * compiled Fig. 6 benchmark programs.  The reference Interpreter walks
+ * the scheduled Instruction structs — including every NOP hazard slot
+ * the scheduler inserted — and re-decodes operands each time; the
+ * TapeInterpreter runs the same program as a pre-decoded, NOP-elided,
+ * run-batched op tape over one flat register array.  The measured ratio
+ * is the cost of that re-decoding + padding, and the row is appended
+ * to BENCH_interpreter_tape.json so the perf trajectory is tracked.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "compiler/compiler.hh"
+#include "isa/tape_interpreter.hh"
+#include "runtime/host.hh"
+
+using namespace manticore;
+
+namespace {
+
+double
+measure(isa::InterpreterBase &interp, runtime::Host &host,
+        uint64_t horizon, uint64_t chunk)
+{
+    host.onDisplay = nullptr;
+    return bench::measureRateKhz(
+        [&](uint64_t n) {
+            return interp.run(n) == isa::RunStatus::Running;
+        },
+        horizon - 8, 0.2, chunk);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printEnvironment(
+        "Flat-tape vs reference functional ISA interpreter "
+        "(compiled Fig. 6 designs, 6x6 grid)");
+
+    std::printf("%8s  %10s  %10s  %9s  %9s  %9s  %7s\n", "bench",
+                "ref kHz", "tape kHz", "speedup", "body ops", "tape ops",
+                "runs");
+
+    FILE *json = std::fopen("BENCH_interpreter_tape.json", "w");
+    if (json)
+        std::fprintf(json,
+                     "{\n  \"experiment\": \"interpreter_tape\",\n"
+                     "  \"rows\": [\n");
+
+    std::vector<double> speedups;
+    bool first = true;
+    for (const designs::Benchmark &bm : designs::allBenchmarks()) {
+        uint64_t horizon = bench::measureHorizon(bm.name);
+        netlist::Netlist nl = bm.build(horizon);
+
+        compiler::CompileOptions opts;
+        opts.config.gridX = opts.config.gridY = 6;
+        compiler::CompileResult cr = compiler::compile(nl, opts);
+        size_t body_slots = 0;
+        for (const auto &proc : cr.program.processes)
+            body_slots += proc.body.size();
+
+        isa::Interpreter ref(cr.program, opts.config);
+        runtime::Host ref_host(cr.program, ref.globalMemory());
+        ref_host.attach(ref);
+        double ref_khz = measure(ref, ref_host, horizon, 64);
+
+        isa::TapeInterpreter tape(cr.program, opts.config);
+        runtime::Host tape_host(cr.program, tape.globalMemory());
+        tape_host.attach(tape);
+        double tape_khz = measure(tape, tape_host, horizon, 256);
+
+        double speedup = ref_khz > 0 ? tape_khz / ref_khz : 0.0;
+        speedups.push_back(speedup);
+        std::printf("%8s  %10.1f  %10.1f  %8.2fx  %9zu  %9zu  %7zu\n",
+                    bm.name.c_str(), ref_khz, tape_khz, speedup,
+                    body_slots, tape.tapeLength(), tape.dispatches());
+        if (json) {
+            std::fprintf(json,
+                         "%s    {\"design\": \"%s\", "
+                         "\"reference_khz\": %.2f, "
+                         "\"tape_khz\": %.2f, "
+                         "\"speedup\": %.2f, "
+                         "\"body_slots\": %zu, "
+                         "\"tape_ops\": %zu, "
+                         "\"nops_elided\": %zu, "
+                         "\"dispatch_runs\": %zu}",
+                         first ? "" : ",\n", bm.name.c_str(), ref_khz,
+                         tape_khz, speedup, body_slots,
+                         tape.tapeLength(), tape.nopsElided(),
+                         tape.dispatches());
+            first = false;
+        }
+    }
+
+    double gm = bench::geomean(speedups);
+    std::printf("\ngeomean speedup: %.2fx\n", gm);
+    if (json) {
+        std::fprintf(json,
+                     "\n  ],\n  \"geomean_speedup\": %.2f\n}\n", gm);
+        std::fclose(json);
+        std::printf("wrote BENCH_interpreter_tape.json\n");
+    }
+    return 0;
+}

@@ -7,9 +7,11 @@
  * current value — the hook behind host-side debugging and the
  * out-of-band waveform collection the paper sketches as future work
  * (§8).  This example runs the cycle-level machine in lockstep with
- * the reference netlist evaluator on the rv32r design, cross-checks a
- * watched register every cycle, and prints a small "waveform" of one
- * MiniRV core's pc.
+ * BOTH golden models — the compiled netlist evaluator and the
+ * flat-tape functional ISA interpreter (isa::makeInterpreter) — on
+ * the rv32r design, cross-checks a watched register every cycle
+ * against each, and prints a small "waveform" of one MiniRV core's
+ * pc.
  */
 
 #include <cstdio>
@@ -31,13 +33,20 @@ main()
     options.config.gridX = options.config.gridY = 6;
     compiler::CompileResult cr = compiler::compile(design, options);
 
-    // Golden model: the compiled tape evaluator (cycle-exact with the
-    // reference Evaluator, ~10x faster; swap the mode to compare).
+    // Golden model 1: the compiled tape evaluator (cycle-exact with
+    // the reference Evaluator, ~10x faster; swap the mode to compare).
     auto golden =
         netlist::makeEvaluator(design, netlist::EvalMode::Compiled);
+    // Golden model 2: the flat-tape ISA interpreter, running the same
+    // binary program as the machine (swap to ExecMode::Reference to
+    // compare the engines).
+    auto isa_golden = isa::makeInterpreter(cr.program, options.config,
+                                           isa::ExecMode::Tape);
     machine::Machine mach(cr.program, options.config);
     runtime::Host host(cr.program, mach.globalMemory());
     host.attach(mach);
+    runtime::Host isa_host(cr.program, isa_golden->globalMemory());
+    isa_host.attach(*isa_golden);
 
     // Find the watched register by name.
     int watched = -1;
@@ -53,26 +62,28 @@ main()
                 "(machine register $r%u)\n\n",
                 home.process, home.reg);
 
-    std::printf("cycle: pc3 waveform (machine == evaluator checked "
-                "every cycle)\n");
+    std::printf("cycle: pc3 waveform (machine == evaluator == ISA "
+                "interpreter checked every cycle)\n");
     for (int cycle = 0; cycle < 40; ++cycle) {
         golden->step();
+        isa_golden->stepVcycle();
         mach.runVcycle();
         uint16_t hw = mach.regValue(home.process, home.reg);
         uint16_t ref = static_cast<uint16_t>(
             golden->regValue(static_cast<uint32_t>(watched)).toUint64());
-        if (hw != ref) {
+        uint16_t tape = isa_golden->regValue(home.process, home.reg);
+        if (hw != ref || hw != tape) {
             std::printf("DIVERGENCE at cycle %d: machine %u vs "
-                        "evaluator %u\n",
-                        cycle, hw, ref);
+                        "evaluator %u vs ISA interpreter %u\n",
+                        cycle, hw, ref, tape);
             return 1;
         }
         if (cycle % 4 == 0)
             std::printf("%5d: pc=%2u %s\n", cycle, hw,
                         std::string(hw, '#').c_str());
     }
-    std::printf("\n40 cycles co-simulated, zero divergence across "
-                "%zu RTL registers' homes.\n",
+    std::printf("\n40 cycles co-simulated across three engines, zero "
+                "divergence across %zu RTL registers' homes.\n",
                 cr.regChunkHome.size());
     return 0;
 }

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The single source of truth for the ISA's architectural semantics,
+ * shared by every execution engine: the reference isa::Interpreter,
+ * the flat-tape isa::TapeInterpreter, and the cycle-level
+ * machine::Machine.  Each helper implements exactly one contract from
+ * §4.2/§5.1 of the paper (17-bit registers, carry/borrow chaining,
+ * predication, scratch wraparound, global-address formation), so an
+ * engine cannot drift from the others without editing this header —
+ * and the three-way differential suite (tests/test_interpreter_tape.cc)
+ * would catch it if it tried.
+ *
+ * Register images are 17-bit values packed in a uint32_t: the low 16
+ * bits hold the datapath value, bit 16 the carry/borrow flag written
+ * by ADD/SUB(B/C) and consumed by ADDC/SUBB.
+ */
+
+#ifndef MANTICORE_ISA_EXEC_SEMANTICS_HH
+#define MANTICORE_ISA_EXEC_SEMANTICS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace manticore::isa::exec {
+
+constexpr uint32_t kCarryBit = 1u << 16;
+
+/** 16-bit datapath value of a register image. */
+inline uint16_t
+value(uint32_t raw)
+{
+    return static_cast<uint16_t>(raw);
+}
+
+/** Carry flag of a register image, as a 0/1 addend. */
+inline uint32_t
+carryIn(uint32_t raw)
+{
+    return (raw & kCarryBit) ? 1u : 0u;
+}
+
+/** Pack a value and a carry flag into a register image. */
+inline uint32_t
+packCarry(uint16_t v, bool carry)
+{
+    return static_cast<uint32_t>(v) | (carry ? kCarryBit : 0u);
+}
+
+/** ADD / ADDC: 16-bit add with carry-in and carry-out (§5.1).
+ *  a + b + cin <= 0x1ffff, so the carry-out lands exactly on bit 16
+ *  of the sum — the sum already is the packed register image. */
+inline uint32_t
+addCarry(uint16_t a, uint16_t b, uint32_t cin)
+{
+    return static_cast<uint32_t>(a) + b + cin;
+}
+
+/** SUB / SUBB: 16-bit subtract with borrow-in and borrow-out. */
+inline uint32_t
+subBorrow(uint16_t a, uint16_t b, uint32_t bin)
+{
+    uint32_t sub = static_cast<uint32_t>(b) + bin;
+    return packCarry(static_cast<uint16_t>(a - sub), sub > a);
+}
+
+inline uint16_t
+mulLow(uint16_t a, uint16_t b)
+{
+    return static_cast<uint16_t>(static_cast<uint32_t>(a) * b);
+}
+
+inline uint16_t
+mulHigh(uint16_t a, uint16_t b)
+{
+    return static_cast<uint16_t>((static_cast<uint32_t>(a) * b) >> 16);
+}
+
+/** SLL / SRL: shift amounts >= 16 yield 0. */
+inline uint16_t
+shiftLeft(uint16_t v, unsigned amt)
+{
+    return amt >= 16 ? 0 : static_cast<uint16_t>(v << amt);
+}
+
+inline uint16_t
+shiftRight(uint16_t v, unsigned amt)
+{
+    return amt >= 16 ? 0 : static_cast<uint16_t>(v >> amt);
+}
+
+inline bool
+lessSigned(uint16_t a, uint16_t b)
+{
+    return static_cast<int16_t>(a) < static_cast<int16_t>(b);
+}
+
+/** SLICE: the mask for a field of `len` bits (len >= 16 keeps all). */
+inline uint16_t
+sliceMask(unsigned len)
+{
+    return len >= 16 ? 0xffff : static_cast<uint16_t>((1u << len) - 1);
+}
+
+inline uint16_t
+sliceExtract(uint16_t v, unsigned lo, uint16_t mask)
+{
+    return static_cast<uint16_t>((v >> lo) & mask);
+}
+
+/** PRED / MUX selector: only bit 0 of the register is consulted. */
+inline bool
+predicate(uint32_t raw)
+{
+    return raw & 1;
+}
+
+/** LLD / LST effective address: base + offset, wrapped to the
+ *  scratchpad size (the hardware address decoder ignores high bits).
+ *  Power-of-two sizes — every real configuration — take the mask
+ *  path instead of a hardware divide. */
+inline uint32_t
+scratchAddress(uint16_t base, uint16_t offset, uint32_t scratch_size)
+{
+    uint32_t sum = static_cast<uint32_t>(base) + offset;
+    return (scratch_size & (scratch_size - 1)) == 0
+               ? sum & (scratch_size - 1)
+               : sum % scratch_size;
+}
+
+/** GLD / GST effective address: {hi, lo} forms a 32-bit word address,
+ *  plus the instruction offset (§4.2). */
+inline uint64_t
+globalAddress(uint16_t lo, uint16_t hi, uint16_t offset)
+{
+    return (static_cast<uint64_t>(lo) |
+            (static_cast<uint64_t>(hi) << 16)) +
+           offset;
+}
+
+/** Exact per-process register-file sizes: the registers a process
+ *  itself initialises, reads, or writes, PLUS every register incoming
+ *  SENDs from other processes deliver into (a SEND's rd names a
+ *  register of the *target* process, applied in the Vcycle epilogue).
+ *  Sizing files from this up front is what lets the engines keep
+ *  dense, never-resized register files and assert instead of growing
+ *  mid-run. */
+inline std::vector<uint32_t>
+registerFileSizes(const Program &program)
+{
+    std::vector<uint32_t> sizes(program.processes.size(), 1);
+    auto grow = [&](size_t pid, Reg reg) {
+        if (reg != kNoReg)
+            sizes[pid] = std::max(sizes[pid], reg + 1);
+    };
+    for (size_t pid = 0; pid < program.processes.size(); ++pid) {
+        const Process &p = program.processes[pid];
+        for (const auto &[reg, v] : p.init)
+            grow(pid, reg);
+        for (const Instruction &inst : p.body) {
+            grow(pid, inst.destination());
+            for (Reg s : inst.sources())
+                grow(pid, s);
+            if (inst.opcode == Opcode::Send &&
+                inst.target < program.processes.size())
+                grow(inst.target, inst.rd);
+        }
+    }
+    return sizes;
+}
+
+} // namespace manticore::isa::exec
+
+#endif // MANTICORE_ISA_EXEC_SEMANTICS_HH

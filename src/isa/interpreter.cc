@@ -1,39 +1,25 @@
 #include "isa/interpreter.hh"
 
+#include "isa/exec_semantics.hh"
 #include "support/logging.hh"
 
 namespace manticore::isa {
 
-namespace {
-
-constexpr uint32_t kCarryBit = 1u << 16;
-
-uint16_t val(uint32_t r) { return static_cast<uint16_t>(r); }
-uint32_t carry(uint32_t r) { return (r & kCarryBit) ? 1 : 0; }
-
-} // namespace
+namespace ex = exec;
 
 Interpreter::Interpreter(const Program &program, const MachineConfig &config)
     : _program(program), _config(config)
 {
     validate(program, config);
+    // Exactly-sized register files: a process's own uses PLUS the
+    // registers incoming SENDs deliver into (a SEND's rd names a
+    // register of the *target* process).  regRef asserts instead of
+    // resizing, so an unsized register is a bug, not a silent grow.
+    std::vector<uint32_t> reg_sizes = ex::registerFileSizes(program);
     _procs.resize(program.processes.size());
     for (size_t i = 0; i < program.processes.size(); ++i) {
         const Process &p = program.processes[i];
-        Reg max_reg = 0;
-        for (const Instruction &inst : p.body) {
-            if (inst.destination() != kNoReg)
-                max_reg = std::max(max_reg, inst.destination());
-            for (Reg s : inst.sources())
-                max_reg = std::max(max_reg, s);
-            if (inst.opcode == Opcode::Send) {
-                // rd names a register in the *target* process; handled
-                // when the message is applied.
-            }
-        }
-        for (const auto &[reg, v] : p.init)
-            max_reg = std::max(max_reg, reg);
-        _procs[i].regs.assign(static_cast<size_t>(max_reg) + 1, 0);
+        _procs[i].regs.assign(reg_sizes[i], 0);
         for (const auto &[reg, v] : p.init)
             _procs[i].regs[reg] = v;
         _procs[i].scratch.assign(_config.scratchSize, 0);
@@ -48,8 +34,10 @@ uint32_t &
 Interpreter::regRef(uint32_t pid, Reg reg)
 {
     auto &regs = _procs[pid].regs;
-    if (reg >= regs.size())
-        regs.resize(reg + 1, 0);
+    MANTICORE_ASSERT(reg < regs.size(), "register $r", reg,
+                     " of process ", pid,
+                     " was not sized at boot (file has ", regs.size(),
+                     " entries) — registerFileSizes missed a writer");
     return regs[reg];
 }
 
@@ -57,14 +45,14 @@ uint16_t
 Interpreter::regValue(uint32_t pid, Reg reg) const
 {
     const auto &regs = _procs.at(pid).regs;
-    return reg < regs.size() ? val(regs[reg]) : 0;
+    return reg < regs.size() ? ex::value(regs[reg]) : 0;
 }
 
 bool
 Interpreter::regCarry(uint32_t pid, Reg reg) const
 {
     const auto &regs = _procs.at(pid).regs;
-    return reg < regs.size() && (regs[reg] & kCarryBit);
+    return reg < regs.size() && (regs[reg] & ex::kCarryBit);
 }
 
 uint16_t
@@ -87,9 +75,8 @@ Interpreter::executeProcess(uint32_t pid)
         auto rs = [&](Reg r) -> uint32_t {
             return r < st.regs.size() ? st.regs[r] : 0;
         };
-        auto wr = [&](uint16_t v, bool c = false) {
-            regRef(pid, inst.rd) = v | (c ? kCarryBit : 0);
-        };
+        auto rsv = [&](Reg r) -> uint16_t { return ex::value(rs(r)); };
+        auto wr = [&](uint32_t raw) { regRef(pid, inst.rd) = raw; };
         switch (inst.opcode) {
           case Opcode::Nop:
             break;
@@ -97,137 +84,104 @@ Interpreter::executeProcess(uint32_t pid)
             wr(inst.imm);
             break;
           case Opcode::Mov:
-            wr(val(rs(inst.rs1)));
+            wr(rsv(inst.rs1));
             break;
-          case Opcode::Add: {
-            uint32_t s = val(rs(inst.rs1)) + val(rs(inst.rs2));
-            wr(static_cast<uint16_t>(s), s > 0xffff);
+          case Opcode::Add:
+            wr(ex::addCarry(rsv(inst.rs1), rsv(inst.rs2), 0));
             break;
-          }
-          case Opcode::Addc: {
-            uint32_t s = val(rs(inst.rs1)) + val(rs(inst.rs2)) +
-                         carry(rs(inst.rs3));
-            wr(static_cast<uint16_t>(s), s > 0xffff);
+          case Opcode::Addc:
+            wr(ex::addCarry(rsv(inst.rs1), rsv(inst.rs2),
+                            ex::carryIn(rs(inst.rs3))));
             break;
-          }
-          case Opcode::Sub: {
-            uint32_t a = val(rs(inst.rs1));
-            uint32_t b = val(rs(inst.rs2));
-            wr(static_cast<uint16_t>(a - b), b > a);
+          case Opcode::Sub:
+            wr(ex::subBorrow(rsv(inst.rs1), rsv(inst.rs2), 0));
             break;
-          }
-          case Opcode::Subb: {
-            uint32_t a = val(rs(inst.rs1));
-            uint32_t b = val(rs(inst.rs2)) + carry(rs(inst.rs3));
-            wr(static_cast<uint16_t>(a - b), b > a);
+          case Opcode::Subb:
+            wr(ex::subBorrow(rsv(inst.rs1), rsv(inst.rs2),
+                             ex::carryIn(rs(inst.rs3))));
             break;
-          }
-          case Opcode::Mul: {
-            uint32_t m = static_cast<uint32_t>(val(rs(inst.rs1))) *
-                         val(rs(inst.rs2));
-            wr(static_cast<uint16_t>(m));
+          case Opcode::Mul:
+            wr(ex::mulLow(rsv(inst.rs1), rsv(inst.rs2)));
             break;
-          }
-          case Opcode::Mulh: {
-            uint32_t m = static_cast<uint32_t>(val(rs(inst.rs1))) *
-                         val(rs(inst.rs2));
-            wr(static_cast<uint16_t>(m >> 16));
+          case Opcode::Mulh:
+            wr(ex::mulHigh(rsv(inst.rs1), rsv(inst.rs2)));
             break;
-          }
           case Opcode::And:
-            wr(val(rs(inst.rs1)) & val(rs(inst.rs2)));
+            wr(rsv(inst.rs1) & rsv(inst.rs2));
             break;
           case Opcode::Or:
-            wr(val(rs(inst.rs1)) | val(rs(inst.rs2)));
+            wr(rsv(inst.rs1) | rsv(inst.rs2));
             break;
           case Opcode::Xor:
-            wr(val(rs(inst.rs1)) ^ val(rs(inst.rs2)));
+            wr(rsv(inst.rs1) ^ rsv(inst.rs2));
             break;
-          case Opcode::Sll: {
-            unsigned amt = val(rs(inst.rs2));
-            wr(amt >= 16 ? 0
-                         : static_cast<uint16_t>(val(rs(inst.rs1)) << amt));
+          case Opcode::Sll:
+            wr(ex::shiftLeft(rsv(inst.rs1), rsv(inst.rs2)));
             break;
-          }
-          case Opcode::Srl: {
-            unsigned amt = val(rs(inst.rs2));
-            wr(amt >= 16 ? 0
-                         : static_cast<uint16_t>(val(rs(inst.rs1)) >> amt));
+          case Opcode::Srl:
+            wr(ex::shiftRight(rsv(inst.rs1), rsv(inst.rs2)));
             break;
-          }
           case Opcode::Seq:
-            wr(val(rs(inst.rs1)) == val(rs(inst.rs2)) ? 1 : 0);
+            wr(rsv(inst.rs1) == rsv(inst.rs2) ? 1 : 0);
             break;
           case Opcode::Sltu:
-            wr(val(rs(inst.rs1)) < val(rs(inst.rs2)) ? 1 : 0);
+            wr(rsv(inst.rs1) < rsv(inst.rs2) ? 1 : 0);
             break;
           case Opcode::Slts:
-            wr(static_cast<int16_t>(val(rs(inst.rs1))) <
-                       static_cast<int16_t>(val(rs(inst.rs2)))
-                   ? 1
-                   : 0);
+            wr(ex::lessSigned(rsv(inst.rs1), rsv(inst.rs2)) ? 1 : 0);
             break;
           case Opcode::Mux:
-            wr((rs(inst.rs1) & 1) ? val(rs(inst.rs2))
-                                  : val(rs(inst.rs3)));
+            wr(ex::predicate(rs(inst.rs1)) ? rsv(inst.rs2)
+                                           : rsv(inst.rs3));
             break;
-          case Opcode::Slice: {
-            unsigned lo = inst.sliceLo();
-            unsigned len = inst.sliceLen();
-            uint16_t mask =
-                len >= 16 ? 0xffff
-                          : static_cast<uint16_t>((1u << len) - 1);
-            wr(static_cast<uint16_t>((val(rs(inst.rs1)) >> lo) & mask));
+          case Opcode::Slice:
+            wr(ex::sliceExtract(rsv(inst.rs1), inst.sliceLo(),
+                                ex::sliceMask(inst.sliceLen())));
             break;
-          }
           case Opcode::Cust: {
             const CustomFunction &f = p.functions[inst.imm];
-            wr(f.apply(val(rs(inst.rs1)), val(rs(inst.rs2)),
-                       val(rs(inst.rs3)), val(rs(inst.rs4))));
+            wr(f.apply(rsv(inst.rs1), rsv(inst.rs2), rsv(inst.rs3),
+                       rsv(inst.rs4)));
             break;
           }
           case Opcode::Lld: {
-            uint32_t addr =
-                (val(rs(inst.rs1)) + inst.imm) % _config.scratchSize;
+            uint32_t addr = ex::scratchAddress(rsv(inst.rs1), inst.imm,
+                                               _config.scratchSize);
             wr(st.scratch[addr]);
             break;
           }
           case Opcode::Lst: {
             if (st.pred) {
-                uint32_t addr =
-                    (val(rs(inst.rs1)) + inst.imm) % _config.scratchSize;
-                st.scratch[addr] = val(rs(inst.rs2));
+                uint32_t addr = ex::scratchAddress(
+                    rsv(inst.rs1), inst.imm, _config.scratchSize);
+                st.scratch[addr] = rsv(inst.rs2);
             }
             break;
           }
           case Opcode::Gld: {
-            uint64_t addr = (val(rs(inst.rs1)) |
-                             (static_cast<uint64_t>(val(rs(inst.rs2)))
-                              << 16)) +
-                            inst.imm;
+            uint64_t addr = ex::globalAddress(rsv(inst.rs1),
+                                              rsv(inst.rs2), inst.imm);
             wr(_global.read(addr));
             break;
           }
           case Opcode::Gst: {
             if (st.pred) {
-                uint64_t addr =
-                    (val(rs(inst.rs1)) |
-                     (static_cast<uint64_t>(val(rs(inst.rs2))) << 16)) +
-                    inst.imm;
-                _global.write(addr, val(rs(inst.rs3)));
+                uint64_t addr = ex::globalAddress(
+                    rsv(inst.rs1), rsv(inst.rs2), inst.imm);
+                _global.write(addr, rsv(inst.rs3));
             }
             break;
           }
           case Opcode::Pred:
-            st.pred = rs(inst.rs1) & 1;
+            st.pred = ex::predicate(rs(inst.rs1));
             break;
           case Opcode::Send:
             ++_sends;
             _pendingSends.push_back(
-                {inst.target, inst.rd, val(rs(inst.rs1))});
+                {inst.target, inst.rd, rsv(inst.rs1)});
             break;
           case Opcode::Expect: {
-            if (val(rs(inst.rs1)) != val(rs(inst.rs2))) {
+            if (rsv(inst.rs1) != rsv(inst.rs2)) {
                 HostAction action = HostAction::Finish;
                 if (onException)
                     action = onException(pid, inst.imm);
@@ -269,15 +223,6 @@ Interpreter::stepVcycle()
     // one raised during it takes effect now (the Vcycle completes).
     if (entry_status == RunStatus::Finished)
         _status = RunStatus::Finished;
-    return _status;
-}
-
-RunStatus
-Interpreter::run(uint64_t max_vcycles)
-{
-    for (uint64_t i = 0; i < max_vcycles && _status == RunStatus::Running;
-         ++i)
-        stepVcycle();
     return _status;
 }
 

@@ -1,15 +1,30 @@
 /**
  * @file
- * Full-fledged functional ISA simulator, parameterised by the hardware
- * configuration (§6 of the paper).  It executes one Vcycle at a time:
- * every process body runs to completion in program order, SENDs are
- * buffered and applied at the Vcycle boundary (the epilogue), and
- * EXPECT mismatches are serviced through a host callback exactly at
- * the raise point, mirroring the global-stall exception mechanism.
+ * Functional ISA simulators, parameterised by the hardware
+ * configuration (§6 of the paper).  Both engines execute one Vcycle
+ * at a time: every process body runs to completion in program order,
+ * SENDs are buffered and applied at the Vcycle boundary (the
+ * epilogue), and EXPECT mismatches are serviced through a host
+ * callback exactly at the raise point, mirroring the global-stall
+ * exception mechanism.
  *
- * The interpreter is untimed; the machine simulator (src/machine) adds
- * the cycle-level pipeline/NoC/cache model.  Both must produce
- * identical architectural state, which the test suite checks.
+ * Two engines implement the same InterpreterBase interface:
+ *
+ *  - Interpreter: the reference — walks the Instruction structs
+ *    directly; slow but obviously correct, the semantics every other
+ *    engine is validated against.
+ *
+ *  - TapeInterpreter (tape_interpreter.hh): each process body lowered
+ *    once into a flat pre-decoded op tape over exactly-sized dense
+ *    register files — NOP slots elided, operands resolved, common
+ *    pairs fused.  Bit-identical architectural state, several times
+ *    faster (see src/isa/README.md).
+ *
+ * makeInterpreter() picks an engine at runtime, mirroring
+ * netlist::makeEvaluator.  Both are untimed; the machine simulator
+ * (src/machine) adds the cycle-level pipeline/NoC/cache model.  All
+ * three must produce identical architectural state, which the
+ * randomized differential suite checks.
  */
 
 #ifndef MANTICORE_ISA_INTERPRETER_HH
@@ -18,6 +33,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -89,37 +105,86 @@ enum class HostAction
     Fail,
 };
 
-class Interpreter
+/** Common interface of the functional ISA engines.  The runtime::Host
+ *  attaches to this, so harnesses can swap engines freely. */
+class InterpreterBase
 {
   public:
-    Interpreter(const Program &program, const MachineConfig &config);
+    virtual ~InterpreterBase() = default;
 
     /** Execute one Vcycle; returns the status after servicing any
      *  exceptions raised during it. */
-    RunStatus stepVcycle();
+    virtual RunStatus stepVcycle() = 0;
 
     /** Run until finish/failure or max_vcycles. */
-    RunStatus run(uint64_t max_vcycles);
+    RunStatus
+    run(uint64_t max_vcycles)
+    {
+        for (uint64_t i = 0;
+             i < max_vcycles && status() == RunStatus::Running; ++i)
+            stepVcycle();
+        return status();
+    }
 
-    uint64_t vcycle() const { return _vcycle; }
-    RunStatus status() const { return _status; }
+    virtual uint64_t vcycle() const = 0;
+    virtual RunStatus status() const = 0;
+
+    /** 16-bit value of a register of a process (0 if out of file). */
+    virtual uint16_t regValue(uint32_t pid, Reg reg) const = 0;
+    /** Carry bit of a register of a process. */
+    virtual bool regCarry(uint32_t pid, Reg reg) const = 0;
+    virtual uint16_t scratchValue(uint32_t pid, uint32_t addr) const = 0;
+
+    virtual GlobalMemory &globalMemory() = 0;
+    virtual const GlobalMemory &globalMemory() const = 0;
+
+    /** Dynamic instruction count (excluding NOP) over all processes. */
+    virtual uint64_t instructionsExecuted() const = 0;
+    virtual uint64_t sendsExecuted() const = 0;
 
     /** Raised when an EXPECT fires; defaults to Finish on any
      *  exception.  The runtime::Host installs the real servicing. */
     std::function<HostAction(uint32_t pid, uint16_t eid)> onException;
+};
 
-    /** 16-bit value of a register of a process. */
-    uint16_t regValue(uint32_t pid, Reg reg) const;
-    /** Carry bit of a register of a process. */
-    bool regCarry(uint32_t pid, Reg reg) const;
-    uint16_t scratchValue(uint32_t pid, uint32_t addr) const;
+/** Which functional engine makeInterpreter() should build. */
+enum class ExecMode
+{
+    Reference, ///< instruction-walking Interpreter (obviously correct)
+    Tape,      ///< flat pre-decoded tape (fast, bit-identical)
+};
 
-    GlobalMemory &globalMemory() { return _global; }
-    const GlobalMemory &globalMemory() const { return _global; }
+const char *execModeName(ExecMode mode);
 
-    /** Dynamic instruction count (excluding NOp) over all processes. */
-    uint64_t instructionsExecuted() const { return _instretNonNop; }
-    uint64_t sendsExecuted() const { return _sends; }
+/** Build an interpreter over the program in the given mode.  The
+ *  program and config must outlive the interpreter (same contract as
+ *  the direct constructors). */
+std::unique_ptr<InterpreterBase>
+makeInterpreter(const Program &program, const MachineConfig &config,
+                ExecMode mode);
+
+class Interpreter : public InterpreterBase
+{
+  public:
+    Interpreter(const Program &program, const MachineConfig &config);
+
+    RunStatus stepVcycle() override;
+
+    uint64_t vcycle() const override { return _vcycle; }
+    RunStatus status() const override { return _status; }
+
+    uint16_t regValue(uint32_t pid, Reg reg) const override;
+    bool regCarry(uint32_t pid, Reg reg) const override;
+    uint16_t scratchValue(uint32_t pid, uint32_t addr) const override;
+
+    GlobalMemory &globalMemory() override { return _global; }
+    const GlobalMemory &globalMemory() const override { return _global; }
+
+    uint64_t instructionsExecuted() const override
+    {
+        return _instretNonNop;
+    }
+    uint64_t sendsExecuted() const override { return _sends; }
 
   private:
     struct ProcState

@@ -188,6 +188,12 @@ validate(const Program &program, const MachineConfig &config)
     for (const Process &p : program.processes) {
         if (p.privileged)
             ++num_priv;
+        for (const auto &[reg, v] : p.init)
+            if (reg >= config.regFileSize)
+                MANTICORE_FATAL("init register $r", reg,
+                                " exceeds the ", config.regFileSize,
+                                "-entry register file in process ",
+                                p.id);
         for (const Instruction &inst : p.body) {
             bool priv_inst = inst.opcode == Opcode::Gld ||
                              inst.opcode == Opcode::Gst ||
@@ -195,6 +201,33 @@ validate(const Program &program, const MachineConfig &config)
             if (priv_inst && !p.privileged)
                 MANTICORE_FATAL("privileged instruction ",
                                 inst.toString(), " in process ", p.id);
+            bool writes = inst.opcode != Opcode::Nop &&
+                          inst.opcode != Opcode::Lst &&
+                          inst.opcode != Opcode::Gst &&
+                          inst.opcode != Opcode::Pred &&
+                          inst.opcode != Opcode::Send &&
+                          inst.opcode != Opcode::Expect;
+            if (writes && inst.rd == kNoReg)
+                MANTICORE_FATAL("instruction without a destination "
+                                "register in process ",
+                                p.id, ": ", inst.toString());
+            // Register-file capacity: every named register — including
+            // a SEND's rd, which lives in the *target* process — must
+            // fit the configured hardware file.  The engines size
+            // their files from actual usage and assert instead of
+            // resizing, so this is the one place capacity is policed.
+            auto check_reg = [&](Reg r) {
+                if (r != kNoReg && r >= config.regFileSize)
+                    MANTICORE_FATAL("register $r", r, " exceeds the ",
+                                    config.regFileSize,
+                                    "-entry register file in process ",
+                                    p.id, ": ", inst.toString());
+            };
+            check_reg(inst.destination());
+            if (inst.opcode == Opcode::Send)
+                check_reg(inst.rd);
+            for (Reg s : inst.sources())
+                check_reg(s);
             if (inst.opcode == Opcode::Cust &&
                 inst.imm >= p.functions.size())
                 MANTICORE_FATAL("CUST references missing function ",
@@ -202,6 +235,10 @@ validate(const Program &program, const MachineConfig &config)
             if (inst.opcode == Opcode::Send &&
                 inst.target >= program.processes.size())
                 MANTICORE_FATAL("SEND to unknown process ", inst.target);
+            if (inst.opcode == Opcode::Send && inst.rd == kNoReg)
+                MANTICORE_FATAL("SEND without a target register in "
+                                "process ",
+                                p.id, ": ", inst.toString());
             if (inst.opcode == Opcode::Slice &&
                 (inst.sliceLo() >= 16 || inst.sliceLen() == 0 ||
                  inst.sliceLo() + inst.sliceLen() > 16))
@@ -212,7 +249,12 @@ validate(const Program &program, const MachineConfig &config)
                             p.functions.size(), " CFU slots (max ",
                             config.custSlots, ")");
         if (p.scratchInit.size() > config.scratchSize)
-            MANTICORE_FATAL("process ", p.id, " scratch overflow");
+            MANTICORE_FATAL("process ", p.id, " scratchInit has ",
+                            p.scratchInit.size(),
+                            " words but the scratchpad holds only ",
+                            config.scratchSize,
+                            " — the image would overflow the scratch "
+                            "vector");
     }
     if (num_priv > 1)
         MANTICORE_FATAL("multiple privileged processes");

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Flat-tape functional ISA interpreter: the lower-once / flat-dispatch
+ * treatment PR 1 gave the netlist IR, applied to isa::Program.
+ *
+ * The constructor lowers every process body once into a single
+ * contiguous array of pre-decoded ops:
+ *
+ *  - NOP schedule padding is elided from the tape entirely (the
+ *    functional engines are untimed; instret bookkeeping still counts
+ *    real instructions only, exactly like the reference),
+ *  - register operands are resolved to indices into one flat dense
+ *    register array (exactly sized per process via
+ *    exec::registerFileSizes, with slot 0 a shared constant zero for
+ *    absent operands),
+ *  - SLICE lo/len are pre-expanded to a shift amount and a mask,
+ *  - CUST slots are resolved at lowering into per-slot precomputed
+ *    Shannon minterm masks (a branchless word-wide restatement of the
+ *    per-lane LUTs),
+ *  - LLD/LST carry their process's precomputed scratch base,
+ *  - SENDs write into a statically-allocated message buffer whose
+ *    target slots were resolved at lowering time (every SEND executes
+ *    unconditionally once per Vcycle, so the dynamic message list is
+ *    the static one, in the same order).
+ *
+ * The dominant cost of interpreting branch-free scheduled code is the
+ * indirect dispatch branch, which mispredicts heavily on the long
+ * repeating op sequences these programs are.  The executor therefore
+ * pays one dispatch for as many instructions as it can:
+ *
+ *  - maximal same-opcode runs (chunked wide operations come out of
+ *    the compiler as ADD ADD ADD / SEND SEND SEND bursts) execute in
+ *    one dispatch that loops over the run, and
+ *  - every ordered pair over the 14 hottest opcodes has a dedicated
+ *    fused code (26 + 14x14 + 26 run variants = 248 < 256) whose
+ *    handler executes both instructions back to back; in-pair
+ *    execution is strictly sequential, so dependent pairs (ADD
+ *    feeding ADDC its carry, MOV chains) need no special casing.
+ *    Length-2 runs prefer a pair when the opcode is pairable and fall
+ *    back to a run head otherwise.
+ *
+ * The Vcycle epilogue (buffered Sends applied as SETs, EXPECT
+ * servicing through the host callback, the Finished/Failed status
+ * protocol) is kept bit-identical to the reference Interpreter; the
+ * randomized three-way differential suite enforces it.  See
+ * src/isa/README.md for the layout and measured speedups.
+ */
+
+#ifndef MANTICORE_ISA_TAPE_INTERPRETER_HH
+#define MANTICORE_ISA_TAPE_INTERPRETER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/interpreter.hh"
+#include "isa/isa.hh"
+
+namespace manticore::isa {
+
+class TapeInterpreter : public InterpreterBase
+{
+  public:
+    TapeInterpreter(const Program &program, const MachineConfig &config);
+
+    RunStatus stepVcycle() override;
+
+    uint64_t vcycle() const override { return _vcycle; }
+    RunStatus status() const override { return _status; }
+
+    uint16_t regValue(uint32_t pid, Reg reg) const override;
+    bool regCarry(uint32_t pid, Reg reg) const override;
+    uint16_t scratchValue(uint32_t pid, uint32_t addr) const override;
+
+    GlobalMemory &globalMemory() override { return _global; }
+    const GlobalMemory &globalMemory() const override { return _global; }
+
+    uint64_t instructionsExecuted() const override
+    {
+        return _instretNonNop;
+    }
+    uint64_t sendsExecuted() const override { return _sends; }
+
+    /** Introspection for tests and benches. */
+    size_t tapeLength() const { return _ops.size(); } ///< stream elems
+    size_t nopsElided() const { return _nopsElided; }
+    /** Dispatch events per Vcycle: single ops + fused pairs + run
+     *  heads.  The whole point of the lowering is making this much
+     *  smaller than the dynamic non-NOP instruction count. */
+    size_t dispatches() const { return _dispatches; }
+
+  private:
+    /** One pre-decoded tape element: a single instruction, a fused
+     *  pair (second instruction in the *2 fields), or a same-opcode
+     *  run head (run > 1; the tail elements follow in the stream and
+     *  are executed by the head's loop, never dispatched). */
+    struct Op
+    {
+        uint8_t code;
+        uint8_t shift, shift2; ///< SLICE lo
+        uint8_t pad = 0;
+        uint16_t mask, mask2;  ///< SLICE mask
+        uint16_t imm, imm2;
+        uint16_t run;
+        uint32_t dst, a, b, c, d, aux;
+        uint32_t dst2, a2, b2, c2, d2, aux2;
+    };
+
+    struct ProcRange
+    {
+        uint32_t begin, end; ///< stream range in _ops
+        uint32_t pid;
+        uint32_t instrs; ///< non-NOP instructions covered
+    };
+
+    /// Statically-resolved SEND epilogue: message i is delivered to
+    /// register slot slots[i]; the SEND op writes values[i].
+    struct Epilogue
+    {
+        std::vector<uint32_t> slots;
+        std::vector<uint16_t> values;
+    };
+
+    void lowerProcess(uint32_t pid, const Program &program);
+
+    const Program &_program;
+    MachineConfig _config;
+
+    std::vector<uint32_t> _regs;    ///< flat 17-bit register images
+    std::vector<uint32_t> _regBase; ///< per-process offset into _regs
+    std::vector<uint32_t> _regCount;
+    std::vector<uint16_t> _scratch; ///< flat, scratchSize per process
+    std::vector<uint8_t> _pred;     ///< per-process predicate flag
+    std::vector<Op> _ops;
+    /// Per stream element: cumulative non-NOP instruction count within
+    /// its process; consulted only on EXPECT-Fail aborts so instret
+    /// stays exact without hot-loop bookkeeping.
+    std::vector<uint32_t> _instrPrefix;
+    std::vector<ProcRange> _ranges;
+    /// Pre-expanded CFU minterm masks, 16 per referenced slot
+    /// (CUST ops carry their offset in aux).
+    std::vector<uint16_t> _cfuMasks;
+    Epilogue _epilogue;
+    GlobalMemory _global;
+
+    size_t _nopsElided = 0;
+    size_t _dispatches = 0;
+
+    uint64_t _vcycle = 0;
+    RunStatus _status = RunStatus::Running;
+    uint64_t _instretNonNop = 0;
+    uint64_t _sends = 0;
+};
+
+} // namespace manticore::isa
+
+#endif // MANTICORE_ISA_TAPE_INTERPRETER_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "isa/exec_semantics.hh"
 #include "support/logging.hh"
 
 namespace manticore::machine {
@@ -13,9 +14,7 @@ using isa::Reg;
 using isa::RunStatus;
 using isa::kNoReg;
 
-namespace {
-constexpr uint32_t kCarryBit = 1u << 16;
-}
+namespace ex = isa::exec;
 
 CacheModel::CacheModel(const isa::MachineConfig &config)
     : _wordsPerLine(config.cacheLineBytes / 2),
@@ -51,23 +50,21 @@ Machine::Machine(const isa::Program &program,
                      "program must be placed (run the scheduler)");
     MANTICORE_ASSERT(program.vcpl > 0, "program must be scheduled");
 
+    // Register files are exactly sized up front — including the
+    // registers incoming SENDs deliver into — by the same shared
+    // helper the functional interpreters use, so commit and epilogue
+    // writes can assert instead of resizing mid-run.
+    std::vector<uint32_t> reg_sizes = ex::registerFileSizes(program);
     _cores.resize(program.processes.size());
     for (size_t p = 0; p < program.processes.size(); ++p) {
         const isa::Process &proc = program.processes[p];
         MANTICORE_ASSERT(proc.body.size() + proc.epilogueLength <=
                              _config.imemSize,
                          "instruction memory overflow in process ", p);
-        Reg max_reg = 0;
-        for (const auto &[reg, v] : proc.init)
-            max_reg = std::max(max_reg, reg);
-        for (const Instruction &inst : proc.body) {
-            for (Reg s : inst.sources())
-                max_reg = std::max(max_reg, s);
-            if (inst.destination() != kNoReg)
-                max_reg = std::max(max_reg, inst.destination());
-        }
-        _cores[p].regs.assign(
-            std::min<size_t>(max_reg + 1, _config.regFileSize), 0);
+        MANTICORE_ASSERT(proc.scratchInit.size() <= _config.scratchSize,
+                         "scratchInit overflow in process ", p,
+                         " escaped isa::validate");
+        _cores[p].regs.assign(reg_sizes[p], 0);
         for (const auto &[reg, v] : proc.init)
             _cores[p].regs.at(reg) = v;
         _cores[p].scratch.assign(_config.scratchSize, 0);
@@ -96,8 +93,8 @@ Machine::commitDue(Core &core, uint64_t cycle)
     auto it = core.pending.begin();
     while (it != core.pending.end()) {
         if (it->commitCycle <= cycle) {
-            if (it->reg >= core.regs.size())
-                core.regs.resize(it->reg + 1, 0);
+            MANTICORE_ASSERT(it->reg < core.regs.size(),
+                             "commit to unsized register $r", it->reg);
             core.regs[it->reg] = it->value;
             it = core.pending.erase(it);
         } else {
@@ -115,11 +112,13 @@ Machine::executeSlot(uint32_t pid, const Instruction &inst, uint64_t cycle)
 
     auto rs = [&](Reg r) { return readReg(core, r); };
     auto rsraw = [&](Reg r) { return readRegRaw(core, r); };
-    auto wr = [&](uint16_t v, bool c = false) {
+    // Writes commit pipelineLatency cycles after issue as a raw
+    // 17-bit register image (value + carry).
+    auto wrRaw = [&](uint32_t raw) {
         core.pending.push_back(
-            {cycle + _config.pipelineLatency, inst.rd,
-             static_cast<uint32_t>(v) | (c ? kCarryBit : 0)});
+            {cycle + _config.pipelineLatency, inst.rd, raw});
     };
+    auto wr = [&](uint16_t v) { wrRaw(v); };
 
     switch (inst.opcode) {
       case Opcode::Nop:
@@ -130,36 +129,25 @@ Machine::executeSlot(uint32_t pid, const Instruction &inst, uint64_t cycle)
       case Opcode::Mov:
         wr(rs(inst.rs1));
         break;
-      case Opcode::Add: {
-        uint32_t s = rs(inst.rs1) + rs(inst.rs2);
-        wr(static_cast<uint16_t>(s), s > 0xffff);
+      case Opcode::Add:
+        wrRaw(ex::addCarry(rs(inst.rs1), rs(inst.rs2), 0));
         break;
-      }
-      case Opcode::Addc: {
-        uint32_t s = rs(inst.rs1) + rs(inst.rs2) +
-                     ((rsraw(inst.rs3) & kCarryBit) ? 1 : 0);
-        wr(static_cast<uint16_t>(s), s > 0xffff);
+      case Opcode::Addc:
+        wrRaw(ex::addCarry(rs(inst.rs1), rs(inst.rs2),
+                           ex::carryIn(rsraw(inst.rs3))));
         break;
-      }
-      case Opcode::Sub: {
-        uint32_t a = rs(inst.rs1), b = rs(inst.rs2);
-        wr(static_cast<uint16_t>(a - b), b > a);
+      case Opcode::Sub:
+        wrRaw(ex::subBorrow(rs(inst.rs1), rs(inst.rs2), 0));
         break;
-      }
-      case Opcode::Subb: {
-        uint32_t a = rs(inst.rs1);
-        uint32_t b = rs(inst.rs2) +
-                     ((rsraw(inst.rs3) & kCarryBit) ? 1 : 0);
-        wr(static_cast<uint16_t>(a - b), b > a);
+      case Opcode::Subb:
+        wrRaw(ex::subBorrow(rs(inst.rs1), rs(inst.rs2),
+                            ex::carryIn(rsraw(inst.rs3))));
         break;
-      }
       case Opcode::Mul:
-        wr(static_cast<uint16_t>(
-            static_cast<uint32_t>(rs(inst.rs1)) * rs(inst.rs2)));
+        wr(ex::mulLow(rs(inst.rs1), rs(inst.rs2)));
         break;
       case Opcode::Mulh:
-        wr(static_cast<uint16_t>(
-            (static_cast<uint32_t>(rs(inst.rs1)) * rs(inst.rs2)) >> 16));
+        wr(ex::mulHigh(rs(inst.rs1), rs(inst.rs2)));
         break;
       case Opcode::And:
         wr(rs(inst.rs1) & rs(inst.rs2));
@@ -170,16 +158,12 @@ Machine::executeSlot(uint32_t pid, const Instruction &inst, uint64_t cycle)
       case Opcode::Xor:
         wr(rs(inst.rs1) ^ rs(inst.rs2));
         break;
-      case Opcode::Sll: {
-        unsigned amt = rs(inst.rs2);
-        wr(amt >= 16 ? 0 : static_cast<uint16_t>(rs(inst.rs1) << amt));
+      case Opcode::Sll:
+        wr(ex::shiftLeft(rs(inst.rs1), rs(inst.rs2)));
         break;
-      }
-      case Opcode::Srl: {
-        unsigned amt = rs(inst.rs2);
-        wr(amt >= 16 ? 0 : static_cast<uint16_t>(rs(inst.rs1) >> amt));
+      case Opcode::Srl:
+        wr(ex::shiftRight(rs(inst.rs1), rs(inst.rs2)));
         break;
-      }
       case Opcode::Seq:
         wr(rs(inst.rs1) == rs(inst.rs2) ? 1 : 0);
         break;
@@ -187,22 +171,16 @@ Machine::executeSlot(uint32_t pid, const Instruction &inst, uint64_t cycle)
         wr(rs(inst.rs1) < rs(inst.rs2) ? 1 : 0);
         break;
       case Opcode::Slts:
-        wr(static_cast<int16_t>(rs(inst.rs1)) <
-                   static_cast<int16_t>(rs(inst.rs2))
-               ? 1
-               : 0);
+        wr(ex::lessSigned(rs(inst.rs1), rs(inst.rs2)) ? 1 : 0);
         break;
       case Opcode::Mux:
-        wr((rs(inst.rs1) & 1) ? rs(inst.rs2) : rs(inst.rs3));
+        wr(ex::predicate(rsraw(inst.rs1)) ? rs(inst.rs2)
+                                          : rs(inst.rs3));
         break;
-      case Opcode::Slice: {
-        unsigned lo = inst.sliceLo();
-        unsigned len = inst.sliceLen();
-        uint16_t mask =
-            len >= 16 ? 0xffff : static_cast<uint16_t>((1u << len) - 1);
-        wr(static_cast<uint16_t>((rs(inst.rs1) >> lo) & mask));
+      case Opcode::Slice:
+        wr(ex::sliceExtract(rs(inst.rs1), inst.sliceLo(),
+                            ex::sliceMask(inst.sliceLen())));
         break;
-      }
       case Opcode::Cust: {
         const isa::CustomFunction &f =
             _program.processes[pid].functions[inst.imm];
@@ -211,23 +189,22 @@ Machine::executeSlot(uint32_t pid, const Instruction &inst, uint64_t cycle)
         break;
       }
       case Opcode::Lld: {
-        uint32_t addr = (rs(inst.rs1) + inst.imm) % _config.scratchSize;
+        uint32_t addr = ex::scratchAddress(rs(inst.rs1), inst.imm,
+                                           _config.scratchSize);
         wr(core.scratch[addr]);
         break;
       }
       case Opcode::Lst: {
         if (core.pred) {
-            uint32_t addr =
-                (rs(inst.rs1) + inst.imm) % _config.scratchSize;
+            uint32_t addr = ex::scratchAddress(rs(inst.rs1), inst.imm,
+                                               _config.scratchSize);
             core.scratch[addr] = rs(inst.rs2);
         }
         break;
       }
       case Opcode::Gld: {
         uint64_t addr =
-            (rs(inst.rs1) |
-             (static_cast<uint64_t>(rs(inst.rs2)) << 16)) +
-            inst.imm;
+            ex::globalAddress(rs(inst.rs1), rs(inst.rs2), inst.imm);
         _pendingStall += _cache.access(addr, false, _perf);
         wr(_global.read(addr));
         break;
@@ -238,16 +215,14 @@ Machine::executeSlot(uint32_t pid, const Instruction &inst, uint64_t cycle)
         // preemptively whether it hits or misses (§5.3).
         if (core.pred) {
             uint64_t addr =
-                (rs(inst.rs1) |
-                 (static_cast<uint64_t>(rs(inst.rs2)) << 16)) +
-                inst.imm;
+                ex::globalAddress(rs(inst.rs1), rs(inst.rs2), inst.imm);
             _pendingStall += _cache.access(addr, true, _perf);
             _global.write(addr, rs(inst.rs3));
         }
         break;
       }
       case Opcode::Pred:
-        core.pred = rs(inst.rs1) & 1;
+        core.pred = ex::predicate(rsraw(inst.rs1));
         break;
       case Opcode::Send: {
         auto [sx, sy] = _program.placement[pid];
@@ -333,8 +308,9 @@ Machine::runVcycle()
     std::vector<unsigned> received(_cores.size(), 0);
     for (const Message &m : _inFlight) {
         Core &core = _cores[m.targetPid];
-        if (m.targetReg >= core.regs.size())
-            core.regs.resize(m.targetReg + 1, 0);
+        MANTICORE_ASSERT(m.targetReg < core.regs.size(),
+                         "message to unsized register $r", m.targetReg,
+                         " of process ", m.targetPid);
         core.regs[m.targetReg] = m.value;
         ++received[m.targetPid];
         ++_perf.messagesDelivered;

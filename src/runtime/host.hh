@@ -33,9 +33,10 @@ class Host
     /** Service one exception; returns what the engine should do. */
     isa::HostAction service(uint32_t pid, uint16_t eid);
 
-    /** Wire this host into an execution engine. */
+    /** Wire this host into an execution engine (either functional
+     *  interpreter via InterpreterBase, or the machine). */
     void
-    attach(isa::Interpreter &interp)
+    attach(isa::InterpreterBase &interp)
     {
         interp.onException = [this](uint32_t pid, uint16_t eid) {
             return service(pid, eid);

@@ -126,6 +126,61 @@ Simulation::runCrossChecked(uint64_t max_vcycles)
     return _machine->status();
 }
 
+isa::RunStatus
+Simulation::runIsaCrossChecked(uint64_t max_vcycles, isa::ExecMode mode)
+{
+    if (!_isaGolden || _isaGoldenMode != mode) {
+        _isaGoldenMode = mode;
+        _isaGolden =
+            isa::makeInterpreter(_compiled.program, _config, mode);
+        _isaGoldenHost = std::make_unique<Host>(
+            _compiled.program, _isaGolden->globalMemory());
+        _isaGoldenHost->attach(*_isaGolden);
+    }
+    // Catch up if the machine advanced via run() before this call;
+    // the designs are closed, so replaying keeps the lockstep honest.
+    while (_isaGolden->vcycle() < vcycles() &&
+           _isaGolden->status() == isa::RunStatus::Running)
+        _isaGolden->stepVcycle();
+    for (uint64_t v = 0; v < max_vcycles; ++v) {
+        if (_machine->status() != isa::RunStatus::Running)
+            return _machine->status();
+        isa::RunStatus st = _machine->runVcycle();
+        isa::RunStatus gst = _isaGolden->stepVcycle();
+
+        if (st != gst) {
+            _divergence = "vcycle " + std::to_string(vcycles()) +
+                          ": machine status " + runStatusName(st) +
+                          " vs " + isa::execModeName(_isaGoldenMode) +
+                          " interpreter status " + runStatusName(gst);
+            return isa::RunStatus::Failed;
+        }
+        if (st != isa::RunStatus::Running)
+            return st;
+
+        for (size_t r = 0; r < _compiled.regChunkHome.size(); ++r) {
+            const auto &homes = _compiled.regChunkHome[r];
+            for (size_t c = 0; c < homes.size(); ++c) {
+                uint16_t hw =
+                    _machine->regValue(homes[c].process, homes[c].reg);
+                uint16_t gold = _isaGolden->regValue(homes[c].process,
+                                                     homes[c].reg);
+                if (hw != gold) {
+                    _divergence =
+                        "vcycle " + std::to_string(vcycles()) +
+                        ": register #" + std::to_string(r) + " chunk " +
+                        std::to_string(c) + ": machine " +
+                        std::to_string(hw) + " vs " +
+                        isa::execModeName(_isaGoldenMode) +
+                        " interpreter " + std::to_string(gold);
+                    return isa::RunStatus::Failed;
+                }
+            }
+        }
+    }
+    return _machine->status();
+}
+
 double
 Simulation::effectiveRateKhz() const
 {

@@ -12,6 +12,11 @@
  * EvalMode (reference / compiled / parallel) instead of hard-coding
  * the reference evaluator, so long cross-checked runs can use the
  * fast engines (see README.md §engines).
+ *
+ * runIsaCrossChecked() locksteps the machine against a functional ISA
+ * interpreter on the same compiled program (selectable via
+ * isa::ExecMode, defaulting to the fast tape engine), catching
+ * machine-model timing bugs without needing the netlist golden model.
  */
 
 #ifndef MANTICORE_RUNTIME_SIMULATION_HH
@@ -57,6 +62,15 @@ class Simulation
      *  Requires construction with a golden EvalMode. */
     isa::RunStatus runCrossChecked(uint64_t max_vcycles);
 
+    /** Simulate up to max_vcycles RTL cycles with the machine and a
+     *  functional ISA interpreter (built by isa::makeInterpreter on
+     *  the compiled program) in lockstep, comparing engine status and
+     *  every RTL register chunk home at each Vcycle boundary.
+     *  Available on any Simulation (no netlist copy needed). */
+    isa::RunStatus
+    runIsaCrossChecked(uint64_t max_vcycles,
+                       isa::ExecMode mode = isa::ExecMode::Tape);
+
     /** Description of the first cross-check mismatch; empty if none. */
     const std::string &divergence() const { return _divergence; }
 
@@ -93,6 +107,11 @@ class Simulation
     std::unique_ptr<machine::Machine> _machine;
     std::unique_ptr<Host> _host;
     std::unique_ptr<netlist::EvaluatorBase> _golden;
+    /// ISA-level golden interpreter (runIsaCrossChecked), with its own
+    /// host so $display/$finish are serviced identically.
+    std::unique_ptr<isa::InterpreterBase> _isaGolden;
+    std::unique_ptr<Host> _isaGoldenHost;
+    isa::ExecMode _isaGoldenMode = isa::ExecMode::Tape;
     std::string _divergence;
 };
 
