@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Batched step(n) vs a step(1) loop through the unified
+ * engine::Engine interface, on the engines with native batch modes:
+ *
+ *  - netlist.compiled: one devirtualised run loop per batch,
+ *  - netlist.parallel: the whole batch is one worker-pool command —
+ *    one generation signal per cycle instead of two plus counter
+ *    resets, and workers roll from commit straight into the next
+ *    compute,
+ *  - isa.tape: the whole batch executes inside one dispatch, hot
+ *    pointers hoisted out of the per-Vcycle loop.
+ *
+ * Both variants drive the same Engine API, so the measured delta is
+ * exactly what the batch contract buys.  Rows land in
+ * BENCH_engine_batch.json.  `--engine <name>` restricts the run to
+ * one registry engine.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "compiler/compiler.hh"
+#include "engine/registry.hh"
+#include "netlist/builder.hh"
+
+using namespace manticore;
+
+namespace {
+
+/** Best of `reps` measurements, each on a FRESH engine from `make`
+ *  so no run can trip the design's self-check horizon. */
+double
+measure(const std::function<std::unique_ptr<engine::Engine>()> &make,
+        uint64_t horizon, bool batched, int reps = 3)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        auto eng = make();
+        double khz = bench::measureRateKhz(
+            [&](uint64_t n) {
+                if (batched)
+                    return eng->step(n).status ==
+                           engine::Status::Running;
+                for (uint64_t i = 0; i < n; ++i)
+                    if (eng->step(1).status !=
+                        engine::Status::Running)
+                        return false;
+                return true;
+            },
+            horizon, 0.2, 2048);
+        if (khz > best)
+            best = khz;
+    }
+    return best;
+}
+
+struct DesignSpec
+{
+    const char *name;
+    std::function<netlist::Netlist(uint64_t)> build;
+    unsigned grid;     ///< for the ISA-level compile (§7.7 micros: 1x1)
+    uint64_t horizon;
+};
+
+/** The smallest closed design: one 32-bit counter and a $finish —
+ *  the lower bound on per-cycle work, i.e. the upper bound on the
+ *  per-call overhead fraction that batching removes. */
+netlist::Netlist
+buildCounterMicro(uint64_t check_cycles)
+{
+    netlist::CircuitBuilder b("ctr32");
+    auto c = b.reg("c", 32);
+    b.next(c, c.read() + b.lit(32, 1));
+    b.finish(c.read() ==
+             b.lit(32, static_cast<uint64_t>(check_cycles)));
+    return b.build();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> batchable = {
+        "netlist.compiled", "netlist.parallel", "isa.tape"};
+    const std::string only = bench::engineFlag(argc, argv, "");
+    if (!only.empty() &&
+        std::find(batchable.begin(), batchable.end(), only) ==
+            batchable.end())
+        MANTICORE_FATAL("--engine ", only, " has no native batch mode; "
+                        "this bench covers: ",
+                        formatNameList(batchable));
+
+    // The §7.7 micros bound the per-cycle work from below — that is
+    // where the per-call overhead the batch contract removes is the
+    // largest fraction — and three Fig. 6 designs bound it from
+    // above.
+    const std::vector<DesignSpec> specs = {
+        {"ctr32", buildCounterMicro, 1, 8'000'000},
+        {"fifo1k",
+         [](uint64_t h) { return designs::buildFifoMicro(1, h); }, 1,
+         4'000'000},
+        {"ram64k",
+         [](uint64_t h) { return designs::buildRamMicro(64, h); }, 1,
+         4'000'000},
+        {"mm", designs::buildMm, 6, bench::measureHorizon("mm")},
+        {"jpeg", designs::buildJpeg, 6, bench::measureHorizon("jpeg")},
+        {"mc", designs::buildMc, 6, bench::measureHorizon("mc")},
+    };
+
+    bench::printEnvironment(
+        "Batched step(n) vs step(1) loop through engine::Engine "
+        "(best of 3; 6x6 grid for the ISA-level engines, 1x1 for the "
+        "§7.7 micros)");
+    std::printf("%8s  %18s  %12s  %12s  %9s\n", "design", "engine",
+                "step(1) kHz", "step(n) kHz", "speedup");
+
+    FILE *json = std::fopen("BENCH_engine_batch.json", "w");
+    if (json)
+        std::fprintf(json, "{\n  \"experiment\": \"engine_batch\",\n"
+                           "  \"rows\": [\n");
+
+    std::vector<double> speedups;
+    bool first = true;
+    {
+        for (const DesignSpec &spec : specs) {
+            uint64_t horizon = spec.horizon;
+            netlist::Netlist nl = spec.build(horizon * 8);
+
+            // One compile per design, shared by both isa.tape
+            // instances through the program-level registry overload.
+            compiler::CompileOptions copts;
+            copts.config.gridX = copts.config.gridY = spec.grid;
+            compiler::CompileResult cr = compiler::compile(nl, copts);
+
+            for (const std::string &name : batchable) {
+                if (!only.empty() && name != only)
+                    continue;
+                auto make = [&]() {
+                    if (name == "isa.tape")
+                        return engine::create(name, cr.program,
+                                              copts.config);
+                    return engine::create(name, nl);
+                };
+                double step1_khz = measure(make, horizon, false);
+                double batched_khz = measure(make, horizon, true);
+
+                double speedup =
+                    step1_khz > 0 ? batched_khz / step1_khz : 0.0;
+                speedups.push_back(speedup);
+                std::printf("%8s  %18s  %12.1f  %12.1f  %8.2fx\n",
+                            spec.name, name.c_str(), step1_khz,
+                            batched_khz, speedup);
+                if (json) {
+                    std::fprintf(json,
+                                 "%s    {\"design\": \"%s\", "
+                                 "\"engine\": \"%s\", "
+                                 "\"step1_khz\": %.2f, "
+                                 "\"batched_khz\": %.2f, "
+                                 "\"speedup\": %.2f}",
+                                 first ? "" : ",\n", spec.name,
+                                 name.c_str(), step1_khz, batched_khz,
+                                 speedup);
+                    first = false;
+                }
+            }
+        }
+    }
+
+    double gm = bench::geomean(speedups);
+    std::printf("\ngeomean batched-step speedup: %.2fx\n", gm);
+    if (json) {
+        std::fprintf(json, "\n  ],\n  \"geomean_speedup\": %.2f\n}\n",
+                     gm);
+        std::fclose(json);
+        std::printf("wrote BENCH_engine_batch.json\n");
+    }
+    return 0;
+}

@@ -11,6 +11,7 @@
 
 #include "bench/common.hh"
 #include "compiler/compiler.hh"
+#include "engine/adapters.hh"
 #include "machine/machine.hh"
 #include "runtime/host.hh"
 
@@ -37,7 +38,7 @@ runMicro(bool fifo, unsigned kib, uint64_t vcycles)
     compiler::CompileResult result = compiler::compile(nl, opts);
     machine::Machine m(result.program, opts.config);
     runtime::Host host(result.program, m.globalMemory());
-    host.attach(m);
+    host.attach(engine::wrap(m));
     m.run(vcycles);
     const machine::PerfCounters &perf = m.perf();
     double accesses =

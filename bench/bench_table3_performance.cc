@@ -16,6 +16,7 @@
 #include "baseline/baseline.hh"
 #include "bench/common.hh"
 #include "compiler/compiler.hh"
+#include "engine/adapters.hh"
 #include "machine/machine.hh"
 #include "runtime/host.hh"
 
@@ -71,7 +72,7 @@ main()
             compiler::CompileResult vres = compiler::compile(vnl, opts);
             machine::Machine m(vres.program, opts.config);
             runtime::Host host(vres.program, m.globalMemory());
-            host.attach(m);
+            host.attach(engine::wrap(m));
             if (m.run(220) != isa::RunStatus::Finished) {
                 std::printf("!! %s failed machine validation: %s\n",
                             bm.name.c_str(),

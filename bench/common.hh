@@ -13,14 +13,48 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "designs/designs.hh"
+#include "engine/registry.hh"
+#include "support/logging.hh"
+#include "support/namelist.hh"
 
 namespace manticore::bench {
+
+/** Parse a `--engine <name>` / `--engine=<name>` flag so every bench
+ *  can select an execution engine by registry name (engine::list());
+ *  returns `fallback` when the flag is absent and fatals — listing
+ *  the registry — on unknown names. */
+inline std::string
+engineFlag(int argc, char **argv, const std::string &fallback)
+{
+    std::string chosen;
+    bool given = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--engine") == 0) {
+            given = true;
+            chosen = i + 1 < argc ? argv[i + 1] : "";
+        } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+            given = true;
+            chosen = argv[i] + 9;
+        }
+    }
+    if (!given)
+        return fallback; // flag absent: the bench's default stands
+    if (chosen.empty())
+        MANTICORE_FATAL("--engine needs a value (registered engines: ",
+                        formatNameList(engine::names()), ")");
+    if (!engine::find(chosen))
+        MANTICORE_FATAL("--engine ", chosen, ": no such engine "
+                        "(registered engines: ",
+                        formatNameList(engine::names()), ")");
+    return chosen;
+}
 
 /** Print the host environment (our stand-in for Table 2). */
 inline void

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "compiler/compiler.hh"
+#include "engine/adapters.hh"
 #include "designs/designs.hh"
 #include "isa/encode.hh"
 #include "machine/machine.hh"
@@ -39,7 +40,7 @@ main()
     isa::Program loaded = isa::decodeProgram(image);
     machine::Machine mach(loaded, options.config);
     runtime::Host host(loaded, mach.globalMemory());
-    host.attach(mach);
+    host.attach(engine::wrap(mach));
 
     auto status = mach.run(kCheckCycles + 8);
     if (status != isa::RunStatus::Finished) {

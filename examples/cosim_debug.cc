@@ -1,26 +1,27 @@
 /**
  * @file
- * Domain example 3 — co-simulation and state observation.
+ * Domain example 3 — co-simulation and state observation through the
+ * unified engine API.
  *
- * The compiler's observation map (CompileResult::regChunkHome) tells
- * the host which core and machine register hold each RTL register's
- * current value — the hook behind host-side debugging and the
- * out-of-band waveform collection the paper sketches as future work
- * (§8).  This example runs the cycle-level machine in lockstep with
- * BOTH golden models — the compiled netlist evaluator and the
- * flat-tape functional ISA interpreter (isa::makeInterpreter) — on
- * the rv32r design, cross-checks a watched register every cycle
- * against each, and prints a small "waveform" of one MiniRV core's
- * pc.
+ * Every engine exposes RTL registers through the same probe
+ * interface (the ISA-level engines reassemble them from the
+ * compiler's observation map, the hook behind host-side debugging
+ * and the out-of-band waveform collection the paper sketches in §8).
+ * That makes differential co-simulation generic: engine::CrossCheck
+ * locksteps ANY golden engine against ANY subject.  This example
+ * runs the cycle-level machine on the rv32r design cross-checked
+ * against BOTH golden models — the compiled netlist evaluator and
+ * the flat-tape ISA interpreter — in alternating segments, and
+ * prints a small "waveform" of one MiniRV core's pc sampled through
+ * a probe handle.
  */
 
 #include <cstdio>
 
 #include "compiler/compiler.hh"
 #include "designs/designs.hh"
-#include "machine/machine.hh"
-#include "netlist/evaluator.hh"
-#include "runtime/host.hh"
+#include "engine/crosscheck.hh"
+#include "engine/registry.hh"
 
 using namespace manticore;
 
@@ -31,59 +32,57 @@ main()
 
     compiler::CompileOptions options;
     options.config.gridX = options.config.gridY = 6;
+
+    // Compile once; the ISA-level engines share the binary program
+    // (the registry's program-level overload), the netlist golden
+    // evaluates the design directly.
     compiler::CompileResult cr = compiler::compile(design, options);
+    std::vector<engine::RtlSignal> signals =
+        engine::rtlSignals(design, cr);
 
-    // Golden model 1: the compiled tape evaluator (cycle-exact with
-    // the reference Evaluator, ~10x faster; swap the mode to compare).
-    auto golden =
-        netlist::makeEvaluator(design, netlist::EvalMode::Compiled);
-    // Golden model 2: the flat-tape ISA interpreter, running the same
-    // binary program as the machine (swap to ExecMode::Reference to
-    // compare the engines).
-    auto isa_golden = isa::makeInterpreter(cr.program, options.config,
-                                           isa::ExecMode::Tape);
-    machine::Machine mach(cr.program, options.config);
-    runtime::Host host(cr.program, mach.globalMemory());
-    host.attach(mach);
-    runtime::Host isa_host(cr.program, isa_golden->globalMemory());
-    isa_host.attach(*isa_golden);
+    auto machine =
+        engine::create("machine", cr.program, options.config, signals);
+    auto isa_golden =
+        engine::create("isa.tape", cr.program, options.config, signals);
+    auto netlist_golden = engine::create("netlist.compiled", design);
 
-    // Find the watched register by name.
-    int watched = -1;
-    for (size_t r = 0; r < design.numRegisters(); ++r)
-        if (design.reg(static_cast<uint32_t>(r)).name == "pc3")
-            watched = static_cast<int>(r);
-    if (watched < 0) {
-        std::printf("register pc3 not found\n");
-        return 1;
-    }
-    const auto &home = cr.regChunkHome[watched][0];
-    std::printf("watching rv32r core 3's pc: lives on core %u "
-                "(machine register $r%u)\n\n",
-                home.process, home.reg);
+    // One generic harness per golden model; each resynchronises its
+    // golden to the machine before comparing, so alternating segments
+    // keep a three-way check going.
+    engine::CrossCheck vs_netlist(*netlist_golden, *machine);
+    engine::CrossCheck vs_isa(*isa_golden, *machine);
 
-    std::printf("cycle: pc3 waveform (machine == evaluator == ISA "
-                "interpreter checked every cycle)\n");
-    for (int cycle = 0; cycle < 40; ++cycle) {
-        golden->step();
-        isa_golden->stepVcycle();
-        mach.runVcycle();
-        uint16_t hw = mach.regValue(home.process, home.reg);
-        uint16_t ref = static_cast<uint16_t>(
-            golden->regValue(static_cast<uint32_t>(watched)).toUint64());
-        uint16_t tape = isa_golden->regValue(home.process, home.reg);
-        if (hw != ref || hw != tape) {
-            std::printf("DIVERGENCE at cycle %d: machine %u vs "
-                        "evaluator %u vs ISA interpreter %u\n",
-                        cycle, hw, ref, tape);
+    // One-time name resolution; sampling below is string-free.
+    engine::ProbeHandle pc3 = machine->probe("pc3");
+
+    std::printf("watching rv32r core 3's pc (probe \"%s\", %u bits) — "
+                "machine cross-checked against %s and %s in "
+                "alternating 4-cycle segments\n\n",
+                machine->probeName(pc3).c_str(),
+                machine->probeWidth(pc3), netlist_golden->name(),
+                isa_golden->name());
+
+    for (int segment = 0; segment < 10; ++segment) {
+        engine::CrossCheck &harness =
+            segment % 2 ? vs_isa : vs_netlist;
+        engine::RunResult res = harness.run(4);
+        if (harness.diverged()) {
+            std::printf("DIVERGENCE: %s\n", harness.divergence().c_str());
             return 1;
         }
-        if (cycle % 4 == 0)
-            std::printf("%5d: pc=%2u %s\n", cycle, hw,
-                        std::string(hw, '#').c_str());
+        if (res.status != engine::Status::Running)
+            break;
+        unsigned pc = static_cast<unsigned>(
+            machine->read(pc3).toUint64());
+        std::printf("%5llu: pc=%2u %s\n",
+                    static_cast<unsigned long long>(machine->cycle()),
+                    pc, std::string(pc, '#').c_str());
     }
-    std::printf("\n40 cycles co-simulated across three engines, zero "
-                "divergence across %zu RTL registers' homes.\n",
-                cr.regChunkHome.size());
+
+    std::printf("\n%llu cycles co-simulated across three engines "
+                "(each segment checked against one golden), zero "
+                "divergence across %zu paired RTL registers.\n",
+                static_cast<unsigned long long>(machine->cycle()),
+                vs_netlist.numPairedSignals());
     return 0;
 }

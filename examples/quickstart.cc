@@ -1,8 +1,14 @@
 /**
  * @file
  * Quickstart: describe a small single-clock RTL design with the
- * CircuitBuilder DSL, compile it for a Manticore grid, and simulate
- * it on the cycle-level machine — the whole flow in ~30 lines.
+ * CircuitBuilder DSL, then simulate it with the unified engine API —
+ * the whole flow in ~30 lines.
+ *
+ * engine::Session compiles the design for the chosen engine (here
+ * "machine", the cycle-level grid model) and wires the host runtime,
+ * so $display / $finish work out of the box; swap the engine name for
+ * any registry entry — "netlist.compiled", "isa.tape", ... — and the
+ * rest of the program is unchanged (engine::list() enumerates them).
  *
  * The design is the paper's Listing 2 ("EvenOdd"): a counter that
  * prints whether its value is even or odd each cycle and finishes at
@@ -13,13 +19,13 @@
  *   1 is an odd number
  *   ...
  *   20 is an even number
- *   finished after 21 simulated cycles (VCPL 47, 2 cores used)
+ *   finished after 21 simulated cycles (engine machine)
  */
 
 #include <cstdio>
 
+#include "engine/registry.hh"
 #include "netlist/builder.hh"
-#include "runtime/simulation.hh"
 
 using namespace manticore;
 
@@ -36,22 +42,21 @@ main()
     b.display(!is_even, "%d is an odd number", {counter.read()});
     b.finish(counter.read() == b.lit(16, 20));
 
-    // 2. Compile for a 2x2 Manticore grid and boot the machine.
-    compiler::CompileOptions options;
-    options.config.gridX = 2;
-    options.config.gridY = 2;
-    runtime::Simulation sim(b.build(), options);
+    // 2. Pick an engine by registry name; for the cycle-level machine
+    //    the design is compiled for a 2x2 Manticore grid.
+    engine::CreateOptions options;
+    options.compile.config.gridX = 2;
+    options.compile.config.gridY = 2;
+    engine::Session sim(b.build(), "machine", options);
 
     // 3. Stream $display output as it happens and run.
-    sim.host().onDisplay = [](const std::string &line) {
+    sim->setDisplaySink([](const std::string &line) {
         std::printf("%s\n", line.c_str());
-    };
+    });
     sim.run(1'000);
 
-    std::printf("finished after %llu simulated cycles "
-                "(VCPL %u, %zu cores used)\n",
-                static_cast<unsigned long long>(sim.vcycles()),
-                sim.compileResult().program.vcpl,
-                sim.compileResult().program.processes.size());
+    std::printf("finished after %llu simulated cycles (engine %s)\n",
+                static_cast<unsigned long long>(sim->cycle()),
+                sim->name());
     return 0;
 }

@@ -1,0 +1,518 @@
+#include "engine/adapters.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "isa/tape_interpreter.hh"
+#include "netlist/compiled_evaluator.hh"
+#include "netlist/parallel_evaluator.hh"
+#include "runtime/host.hh"
+#include "support/logging.hh"
+#include "support/namelist.hh"
+
+namespace manticore::engine {
+
+namespace {
+
+Status
+mapStatus(netlist::SimStatus status)
+{
+    switch (status) {
+      case netlist::SimStatus::Ok: return Status::Running;
+      case netlist::SimStatus::Finished: return Status::Finished;
+      case netlist::SimStatus::AssertFailed: return Status::Failed;
+    }
+    return Status::Failed;
+}
+
+Status
+mapStatus(isa::RunStatus status)
+{
+    switch (status) {
+      case isa::RunStatus::Running: return Status::Running;
+      case isa::RunStatus::Finished: return Status::Finished;
+      case isa::RunStatus::Failed: return Status::Failed;
+    }
+    return Status::Failed;
+}
+
+} // namespace
+
+BitVector
+assembleRtlValue(
+    unsigned width, const std::vector<compiler::RegChunkHome> &homes,
+    const std::function<uint16_t(uint32_t, isa::Reg)> &read_chunk)
+{
+    BitVector value(width);
+    for (size_t c = 0; c < homes.size(); ++c) {
+        uint16_t word = read_chunk(homes[c].process, homes[c].reg);
+        for (unsigned b = 0; b < 16; ++b) {
+            unsigned bit = static_cast<unsigned>(c) * 16 + b;
+            if (bit < width && ((word >> b) & 1))
+                value.setBit(bit, true);
+        }
+    }
+    return value;
+}
+
+std::vector<std::string>
+rtlRegisterNames(const netlist::Netlist &netlist)
+{
+    std::unordered_map<std::string, unsigned> uses;
+    for (const netlist::Register &r : netlist.registers())
+        if (!r.name.empty())
+            ++uses[r.name];
+    std::vector<std::string> names;
+    names.reserve(netlist.numRegisters());
+    for (size_t r = 0; r < netlist.numRegisters(); ++r) {
+        const std::string &name =
+            netlist.reg(static_cast<netlist::RegId>(r)).name;
+        if (name.empty() || uses[name] > 1)
+            names.push_back(name + "#" + std::to_string(r));
+        else
+            names.push_back(name);
+    }
+    return names;
+}
+
+std::vector<RtlSignal>
+rtlSignals(const netlist::Netlist &netlist,
+           const compiler::CompileResult &compiled)
+{
+    MANTICORE_ASSERT(compiled.regChunkHome.size() ==
+                         netlist.numRegisters(),
+                     "observation map does not match the netlist");
+    std::vector<std::string> names = rtlRegisterNames(netlist);
+    std::vector<RtlSignal> signals(netlist.numRegisters());
+    for (size_t r = 0; r < signals.size(); ++r) {
+        signals[r].name = std::move(names[r]);
+        signals[r].homes = compiled.regChunkHome[r];
+        // Chunk-padded width: a probe carries every bit of every
+        // 16-bit chunk home, not just the RTL register's low bits.
+        // Cross-family comparisons mask to the common (RTL) width
+        // anyway, but two chunk-homed engines compare FULL chunk
+        // words — the same sensitivity the per-chunk lockstep loop
+        // this replaced had (a machine bug corrupting only the dead
+        // high bits of a top chunk still diverges).
+        unsigned rtl_width =
+            netlist.reg(static_cast<netlist::RegId>(r)).width;
+        unsigned chunk_bits =
+            static_cast<unsigned>(signals[r].homes.size()) * 16;
+        signals[r].width = std::max(rtl_width, chunk_bits);
+    }
+    return signals;
+}
+
+// ---------------------------------------------------------------------------
+// ProbedEngine
+// ---------------------------------------------------------------------------
+
+ProbeHandle
+ProbedEngine::probe(const std::string &signal)
+{
+    if (_probeNames.empty())
+        return Engine::probe(signal); // capability fatal
+    for (size_t i = 0; i < _probeNames.size(); ++i)
+        if (_probeNames[i] == signal)
+            return static_cast<ProbeHandle>(i);
+    MANTICORE_FATAL("engine ", name(), ": no such signal: ", signal,
+                    " (valid signals: ", formatNameList(_probeNames),
+                    ")");
+}
+
+const std::string &
+ProbedEngine::probeName(ProbeHandle handle) const
+{
+    MANTICORE_ASSERT(handle < _probeNames.size(), "bad probe handle ",
+                     handle);
+    return _probeNames[handle];
+}
+
+unsigned
+ProbedEngine::probeWidth(ProbeHandle handle) const
+{
+    MANTICORE_ASSERT(handle < _probeWidths.size(), "bad probe handle ",
+                     handle);
+    return _probeWidths[handle];
+}
+
+// ---------------------------------------------------------------------------
+// NetlistEngine
+// ---------------------------------------------------------------------------
+
+NetlistEngine::NetlistEngine(std::string name,
+                             netlist::EvaluatorBase &eval,
+                             const netlist::Netlist &netlist)
+    : _name(std::move(name)), _eval(&eval)
+{
+    _probeNames = rtlRegisterNames(netlist);
+    for (const netlist::Register &r : netlist.registers())
+        _probeWidths.push_back(r.width);
+    for (size_t i = 0; i < netlist.numNodes(); ++i) {
+        const netlist::Node &n =
+            netlist.node(static_cast<netlist::NodeId>(i));
+        if (n.kind == netlist::OpKind::Input) {
+            _inputNames.push_back(n.name);
+            _inputNodes.push_back(static_cast<netlist::NodeId>(i));
+            _inputWidths.push_back(n.width);
+        }
+    }
+}
+
+NetlistEngine::NetlistEngine(std::string name,
+                             std::unique_ptr<netlist::EvaluatorBase> eval,
+                             const netlist::Netlist &netlist)
+    : NetlistEngine(std::move(name), *eval, netlist)
+{
+    _owned = std::move(eval);
+}
+
+uint32_t
+NetlistEngine::capabilities() const
+{
+    uint32_t caps = cap::kInputs | cap::kProbes | cap::kDisplayLog;
+    if (dynamic_cast<const netlist::CompiledEvaluator *>(_eval) ||
+        dynamic_cast<const netlist::ParallelCompiledEvaluator *>(_eval))
+        caps |= cap::kBatchedStep;
+    return caps;
+}
+
+InputHandle
+NetlistEngine::bindInput(const std::string &input)
+{
+    for (size_t i = 0; i < _inputNames.size(); ++i)
+        if (_inputNames[i] == input)
+            return static_cast<InputHandle>(i);
+    MANTICORE_FATAL("engine ", _name, ": no such input: ", input,
+                    " (valid inputs: ", formatNameList(_inputNames),
+                    ")");
+}
+
+void
+NetlistEngine::setInput(InputHandle handle, const BitVector &value)
+{
+    MANTICORE_ASSERT(handle < _inputNodes.size(), "bad input handle ",
+                     handle);
+    if (value.width() != _inputWidths[handle])
+        MANTICORE_FATAL("engine ", _name, ": input ",
+                        _inputNames[handle], " is ",
+                        _inputWidths[handle], " bits, driven with ",
+                        value.width());
+    _eval->driveInput(_inputNodes[handle], value);
+}
+
+BitVector
+NetlistEngine::read(ProbeHandle handle) const
+{
+    MANTICORE_ASSERT(handle < _probeNames.size(), "bad probe handle ",
+                     handle);
+    return _eval->regValue(static_cast<netlist::RegId>(handle));
+}
+
+RunResult
+NetlistEngine::step(uint64_t n)
+{
+    uint64_t before = _eval->cycle();
+    netlist::SimStatus st = _eval->run(n);
+    return {mapStatus(st), _eval->cycle() - before};
+}
+
+uint64_t
+NetlistEngine::cycle() const
+{
+    return _eval->cycle();
+}
+
+Status
+NetlistEngine::status() const
+{
+    return mapStatus(_eval->status());
+}
+
+std::string
+NetlistEngine::failureMessage() const
+{
+    return _eval->failureMessage();
+}
+
+std::vector<Stat>
+NetlistEngine::stats() const
+{
+    std::vector<Stat> stats{{"cycles", _eval->cycle()}};
+    if (auto *c = dynamic_cast<const netlist::CompiledEvaluator *>(_eval)) {
+        stats.push_back({"tape_length", c->tapeLength()});
+        stats.push_back({"arena_limbs", c->arenaLimbs()});
+    } else if (auto *p =
+                   dynamic_cast<const netlist::ParallelCompiledEvaluator *>(
+                       _eval)) {
+        stats.push_back({"tape_length", p->tapeLength()});
+        stats.push_back({"arena_limbs", p->arenaLimbs()});
+        stats.push_back({"processes", p->numProcesses()});
+        stats.push_back({"threads", p->numThreads()});
+    }
+    return stats;
+}
+
+const std::vector<std::string> &
+NetlistEngine::displayLog() const
+{
+    return _eval->displayLog();
+}
+
+void
+NetlistEngine::setDisplaySink(DisplaySink sink)
+{
+    _eval->onDisplay = std::move(sink);
+}
+
+// ---------------------------------------------------------------------------
+// IsaEngine
+// ---------------------------------------------------------------------------
+
+IsaEngine::IsaEngine(std::string name, isa::InterpreterBase &interp,
+                     std::vector<RtlSignal> signals)
+    : _name(std::move(name)), _interp(&interp),
+      _signals(std::move(signals))
+{
+    for (const RtlSignal &s : _signals) {
+        _probeNames.push_back(s.name);
+        _probeWidths.push_back(s.width);
+    }
+}
+
+IsaEngine::IsaEngine(std::string name,
+                     std::unique_ptr<isa::InterpreterBase> interp,
+                     std::vector<RtlSignal> signals)
+    : IsaEngine(std::move(name), *interp, std::move(signals))
+{
+    _owned = std::move(interp);
+}
+
+uint32_t
+IsaEngine::capabilities() const
+{
+    uint32_t caps = cap::kExceptions;
+    if (!_signals.empty())
+        caps |= cap::kProbes;
+    if (_host)
+        caps |= cap::kDisplayLog;
+    if (dynamic_cast<const isa::TapeInterpreter *>(_interp))
+        caps |= cap::kBatchedStep;
+    return caps;
+}
+
+BitVector
+IsaEngine::read(ProbeHandle handle) const
+{
+    MANTICORE_ASSERT(handle < _signals.size(), "bad probe handle ",
+                     handle);
+    const RtlSignal &signal = _signals[handle];
+    return assembleRtlValue(signal.width, signal.homes,
+                            [this](uint32_t pid, isa::Reg reg) {
+                                return _interp->regValue(pid, reg);
+                            });
+}
+
+RunResult
+IsaEngine::step(uint64_t n)
+{
+    uint64_t before = _interp->vcycle();
+    isa::RunStatus st = _interp->run(n);
+    return {mapStatus(st), _interp->vcycle() - before};
+}
+
+uint64_t
+IsaEngine::cycle() const
+{
+    return _interp->vcycle();
+}
+
+Status
+IsaEngine::status() const
+{
+    return mapStatus(_interp->status());
+}
+
+std::string
+IsaEngine::failureMessage() const
+{
+    return _host ? _host->failureMessage() : std::string();
+}
+
+std::vector<Stat>
+IsaEngine::stats() const
+{
+    std::vector<Stat> stats{
+        {"cycles", _interp->vcycle()},
+        {"instructions", _interp->instructionsExecuted()},
+        {"sends", _interp->sendsExecuted()},
+    };
+    if (auto *t = dynamic_cast<const isa::TapeInterpreter *>(_interp)) {
+        stats.push_back({"tape_length", t->tapeLength()});
+        stats.push_back({"nops_elided", t->nopsElided()});
+        stats.push_back({"dispatches_per_vcycle", t->dispatches()});
+    }
+    return stats;
+}
+
+const std::vector<std::string> &
+IsaEngine::displayLog() const
+{
+    if (!_host)
+        return Engine::displayLog(); // capability fatal
+    return _host->displayLog();
+}
+
+void
+IsaEngine::setDisplaySink(DisplaySink sink)
+{
+    if (!_host)
+        return Engine::setDisplaySink(std::move(sink));
+    _host->onDisplay = std::move(sink);
+}
+
+void
+IsaEngine::setExceptionHandler(ExceptionHandler handler)
+{
+    _interp->onException = std::move(handler);
+}
+
+// ---------------------------------------------------------------------------
+// MachineEngine
+// ---------------------------------------------------------------------------
+
+MachineEngine::MachineEngine(machine::Machine &machine,
+                             std::vector<RtlSignal> signals)
+    : _machine(&machine), _signals(std::move(signals))
+{
+    for (const RtlSignal &s : _signals) {
+        _probeNames.push_back(s.name);
+        _probeWidths.push_back(s.width);
+    }
+}
+
+MachineEngine::MachineEngine(std::unique_ptr<machine::Machine> machine,
+                             std::vector<RtlSignal> signals)
+    : MachineEngine(*machine, std::move(signals))
+{
+    _owned = std::move(machine);
+}
+
+uint32_t
+MachineEngine::capabilities() const
+{
+    uint32_t caps = cap::kExceptions | cap::kPerfCounters;
+    if (!_signals.empty())
+        caps |= cap::kProbes;
+    if (_host)
+        caps |= cap::kDisplayLog;
+    return caps;
+}
+
+BitVector
+MachineEngine::read(ProbeHandle handle) const
+{
+    MANTICORE_ASSERT(handle < _signals.size(), "bad probe handle ",
+                     handle);
+    const RtlSignal &signal = _signals[handle];
+    return assembleRtlValue(signal.width, signal.homes,
+                            [this](uint32_t pid, isa::Reg reg) {
+                                return _machine->regValue(pid, reg);
+                            });
+}
+
+RunResult
+MachineEngine::step(uint64_t n)
+{
+    uint64_t before = _machine->perf().vcycles;
+    isa::RunStatus st = _machine->run(n);
+    return {mapStatus(st), _machine->perf().vcycles - before};
+}
+
+uint64_t
+MachineEngine::cycle() const
+{
+    return _machine->perf().vcycles;
+}
+
+Status
+MachineEngine::status() const
+{
+    return mapStatus(_machine->status());
+}
+
+std::string
+MachineEngine::failureMessage() const
+{
+    return _host ? _host->failureMessage() : std::string();
+}
+
+std::vector<Stat>
+MachineEngine::stats() const
+{
+    const machine::PerfCounters &perf = _machine->perf();
+    return {
+        {"cycles", perf.vcycles},
+        {"active_cycles", perf.activeCycles},
+        {"stall_cycles", perf.stallCycles},
+        {"cache_hits", perf.cacheHits},
+        {"cache_misses", perf.cacheMisses},
+        {"messages_delivered", perf.messagesDelivered},
+        {"instructions", perf.instructionsExecuted},
+    };
+}
+
+const std::vector<std::string> &
+MachineEngine::displayLog() const
+{
+    if (!_host)
+        return Engine::displayLog(); // capability fatal
+    return _host->displayLog();
+}
+
+void
+MachineEngine::setDisplaySink(DisplaySink sink)
+{
+    if (!_host)
+        return Engine::setDisplaySink(std::move(sink));
+    _host->onDisplay = std::move(sink);
+}
+
+void
+MachineEngine::setExceptionHandler(ExceptionHandler handler)
+{
+    _machine->onException = std::move(handler);
+}
+
+// ---------------------------------------------------------------------------
+// wrap()
+// ---------------------------------------------------------------------------
+
+NetlistEngine
+wrap(netlist::EvaluatorBase &eval, const netlist::Netlist &netlist)
+{
+    const char *name = "netlist.reference";
+    if (dynamic_cast<const netlist::ParallelCompiledEvaluator *>(&eval))
+        name = "netlist.parallel";
+    else if (dynamic_cast<const netlist::CompiledEvaluator *>(&eval))
+        name = "netlist.compiled";
+    return NetlistEngine(name, eval, netlist);
+}
+
+IsaEngine
+wrap(isa::InterpreterBase &interp, std::vector<RtlSignal> signals)
+{
+    const char *name =
+        dynamic_cast<const isa::TapeInterpreter *>(&interp)
+            ? "isa.tape"
+            : "isa.reference";
+    return IsaEngine(name, interp, std::move(signals));
+}
+
+MachineEngine
+wrap(machine::Machine &machine, std::vector<RtlSignal> signals)
+{
+    return MachineEngine(machine, std::move(signals));
+}
+
+} // namespace manticore::engine

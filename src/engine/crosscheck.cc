@@ -1,0 +1,104 @@
+#include "engine/crosscheck.hh"
+
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace manticore::engine {
+
+CrossCheck::CrossCheck(Engine &golden, Engine &subject)
+    : _golden(golden), _subject(subject)
+{
+    if (!_golden.has(cap::kProbes))
+        MANTICORE_FATAL("cross-check golden engine ", _golden.name(),
+                        " has no signal probes");
+    if (!_subject.has(cap::kProbes))
+        MANTICORE_FATAL("cross-check subject engine ", _subject.name(),
+                        " has no signal probes");
+
+    std::unordered_map<std::string, ProbeHandle> golden_by_name;
+    for (size_t g = 0; g < _golden.numProbes(); ++g)
+        golden_by_name.emplace(
+            _golden.probeName(static_cast<ProbeHandle>(g)),
+            static_cast<ProbeHandle>(g));
+    for (size_t s = 0; s < _subject.numProbes(); ++s) {
+        auto it = golden_by_name.find(
+            _subject.probeName(static_cast<ProbeHandle>(s)));
+        if (it != golden_by_name.end())
+            _pairs.push_back({it->second, static_cast<ProbeHandle>(s)});
+    }
+    if (_pairs.empty())
+        MANTICORE_FATAL("cross-check of ", _subject.name(), " against ",
+                        _golden.name(),
+                        " pairs no signals: no probe names in common");
+}
+
+RunResult
+CrossCheck::run(uint64_t max_cycles)
+{
+    // Resync: a plain-run segment may have advanced one engine; the
+    // designs are closed (self-driving), so stepping the laggard up
+    // keeps the lockstep honest instead of reporting a phantom
+    // divergence.
+    while (_golden.cycle() < _subject.cycle() &&
+           _golden.status() == Status::Running)
+        _golden.step(1);
+    while (_subject.cycle() < _golden.cycle() &&
+           _subject.status() == Status::Running)
+        _subject.step(1);
+
+    uint64_t advanced = 0;
+    for (uint64_t i = 0; i < max_cycles; ++i) {
+        if (_subject.status() != Status::Running)
+            return {_subject.status(), advanced};
+        RunResult s = _subject.step(1);
+        RunResult g = _golden.step(1);
+        advanced += s.cycles;
+
+        // Status agreement first: on a terminal cycle the engines'
+        // commit timing differs by design (a failed assert suppresses
+        // the commit), so register comparison is only meaningful
+        // while both agree the run continues.
+        if (s.status != g.status) {
+            _divergence = "cycle " + std::to_string(_subject.cycle()) +
+                          ": " + _subject.name() + " status " +
+                          statusName(s.status) + " vs " +
+                          _golden.name() + " status " +
+                          statusName(g.status);
+            std::string why = s.status == Status::Failed
+                                  ? _subject.failureMessage()
+                                  : g.status == Status::Failed
+                                        ? _golden.failureMessage()
+                                        : std::string();
+            if (!why.empty())
+                _divergence += " (" + why + ")";
+            return {Status::Failed, advanced};
+        }
+        if (s.status != Status::Running)
+            return {s.status, advanced};
+
+        for (const Pair &pair : _pairs) {
+            BitVector subject_value = _subject.read(pair.subject);
+            BitVector golden_value = _golden.read(pair.golden);
+            // ISA-level probes carry whole 16-bit chunks, so an
+            // engine pair may disagree on probe width (e.g. 40-bit
+            // RTL register vs 48 chunk bits); compare the common
+            // low bits, which is the architectural register either
+            // way.
+            unsigned width = std::min(subject_value.width(),
+                                      golden_value.width());
+            if (subject_value.resize(width) != golden_value.resize(width)) {
+                _divergence =
+                    "cycle " + std::to_string(_subject.cycle()) +
+                    ": signal " + _subject.probeName(pair.subject) +
+                    ": " + _subject.name() + " " +
+                    subject_value.toString() + " vs " + _golden.name() +
+                    " " + golden_value.toString();
+                return {Status::Failed, advanced};
+            }
+        }
+    }
+    return {_subject.status(), advanced};
+}
+
+} // namespace manticore::engine

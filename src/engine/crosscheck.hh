@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Generic differential harness: lockstep ANY golden engine against
+ * ANY subject engine, comparing run status and every common RTL
+ * register probe at each cycle boundary.  This one class replaces the
+ * per-family cross-check loops runtime::Simulation used to hand-roll
+ * (netlist evaluator vs machine, ISA interpreter vs machine) and
+ * extends them to every pairing — netlist vs netlist, netlist vs
+ * ISA, ISA vs machine, ... — because all engines observe RTL
+ * registers through the same probe interface.
+ *
+ *   auto golden  = engine::create("netlist.reference", nl);
+ *   auto subject = engine::create("machine", nl, opts);
+ *   engine::CrossCheck cc(*golden, *subject);
+ *   auto res = cc.run(100'000);
+ *   if (cc.diverged()) report(cc.divergence());
+ *
+ * The first mismatch produces a report naming the diverging cycle and
+ * signal (or the disagreeing statuses) and stops the run.  Engines at
+ * different cycles are resynchronised first by stepping the laggard
+ * (the designs are closed / self-driving), so a cross-checked run can
+ * follow plain run() segments.
+ */
+
+#ifndef MANTICORE_ENGINE_CROSSCHECK_HH
+#define MANTICORE_ENGINE_CROSSCHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.hh"
+
+namespace manticore::engine {
+
+class CrossCheck
+{
+  public:
+    /** Pairs up the probes of the two engines by name (both must have
+     *  cap::kProbes and at least one name in common — a fatal()
+     *  otherwise, since a signal-free cross-check checks nothing). */
+    CrossCheck(Engine &golden, Engine &subject);
+
+    /** Advance both engines in lockstep up to max_cycles, comparing
+     *  status and every paired probe after each cycle.  Returns the
+     *  agreed status — or Status::Failed with divergence() set at the
+     *  first mismatch.  Both engines reaching the same terminal
+     *  status (e.g. both failing one assertion) is agreement, not
+     *  divergence. */
+    RunResult run(uint64_t max_cycles);
+
+    bool diverged() const { return !_divergence.empty(); }
+    /** "cycle N: signal x: <subject> 5 vs <golden> 7"; empty if the
+     *  engines agreed everywhere so far. */
+    const std::string &divergence() const { return _divergence; }
+
+    size_t numPairedSignals() const { return _pairs.size(); }
+
+  private:
+    struct Pair
+    {
+        ProbeHandle golden;
+        ProbeHandle subject;
+    };
+
+    Engine &_golden;
+    Engine &_subject;
+    std::vector<Pair> _pairs;
+    std::string _divergence;
+};
+
+} // namespace manticore::engine
+
+#endif // MANTICORE_ENGINE_CROSSCHECK_HH

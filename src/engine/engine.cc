@@ -1,0 +1,87 @@
+#include "engine/engine.hh"
+
+#include "support/logging.hh"
+
+namespace manticore::engine {
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+      case Status::Running: return "running";
+      case Status::Finished: return "finished";
+      case Status::Failed: return "failed";
+    }
+    return "?";
+}
+
+void
+Engine::unsupported(const char *what) const
+{
+    MANTICORE_FATAL("engine ", name(), " does not support ", what,
+                    " (capabilities 0x", std::hex, capabilities(), ")");
+}
+
+InputHandle
+Engine::bindInput(const std::string &input)
+{
+    (void)input;
+    unsupported("free inputs (cap::kInputs)");
+}
+
+void
+Engine::setInput(InputHandle handle, const BitVector &value)
+{
+    (void)handle;
+    (void)value;
+    unsupported("free inputs (cap::kInputs)");
+}
+
+ProbeHandle
+Engine::probe(const std::string &signal)
+{
+    (void)signal;
+    unsupported("signal probes (cap::kProbes)");
+}
+
+const std::string &
+Engine::probeName(ProbeHandle handle) const
+{
+    (void)handle;
+    unsupported("signal probes (cap::kProbes)");
+}
+
+unsigned
+Engine::probeWidth(ProbeHandle handle) const
+{
+    (void)handle;
+    unsupported("signal probes (cap::kProbes)");
+}
+
+std::vector<Stat>
+Engine::stats() const
+{
+    return {{"cycles", cycle()}};
+}
+
+const std::vector<std::string> &
+Engine::displayLog() const
+{
+    unsupported("a display log (cap::kDisplayLog)");
+}
+
+void
+Engine::setDisplaySink(DisplaySink sink)
+{
+    (void)sink;
+    unsupported("a display log (cap::kDisplayLog)");
+}
+
+void
+Engine::setExceptionHandler(ExceptionHandler handler)
+{
+    (void)handler;
+    unsupported("exception servicing (cap::kExceptions)");
+}
+
+} // namespace manticore::engine

@@ -1,0 +1,171 @@
+#include "engine/registry.hh"
+
+#include "isa/interpreter.hh"
+#include "machine/machine.hh"
+#include "netlist/evaluator.hh"
+#include "runtime/host.hh"
+#include "support/logging.hh"
+#include "support/namelist.hh"
+
+namespace manticore::engine {
+
+namespace {
+
+/** Heap context an ISA-level engine keeps alive: the compiled
+ *  program (when the registry compiled it), and the Host servicing
+ *  its exceptions. */
+struct ProgramContext
+{
+    compiler::CompileResult compiled; ///< unused by the program overload
+    isa::MachineConfig config;
+    std::unique_ptr<runtime::Host> host;
+};
+
+[[noreturn]] void
+unknownEngine(const std::string &name)
+{
+    MANTICORE_FATAL("no such engine: ", name,
+                    " (registered engines: ", formatNameList(names()),
+                    ")");
+}
+
+/** Wire an ISA-level adapter to its Host and context.  The adapter
+ *  must expose interpreter()/machine() global memory already; `setup`
+ *  has run makeInterpreter / Machine construction. */
+template <typename Adapter>
+std::unique_ptr<Engine>
+finishSelfHosted(std::unique_ptr<Adapter> adapter,
+                 std::shared_ptr<ProgramContext> ctx,
+                 const isa::Program &program,
+                 isa::GlobalMemory &global)
+{
+    ctx->host = std::make_unique<runtime::Host>(program, global);
+    ctx->host->attach(*adapter);
+    runtime::Host *host = ctx->host.get();
+    adapter->selfHost(std::move(ctx), host);
+    return adapter;
+}
+
+std::unique_ptr<Engine>
+createIsaLevel(const std::string &name,
+               std::shared_ptr<ProgramContext> ctx,
+               const isa::Program &program,
+               const isa::MachineConfig &config,
+               std::vector<RtlSignal> signals)
+{
+    if (name == "machine") {
+        auto adapter = std::make_unique<MachineEngine>(
+            std::make_unique<machine::Machine>(program, config),
+            std::move(signals));
+        isa::GlobalMemory &global = adapter->machine().globalMemory();
+        return finishSelfHosted(std::move(adapter), std::move(ctx),
+                                program, global);
+    }
+    isa::ExecMode mode;
+    if (name.rfind("isa.", 0) != 0 ||
+        !isa::parseExecMode(name.substr(4), mode))
+        unknownEngine(name);
+    auto adapter = std::make_unique<IsaEngine>(
+        name, isa::makeInterpreter(program, config, mode),
+        std::move(signals));
+    isa::GlobalMemory &global = adapter->interpreter().globalMemory();
+    return finishSelfHosted(std::move(adapter), std::move(ctx), program,
+                            global);
+}
+
+} // namespace
+
+const std::vector<EngineInfo> &
+list()
+{
+    static const std::vector<EngineInfo> kEngines = {
+        {"netlist.reference",
+         "graph-walking netlist evaluator (allocating, obviously "
+         "correct; the golden model)",
+         true},
+        {"netlist.compiled",
+         "netlist lowered once to a flat op tape over a limb arena "
+         "(zero-allocation)",
+         true},
+        {"netlist.parallel",
+         "partition-parallel tapes on a persistent worker pool with "
+         "the two-barrier Vcycle (batched step(n) amortises the "
+         "rendezvous)",
+         true},
+        {"isa.reference",
+         "instruction-walking functional ISA interpreter (untimed)",
+         false},
+        {"isa.tape",
+         "flat pre-decoded ISA op tape with fused dispatch (untimed; "
+         "batched step(n) runs the whole batch per call)",
+         false},
+        {"machine",
+         "cycle-level grid model: static schedule, torus NoC, global "
+         "stalls, perf counters",
+         false},
+    };
+    return kEngines;
+}
+
+const EngineInfo *
+find(const std::string &name)
+{
+    for (const EngineInfo &info : list())
+        if (name == info.name)
+            return &info;
+    return nullptr;
+}
+
+std::vector<std::string>
+names()
+{
+    std::vector<std::string> out;
+    for (const EngineInfo &info : list())
+        out.push_back(info.name);
+    return out;
+}
+
+std::unique_ptr<Engine>
+create(const std::string &name, const netlist::Netlist &netlist,
+       const CreateOptions &options)
+{
+    const EngineInfo *info = find(name);
+    if (!info)
+        unknownEngine(name);
+
+    if (info->netlistLevel) {
+        netlist::EvalMode mode;
+        bool ok = netlist::parseEvalMode(name.substr(8), mode);
+        MANTICORE_ASSERT(ok, "registry/EvalMode name drift for ", name);
+        return std::make_unique<NetlistEngine>(
+            name, netlist::makeEvaluator(netlist, mode, options.eval),
+            netlist);
+    }
+
+    auto ctx = std::make_shared<ProgramContext>();
+    ctx->compiled = compiler::compile(netlist, options.compile);
+    ctx->config = options.compile.config;
+    // The context outlives the engine's interpreter/machine, so the
+    // program reference below stays valid (see Adapter::selfHost).
+    const isa::Program &program = ctx->compiled.program;
+    const isa::MachineConfig &config = ctx->config;
+    std::vector<RtlSignal> signals = rtlSignals(netlist, ctx->compiled);
+    return createIsaLevel(name, std::move(ctx), program, config,
+                          std::move(signals));
+}
+
+std::unique_ptr<Engine>
+create(const std::string &name, const isa::Program &program,
+       const isa::MachineConfig &config, std::vector<RtlSignal> signals)
+{
+    const EngineInfo *info = find(name);
+    if (!info)
+        unknownEngine(name);
+    if (info->netlistLevel)
+        MANTICORE_FATAL("engine ", name, " is netlist-level: create it "
+                        "from a netlist, not a compiled program");
+    return createIsaLevel(name, std::make_shared<ProgramContext>(),
+                          program, config, std::move(signals));
+}
+
+} // namespace manticore::engine

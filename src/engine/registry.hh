@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The named-engine registry: every execution engine in the repository
+ * is creatable by registry name —
+ *
+ *   | name                | engine                                    |
+ *   |---------------------|-------------------------------------------|
+ *   | netlist.reference   | graph-walking netlist::Evaluator          |
+ *   | netlist.compiled    | flat-tape netlist::CompiledEvaluator      |
+ *   | netlist.parallel    | netlist::ParallelCompiledEvaluator        |
+ *   | isa.reference       | instruction-walking isa::Interpreter      |
+ *   | isa.tape            | flat-tape isa::TapeInterpreter            |
+ *   | machine             | cycle-level machine::Machine              |
+ *
+ * `create(name, netlist)` works for ALL of them: netlist-level
+ * engines evaluate the netlist directly; ISA-level engines compile it
+ * first (the registry owns the compiled program and wires a
+ * runtime::Host so $display / $finish / assertions work out of the
+ * box, and RTL probes go through the compiler's observation map).
+ * `create(name, program, config)` skips the compile for callers that
+ * already have a binary program.  `makeEvaluator` / `makeInterpreter`
+ * remain as thin mode-enum spellings of the same constructions.
+ *
+ * Session is the quickstart convenience: a created engine plus the
+ * one-call run loop (see README.md).
+ */
+
+#ifndef MANTICORE_ENGINE_REGISTRY_HH
+#define MANTICORE_ENGINE_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "engine/adapters.hh"
+#include "engine/engine.hh"
+#include "netlist/netlist.hh"
+
+namespace manticore::engine {
+
+struct EngineInfo
+{
+    const char *name;
+    const char *description;
+    /// Netlist-level engines evaluate the netlist directly; ISA-level
+    /// engines (isa.*, machine) execute a compiled program.
+    bool netlistLevel;
+};
+
+/** All registered engines, in documentation order. */
+const std::vector<EngineInfo> &list();
+
+/** Registry-name parsing: the EngineInfo for `name`, or nullptr. */
+const EngineInfo *find(const std::string &name);
+
+/** All registry names (for --engine flags and diagnostics). */
+std::vector<std::string> names();
+
+struct CreateOptions
+{
+    /// netlist.parallel knobs (worker count, merge strategy).
+    netlist::EvalOptions eval;
+    /// Grid / machine configuration for the ISA-level engines (the
+    /// netlist is compiled with these options).
+    compiler::CompileOptions compile;
+};
+
+/** Create any engine over a netlist.  Unknown names are a user-facing
+ *  fatal() listing the registry.  ISA-level engines compile the
+ *  netlist and come self-hosted (display log, finish/assert
+ *  servicing, RTL probes). */
+std::unique_ptr<Engine> create(const std::string &name,
+                               const netlist::Netlist &netlist,
+                               const CreateOptions &options = {});
+
+/** Create an ISA-level engine over an already-compiled program (the
+ *  program and config must outlive the engine).  Pass the signal
+ *  table from rtlSignals() to enable RTL probes; netlist-level names
+ *  are rejected. */
+std::unique_ptr<Engine> create(const std::string &name,
+                               const isa::Program &program,
+                               const isa::MachineConfig &config,
+                               std::vector<RtlSignal> signals = {});
+
+/** The three-lines-to-simulate convenience: build an engine over a
+ *  design and run it.
+ *
+ *  @code
+ *  engine::Session sim(b.build(), "machine", options);
+ *  sim->setDisplaySink([](const std::string &l) { ... });
+ *  sim.run(1'000);
+ *  @endcode
+ */
+class Session
+{
+  public:
+    explicit Session(const netlist::Netlist &netlist,
+                     const std::string &engine_name = "machine",
+                     const CreateOptions &options = {})
+        : _engine(create(engine_name, netlist, options))
+    {}
+
+    Engine &engine() { return *_engine; }
+    const Engine &engine() const { return *_engine; }
+    Engine *operator->() { return _engine.get(); }
+
+    /** Step until finish/failure or max_cycles. */
+    RunResult run(uint64_t max_cycles) { return _engine->step(max_cycles); }
+
+  private:
+    std::unique_ptr<Engine> _engine;
+};
+
+} // namespace manticore::engine
+
+#endif // MANTICORE_ENGINE_REGISTRY_HH

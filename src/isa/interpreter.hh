@@ -116,8 +116,10 @@ class InterpreterBase
      *  exceptions raised during it. */
     virtual RunStatus stepVcycle() = 0;
 
-    /** Run until finish/failure or max_vcycles. */
-    RunStatus
+    /** Run until finish/failure or max_vcycles.  The tape engine
+     *  overrides this with a natively batched loop (one dispatch per
+     *  batch); the result is cycle-exact either way. */
+    virtual RunStatus
     run(uint64_t max_vcycles)
     {
         for (uint64_t i = 0;
@@ -155,6 +157,10 @@ enum class ExecMode
 };
 
 const char *execModeName(ExecMode mode);
+
+/** Parse "reference" / "tape" (the execModeName spellings) into an
+ *  ExecMode; returns false on anything else. */
+bool parseExecMode(const std::string &name, ExecMode &mode);
 
 /** Build an interpreter over the program in the given mode.  The
  *  program and config must outlive the interpreter (same contract as

@@ -19,6 +19,18 @@ execModeName(ExecMode mode)
     return "?";
 }
 
+bool
+parseExecMode(const std::string &name, ExecMode &mode)
+{
+    for (ExecMode m : {ExecMode::Reference, ExecMode::Tape}) {
+        if (name == execModeName(m)) {
+            mode = m;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::unique_ptr<InterpreterBase>
 makeInterpreter(const Program &program, const MachineConfig &config,
                 ExecMode mode)
@@ -503,15 +515,39 @@ MANTICORE_PAIR_LIST_B(MANTICORE_PAIR_CHECK_B, unused, 0)
 RunStatus
 TapeInterpreter::stepVcycle()
 {
-    if (_status == RunStatus::Failed)
+    return runBatch(1);
+}
+
+RunStatus
+TapeInterpreter::run(uint64_t max_vcycles)
+{
+    if (_status != RunStatus::Running)
         return _status;
-    RunStatus entry_status = _status;
+    return runBatch(max_vcycles);
+}
+
+/** Execute up to max_vcycles Vcycles in one call: the register /
+ *  scratch / epilogue base pointers are hoisted out of the per-Vcycle
+ *  loop and the whole batch runs without re-entering the interpreter
+ *  — one dispatch per batch instead of one virtual call plus prologue
+ *  per Vcycle.  Bit-identical to a stepVcycle() loop (the engine
+ *  differential suite pins this); the first Vcycle of a batch runs
+ *  even when the status is already Finished, preserving stepVcycle's
+ *  single-call semantics. */
+RunStatus
+TapeInterpreter::runBatch(uint64_t max_vcycles)
+{
+    if (_status == RunStatus::Failed || max_vcycles == 0)
+        return _status;
 
     uint32_t *const regs = _regs.data();
     uint16_t *const scratch = _scratch.data();
     uint16_t *const send_values = _epilogue.values.data();
     const uint16_t *const cfu_masks = _cfuMasks.data();
     const uint32_t scratch_size = _config.scratchSize;
+
+    for (uint64_t v = 0; v < max_vcycles; ++v) {
+    RunStatus entry_status = _status;
 
     for (const ProcRange &pr : _ranges) {
         bool pred = _pred[pr.pid] != 0;
@@ -564,6 +600,9 @@ TapeInterpreter::stepVcycle()
     ++_vcycle;
     if (entry_status == RunStatus::Finished)
         _status = RunStatus::Finished;
+    if (_status != RunStatus::Running)
+        return _status;
+    } // per-Vcycle batch loop
     return _status;
 }
 

@@ -63,6 +63,9 @@ class TapeInterpreter : public InterpreterBase
     TapeInterpreter(const Program &program, const MachineConfig &config);
 
     RunStatus stepVcycle() override;
+    /** Natively batched: up to max_vcycles Vcycles per call, hot-loop
+     *  pointers hoisted out of the per-Vcycle loop (see runBatch). */
+    RunStatus run(uint64_t max_vcycles) override;
 
     uint64_t vcycle() const override { return _vcycle; }
     RunStatus status() const override { return _status; }
@@ -121,6 +124,7 @@ class TapeInterpreter : public InterpreterBase
     };
 
     void lowerProcess(uint32_t pid, const Program &program);
+    RunStatus runBatch(uint64_t max_vcycles);
 
     const Program &_program;
     MachineConfig _config;

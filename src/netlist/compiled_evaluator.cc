@@ -142,11 +142,31 @@ CompiledEvaluator::step()
     return _status;
 }
 
+SimStatus
+CompiledEvaluator::run(uint64_t max_cycles)
+{
+    // Devirtualised batch loop: one call drives the whole batch
+    // through the non-virtual step body.
+    for (uint64_t i = 0;
+         i < max_cycles && _status == SimStatus::Ok; ++i)
+        CompiledEvaluator::step();
+    return _status;
+}
+
 void
 CompiledEvaluator::setInput(const std::string &name, const BitVector &value)
 {
-    NodeId id = resolveInput(_netlist, name, value);
-    lo::copy(&_arena[_slotOf[id]], value.limbs().data(),
+    driveInput(resolveInput(_netlist, name, value), value);
+}
+
+void
+CompiledEvaluator::driveInput(NodeId input, const BitVector &value)
+{
+    MANTICORE_ASSERT(input < _netlist.numNodes() &&
+                         _netlist.node(input).kind == OpKind::Input &&
+                         _netlist.node(input).width == value.width(),
+                     "bad driveInput target");
+    lo::copy(&_arena[_slotOf[input]], value.limbs().data(),
              lo::nlimbs(value.width()));
 }
 
@@ -167,10 +187,7 @@ CompiledEvaluator::regValue(RegId id) const
 BitVector
 CompiledEvaluator::regValue(const std::string &name) const
 {
-    RegId id = _netlist.findRegister(name);
-    if (id == kInvalidReg)
-        MANTICORE_FATAL("no such register: ", name);
-    return regValue(id);
+    return regValue(resolveRegister(_netlist, name));
 }
 
 BitVector
@@ -197,6 +214,19 @@ evalModeName(EvalMode mode)
       case EvalMode::Parallel: return "parallel";
     }
     return "?";
+}
+
+bool
+parseEvalMode(const std::string &name, EvalMode &mode)
+{
+    for (EvalMode m : {EvalMode::Reference, EvalMode::Compiled,
+                       EvalMode::Parallel}) {
+        if (name == evalModeName(m)) {
+            mode = m;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::unique_ptr<EvaluatorBase>

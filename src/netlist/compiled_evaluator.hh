@@ -41,7 +41,11 @@ class CompiledEvaluator : public EvaluatorBase
     explicit CompiledEvaluator(Netlist netlist);
 
     void setInput(const std::string &name, const BitVector &value) override;
+    void driveInput(NodeId input, const BitVector &value) override;
     SimStatus step() override;
+    /** Batched stepping: one virtual call per batch, devirtualised
+     *  step loop inside. */
+    SimStatus run(uint64_t max_cycles) override;
 
     uint64_t cycle() const override { return _cycle; }
     SimStatus status() const override { return _status; }

@@ -1,6 +1,7 @@
 #include "netlist/evaluator.hh"
 
 #include "support/logging.hh"
+#include "support/namelist.hh"
 
 namespace manticore::netlist {
 
@@ -26,16 +27,40 @@ EvaluatorBase::resolveInput(const Netlist &netlist, const std::string &name,
 {
     NodeId id = netlist.findInput(name);
     if (id == kInvalidNode)
-        MANTICORE_FATAL("no such input: ", name);
-    MANTICORE_ASSERT(value.width() == netlist.node(id).width,
-                     "input width mismatch for ", name);
+        MANTICORE_FATAL("no such input: ", name, " (valid inputs: ",
+                        formatNameList(netlist.inputNames()), ")");
+    if (value.width() != netlist.node(id).width)
+        MANTICORE_FATAL("input width mismatch for ", name, ": driven ",
+                        value.width(), " bits, declared ",
+                        netlist.node(id).width);
+    return id;
+}
+
+RegId
+EvaluatorBase::resolveRegister(const Netlist &netlist,
+                               const std::string &name)
+{
+    RegId id = netlist.findRegister(name);
+    if (id == kInvalidReg)
+        MANTICORE_FATAL("no such register: ", name, " (valid registers: ",
+                        formatNameList(netlist.registerNames()), ")");
     return id;
 }
 
 void
 Evaluator::setInput(const std::string &name, const BitVector &value)
 {
-    _inputs[resolveInput(_netlist, name, value)] = value;
+    driveInput(resolveInput(_netlist, name, value), value);
+}
+
+void
+Evaluator::driveInput(NodeId input, const BitVector &value)
+{
+    MANTICORE_ASSERT(input < _netlist.numNodes() &&
+                         _netlist.node(input).kind == OpKind::Input &&
+                         _netlist.node(input).width == value.width(),
+                     "bad driveInput target");
+    _inputs[input] = value;
 }
 
 void
@@ -183,10 +208,7 @@ Evaluator::step()
 BitVector
 Evaluator::regValue(const std::string &name) const
 {
-    RegId id = _netlist.findRegister(name);
-    if (id == kInvalidReg)
-        MANTICORE_FATAL("no such register: ", name);
-    return _regs[id];
+    return _regs[resolveRegister(_netlist, name)];
 }
 
 BitVector

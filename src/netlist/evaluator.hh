@@ -54,11 +54,20 @@ class EvaluatorBase
     virtual void setInput(const std::string &name,
                           const BitVector &value) = 0;
 
+    /** Drive a free input by node id (as returned by
+     *  Netlist::findInput) — the string-free fast path behind
+     *  engine::Engine::setInput.  The id must name an Input node and
+     *  the value must match its width. */
+    virtual void driveInput(NodeId input, const BitVector &value) = 0;
+
     /** Simulate one clock cycle: evaluate the DAG, emit side effects,
      *  commit registers and memory writes. */
     virtual SimStatus step() = 0;
 
-    /** Step up to max_cycles or until $finish / assert failure. */
+    /** Step up to max_cycles or until $finish / assert failure.
+     *  Engines with a native batch mode (the compiled tape, the
+     *  partition-parallel pool) override this; the result is
+     *  cycle-exact with a step() loop either way. */
     virtual SimStatus
     run(uint64_t max_cycles)
     {
@@ -84,10 +93,16 @@ class EvaluatorBase
 
   protected:
     /** Shared setInput validation: resolve an input by name and check
-     *  the driven width, fatal()ing on unknown names / bad widths. */
+     *  the driven width.  Unknown names and bad widths are
+     *  user-facing fatal()s listing the valid input names. */
     static NodeId resolveInput(const Netlist &netlist,
                                const std::string &name,
                                const BitVector &value);
+
+    /** Shared regValue(name) validation: unknown names are a
+     *  user-facing fatal() listing the valid register names. */
+    static RegId resolveRegister(const Netlist &netlist,
+                                 const std::string &name);
 };
 
 /** Which evaluator engine makeEvaluator() should build. */
@@ -99,6 +114,10 @@ enum class EvalMode
 };
 
 const char *evalModeName(EvalMode mode);
+
+/** Parse "reference" / "compiled" / "parallel" (the evalModeName
+ *  spellings) into an EvalMode; returns false on anything else. */
+bool parseEvalMode(const std::string &name, EvalMode &mode);
 
 /** Engine options; only EvalMode::Parallel consults them today. */
 struct EvalOptions
@@ -124,6 +143,7 @@ class Evaluator : public EvaluatorBase
     explicit Evaluator(Netlist netlist);
 
     void setInput(const std::string &name, const BitVector &value) override;
+    void driveInput(NodeId input, const BitVector &value) override;
     SimStatus step() override;
 
     uint64_t cycle() const override { return _cycle; }

@@ -138,6 +138,25 @@ Netlist::findRegister(const std::string &name) const
     return it == _regIndex.end() ? kInvalidReg : it->second;
 }
 
+std::vector<std::string>
+Netlist::inputNames() const
+{
+    std::vector<std::string> names;
+    for (const Node &n : _nodes)
+        if (n.kind == OpKind::Input)
+            names.push_back(n.name);
+    return names;
+}
+
+std::vector<std::string>
+Netlist::registerNames() const
+{
+    std::vector<std::string> names;
+    for (const Register &r : _registers)
+        names.push_back(r.name);
+    return names;
+}
+
 void
 Netlist::validate() const
 {

@@ -172,6 +172,12 @@ class Netlist
     NodeId findInput(const std::string &name) const;
     RegId findRegister(const std::string &name) const;
 
+    /** All input / register names in definition order (used by the
+     *  "no such input/register" diagnostics and the engine layer's
+     *  name tables). */
+    std::vector<std::string> inputNames() const;
+    std::vector<std::string> registerNames() const;
+
     /** Structural validation: widths, arities, wired registers, no
      *  combinational cycles.  Calls fatal() on the first violation. */
     void validate() const;

@@ -40,7 +40,7 @@ waitAbove(const std::atomic<uint64_t> &gen, uint64_t last)
 }
 
 void
-waitCount(const std::atomic<uint32_t> &counter, uint32_t target)
+waitCount(const std::atomic<uint64_t> &counter, uint64_t target)
 {
     unsigned spins = 0;
     while (counter.load(std::memory_order_acquire) < target) {
@@ -257,87 +257,152 @@ ParallelCompiledEvaluator::commitProc(const Proc &proc)
         lo::copy(A + rc.dst, A + rc.src, rc.limbs);
 }
 
+/* Batch protocol.  A run()/step() call issues ONE pool command: the
+ * master bumps _computeGen once and every worker enters its batch
+ * loop.  Within the batch, each cycle is
+ *
+ *   worker: compute; ++_computeDone; wait _commitGen; commit if
+ *           _doCommit; read _batchMore; ++_commitDone; if more: wait
+ *           _commitDone == everyone, roll into the next compute
+ *   master: compute proc 0; wait _computeDone target; fire effects;
+ *           publish _doCommit/_batchMore; bump _commitGen; commit
+ *           proc 0; ++_commitDone; wait _commitDone target
+ *
+ * Barrier 2 (all commits visible before any next-cycle compute) is
+ * the _commitDone counter itself: every participant — master
+ * included — counts its commit, and a worker rolls over only once
+ * the full cycle's count is in.  The batch thus pays one generation
+ * signal per cycle (plus the counters) instead of two signals and
+ * two counter resets, and the master never re-enters step().  The
+ * done-counters are monotonic against per-thread targets, which is
+ * what makes the reset-free roll-over safe: a worker's baseline read
+ * at batch entry is stable because the master only bumps _computeGen
+ * after the previous cycle's full commit count arrived.  _batchMore
+ * is written by the master before the _commitGen release bump and
+ * read by workers after its acquire, strictly before the master's
+ * next write to it. */
 void
 ParallelCompiledEvaluator::workerLoop(size_t proc_index)
 {
+    const uint64_t participants = _procs.size();
     uint64_t seen_compute = 0, seen_commit = 0;
     while (true) {
         seen_compute = waitAbove(_computeGen, seen_compute);
         if (_shutdown.load(std::memory_order_relaxed))
             return;
-        computeProc(_procs[proc_index]);
-        _computeDone.fetch_add(1, std::memory_order_release);
-        seen_commit = waitAbove(_commitGen, seen_commit);
-        if (_shutdown.load(std::memory_order_relaxed))
-            return;
-        if (_doCommit)
-            commitProc(_procs[proc_index]);
-        _commitDone.fetch_add(1, std::memory_order_release);
+        uint64_t commit_target =
+            _commitDone.load(std::memory_order_acquire);
+        while (true) {
+            computeProc(_procs[proc_index]);
+            _computeDone.fetch_add(1, std::memory_order_release);
+            seen_commit = waitAbove(_commitGen, seen_commit);
+            if (_shutdown.load(std::memory_order_relaxed))
+                return;
+            bool more = _batchMore;
+            if (_doCommit)
+                commitProc(_procs[proc_index]);
+            _commitDone.fetch_add(1, std::memory_order_release);
+            if (!more)
+                break; // park at the next batch's compute rendezvous
+            commit_target += participants;
+            waitCount(_commitDone, commit_target);
+        }
     }
 }
 
 SimStatus
 ParallelCompiledEvaluator::step()
 {
-    if (_status != SimStatus::Ok)
+    return runBatch(1);
+}
+
+SimStatus
+ParallelCompiledEvaluator::run(uint64_t max_cycles)
+{
+    return runBatch(max_cycles);
+}
+
+SimStatus
+ParallelCompiledEvaluator::runBatch(uint64_t max_cycles)
+{
+    if (_status != SimStatus::Ok || max_cycles == 0)
         return _status;
 
-    const uint32_t workers = static_cast<uint32_t>(_pool.size());
+    const uint64_t workers = _pool.size();
 
-    // Compute phase: all processes run their tapes and stage commit
-    // operands; the master runs process 0 inline.
-    _computeDone.store(0, std::memory_order_relaxed);
-    _commitDone.store(0, std::memory_order_relaxed);
+    // One pool command for the whole batch: workers enter their batch
+    // loop and compute cycle 0; the master runs process 0 inline.
     _computeGen.fetch_add(1, std::memory_order_release);
-    if (!_procs.empty())
-        computeProc(_procs[0]);
-    waitCount(_computeDone, workers);
+    for (uint64_t left = max_cycles;; --left) {
+        if (!_procs.empty())
+            computeProc(_procs[0]);
+        _computeTarget += workers;
+        waitCount(_computeDone, _computeTarget);
 
-    // Barrier 1 passed: every combinational value is visible.  Fire
-    // side effects in netlist order on the master thread — a failed
-    // assert suppresses this cycle's displays, $finish and commit,
-    // like the serial engines.  If firing throws (a throwing
-    // onDisplay callback, allocation failure while formatting), the
-    // commit rendezvous must still complete or the workers stay
-    // parked at it and the next step() deadlocks; the cycle is then
-    // neither committed nor counted (and the display log rolled
-    // back), so a caller that catches can retry it — though an
-    // external onDisplay sink may see already-delivered lines again.
-    const uint64_t *A = _arena.data();
-    bool finished = false;
-    std::exception_ptr thrown;
-    try {
-        _doCommit = _effects.fire(A, _cycle, _status, _failureMessage,
-                                  _displayLog, onDisplay, finished);
-    } catch (...) {
-        thrown = std::current_exception();
-        _doCommit = false;
+        // Barrier 1 passed: every combinational value is visible.
+        // Fire side effects in netlist order on the master thread — a
+        // failed assert suppresses this cycle's displays, $finish and
+        // commit, like the serial engines.  If firing throws (a
+        // throwing onDisplay callback, allocation failure while
+        // formatting), the commit rendezvous must still complete or
+        // the workers stay parked at it and the next step()
+        // deadlocks; the cycle is then neither committed nor counted
+        // (and the display log rolled back), so a caller that catches
+        // can retry it — though an external onDisplay sink may see
+        // already-delivered lines again.
+        const uint64_t *A = _arena.data();
+        bool finished = false;
+        std::exception_ptr thrown;
+        try {
+            _doCommit = _effects.fire(A, _cycle, _status,
+                                      _failureMessage, _displayLog,
+                                      onDisplay, finished);
+        } catch (...) {
+            thrown = std::current_exception();
+            _doCommit = false;
+        }
+
+        // Commit phase: every process sends its owned registers /
+        // memory writes into the shared state.  Workers continue into
+        // the next cycle's compute iff the batch goes on.
+        _batchMore = left > 1 && _doCommit && !finished && !thrown;
+        _commitGen.fetch_add(1, std::memory_order_release);
+        if (_doCommit && !_procs.empty())
+            commitProc(_procs[0]);
+        _commitDone.fetch_add(1, std::memory_order_release);
+        _commitTarget += workers + 1;
+        waitCount(_commitDone, _commitTarget);
+        if (thrown)
+            std::rethrow_exception(thrown);
+
+        if (!_doCommit)
+            return _status; // assertion failed: no commit, no cycle
+
+        ++_cycle;
+        if (finished) {
+            _status = SimStatus::Finished;
+            return _status;
+        }
+        if (left == 1)
+            return _status;
     }
-
-    // Commit phase: every process sends its owned registers / memory
-    // writes into the shared state.
-    _commitGen.fetch_add(1, std::memory_order_release);
-    if (_doCommit && !_procs.empty())
-        commitProc(_procs[0]);
-    waitCount(_commitDone, workers);
-    if (thrown)
-        std::rethrow_exception(thrown);
-
-    if (!_doCommit)
-        return _status; // assertion failed: no commit, no cycle
-
-    ++_cycle;
-    if (finished)
-        _status = SimStatus::Finished;
-    return _status;
 }
 
 void
 ParallelCompiledEvaluator::setInput(const std::string &name,
                                     const BitVector &value)
 {
-    NodeId id = resolveInput(_netlist, name, value);
-    lo::copy(&_arena[_sourceSlot[id]], value.limbs().data(),
+    driveInput(resolveInput(_netlist, name, value), value);
+}
+
+void
+ParallelCompiledEvaluator::driveInput(NodeId input, const BitVector &value)
+{
+    MANTICORE_ASSERT(input < _netlist.numNodes() &&
+                         _netlist.node(input).kind == OpKind::Input &&
+                         _netlist.node(input).width == value.width(),
+                     "bad driveInput target");
+    lo::copy(&_arena[_sourceSlot[input]], value.limbs().data(),
              lo::nlimbs(value.width()));
 }
 
@@ -357,10 +422,7 @@ ParallelCompiledEvaluator::regValue(RegId id) const
 BitVector
 ParallelCompiledEvaluator::regValue(const std::string &name) const
 {
-    RegId id = _netlist.findRegister(name);
-    if (id == kInvalidReg)
-        MANTICORE_FATAL("no such register: ", name);
-    return regValue(id);
+    return regValue(resolveRegister(_netlist, name));
 }
 
 BitVector

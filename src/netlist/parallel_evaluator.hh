@@ -63,7 +63,16 @@ class ParallelCompiledEvaluator : public EvaluatorBase
     operator=(const ParallelCompiledEvaluator &) = delete;
 
     void setInput(const std::string &name, const BitVector &value) override;
+    void driveInput(NodeId input, const BitVector &value) override;
     SimStatus step() override;
+    /** Batched stepping: the whole batch runs as ONE worker-pool
+     *  command, so the pool pays one wake-up rendezvous per batch and
+     *  one (not two) generation signal per cycle — workers roll from
+     *  the commit of cycle k straight into the compute of cycle k+1
+     *  (see the batch protocol notes above workerLoop).  Cycle-exact
+     *  with a step() loop, including side-effect order and the
+     *  no-commit-after-failed-assert rule. */
+    SimStatus run(uint64_t max_cycles) override;
 
     uint64_t cycle() const override { return _cycle; }
     SimStatus status() const override { return _status; }
@@ -123,6 +132,7 @@ class ParallelCompiledEvaluator : public EvaluatorBase
     void computeProc(const Proc &proc);
     void commitProc(const Proc &proc);
     void workerLoop(size_t proc_index);
+    SimStatus runBatch(uint64_t max_cycles);
     BitVector slotValue(uint32_t slot, unsigned width) const;
 
     Netlist _netlist; ///< cold copy for name/width lookups only
@@ -139,13 +149,20 @@ class ParallelCompiledEvaluator : public EvaluatorBase
     // Two-barrier worker-pool rendezvous.  The master participates by
     // running process 0 inline; workers run processes 1..N-1.  All
     // cross-thread data movement is ordered through the release/
-    // acquire chains on these counters.
+    // acquire chains on these counters.  _computeGen starts a batch
+    // (workers park on it between run()/step() calls); within a batch
+    // only _commitGen advances per cycle, and the done-counters count
+    // monotonically against master-side targets so no per-cycle reset
+    // is needed.
     std::atomic<uint64_t> _computeGen{0};
     std::atomic<uint64_t> _commitGen{0};
-    std::atomic<uint32_t> _computeDone{0};
-    std::atomic<uint32_t> _commitDone{0};
+    std::atomic<uint64_t> _computeDone{0};
+    std::atomic<uint64_t> _commitDone{0};
     std::atomic<bool> _shutdown{false};
-    bool _doCommit = false; ///< master->workers, ordered by _commitGen
+    bool _doCommit = false;  ///< master->workers, ordered by _commitGen
+    bool _batchMore = false; ///< more cycles in this batch (same ordering)
+    uint64_t _computeTarget = 0; ///< master-only done-counter targets
+    uint64_t _commitTarget = 0;
     std::vector<std::thread> _pool;
 
     uint64_t _cycle = 0;

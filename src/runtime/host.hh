@@ -6,8 +6,11 @@
  * (conceptually after flushing the cache), formats, and logs the line;
  * $finish stops the run; a failed assertion stops it with an error.
  *
- * The Host is engine-agnostic: attach() wires it to either the
- * functional ISA interpreter or the cycle-level machine simulator.
+ * The Host is engine-agnostic: attach() wires it to any
+ * engine::Engine with the exception capability (the functional ISA
+ * interpreters and the cycle-level machine; wrap a concrete engine
+ * with engine::wrap).  Engines created through the registry come with
+ * a Host already attached.
  */
 
 #ifndef MANTICORE_RUNTIME_HOST_HH
@@ -17,9 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hh"
 #include "isa/interpreter.hh"
 #include "isa/isa.hh"
-#include "machine/machine.hh"
 
 namespace manticore::runtime {
 
@@ -33,22 +36,23 @@ class Host
     /** Service one exception; returns what the engine should do. */
     isa::HostAction service(uint32_t pid, uint16_t eid);
 
-    /** Wire this host into an execution engine (either functional
-     *  interpreter via InterpreterBase, or the machine). */
+    /** Wire this host into an execution engine.  The one attach for
+     *  every engine family: the engine must have cap::kExceptions
+     *  (the ISA-level engines; a fatal() otherwise).  The handler
+     *  lands on the underlying engine, so a temporary wrap() adapter
+     *  may be passed. */
     void
-    attach(isa::InterpreterBase &interp)
+    attach(engine::Engine &e)
     {
-        interp.onException = [this](uint32_t pid, uint16_t eid) {
+        e.setExceptionHandler([this](uint32_t pid, uint16_t eid) {
             return service(pid, eid);
-        };
+        });
     }
 
     void
-    attach(machine::Machine &m)
+    attach(engine::Engine &&e)
     {
-        m.onException = [this](uint32_t pid, uint16_t eid) {
-            return service(pid, eid);
-        };
+        attach(e);
     }
 
     const std::vector<std::string> &displayLog() const

@@ -1,32 +1,20 @@
 #include "runtime/simulation.hh"
 
-#include "runtime/waveform.hh"
+#include "engine/crosscheck.hh"
+#include "engine/registry.hh"
 #include "support/logging.hh"
 
 namespace manticore::runtime {
 
 namespace {
 
-const char *
-runStatusName(isa::RunStatus status)
-{
-    switch (status) {
-      case isa::RunStatus::Running: return "running";
-      case isa::RunStatus::Finished: return "finished";
-      case isa::RunStatus::Failed: return "failed";
-    }
-    return "?";
-}
-
-/** The machine status a golden evaluator status corresponds to. */
 isa::RunStatus
-expectedMachineStatus(netlist::SimStatus status)
+toRunStatus(engine::Status status)
 {
     switch (status) {
-      case netlist::SimStatus::Ok: return isa::RunStatus::Running;
-      case netlist::SimStatus::Finished: return isa::RunStatus::Finished;
-      case netlist::SimStatus::AssertFailed:
-        return isa::RunStatus::Failed;
+      case engine::Status::Running: return isa::RunStatus::Running;
+      case engine::Status::Finished: return isa::RunStatus::Finished;
+      case engine::Status::Failed: return isa::RunStatus::Failed;
     }
     return isa::RunStatus::Failed;
 }
@@ -40,9 +28,12 @@ Simulation::Simulation(const netlist::Netlist &netlist,
 {
     _machine = std::make_unique<machine::Machine>(_compiled.program,
                                                   _config);
+    _signals = engine::rtlSignals(netlist, _compiled);
+    _machineEngine =
+        std::make_unique<engine::MachineEngine>(*_machine, _signals);
     _host = std::make_unique<Host>(_compiled.program,
                                    _machine->globalMemory());
-    _host->attach(*_machine);
+    _host->attach(*_machineEngine);
 }
 
 Simulation::Simulation(const netlist::Netlist &netlist,
@@ -63,67 +54,29 @@ Simulation::run(uint64_t max_vcycles)
 }
 
 isa::RunStatus
+Simulation::crossCheckAgainst(engine::Engine &golden,
+                              uint64_t max_vcycles)
+{
+    engine::CrossCheck harness(golden, *_machineEngine);
+    engine::RunResult result = harness.run(max_vcycles);
+    _divergence = harness.divergence();
+    return toRunStatus(result.status);
+}
+
+isa::RunStatus
 Simulation::runCrossChecked(uint64_t max_vcycles)
 {
     MANTICORE_ASSERT(_netlist.has_value(),
                      "runCrossChecked requires constructing Simulation "
                      "with a golden EvalMode");
-    if (!_golden)
-        _golden = netlist::makeEvaluator(*_netlist, _goldenMode,
-                                         _goldenOptions);
-    // The machine may have advanced via run() — before this call or
-    // between cross-checked calls.  The designs are closed
-    // (self-driving), so stepping the golden model up to the
-    // machine's Vcycle keeps the lockstep honest instead of
-    // reporting a phantom divergence.
-    while (_golden->cycle() < vcycles() &&
-           _golden->status() == netlist::SimStatus::Ok)
-        _golden->step();
-    for (uint64_t v = 0; v < max_vcycles; ++v) {
-        if (_machine->status() != isa::RunStatus::Running)
-            return _machine->status();
-        isa::RunStatus st = _machine->runVcycle();
-        netlist::SimStatus gst = _golden->step();
-
-        // Status agreement first: on a terminal cycle the engines'
-        // commit timing differs by design (the golden model skips the
-        // commit after a failed assert), so register comparison is
-        // only meaningful while both agree the run continues.
-        if (st != expectedMachineStatus(gst)) {
-            _divergence = "vcycle " + std::to_string(vcycles()) +
-                          ": machine status " + runStatusName(st) +
-                          " vs " + netlist::evalModeName(_goldenMode) +
-                          " evaluator status " +
-                          runStatusName(expectedMachineStatus(gst)) +
-                          (gst == netlist::SimStatus::AssertFailed
-                               ? " (" + _golden->failureMessage() + ")"
-                               : "");
-            return isa::RunStatus::Failed;
-        }
-        if (st != isa::RunStatus::Running)
-            return st;
-
-        for (size_t r = 0; r < _netlist->numRegisters(); ++r) {
-            const netlist::Register &reg =
-                _netlist->reg(static_cast<uint32_t>(r));
-            BitVector hw = readMachineRegister(
-                *_machine, _compiled.regChunkHome[r], reg.width);
-            BitVector gold =
-                _golden->regValue(static_cast<uint32_t>(r));
-            if (hw != gold) {
-                _divergence =
-                    "vcycle " + std::to_string(vcycles()) +
-                    ": register " +
-                    (reg.name.empty() ? "#" + std::to_string(r)
-                                      : reg.name) +
-                    ": machine " + hw.toString() + " vs " +
-                    netlist::evalModeName(_goldenMode) + " evaluator " +
-                    gold.toString();
-                return isa::RunStatus::Failed;
-            }
-        }
+    if (!_golden) {
+        engine::CreateOptions options;
+        options.eval = _goldenOptions;
+        _golden = engine::create(
+            std::string("netlist.") + netlist::evalModeName(_goldenMode),
+            *_netlist, options);
     }
-    return _machine->status();
+    return crossCheckAgainst(*_golden, max_vcycles);
 }
 
 isa::RunStatus
@@ -131,54 +84,11 @@ Simulation::runIsaCrossChecked(uint64_t max_vcycles, isa::ExecMode mode)
 {
     if (!_isaGolden || _isaGoldenMode != mode) {
         _isaGoldenMode = mode;
-        _isaGolden =
-            isa::makeInterpreter(_compiled.program, _config, mode);
-        _isaGoldenHost = std::make_unique<Host>(
-            _compiled.program, _isaGolden->globalMemory());
-        _isaGoldenHost->attach(*_isaGolden);
+        _isaGolden = engine::create(
+            std::string("isa.") + isa::execModeName(mode),
+            _compiled.program, _config, _signals);
     }
-    // Catch up if the machine advanced via run() before this call;
-    // the designs are closed, so replaying keeps the lockstep honest.
-    while (_isaGolden->vcycle() < vcycles() &&
-           _isaGolden->status() == isa::RunStatus::Running)
-        _isaGolden->stepVcycle();
-    for (uint64_t v = 0; v < max_vcycles; ++v) {
-        if (_machine->status() != isa::RunStatus::Running)
-            return _machine->status();
-        isa::RunStatus st = _machine->runVcycle();
-        isa::RunStatus gst = _isaGolden->stepVcycle();
-
-        if (st != gst) {
-            _divergence = "vcycle " + std::to_string(vcycles()) +
-                          ": machine status " + runStatusName(st) +
-                          " vs " + isa::execModeName(_isaGoldenMode) +
-                          " interpreter status " + runStatusName(gst);
-            return isa::RunStatus::Failed;
-        }
-        if (st != isa::RunStatus::Running)
-            return st;
-
-        for (size_t r = 0; r < _compiled.regChunkHome.size(); ++r) {
-            const auto &homes = _compiled.regChunkHome[r];
-            for (size_t c = 0; c < homes.size(); ++c) {
-                uint16_t hw =
-                    _machine->regValue(homes[c].process, homes[c].reg);
-                uint16_t gold = _isaGolden->regValue(homes[c].process,
-                                                     homes[c].reg);
-                if (hw != gold) {
-                    _divergence =
-                        "vcycle " + std::to_string(vcycles()) +
-                        ": register #" + std::to_string(r) + " chunk " +
-                        std::to_string(c) + ": machine " +
-                        std::to_string(hw) + " vs " +
-                        isa::execModeName(_isaGoldenMode) +
-                        " interpreter " + std::to_string(gold);
-                    return isa::RunStatus::Failed;
-                }
-            }
-        }
-    }
-    return _machine->status();
+    return crossCheckAgainst(*_isaGolden, max_vcycles);
 }
 
 double

@@ -5,18 +5,17 @@
  * the cycle-level machine, wires up the host runtime, and exposes
  * run / rate / log accessors.  This is the entry point the examples
  * and benchmarks use — the "three lines to simulate your design"
- * experience of the README quickstart.
+ * experience of the README quickstart.  (For engine-agnostic
+ * harnesses, engine::Session + engine::create is the more general
+ * spelling; Simulation remains the machine-centric facade.)
  *
- * runCrossChecked() additionally locksteps the machine against a
- * golden-model netlist evaluator.  The engine is selectable via
- * EvalMode (reference / compiled / parallel) instead of hard-coding
- * the reference evaluator, so long cross-checked runs can use the
- * fast engines (see README.md §engines).
- *
- * runIsaCrossChecked() locksteps the machine against a functional ISA
- * interpreter on the same compiled program (selectable via
- * isa::ExecMode, defaulting to the fast tape engine), catching
- * machine-model timing bugs without needing the netlist golden model.
+ * runCrossChecked() locksteps the machine against a golden-model
+ * netlist evaluator, runIsaCrossChecked() against a functional ISA
+ * interpreter on the same compiled program.  Both are thin wrappers
+ * over the generic engine::CrossCheck harness — the machine is the
+ * subject engine, the golden engine is selectable (EvalMode /
+ * ExecMode), and the first mismatch is reported with its cycle and
+ * signal through divergence().
  */
 
 #ifndef MANTICORE_RUNTIME_SIMULATION_HH
@@ -27,6 +26,7 @@
 #include <string>
 
 #include "compiler/compiler.hh"
+#include "engine/adapters.hh"
 #include "machine/machine.hh"
 #include "netlist/evaluator.hh"
 #include "netlist/netlist.hh"
@@ -56,17 +56,16 @@ class Simulation
     isa::RunStatus run(uint64_t max_vcycles);
 
     /** Simulate up to max_vcycles RTL cycles with the machine and the
-     *  golden-model evaluator in lockstep, comparing engine status
-     *  and every RTL register at each Vcycle boundary.  Returns
-     *  Failed (with divergence() set) at the first mismatch.
-     *  Requires construction with a golden EvalMode. */
+     *  golden-model evaluator in lockstep (engine::CrossCheck),
+     *  comparing engine status and every RTL register at each Vcycle
+     *  boundary.  Returns Failed (with divergence() set) at the first
+     *  mismatch.  Requires construction with a golden EvalMode. */
     isa::RunStatus runCrossChecked(uint64_t max_vcycles);
 
     /** Simulate up to max_vcycles RTL cycles with the machine and a
-     *  functional ISA interpreter (built by isa::makeInterpreter on
-     *  the compiled program) in lockstep, comparing engine status and
-     *  every RTL register chunk home at each Vcycle boundary.
-     *  Available on any Simulation (no netlist copy needed). */
+     *  functional ISA interpreter (on the same compiled program) in
+     *  lockstep.  Available on any Simulation (no netlist copy
+     *  needed). */
     isa::RunStatus
     runIsaCrossChecked(uint64_t max_vcycles,
                        isa::ExecMode mode = isa::ExecMode::Tape);
@@ -90,6 +89,9 @@ class Simulation
         return _compiled;
     }
     machine::Machine &machine() { return *_machine; }
+    /** The machine as an engine::Engine (probes wired to the
+     *  compiler's observation map). */
+    engine::Engine &machineEngine() { return *_machineEngine; }
     Host &host() { return *_host; }
     const std::vector<std::string> &displayLog() const
     {
@@ -97,6 +99,9 @@ class Simulation
     }
 
   private:
+    isa::RunStatus crossCheckAgainst(engine::Engine &golden,
+                                     uint64_t max_vcycles);
+
     /// Netlist copy for golden-model construction; engaged only by
     /// the cross-checkable constructor.
     std::optional<netlist::Netlist> _netlist;
@@ -105,12 +110,14 @@ class Simulation
     netlist::EvalMode _goldenMode = netlist::EvalMode::Reference;
     netlist::EvalOptions _goldenOptions;
     std::unique_ptr<machine::Machine> _machine;
+    /// RTL register observation table (names / widths / chunk homes).
+    std::vector<engine::RtlSignal> _signals;
+    /// Engine view of *_machine: the cross-check subject.
+    std::unique_ptr<engine::MachineEngine> _machineEngine;
     std::unique_ptr<Host> _host;
-    std::unique_ptr<netlist::EvaluatorBase> _golden;
-    /// ISA-level golden interpreter (runIsaCrossChecked), with its own
-    /// host so $display/$finish are serviced identically.
-    std::unique_ptr<isa::InterpreterBase> _isaGolden;
-    std::unique_ptr<Host> _isaGoldenHost;
+    /// Lazily-created golden engines (netlist- and ISA-level).
+    std::unique_ptr<engine::Engine> _golden;
+    std::unique_ptr<engine::Engine> _isaGolden;
     isa::ExecMode _isaGoldenMode = isa::ExecMode::Tape;
     std::string _divergence;
 };

@@ -1,5 +1,6 @@
 #include "runtime/waveform.hh"
 
+#include "engine/adapters.hh"
 #include "support/logging.hh"
 
 namespace manticore::runtime {
@@ -37,16 +38,10 @@ readMachineRegister(const machine::Machine &machine,
                     const std::vector<compiler::RegChunkHome> &homes,
                     unsigned width)
 {
-    BitVector value(width);
-    for (size_t c = 0; c < homes.size(); ++c) {
-        uint16_t word = machine.regValue(homes[c].process, homes[c].reg);
-        for (unsigned b = 0; b < 16; ++b) {
-            unsigned bit = static_cast<unsigned>(c) * 16 + b;
-            if (bit < value.width() && ((word >> b) & 1))
-                value.setBit(bit, true);
-        }
-    }
-    return value;
+    return engine::assembleRtlValue(
+        width, homes, [&machine](uint32_t pid, isa::Reg reg) {
+            return machine.regValue(pid, reg);
+        });
 }
 
 BitVector

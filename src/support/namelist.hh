@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Tiny helper for user-facing "no such X" diagnostics: format a list
+ * of valid names, capped so errors against huge designs stay
+ * readable.  Shared by the netlist evaluators' input/register lookup
+ * errors and the engine layer's bindInput/probe/create errors.
+ */
+
+#ifndef MANTICORE_SUPPORT_NAMELIST_HH
+#define MANTICORE_SUPPORT_NAMELIST_HH
+
+#include <string>
+#include <vector>
+
+namespace manticore {
+
+/** "a, b, c" — or "a, b, ... (17 total)" past `cap` entries; "none"
+ *  when the list is empty. */
+inline std::string
+formatNameList(const std::vector<std::string> &names, size_t cap = 32)
+{
+    if (names.empty())
+        return "none";
+    std::string out;
+    size_t shown = names.size() > cap ? cap : names.size();
+    for (size_t i = 0; i < shown; ++i) {
+        if (i)
+            out += ", ";
+        out += names[i];
+    }
+    if (shown < names.size())
+        out += ", ... (" + std::to_string(names.size()) + " total)";
+    return out;
+}
+
+} // namespace manticore
+
+#endif // MANTICORE_SUPPORT_NAMELIST_HH

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/compiler.hh"
+#include "engine/adapters.hh"
 #include "designs/designs.hh"
 #include "machine/machine.hh"
 #include "netlist/builder.hh"
@@ -325,7 +326,7 @@ TEST(CompilerConfig, NonSquareGridsWork)
         CompileResult result = compiler::compile(nl, opts);
         machine::Machine m(result.program, opts.config);
         runtime::Host host(result.program, m.globalMemory());
-        host.attach(m);
+        host.attach(engine::wrap(m));
         EXPECT_EQ(m.run(64), isa::RunStatus::Finished)
             << gx << "x" << gy << ": " << host.failureMessage();
     }
@@ -352,7 +353,7 @@ TEST(CompilerConfig, OptimizationsOffStillCorrect)
     CompileResult result = compiler::compile(nl, opts);
     machine::Machine m(result.program, opts.config);
     runtime::Host host(result.program, m.globalMemory());
-    host.attach(m);
+    host.attach(engine::wrap(m));
     EXPECT_EQ(m.run(64), isa::RunStatus::Finished)
         << host.failureMessage();
 }

@@ -14,6 +14,7 @@
 
 #include "baseline/baseline.hh"
 #include "compiler/compiler.hh"
+#include "engine/adapters.hh"
 #include "designs/designs.hh"
 #include "isa/interpreter.hh"
 #include "machine/machine.hh"
@@ -83,7 +84,7 @@ TEST_P(DesignTest, CompiledProgramPassesOnInterpreterAndMachine)
     {
         isa::Interpreter interp(result.program, opts.config);
         runtime::Host host(result.program, interp.globalMemory());
-        host.attach(interp);
+        host.attach(engine::wrap(interp));
         auto status = interp.run(c.cycles + 8);
         EXPECT_EQ(status, isa::RunStatus::Finished)
             << host.failureMessage();
@@ -91,7 +92,7 @@ TEST_P(DesignTest, CompiledProgramPassesOnInterpreterAndMachine)
     {
         machine::Machine m(result.program, opts.config);
         runtime::Host host(result.program, m.globalMemory());
-        host.attach(m);
+        host.attach(engine::wrap(m));
         auto status = m.run(c.cycles + 8);
         EXPECT_EQ(status, isa::RunStatus::Finished)
             << host.failureMessage();
@@ -112,7 +113,7 @@ TEST_P(DesignTest, CompiledWithLptPartitioningAlsoPasses)
 
     machine::Machine m(result.program, opts.config);
     runtime::Host host(result.program, m.globalMemory());
-    host.attach(m);
+    host.attach(engine::wrap(m));
     EXPECT_EQ(m.run(c.cycles + 8), isa::RunStatus::Finished)
         << host.failureMessage();
 }
@@ -130,7 +131,7 @@ TEST_P(DesignTest, CompiledWithoutCustomFunctionsAlsoPasses)
 
     machine::Machine m(result.program, opts.config);
     runtime::Host host(result.program, m.globalMemory());
-    host.attach(m);
+    host.attach(engine::wrap(m));
     EXPECT_EQ(m.run(c.cycles + 8), isa::RunStatus::Finished)
         << host.failureMessage();
 }
@@ -164,7 +165,7 @@ TEST(MicroBenchmarks, FifoAllSizesPassGolden)
         compiler::CompileResult result = compiler::compile(nl, opts);
         machine::Machine m(result.program, opts.config);
         runtime::Host host(result.program, m.globalMemory());
-        host.attach(m);
+        host.attach(engine::wrap(m));
         EXPECT_EQ(m.run(80), isa::RunStatus::Finished)
             << "fifo " << kib << "KiB: " << host.failureMessage();
         if (kib > 1) {
@@ -188,7 +189,7 @@ TEST(MicroBenchmarks, RamAllSizesPassGolden)
         compiler::CompileResult result = compiler::compile(nl, opts);
         machine::Machine m(result.program, opts.config);
         runtime::Host host(result.program, m.globalMemory());
-        host.attach(m);
+        host.attach(engine::wrap(m));
         EXPECT_EQ(m.run(80), isa::RunStatus::Finished)
             << "ram " << kib << "KiB: " << host.failureMessage();
     }

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Unified engine-layer tests: every engine is creatable through the
+ * registry by name and behaves identically through the
+ * engine::Engine interface — same probes, same display transcript,
+ * same finish cycle — and batched step(n) is cycle-exact with n
+ * calls of step(1) on every engine.  Also covers the satellite
+ * guarantees: mode-name round trips, handle-based inputs, and the
+ * name-listing diagnostics for unknown engines / inputs / signals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "designs/designs.hh"
+#include "engine/crosscheck.hh"
+#include "engine/registry.hh"
+#include "isa/interpreter.hh"
+#include "netlist/builder.hh"
+#include "netlist/evaluator.hh"
+
+using namespace manticore;
+
+namespace {
+
+const std::vector<std::string> kAllEngines = {
+    "netlist.reference", "netlist.compiled", "netlist.parallel",
+    "isa.reference",     "isa.tape",         "machine",
+};
+
+/** Closed self-driving design: a cycle counter, an accumulator, one
+ *  $display, and a $finish at cycle `finish_at` + 1. */
+netlist::Netlist
+counterDesign(uint64_t finish_at)
+{
+    netlist::CircuitBuilder b("engine_counter");
+    auto cyc = b.reg("cyc", 16);
+    b.next(cyc, cyc.read() + b.lit(16, 1));
+    auto acc = b.reg("acc", 32);
+    b.next(acc, acc.read() + cyc.read().zext(32));
+    b.display(cyc.read() == b.lit(16, 3), "acc=%d", {acc.read()});
+    b.finish(cyc.read() == b.lit(16, finish_at));
+    return b.build();
+}
+
+/** Open design: sum accumulates the free input x every cycle. */
+netlist::Netlist
+adderDesign()
+{
+    netlist::CircuitBuilder b("engine_adder");
+    auto x = b.input("x", 16);
+    auto sum = b.reg("sum", 32);
+    b.next(sum, sum.read() + x.zext(32));
+    return b.build();
+}
+
+engine::CreateOptions
+smallGrid()
+{
+    engine::CreateOptions options;
+    options.compile.config.gridX = options.compile.config.gridY = 2;
+    options.eval.numThreads = 2;
+    return options;
+}
+
+} // namespace
+
+TEST(EngineRegistry, ListsAllSixEngines)
+{
+    EXPECT_EQ(engine::list().size(), 6u);
+    for (const std::string &name : kAllEngines) {
+        const engine::EngineInfo *info = engine::find(name);
+        ASSERT_NE(info, nullptr) << name;
+        EXPECT_EQ(name, info->name);
+    }
+    EXPECT_EQ(engine::find("netlist.bogus"), nullptr);
+    EXPECT_EQ(engine::find(""), nullptr);
+    EXPECT_EQ(engine::names().size(), engine::list().size());
+}
+
+TEST(EngineRegistry, ModeNamesRoundTrip)
+{
+    using netlist::EvalMode;
+    for (EvalMode mode : {EvalMode::Reference, EvalMode::Compiled,
+                          EvalMode::Parallel}) {
+        EvalMode parsed;
+        ASSERT_TRUE(netlist::parseEvalMode(netlist::evalModeName(mode),
+                                           parsed));
+        EXPECT_EQ(parsed, mode);
+    }
+    using isa::ExecMode;
+    for (ExecMode mode : {ExecMode::Reference, ExecMode::Tape}) {
+        ExecMode parsed;
+        ASSERT_TRUE(
+            isa::parseExecMode(isa::execModeName(mode), parsed));
+        EXPECT_EQ(parsed, mode);
+    }
+    netlist::EvalMode em;
+    isa::ExecMode xm;
+    EXPECT_FALSE(netlist::parseEvalMode("Tape", em));
+    EXPECT_FALSE(netlist::parseEvalMode("", em));
+    EXPECT_FALSE(isa::parseExecMode("parallel", xm));
+
+    // Registry names round-trip through create()->name(), and the
+    // netlist-level names are exactly "netlist." + evalModeName.
+    for (const engine::EngineInfo &info : engine::list()) {
+        if (!info.netlistLevel)
+            continue;
+        netlist::EvalMode mode;
+        ASSERT_TRUE(netlist::parseEvalMode(
+            std::string(info.name).substr(8), mode))
+            << info.name;
+        EXPECT_EQ(std::string("netlist.") + netlist::evalModeName(mode),
+                  info.name);
+    }
+}
+
+TEST(EngineRegistry, CreatesEveryEngineAndRunsToTheSameFinish)
+{
+    netlist::Netlist design = counterDesign(20);
+
+    uint64_t finish_cycle = 0;
+    std::vector<std::string> golden_log;
+    for (const std::string &name : kAllEngines) {
+        auto eng = engine::create(name, design, smallGrid());
+        ASSERT_NE(eng, nullptr);
+        EXPECT_EQ(name, eng->name());
+        EXPECT_TRUE(eng->has(engine::cap::kProbes)) << name;
+        EXPECT_TRUE(eng->has(engine::cap::kDisplayLog)) << name;
+
+        engine::RunResult res = eng->step(100);
+        EXPECT_EQ(res.status, engine::Status::Finished) << name;
+        EXPECT_EQ(res.cycles, eng->cycle()) << name;
+
+        if (finish_cycle == 0) { // first engine sets the expectation
+            finish_cycle = eng->cycle();
+            golden_log = eng->displayLog();
+            EXPECT_GT(finish_cycle, 0u);
+            ASSERT_EQ(golden_log.size(), 1u);
+        } else {
+            EXPECT_EQ(eng->cycle(), finish_cycle) << name;
+            EXPECT_EQ(eng->displayLog(), golden_log) << name;
+        }
+
+        // Terminal engines step no further.
+        engine::RunResult after = eng->step(5);
+        EXPECT_EQ(after.cycles, 0u) << name;
+        EXPECT_EQ(after.status, engine::Status::Finished) << name;
+
+        // Every engine reports at least a cycle counter.
+        bool has_cycles = false;
+        for (const engine::Stat &stat : eng->stats())
+            if (stat.name == "cycles" && stat.value == finish_cycle)
+                has_cycles = true;
+        EXPECT_TRUE(has_cycles) << name;
+    }
+}
+
+TEST(Engine, ProbesAgreeAcrossAllEnginesEveryCycle)
+{
+    netlist::Netlist design = counterDesign(60);
+    auto golden =
+        engine::create("netlist.reference", design, smallGrid());
+    engine::ProbeHandle cyc = golden->probe("cyc");
+    engine::ProbeHandle acc = golden->probe("acc");
+
+    for (const std::string &name : kAllEngines) {
+        if (name == "netlist.reference")
+            continue;
+        auto subject = engine::create(name, design, smallGrid());
+        engine::ProbeHandle s_cyc = subject->probe("cyc");
+        engine::ProbeHandle s_acc = subject->probe("acc");
+        // Fresh golden per pairing (the loop below advances it).
+        auto gold = engine::create("netlist.reference", design, {});
+        for (int v = 0; v < 40; ++v) {
+            subject->step(1);
+            gold->step(1);
+            EXPECT_EQ(subject->read(s_cyc), gold->read(cyc))
+                << name << " at cycle " << v;
+            EXPECT_EQ(subject->read(s_acc), gold->read(acc))
+                << name << " at cycle " << v;
+        }
+    }
+}
+
+TEST(Engine, StepNIsCycleExactWithRepeatedStep1)
+{
+    // Odd chunk sizes so batches straddle the finish cycle; the
+    // lockstep engine steps 1 cycle at a time.
+    netlist::Netlist design = counterDesign(20);
+    for (const std::string &name : kAllEngines) {
+        auto batched = engine::create(name, design, smallGrid());
+        auto stepped = engine::create(name, design, smallGrid());
+        uint64_t advanced_total = 0;
+        for (uint64_t chunk : {1u, 3u, 7u, 50u, 5u}) {
+            engine::RunResult res = batched->step(chunk);
+            advanced_total += res.cycles;
+            for (uint64_t i = 0; i < chunk; ++i)
+                stepped->step(1);
+            EXPECT_EQ(batched->cycle(), stepped->cycle())
+                << name << " chunk " << chunk;
+            EXPECT_EQ(batched->status(), stepped->status())
+                << name << " chunk " << chunk;
+            for (size_t p = 0; p < batched->numProbes(); ++p)
+                EXPECT_EQ(
+                    batched->read(static_cast<engine::ProbeHandle>(p)),
+                    stepped->read(static_cast<engine::ProbeHandle>(p)))
+                    << name << " chunk " << chunk << " probe "
+                    << batched->probeName(
+                           static_cast<engine::ProbeHandle>(p));
+        }
+        EXPECT_EQ(batched->status(), engine::Status::Finished) << name;
+        EXPECT_EQ(advanced_total, batched->cycle()) << name;
+        EXPECT_EQ(batched->displayLog(), stepped->displayLog()) << name;
+    }
+}
+
+TEST(Engine, BoundInputsDriveTheNetlistEngines)
+{
+    netlist::Netlist design = adderDesign();
+    for (const char *name :
+         {"netlist.reference", "netlist.compiled", "netlist.parallel"}) {
+        auto eng = engine::create(name, design, smallGrid());
+        ASSERT_TRUE(eng->has(engine::cap::kInputs)) << name;
+        engine::InputHandle x = eng->bindInput("x");
+        engine::ProbeHandle sum = eng->probe("sum");
+
+        uint64_t expect = 0;
+        for (uint16_t v : {7, 1, 0, 900, 43}) {
+            eng->setInput(x, BitVector(16, v));
+            eng->step(1);
+            expect += v;
+            EXPECT_EQ(eng->read(sum).toUint64(), expect) << name;
+        }
+    }
+
+    // ISA-level engines execute closed compiled programs: no inputs.
+    auto mach = engine::create("machine", counterDesign(20), smallGrid());
+    EXPECT_FALSE(mach->has(engine::cap::kInputs));
+}
+
+TEST(Engine, SessionRunsTheQuickstartFlow)
+{
+    engine::Session sim(counterDesign(20), "machine", smallGrid());
+    std::vector<std::string> lines;
+    sim->setDisplaySink(
+        [&](const std::string &line) { lines.push_back(line); });
+    engine::RunResult res = sim.run(1'000);
+    EXPECT_EQ(res.status, engine::Status::Finished);
+    EXPECT_EQ(lines.size(), 1u);
+    EXPECT_EQ(sim.engine().displayLog(), lines);
+}
+
+TEST(Engine, WrappedBorrowedEnginesShareStateWithTheWrapped)
+{
+    // wrap() adapts an engine the caller owns without taking it over:
+    // stepping through the adapter advances the wrapped engine.
+    netlist::Netlist design = counterDesign(20);
+    netlist::Evaluator eval(design);
+    engine::NetlistEngine eng = engine::wrap(eval, design);
+    EXPECT_STREQ(eng.name(), "netlist.reference");
+    eng.step(4);
+    EXPECT_EQ(eval.cycle(), 4u);
+    EXPECT_EQ(eng.read(eng.probe("cyc")).toUint64(), 4u);
+}
+
+TEST(EngineDiagnostics, UnknownEngineListsTheRegistry)
+{
+    netlist::Netlist design = counterDesign(20);
+    EXPECT_EXIT(engine::create("netlist.bogus", design),
+                ::testing::ExitedWithCode(1),
+                "registered engines:.*netlist.parallel.*machine");
+    isa::Program program;
+    isa::MachineConfig config;
+    EXPECT_EXIT(engine::create("turbo", program, config),
+                ::testing::ExitedWithCode(1), "no such engine: turbo");
+}
+
+TEST(EngineDiagnostics, UnknownInputAndSignalListValidNames)
+{
+    netlist::Netlist design = adderDesign();
+    auto eng = engine::create("netlist.reference", design);
+    EXPECT_EXIT(eng->bindInput("y"), ::testing::ExitedWithCode(1),
+                "no such input: y.*valid inputs: x");
+    EXPECT_EXIT(eng->probe("bogus"), ::testing::ExitedWithCode(1),
+                "no such signal: bogus.*valid signals: sum");
+
+    // The underlying evaluators' name-based accessors carry the same
+    // name-listing diagnostics.
+    netlist::Evaluator eval(design);
+    EXPECT_EXIT(eval.setInput("y", BitVector(16, 0)),
+                ::testing::ExitedWithCode(1),
+                "no such input: y.*valid inputs: x");
+    EXPECT_EXIT(eval.regValue("bogus"), ::testing::ExitedWithCode(1),
+                "no such register: bogus.*valid registers: sum");
+}
+
+TEST(EngineDiagnostics, CapabilityViolationsNameTheEngine)
+{
+    // A borrowed interpreter without a signal table has no probes and
+    // no display log; both calls name the engine and the capability.
+    netlist::Netlist design = counterDesign(20);
+    compiler::CompileOptions copts;
+    copts.config.gridX = copts.config.gridY = 2;
+    compiler::CompileResult cr = compiler::compile(design, copts);
+    auto interp = isa::makeInterpreter(cr.program, copts.config,
+                                       isa::ExecMode::Reference);
+    engine::IsaEngine eng = engine::wrap(*interp);
+    EXPECT_FALSE(eng.has(engine::cap::kProbes));
+    EXPECT_EXIT(eng.probe("cyc"), ::testing::ExitedWithCode(1),
+                "isa.reference does not support signal probes");
+    EXPECT_EXIT(eng.displayLog(), ::testing::ExitedWithCode(1),
+                "isa.reference does not support a display log");
+}
+
+TEST(Engine, RealDesignDifferentialThroughTheInterface)
+{
+    // The existing differential suites run engine-family harnesses;
+    // this runs a real self-checking design through the unified
+    // interface on every engine: same finish, zero divergence
+    // against the reference evaluator.
+    netlist::Netlist design = designs::buildMm(48);
+    engine::CreateOptions options;
+    options.compile.config.gridX = options.compile.config.gridY = 4;
+    options.eval.numThreads = 3;
+
+    for (const std::string &name : kAllEngines) {
+        if (name == "netlist.reference")
+            continue;
+        auto golden = engine::create("netlist.reference", design);
+        auto subject = engine::create(name, design, options);
+        engine::CrossCheck cc(*golden, *subject);
+        EXPECT_GT(cc.numPairedSignals(), 0u);
+        engine::RunResult res = cc.run(48 + 8);
+        EXPECT_EQ(res.status, engine::Status::Finished)
+            << name << ": " << cc.divergence();
+        EXPECT_FALSE(cc.diverged()) << name << ": " << cc.divergence();
+    }
+}

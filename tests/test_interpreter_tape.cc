@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/compiler.hh"
+#include "engine/adapters.hh"
 #include "designs/designs.hh"
 #include "isa/exec_semantics.hh"
 #include "isa/interpreter.hh"
@@ -524,7 +525,7 @@ TEST(TapeInterpreter, ElidesNopsAndBatchesRunsOnCompiledDesigns)
 
     // And the design still passes its golden self-check end to end.
     runtime::Host host(result.program, tape.globalMemory());
-    host.attach(tape);
+    host.attach(engine::wrap(tape));
     EXPECT_EQ(tape.run(48 + 8), isa::RunStatus::Finished)
         << host.failureMessage();
 }
@@ -541,9 +542,9 @@ TEST(TapeInterpreter, MatchesReferenceOnCompiledDesignEveryVcycle)
     auto tape = isa::makeInterpreter(result.program, opts.config,
                                      isa::ExecMode::Tape);
     runtime::Host rhost(result.program, ref->globalMemory());
-    rhost.attach(*ref);
+    rhost.attach(engine::wrap(*ref));
     runtime::Host thost(result.program, tape->globalMemory());
-    thost.attach(*tape);
+    thost.attach(engine::wrap(*tape));
 
     for (int v = 0; v < 80; ++v) {
         ASSERT_EQ(ref->stepVcycle(), tape->stepVcycle());

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/compiler.hh"
+#include "engine/adapters.hh"
 #include "designs/designs.hh"
 #include "machine/fpga_model.hh"
 #include "machine/machine.hh"
@@ -55,7 +56,7 @@ TEST(Machine, GlobalStallChargedForDramResidentMemory)
     compiler::CompileResult result = compiler::compile(nl, opts);
     machine::Machine m(result.program, opts.config);
     runtime::Host host(result.program, m.globalMemory());
-    host.attach(m);
+    host.attach(engine::wrap(m));
     m.run(32);
     const machine::PerfCounters &perf = m.perf();
     EXPECT_GT(perf.stallCycles, 0u);
@@ -87,7 +88,7 @@ TEST(Machine, MessagesMatchEpilogueLengths)
         expected_per_vcycle += proc.epilogueLength;
     machine::Machine m(result.program, opts.config);
     runtime::Host host(result.program, m.globalMemory());
-    host.attach(m);
+    host.attach(engine::wrap(m));
     m.run(10);
     // runVcycle() asserts exact counts internally; cross-check totals.
     EXPECT_EQ(m.perf().messagesDelivered,

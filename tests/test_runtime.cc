@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/compiler.hh"
+#include "engine/adapters.hh"
 #include "designs/designs.hh"
 #include "isa/encode.hh"
 #include "machine/machine.hh"
@@ -89,10 +90,10 @@ TEST(Runtime, EncodedProgramRunsIdentically)
 
     machine::Machine direct(cr.program, opts.config);
     runtime::Host dhost(cr.program, direct.globalMemory());
-    dhost.attach(direct);
+    dhost.attach(engine::wrap(direct));
     machine::Machine remote(shipped, opts.config);
     runtime::Host rhost(shipped, remote.globalMemory());
-    rhost.attach(remote);
+    rhost.attach(engine::wrap(remote));
 
     EXPECT_EQ(direct.run(140), isa::RunStatus::Finished);
     EXPECT_EQ(remote.run(140), isa::RunStatus::Finished);

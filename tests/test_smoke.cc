@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/compiler.hh"
+#include "engine/adapters.hh"
 #include "designs/designs.hh"
 #include "isa/interpreter.hh"
 #include "machine/machine.hh"
@@ -62,7 +63,7 @@ TEST(Smoke, EvenOddCompiledOnInterpreterAndMachine)
     {
         isa::Interpreter interp(result.program, opts.config);
         runtime::Host host(result.program, interp.globalMemory());
-        host.attach(interp);
+        host.attach(engine::wrap(interp));
         auto status = interp.run(100);
         EXPECT_EQ(status, isa::RunStatus::Finished);
         ASSERT_EQ(host.displayLog().size(), 21u);
@@ -74,7 +75,7 @@ TEST(Smoke, EvenOddCompiledOnInterpreterAndMachine)
     {
         machine::Machine m(result.program, opts.config);
         runtime::Host host(result.program, m.globalMemory());
-        host.attach(m);
+        host.attach(engine::wrap(m));
         auto status = m.run(100);
         EXPECT_EQ(status, isa::RunStatus::Finished);
         ASSERT_EQ(host.displayLog().size(), 21u);
