@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -54,6 +55,36 @@ engineFlag(int argc, char **argv, const std::string &fallback)
                         "(registered engines: ",
                         formatNameList(engine::names()), ")");
     return chosen;
+}
+
+/** Parse a `--lanes <n>` / `--lanes=<n>` flag for the ensemble
+ *  benches.  Returns `fallback` when the flag is absent (benches use
+ *  0 as "sweep the built-in lane counts"); 0 or junk values are a
+ *  fatal(). */
+inline unsigned
+lanesFlag(int argc, char **argv, unsigned fallback = 0)
+{
+    std::string chosen;
+    bool given = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--lanes") == 0) {
+            given = true;
+            chosen = i + 1 < argc ? argv[i + 1] : "";
+        } else if (std::strncmp(argv[i], "--lanes=", 8) == 0) {
+            given = true;
+            chosen = argv[i] + 8;
+        }
+    }
+    if (!given)
+        return fallback;
+    char *end = nullptr;
+    unsigned long lanes =
+        chosen.empty() ? 0 : std::strtoul(chosen.c_str(), &end, 10);
+    if (chosen.empty() || (end && *end != '\0') || lanes == 0 ||
+        lanes > 4096)
+        MANTICORE_FATAL("--lanes needs a positive lane count, got '",
+                        chosen, "'");
+    return static_cast<unsigned>(lanes);
 }
 
 /** Print the host environment (our stand-in for Table 2). */

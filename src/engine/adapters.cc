@@ -174,6 +174,8 @@ NetlistEngine::capabilities() const
     if (dynamic_cast<const netlist::CompiledEvaluator *>(_eval) ||
         dynamic_cast<const netlist::ParallelCompiledEvaluator *>(_eval))
         caps |= cap::kBatchedStep;
+    if (_eval->lanes() > 1)
+        caps |= cap::kEnsemble;
     return caps;
 }
 
@@ -189,7 +191,7 @@ NetlistEngine::bindInput(const std::string &input)
 }
 
 void
-NetlistEngine::setInput(InputHandle handle, const BitVector &value)
+NetlistEngine::checkInput(InputHandle handle, const BitVector &value) const
 {
     MANTICORE_ASSERT(handle < _inputNodes.size(), "bad input handle ",
                      handle);
@@ -198,7 +200,30 @@ NetlistEngine::setInput(InputHandle handle, const BitVector &value)
                         _inputNames[handle], " is ",
                         _inputWidths[handle], " bits, driven with ",
                         value.width());
+}
+
+void
+NetlistEngine::setInput(InputHandle handle, const BitVector &value)
+{
+    checkInput(handle, value);
     _eval->driveInput(_inputNodes[handle], value);
+}
+
+void
+NetlistEngine::checkLane(unsigned lane) const
+{
+    if (lane >= _eval->lanes())
+        MANTICORE_FATAL("engine ", _name, ": lane ", lane,
+                        " out of range (", _eval->lanes(), " lanes)");
+}
+
+void
+NetlistEngine::setInputLane(InputHandle handle, unsigned lane,
+                            const BitVector &value)
+{
+    checkInput(handle, value);
+    checkLane(lane);
+    _eval->driveInputLane(lane, _inputNodes[handle], value);
 }
 
 BitVector
@@ -209,12 +234,49 @@ NetlistEngine::read(ProbeHandle handle) const
     return _eval->regValue(static_cast<netlist::RegId>(handle));
 }
 
+BitVector
+NetlistEngine::readLane(ProbeHandle handle, unsigned lane) const
+{
+    MANTICORE_ASSERT(handle < _probeNames.size(), "bad probe handle ",
+                     handle);
+    checkLane(lane);
+    return _eval->regValueLane(lane, static_cast<netlist::RegId>(handle));
+}
+
 RunResult
 NetlistEngine::step(uint64_t n)
 {
     uint64_t before = _eval->cycle();
     netlist::SimStatus st = _eval->run(n);
-    return {mapStatus(st), _eval->cycle() - before};
+    return {mapStatus(st), _eval->cycle() - before, _eval->lanes()};
+}
+
+Status
+NetlistEngine::laneStatus(unsigned lane) const
+{
+    checkLane(lane);
+    return mapStatus(_eval->laneStatus(lane));
+}
+
+uint64_t
+NetlistEngine::laneCycle(unsigned lane) const
+{
+    checkLane(lane);
+    return _eval->laneCycle(lane);
+}
+
+std::string
+NetlistEngine::laneFailureMessage(unsigned lane) const
+{
+    checkLane(lane);
+    return _eval->laneFailureMessage(lane);
+}
+
+const std::vector<std::string> &
+NetlistEngine::laneDisplayLog(unsigned lane) const
+{
+    checkLane(lane);
+    return _eval->laneDisplayLog(lane);
 }
 
 uint64_t
@@ -238,7 +300,21 @@ NetlistEngine::failureMessage() const
 std::vector<Stat>
 NetlistEngine::stats() const
 {
-    std::vector<Stat> stats{{"cycles", _eval->cycle()}};
+    // "cycles" is the total simulated cycles delivered across the
+    // ensemble (the per-lane counters summed), so throughput math is
+    // meaningful whether the run was batched, ensembled, or both; at
+    // one lane it equals cycle() exactly as before.
+    const unsigned lanes = _eval->lanes();
+    uint64_t total = 0;
+    for (unsigned l = 0; l < lanes; ++l)
+        total += _eval->laneCycle(l);
+    std::vector<Stat> stats{{"cycles", total}};
+    if (lanes > 1) {
+        stats.push_back({"lanes", lanes});
+        for (unsigned l = 0; l < lanes; ++l)
+            stats.push_back({"lane" + std::to_string(l) + ".cycles",
+                             _eval->laneCycle(l)});
+    }
     if (auto *c = dynamic_cast<const netlist::CompiledEvaluator *>(_eval)) {
         stats.push_back({"tape_length", c->tapeLength()});
         stats.push_back({"arena_limbs", c->arenaLimbs()});

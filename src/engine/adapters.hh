@@ -113,14 +113,32 @@ class NetlistEngine : public ProbedEngine
     uint64_t cycle() const override;
     Status status() const override;
     std::string failureMessage() const override;
+    /** "cycles" aggregates over the lanes (the total simulated
+     *  cycles this engine delivered); an ensemble also reports
+     *  "lanes" and per-lane "lane<i>.cycles" counters. */
     std::vector<Stat> stats() const override;
 
     const std::vector<std::string> &displayLog() const override;
     void setDisplaySink(DisplaySink sink) override;
 
+    // Ensemble plumbing (cap::kEnsemble when the evaluator has
+    // lanes() > 1; the un-indexed setInput broadcasts).
+    unsigned lanes() const override { return _eval->lanes(); }
+    void setInputLane(InputHandle handle, unsigned lane,
+                      const BitVector &value) override;
+    BitVector readLane(ProbeHandle handle, unsigned lane) const override;
+    Status laneStatus(unsigned lane) const override;
+    uint64_t laneCycle(unsigned lane) const override;
+    std::string laneFailureMessage(unsigned lane) const override;
+    const std::vector<std::string> &
+    laneDisplayLog(unsigned lane) const override;
+
     netlist::EvaluatorBase &evaluator() { return *_eval; }
 
   private:
+    void checkInput(InputHandle handle, const BitVector &value) const;
+    void checkLane(unsigned lane) const;
+
     std::string _name;
     std::unique_ptr<netlist::EvaluatorBase> _owned;
     netlist::EvaluatorBase *_eval;

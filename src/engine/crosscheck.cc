@@ -101,4 +101,173 @@ CrossCheck::run(uint64_t max_cycles)
     return {_subject.status(), advanced};
 }
 
+// ---------------------------------------------------------------------------
+// EnsembleCrossCheck
+// ---------------------------------------------------------------------------
+
+EnsembleCrossCheck::EnsembleCrossCheck(
+    const std::vector<Engine *> &goldens, Engine &subject)
+    : _goldens(goldens), _subject(subject)
+{
+    const unsigned lanes = _subject.lanes();
+    if (!_subject.has(cap::kProbes))
+        MANTICORE_FATAL("ensemble cross-check subject ", _subject.name(),
+                        " has no signal probes");
+    MANTICORE_ASSERT(_goldens.size() == lanes,
+                     "ensemble cross-check needs one golden per lane (",
+                     lanes, " lanes, ", _goldens.size(), " goldens)");
+
+    std::unordered_map<std::string, ProbeHandle> subject_by_name;
+    for (size_t s = 0; s < _subject.numProbes(); ++s)
+        subject_by_name.emplace(
+            _subject.probeName(static_cast<ProbeHandle>(s)),
+            static_cast<ProbeHandle>(s));
+
+    _pairs.resize(lanes);
+    _settled.assign(lanes, 0);
+    for (unsigned l = 0; l < lanes; ++l) {
+        Engine &golden = *_goldens[l];
+        if (!golden.has(cap::kProbes))
+            MANTICORE_FATAL("ensemble cross-check golden ", golden.name(),
+                            " (lane ", l, ") has no signal probes");
+        MANTICORE_ASSERT(golden.lanes() == 1,
+                         "lane goldens must be scalar engines");
+        MANTICORE_ASSERT(golden.cycle() == 0 &&
+                             _subject.laneCycle(l) == 0,
+                         "ensemble cross-check engines must start at "
+                         "cycle 0");
+        for (size_t g = 0; g < golden.numProbes(); ++g) {
+            auto it = subject_by_name.find(
+                golden.probeName(static_cast<ProbeHandle>(g)));
+            if (it != subject_by_name.end())
+                _pairs[l].push_back(
+                    {static_cast<ProbeHandle>(g), it->second});
+        }
+        if (_pairs[l].empty())
+            MANTICORE_FATAL("ensemble cross-check of ", _subject.name(),
+                            " against ", golden.name(),
+                            " pairs no signals: no probe names in "
+                            "common");
+    }
+}
+
+/** Compare lane `lane` after a lockstep cycle; true while the lane
+ *  should keep stepping (both sides Running and agreeing). */
+bool
+EnsembleCrossCheck::checkLane(unsigned lane)
+{
+    Engine &golden = *_goldens[lane];
+    Status ss = _subject.laneStatus(lane);
+    Status gs = golden.status();
+    // Built only on the mismatch paths: this runs per lane per cycle.
+    auto where = [&] {
+        return "lane " + std::to_string(lane) + " cycle " +
+               std::to_string(_subject.laneCycle(lane)) + ": ";
+    };
+    if (ss != gs) {
+        _divergence = where() + _subject.name() + " status " +
+                      statusName(ss) + " vs " + golden.name() +
+                      " status " + statusName(gs);
+        std::string why = ss == Status::Failed
+                              ? _subject.laneFailureMessage(lane)
+                              : gs == Status::Failed
+                                    ? golden.failureMessage()
+                                    : std::string();
+        if (!why.empty())
+            _divergence += " (" + why + ")";
+        return false;
+    }
+    if (_subject.laneCycle(lane) != golden.cycle()) {
+        _divergence = where() + "lane advanced " +
+                      std::to_string(_subject.laneCycle(lane)) +
+                      " cycles vs golden " +
+                      std::to_string(golden.cycle());
+        return false;
+    }
+    if (ss == Status::Failed &&
+        _subject.laneFailureMessage(lane) != golden.failureMessage()) {
+        _divergence = where() + "failure message \"" +
+                      _subject.laneFailureMessage(lane) + "\" vs \"" +
+                      golden.failureMessage() + "\"";
+        return false;
+    }
+    if (ss != Status::Running) {
+        _settled[lane] = 1; // agreed terminal: stop stepping the lane
+        return false;
+    }
+    for (const Pair &pair : _pairs[lane]) {
+        BitVector subject_value = _subject.readLane(pair.subject, lane);
+        BitVector golden_value = golden.read(pair.golden);
+        // Compare the common low bits, as in CrossCheck::run (probe
+        // widths may be chunk-padded on ISA-level goldens).
+        unsigned width =
+            std::min(subject_value.width(), golden_value.width());
+        if (subject_value.resize(width) != golden_value.resize(width)) {
+            _divergence = where() + "signal " +
+                          _subject.probeName(pair.subject) + ": " +
+                          _subject.name() + " " +
+                          subject_value.toString() + " vs " +
+                          golden.name() + " " + golden_value.toString();
+            return false;
+        }
+    }
+    return true;
+}
+
+RunResult
+EnsembleCrossCheck::run(uint64_t max_cycles)
+{
+    const unsigned lanes = _subject.lanes();
+    uint64_t advanced = 0;
+    for (uint64_t i = 0; i < max_cycles; ++i) {
+        // A lane stays live until it reaches an agreed terminal
+        // status (checkLane settles it); a disagreeing lane returns
+        // below, so unsettled lanes are Running on both sides.
+        bool any_live = false;
+        for (unsigned l = 0; l < lanes; ++l)
+            if (!_settled[l])
+                any_live = true;
+        if (!any_live)
+            break;
+
+        if (_stimulus) {
+            for (unsigned l = 0; l < lanes; ++l) {
+                if (_settled[l])
+                    continue;
+                uint64_t cycle = _subject.laneCycle(l);
+                _stimulus(*_goldens[l], l, cycle);
+                _stimulus(_subject, l, cycle);
+            }
+        }
+        RunResult s = _subject.step(1);
+        advanced += s.cycles;
+        for (unsigned l = 0; l < lanes; ++l)
+            if (!_settled[l] &&
+                _goldens[l]->status() == Status::Running)
+                _goldens[l]->step(1);
+
+        for (unsigned l = 0; l < lanes; ++l) {
+            if (_settled[l])
+                continue;
+            if (!checkLane(l) && diverged())
+                return {Status::Failed, advanced, lanes};
+        }
+    }
+
+    // Aggregate: Failed on divergence (returned above); Running if
+    // the budget ran out first; otherwise every lane settled on an
+    // agreed terminal status — Finished if any lane finished, else
+    // Failed (every lane failed its assertion, in agreement with its
+    // golden — agreement, but still a failed run).
+    bool any_finished = false;
+    for (unsigned l = 0; l < lanes; ++l) {
+        if (!_settled[l])
+            return {Status::Running, advanced, lanes};
+        if (_subject.laneStatus(l) == Status::Finished)
+            any_finished = true;
+    }
+    return {any_finished ? Status::Finished : Status::Failed, advanced,
+            lanes};
+}
+
 } // namespace manticore::engine

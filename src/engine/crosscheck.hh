@@ -25,6 +25,7 @@
 #ifndef MANTICORE_ENGINE_CROSSCHECK_HH
 #define MANTICORE_ENGINE_CROSSCHECK_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,85 @@ class CrossCheck
     Engine &_golden;
     Engine &_subject;
     std::vector<Pair> _pairs;
+    std::string _divergence;
+};
+
+/** Per-lane stimulus hook: called once per (lane, cycle) for the
+ *  ensemble subject AND once for that lane's scalar golden, with the
+ *  engine to drive — compute the lane's input values from (lane,
+ *  cycle) and apply them through driveLane() so both sides see an
+ *  identical waveform. */
+using LaneStimulus =
+    std::function<void(Engine &engine, unsigned lane, uint64_t cycle)>;
+
+/** Ensemble differential harness: lockstep every lane of an N-lane
+ *  ensemble subject against N INDEPENDENT scalar golden runs of the
+ *  same design, comparing per-lane run status, per-lane cycle count,
+ *  failure messages and every common RTL probe at each cycle
+ *  boundary.  Divergent per-lane terminations are first-class: a
+ *  lane whose golden finishes or fails is expected to freeze in the
+ *  subject at the same cycle with the same message, while the other
+ *  lanes keep stepping.
+ *
+ *    auto subject = engine::create("netlist.parallel", nl, opts);  // N lanes
+ *    std::vector<std::unique_ptr<Engine>> goldens;                 // N scalar runs
+ *    ...
+ *    engine::EnsembleCrossCheck cc(golden_ptrs, *subject);
+ *    cc.setStimulus([&](Engine &e, unsigned lane, uint64_t cycle) {
+ *        engine::driveLane(e, handles.at(&e), lane, value(lane, cycle));
+ *    });
+ *    auto res = cc.run(100'000);
+ *    if (cc.diverged()) report(cc.divergence());
+ */
+class EnsembleCrossCheck
+{
+  public:
+    /** goldens[l] is lane l's scalar golden (size must equal
+     *  subject.lanes(); every engine needs cap::kProbes and at least
+     *  one name in common with the subject; all engines must be at
+     *  cycle 0). */
+    EnsembleCrossCheck(const std::vector<Engine *> &goldens,
+                       Engine &subject);
+
+    /** Install the per-lane stimulus hook (optional; closed designs
+     *  self-drive). */
+    void setStimulus(LaneStimulus stimulus)
+    {
+        _stimulus = std::move(stimulus);
+    }
+
+    /** Advance the ensemble and the goldens in lockstep up to
+     *  max_cycles, comparing per lane after each cycle.  Stops at the
+     *  first mismatch (status Failed, divergence() set) or when every
+     *  lane reached an agreed terminal status (the result carries
+     *  Finished if any lane finished, else Failed — agreed per-lane
+     *  assert failures are agreement, not divergence). */
+    RunResult run(uint64_t max_cycles);
+
+    bool diverged() const { return !_divergence.empty(); }
+    /** "lane L cycle N: ..."; empty if every lane agreed so far. */
+    const std::string &divergence() const { return _divergence; }
+
+    size_t
+    numPairedSignals() const
+    {
+        return _pairs.empty() ? 0 : _pairs[0].size();
+    }
+
+  private:
+    struct Pair
+    {
+        ProbeHandle golden;
+        ProbeHandle subject;
+    };
+
+    bool checkLane(unsigned lane);
+
+    std::vector<Engine *> _goldens;
+    Engine &_subject;
+    std::vector<std::vector<Pair>> _pairs; ///< per lane
+    std::vector<uint8_t> _settled; ///< lane reached agreed terminal
+    LaneStimulus _stimulus;
     std::string _divergence;
 };
 

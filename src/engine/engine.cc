@@ -84,4 +84,57 @@ Engine::setExceptionHandler(ExceptionHandler handler)
     unsupported("exception servicing (cap::kExceptions)");
 }
 
+// Lane-indexed defaults: a non-ensemble engine has exactly one lane,
+// so lane 0 aliases the scalar API and any other lane is a
+// capability error.
+
+void
+Engine::setInputLane(InputHandle handle, unsigned lane,
+                     const BitVector &value)
+{
+    if (lane == 0)
+        return setInput(handle, value);
+    unsupported("ensemble lanes (cap::kEnsemble)");
+}
+
+BitVector
+Engine::readLane(ProbeHandle handle, unsigned lane) const
+{
+    if (lane == 0)
+        return read(handle);
+    unsupported("ensemble lanes (cap::kEnsemble)");
+}
+
+Status
+Engine::laneStatus(unsigned lane) const
+{
+    if (lane == 0)
+        return status();
+    unsupported("ensemble lanes (cap::kEnsemble)");
+}
+
+uint64_t
+Engine::laneCycle(unsigned lane) const
+{
+    if (lane == 0)
+        return cycle();
+    unsupported("ensemble lanes (cap::kEnsemble)");
+}
+
+std::string
+Engine::laneFailureMessage(unsigned lane) const
+{
+    if (lane == 0)
+        return failureMessage();
+    unsupported("ensemble lanes (cap::kEnsemble)");
+}
+
+const std::vector<std::string> &
+Engine::laneDisplayLog(unsigned lane) const
+{
+    if (lane == 0)
+        return displayLog();
+    unsupported("ensemble lanes (cap::kEnsemble)");
+}
+
 } // namespace manticore::engine

@@ -85,6 +85,9 @@ constexpr uint32_t kExceptions = 1u << 3;
 constexpr uint32_t kBatchedStep = 1u << 4;
 /// stats() include hardware performance counters (machine model).
 constexpr uint32_t kPerfCounters = 1u << 5;
+/// The engine is an N-lane ensemble (lanes() > 1): one step advances
+/// N decoupled simulations, addressed by the lane-indexed calls.
+constexpr uint32_t kEnsemble = 1u << 6;
 
 } // namespace cap
 
@@ -99,8 +102,12 @@ struct RunResult
 {
     Status status = Status::Running;
     /// Cycles actually advanced by this call (== n unless the run
-    /// finished, failed, or was already terminal).
+    /// finished, failed, or was already terminal).  On an ensemble
+    /// this counts ensemble cycles: rendezvous that advanced at
+    /// least one lane.
     uint64_t cycles = 0;
+    /// Simulations advanced per cycle (1 unless cap::kEnsemble).
+    uint32_t lanes = 1;
 };
 
 /** One named counter in an engine's stats() snapshot. */
@@ -187,10 +194,51 @@ class Engine
      *  a handler replaces it. */
     virtual void setExceptionHandler(ExceptionHandler handler);
 
+    // ---- ensemble lanes (cap::kEnsemble) --------------------------
+    // An ensemble engine advances N decoupled simulations ("lanes")
+    // of the same design per step: shared arena, lane-strided state,
+    // one rendezvous for all lanes.  Lane 0 always aliases the
+    // scalar API above (so every single-lane caller works untouched,
+    // and the lane-indexed calls with lane == 0 work on EVERY
+    // engine); a lane that finishes or fails is frozen while the
+    // rest keep running, and step(n) runs until all lanes are
+    // terminal or the batch ends.  The un-indexed setInput
+    // broadcasts to every lane of an ensemble.
+
+    /** Number of decoupled simulations this engine advances per
+     *  step; 1 unless created with CreateOptions::lanes > 1. */
+    virtual unsigned lanes() const { return 1; }
+    /** Drive one lane's copy of a bound input. */
+    virtual void setInputLane(InputHandle handle, unsigned lane,
+                              const BitVector &value);
+    /** One lane's committed value of a probed signal. */
+    virtual BitVector readLane(ProbeHandle handle, unsigned lane) const;
+    virtual Status laneStatus(unsigned lane) const;
+    /** Cycles lane `lane` actually committed (a frozen lane stops
+     *  counting while the ensemble moves on). */
+    virtual uint64_t laneCycle(unsigned lane) const;
+    virtual std::string laneFailureMessage(unsigned lane) const;
+    virtual const std::vector<std::string> &
+    laneDisplayLog(unsigned lane) const;
+
   protected:
     /** Shared fatal() for calls outside an engine's capability set. */
     [[noreturn]] void unsupported(const char *what) const;
 };
+
+/** Route one lane's stimulus: ensembles take it on the lane, scalar
+ *  engines (e.g. a per-lane golden standing in for `lane`) on their
+ *  only lane.  This is what lets one stimulus function drive an
+ *  ensemble subject and its N scalar golden runs identically. */
+inline void
+driveLane(Engine &engine, InputHandle handle, unsigned lane,
+          const BitVector &value)
+{
+    if (engine.lanes() > 1)
+        engine.setInputLane(handle, lane, value);
+    else
+        engine.setInput(handle, value);
+}
 
 } // namespace manticore::engine
 

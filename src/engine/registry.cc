@@ -133,13 +133,23 @@ create(const std::string &name, const netlist::Netlist &netlist,
     if (!info)
         unknownEngine(name);
 
+    // The top-level lanes shorthand overrides eval.lanes when set;
+    // only the compiled netlist engines can run an ensemble.
+    netlist::EvalOptions eval = options.eval;
+    if (options.lanes != 1)
+        eval.lanes = options.lanes;
+    if (eval.lanes != 1 && name != "netlist.compiled" &&
+        name != "netlist.parallel")
+        MANTICORE_FATAL("engine ", name, " has no ensemble mode (lanes=",
+                        eval.lanes, "); ensemble engines: "
+                        "netlist.compiled, netlist.parallel");
+
     if (info->netlistLevel) {
         netlist::EvalMode mode;
         bool ok = netlist::parseEvalMode(name.substr(8), mode);
         MANTICORE_ASSERT(ok, "registry/EvalMode name drift for ", name);
         return std::make_unique<NetlistEngine>(
-            name, netlist::makeEvaluator(netlist, mode, options.eval),
-            netlist);
+            name, netlist::makeEvaluator(netlist, mode, eval), netlist);
     }
 
     auto ctx = std::make_shared<ProgramContext>();

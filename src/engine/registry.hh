@@ -59,7 +59,15 @@ std::vector<std::string> names();
 
 struct CreateOptions
 {
-    /// netlist.parallel knobs (worker count, merge strategy).
+    /// Ensemble width: one engine advancing N decoupled simulations
+    /// per step — `engine::create("netlist.compiled", nl, {.lanes=N})`.
+    /// Only the compiled netlist engines (netlist.compiled,
+    /// netlist.parallel) have an ensemble mode; any other engine
+    /// rejects lanes != 1 with a fatal().  Shorthand for (and, when
+    /// != 1, overriding) eval.lanes.
+    unsigned lanes = 1;
+    /// netlist.parallel knobs (worker count, merge strategy, wait
+    /// policy) and the compiled engines' lane count.
     netlist::EvalOptions eval;
     /// Grid / machine configuration for the ISA-level engines (the
     /// netlist is compiled with these options).

@@ -8,10 +8,17 @@ namespace manticore::netlist {
 
 namespace lo = ::manticore::limbops;
 
-CompiledEvaluator::CompiledEvaluator(Netlist netlist)
-    : _netlist(std::move(netlist))
+CompiledEvaluator::CompiledEvaluator(Netlist netlist,
+                                     const EvalOptions &options)
+    : _netlist(std::move(netlist)), _lanes(options.lanes),
+      _arena(options.lanes)
 {
+    MANTICORE_ASSERT(_lanes >= 1, "ensemble needs at least one lane");
     _netlist.validate();
+    _active = _lanes;
+    _lane.resize(_lanes);
+    _laneCommit.assign(_lanes, 0);
+    _laneFinish.assign(_lanes, 0);
     compile();
 }
 
@@ -20,32 +27,26 @@ CompiledEvaluator::compile()
 {
     const auto &nodes = _netlist.nodes();
 
-    // Arena layout: every node gets a private fixed limb span.
+    // Arena layout: every node gets a private lane-strided limb
+    // block (lane l of node i at _slotOf[i] + l * nlimbs(width)).
     _slotOf.resize(nodes.size());
-    uint64_t offset = 0;
-    for (size_t i = 0; i < nodes.size(); ++i) {
-        _slotOf[i] = static_cast<uint32_t>(offset);
-        offset += lo::nlimbs(nodes[i].width);
-    }
-    _arena.assign(offset, 0);
+    for (size_t i = 0; i < nodes.size(); ++i)
+        _slotOf[i] = _arena.alloc(nodes[i].width);
+    _arena.seal();
 
-    // Constants are written once, here; register current slots start
-    // at their init values; inputs start at zero (as the reference
-    // evaluator's _inputs do).
+    // Constants are written once, here, into every lane; register
+    // current slots start at their init values; inputs start at zero
+    // (as the reference evaluator's _inputs do).
     for (size_t i = 0; i < nodes.size(); ++i) {
         const Node &n = nodes[i];
-        if (n.kind == OpKind::Const) {
-            lo::copy(&_arena[_slotOf[i]], n.value.limbs().data(),
-                     lo::nlimbs(n.width));
-        }
+        if (n.kind == OpKind::Const)
+            _arena.broadcast(_slotOf[i], n.value);
     }
-    for (const Register &r : _netlist.registers()) {
-        lo::copy(&_arena[_slotOf[r.current]], r.init.limbs().data(),
-                 lo::nlimbs(r.width));
-    }
+    for (const Register &r : _netlist.registers())
+        _arena.broadcast(_slotOf[r.current], r.init);
 
-    // Memories become dense limb arrays.
-    _mems = tape::buildMemStates(_netlist);
+    // Memories become dense limb arrays, one image per lane.
+    _mems = tape::buildMemStates(_netlist, _lanes);
 
     // Lower each combinational node to one tape instruction.  Node ids
     // are already topologically ordered (operands precede users).
@@ -65,7 +66,8 @@ CompiledEvaluator::compile()
     // Register commits.  The current slot doubles as register storage,
     // so a commit whose next value is itself a RegRead slot must be
     // double-buffered through _staging (the reference evaluator reads
-    // all pre-commit values; see step()).
+    // all pre-commit values; see stepOnce()).  Staged blocks are
+    // lane-strided like the arena.
     uint32_t staging_limbs = 0;
     for (const Register &r : _netlist.registers()) {
         RegCommit rc;
@@ -74,7 +76,7 @@ CompiledEvaluator::compile()
         rc.limbs = lo::nlimbs(r.width);
         if (_netlist.node(r.next).kind == OpKind::RegRead) {
             rc.staging = staging_limbs;
-            staging_limbs += rc.limbs;
+            staging_limbs += rc.limbs * _lanes;
         } else {
             rc.staging = kNoStaging;
         }
@@ -88,6 +90,7 @@ CompiledEvaluator::compile()
         mc.addr = _slotOf[w.addr];
         mc.data = _slotOf[w.data];
         mc.enable = _slotOf[w.enable];
+        mc.addrStride = lo::nlimbs(_netlist.node(w.addr).width);
         _memCommits.push_back(mc);
     }
 
@@ -95,62 +98,240 @@ CompiledEvaluator::compile()
         _netlist, [this](NodeId id) { return _slotOf[id]; });
 }
 
-SimStatus
-CompiledEvaluator::step()
+void
+CompiledEvaluator::commitLane(unsigned lane)
 {
-    if (_status != SimStatus::Ok)
-        return _status;
-
-    tape::run(_tape, _arena.data(), _mems);
-
-    const uint64_t *A = _arena.data();
-
-    // Side effects observe this cycle's combinational values, in the
-    // same order as the reference evaluator; a failed assert
-    // suppresses displays, $finish and the commit.
-    bool finished = false;
-    if (!_effects.fire(A, _cycle, _status, _failureMessage, _displayLog,
-                       onDisplay, finished))
-        return _status;
-
-    // Commit.  Memory writes read node slots, so they must run before
-    // register commits overwrite the RegRead slots; register commits
-    // whose source is itself a RegRead slot go through _staging.  Both
+    uint64_t *A = _arena.data();
+    // Memory writes read node slots, so they must run before register
+    // commits overwrite the RegRead slots; register commits whose
+    // source is itself a RegRead slot go through _staging.  Both
     // reproduce the reference semantics of committing against the
     // pre-commit combinational snapshot.
     for (const MemCommit &w : _memCommits) {
-        if (_arena[w.enable]) {
+        if (A[w.enable + lane]) {
             tape::MemState &m = _mems[w.mem];
-            uint64_t addr = _arena[w.addr] % m.depth;
-            lo::copy(&m.words[addr * m.wordLimbs], &_arena[w.data],
+            uint64_t addr =
+                A[w.addr + static_cast<size_t>(lane) * w.addrStride] %
+                m.depth;
+            lo::copy(m.word(addr, lane),
+                     A + w.data + static_cast<size_t>(lane) * m.wordLimbs,
                      m.wordLimbs);
         }
     }
     for (const RegCommit &rc : _regCommits)
         if (rc.staging != kNoStaging)
-            lo::copy(&_staging[rc.staging], &_arena[rc.src], rc.limbs);
+            lo::copy(&_staging[rc.staging + lane * rc.limbs],
+                     A + rc.src + static_cast<size_t>(lane) * rc.limbs,
+                     rc.limbs);
+    for (const RegCommit &rc : _regCommits) {
+        uint64_t *dst = A + rc.dst + static_cast<size_t>(lane) * rc.limbs;
+        if (rc.staging != kNoStaging)
+            lo::copy(dst, &_staging[rc.staging + lane * rc.limbs],
+                     rc.limbs);
+        else
+            lo::copy(dst,
+                     A + rc.src + static_cast<size_t>(lane) * rc.limbs,
+                     rc.limbs);
+    }
+}
+
+void
+CompiledEvaluator::commitAll()
+{
+    // All lanes commit: the staged blocks and register blocks are
+    // lane-strided with the same stride, so each moves as one
+    // limbs * lanes copy; memory writes keep per-lane enables.
+    uint64_t *A = _arena.data();
+    const unsigned L = _lanes;
+    for (const MemCommit &w : _memCommits) {
+        tape::MemState &m = _mems[w.mem];
+        for (unsigned l = 0; l < L; ++l) {
+            if (!A[w.enable + l])
+                continue;
+            uint64_t addr =
+                A[w.addr + static_cast<size_t>(l) * w.addrStride] %
+                m.depth;
+            lo::copy(m.word(addr, l),
+                     A + w.data + static_cast<size_t>(l) * m.wordLimbs,
+                     m.wordLimbs);
+        }
+    }
+    for (const RegCommit &rc : _regCommits)
+        if (rc.staging != kNoStaging)
+            lo::copy(&_staging[rc.staging], A + rc.src, rc.limbs * L);
     for (const RegCommit &rc : _regCommits) {
         if (rc.staging != kNoStaging)
-            lo::copy(&_arena[rc.dst], &_staging[rc.staging], rc.limbs);
+            lo::copy(A + rc.dst, &_staging[rc.staging], rc.limbs * L);
         else
-            lo::copy(&_arena[rc.dst], &_arena[rc.src], rc.limbs);
+            lo::copy(A + rc.dst, A + rc.src, rc.limbs * L);
+    }
+}
+
+void
+CompiledEvaluator::recountActive()
+{
+    unsigned active = 0;
+    for (unsigned l = 0; l < _lanes; ++l)
+        if (_lane[l].status == SimStatus::Ok)
+            ++active;
+    _active = active;
+}
+
+void
+CompiledEvaluator::stepScalar()
+{
+    // Single-lane fast path: the pre-ensemble per-cycle shape (no
+    // per-lane flag vectors, no active-lane recount, no lane-offset
+    // arithmetic) so the scalar engine keeps its original per-cycle
+    // cost on overhead-bound designs.  stepOnce() is the general
+    // N-lane body; the two must stay behaviourally identical at one
+    // lane (the ensemble tests pin lanes=1 against the reference
+    // evaluator).
+    tape::runScalar(_tape.data(), _tape.size(), _arena.data(),
+                    _mems.data());
+    uint64_t *A = _arena.data();
+    LaneState &lane = _lane[0];
+
+    bool finished = false;
+    if (!_effects.fire(A, 0, lane.cycle, lane.status,
+                       lane.failureMessage, lane.displayLog, onDisplay,
+                       finished)) {
+        _active = 0; // assert failed: no commit, no cycle
+        return;
     }
 
+    // The lane-0 commit with the lane arithmetic folded out (the
+    // same mem-writes / staging / registers order as commitLane).
+    for (const MemCommit &w : _memCommits) {
+        if (A[w.enable]) {
+            tape::MemState &m = _mems[w.mem];
+            uint64_t addr = A[w.addr] % m.depth;
+            lo::copy(&m.words[addr * m.wordLimbs], A + w.data,
+                     m.wordLimbs);
+        }
+    }
+    for (const RegCommit &rc : _regCommits)
+        if (rc.staging != kNoStaging)
+            lo::copy(&_staging[rc.staging], A + rc.src, rc.limbs);
+    for (const RegCommit &rc : _regCommits) {
+        if (rc.staging != kNoStaging)
+            lo::copy(A + rc.dst, &_staging[rc.staging], rc.limbs);
+        else
+            lo::copy(A + rc.dst, A + rc.src, rc.limbs);
+    }
+
+    ++lane.cycle;
     ++_cycle;
-    if (finished)
-        _status = SimStatus::Finished;
-    return _status;
+    if (finished) {
+        lane.status = SimStatus::Finished;
+        _active = 0;
+    }
+}
+
+void
+CompiledEvaluator::stepOnce()
+{
+    // Compute every lane (frozen lanes are recomputed harmlessly:
+    // their commits and effects below are skipped), then fire each
+    // active lane's side effects in lane order against this cycle's
+    // values — the same order as the reference evaluator within each
+    // lane; a failed assert suppresses that lane's displays, $finish
+    // and commit.
+    tape::run(_tape.data(), _tape.size(), _arena.data(), _mems.data(),
+              _lanes);
+    const uint64_t *A = _arena.data();
+
+    // Fused fast path: no asserts or displays (nothing can fail,
+    // throw or log) and no frozen lanes — every lane commits as a
+    // whole block and firing is just the $finish-enable checks.
+    // Semantically identical to fireLanes + the general commit below
+    // for this case; it exists because on overhead-bound designs the
+    // per-cycle bookkeeping rivals the compute.
+    if (_active == _lanes && _effects.onlyFinishes()) {
+        unsigned finishing = 0;
+        for (unsigned l = 0; l < _lanes; ++l) {
+            bool fin = _effects.anyFinish(A, l);
+            _laneFinish[l] = fin;
+            finishing += fin;
+        }
+        commitAll();
+        ++_cycle;
+        if (finishing == 0) {
+            for (unsigned l = 0; l < _lanes; ++l)
+                ++_lane[l].cycle;
+            return;
+        }
+        for (unsigned l = 0; l < _lanes; ++l) {
+            ++_lane[l].cycle;
+            if (_laneFinish[l])
+                _lane[l].status = SimStatus::Finished;
+        }
+        _active = _lanes - finishing;
+        return;
+    }
+
+    // Per-lane commit decision (shared with the parallel engine via
+    // Effects::fireLanes); a throwing display sink aborts the whole
+    // ensemble cycle — logs rolled back, nothing commits — so the
+    // caller can retry it.
+    tape::Effects::FireResult fired =
+        _effects.fireLanes(A, _lanes, _lane.data(), _laneCommit.data(),
+                           _laneFinish.data(), onDisplay);
+    if (fired.thrown) {
+        recountActive();
+        std::rethrow_exception(fired.thrown);
+    }
+
+    if (fired.committing == _lanes) {
+        // Every lane commits (the common case while no lane has
+        // terminated): registers and staging move as whole
+        // lane-strided blocks instead of per-lane copies.
+        commitAll();
+    } else {
+        for (unsigned l = 0; l < _lanes; ++l)
+            if (_laneCommit[l])
+                commitLane(l);
+    }
+    unsigned active = 0;
+    for (unsigned l = 0; l < _lanes; ++l) {
+        if (_laneCommit[l]) {
+            ++_lane[l].cycle;
+            if (_laneFinish[l])
+                _lane[l].status = SimStatus::Finished;
+        }
+        active += _lane[l].status == SimStatus::Ok;
+    }
+    _active = active;
+    if (fired.committing != 0)
+        ++_cycle;
+}
+
+SimStatus
+CompiledEvaluator::step()
+{
+    if (_active != 0) {
+        if (_lanes == 1)
+            stepScalar();
+        else
+            stepOnce();
+    }
+    return _lane[0].status;
 }
 
 SimStatus
 CompiledEvaluator::run(uint64_t max_cycles)
 {
     // Devirtualised batch loop: one call drives the whole batch
-    // through the non-virtual step body.
-    for (uint64_t i = 0;
-         i < max_cycles && _status == SimStatus::Ok; ++i)
-        CompiledEvaluator::step();
-    return _status;
+    // through the non-virtual step body, until every lane is
+    // terminal or the batch ends.
+    if (_lanes == 1) {
+        for (uint64_t i = 0; i < max_cycles && _active != 0; ++i)
+            stepScalar();
+    } else {
+        for (uint64_t i = 0; i < max_cycles && _active != 0; ++i)
+            stepOnce();
+    }
+    return _lane[0].status;
 }
 
 void
@@ -166,22 +347,60 @@ CompiledEvaluator::driveInput(NodeId input, const BitVector &value)
                          _netlist.node(input).kind == OpKind::Input &&
                          _netlist.node(input).width == value.width(),
                      "bad driveInput target");
-    lo::copy(&_arena[_slotOf[input]], value.limbs().data(),
-             lo::nlimbs(value.width()));
+    _arena.broadcast(_slotOf[input], value);
 }
 
-BitVector
-CompiledEvaluator::slotValue(uint32_t slot, unsigned width) const
+void
+CompiledEvaluator::driveInputLane(unsigned lane, NodeId input,
+                                  const BitVector &value)
 {
-    return tape::readSlot(&_arena[slot], width);
+    MANTICORE_ASSERT(input < _netlist.numNodes() &&
+                         _netlist.node(input).kind == OpKind::Input &&
+                         _netlist.node(input).width == value.width(),
+                     "bad driveInput target");
+    _arena.write(_slotOf[input], lane, value);
+}
+
+SimStatus
+CompiledEvaluator::laneStatus(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane < _lanes, "bad lane ", lane);
+    return _lane[lane].status;
+}
+
+uint64_t
+CompiledEvaluator::laneCycle(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane < _lanes, "bad lane ", lane);
+    return _lane[lane].cycle;
+}
+
+const std::string &
+CompiledEvaluator::laneFailureMessage(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane < _lanes, "bad lane ", lane);
+    return _lane[lane].failureMessage;
+}
+
+const std::vector<std::string> &
+CompiledEvaluator::laneDisplayLog(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane < _lanes, "bad lane ", lane);
+    return _lane[lane].displayLog;
 }
 
 BitVector
 CompiledEvaluator::regValue(RegId id) const
 {
+    return regValueLane(0, id);
+}
+
+BitVector
+CompiledEvaluator::regValueLane(unsigned lane, RegId id) const
+{
     MANTICORE_ASSERT(id < _netlist.numRegisters(), "bad register id");
     const Register &r = _netlist.reg(id);
-    return slotValue(_slotOf[r.current], r.width);
+    return _arena.read(_slotOf[r.current], r.width, lane);
 }
 
 BitVector
@@ -193,16 +412,25 @@ CompiledEvaluator::regValue(const std::string &name) const
 BitVector
 CompiledEvaluator::memValue(MemId id, uint64_t addr) const
 {
-    MANTICORE_ASSERT(id < _mems.size() && addr < _mems[id].depth,
-                     "memValue out of range");
-    return _mems[id].value(addr);
+    return memValueLane(0, id, addr);
 }
 
 BitVector
-CompiledEvaluator::nodeValue(NodeId id) const
+CompiledEvaluator::memValueLane(unsigned lane, MemId id,
+                                uint64_t addr) const
 {
-    MANTICORE_ASSERT(id < _netlist.numNodes(), "bad node id");
-    return slotValue(_slotOf[id], _netlist.node(id).width);
+    MANTICORE_ASSERT(id < _mems.size() && addr < _mems[id].depth &&
+                         lane < _lanes,
+                     "memValue out of range");
+    return _mems[id].value(addr, lane);
+}
+
+BitVector
+CompiledEvaluator::nodeValue(NodeId id, unsigned lane) const
+{
+    MANTICORE_ASSERT(id < _netlist.numNodes() && lane < _lanes,
+                     "bad node id / lane");
+    return _arena.read(_slotOf[id], _netlist.node(id).width, lane);
 }
 
 const char *
@@ -234,9 +462,14 @@ makeEvaluator(Netlist netlist, EvalMode mode, const EvalOptions &options)
 {
     switch (mode) {
       case EvalMode::Reference:
+        if (options.lanes != 1)
+            MANTICORE_FATAL("the reference evaluator has no ensemble "
+                            "mode (lanes=", options.lanes,
+                            "); use compiled or parallel");
         return std::make_unique<Evaluator>(std::move(netlist));
       case EvalMode::Compiled:
-        return std::make_unique<CompiledEvaluator>(std::move(netlist));
+        return std::make_unique<CompiledEvaluator>(std::move(netlist),
+                                                   options);
       case EvalMode::Parallel:
         return std::make_unique<ParallelCompiledEvaluator>(
             std::move(netlist), options);

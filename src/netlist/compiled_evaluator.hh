@@ -1,19 +1,28 @@
 /**
  * @file
- * Zero-allocation compiled tape evaluator for the word-level netlist.
+ * Zero-allocation compiled tape evaluator for the word-level netlist,
+ * generalised to an N-lane ensemble.
  *
  * The constructor lowers the netlist once into
  *
- *  - a single contiguous uint64_t arena holding every node's value as
- *    a fixed limb span (Const slots written once, Input slots written
- *    by setInput, RegRead slots doubling as the register storage), and
+ *  - a single contiguous uint64_t ensemble arena (see arena.hh)
+ *    holding every node's value as a fixed lane-strided limb block
+ *    (Const slots written once and broadcast, Input slots written by
+ *    setInput, RegRead slots doubling as the register storage), and
  *  - a flat array of POD instructions (the "tape", see tape.hh), one
- *    per combinational node, dispatched by a switch in a tight loop.
+ *    per combinational node, dispatched by a switch in a tight loop
+ *    that advances every lane per decoded op.
  *
  * Side effects (asserts / displays / $finish / register commit /
  * memory writes) are precompiled into effect lists with node slots
  * already resolved, so the hot loop never touches a Node, a
- * std::string, or the heap.
+ * std::string, or the heap.  With EvalOptions::lanes == N the engine
+ * advances N decoupled simulations per step — shared stimulus via
+ * the broadcasting setInput, per-lane stimulus via driveInputLane —
+ * and every lane carries its own status / cycle count / failure
+ * message / display transcript, so one lane finishing or failing an
+ * assertion freezes only that lane.  The default single-lane build
+ * is bit- and codegen-identical to the pre-ensemble evaluator.
  *
  * See src/netlist/README.md for the layout and the measured speedup
  * over the reference Evaluator.  The partition-parallel variant of
@@ -27,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "netlist/arena.hh"
 #include "netlist/evaluator.hh"
 #include "netlist/netlist.hh"
 #include "netlist/tape.hh"
@@ -37,52 +47,71 @@ class CompiledEvaluator : public EvaluatorBase
 {
   public:
     /** Keeps its own copy of the netlist (cold data only: the copy is
-     *  consulted by name-based accessors, never by the hot loop). */
-    explicit CompiledEvaluator(Netlist netlist);
+     *  consulted by name-based accessors, never by the hot loop).
+     *  options.lanes selects the ensemble width. */
+    explicit CompiledEvaluator(Netlist netlist,
+                               const EvalOptions &options = {});
 
     void setInput(const std::string &name, const BitVector &value) override;
     void driveInput(NodeId input, const BitVector &value) override;
     SimStatus step() override;
     /** Batched stepping: one virtual call per batch, devirtualised
-     *  step loop inside. */
+     *  step loop inside; an ensemble advances until every lane is
+     *  terminal or the batch ends. */
     SimStatus run(uint64_t max_cycles) override;
 
+    /** Completed cycles of the most-advanced lane (== lane 0's count
+     *  on a single-lane engine). */
     uint64_t cycle() const override { return _cycle; }
-    SimStatus status() const override { return _status; }
+    SimStatus status() const override { return _lane[0].status; }
     const std::string &failureMessage() const override
     {
-        return _failureMessage;
+        return _lane[0].failureMessage;
     }
 
     BitVector regValue(RegId id) const override;
     BitVector regValue(const std::string &name) const override;
     BitVector memValue(MemId id, uint64_t addr) const override;
 
-    /** Debug accessor: the node's current arena slot contents.  For
-     *  combinational nodes this is the value of the last completed
-     *  step, like Evaluator::nodeValue; but because RegRead slots
-     *  double as register storage (and Input slots are written by
-     *  setInput directly), those two kinds reflect the *post-commit* /
-     *  latest-driven value rather than the pre-commit snapshot the
-     *  reference evaluator keeps.  Use regValue() for committed
-     *  register state — it is identical across both engines. */
-    BitVector nodeValue(NodeId id) const;
+    // Ensemble views (lane 0 == the scalar API).
+    unsigned lanes() const override { return _lanes; }
+    void driveInputLane(unsigned lane, NodeId input,
+                        const BitVector &value) override;
+    SimStatus laneStatus(unsigned lane) const override;
+    uint64_t laneCycle(unsigned lane) const override;
+    const std::string &laneFailureMessage(unsigned lane) const override;
+    const std::vector<std::string> &
+    laneDisplayLog(unsigned lane) const override;
+    BitVector regValueLane(unsigned lane, RegId id) const override;
+    BitVector memValueLane(unsigned lane, MemId id,
+                           uint64_t addr) const override;
+
+    /** Debug accessor: the node's current arena slot contents for one
+     *  lane.  For combinational nodes this is the value of the last
+     *  completed step, like Evaluator::nodeValue; but because RegRead
+     *  slots double as register storage (and Input slots are written
+     *  by setInput directly), those two kinds reflect the
+     *  *post-commit* / latest-driven value rather than the pre-commit
+     *  snapshot the reference evaluator keeps.  Use regValue() for
+     *  committed register state — it is identical across both
+     *  engines. */
+    BitVector nodeValue(NodeId id, unsigned lane = 0) const;
 
     const std::vector<std::string> &displayLog() const override
     {
-        return _displayLog;
+        return _lane[0].displayLog;
     }
 
     /** Introspection for tests and benches. */
     size_t tapeLength() const { return _tape.size(); }
-    size_t arenaLimbs() const { return _arena.size(); }
+    size_t arenaLimbs() const { return _arena.limbs(); }
 
   private:
     struct RegCommit
     {
         uint32_t dst;     ///< current (RegRead) slot
         uint32_t src;     ///< next-value slot
-        uint32_t limbs;
+        uint32_t limbs;   ///< per lane (also the lane stride)
         uint32_t staging; ///< offset into _staging, or kNoStaging
     };
     static constexpr uint32_t kNoStaging = ~0u;
@@ -91,15 +120,21 @@ class CompiledEvaluator : public EvaluatorBase
     {
         uint32_t mem;
         uint32_t addr, data, enable; ///< slots
+        uint32_t addrStride;         ///< addr operand's lane stride
     };
 
     void compile();
-    BitVector slotValue(uint32_t slot, unsigned width) const;
+    void stepScalar(); ///< single-lane fast path (pre-ensemble shape)
+    void stepOnce();   ///< general N-lane step
+    void commitLane(unsigned lane);
+    void commitAll(); ///< whole-block commits when every lane commits
+    void recountActive();
 
     Netlist _netlist; ///< cold copy for name/width lookups only
 
-    std::vector<uint64_t> _arena;
-    std::vector<uint32_t> _slotOf; ///< node id -> arena limb offset
+    unsigned _lanes;
+    Arena _arena;
+    std::vector<uint32_t> _slotOf; ///< node id -> lane-0 limb offset
     std::vector<tape::Instr> _tape;
     std::vector<tape::MemState> _mems;
     std::vector<RegCommit> _regCommits;
@@ -107,10 +142,12 @@ class CompiledEvaluator : public EvaluatorBase
     std::vector<MemCommit> _memCommits;
     tape::Effects _effects;
 
+    // Per-lane run state; _cycle is the engine-level (max-lane) view.
     uint64_t _cycle = 0;
-    SimStatus _status = SimStatus::Ok;
-    std::string _failureMessage;
-    std::vector<std::string> _displayLog;
+    unsigned _active; ///< lanes not yet finished/failed
+    std::vector<LaneState> _lane;
+    std::vector<uint8_t> _laneCommit; ///< this cycle's commit flags
+    std::vector<uint8_t> _laneFinish; ///< this cycle's $finish flags
 };
 
 } // namespace manticore::netlist

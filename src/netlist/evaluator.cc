@@ -47,6 +47,67 @@ EvaluatorBase::resolveRegister(const Netlist &netlist,
     return id;
 }
 
+// Lane-indexed defaults: engines without an ensemble mode have
+// exactly one lane, so lane 0 aliases the scalar accessors and any
+// other lane is a caller bug.
+
+void
+EvaluatorBase::driveInputLane(unsigned lane, NodeId input,
+                              const BitVector &value)
+{
+    MANTICORE_ASSERT(lane == 0, "engine has 1 lane, lane ", lane,
+                     " driven");
+    driveInput(input, value);
+}
+
+SimStatus
+EvaluatorBase::laneStatus(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane == 0, "engine has 1 lane, lane ", lane,
+                     " read");
+    return status();
+}
+
+uint64_t
+EvaluatorBase::laneCycle(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane == 0, "engine has 1 lane, lane ", lane,
+                     " read");
+    return cycle();
+}
+
+const std::string &
+EvaluatorBase::laneFailureMessage(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane == 0, "engine has 1 lane, lane ", lane,
+                     " read");
+    return failureMessage();
+}
+
+const std::vector<std::string> &
+EvaluatorBase::laneDisplayLog(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane == 0, "engine has 1 lane, lane ", lane,
+                     " read");
+    return displayLog();
+}
+
+BitVector
+EvaluatorBase::regValueLane(unsigned lane, RegId id) const
+{
+    MANTICORE_ASSERT(lane == 0, "engine has 1 lane, lane ", lane,
+                     " read");
+    return regValue(id);
+}
+
+BitVector
+EvaluatorBase::memValueLane(unsigned lane, MemId id, uint64_t addr) const
+{
+    MANTICORE_ASSERT(lane == 0, "engine has 1 lane, lane ", lane,
+                     " read");
+    return memValue(id, addr);
+}
+
 void
 Evaluator::setInput(const std::string &name, const BitVector &value)
 {

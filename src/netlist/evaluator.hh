@@ -44,21 +44,55 @@ enum class SimStatus
     AssertFailed, ///< an assertion failed
 };
 
-/** Common interface of the reference and compiled evaluators. */
+/** Common interface of the reference and compiled evaluators.
+ *
+ *  The compiled engines can run an N-lane *ensemble*: N decoupled
+ *  simulations of the same netlist advanced together (lane-strided
+ *  state, see arena.hh), each lane with its own stimulus, status,
+ *  cycle count, failure message and display transcript.  The plain
+ *  (un-suffixed) accessors always mean lane 0, and driving an input
+ *  through them broadcasts to every lane, so a single-lane caller
+ *  never notices the ensemble dimension; the lane-indexed virtuals
+ *  below default to lane-0-only for engines without an ensemble
+ *  mode. */
 class EvaluatorBase
 {
   public:
     virtual ~EvaluatorBase() = default;
 
-    /** Drive a free input (applies from the next step() onward). */
+    /** Drive a free input (applies from the next step() onward).  On
+     *  an ensemble this broadcasts to every lane. */
     virtual void setInput(const std::string &name,
                           const BitVector &value) = 0;
 
     /** Drive a free input by node id (as returned by
      *  Netlist::findInput) — the string-free fast path behind
      *  engine::Engine::setInput.  The id must name an Input node and
-     *  the value must match its width. */
+     *  the value must match its width.  On an ensemble this
+     *  broadcasts to every lane. */
     virtual void driveInput(NodeId input, const BitVector &value) = 0;
+
+    /** Number of ensemble lanes (decoupled simulations); 1 unless
+     *  the engine was built with EvalOptions::lanes > 1. */
+    virtual unsigned lanes() const { return 1; }
+
+    /** Drive one lane's copy of a free input.  Engines without an
+     *  ensemble mode accept lane 0 only. */
+    virtual void driveInputLane(unsigned lane, NodeId input,
+                                const BitVector &value);
+
+    // Per-lane views of the run state.  Lane 0 is always identical
+    // to the un-suffixed accessors; a lane that finished or failed
+    // is frozen (its cycle count and state stop advancing) while the
+    // other lanes continue.
+    virtual SimStatus laneStatus(unsigned lane) const;
+    virtual uint64_t laneCycle(unsigned lane) const;
+    virtual const std::string &laneFailureMessage(unsigned lane) const;
+    virtual const std::vector<std::string> &
+    laneDisplayLog(unsigned lane) const;
+    virtual BitVector regValueLane(unsigned lane, RegId id) const;
+    virtual BitVector memValueLane(unsigned lane, MemId id,
+                                   uint64_t addr) const;
 
     /** Simulate one clock cycle: evaluate the DAG, emit side effects,
      *  commit registers and memory writes. */
@@ -119,7 +153,31 @@ const char *evalModeName(EvalMode mode);
  *  spellings) into an EvalMode; returns false on anything else. */
 bool parseEvalMode(const std::string &name, EvalMode &mode);
 
-/** Engine options; only EvalMode::Parallel consults them today. */
+/** One ensemble lane's run state, shared by both compiled engines.
+ *  Kept as a single block per lane so the scalar hot path pays one
+ *  pointer chase for the whole cycle/status/transcript bundle. */
+struct LaneState
+{
+    uint64_t cycle = 0;
+    SimStatus status = SimStatus::Ok;
+    size_t logMark = 0; ///< display-log rollback mark on throw
+    std::string failureMessage;
+    std::vector<std::string> displayLog;
+};
+
+/** How the parallel evaluator's rendezvous waits for its peers. */
+enum class WaitPolicy
+{
+    /// Spin with periodic yields: lowest latency, burns the core.
+    Spin,
+    /// Park on a condition variable: frees the core between phases —
+    /// for oversubscribed hosts where idle partitions would otherwise
+    /// steal cycles from the partitions still computing.
+    Block,
+};
+
+/** Engine options; the compiled engines consult lanes, only
+ *  EvalMode::Parallel consults the rest. */
 struct EvalOptions
 {
     /// Worker-pool size (and partition-count bound); 0 means
@@ -128,6 +186,13 @@ struct EvalOptions
     /// Partition merge strategy (§6.1 / Fig. 9): the paper's
     /// communication-aware Balanced heuristic or the LPT baseline.
     MergeAlgo mergeAlgo = MergeAlgo::Balanced;
+    /// Ensemble width: advance N decoupled simulations per step —
+    /// one tape dispatch (and, for Parallel, one two-barrier
+    /// rendezvous) amortised over N lanes.  Compiled engines only;
+    /// EvalMode::Reference rejects lanes != 1.
+    unsigned lanes = 1;
+    /// Rendezvous wait policy (EvalMode::Parallel only).
+    WaitPolicy waitPolicy = WaitPolicy::Spin;
 };
 
 /** Build an evaluator over (a copy of) the netlist in the given mode. */

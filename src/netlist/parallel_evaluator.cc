@@ -14,53 +14,64 @@ namespace {
 
 constexpr uint32_t kNoSlot = ~0u;
 
-uint64_t
-alignLimbs(uint64_t offset)
-{
-    // Cache-line align region starts (8 limbs = 64 bytes) so distinct
-    // processes never share a line they write.
-    return (offset + 7) & ~uint64_t{7};
-}
+} // namespace
 
-/** Spin-then-yield wait for a generation counter to move past `last`;
- *  returns the new value.  Yielding keeps oversubscribed (or
- *  single-core) hosts making progress, as in baseline's worker pool. */
+// ---------------------------------------------------------------------------
+// Rendezvous waits (WaitPolicy::Spin | WaitPolicy::Block)
+// ---------------------------------------------------------------------------
+
 uint64_t
-waitAbove(const std::atomic<uint64_t> &gen, uint64_t last)
+ParallelCompiledEvaluator::waitAboveBlocked(
+    const std::atomic<uint64_t> &gen, uint64_t last) const
 {
     uint64_t v;
-    unsigned spins = 0;
-    while ((v = gen.load(std::memory_order_acquire)) == last) {
-        if (++spins > 256) {
-            std::this_thread::yield();
-            spins = 0;
-        }
-    }
+    if ((v = gen.load(std::memory_order_acquire)) != last)
+        return v;
+    std::unique_lock<std::mutex> lk(_waitMx);
+    _waitCv.wait(lk, [&] {
+        return (v = gen.load(std::memory_order_acquire)) != last;
+    });
     return v;
 }
 
 void
-waitCount(const std::atomic<uint64_t> &counter, uint64_t target)
+ParallelCompiledEvaluator::waitCountBlocked(
+    const std::atomic<uint64_t> &counter, uint64_t target) const
 {
-    unsigned spins = 0;
-    while (counter.load(std::memory_order_acquire) < target) {
-        if (++spins > 256) {
-            std::this_thread::yield();
-            spins = 0;
-        }
-    }
+    if (counter.load(std::memory_order_acquire) >= target)
+        return;
+    std::unique_lock<std::mutex> lk(_waitMx);
+    _waitCv.wait(lk, [&] {
+        return counter.load(std::memory_order_acquire) >= target;
+    });
 }
 
-} // namespace
+void
+ParallelCompiledEvaluator::wakeBlocked() const
+{
+    // The empty critical section orders this wake after any peer that
+    // checked the predicate (false) but has not yet parked: it holds
+    // _waitMx between the check and the park, so by the time we can
+    // take the lock it is either parked (notify reaches it) or has
+    // seen the new counter value.
+    { std::lock_guard<std::mutex> lk(_waitMx); }
+    _waitCv.notify_all();
+}
 
 ParallelCompiledEvaluator::ParallelCompiledEvaluator(
     Netlist netlist, const EvalOptions &options)
-    : _netlist(std::move(netlist))
+    : _netlist(std::move(netlist)), _lanes(options.lanes),
+      _arena(options.lanes), _waitPolicy(options.waitPolicy)
 {
+    MANTICORE_ASSERT(_lanes >= 1, "ensemble needs at least one lane");
     _netlist.validate();
     unsigned hw = std::thread::hardware_concurrency();
     _numThreads = options.numThreads != 0 ? options.numThreads
                                           : std::max(1u, hw);
+    _active = _lanes;
+    _lane.resize(_lanes);
+    _laneCommit.assign(_lanes, 0);
+    _laneFinish.assign(_lanes, 0);
     compile(options.mergeAlgo);
     for (size_t p = 1; p < _procs.size(); ++p)
         _pool.emplace_back([this, p] { workerLoop(p); });
@@ -74,6 +85,7 @@ ParallelCompiledEvaluator::~ParallelCompiledEvaluator()
     _shutdown.store(true, std::memory_order_relaxed);
     _computeGen.fetch_add(1, std::memory_order_release);
     _commitGen.fetch_add(1, std::memory_order_release);
+    wake();
     for (std::thread &t : _pool)
         t.join();
 }
@@ -83,20 +95,17 @@ ParallelCompiledEvaluator::compile(MergeAlgo algo)
 {
     NetlistPartition part = partitionNetlist(_netlist, _numThreads, algo);
     _stats = part.stats;
-    _mems = tape::buildMemStates(_netlist);
+    _mems = tape::buildMemStates(_netlist, _lanes);
 
     const auto &nodes = _netlist.nodes();
-    uint64_t offset = 0;
 
     // Shared source region: constants and inputs, written only at
     // build time / between steps.
     _sourceSlot.assign(nodes.size(), kNoSlot);
     for (size_t i = 0; i < nodes.size(); ++i) {
         if (nodes[i].kind == OpKind::Const ||
-            nodes[i].kind == OpKind::Input) {
-            _sourceSlot[i] = static_cast<uint32_t>(offset);
-            offset += lo::nlimbs(nodes[i].width);
-        }
+            nodes[i].kind == OpKind::Input)
+            _sourceSlot[i] = _arena.alloc(nodes[i].width);
     }
 
     // Shared register file, grouped by committing process and
@@ -104,12 +113,11 @@ ParallelCompiledEvaluator::compile(MergeAlgo algo)
     // after construction, each by exactly one process per cycle.
     _regSlot.assign(_netlist.numRegisters(), kNoSlot);
     for (const NetlistProcess &proc : part.processes) {
-        offset = alignLimbs(offset);
+        _arena.align();
         for (RegId r : proc.registers) {
             MANTICORE_ASSERT(_regSlot[r] == kNoSlot,
                              "register owned by two processes");
-            _regSlot[r] = static_cast<uint32_t>(offset);
-            offset += lo::nlimbs(_netlist.reg(r).width);
+            _regSlot[r] = _arena.alloc(_netlist.reg(r).width);
         }
     }
     for (size_t r = 0; r < _netlist.numRegisters(); ++r)
@@ -126,14 +134,12 @@ ParallelCompiledEvaluator::compile(MergeAlgo algo)
     for (size_t p = 0; p < part.processes.size(); ++p) {
         const NetlistProcess &src = part.processes[p];
         Proc &proc = _procs[p];
-        offset = alignLimbs(offset);
+        _arena.align();
 
         std::unordered_map<NodeId, uint32_t> local;
         local.reserve(src.nodes.size() * 2);
-        for (NodeId id : src.nodes) {
-            local[id] = static_cast<uint32_t>(offset);
-            offset += lo::nlimbs(nodes[id].width);
-        }
+        for (NodeId id : src.nodes)
+            local[id] = _arena.alloc(nodes[id].width);
 
         auto resolve = [&](NodeId id) -> uint32_t {
             const Node &n = _netlist.node(id);
@@ -168,11 +174,10 @@ ParallelCompiledEvaluator::compile(MergeAlgo algo)
             auto it = staged.find(id);
             if (it != staged.end())
                 return it->second;
-            uint32_t slot = static_cast<uint32_t>(offset);
-            uint32_t limbs = lo::nlimbs(n.width);
-            offset += limbs;
+            uint32_t slot = _arena.alloc(n.width);
             staged.emplace(id, slot);
-            proc.stages.push_back({slot, _regSlot[n.regId], limbs});
+            proc.stages.push_back({slot, _regSlot[n.regId],
+                                   lo::nlimbs(n.width) * _lanes});
             return slot;
         };
 
@@ -183,9 +188,10 @@ ParallelCompiledEvaluator::compile(MergeAlgo algo)
         }
         for (uint32_t w : src.memWrites) {
             const MemWrite &mw = _netlist.memWrites()[w];
-            proc.memCommits.push_back({mw.mem, commitSlot(mw.addr),
-                                       commitSlot(mw.data),
-                                       commitSlot(mw.enable)});
+            proc.memCommits.push_back(
+                {mw.mem, commitSlot(mw.addr), commitSlot(mw.data),
+                 commitSlot(mw.enable),
+                 lo::nlimbs(_netlist.node(mw.addr).width)});
         }
 
         if (src.effects) {
@@ -195,7 +201,8 @@ ParallelCompiledEvaluator::compile(MergeAlgo algo)
     }
 
     // Side effects, resolved against the effects process's region (or
-    // shared slots); the master fires them between the two barriers.
+    // shared slots); the master fires them per lane between the two
+    // barriers.
     bool have_effects = !_netlist.asserts().empty() ||
                         !_netlist.displays().empty() ||
                         !_netlist.finishes().empty();
@@ -215,25 +222,24 @@ ParallelCompiledEvaluator::compile(MergeAlgo algo)
             });
     }
 
-    MANTICORE_ASSERT(offset < kNoSlot, "design too large for 32-bit slots");
-    _arena.assign(offset, 0);
+    _arena.seal();
 
     for (size_t i = 0; i < nodes.size(); ++i)
         if (nodes[i].kind == OpKind::Const)
-            lo::copy(&_arena[_sourceSlot[i]], nodes[i].value.limbs().data(),
-                     lo::nlimbs(nodes[i].width));
-    for (size_t r = 0; r < _netlist.numRegisters(); ++r) {
-        const Register &reg = _netlist.reg(static_cast<RegId>(r));
-        lo::copy(&_arena[_regSlot[r]], reg.init.limbs().data(),
-                 lo::nlimbs(reg.width));
-    }
+            _arena.broadcast(_sourceSlot[i], nodes[i].value);
+    for (size_t r = 0; r < _netlist.numRegisters(); ++r)
+        _arena.broadcast(_regSlot[r],
+                         _netlist.reg(static_cast<RegId>(r)).init);
 }
 
 void
 ParallelCompiledEvaluator::computeProc(const Proc &proc)
 {
     uint64_t *A = _arena.data();
-    tape::run(proc.tape, A, _mems);
+    tape::run(proc.tape, A, _mems, _lanes);
+    // Staged blocks and their register-file sources are both
+    // lane-strided with the same per-lane limb count, so one copy
+    // (s.limbs spans every lane) moves the whole block.
     for (const StageCopy &s : proc.stages)
         lo::copy(A + s.dst, A + s.src, s.limbs);
 }
@@ -242,19 +248,57 @@ void
 ParallelCompiledEvaluator::commitProc(const Proc &proc)
 {
     uint64_t *A = _arena.data();
+    const unsigned L = _lanes;
     // Memory writes never read shared register-file slots (those were
     // staged), so intra-process commit order is free; registers and
     // memories owned by other processes are untouched by design.
+    // Frozen lanes (finished / assert-failed) have _laneCommit
+    // cleared by the master and are skipped.
+    if (L == 1) {
+        // Scalar fast path: commitProc is only called when _doCommit,
+        // which at one lane IS lane 0's commit flag — no lane loops,
+        // no flag loads.
+        for (const MemCommit &w : proc.memCommits) {
+            if (A[w.enable]) {
+                tape::MemState &m = _mems[w.mem];
+                uint64_t addr = A[w.addr] % m.depth;
+                lo::copy(&m.words[addr * m.wordLimbs], A + w.data,
+                         m.wordLimbs);
+            }
+        }
+        for (const RegCommit &rc : proc.regCommits)
+            lo::copy(A + rc.dst, A + rc.src, rc.limbs);
+        return;
+    }
     for (const MemCommit &w : proc.memCommits) {
-        if (A[w.enable]) {
-            tape::MemState &m = _mems[w.mem];
-            uint64_t addr = A[w.addr] % m.depth;
-            lo::copy(&m.words[addr * m.wordLimbs], A + w.data,
+        tape::MemState &m = _mems[w.mem];
+        for (unsigned l = 0; l < L; ++l) {
+            if (!_laneCommit[l] || !A[w.enable + l])
+                continue;
+            uint64_t addr =
+                A[w.addr + static_cast<size_t>(l) * w.addrStride] %
+                m.depth;
+            lo::copy(m.word(addr, l),
+                     A + w.data + static_cast<size_t>(l) * m.wordLimbs,
                      m.wordLimbs);
         }
     }
-    for (const RegCommit &rc : proc.regCommits)
-        lo::copy(A + rc.dst, A + rc.src, rc.limbs);
+    if (_allCommit) {
+        // Fast path (every lane commits — always true at lanes=1):
+        // the src and dst blocks are lane-strided with the same
+        // stride, one copy per register moves every lane.
+        for (const RegCommit &rc : proc.regCommits)
+            lo::copy(A + rc.dst, A + rc.src, rc.limbs * L);
+    } else {
+        for (const RegCommit &rc : proc.regCommits)
+            for (unsigned l = 0; l < L; ++l)
+                if (_laneCommit[l])
+                    lo::copy(A + rc.dst +
+                                 static_cast<size_t>(l) * rc.limbs,
+                             A + rc.src +
+                                 static_cast<size_t>(l) * rc.limbs,
+                             rc.limbs);
+    }
 }
 
 /* Batch protocol.  A run()/step() call issues ONE pool command: the
@@ -262,11 +306,13 @@ ParallelCompiledEvaluator::commitProc(const Proc &proc)
  * loop.  Within the batch, each cycle is
  *
  *   worker: compute; ++_computeDone; wait _commitGen; commit if
- *           _doCommit; read _batchMore; ++_commitDone; if more: wait
+ *           _doCommit (honouring the per-lane _laneCommit flags);
+ *           read _batchMore; ++_commitDone; if more: wait
  *           _commitDone == everyone, roll into the next compute
- *   master: compute proc 0; wait _computeDone target; fire effects;
- *           publish _doCommit/_batchMore; bump _commitGen; commit
- *           proc 0; ++_commitDone; wait _commitDone target
+ *   master: compute proc 0; wait _computeDone target; fire effects
+ *           per lane; publish _laneCommit/_doCommit/_batchMore; bump
+ *           _commitGen; commit proc 0; ++_commitDone; wait
+ *           _commitDone target
  *
  * Barrier 2 (all commits visible before any next-cycle compute) is
  * the _commitDone counter itself: every participant — master
@@ -278,9 +324,11 @@ ParallelCompiledEvaluator::commitProc(const Proc &proc)
  * what makes the reset-free roll-over safe: a worker's baseline read
  * at batch entry is stable because the master only bumps _computeGen
  * after the previous cycle's full commit count arrived.  _batchMore
- * is written by the master before the _commitGen release bump and
- * read by workers after its acquire, strictly before the master's
- * next write to it. */
+ * and the _laneCommit flags are written by the master before the
+ * _commitGen release bump and read by workers after its acquire,
+ * strictly before the master's next write to them.  Under
+ * WaitPolicy::Block every one of these counter bumps is followed by
+ * wake() so a parked peer re-checks its predicate. */
 void
 ParallelCompiledEvaluator::workerLoop(size_t proc_index)
 {
@@ -295,6 +343,7 @@ ParallelCompiledEvaluator::workerLoop(size_t proc_index)
         while (true) {
             computeProc(_procs[proc_index]);
             _computeDone.fetch_add(1, std::memory_order_release);
+            wake();
             seen_commit = waitAbove(_commitGen, seen_commit);
             if (_shutdown.load(std::memory_order_relaxed))
                 return;
@@ -302,12 +351,23 @@ ParallelCompiledEvaluator::workerLoop(size_t proc_index)
             if (_doCommit)
                 commitProc(_procs[proc_index]);
             _commitDone.fetch_add(1, std::memory_order_release);
+            wake();
             if (!more)
                 break; // park at the next batch's compute rendezvous
             commit_target += participants;
             waitCount(_commitDone, commit_target);
         }
     }
+}
+
+void
+ParallelCompiledEvaluator::recountActive()
+{
+    unsigned active = 0;
+    for (unsigned l = 0; l < _lanes; ++l)
+        if (_lane[l].status == SimStatus::Ok)
+            ++active;
+    _active = active;
 }
 
 SimStatus
@@ -323,16 +383,81 @@ ParallelCompiledEvaluator::run(uint64_t max_cycles)
 }
 
 SimStatus
+ParallelCompiledEvaluator::runBatchScalar(uint64_t max_cycles)
+{
+    // Single-lane fast path: the pre-ensemble master loop (no
+    // per-lane flag vectors or loops) so the scalar engine keeps its
+    // original per-cycle rendezvous cost.  The workers' scalar
+    // commitProc path is gated on _doCommit alone, so the per-lane
+    // commit flags are never consulted at one lane.  Must stay
+    // behaviourally identical to the general loop below at lanes=1
+    // (the ensemble tests pin this against the reference evaluator).
+    LaneState &lane = _lane[0];
+    const uint64_t workers = _pool.size();
+
+    _computeGen.fetch_add(1, std::memory_order_release);
+    wake();
+    for (uint64_t left = max_cycles;; --left) {
+        if (!_procs.empty())
+            computeProc(_procs[0]);
+        _computeTarget += workers;
+        waitCount(_computeDone, _computeTarget);
+
+        const uint64_t *A = _arena.data();
+        bool finished = false;
+        std::exception_ptr thrown;
+        try {
+            _doCommit = _effects.fire(A, 0, lane.cycle, lane.status,
+                                      lane.failureMessage,
+                                      lane.displayLog, onDisplay,
+                                      finished);
+        } catch (...) {
+            thrown = std::current_exception();
+            _doCommit = false;
+        }
+
+        _batchMore = left > 1 && _doCommit && !finished && !thrown;
+        _commitGen.fetch_add(1, std::memory_order_release);
+        wake();
+        if (_doCommit && !_procs.empty())
+            commitProc(_procs[0]);
+        _commitDone.fetch_add(1, std::memory_order_release);
+        wake();
+        _commitTarget += workers + 1;
+        waitCount(_commitDone, _commitTarget);
+        if (thrown)
+            std::rethrow_exception(thrown);
+
+        if (!_doCommit) {
+            _active = 0; // assertion failed: no commit, no cycle
+            return lane.status;
+        }
+        ++lane.cycle;
+        ++_cycle;
+        if (finished) {
+            lane.status = SimStatus::Finished;
+            _active = 0;
+            return lane.status;
+        }
+        if (left == 1)
+            return lane.status;
+    }
+}
+
+SimStatus
 ParallelCompiledEvaluator::runBatch(uint64_t max_cycles)
 {
-    if (_status != SimStatus::Ok || max_cycles == 0)
-        return _status;
+    if (_active == 0 || max_cycles == 0)
+        return _lane[0].status;
+    if (_lanes == 1)
+        return runBatchScalar(max_cycles);
 
     const uint64_t workers = _pool.size();
 
     // One pool command for the whole batch: workers enter their batch
     // loop and compute cycle 0; the master runs process 0 inline.
     _computeGen.fetch_add(1, std::memory_order_release);
+    wake();
     for (uint64_t left = max_cycles;; --left) {
         if (!_procs.empty())
             computeProc(_procs[0]);
@@ -340,51 +465,66 @@ ParallelCompiledEvaluator::runBatch(uint64_t max_cycles)
         waitCount(_computeDone, _computeTarget);
 
         // Barrier 1 passed: every combinational value is visible.
-        // Fire side effects in netlist order on the master thread — a
-        // failed assert suppresses this cycle's displays, $finish and
+        // Fire side effects per active lane, in lane order and in
+        // netlist order within a lane, on the master thread — a
+        // failed assert suppresses that lane's displays, $finish and
         // commit, like the serial engines.  If firing throws (a
         // throwing onDisplay callback, allocation failure while
         // formatting), the commit rendezvous must still complete or
         // the workers stay parked at it and the next step()
-        // deadlocks; the cycle is then neither committed nor counted
-        // (and the display log rolled back), so a caller that catches
-        // can retry it — though an external onDisplay sink may see
-        // already-delivered lines again.
+        // deadlocks; the whole ensemble cycle is then neither
+        // committed nor counted (and every lane's display log rolled
+        // back), so a caller that catches can retry it — though an
+        // external onDisplay sink may see already-delivered lines
+        // again, and a lane whose assert failed before the throw
+        // keeps that status (its failing cycle never commits).
+        // Per-lane commit decision (shared with the serial engine via
+        // Effects::fireLanes); on a throwing display sink the whole
+        // ensemble cycle aborts, but the exception is held until the
+        // commit rendezvous completed (see above).
         const uint64_t *A = _arena.data();
-        bool finished = false;
-        std::exception_ptr thrown;
-        try {
-            _doCommit = _effects.fire(A, _cycle, _status,
-                                      _failureMessage, _displayLog,
-                                      onDisplay, finished);
-        } catch (...) {
-            thrown = std::current_exception();
-            _doCommit = false;
-        }
+        tape::Effects::FireResult fired =
+            _effects.fireLanes(A, _lanes, _lane.data(),
+                               _laneCommit.data(), _laneFinish.data(),
+                               onDisplay);
+        std::exception_ptr thrown = fired.thrown;
+        unsigned next_active = fired.committing - fired.finishing;
+        _doCommit = fired.committing != 0;
+        _allCommit = fired.committing == _lanes;
 
         // Commit phase: every process sends its owned registers /
-        // memory writes into the shared state.  Workers continue into
-        // the next cycle's compute iff the batch goes on.
-        _batchMore = left > 1 && _doCommit && !finished && !thrown;
+        // memory writes (of the committing lanes) into the shared
+        // state.  Workers continue into the next cycle's compute iff
+        // the batch goes on.
+        _batchMore = left > 1 && next_active > 0 && !thrown;
         _commitGen.fetch_add(1, std::memory_order_release);
+        wake();
         if (_doCommit && !_procs.empty())
             commitProc(_procs[0]);
         _commitDone.fetch_add(1, std::memory_order_release);
+        wake();
         _commitTarget += workers + 1;
         waitCount(_commitDone, _commitTarget);
-        if (thrown)
+        if (thrown) {
+            recountActive();
             std::rethrow_exception(thrown);
-
-        if (!_doCommit)
-            return _status; // assertion failed: no commit, no cycle
-
-        ++_cycle;
-        if (finished) {
-            _status = SimStatus::Finished;
-            return _status;
         }
-        if (left == 1)
-            return _status;
+
+        bool advanced = false;
+        for (unsigned l = 0; l < _lanes; ++l) {
+            if (!_laneCommit[l])
+                continue;
+            ++_lane[l].cycle;
+            advanced = true;
+            if (_laneFinish[l])
+                _lane[l].status = SimStatus::Finished;
+        }
+        if (advanced)
+            ++_cycle;
+        recountActive();
+
+        if (!_batchMore)
+            return _lane[0].status;
     }
 }
 
@@ -402,21 +542,59 @@ ParallelCompiledEvaluator::driveInput(NodeId input, const BitVector &value)
                          _netlist.node(input).kind == OpKind::Input &&
                          _netlist.node(input).width == value.width(),
                      "bad driveInput target");
-    lo::copy(&_arena[_sourceSlot[input]], value.limbs().data(),
-             lo::nlimbs(value.width()));
+    _arena.broadcast(_sourceSlot[input], value);
 }
 
-BitVector
-ParallelCompiledEvaluator::slotValue(uint32_t slot, unsigned width) const
+void
+ParallelCompiledEvaluator::driveInputLane(unsigned lane, NodeId input,
+                                          const BitVector &value)
 {
-    return tape::readSlot(&_arena[slot], width);
+    MANTICORE_ASSERT(input < _netlist.numNodes() &&
+                         _netlist.node(input).kind == OpKind::Input &&
+                         _netlist.node(input).width == value.width(),
+                     "bad driveInput target");
+    _arena.write(_sourceSlot[input], lane, value);
+}
+
+SimStatus
+ParallelCompiledEvaluator::laneStatus(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane < _lanes, "bad lane ", lane);
+    return _lane[lane].status;
+}
+
+uint64_t
+ParallelCompiledEvaluator::laneCycle(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane < _lanes, "bad lane ", lane);
+    return _lane[lane].cycle;
+}
+
+const std::string &
+ParallelCompiledEvaluator::laneFailureMessage(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane < _lanes, "bad lane ", lane);
+    return _lane[lane].failureMessage;
+}
+
+const std::vector<std::string> &
+ParallelCompiledEvaluator::laneDisplayLog(unsigned lane) const
+{
+    MANTICORE_ASSERT(lane < _lanes, "bad lane ", lane);
+    return _lane[lane].displayLog;
 }
 
 BitVector
 ParallelCompiledEvaluator::regValue(RegId id) const
 {
+    return regValueLane(0, id);
+}
+
+BitVector
+ParallelCompiledEvaluator::regValueLane(unsigned lane, RegId id) const
+{
     MANTICORE_ASSERT(id < _netlist.numRegisters(), "bad register id");
-    return slotValue(_regSlot[id], _netlist.reg(id).width);
+    return _arena.read(_regSlot[id], _netlist.reg(id).width, lane);
 }
 
 BitVector
@@ -428,9 +606,17 @@ ParallelCompiledEvaluator::regValue(const std::string &name) const
 BitVector
 ParallelCompiledEvaluator::memValue(MemId id, uint64_t addr) const
 {
-    MANTICORE_ASSERT(id < _mems.size() && addr < _mems[id].depth,
+    return memValueLane(0, id, addr);
+}
+
+BitVector
+ParallelCompiledEvaluator::memValueLane(unsigned lane, MemId id,
+                                        uint64_t addr) const
+{
+    MANTICORE_ASSERT(id < _mems.size() && addr < _mems[id].depth &&
+                         lane < _lanes,
                      "memValue out of range");
-    return _mems[id].value(addr);
+    return _mems[id].value(addr, lane);
 }
 
 size_t

@@ -13,34 +13,48 @@
  *                   copies of any RegRead-sourced commit operands.
  *   barrier 1       all processes computed; the master (calling)
  *                   thread fires side effects in netlist order and
- *                   decides whether to commit.
+ *                   decides which lanes commit.
  *   commit phase    each process commits the registers and memory
  *                   writes it owns into the shared register file /
  *                   memory images (the cross-process "SENDs").
  *   barrier 2       the Vcycle is complete.
  *
- * Everything lives in ONE uint64_t arena split into a shared source
- * region (constants, inputs, the register file grouped by owner and
- * cache-line aligned) and per-process private regions, so tape
- * instructions address any operand by global limb offset and the
- * compute phase is race-free by construction: private regions are
+ * Everything lives in ONE ensemble arena (arena.hh) split into a
+ * shared source region (constants, inputs, the register file grouped
+ * by owner and cache-line aligned) and per-process private regions,
+ * so tape instructions address any operand by global limb offset and
+ * the compute phase is race-free by construction: private regions are
  * written only by their owner, shared slots only between barriers by
  * the unique owner of each register / memory.
  *
- * The engine is cycle-exact with the reference Evaluator (including
- * side-effect ordering and pre-commit snapshot semantics) and
- * deterministic across runs and thread counts.
+ * With EvalOptions::lanes == N the arena holds an N-lane ensemble —
+ * N decoupled simulations advanced by the SAME two-barrier Vcycle,
+ * so the rendezvous cost per simulated cycle drops by a factor of N.
+ * Each lane carries its own status / cycle / failure message /
+ * display transcript; a lane that finishes or fails an assertion is
+ * frozen (the master clears its commit flag) while the remaining
+ * lanes keep running.  EvalOptions::waitPolicy selects how the
+ * rendezvous waits: Spin (lowest latency) or Block (condition
+ * variable — idle partitions release their core on oversubscribed
+ * hosts).
+ *
+ * The engine is cycle-exact with the reference Evaluator per lane
+ * (including side-effect ordering and pre-commit snapshot semantics)
+ * and deterministic across runs, thread counts and wait policies.
  */
 
 #ifndef MANTICORE_NETLIST_PARALLEL_EVALUATOR_HH
 #define MANTICORE_NETLIST_PARALLEL_EVALUATOR_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "netlist/arena.hh"
 #include "netlist/evaluator.hh"
 #include "netlist/netlist.hh"
 #include "netlist/partition.hh"
@@ -52,8 +66,9 @@ class ParallelCompiledEvaluator : public EvaluatorBase
 {
   public:
     /** Keeps its own copy of the netlist (cold data only).  options
-     *  bounds the worker-pool size (0 = hardware concurrency) and
-     *  picks the merge strategy. */
+     *  bounds the worker-pool size (0 = hardware concurrency), picks
+     *  the merge strategy, the ensemble width and the rendezvous
+     *  wait policy. */
     explicit ParallelCompiledEvaluator(Netlist netlist,
                                        const EvalOptions &options = {});
     ~ParallelCompiledEvaluator() override;
@@ -71,36 +86,55 @@ class ParallelCompiledEvaluator : public EvaluatorBase
      *  the commit of cycle k straight into the compute of cycle k+1
      *  (see the batch protocol notes above workerLoop).  Cycle-exact
      *  with a step() loop, including side-effect order and the
-     *  no-commit-after-failed-assert rule. */
+     *  no-commit-after-failed-assert rule; an ensemble batch runs
+     *  until every lane is terminal or the batch ends. */
     SimStatus run(uint64_t max_cycles) override;
 
+    /** Completed cycles of the most-advanced lane. */
     uint64_t cycle() const override { return _cycle; }
-    SimStatus status() const override { return _status; }
+    SimStatus status() const override { return _lane[0].status; }
     const std::string &failureMessage() const override
     {
-        return _failureMessage;
+        return _lane[0].failureMessage;
     }
 
     BitVector regValue(RegId id) const override;
     BitVector regValue(const std::string &name) const override;
     BitVector memValue(MemId id, uint64_t addr) const override;
 
+    // Ensemble views (lane 0 == the scalar API).
+    unsigned lanes() const override { return _lanes; }
+    void driveInputLane(unsigned lane, NodeId input,
+                        const BitVector &value) override;
+    SimStatus laneStatus(unsigned lane) const override;
+    uint64_t laneCycle(unsigned lane) const override;
+    const std::string &laneFailureMessage(unsigned lane) const override;
+    const std::vector<std::string> &
+    laneDisplayLog(unsigned lane) const override;
+    BitVector regValueLane(unsigned lane, RegId id) const override;
+    BitVector memValueLane(unsigned lane, MemId id,
+                           uint64_t addr) const override;
+
     const std::vector<std::string> &displayLog() const override
     {
-        return _displayLog;
+        return _lane[0].displayLog;
     }
 
     /** Introspection for tests and benches. */
     size_t numProcesses() const { return _procs.size(); }
     unsigned numThreads() const { return _numThreads; }
+    WaitPolicy waitPolicy() const { return _waitPolicy; }
     const NetlistPartitionStats &partitionStats() const { return _stats; }
     size_t tapeLength() const; ///< total instructions across processes
-    size_t arenaLimbs() const { return _arena.size(); }
+    size_t arenaLimbs() const { return _arena.limbs(); }
 
   private:
     /** Pre-barrier copy of a shared (RegRead) commit operand into the
      *  process's private staging, so the commit phase never reads a
-     *  slot another process may be committing. */
+     *  slot another process may be committing.  Both blocks are
+     *  lane-strided with the same stride, so one copy of `limbs`
+     *  (pre-multiplied: per-lane limb count x lanes) moves every
+     *  lane. */
     struct StageCopy
     {
         uint32_t dst, src, limbs;
@@ -108,15 +142,16 @@ class ParallelCompiledEvaluator : public EvaluatorBase
 
     struct RegCommit
     {
-        uint32_t dst; ///< shared register-file slot (owned)
-        uint32_t src; ///< private, staged, or stable shared slot
-        uint32_t limbs;
+        uint32_t dst;   ///< shared register-file slot (owned)
+        uint32_t src;   ///< private, staged, or stable shared slot
+        uint32_t limbs; ///< per lane (also the lane stride)
     };
 
     struct MemCommit
     {
         uint32_t mem;
         uint32_t addr, data, enable; ///< private/staged/stable slots
+        uint32_t addrStride;         ///< addr operand's lane stride
     };
 
     /** One partition process, fully lowered. */
@@ -133,11 +168,69 @@ class ParallelCompiledEvaluator : public EvaluatorBase
     void commitProc(const Proc &proc);
     void workerLoop(size_t proc_index);
     SimStatus runBatch(uint64_t max_cycles);
-    BitVector slotValue(uint32_t slot, unsigned width) const;
+    SimStatus runBatchScalar(uint64_t max_cycles); ///< 1-lane fast path
+    void recountActive();
+
+    // Rendezvous waits honouring the configured WaitPolicy: Spin
+    // spins with periodic yields; Block parks on _waitCv after a
+    // failed predicate check under _waitMx.  wake() is called after
+    // every counter bump that a blocked peer may be waiting on (the
+    // empty lock/unlock before notify_all closes the
+    // checked-then-parked race).
+    // The Spin paths are inline: they sit on the per-cycle rendezvous
+    // hot path; the Block (condvar) halves live out of line.
+    uint64_t
+    waitAbove(const std::atomic<uint64_t> &gen, uint64_t last) const
+    {
+        if (_waitPolicy == WaitPolicy::Spin) {
+            // Spin-then-yield keeps oversubscribed (or single-core)
+            // hosts making progress, as in baseline's worker pool.
+            uint64_t v;
+            unsigned spins = 0;
+            while ((v = gen.load(std::memory_order_acquire)) == last) {
+                if (++spins > 256) {
+                    std::this_thread::yield();
+                    spins = 0;
+                }
+            }
+            return v;
+        }
+        return waitAboveBlocked(gen, last);
+    }
+
+    void
+    waitCount(const std::atomic<uint64_t> &counter, uint64_t target) const
+    {
+        if (_waitPolicy == WaitPolicy::Spin) {
+            unsigned spins = 0;
+            while (counter.load(std::memory_order_acquire) < target) {
+                if (++spins > 256) {
+                    std::this_thread::yield();
+                    spins = 0;
+                }
+            }
+            return;
+        }
+        waitCountBlocked(counter, target);
+    }
+
+    void
+    wake() const // inline Spin no-op: the rendezvous hot path
+    {
+        if (_waitPolicy == WaitPolicy::Block)
+            wakeBlocked();
+    }
+
+    uint64_t waitAboveBlocked(const std::atomic<uint64_t> &gen,
+                              uint64_t last) const;
+    void waitCountBlocked(const std::atomic<uint64_t> &counter,
+                          uint64_t target) const;
+    void wakeBlocked() const;
 
     Netlist _netlist; ///< cold copy for name/width lookups only
 
-    std::vector<uint64_t> _arena;
+    unsigned _lanes;
+    Arena _arena;
     std::vector<uint32_t> _sourceSlot; ///< node id -> slot (Const/Input)
     std::vector<uint32_t> _regSlot;    ///< reg id -> register-file slot
     std::vector<tape::MemState> _mems;
@@ -145,6 +238,7 @@ class ParallelCompiledEvaluator : public EvaluatorBase
     tape::Effects _effects;
     NetlistPartitionStats _stats;
     unsigned _numThreads = 1;
+    WaitPolicy _waitPolicy = WaitPolicy::Spin;
 
     // Two-barrier worker-pool rendezvous.  The master participates by
     // running process 0 inline; workers run processes 1..N-1.  All
@@ -159,16 +253,23 @@ class ParallelCompiledEvaluator : public EvaluatorBase
     std::atomic<uint64_t> _computeDone{0};
     std::atomic<uint64_t> _commitDone{0};
     std::atomic<bool> _shutdown{false};
-    bool _doCommit = false;  ///< master->workers, ordered by _commitGen
-    bool _batchMore = false; ///< more cycles in this batch (same ordering)
+    bool _doCommit = false;  ///< any lane commits (master->workers,
+                             ///< ordered by _commitGen)
+    bool _allCommit = false; ///< every lane commits (fast path)
+    bool _batchMore = false; ///< more cycles in this batch
+    std::vector<uint8_t> _laneCommit; ///< per-lane commit flags (same
+                                      ///< ordering as _doCommit)
     uint64_t _computeTarget = 0; ///< master-only done-counter targets
     uint64_t _commitTarget = 0;
+    mutable std::mutex _waitMx;             ///< WaitPolicy::Block only
+    mutable std::condition_variable _waitCv;
     std::vector<std::thread> _pool;
 
+    // Per-lane run state; _cycle is the engine-level (max-lane) view.
     uint64_t _cycle = 0;
-    SimStatus _status = SimStatus::Ok;
-    std::string _failureMessage;
-    std::vector<std::string> _displayLog;
+    unsigned _active; ///< lanes not yet finished/failed
+    std::vector<LaneState> _lane;
+    std::vector<uint8_t> _laneFinish; ///< this cycle's $finish flags
 };
 
 } // namespace manticore::netlist

@@ -8,7 +8,7 @@ namespace manticore::netlist::tape {
 namespace lo = ::manticore::limbops;
 
 std::vector<MemState>
-buildMemStates(const Netlist &netlist)
+buildMemStates(const Netlist &netlist, unsigned lanes)
 {
     std::vector<MemState> mems;
     mems.reserve(netlist.numMemories());
@@ -16,11 +16,14 @@ buildMemStates(const Netlist &netlist)
         MemState ms;
         ms.width = m.width;
         ms.wordLimbs = lo::nlimbs(m.width);
+        ms.lanes = lanes;
         ms.depth = m.depth;
-        ms.words.assign(static_cast<size_t>(ms.depth) * ms.wordLimbs, 0);
+        ms.words.assign(static_cast<size_t>(ms.depth) * lanes *
+                            ms.wordLimbs,
+                        0);
         for (unsigned a = 0; a < m.depth; ++a)
-            lo::copy(&ms.words[static_cast<size_t>(a) * ms.wordLimbs],
-                     m.init[a].limbs().data(), ms.wordLimbs);
+            lo::broadcast(ms.word(a, 0), m.init[a].limbs().data(),
+                          ms.wordLimbs, lanes);
         mems.push_back(std::move(ms));
     }
     return mems;
@@ -106,9 +109,9 @@ readSlot(const uint64_t *slot, unsigned width)
 }
 
 BitVector
-MemState::value(uint64_t addr) const
+MemState::value(uint64_t addr, unsigned lane) const
 {
-    return readSlot(&words[addr * wordLimbs], width);
+    return readSlot(word(addr, lane), width);
 }
 
 Effects
@@ -134,14 +137,16 @@ Effects::compile(const Netlist &netlist,
 }
 
 bool
-Effects::fire(const uint64_t *A, uint64_t cycle, SimStatus &status,
-              std::string &failure_message,
+Effects::fire(const uint64_t *A, unsigned lane, uint64_t cycle,
+              SimStatus &status, std::string &failure_message,
               std::vector<std::string> &log,
               const std::function<void(const std::string &)> &on_display,
               bool &finished) const
 {
+    // Enable/cond slots are 1-bit, so their lane stride is one limb;
+    // display arguments stride by their own limb counts.
     for (const EffAssert &a : asserts) {
-        if (A[a.enable] && !A[a.cond]) {
+        if (A[a.enable + lane] && !A[a.cond + lane]) {
             status = SimStatus::AssertFailed;
             failure_message = "cycle " + std::to_string(cycle) +
                               ": assertion failed: " + a.message;
@@ -155,12 +160,15 @@ Effects::fire(const uint64_t *A, uint64_t cycle, SimStatus &status,
     size_t mark = log.size();
     try {
         for (const EffDisplay &d : displays) {
-            if (A[d.enable]) {
+            if (A[d.enable + lane]) {
                 std::vector<BitVector> args;
                 args.reserve(d.argSlots.size());
                 for (size_t i = 0; i < d.argSlots.size(); ++i)
-                    args.push_back(
-                        readSlot(A + d.argSlots[i], d.argWidths[i]));
+                    args.push_back(readSlot(
+                        A + d.argSlots[i] +
+                            static_cast<size_t>(lane) *
+                                lo::nlimbs(d.argWidths[i]),
+                        d.argWidths[i]));
                 std::string line =
                     Evaluator::formatDisplay(d.format, args);
                 log.push_back(line);
@@ -173,147 +181,346 @@ Effects::fire(const uint64_t *A, uint64_t cycle, SimStatus &status,
         throw;
     }
     for (uint32_t en : finishes)
-        if (A[en])
+        if (A[en + lane])
             finished = true;
     return true;
+}
+
+Effects::FireResult
+Effects::fireLanes(
+    const uint64_t *A, unsigned lanes, LaneState *lane,
+    uint8_t *commit, uint8_t *finish,
+    const std::function<void(const std::string &)> &on_display) const
+{
+    FireResult result;
+    if (onlyFinishes()) {
+        // Nothing can fail, throw or log: every active lane commits
+        // and firing collapses to the $finish-enable checks.
+        for (unsigned l = 0; l < lanes; ++l) {
+            bool active = lane[l].status == SimStatus::Ok;
+            bool fin = active && anyFinish(A, l);
+            commit[l] = active;
+            finish[l] = fin;
+            result.committing += active;
+            result.finishing += fin;
+        }
+        return result;
+    }
+    for (unsigned l = 0; l < lanes; ++l) {
+        commit[l] = 0;
+        finish[l] = 0;
+        lane[l].logMark = lane[l].displayLog.size();
+    }
+    try {
+        for (unsigned l = 0; l < lanes; ++l) {
+            LaneState &ls = lane[l];
+            if (ls.status != SimStatus::Ok)
+                continue;
+            bool fin = false;
+            bool ok = fire(A, l, ls.cycle, ls.status, ls.failureMessage,
+                           ls.displayLog, on_display, fin);
+            commit[l] = ok;
+            finish[l] = fin;
+            result.committing += ok;
+            result.finishing += fin;
+        }
+    } catch (...) {
+        for (unsigned l = 0; l < lanes; ++l) {
+            lane[l].displayLog.resize(lane[l].logMark);
+            commit[l] = 0;
+        }
+        result.thrown = std::current_exception();
+        result.committing = 0;
+        result.finishing = 0;
+    }
+    return result;
 }
 
 namespace {
 
 uint64_t
-shiftAmount(const Instr &in, const uint64_t *A)
+shiftAmountLane(const Instr &in, const uint64_t *A, unsigned lane,
+                uint32_t bstride)
 {
     // Mirrors the reference: amounts that do not fit 64 bits shift
     // everything out.
-    const uint64_t *b = A + in.b;
+    const uint64_t *b = A + in.b + static_cast<size_t>(lane) * bstride;
     if (in.bw <= 64 || lo::fitsUint64(b, lo::nlimbs(in.bw)))
         return b[0];
     return in.width;
 }
 
-} // namespace
-
-void
-run(const Instr *instrs, size_t count, uint64_t *A, const MemState *mems)
+/** The executor, templated on the lane count: kLanes == 1 is the
+ *  scalar instantiation (the lane loops and per-operand strides fold
+ *  away, keeping single-simulation codegen identical to the
+ *  pre-ensemble tape); kLanes == 0 takes the width from `dyn_lanes`
+ *  and advances every lane of the ensemble per decoded op.  Narrow
+ *  ops stream the laned single-limb kernels from support/limbops.hh
+ *  (unit stride — one op's N lane values are N consecutive limbs);
+ *  wide ops loop the span kernels over the lanes with each operand's
+ *  stride hoisted out of the loop. */
+/** noinline: each instantiation keeps its own code so the compiler
+ *  cannot cross-jump the two big switch bodies into shared tails,
+ *  which would put extra jumps on the single-lane hot path. */
+template <unsigned kLanes>
+__attribute__((noinline)) void
+runImpl(const Instr *instrs, size_t count, uint64_t *A,
+        const MemState *mems, unsigned dyn_lanes)
 {
+    const unsigned L = kLanes != 0 ? kLanes : dyn_lanes;
     for (size_t i = 0; i < count; ++i) {
         const Instr &in = instrs[i];
         switch (in.op) {
           case Op::NAdd:
-            A[in.dst] = (A[in.a] + A[in.b]) & in.mask;
+            lo::addN(A + in.dst, A + in.a, A + in.b, in.mask, L);
             break;
           case Op::NSub:
-            A[in.dst] = (A[in.a] - A[in.b]) & in.mask;
+            lo::subN(A + in.dst, A + in.a, A + in.b, in.mask, L);
             break;
           case Op::NMul:
-            A[in.dst] = (A[in.a] * A[in.b]) & in.mask;
+            lo::mulN(A + in.dst, A + in.a, A + in.b, in.mask, L);
             break;
-          case Op::NAnd: A[in.dst] = A[in.a] & A[in.b]; break;
-          case Op::NOr: A[in.dst] = A[in.a] | A[in.b]; break;
-          case Op::NXor: A[in.dst] = A[in.a] ^ A[in.b]; break;
-          case Op::NNot: A[in.dst] = ~A[in.a] & in.mask; break;
+          case Op::NAnd: lo::andN(A + in.dst, A + in.a, A + in.b, L); break;
+          case Op::NOr: lo::orN(A + in.dst, A + in.a, A + in.b, L); break;
+          case Op::NXor: lo::xorN(A + in.dst, A + in.a, A + in.b, L); break;
+          case Op::NNot: lo::notN(A + in.dst, A + in.a, in.mask, L); break;
           case Op::NShl: {
-            uint64_t amt = shiftAmount(in, A);
-            A[in.dst] = amt >= in.width ? 0
-                                        : (A[in.a] << amt) & in.mask;
+            const uint32_t bs = lo::nlimbs(in.bw);
+            for (unsigned l = 0; l < L; ++l) {
+                uint64_t amt = shiftAmountLane(in, A, l, bs);
+                A[in.dst + l] =
+                    amt >= in.width ? 0 : (A[in.a + l] << amt) & in.mask;
+            }
             break;
           }
           case Op::NLshr: {
-            uint64_t amt = shiftAmount(in, A);
-            A[in.dst] = amt >= in.width ? 0 : A[in.a] >> amt;
+            const uint32_t bs = lo::nlimbs(in.bw);
+            for (unsigned l = 0; l < L; ++l) {
+                uint64_t amt = shiftAmountLane(in, A, l, bs);
+                A[in.dst + l] = amt >= in.width ? 0 : A[in.a + l] >> amt;
+            }
             break;
           }
-          case Op::NEq: A[in.dst] = A[in.a] == A[in.b]; break;
-          case Op::NUlt: A[in.dst] = A[in.a] < A[in.b]; break;
-          case Op::NSlt: {
-            uint64_t sbit = 1ull << (in.aw - 1);
-            A[in.dst] = (A[in.a] ^ sbit) < (A[in.b] ^ sbit);
+          case Op::NEq: lo::eqN(A + in.dst, A + in.a, A + in.b, L); break;
+          case Op::NUlt: lo::ultN(A + in.dst, A + in.a, A + in.b, L); break;
+          case Op::NSlt:
+            lo::sltN(A + in.dst, A + in.a, A + in.b,
+                     1ull << (in.aw - 1), L);
             break;
-          }
           case Op::NMux:
-            A[in.dst] = A[in.a] ? A[in.b] : A[in.c];
+            lo::muxN(A + in.dst, A + in.a, A + in.b, A + in.c, L);
             break;
           case Op::NSlice:
-            A[in.dst] = (A[in.a] >> in.lo) & in.mask;
+            lo::sliceN(A + in.dst, A + in.a, in.lo, in.mask, L);
             break;
           case Op::NConcat:
-            A[in.dst] = (A[in.a] << in.bw) | A[in.b];
+            lo::concatN(A + in.dst, A + in.a, A + in.b, in.bw, L);
             break;
-          case Op::NZExt: A[in.dst] = A[in.a]; break;
-          case Op::NSExt: {
-            uint64_t v = A[in.a];
-            if (in.aw < in.width && ((v >> (in.aw - 1)) & 1))
-                v |= (~0ull << in.aw) & in.mask;
-            A[in.dst] = v;
+          case Op::NZExt: lo::copyN(A + in.dst, A + in.a, L); break;
+          case Op::NSExt:
+            if (in.aw < in.width)
+                lo::sextN(A + in.dst, A + in.a, in.aw, in.mask, L);
+            else
+                lo::copyN(A + in.dst, A + in.a, L);
             break;
-          }
-          case Op::NRedOr: A[in.dst] = A[in.a] != 0; break;
-          case Op::NRedAnd: A[in.dst] = A[in.a] == in.mask; break;
-          case Op::NRedXor:
-            A[in.dst] =
-                static_cast<unsigned>(__builtin_popcountll(A[in.a])) & 1u;
+          case Op::NRedOr: lo::redOrN(A + in.dst, A + in.a, L); break;
+          case Op::NRedAnd:
+            lo::redAndN(A + in.dst, A + in.a, in.mask, L);
             break;
+          case Op::NRedXor: lo::redXorN(A + in.dst, A + in.a, L); break;
           case Op::NMemRead: {
             const MemState &m = mems[in.lo];
-            A[in.dst] = m.words[A[in.a] % m.depth];
+            const uint32_t as = lo::nlimbs(in.aw);
+            for (unsigned l = 0; l < L; ++l)
+                A[in.dst + l] =
+                    m.words[(A[in.a + l * as] % m.depth) * L + l];
             break;
           }
-          case Op::WAdd: lo::add(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WSub: lo::sub(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WMul: lo::mul(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WAnd: lo::bitAnd(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WOr: lo::bitOr(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WXor: lo::bitXor(A + in.dst, A + in.a, A + in.b, in.width); break;
-          case Op::WNot: lo::bitNot(A + in.dst, A + in.a, in.width); break;
-          case Op::WShl:
-            lo::shl(A + in.dst, A + in.a, shiftAmount(in, A), in.width);
+          case Op::WAdd: {
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l)
+                lo::add(A + in.dst + l * s, A + in.a + l * s,
+                        A + in.b + l * s, in.width);
             break;
-          case Op::WLshr:
-            lo::lshr(A + in.dst, A + in.a, shiftAmount(in, A), in.width);
+          }
+          case Op::WSub: {
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l)
+                lo::sub(A + in.dst + l * s, A + in.a + l * s,
+                        A + in.b + l * s, in.width);
             break;
-          case Op::WEq:
-            A[in.dst] = lo::eq(A + in.a, A + in.b, in.aw);
+          }
+          case Op::WMul: {
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l)
+                lo::mul(A + in.dst + l * s, A + in.a + l * s,
+                        A + in.b + l * s, in.width);
             break;
-          case Op::WUlt:
-            A[in.dst] = lo::ult(A + in.a, A + in.b, in.aw);
+          }
+          case Op::WAnd: {
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l)
+                lo::bitAnd(A + in.dst + l * s, A + in.a + l * s,
+                           A + in.b + l * s, in.width);
             break;
-          case Op::WSlt:
-            A[in.dst] = lo::slt(A + in.a, A + in.b, in.aw);
+          }
+          case Op::WOr: {
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l)
+                lo::bitOr(A + in.dst + l * s, A + in.a + l * s,
+                          A + in.b + l * s, in.width);
             break;
+          }
+          case Op::WXor: {
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l)
+                lo::bitXor(A + in.dst + l * s, A + in.a + l * s,
+                           A + in.b + l * s, in.width);
+            break;
+          }
+          case Op::WNot: {
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l)
+                lo::bitNot(A + in.dst + l * s, A + in.a + l * s,
+                           in.width);
+            break;
+          }
+          case Op::WShl: {
+            const uint32_t s = lo::nlimbs(in.width);
+            const uint32_t bs = lo::nlimbs(in.bw);
+            for (unsigned l = 0; l < L; ++l)
+                lo::shl(A + in.dst + l * s, A + in.a + l * s,
+                        shiftAmountLane(in, A, l, bs), in.width);
+            break;
+          }
+          case Op::WLshr: {
+            const uint32_t s = lo::nlimbs(in.width);
+            const uint32_t bs = lo::nlimbs(in.bw);
+            for (unsigned l = 0; l < L; ++l)
+                lo::lshr(A + in.dst + l * s, A + in.a + l * s,
+                         shiftAmountLane(in, A, l, bs), in.width);
+            break;
+          }
+          case Op::WEq: {
+            const uint32_t s = lo::nlimbs(in.aw);
+            for (unsigned l = 0; l < L; ++l)
+                A[in.dst + l] =
+                    lo::eq(A + in.a + l * s, A + in.b + l * s, in.aw);
+            break;
+          }
+          case Op::WUlt: {
+            const uint32_t s = lo::nlimbs(in.aw);
+            for (unsigned l = 0; l < L; ++l)
+                A[in.dst + l] =
+                    lo::ult(A + in.a + l * s, A + in.b + l * s, in.aw);
+            break;
+          }
+          case Op::WSlt: {
+            const uint32_t s = lo::nlimbs(in.aw);
+            for (unsigned l = 0; l < L; ++l)
+                A[in.dst + l] =
+                    lo::slt(A + in.a + l * s, A + in.b + l * s, in.aw);
+            break;
+          }
           case Op::WMux: {
-            const uint64_t *src = A[in.a] ? A + in.b : A + in.c;
-            lo::copy(A + in.dst, src, lo::nlimbs(in.width));
+            const uint32_t ss = lo::nlimbs(in.aw); // select stride
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l) {
+                const uint64_t *src = A[in.a + l * ss]
+                                          ? A + in.b + l * s
+                                          : A + in.c + l * s;
+                lo::copy(A + in.dst + l * s, src, s);
+            }
             break;
           }
-          case Op::WSlice:
-            lo::slice(A + in.dst, A + in.a, in.aw, in.lo, in.width);
+          case Op::WSlice: {
+            const uint32_t as = lo::nlimbs(in.aw);
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l)
+                lo::slice(A + in.dst + l * s, A + in.a + l * as, in.aw,
+                          in.lo, in.width);
             break;
-          case Op::WConcat:
-            lo::concat(A + in.dst, A + in.a, A + in.b, in.aw, in.bw);
+          }
+          case Op::WConcat: {
+            const uint32_t as = lo::nlimbs(in.aw);
+            const uint32_t bs = lo::nlimbs(in.bw);
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l)
+                lo::concat(A + in.dst + l * s, A + in.a + l * as,
+                           A + in.b + l * bs, in.aw, in.bw);
             break;
-          case Op::WZExt:
-            lo::zext(A + in.dst, A + in.a, in.width, in.aw);
+          }
+          case Op::WZExt: {
+            const uint32_t as = lo::nlimbs(in.aw);
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l)
+                lo::zext(A + in.dst + l * s, A + in.a + l * as,
+                         in.width, in.aw);
             break;
-          case Op::WSExt:
-            lo::sext(A + in.dst, A + in.a, in.width, in.aw);
+          }
+          case Op::WSExt: {
+            const uint32_t as = lo::nlimbs(in.aw);
+            const uint32_t s = lo::nlimbs(in.width);
+            for (unsigned l = 0; l < L; ++l)
+                lo::sext(A + in.dst + l * s, A + in.a + l * as,
+                         in.width, in.aw);
             break;
-          case Op::WRedOr:
-            A[in.dst] = lo::reduceOr(A + in.a, in.aw);
+          }
+          case Op::WRedOr: {
+            const uint32_t as = lo::nlimbs(in.aw);
+            for (unsigned l = 0; l < L; ++l)
+                A[in.dst + l] = lo::reduceOr(A + in.a + l * as, in.aw);
             break;
-          case Op::WRedAnd:
-            A[in.dst] = lo::reduceAnd(A + in.a, in.aw);
+          }
+          case Op::WRedAnd: {
+            const uint32_t as = lo::nlimbs(in.aw);
+            for (unsigned l = 0; l < L; ++l)
+                A[in.dst + l] = lo::reduceAnd(A + in.a + l * as, in.aw);
             break;
-          case Op::WRedXor:
-            A[in.dst] = lo::reduceXor(A + in.a, in.aw);
+          }
+          case Op::WRedXor: {
+            const uint32_t as = lo::nlimbs(in.aw);
+            for (unsigned l = 0; l < L; ++l)
+                A[in.dst + l] = lo::reduceXor(A + in.a + l * as, in.aw);
             break;
+          }
           case Op::WMemRead: {
             const MemState &m = mems[in.lo];
-            uint64_t addr = A[in.a] % m.depth;
-            lo::copy(A + in.dst, &m.words[addr * m.wordLimbs],
-                     m.wordLimbs);
+            const uint32_t as = lo::nlimbs(in.aw);
+            for (unsigned l = 0; l < L; ++l) {
+                uint64_t addr = A[in.a + l * as] % m.depth;
+                lo::copy(A + in.dst + l * m.wordLimbs,
+                         m.word(addr, l), m.wordLimbs);
+            }
             break;
           }
         }
+    }
+}
+
+} // namespace
+
+void
+runScalar(const Instr *instrs, size_t count, uint64_t *A,
+          const MemState *mems)
+{
+    runImpl<1>(instrs, count, A, mems, 1);
+}
+
+void
+runEnsemble(const Instr *instrs, size_t count, uint64_t *A,
+            const MemState *mems, unsigned lanes)
+{
+    // Constant-width instantiations for the common power-of-two lane
+    // counts: the lane loops unroll / vectorise with a known trip
+    // count, which matters most on short tapes where the loop
+    // control would otherwise rival the op itself.
+    switch (lanes) {
+      case 2: return runImpl<2>(instrs, count, A, mems, 2);
+      case 4: return runImpl<4>(instrs, count, A, mems, 4);
+      case 8: return runImpl<8>(instrs, count, A, mems, 8);
+      case 16: return runImpl<16>(instrs, count, A, mems, 16);
+      default: return runImpl<0>(instrs, count, A, mems, lanes);
     }
 }
 

@@ -91,6 +91,43 @@ Simulation::runIsaCrossChecked(uint64_t max_vcycles, isa::ExecMode mode)
     return crossCheckAgainst(*_isaGolden, max_vcycles);
 }
 
+isa::RunStatus
+Simulation::runEnsembleCrossChecked(uint64_t max_vcycles, unsigned lanes,
+                                    const engine::LaneStimulus &stimulus,
+                                    const std::string &subject_engine)
+{
+    MANTICORE_ASSERT(_netlist.has_value(),
+                     "runEnsembleCrossChecked requires constructing "
+                     "Simulation with a golden EvalMode");
+    engine::CreateOptions subject_options;
+    subject_options.lanes = lanes;
+    subject_options.eval = _goldenOptions;
+    subject_options.eval.lanes = lanes;
+    std::unique_ptr<engine::Engine> subject =
+        engine::create(subject_engine, *_netlist, subject_options);
+
+    // One independent scalar golden run per lane, in the configured
+    // golden mode.
+    engine::CreateOptions golden_options;
+    golden_options.eval = _goldenOptions;
+    golden_options.eval.lanes = 1; // goldens are scalar by definition
+    std::vector<std::unique_ptr<engine::Engine>> goldens;
+    std::vector<engine::Engine *> golden_ptrs;
+    for (unsigned l = 0; l < lanes; ++l) {
+        goldens.push_back(engine::create(
+            std::string("netlist.") + netlist::evalModeName(_goldenMode),
+            *_netlist, golden_options));
+        golden_ptrs.push_back(goldens.back().get());
+    }
+
+    engine::EnsembleCrossCheck harness(golden_ptrs, *subject);
+    if (stimulus)
+        harness.setStimulus(stimulus);
+    engine::RunResult result = harness.run(max_vcycles);
+    _divergence = harness.divergence();
+    return toRunStatus(result.status);
+}
+
 double
 Simulation::effectiveRateKhz() const
 {

@@ -27,6 +27,7 @@
 
 #include "compiler/compiler.hh"
 #include "engine/adapters.hh"
+#include "engine/crosscheck.hh"
 #include "machine/machine.hh"
 #include "netlist/evaluator.hh"
 #include "netlist/netlist.hh"
@@ -69,6 +70,22 @@ class Simulation
     isa::RunStatus
     runIsaCrossChecked(uint64_t max_vcycles,
                        isa::ExecMode mode = isa::ExecMode::Tape);
+
+    /** Validate an N-lane ensemble engine of this design: build
+     *  `subject_engine` ("netlist.parallel" or "netlist.compiled")
+     *  with `lanes` lanes plus `lanes` independent scalar golden
+     *  runs of the configured golden EvalMode, drive each lane's
+     *  stimulus through `stimulus` (optional; closed designs
+     *  self-drive), and lockstep-compare every lane — status, cycle
+     *  counts, failure messages and every RTL register — including
+     *  divergent per-lane finish/assert cycles
+     *  (engine::EnsembleCrossCheck).  Returns Failed with
+     *  divergence() set at the first mismatch.  Requires
+     *  construction with a golden EvalMode. */
+    isa::RunStatus runEnsembleCrossChecked(
+        uint64_t max_vcycles, unsigned lanes,
+        const engine::LaneStimulus &stimulus = {},
+        const std::string &subject_engine = "netlist.parallel");
 
     /** Description of the first cross-check mismatch; empty if none. */
     const std::string &divergence() const { return _divergence; }

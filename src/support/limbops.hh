@@ -335,6 +335,172 @@ reduceXor(const uint64_t *s, unsigned width)
     return parity & 1u;
 }
 
+// ---------------------------------------------------------------------------
+// N-lane ensemble kernels
+// ---------------------------------------------------------------------------
+//
+// The ensemble arena stores N independent simulations lane-strided:
+// lane l of a word lives nlimbs(width) limbs after lane l-1, so for
+// the single-limb (width <= 64) values that dominate real designs the
+// lanes of one word are N consecutive limbs.  These kernels execute
+// one decoded op across all lanes with a unit stride — a shape the
+// compiler auto-vectorises — so the per-op dispatch cost is paid once
+// per N simulations.  Instantiated with a compile-time lane count of
+// 1 they fold to the scalar op (the tape keeps its pre-ensemble
+// codegen for single-lane engines).
+
+inline void
+addN(uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t mask,
+     unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = (a[l] + b[l]) & mask;
+}
+
+inline void
+subN(uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t mask,
+     unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = (a[l] - b[l]) & mask;
+}
+
+inline void
+mulN(uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t mask,
+     unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = (a[l] * b[l]) & mask;
+}
+
+inline void
+andN(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = a[l] & b[l];
+}
+
+inline void
+orN(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = a[l] | b[l];
+}
+
+inline void
+xorN(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = a[l] ^ b[l];
+}
+
+inline void
+notN(uint64_t *d, const uint64_t *a, uint64_t mask, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = ~a[l] & mask;
+}
+
+inline void
+eqN(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = a[l] == b[l];
+}
+
+inline void
+ultN(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = a[l] < b[l];
+}
+
+/** sbit is the operand sign bit (1 << (aw - 1)). */
+inline void
+sltN(uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t sbit,
+     unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = (a[l] ^ sbit) < (b[l] ^ sbit);
+}
+
+inline void
+muxN(uint64_t *d, const uint64_t *sel, const uint64_t *t,
+     const uint64_t *e, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = sel[l] ? t[l] : e[l];
+}
+
+inline void
+sliceN(uint64_t *d, const uint64_t *a, unsigned lo, uint64_t mask,
+       unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = (a[l] >> lo) & mask;
+}
+
+inline void
+concatN(uint64_t *d, const uint64_t *hi, const uint64_t *lo_,
+        unsigned lw, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = (hi[l] << lw) | lo_[l];
+}
+
+inline void
+copyN(uint64_t *d, const uint64_t *a, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = a[l];
+}
+
+/** Single-limb sign extension; requires aw < result width (callers
+ *  lower the aw == width case to a plain copy). */
+inline void
+sextN(uint64_t *d, const uint64_t *a, unsigned aw, uint64_t mask,
+      unsigned lanes)
+{
+    uint64_t sbit = 1ull << (aw - 1);
+    uint64_t fill = (~0ull << aw) & mask;
+    for (unsigned l = 0; l < lanes; ++l) {
+        uint64_t v = a[l];
+        d[l] = (v & sbit) ? (v | fill) : v;
+    }
+}
+
+inline void
+redOrN(uint64_t *d, const uint64_t *a, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = a[l] != 0;
+}
+
+/** mask covers the operand's valid bits. */
+inline void
+redAndN(uint64_t *d, const uint64_t *a, uint64_t mask, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] = a[l] == mask;
+}
+
+inline void
+redXorN(uint64_t *d, const uint64_t *a, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        d[l] =
+            static_cast<unsigned>(__builtin_popcountll(a[l])) & 1u;
+}
+
+/** Replicate one limbs-long word into every lane of a lane-strided
+ *  block (constants / shared stimulus). */
+inline void
+broadcast(uint64_t *d, const uint64_t *s, unsigned limbs, unsigned lanes)
+{
+    for (unsigned l = 0; l < lanes; ++l)
+        copy(d + static_cast<size_t>(l) * limbs, s, limbs);
+}
+
 } // namespace manticore::limbops
 
 #endif // MANTICORE_SUPPORT_LIMBOPS_HH

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Ensemble-execution tests: an N-lane ensemble engine must be
+ * indistinguishable, lane by lane, from N independent scalar runs of
+ * the same netlist under the same per-lane stimulus — including
+ * divergent per-lane finish/assert cycles, display transcripts and
+ * failure messages.  Also covers the satellite guarantees: lane-0
+ * API compatibility at lanes=1, broadcast vs lane-indexed stimulus,
+ * batched step(n) exactness on ensembles, the blocking rendezvous
+ * wait policy, aggregated stats / RunResult::lanes, and the
+ * registry's rejection of lanes on non-ensemble engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "engine/crosscheck.hh"
+#include "engine/registry.hh"
+#include "netlist/builder.hh"
+#include "netlist/evaluator.hh"
+#include "support/rng.hh"
+#include "runtime/simulation.hh"
+#include "tests/random_circuit.hh"
+
+using namespace manticore;
+
+namespace {
+
+const std::vector<std::string> kEnsembleEngines = {"netlist.compiled",
+                                                   "netlist.parallel"};
+
+/** Open design: free threshold input x, cycle counter, accumulator
+ *  with a $display burst, $finish when the counter reaches x. */
+netlist::Netlist
+finishAtInputDesign()
+{
+    netlist::CircuitBuilder b("ens_finish");
+    auto x = b.input("x", 16);
+    auto c = b.reg("c", 16);
+    b.next(c, c.read() + b.lit(16, 1));
+    auto acc = b.reg("acc", 32);
+    b.next(acc, acc.read() + c.read().zext(32));
+    b.display(c.read() == b.lit(16, 2), "acc=%d", {acc.read()});
+    b.finish(c.read() == x);
+    return b.build();
+}
+
+/** Open design: the assertion trips (enable=1, cond=0) exactly when
+ *  the counter reaches the free input x. */
+netlist::Netlist
+assertAtInputDesign()
+{
+    netlist::CircuitBuilder b("ens_assert");
+    auto x = b.input("x", 16);
+    auto c = b.reg("c", 16);
+    b.next(c, c.read() + b.lit(16, 1));
+    b.assertAlways(c.read() == x, b.lit(1, 0), "lane tripwire");
+    return b.build();
+}
+
+engine::CreateOptions
+ensembleOptions(unsigned lanes)
+{
+    engine::CreateOptions options;
+    options.lanes = lanes;
+    options.eval.numThreads = 3;
+    return options;
+}
+
+/** Deterministic per-(seed, lane, cycle) stimulus stream, identical
+ *  for the ensemble lane and its scalar golden. */
+Rng
+laneRng(uint64_t seed, unsigned lane, uint64_t cycle)
+{
+    return Rng(seed * 0x9e3779b97f4a7c15ull + lane * 1000003ull +
+               cycle * 7919ull);
+}
+
+struct LaneGoldens
+{
+    std::vector<std::unique_ptr<engine::Engine>> owned;
+    std::vector<engine::Engine *> ptrs;
+};
+
+LaneGoldens
+makeGoldens(const netlist::Netlist &nl, unsigned lanes,
+            const std::string &name = "netlist.reference")
+{
+    LaneGoldens g;
+    for (unsigned l = 0; l < lanes; ++l) {
+        g.owned.push_back(engine::create(name, nl));
+        g.ptrs.push_back(g.owned.back().get());
+    }
+    return g;
+}
+
+/** The tentpole differential: every lane of an ensemble run of a
+ *  random netlist must match an independent scalar reference run
+ *  under the same per-lane random stimulus — probes, status, cycle
+ *  counts, failure messages and display transcripts. */
+void
+runRandomDifferential(const std::string &subject_name, unsigned lanes,
+                      uint64_t seed, uint64_t horizon,
+                      netlist::WaitPolicy wait_policy =
+                          netlist::WaitPolicy::Spin)
+{
+    manticore::testing::RandomCircuit rc(seed);
+    netlist::Netlist nl = rc.build();
+
+    engine::CreateOptions sopts = ensembleOptions(lanes);
+    sopts.eval.waitPolicy = wait_policy;
+    auto subject = engine::create(subject_name, nl, sopts);
+    EXPECT_EQ(subject->lanes(), lanes);
+    EXPECT_EQ(subject->has(engine::cap::kEnsemble), lanes > 1);
+
+    LaneGoldens goldens = makeGoldens(nl, lanes);
+
+    const std::vector<unsigned> &widths = rc.inputWidths();
+    std::unordered_map<engine::Engine *,
+                       std::vector<engine::InputHandle>>
+        handles;
+    auto bindAll = [&](engine::Engine &e) {
+        std::vector<engine::InputHandle> hs;
+        for (size_t i = 0; i < widths.size(); ++i)
+            hs.push_back(e.bindInput("in" + std::to_string(i)));
+        handles[&e] = std::move(hs);
+    };
+    bindAll(*subject);
+    for (engine::Engine *g : goldens.ptrs)
+        bindAll(*g);
+
+    engine::EnsembleCrossCheck cc(goldens.ptrs, *subject);
+    cc.setStimulus([&](engine::Engine &e, unsigned lane,
+                       uint64_t cycle) {
+        Rng rng = laneRng(seed, lane, cycle);
+        const auto &hs = handles.at(&e);
+        for (size_t i = 0; i < hs.size(); ++i)
+            engine::driveLane(e, hs[i], lane,
+                              manticore::testing::randomValue(rng, widths[i]));
+    });
+    cc.run(horizon);
+    EXPECT_FALSE(cc.diverged())
+        << subject_name << " lanes=" << lanes << " seed=" << seed
+        << ": " << cc.divergence();
+
+    for (unsigned l = 0; l < lanes; ++l) {
+        EXPECT_EQ(subject->laneDisplayLog(l),
+                  goldens.ptrs[l]->displayLog())
+            << subject_name << " lanes=" << lanes << " seed=" << seed
+            << " lane=" << l << ": display transcripts differ";
+        EXPECT_EQ(subject->laneCycle(l), goldens.ptrs[l]->cycle());
+        EXPECT_EQ(subject->laneStatus(l), goldens.ptrs[l]->status());
+    }
+}
+
+} // namespace
+
+TEST(Ensemble, RandomDifferentialEveryLaneCount)
+{
+    for (const std::string &name : kEnsembleEngines)
+        for (unsigned lanes : {1u, 2u, 7u, 16u})
+            for (uint64_t seed : {11ull, 23ull, 37ull})
+                runRandomDifferential(name, lanes, seed, 150);
+}
+
+TEST(Ensemble, RandomDifferentialBlockingWaitPolicy)
+{
+    // The condvar rendezvous must be exactly as cycle-exact (and, in
+    // the sanitized configs, as race-free) as the spinning one.
+    for (unsigned lanes : {1u, 4u})
+        for (uint64_t seed : {11ull, 23ull})
+            runRandomDifferential("netlist.parallel", lanes, seed, 150,
+                                  netlist::WaitPolicy::Block);
+}
+
+TEST(Ensemble, DivergentFinishCyclesFreezeOnlyTheirLane)
+{
+    netlist::Netlist nl = finishAtInputDesign();
+    for (const std::string &name : kEnsembleEngines) {
+        const unsigned lanes = 4;
+        auto subject = engine::create(name, nl, ensembleOptions(lanes));
+        engine::InputHandle x = subject->bindInput("x");
+        for (unsigned l = 0; l < lanes; ++l)
+            subject->setInputLane(x, l, BitVector(16, 5 * (l + 1)));
+
+        engine::RunResult res = subject->step(200);
+        EXPECT_EQ(res.lanes, lanes);
+        EXPECT_EQ(res.status, engine::Status::Finished);
+        // $finish fires when c == x, which commits cycle x and stops
+        // the lane at x + 1 completed cycles; the last lane bounds
+        // the ensemble cycle count.
+        for (unsigned l = 0; l < lanes; ++l) {
+            EXPECT_EQ(subject->laneStatus(l), engine::Status::Finished);
+            EXPECT_EQ(subject->laneCycle(l), 5 * (l + 1) + 1u);
+        }
+        EXPECT_EQ(subject->cycle(), 5 * lanes + 1u);
+        EXPECT_EQ(res.cycles, 5 * lanes + 1u);
+        // Lane 0 view == the scalar API.
+        EXPECT_EQ(subject->status(), subject->laneStatus(0));
+    }
+}
+
+TEST(Ensemble, FinishOnlyDesignsTakeTheFusedPathCorrectly)
+{
+    // No asserts and no displays: the engines take the fused
+    // finishes-only cycle path — divergent per-lane finishes must
+    // still freeze exactly their lane, exactly like the general
+    // path, and match scalar golden runs.
+    netlist::CircuitBuilder b("ens_finish_only");
+    auto x = b.input("x", 16);
+    auto c = b.reg("c", 16);
+    b.next(c, c.read() + b.lit(16, 1));
+    b.finish(c.read() == x);
+    netlist::Netlist nl = b.build();
+
+    for (const std::string &name : kEnsembleEngines) {
+        const unsigned lanes = 4;
+        auto subject = engine::create(name, nl, ensembleOptions(lanes));
+        auto golden = engine::create("netlist.reference", nl);
+        engine::InputHandle sx = subject->bindInput("x");
+        engine::InputHandle gx = golden->bindInput("x");
+        for (unsigned l = 0; l < lanes; ++l)
+            subject->setInputLane(sx, l, BitVector(16, 3 + 4 * l));
+        golden->setInput(gx, BitVector(16, 3 + 4 * 2));
+
+        engine::RunResult res = subject->step(100);
+        golden->step(100);
+        EXPECT_EQ(res.status, engine::Status::Finished);
+        for (unsigned l = 0; l < lanes; ++l) {
+            EXPECT_EQ(subject->laneStatus(l), engine::Status::Finished);
+            EXPECT_EQ(subject->laneCycle(l), 3 + 4 * l + 1u) << name;
+        }
+        EXPECT_EQ(subject->laneCycle(2), golden->cycle());
+        engine::ProbeHandle pc = subject->probe("c");
+        engine::ProbeHandle gc = golden->probe("c");
+        EXPECT_EQ(subject->readLane(pc, 2), golden->read(gc));
+    }
+}
+
+TEST(Ensemble, DivergentAssertsFreezeOnlyTheirLane)
+{
+    netlist::Netlist nl = assertAtInputDesign();
+    for (const std::string &name : kEnsembleEngines) {
+        const unsigned lanes = 3;
+        auto subject = engine::create(name, nl, ensembleOptions(lanes));
+        // A golden scalar run of lane 1's waveform pins the failure
+        // message text (including the cycle number).
+        auto golden = engine::create("netlist.reference", nl);
+        engine::InputHandle x = subject->bindInput("x");
+        engine::InputHandle gx = golden->bindInput("x");
+        // Lane l trips its assertion at cycle 4 + 2l; lane 2 never
+        // trips within the horizon.
+        subject->setInputLane(x, 0, BitVector(16, 4));
+        subject->setInputLane(x, 1, BitVector(16, 6));
+        subject->setInputLane(x, 2, BitVector(16, 500));
+        golden->setInput(gx, BitVector(16, 6));
+
+        engine::RunResult res = subject->step(50);
+        golden->step(50);
+
+        EXPECT_EQ(subject->laneStatus(0), engine::Status::Failed);
+        EXPECT_EQ(subject->laneCycle(0), 4u);
+        EXPECT_EQ(subject->laneStatus(1), engine::Status::Failed);
+        EXPECT_EQ(subject->laneCycle(1), 6u);
+        EXPECT_EQ(subject->laneFailureMessage(1),
+                  golden->failureMessage());
+        // Lane 2 kept running the full batch despite both failures.
+        EXPECT_EQ(subject->laneStatus(2), engine::Status::Running);
+        EXPECT_EQ(subject->laneCycle(2), 50u);
+        EXPECT_EQ(res.status, engine::Status::Failed); // lane-0 view
+    }
+}
+
+TEST(Ensemble, BatchedStepMatchesStep1Loop)
+{
+    netlist::Netlist nl = finishAtInputDesign();
+    for (const std::string &name : kEnsembleEngines) {
+        const unsigned lanes = 5;
+        auto stepped = engine::create(name, nl, ensembleOptions(lanes));
+        auto batched = engine::create(name, nl, ensembleOptions(lanes));
+        for (auto *e : {stepped.get(), batched.get()}) {
+            engine::InputHandle x = e->bindInput("x");
+            for (unsigned l = 0; l < lanes; ++l)
+                e->setInputLane(x, l, BitVector(16, 7 + 3 * l));
+        }
+        for (int i = 0; i < 100; ++i)
+            stepped->step(1);
+        batched->step(100);
+        for (unsigned l = 0; l < lanes; ++l) {
+            EXPECT_EQ(stepped->laneCycle(l), batched->laneCycle(l));
+            EXPECT_EQ(stepped->laneStatus(l), batched->laneStatus(l));
+            EXPECT_EQ(stepped->laneDisplayLog(l),
+                      batched->laneDisplayLog(l));
+            for (size_t p = 0; p < stepped->numProbes(); ++p)
+                EXPECT_EQ(stepped->readLane(
+                              static_cast<engine::ProbeHandle>(p), l),
+                          batched->readLane(
+                              static_cast<engine::ProbeHandle>(p), l));
+        }
+    }
+}
+
+TEST(Ensemble, PlainSetInputBroadcastsToEveryLane)
+{
+    netlist::Netlist nl = finishAtInputDesign();
+    auto subject =
+        engine::create("netlist.compiled", nl, ensembleOptions(3));
+    engine::InputHandle x = subject->bindInput("x");
+    subject->setInput(x, BitVector(16, 1000));
+    subject->step(10);
+    engine::ProbeHandle c = subject->probe("c");
+    for (unsigned l = 0; l < 3; ++l)
+        EXPECT_EQ(subject->readLane(c, l), BitVector(16, 10));
+    // Lane-indexed drive then splits the lanes again.
+    subject->setInputLane(x, 1, BitVector(16, 12));
+    subject->step(5);
+    EXPECT_EQ(subject->laneStatus(1), engine::Status::Finished);
+    EXPECT_EQ(subject->laneStatus(0), engine::Status::Running);
+}
+
+TEST(Ensemble, StatsAggregateAndRunResultLanes)
+{
+    netlist::Netlist nl = finishAtInputDesign();
+    auto subject =
+        engine::create("netlist.parallel", nl, ensembleOptions(3));
+    engine::InputHandle x = subject->bindInput("x");
+    for (unsigned l = 0; l < 3; ++l)
+        subject->setInputLane(x, l, BitVector(16, 10 * (l + 1)));
+    engine::RunResult res = subject->step(100);
+    EXPECT_EQ(res.lanes, 3u);
+
+    uint64_t lane_total = 0;
+    for (unsigned l = 0; l < 3; ++l)
+        lane_total += subject->laneCycle(l);
+    std::unordered_map<std::string, uint64_t> stats;
+    for (const engine::Stat &s : subject->stats())
+        stats[s.name] = s.value;
+    EXPECT_EQ(stats.at("cycles"), lane_total);
+    EXPECT_EQ(stats.at("lanes"), 3u);
+    EXPECT_EQ(stats.at("lane1.cycles"), subject->laneCycle(1));
+
+    // Scalar engines keep the original stats shape: "cycles" is the
+    // engine cycle count and no lane counters appear.
+    auto scalar = engine::create("netlist.parallel", nl);
+    scalar->step(5);
+    std::unordered_map<std::string, uint64_t> sstats;
+    for (const engine::Stat &s : scalar->stats())
+        sstats[s.name] = s.value;
+    EXPECT_EQ(sstats.at("cycles"), scalar->cycle());
+    EXPECT_EQ(sstats.count("lanes"), 0u);
+    EXPECT_EQ(scalar->step(1).lanes, 1u);
+}
+
+TEST(Ensemble, SimulationEnsembleCrossCheck)
+{
+    // The runtime facade wires the subject, the per-lane goldens and
+    // the harness in one call.  Simulation compiles the design for
+    // its machine, so it only takes closed (self-driving) netlists;
+    // per-lane stimulus for open designs goes through
+    // EnsembleCrossCheck directly (covered above).
+    netlist::CircuitBuilder b("ens_closed");
+    auto c = b.reg("c", 16);
+    b.next(c, c.read() + b.lit(16, 1));
+    auto acc = b.reg("acc", 32);
+    b.next(acc, acc.read() + c.read().zext(32));
+    b.display(c.read() == b.lit(16, 3), "acc=%d", {acc.read()});
+    b.finish(c.read() == b.lit(16, 30));
+    netlist::Netlist nl = b.build();
+
+    compiler::CompileOptions copts;
+    copts.config.gridX = copts.config.gridY = 2;
+    runtime::Simulation sim(nl, copts, netlist::EvalMode::Compiled);
+    isa::RunStatus status = sim.runEnsembleCrossChecked(100, 4);
+    EXPECT_EQ(status, isa::RunStatus::Finished) << sim.divergence();
+    EXPECT_TRUE(sim.divergence().empty()) << sim.divergence();
+}
+
+TEST(Ensemble, NonEnsembleEnginesRejectLanes)
+{
+    netlist::Netlist nl = finishAtInputDesign();
+    engine::CreateOptions opts;
+    opts.lanes = 2;
+    EXPECT_DEATH(engine::create("netlist.reference", nl, opts),
+                 "no ensemble mode");
+    EXPECT_DEATH(engine::create("isa.tape", nl, opts),
+                 "no ensemble mode");
+    EXPECT_DEATH(engine::create("machine", nl, opts),
+                 "no ensemble mode");
+}
