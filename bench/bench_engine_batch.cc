@@ -84,7 +84,8 @@ int
 main(int argc, char **argv)
 {
     const std::vector<std::string> batchable = {
-        "netlist.compiled", "netlist.parallel", "isa.tape"};
+        "netlist.compiled", "netlist.parallel", "netlist.aot",
+        "isa.tape"};
     const std::string only = bench::engineFlag(argc, argv, "");
     if (!only.empty() &&
         std::find(batchable.begin(), batchable.end(), only) ==

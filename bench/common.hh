@@ -50,10 +50,37 @@ engineFlag(int argc, char **argv, const std::string &fallback)
     if (chosen.empty())
         MANTICORE_FATAL("--engine needs a value (registered engines: ",
                         formatNameList(engine::names()), ")");
-    if (!engine::find(chosen))
+    const engine::EngineInfo *info = engine::find(chosen);
+    if (!info)
         MANTICORE_FATAL("--engine ", chosen, ": no such engine "
                         "(registered engines: ",
                         formatNameList(engine::names()), ")");
+    if (!info->available)
+        MANTICORE_FATAL("--engine ", chosen,
+                        ": not available on this host (",
+                        info->availabilityNote, ")");
+    return chosen;
+}
+
+/** Parse a `--cache-dir <dir>` / `--cache-dir=<dir>` flag for the
+ *  benches that exercise the AOT object cache (bench_aot); returns
+ *  `fallback` when absent so the default resolution (see
+ *  netlist/aot.hh) stands. */
+inline std::string
+cacheDirFlag(int argc, char **argv, const std::string &fallback = "")
+{
+    std::string chosen = fallback;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cache-dir") == 0) {
+            if (i + 1 >= argc || argv[i + 1][0] == '\0')
+                MANTICORE_FATAL("--cache-dir needs a directory");
+            chosen = argv[i + 1];
+        } else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0) {
+            chosen = argv[i] + 12;
+            if (chosen.empty())
+                MANTICORE_FATAL("--cache-dir needs a directory");
+        }
+    }
     return chosen;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "isa/tape_interpreter.hh"
+#include "netlist/aot.hh"
 #include "netlist/compiled_evaluator.hh"
 #include "netlist/parallel_evaluator.hh"
 #include "runtime/host.hh"
@@ -176,6 +177,11 @@ NetlistEngine::capabilities() const
         caps |= cap::kBatchedStep;
     if (_eval->lanes() > 1)
         caps |= cap::kEnsemble;
+    // kAotCompiled reports the executor actually running, so it is
+    // NOT set when the AOT engine fell back to the interpreted tape.
+    if (auto *a = dynamic_cast<const netlist::AotEvaluator *>(_eval);
+        a && a->usingAot())
+        caps |= cap::kAotCompiled;
     return caps;
 }
 
@@ -318,6 +324,12 @@ NetlistEngine::stats() const
     if (auto *c = dynamic_cast<const netlist::CompiledEvaluator *>(_eval)) {
         stats.push_back({"tape_length", c->tapeLength()});
         stats.push_back({"arena_limbs", c->arenaLimbs()});
+        if (auto *a = dynamic_cast<const netlist::AotEvaluator *>(_eval)) {
+            stats.push_back({"aot_active", a->usingAot() ? 1u : 0u});
+            stats.push_back({"aot_cache_hit", a->cacheHit() ? 1u : 0u});
+            stats.push_back(
+                {"aot_compiler_runs", a->compilerInvocations()});
+        }
     } else if (auto *p =
                    dynamic_cast<const netlist::ParallelCompiledEvaluator *>(
                        _eval)) {
@@ -570,6 +582,8 @@ wrap(netlist::EvaluatorBase &eval, const netlist::Netlist &netlist)
     const char *name = "netlist.reference";
     if (dynamic_cast<const netlist::ParallelCompiledEvaluator *>(&eval))
         name = "netlist.parallel";
+    else if (dynamic_cast<const netlist::AotEvaluator *>(&eval))
+        name = "netlist.aot";
     else if (dynamic_cast<const netlist::CompiledEvaluator *>(&eval))
         name = "netlist.compiled";
     return NetlistEngine(name, eval, netlist);

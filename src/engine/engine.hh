@@ -88,6 +88,10 @@ constexpr uint32_t kPerfCounters = 1u << 5;
 /// The engine is an N-lane ensemble (lanes() > 1): one step advances
 /// N decoupled simulations, addressed by the lane-indexed calls.
 constexpr uint32_t kEnsemble = 1u << 6;
+/// The per-cycle executor is AOT-compiled native code (a dlopen'd
+/// cycle function, see src/netlist/aot.hh) — NOT set when the AOT
+/// engine fell back to the interpreted tape.
+constexpr uint32_t kAotCompiled = 1u << 7;
 
 } // namespace cap
 

@@ -2,6 +2,7 @@
 
 #include "isa/interpreter.hh"
 #include "machine/machine.hh"
+#include "netlist/aot.hh"
 #include "netlist/evaluator.hh"
 #include "runtime/host.hh"
 #include "support/logging.hh"
@@ -78,32 +79,49 @@ createIsaLevel(const std::string &name,
 const std::vector<EngineInfo> &
 list()
 {
-    static const std::vector<EngineInfo> kEngines = {
-        {"netlist.reference",
-         "graph-walking netlist evaluator (allocating, obviously "
-         "correct; the golden model)",
-         true},
-        {"netlist.compiled",
-         "netlist lowered once to a flat op tape over a limb arena "
-         "(zero-allocation)",
-         true},
-        {"netlist.parallel",
-         "partition-parallel tapes on a persistent worker pool with "
-         "the two-barrier Vcycle (batched step(n) amortises the "
-         "rendezvous)",
-         true},
-        {"isa.reference",
-         "instruction-walking functional ISA interpreter (untimed)",
-         false},
-        {"isa.tape",
-         "flat pre-decoded ISA op tape with fused dispatch (untimed; "
-         "batched step(n) runs the whole batch per call)",
-         false},
-        {"machine",
-         "cycle-level grid model: static schedule, torus NoC, global "
-         "stalls, perf counters",
-         false},
-    };
+    static const std::vector<EngineInfo> kEngines = [] {
+        std::vector<EngineInfo> engines = {
+            {"netlist.reference",
+             "graph-walking netlist evaluator (allocating, obviously "
+             "correct; the golden model)",
+             true},
+            {"netlist.compiled",
+             "netlist lowered once to a flat op tape over a limb arena "
+             "(zero-allocation)",
+             true},
+            {"netlist.parallel",
+             "partition-parallel tapes on a persistent worker pool with "
+             "the two-barrier Vcycle (batched step(n) amortises the "
+             "rendezvous)",
+             true},
+            {"netlist.aot",
+             "the flat tape AOT-compiled to a dlopen'd straight-line "
+             "cycle function (dispatch-free; hashed on-disk object "
+             "cache)",
+             true},
+            {"isa.reference",
+             "instruction-walking functional ISA interpreter (untimed)",
+             false},
+            {"isa.tape",
+             "flat pre-decoded ISA op tape with fused dispatch (untimed; "
+             "batched step(n) runs the whole batch per call)",
+             false},
+            {"machine",
+             "cycle-level grid model: static schedule, torus NoC, global "
+             "stalls, perf counters",
+             false},
+        };
+        // netlist.aot is the only engine with a host dependency: a
+        // working C++ toolchain, probed (and memoized) once here.
+        const netlist::AotToolchain &tc = netlist::aotToolchain();
+        for (EngineInfo &info : engines) {
+            if (std::string(info.name) != "netlist.aot")
+                continue;
+            info.available = tc.ok;
+            info.availabilityNote = tc.ok ? tc.compiler : tc.message;
+        }
+        return engines;
+    }();
     return kEngines;
 }
 

@@ -8,6 +8,7 @@
  *   | netlist.reference   | graph-walking netlist::Evaluator          |
  *   | netlist.compiled    | flat-tape netlist::CompiledEvaluator      |
  *   | netlist.parallel    | netlist::ParallelCompiledEvaluator        |
+ *   | netlist.aot         | AOT-codegen netlist::AotEvaluator         |
  *   | isa.reference       | instruction-walking isa::Interpreter      |
  *   | isa.tape            | flat-tape isa::TapeInterpreter            |
  *   | machine             | cycle-level machine::Machine              |
@@ -46,9 +47,19 @@ struct EngineInfo
     /// Netlist-level engines evaluate the netlist directly; ISA-level
     /// engines (isa.*, machine) execute a compiled program.
     bool netlistLevel;
+    /// Probed once at first list() call: can this engine run on this
+    /// host?  Only netlist.aot has a host dependency (a working C++
+    /// toolchain); every other engine is always available.
+    bool available = true;
+    /// Availability detail: the probed compiler when available
+    /// ("" for engines without a host dependency), or the actionable
+    /// reason the engine cannot run here.
+    std::string availabilityNote;
 };
 
-/** All registered engines, in documentation order. */
+/** All registered engines, in documentation order, with per-engine
+ *  availability.  create() on an unavailable engine is a user-facing
+ *  fatal() repeating the availabilityNote. */
 const std::vector<EngineInfo> &list();
 
 /** Registry-name parsing: the EngineInfo for `name`, or nullptr. */

@@ -1,0 +1,624 @@
+#include "netlist/aot.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include "support/hashing.hh"
+#include "support/limbops.hh"
+#include "support/logging.hh"
+#include "support/subprocess.hh"
+
+namespace manticore::netlist {
+
+namespace lo = ::manticore::limbops;
+namespace fs = ::std::filesystem;
+
+namespace {
+
+/** Where the emitted code finds support/limbops.hh: env override,
+ *  else the source tree baked in by CMake. */
+std::string
+includeDir()
+{
+    if (const char *env = std::getenv("MANTICORE_AOT_INCLUDE"))
+        return env;
+#ifdef MANTICORE_AOT_INCLUDE_DIR
+    return MANTICORE_AOT_INCLUDE_DIR;
+#else
+    return "";
+#endif
+}
+
+/** Flags the emitted translation unit is always compiled with —
+ *  fixed (independent of how this library was built) so the cache
+ *  key, and therefore the cached object, is shared across host
+ *  build configurations. */
+const std::vector<std::string> &
+compileFlags()
+{
+    static const std::vector<std::string> kFlags = {
+        "-std=c++17", "-O2", "-fPIC", "-shared",
+    };
+    return kFlags;
+}
+
+std::string
+readFileAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << content;
+        if (!out.flush())
+            return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+    return !ec;
+}
+
+/** First line of a (possibly multi-line) compiler diagnostic, capped
+ *  for readable fatal()s. */
+std::string
+firstLine(const std::string &text, size_t cap = 200)
+{
+    size_t end = text.find('\n');
+    std::string line =
+        end == std::string::npos ? text : text.substr(0, end);
+    if (line.size() > cap)
+        line = line.substr(0, cap) + "...";
+    return line;
+}
+
+/** Compile-and-dlopen probe of one candidate compiler: emitted code
+ *  must build (including support/limbops.hh) into a shared object we
+ *  can load and call. */
+AotToolchain
+probeOne(const std::string &cxx)
+{
+    AotToolchain tc;
+    tc.compiler = cxx;
+
+    std::string inc = includeDir();
+    std::error_code ec;
+    fs::path tmpdir = fs::temp_directory_path(ec);
+    if (ec) {
+        tc.message = cxx + " (no temp directory: " + ec.message() + ")";
+        return tc;
+    }
+    std::string stem =
+        (tmpdir / ("manticore-aot-probe-" +
+                   std::to_string(static_cast<long>(getpid()))))
+            .string();
+    std::string src = stem + ".cc";
+    std::string obj = stem + ".so";
+
+    // The probe uses the same kernels the emitted code will: a
+    // missing header or an exotic compiler shows up here, not at
+    // simulation time.
+    const std::string probe_src =
+        "#include <cstdint>\n"
+        "#include \"support/limbops.hh\"\n"
+        "extern \"C\" unsigned manticore_aot_probe() {\n"
+        "    uint64_t v[2] = {~0ull, 1ull};\n"
+        "    return manticore::limbops::nlimbs(65) +\n"
+        "           (manticore::limbops::reduceXor(v, 65) ? 1u : 0u);\n"
+        "}\n";
+    if (!writeFileAtomic(src, probe_src)) {
+        tc.message = cxx + " (cannot write probe source to " + src + ")";
+        return tc;
+    }
+
+    std::vector<std::string> argv{cxx};
+    for (const std::string &f : compileFlags())
+        argv.push_back(f);
+    argv.push_back("-I");
+    argv.push_back(inc);
+    argv.push_back(src);
+    argv.push_back("-o");
+    argv.push_back(obj);
+    CommandResult res = runCommand(argv);
+
+    if (!res.ok()) {
+        tc.message = cxx + " (" + firstLine(res.output) + ")";
+        fs::remove(src, ec);
+        return tc;
+    }
+
+    void *handle = dlopen(obj.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!handle) {
+        tc.message = cxx + " (dlopen: " + firstLine(dlerror()) + ")";
+    } else {
+        auto *fn = reinterpret_cast<unsigned (*)()>(
+            dlsym(handle, "manticore_aot_probe"));
+        if (!fn || fn() != 3)
+            tc.message = cxx + " (probe object misbehaved)";
+        else
+            tc.ok = true;
+        dlclose(handle);
+    }
+    fs::remove(src, ec);
+    fs::remove(obj, ec);
+    return tc;
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: one C++ statement per tape instruction, constants baked in
+// ---------------------------------------------------------------------------
+
+std::string
+hexU64(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llxull",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+slot(uint32_t off)
+{
+    return "A[" + std::to_string(off) + "]";
+}
+
+std::string
+ptr(uint32_t off)
+{
+    return "A + " + std::to_string(off);
+}
+
+/** The (possibly >64-bit) shift amount, mirroring
+ *  tape.cc::shiftAmountLane: wide amounts that do not fit 64 bits
+ *  shift everything out (spelled as `width`, which both shl/lshr and
+ *  the narrow `amt >= width` guard treat as all-out). */
+std::string
+shiftAmount(const tape::Instr &in)
+{
+    if (in.bw <= 64)
+        return slot(in.b);
+    return "(lo::fitsUint64(" + ptr(in.b) + ", " +
+           std::to_string(lo::nlimbs(in.bw)) + "u) ? " + slot(in.b) +
+           " : " + std::to_string(in.width) + "ull)";
+}
+
+/** Emit the statement for one instruction.  Must mirror the L == 1
+ *  instantiation of tape.cc's runImpl exactly — the randomized
+ *  differential and the CrossCheck matrix pin this. */
+void
+emitInstr(std::ostream &os, const tape::Instr &in,
+          const std::vector<tape::MemState> &mems)
+{
+    using tape::Op;
+    const std::string dst = slot(in.dst);
+    const std::string a = slot(in.a);
+    const std::string b = slot(in.b);
+    const std::string mask = hexU64(in.mask);
+    const std::string W = std::to_string(in.width) + "u";
+    const std::string AW = std::to_string(in.aw) + "u";
+    const std::string BW = std::to_string(in.bw) + "u";
+
+    os << "    ";
+    switch (in.op) {
+      case Op::NAdd:
+        os << dst << " = (" << a << " + " << b << ") & " << mask << ";";
+        break;
+      case Op::NSub:
+        os << dst << " = (" << a << " - " << b << ") & " << mask << ";";
+        break;
+      case Op::NMul:
+        os << dst << " = (" << a << " * " << b << ") & " << mask << ";";
+        break;
+      case Op::NAnd:
+        os << dst << " = " << a << " & " << b << ";";
+        break;
+      case Op::NOr:
+        os << dst << " = " << a << " | " << b << ";";
+        break;
+      case Op::NXor:
+        os << dst << " = " << a << " ^ " << b << ";";
+        break;
+      case Op::NNot:
+        os << dst << " = ~" << a << " & " << mask << ";";
+        break;
+      case Op::NShl:
+        os << "{ u64 amt = " << shiftAmount(in) << "; " << dst
+           << " = amt >= " << in.width << "ull ? 0 : (" << a
+           << " << amt) & " << mask << "; }";
+        break;
+      case Op::NLshr:
+        os << "{ u64 amt = " << shiftAmount(in) << "; " << dst
+           << " = amt >= " << in.width << "ull ? 0 : " << a
+           << " >> amt; }";
+        break;
+      case Op::NEq:
+        os << dst << " = " << a << " == " << b << ";";
+        break;
+      case Op::NUlt:
+        os << dst << " = " << a << " < " << b << ";";
+        break;
+      case Op::NSlt: {
+        std::string sbit = hexU64(1ull << (in.aw - 1));
+        os << dst << " = (" << a << " ^ " << sbit << ") < (" << b
+           << " ^ " << sbit << ");";
+        break;
+      }
+      case Op::NMux:
+        os << dst << " = " << a << " ? " << b << " : " << slot(in.c)
+           << ";";
+        break;
+      case Op::NSlice:
+        os << dst << " = (" << a << " >> " << in.lo << ") & " << mask
+           << ";";
+        break;
+      case Op::NConcat:
+        os << dst << " = (" << a << " << " << in.bw << ") | " << b
+           << ";";
+        break;
+      case Op::NZExt:
+        os << dst << " = " << a << ";";
+        break;
+      case Op::NSExt:
+        if (in.aw < in.width) {
+            std::string sbit = hexU64(1ull << (in.aw - 1));
+            std::string fill = hexU64((~0ull << in.aw) & in.mask);
+            os << "{ u64 v = " << a << "; " << dst << " = (v & " << sbit
+               << ") ? (v | " << fill << ") : v; }";
+        } else {
+            os << dst << " = " << a << ";";
+        }
+        break;
+      case Op::NRedOr:
+        os << dst << " = " << a << " != 0;";
+        break;
+      case Op::NRedAnd:
+        os << dst << " = " << a << " == " << mask << ";";
+        break;
+      case Op::NRedXor:
+        os << dst << " = (u64)(__builtin_popcountll(" << a
+           << ") & 1);";
+        break;
+      case Op::NMemRead:
+        os << dst << " = M[" << in.lo << "][" << a << " % "
+           << mems[in.lo].depth << "ull];";
+        break;
+      case Op::WAdd:
+        os << "lo::add(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << ptr(in.b) << ", " << W << ");";
+        break;
+      case Op::WSub:
+        os << "lo::sub(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << ptr(in.b) << ", " << W << ");";
+        break;
+      case Op::WMul:
+        os << "lo::mul(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << ptr(in.b) << ", " << W << ");";
+        break;
+      case Op::WAnd:
+        os << "lo::bitAnd(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << ptr(in.b) << ", " << W << ");";
+        break;
+      case Op::WOr:
+        os << "lo::bitOr(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << ptr(in.b) << ", " << W << ");";
+        break;
+      case Op::WXor:
+        os << "lo::bitXor(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << ptr(in.b) << ", " << W << ");";
+        break;
+      case Op::WNot:
+        os << "lo::bitNot(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << W << ");";
+        break;
+      case Op::WShl:
+        os << "lo::shl(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << shiftAmount(in) << ", " << W << ");";
+        break;
+      case Op::WLshr:
+        os << "lo::lshr(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << shiftAmount(in) << ", " << W << ");";
+        break;
+      case Op::WEq:
+        os << dst << " = lo::eq(" << ptr(in.a) << ", " << ptr(in.b)
+           << ", " << AW << ");";
+        break;
+      case Op::WUlt:
+        os << dst << " = lo::ult(" << ptr(in.a) << ", " << ptr(in.b)
+           << ", " << AW << ");";
+        break;
+      case Op::WSlt:
+        os << dst << " = lo::slt(" << ptr(in.a) << ", " << ptr(in.b)
+           << ", " << AW << ");";
+        break;
+      case Op::WMux:
+        os << "lo::copy(" << ptr(in.dst) << ", " << a << " ? "
+           << ptr(in.b) << " : " << ptr(in.c) << ", "
+           << lo::nlimbs(in.width) << "u);";
+        break;
+      case Op::WSlice:
+        os << "lo::slice(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << AW << ", " << in.lo << "u, " << W << ");";
+        break;
+      case Op::WConcat:
+        os << "lo::concat(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << ptr(in.b) << ", " << AW << ", " << BW << ");";
+        break;
+      case Op::WZExt:
+        os << "lo::zext(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << W << ", " << AW << ");";
+        break;
+      case Op::WSExt:
+        os << "lo::sext(" << ptr(in.dst) << ", " << ptr(in.a) << ", "
+           << W << ", " << AW << ");";
+        break;
+      case Op::WRedOr:
+        os << dst << " = lo::reduceOr(" << ptr(in.a) << ", " << AW
+           << ");";
+        break;
+      case Op::WRedAnd:
+        os << dst << " = lo::reduceAnd(" << ptr(in.a) << ", " << AW
+           << ");";
+        break;
+      case Op::WRedXor:
+        os << dst << " = lo::reduceXor(" << ptr(in.a) << ", " << AW
+           << ");";
+        break;
+      case Op::WMemRead: {
+        const tape::MemState &m = mems[in.lo];
+        os << "lo::copy(" << ptr(in.dst) << ", M[" << in.lo << "] + ("
+           << a << " % " << m.depth << "ull) * " << m.wordLimbs
+           << "u, " << m.wordLimbs << "u);";
+        break;
+      }
+    }
+    os << "\n";
+}
+
+} // namespace
+
+const AotToolchain &
+aotToolchain(const std::string &override_compiler)
+{
+    static std::mutex mutex;
+    static std::map<std::string, AotToolchain> memo;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = memo.find(override_compiler);
+    if (it != memo.end())
+        return it->second;
+
+    std::vector<std::string> candidates;
+    if (!override_compiler.empty()) {
+        candidates.push_back(override_compiler);
+    } else if (const char *env = std::getenv("MANTICORE_AOT_CXX")) {
+        candidates.push_back(env);
+    } else {
+        candidates = {"c++", "g++", "clang++"};
+    }
+
+    AotToolchain tc;
+    std::string probed;
+    for (const std::string &cxx : candidates) {
+        AotToolchain one = probeOne(cxx);
+        if (one.ok) {
+            tc = one;
+            break;
+        }
+        if (!probed.empty())
+            probed += ", ";
+        probed += one.message;
+    }
+    if (!tc.ok)
+        tc.message = "no working toolchain among: " + probed;
+    return memo.emplace(override_compiler, std::move(tc))
+        .first->second;
+}
+
+std::string
+aotResolveCacheDir(const EvalOptions &options)
+{
+    if (!options.aotCacheDir.empty())
+        return options.aotCacheDir;
+    if (const char *env = std::getenv("MANTICORE_AOT_CACHE"))
+        return env;
+    const char *tmp = std::getenv("TMPDIR");
+    return std::string(tmp && *tmp ? tmp : "/tmp") +
+           "/manticore-aot-cache-" +
+           std::to_string(static_cast<long>(getuid()));
+}
+
+AotEvaluator::AotEvaluator(Netlist netlist, const EvalOptions &options)
+    : CompiledEvaluator(std::move(netlist), options)
+{
+    MANTICORE_ASSERT(lanes() == 1,
+                     "the AOT evaluator is single-lane (lanes=",
+                     options.lanes, ")");
+    _memTable.reserve(_mems.size());
+    for (const tape::MemState &m : _mems)
+        _memTable.push_back(m.words.data());
+    build(options);
+}
+
+AotEvaluator::~AotEvaluator()
+{
+    if (_handle)
+        dlclose(_handle);
+}
+
+std::string
+AotEvaluator::emitSource() const
+{
+    // One static function per ~1k statements bounds the host
+    // compiler's per-function work (large designs lower to tapes of
+    // tens of thousands of ops; one giant function makes -O2
+    // register allocation superlinear).
+    static constexpr size_t kChunk = 1024;
+    std::ostringstream os;
+    os << "// Generated by manticore netlist.aot: the lowered flat\n"
+          "// tape as straight-line C++, one statement per tape op,\n"
+          "// arena offsets / widths / masks baked in.  Do not edit;\n"
+          "// keyed by the manticore_aot_key definition at the end.\n"
+          "#include <cstdint>\n"
+          "#include \"support/limbops.hh\"\n"
+          "\n"
+          "namespace lo = ::manticore::limbops;\n"
+          "using u64 = uint64_t;\n"
+          "\n";
+
+    size_t chunks = (_tape.size() + kChunk - 1) / kChunk;
+    for (size_t c = 0; c < chunks; ++c) {
+        os << "static void cycle_chunk" << c
+           << "(u64 *A, const u64 *const *M)\n{\n"
+              "    (void)A; (void)M;\n";
+        size_t end = std::min(_tape.size(), (c + 1) * kChunk);
+        for (size_t i = c * kChunk; i < end; ++i)
+            emitInstr(os, _tape[i], _mems);
+        os << "}\n\n";
+    }
+
+    os << "extern \"C\" void manticore_aot_cycle(u64 *A, "
+          "const u64 *const *M)\n{\n";
+    if (chunks == 0)
+        os << "    (void)A; (void)M;\n";
+    for (size_t c = 0; c < chunks; ++c)
+        os << "    cycle_chunk" << c << "(A, M);\n";
+    os << "}\n";
+    return os.str();
+}
+
+bool
+AotEvaluator::load(const std::string &path)
+{
+    void *handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!handle)
+        return false;
+    const char *key =
+        static_cast<const char *>(dlsym(handle, "manticore_aot_key"));
+    void *fn = dlsym(handle, "manticore_aot_cycle");
+    if (!key || !fn || _key != key) {
+        dlclose(handle);
+        return false;
+    }
+    _handle = handle;
+    _cycleFn = reinterpret_cast<CycleFn>(fn);
+    _objectPath = path;
+    return true;
+}
+
+void
+AotEvaluator::build(const EvalOptions &options)
+{
+    const AotToolchain &tc = aotToolchain(options.aotCompiler);
+    if (!tc.ok) {
+        MANTICORE_WARN("netlist.aot: ", tc.message,
+                       "; falling back to the interpreted tape");
+        return;
+    }
+
+    // Cache key: the generated source (which fully encodes the
+    // lowered tape and memory geometry), the kernel header it
+    // compiles against, the compiler and the flags.  Any of these
+    // changing must miss the cache.
+    std::string source = emitSource();
+    uint64_t hash = fnv1a64(source);
+    hash = fnv1a64(readFileAll(includeDir() + "/support/limbops.hh"),
+                   hash);
+    for (const std::string &f : compileFlags())
+        hash = fnv1a64(f, hash);
+    hash = fnv1a64(tc.compiler, hash);
+    _key = hashHex(hash);
+
+    std::string dir = aotResolveCacheDir(options);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        MANTICORE_WARN("netlist.aot: cannot create cache dir ", dir,
+                       " (", ec.message(),
+                       "); falling back to the interpreted tape");
+        return;
+    }
+    std::string stem = dir + "/manticore-aot-" + _key;
+    std::string obj = stem + ".so";
+    std::string src = stem + ".cc";
+
+    // Warm path: a cached object whose embedded key matches.  A
+    // truncated / corrupted / stale entry fails load() and is
+    // rebuilt below.
+    if (fs::exists(obj, ec) && load(obj)) {
+        _cacheHit = true;
+        return;
+    }
+    fs::remove(obj, ec);
+
+    std::string full =
+        source + "\nextern \"C\" const char manticore_aot_key[] = \"" +
+        _key + "\";\n";
+    if (!writeFileAtomic(src, full)) {
+        MANTICORE_WARN("netlist.aot: cannot write ", src,
+                       "; falling back to the interpreted tape");
+        return;
+    }
+
+    std::string obj_tmp =
+        obj + ".tmp." + std::to_string(static_cast<long>(getpid()));
+    std::vector<std::string> argv{tc.compiler};
+    for (const std::string &f : compileFlags())
+        argv.push_back(f);
+    argv.push_back("-I");
+    argv.push_back(includeDir());
+    argv.push_back(src);
+    argv.push_back("-o");
+    argv.push_back(obj_tmp);
+    ++_compilerRuns;
+    CommandResult res = runCommand(argv);
+    if (!res.ok()) {
+        fs::remove(obj_tmp, ec);
+        MANTICORE_WARN("netlist.aot: ", tc.compiler,
+                       " failed on the generated source (",
+                       firstLine(res.output),
+                       "); falling back to the interpreted tape");
+        return;
+    }
+    fs::rename(obj_tmp, obj, ec);
+    if (ec || !load(obj)) {
+        fs::remove(obj_tmp, ec);
+        MANTICORE_WARN("netlist.aot: cannot load ", obj,
+                       "; falling back to the interpreted tape");
+        return;
+    }
+}
+
+void
+AotEvaluator::evalCycle()
+{
+    if (_cycleFn)
+        _cycleFn(_arena.data(), _memTable.data());
+    else
+        CompiledEvaluator::evalCycle();
+}
+
+} // namespace manticore::netlist

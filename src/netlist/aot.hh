@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Dispatch-free AOT-compiled netlist simulation with a hashed object
+ * cache — the "netlist.aot" engine.
+ *
+ * The CompiledEvaluator already lowers the netlist to a flat op tape
+ * whose every instruction maps 1:1 onto a support/limbops.hh kernel,
+ * but the executor still pays one indirect dispatch (a switch on the
+ * opcode) per op per cycle.  AotEvaluator removes that last
+ * interpretive cost Verilator-style: it walks the lowered tape once
+ * and emits straight-line C++ — one statement per instruction, with
+ * arena offsets, widths, limb counts, masks and memory geometry all
+ * baked in as constants — invokes the host C++ toolchain to build a
+ * shared object, dlopen()s it, and installs the resulting
+ *
+ *     extern "C" void manticore_aot_cycle(uint64_t *A,
+ *                                         const uint64_t *const *M);
+ *
+ * as the per-cycle executor behind CompiledEvaluator::evalCycle().
+ * Everything else — effects, register/memory commits, probes, stats,
+ * batched run(n) — is inherited unchanged, so the AOT engine cannot
+ * drift semantically from the interpreted tape.
+ *
+ * **Object cache.**  Compiled objects are cached on disk, keyed by a
+ * content hash (FNV-1a 64) of (generated source, limbops.hh content,
+ * compiler path, compile flags): a regression farm pays codegen once
+ * per design, not per run.  Every object embeds its own key as
+ * `extern "C" const char manticore_aot_key[]`, verified after
+ * dlopen — a truncated, corrupted or stale cache entry fails the
+ * check, is unlinked, and is rebuilt.  Cache directory resolution:
+ * EvalOptions::aotCacheDir, else $MANTICORE_AOT_CACHE, else
+ * ${TMPDIR:-/tmp}/manticore-aot-cache-<uid>.
+ *
+ * **Degradation.**  Direct construction degrades gracefully: if the
+ * toolchain probe, the compile or the dlopen fails, the evaluator
+ * warns once and falls back to the interpreted tape
+ * (tape::runScalar) with identical results.  The factory/registry
+ * path (makeEvaluator(EvalMode::Aot) / engine::create("netlist.aot"))
+ * is strict instead: a caller who asked for AOT by name gets a fatal
+ * naming the probed toolchain.
+ *
+ * Env knobs: $MANTICORE_AOT_CXX (compiler override),
+ * $MANTICORE_AOT_CACHE (cache dir), $MANTICORE_AOT_INCLUDE (where
+ * the emitted code finds support/limbops.hh; defaults to this source
+ * tree, baked in at build time).
+ */
+
+#ifndef MANTICORE_NETLIST_AOT_HH
+#define MANTICORE_NETLIST_AOT_HH
+
+#include <string>
+#include <vector>
+
+#include "netlist/compiled_evaluator.hh"
+
+namespace manticore::netlist {
+
+/** Result of probing one host C++ toolchain: can it compile the
+ *  emitted code (including support/limbops.hh) into a loadable
+ *  shared object? */
+struct AotToolchain
+{
+    bool ok = false;
+    /// The working compiler command (when ok).
+    std::string compiler;
+    /// When !ok: every candidate probed and why it failed — the
+    /// actionable part of the registry's failure message.
+    std::string message;
+};
+
+/** Probe the host toolchain (memoized per override string, so the
+ *  compile-and-dlopen probe runs once per process).  Candidates, in
+ *  order: `override_compiler` if non-empty, else $MANTICORE_AOT_CXX,
+ *  else c++ / g++ / clang++. */
+const AotToolchain &aotToolchain(const std::string &override_compiler = "");
+
+/** Resolved object-cache directory for the given options (see file
+ *  header for the resolution order).  Exposed for benches/tests. */
+std::string aotResolveCacheDir(const EvalOptions &options);
+
+class AotEvaluator : public CompiledEvaluator
+{
+  public:
+    /** Lowers the netlist (CompiledEvaluator), then emits, compiles
+     *  (or loads from cache) and installs the AOT cycle function.
+     *  Single-lane only; any failure along the toolchain path warns
+     *  and leaves the interpreted tape in place. */
+    explicit AotEvaluator(Netlist netlist,
+                          const EvalOptions &options = {});
+    ~AotEvaluator() override;
+
+    AotEvaluator(const AotEvaluator &) = delete;
+    AotEvaluator &operator=(const AotEvaluator &) = delete;
+
+    /** True when the dlopen'd cycle function is installed (false on
+     *  the interpreted-tape fallback path). */
+    bool usingAot() const { return _cycleFn != nullptr; }
+    /** Compiler invocations this construction performed: 0 on a
+     *  cache hit or fallback, 1 on a cold build (2 if a corrupted
+     *  entry forced a rebuild after an attempted load). */
+    unsigned compilerInvocations() const { return _compilerRuns; }
+    /** True when the object was loaded from the on-disk cache
+     *  without invoking the compiler. */
+    bool cacheHit() const { return _cacheHit; }
+    /** Cache key (16 hex digits) of this design's object. */
+    const std::string &cacheKey() const { return _key; }
+    /** Path of the cached shared object ("" on fallback). */
+    const std::string &objectPath() const { return _objectPath; }
+
+    /** The generated C++ (without the trailing key definition):
+     *  exposed for tests and the README's emitted-code example. */
+    std::string emitSource() const;
+
+  protected:
+    void evalCycle() override;
+
+  private:
+    using CycleFn = void (*)(uint64_t *, const uint64_t *const *);
+
+    void build(const EvalOptions &options);
+    /** dlopen `path`, verify the embedded key, resolve the entry
+     *  point.  Returns false (and closes the handle) on any
+     *  mismatch. */
+    bool load(const std::string &path);
+
+    CycleFn _cycleFn = nullptr;
+    void *_handle = nullptr;
+    /// Per-memory word-array base pointers (stable after
+    /// construction), passed to the cycle function as M.
+    std::vector<const uint64_t *> _memTable;
+    std::string _key;
+    std::string _objectPath;
+    unsigned _compilerRuns = 0;
+    bool _cacheHit = false;
+};
+
+} // namespace manticore::netlist
+
+#endif // MANTICORE_NETLIST_AOT_HH

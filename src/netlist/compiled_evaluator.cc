@@ -1,5 +1,6 @@
 #include "netlist/compiled_evaluator.hh"
 
+#include "netlist/aot.hh"
 #include "netlist/parallel_evaluator.hh"
 #include "support/limbops.hh"
 #include "support/logging.hh"
@@ -178,6 +179,13 @@ CompiledEvaluator::recountActive()
 }
 
 void
+CompiledEvaluator::evalCycle()
+{
+    tape::runScalar(_tape.data(), _tape.size(), _arena.data(),
+                    _mems.data());
+}
+
+void
 CompiledEvaluator::stepScalar()
 {
     // Single-lane fast path: the pre-ensemble per-cycle shape (no
@@ -186,9 +194,10 @@ CompiledEvaluator::stepScalar()
     // cost on overhead-bound designs.  stepOnce() is the general
     // N-lane body; the two must stay behaviourally identical at one
     // lane (the ensemble tests pin lanes=1 against the reference
-    // evaluator).
-    tape::runScalar(_tape.data(), _tape.size(), _arena.data(),
-                    _mems.data());
+    // evaluator).  The tape evaluation itself goes through the
+    // evalCycle() hook — one virtual call per cycle — so the AOT
+    // engine can swap the executor without touching effects/commits.
+    evalCycle();
     uint64_t *A = _arena.data();
     LaneState &lane = _lane[0];
 
@@ -440,6 +449,7 @@ evalModeName(EvalMode mode)
       case EvalMode::Reference: return "reference";
       case EvalMode::Compiled: return "compiled";
       case EvalMode::Parallel: return "parallel";
+      case EvalMode::Aot: return "aot";
     }
     return "?";
 }
@@ -448,7 +458,7 @@ bool
 parseEvalMode(const std::string &name, EvalMode &mode)
 {
     for (EvalMode m : {EvalMode::Reference, EvalMode::Compiled,
-                       EvalMode::Parallel}) {
+                       EvalMode::Parallel, EvalMode::Aot}) {
         if (name == evalModeName(m)) {
             mode = m;
             return true;
@@ -473,6 +483,25 @@ makeEvaluator(Netlist netlist, EvalMode mode, const EvalOptions &options)
       case EvalMode::Parallel:
         return std::make_unique<ParallelCompiledEvaluator>(
             std::move(netlist), options);
+      case EvalMode::Aot: {
+        if (options.lanes != 1)
+            MANTICORE_FATAL("the AOT evaluator has no ensemble mode "
+                            "(lanes=", options.lanes,
+                            "); use compiled or parallel");
+        // Strict availability at the factory/registry boundary: a
+        // caller who ASKED for netlist.aot gets an actionable error,
+        // not a silent interpreter.  (Direct AotEvaluator
+        // construction degrades gracefully instead — see aot.hh.)
+        const AotToolchain &tc = aotToolchain(options.aotCompiler);
+        if (!tc.ok)
+            MANTICORE_FATAL(
+                "netlist.aot needs a working host C++ compiler: ",
+                tc.message,
+                " -- set $MANTICORE_AOT_CXX or "
+                "EvalOptions::aotCompiler, or use netlist.compiled");
+        return std::make_unique<AotEvaluator>(std::move(netlist),
+                                              options);
+      }
     }
     MANTICORE_FATAL("unknown evaluator mode");
 }

@@ -106,7 +106,15 @@ class CompiledEvaluator : public EvaluatorBase
     size_t tapeLength() const { return _tape.size(); }
     size_t arenaLimbs() const { return _arena.limbs(); }
 
-  private:
+  protected:
+    /** Evaluate the combinational tape for one single-lane cycle —
+     *  the ONLY hot-loop hook a subclass may replace.  The default
+     *  runs the interpreted tape (tape::runScalar); AotEvaluator
+     *  (aot.hh) swaps in a dlopen'd straight-line cycle function.
+     *  Effects, commits and lane bookkeeping stay in this class so
+     *  an executor swap cannot drift semantically. */
+    virtual void evalCycle();
+
     struct RegCommit
     {
         uint32_t dst;     ///< current (RegRead) slot

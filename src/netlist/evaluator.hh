@@ -145,12 +145,14 @@ enum class EvalMode
     Reference, ///< graph-walking Evaluator (allocating, obviously correct)
     Compiled,  ///< tape/arena CompiledEvaluator (zero-allocation)
     Parallel,  ///< partition-parallel tapes on a worker pool (§6.1)
+    Aot,       ///< tape AOT-compiled to a dlopen'd cycle function (aot.hh)
 };
 
 const char *evalModeName(EvalMode mode);
 
-/** Parse "reference" / "compiled" / "parallel" (the evalModeName
- *  spellings) into an EvalMode; returns false on anything else. */
+/** Parse "reference" / "compiled" / "parallel" / "aot" (the
+ *  evalModeName spellings) into an EvalMode; returns false on
+ *  anything else. */
 bool parseEvalMode(const std::string &name, EvalMode &mode);
 
 /** One ensemble lane's run state, shared by both compiled engines.
@@ -193,6 +195,14 @@ struct EvalOptions
     unsigned lanes = 1;
     /// Rendezvous wait policy (EvalMode::Parallel only).
     WaitPolicy waitPolicy = WaitPolicy::Spin;
+    /// EvalMode::Aot only: object-cache directory override.  Empty
+    /// means $MANTICORE_AOT_CACHE, then a per-user directory under
+    /// $TMPDIR (see src/netlist/aot.hh for the resolution order).
+    std::string aotCacheDir;
+    /// EvalMode::Aot only: host C++ compiler override.  Empty means
+    /// $MANTICORE_AOT_CXX, then the first of c++ / g++ / clang++
+    /// that passes the toolchain probe.
+    std::string aotCompiler;
 };
 
 /** Build an evaluator over (a copy of) the netlist in the given mode. */

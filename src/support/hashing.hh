@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Content hashing for on-disk caches: 64-bit FNV-1a over byte
+ * streams plus hex formatting.  Used by the AOT engine to key
+ * compiled shared objects on (generated source, limbops version,
+ * compiler, flags) — see src/netlist/aot.hh.  Not cryptographic; a
+ * collision costs a stale simulation artifact, which the embedded
+ * key symbol check in the AOT loader turns into a recompile.
+ */
+
+#ifndef MANTICORE_SUPPORT_HASHING_HH
+#define MANTICORE_SUPPORT_HASHING_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace manticore {
+
+/** Incremental FNV-1a 64: fold more bytes into a running hash. */
+inline uint64_t
+fnv1a64(const void *data, size_t size,
+        uint64_t hash = 0xcbf29ce484222325ull)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= p[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+inline uint64_t
+fnv1a64(const std::string &s, uint64_t hash = 0xcbf29ce484222325ull)
+{
+    return fnv1a64(s.data(), s.size(), hash);
+}
+
+/** Fixed-width (16 digit) lowercase hex spelling of a hash. */
+inline std::string
+hashHex(uint64_t hash)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    return out;
+}
+
+} // namespace manticore
+
+#endif // MANTICORE_SUPPORT_HASHING_HH

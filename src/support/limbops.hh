@@ -16,6 +16,7 @@
 #ifndef MANTICORE_SUPPORT_LIMBOPS_HH
 #define MANTICORE_SUPPORT_LIMBOPS_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace manticore::limbops {

@@ -1,0 +1,81 @@
+#include "support/subprocess.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace manticore {
+
+CommandResult
+runCommand(const std::vector<std::string> &argv)
+{
+    CommandResult result;
+    if (argv.empty()) {
+        result.output = "empty command";
+        return result;
+    }
+
+    int fds[2];
+    if (pipe(fds) != 0) {
+        result.output = std::strerror(errno);
+        return result;
+    }
+
+    pid_t pid = fork();
+    if (pid < 0) {
+        result.output = std::strerror(errno);
+        close(fds[0]);
+        close(fds[1]);
+        return result;
+    }
+
+    if (pid == 0) {
+        // Child: stdout and stderr both into the pipe's write end.
+        close(fds[0]);
+        dup2(fds[1], STDOUT_FILENO);
+        dup2(fds[1], STDERR_FILENO);
+        close(fds[1]);
+        std::vector<char *> args;
+        args.reserve(argv.size() + 1);
+        for (const std::string &a : argv)
+            args.push_back(const_cast<char *>(a.c_str()));
+        args.push_back(nullptr);
+        execvp(args[0], args.data());
+        // exec failed: report through the pipe and exit 127 like a
+        // shell would.
+        const char *err = std::strerror(errno);
+        (void)!write(STDERR_FILENO, args[0], std::strlen(args[0]));
+        (void)!write(STDERR_FILENO, ": ", 2);
+        (void)!write(STDERR_FILENO, err, std::strlen(err));
+        _exit(127);
+    }
+
+    close(fds[1]);
+    static constexpr size_t kMaxOutput = 64 * 1024;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = read(fds[0], buf, sizeof(buf));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        if (result.output.size() < kMaxOutput)
+            result.output.append(
+                buf, static_cast<size_t>(n) <
+                             kMaxOutput - result.output.size()
+                         ? static_cast<size_t>(n)
+                         : kMaxOutput - result.output.size());
+    }
+    close(fds[0]);
+
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR)
+        continue;
+    result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+} // namespace manticore

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal synchronous subprocess runner: fork/execvp a command,
+ * capture its combined stdout+stderr, wait for exit.  Used by the
+ * AOT engine to invoke the host C++ toolchain (see
+ * src/netlist/aot.hh); deliberately tiny — no shell, no pipes into
+ * the child, no async — because a compiler invocation is all the
+ * repository needs.
+ */
+
+#ifndef MANTICORE_SUPPORT_SUBPROCESS_HH
+#define MANTICORE_SUPPORT_SUBPROCESS_HH
+
+#include <string>
+#include <vector>
+
+namespace manticore {
+
+struct CommandResult
+{
+    /// Child exit code; -1 when the command could not be spawned or
+    /// exited abnormally (signal).
+    int exitCode = -1;
+    /// Combined stdout + stderr of the child (head-capped so a
+    /// runaway child cannot exhaust memory).
+    std::string output;
+
+    bool ok() const { return exitCode == 0; }
+};
+
+/** Run `argv` (argv[0] is resolved through $PATH) and wait for it.
+ *  Never throws and never fatals: toolchain availability is probed
+ *  through this, so failure to spawn is an ordinary result. */
+CommandResult runCommand(const std::vector<std::string> &argv);
+
+} // namespace manticore
+
+#endif // MANTICORE_SUPPORT_SUBPROCESS_HH

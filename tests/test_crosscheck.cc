@@ -19,10 +19,21 @@ using namespace manticore;
 
 namespace {
 
-const std::vector<std::string> kAllEngines = {
-    "netlist.reference", "netlist.compiled", "netlist.parallel",
-    "isa.reference",     "isa.tape",         "machine",
-};
+/** The pairing matrix is generated from the registry, filtered to the
+ *  engines runnable on this host, so a newly registered engine is
+ *  cross-checked against every other for free (7 engines = 49
+ *  pairings when the AOT toolchain probe succeeds). */
+std::vector<std::string>
+availableEngines()
+{
+    std::vector<std::string> names;
+    for (const engine::EngineInfo &info : engine::list())
+        if (info.available)
+            names.push_back(info.name);
+    return names;
+}
+
+const std::vector<std::string> kAllEngines = availableEngines();
 
 constexpr uint64_t kDivergeAt = 5; ///< cyc value that seeds the drift
 

@@ -22,10 +22,19 @@ using namespace manticore;
 
 namespace {
 
-const std::vector<std::string> kAllEngines = {
-    "netlist.reference", "netlist.compiled", "netlist.parallel",
-    "isa.reference",     "isa.tape",         "machine",
-};
+/** Every engine the registry reports runnable on this host — derived
+ *  from the registry itself so a new engine is covered for free. */
+std::vector<std::string>
+availableEngines()
+{
+    std::vector<std::string> names;
+    for (const engine::EngineInfo &info : engine::list())
+        if (info.available)
+            names.push_back(info.name);
+    return names;
+}
+
+const std::vector<std::string> kAllEngines = availableEngines();
 
 /** Closed self-driving design: a cycle counter, an accumulator, one
  *  $display, and a $finish at cycle `finish_at` + 1. */
@@ -64,9 +73,9 @@ smallGrid()
 
 } // namespace
 
-TEST(EngineRegistry, ListsAllSixEngines)
+TEST(EngineRegistry, ListsAllSevenEngines)
 {
-    EXPECT_EQ(engine::list().size(), 6u);
+    EXPECT_EQ(engine::list().size(), 7u);
     for (const std::string &name : kAllEngines) {
         const engine::EngineInfo *info = engine::find(name);
         ASSERT_NE(info, nullptr) << name;
@@ -75,13 +84,25 @@ TEST(EngineRegistry, ListsAllSixEngines)
     EXPECT_EQ(engine::find("netlist.bogus"), nullptr);
     EXPECT_EQ(engine::find(""), nullptr);
     EXPECT_EQ(engine::names().size(), engine::list().size());
+
+    // Availability reporting: only netlist.aot has a host dependency;
+    // every other engine is unconditionally available.  Whichever way
+    // the toolchain probe went, the note says why.
+    for (const engine::EngineInfo &info : engine::list()) {
+        if (std::string(info.name) == "netlist.aot") {
+            EXPECT_FALSE(info.availabilityNote.empty()) << info.name;
+        } else {
+            EXPECT_TRUE(info.available) << info.name;
+            EXPECT_TRUE(info.availabilityNote.empty()) << info.name;
+        }
+    }
 }
 
 TEST(EngineRegistry, ModeNamesRoundTrip)
 {
     using netlist::EvalMode;
     for (EvalMode mode : {EvalMode::Reference, EvalMode::Compiled,
-                          EvalMode::Parallel}) {
+                          EvalMode::Parallel, EvalMode::Aot}) {
         EvalMode parsed;
         ASSERT_TRUE(netlist::parseEvalMode(netlist::evalModeName(mode),
                                            parsed));
@@ -217,8 +238,11 @@ TEST(Engine, StepNIsCycleExactWithRepeatedStep1)
 TEST(Engine, BoundInputsDriveTheNetlistEngines)
 {
     netlist::Netlist design = adderDesign();
-    for (const char *name :
-         {"netlist.reference", "netlist.compiled", "netlist.parallel"}) {
+    std::vector<std::string> netlist_engines = {
+        "netlist.reference", "netlist.compiled", "netlist.parallel"};
+    if (engine::find("netlist.aot")->available)
+        netlist_engines.push_back("netlist.aot");
+    for (const std::string &name : netlist_engines) {
         auto eng = engine::create(name, design, smallGrid());
         ASSERT_TRUE(eng->has(engine::cap::kInputs)) << name;
         engine::InputHandle x = eng->bindInput("x");
