@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Checkpoint latency: save()/restore() wall time vs architectural
+ * state size, on the netlist engines.  The canonical snapshot format
+ * serializes the register file + memory images per lane, so the
+ * expectation is O(state bytes) at memcpy-like throughput — and warm
+ * re-saves into one Snapshot must be allocation-free (Snapshot::reset
+ * keeps section capacity), which the harness verifies by checking the
+ * section buffer address is stable across warm rounds.
+ *
+ * Rows land in BENCH_snapshot.json.  `--engine <name>` restricts to
+ * one engine.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "engine/registry.hh"
+#include "engine/snapshot.hh"
+#include "netlist/builder.hh"
+
+using namespace manticore;
+
+namespace {
+
+/** Self-driving design whose state is dominated by one 64-bit-wide
+ *  RAM of `depth` words (power of two), continuously written so the
+ *  snapshot cannot cheat with untouched pages. */
+netlist::Netlist
+ramDesign(unsigned depth)
+{
+    unsigned abits = 0;
+    while ((1u << abits) < depth)
+        ++abits;
+    netlist::CircuitBuilder b("snapram" + std::to_string(depth));
+    auto cyc = b.reg("cyc", 32);
+    b.next(cyc, cyc.read() + b.lit(32, 1));
+    auto m = b.memory("m", 64, depth);
+    auto addr = cyc.read().slice(0, abits);
+    m.write(addr, m.read(addr) + cyc.read().zext(64), b.lit(1, 1));
+    return b.build();
+}
+
+double
+toUs(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double, std::micro>(d).count();
+}
+
+/** Average wall time of `op` in microseconds, repeated until ~20 ms
+ *  of samples accumulate (min 8 rounds). */
+template <typename Op>
+double
+avgUs(Op &&op)
+{
+    using clock = std::chrono::steady_clock;
+    unsigned rounds = 0;
+    clock::duration total{0};
+    while (rounds < 8 || toUs(total) < 20'000.0) {
+        auto t0 = clock::now();
+        op();
+        total += clock::now() - t0;
+        ++rounds;
+    }
+    return toUs(total) / rounds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::printEnvironment("snapshot: save/restore latency vs "
+                            "architectural state size");
+    const std::string only = bench::engineFlag(argc, argv, "");
+
+    const std::vector<unsigned> depths = {256, 4096, 65536, 262144};
+    const std::vector<std::string> engines = {
+        "netlist.reference", "netlist.compiled", "netlist.parallel"};
+
+    FILE *json = std::fopen("BENCH_snapshot.json", "w");
+    if (json)
+        std::fprintf(json, "{\n  \"experiment\": \"snapshot\",\n"
+                           "  \"rows\": [");
+    std::printf("%-18s %10s %12s %12s %12s %10s %6s\n", "engine",
+                "state_KiB", "save_cold_us", "save_warm_us",
+                "restore_us", "save_GB/s", "warm0");
+    bool first = true;
+    for (unsigned depth : depths) {
+        netlist::Netlist nl = ramDesign(depth);
+        for (const std::string &name : engines) {
+            if (!only.empty() && only != name)
+                continue;
+            auto eng = engine::create(name, nl);
+            eng->step(64); // dirty the RAM
+
+            engine::Snapshot snap;
+            auto t0 = std::chrono::steady_clock::now();
+            eng->save(snap);
+            const double cold_us =
+                toUs(std::chrono::steady_clock::now() - t0);
+            const size_t bytes = snap.sections[0].size();
+
+            // Warm saves must reuse the section buffer: address
+            // stability across rounds is the no-allocation witness.
+            const uint8_t *storage = snap.sections[0].data();
+            const double warm_us = avgUs([&] { eng->save(snap); });
+            const bool warm_alloc_free =
+                snap.sections[0].data() == storage;
+            const double restore_us =
+                avgUs([&] { eng->restore(snap); });
+
+            const double save_gbps =
+                bytes / warm_us / 1e3; // B/us = MB/s; /1e3 = GB/s
+            std::printf("%-18s %10.1f %12.2f %12.2f %12.2f %10.2f "
+                        "%6s\n",
+                        name.c_str(), bytes / 1024.0, cold_us,
+                        warm_us, restore_us, save_gbps,
+                        warm_alloc_free ? "yes" : "NO");
+            if (json) {
+                std::fprintf(
+                    json,
+                    "%s\n    {\"engine\": \"%s\", \"ram_depth\": %u, "
+                    "\"state_bytes\": %zu, \"save_cold_us\": %.3f, "
+                    "\"save_warm_us\": %.3f, \"restore_us\": %.3f, "
+                    "\"save_gb_per_s\": %.3f, "
+                    "\"warm_save_alloc_free\": %s}",
+                    first ? "" : ",", name.c_str(), depth, bytes,
+                    cold_us, warm_us, restore_us, save_gbps,
+                    warm_alloc_free ? "true" : "false");
+                first = false;
+            }
+        }
+    }
+    if (json) {
+        std::fprintf(json, "\n  ]\n}\n");
+        std::fclose(json);
+        std::printf("\nwrote BENCH_snapshot.json\n");
+    }
+    return 0;
+}

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "engine/snapshot.hh"
 #include "isa/tape_interpreter.hh"
 #include "netlist/aot.hh"
 #include "netlist/compiled_evaluator.hh"
 #include "netlist/parallel_evaluator.hh"
 #include "runtime/host.hh"
+#include "support/bytestream.hh"
 #include "support/logging.hh"
 #include "support/namelist.hh"
 
@@ -35,6 +37,40 @@ mapStatus(isa::RunStatus status)
       case isa::RunStatus::Failed: return Status::Failed;
     }
     return Status::Failed;
+}
+
+/** Restore-side header validation, shared by both adapter families.
+ *  Every rejection names the snapshot's saving engine so the message
+ *  is actionable ("saved by netlist.parallel"). */
+void
+checkSnapshotHeader(const char *engine_name, const Snapshot &s,
+                    const char *family, uint64_t design_hash,
+                    unsigned lanes)
+{
+    if (s.version != Snapshot::kVersion)
+        MANTICORE_FATAL("engine ", engine_name,
+                        ": snapshot format version ", s.version,
+                        " (saved by ", s.engine, ") does not match ",
+                        Snapshot::kVersion, " — refusing to restore");
+    if (s.family != family)
+        MANTICORE_FATAL("engine ", engine_name, ": snapshot family \"",
+                        s.family, "\" (saved by ", s.engine,
+                        ") is not \"", family,
+                        "\" — refusing to restore");
+    if (design_hash != 0 && s.designHash != 0 &&
+        s.designHash != design_hash)
+        MANTICORE_FATAL("engine ", engine_name,
+                        ": snapshot design hash ", std::hex,
+                        s.designHash, " (saved by ", s.engine,
+                        ") does not match this design's ", design_hash,
+                        std::dec, " — refusing to restore");
+    if (s.lanes != lanes || s.sections.size() != lanes)
+        MANTICORE_FATAL("engine ", engine_name, ": snapshot has ",
+                        s.lanes, " lane(s) in ", s.sections.size(),
+                        " section(s) (saved by ", s.engine,
+                        "), this engine has ", lanes,
+                        " — refusing to restore (use "
+                        "engine::forkLanes to re-lane a checkpoint)");
 }
 
 } // namespace
@@ -144,7 +180,8 @@ ProbedEngine::probeWidth(ProbeHandle handle) const
 NetlistEngine::NetlistEngine(std::string name,
                              netlist::EvaluatorBase &eval,
                              const netlist::Netlist &netlist)
-    : _name(std::move(name)), _eval(&eval)
+    : _name(std::move(name)), _eval(&eval),
+      _designHash(engine::designHash(netlist))
 {
     _probeNames = rtlRegisterNames(netlist);
     for (const netlist::Register &r : netlist.registers())
@@ -182,6 +219,8 @@ NetlistEngine::capabilities() const
     if (auto *a = dynamic_cast<const netlist::AotEvaluator *>(_eval);
         a && a->usingAot())
         caps |= cap::kAotCompiled;
+    if (_eval->snapshotSupported())
+        caps |= cap::kSnapshot;
     return caps;
 }
 
@@ -353,6 +392,45 @@ NetlistEngine::setDisplaySink(DisplaySink sink)
     _eval->onDisplay = std::move(sink);
 }
 
+void
+NetlistEngine::save(Snapshot &out) const
+{
+    if (!_eval->snapshotSupported())
+        unsupported("checkpoint/restore (cap::kSnapshot)");
+    const unsigned lanes = _eval->lanes();
+    out.version = Snapshot::kVersion;
+    out.family = "netlist";
+    out.engine = _name;
+    out.designHash = _designHash;
+    out.lanes = lanes;
+    out.cycle = _eval->cycle();
+    out.reset(lanes);
+    for (unsigned l = 0; l < lanes; ++l) {
+        support::ByteWriter w(out.sections[l]);
+        _eval->saveLaneState(l, w);
+    }
+}
+
+void
+NetlistEngine::restore(const Snapshot &snapshot)
+{
+    if (!_eval->snapshotSupported())
+        unsupported("checkpoint/restore (cap::kSnapshot)");
+    checkSnapshotHeader(name(), snapshot, "netlist", _designHash,
+                        _eval->lanes());
+    for (unsigned l = 0; l < _eval->lanes(); ++l) {
+        support::ByteReader r(snapshot.sections[l]);
+        _eval->restoreLaneState(l, r);
+        if (!r.done())
+            MANTICORE_FATAL("engine ", _name, ": lane ", l,
+                            " snapshot section has ", r.remaining(),
+                            " trailing byte(s) (saved by ",
+                            snapshot.engine,
+                            ") — refusing to restore");
+    }
+    _eval->snapshotRestored();
+}
+
 // ---------------------------------------------------------------------------
 // IsaEngine
 // ---------------------------------------------------------------------------
@@ -386,6 +464,8 @@ IsaEngine::capabilities() const
         caps |= cap::kDisplayLog;
     if (dynamic_cast<const isa::TapeInterpreter *>(_interp))
         caps |= cap::kBatchedStep;
+    if (_interp->snapshotSupported())
+        caps |= cap::kSnapshot;
     return caps;
 }
 
@@ -463,6 +543,36 @@ void
 IsaEngine::setExceptionHandler(ExceptionHandler handler)
 {
     _interp->onException = std::move(handler);
+}
+
+void
+IsaEngine::save(Snapshot &out) const
+{
+    if (!_interp->snapshotSupported())
+        unsupported("checkpoint/restore (cap::kSnapshot)");
+    out.version = Snapshot::kVersion;
+    out.family = "isa";
+    out.engine = _name;
+    out.designHash = _designHash;
+    out.lanes = 1;
+    out.cycle = _interp->vcycle();
+    out.reset(1);
+    support::ByteWriter w(out.sections[0]);
+    _interp->saveState(w);
+}
+
+void
+IsaEngine::restore(const Snapshot &snapshot)
+{
+    if (!_interp->snapshotSupported())
+        unsupported("checkpoint/restore (cap::kSnapshot)");
+    checkSnapshotHeader(name(), snapshot, "isa", _designHash, 1);
+    support::ByteReader r(snapshot.sections[0]);
+    _interp->restoreState(r);
+    if (!r.done())
+        MANTICORE_FATAL("engine ", _name, ": snapshot section has ",
+                        r.remaining(), " trailing byte(s) (saved by ",
+                        snapshot.engine, ") — refusing to restore");
 }
 
 // ---------------------------------------------------------------------------

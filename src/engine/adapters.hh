@@ -133,6 +133,15 @@ class NetlistEngine : public ProbedEngine
     const std::vector<std::string> &
     laneDisplayLog(unsigned lane) const override;
 
+    // Checkpoint/restore (cap::kSnapshot when the evaluator supports
+    // it): one "netlist"-family section per lane, canonical format
+    // (see netlist::EvaluatorBase::saveLaneState).
+    void save(Snapshot &out) const override;
+    void restore(const Snapshot &snapshot) override;
+    /** Structural hash of the design (engine::designHash), carried in
+     *  every snapshot this engine saves. */
+    uint64_t designHash() const { return _designHash; }
+
     netlist::EvaluatorBase &evaluator() { return *_eval; }
 
   private:
@@ -142,6 +151,7 @@ class NetlistEngine : public ProbedEngine
     std::string _name;
     std::unique_ptr<netlist::EvaluatorBase> _owned;
     netlist::EvaluatorBase *_eval;
+    uint64_t _designHash = 0;
     /// Input table: handle -> (node id, width); bound by name once.
     std::vector<std::string> _inputNames;
     std::vector<netlist::NodeId> _inputNodes;
@@ -174,6 +184,17 @@ class IsaEngine : public ProbedEngine
     void setDisplaySink(DisplaySink sink) override;
     void setExceptionHandler(ExceptionHandler handler) override;
 
+    // Checkpoint/restore (cap::kSnapshot when the interpreter
+    // supports it): one "isa"-family section in the canonical format
+    // (see isa::InterpreterBase::saveState).
+    void save(Snapshot &out) const override;
+    void restore(const Snapshot &snapshot) override;
+    /** Registry plumbing: design identity carried into snapshots.
+     *  The program-only wrap() path leaves it 0 (= unknown; restore
+     *  then skips the hash check but still validates geometry). */
+    void setDesignHash(uint64_t hash) { _designHash = hash; }
+    uint64_t designHash() const { return _designHash; }
+
     isa::InterpreterBase &interpreter() { return *_interp; }
 
     /** Registry plumbing: keep `context` (compiled program, host, …)
@@ -196,6 +217,7 @@ class IsaEngine : public ProbedEngine
     isa::InterpreterBase *_interp;
     std::vector<RtlSignal> _signals;
     runtime::Host *_host = nullptr;
+    uint64_t _designHash = 0;
 };
 
 class MachineEngine : public ProbedEngine

@@ -1,7 +1,9 @@
 #include "engine/crosscheck.hh"
 
+#include <algorithm>
 #include <unordered_map>
 
+#include "runtime/replay.hh"
 #include "support/logging.hh"
 
 namespace manticore::engine {
@@ -31,6 +33,23 @@ CrossCheck::CrossCheck(Engine &golden, Engine &subject)
         MANTICORE_FATAL("cross-check of ", _subject.name(), " against ",
                         _golden.name(),
                         " pairs no signals: no probe names in common");
+}
+
+/** Complete the attached recorder's trace from the golden's state and
+ *  write the artifact: the golden defines the expected behavior, so
+ *  replaying the artifact on a correct engine passes and replaying it
+ *  on the faulty one reproduces the identical mismatch. */
+void
+CrossCheck::recordDivergence()
+{
+    if (!_recorder)
+        return;
+    _recorder->trace.engine = _subject.name();
+    _recorder->trace.lanes = 1;
+    _recorder->trace.runCycles = _golden.cycle();
+    _recorder->trace.notes.push_back(_divergence);
+    _recorder->expectFrom(_golden, 0, 0);
+    _divergence += "; replay artifact: " + _recorder->write();
 }
 
 RunResult
@@ -72,6 +91,7 @@ CrossCheck::run(uint64_t max_cycles)
                                         : std::string();
             if (!why.empty())
                 _divergence += " (" + why + ")";
+            recordDivergence();
             return {Status::Failed, advanced};
         }
         if (s.status != Status::Running)
@@ -94,6 +114,7 @@ CrossCheck::run(uint64_t max_cycles)
                     ": " + _subject.name() + " " +
                     subject_value.toString() + " vs " + _golden.name() +
                     " " + golden_value.toString();
+                recordDivergence();
                 return {Status::Failed, advanced};
             }
         }
@@ -214,6 +235,28 @@ EnsembleCrossCheck::checkLane(unsigned lane)
     return true;
 }
 
+/** See CrossCheck::recordDivergence.  Active lanes advance in
+ *  lockstep, so at the divergence every live golden sits at the
+ *  divergence cycle and every settled golden froze earlier — the max
+ *  golden cycle replays all of them to their recorded terminal. */
+void
+EnsembleCrossCheck::recordDivergence()
+{
+    if (!_recorder)
+        return;
+    const unsigned lanes = _subject.lanes();
+    _recorder->trace.engine = _subject.name();
+    _recorder->trace.lanes = lanes;
+    uint64_t run_cycles = 0;
+    for (unsigned l = 0; l < lanes; ++l)
+        run_cycles = std::max(run_cycles, _goldens[l]->cycle());
+    _recorder->trace.runCycles = run_cycles;
+    _recorder->trace.notes.push_back(_divergence);
+    for (unsigned l = 0; l < lanes; ++l)
+        _recorder->expectFrom(*_goldens[l], 0, l);
+    _divergence += "; replay artifact: " + _recorder->write();
+}
+
 RunResult
 EnsembleCrossCheck::run(uint64_t max_cycles)
 {
@@ -249,8 +292,10 @@ EnsembleCrossCheck::run(uint64_t max_cycles)
         for (unsigned l = 0; l < lanes; ++l) {
             if (_settled[l])
                 continue;
-            if (!checkLane(l) && diverged())
+            if (!checkLane(l) && diverged()) {
+                recordDivergence();
                 return {Status::Failed, advanced, lanes};
+            }
         }
     }
 

@@ -31,6 +31,10 @@
 
 #include "engine/engine.hh"
 
+namespace manticore::runtime {
+class ReplayRecorder;
+}
+
 namespace manticore::engine {
 
 class CrossCheck
@@ -51,8 +55,19 @@ class CrossCheck
 
     bool diverged() const { return !_divergence.empty(); }
     /** "cycle N: signal x: <subject> 5 vs <golden> 7"; empty if the
-     *  engines agreed everywhere so far. */
+     *  engines agreed everywhere so far.  With a recorder attached
+     *  the message also names the written replay artifact. */
     const std::string &divergence() const { return _divergence; }
+
+    /** Attach a replay recorder (see runtime/replay.hh): on the first
+     *  divergence the recorder's trace is completed from the golden's
+     *  state (run length + expectations), written to disk, and the
+     *  artifact path appended to divergence().  The harness owns the
+     *  recorder and pre-fills the design recipe and any pokes. */
+    void setRecorder(runtime::ReplayRecorder *recorder)
+    {
+        _recorder = recorder;
+    }
 
     size_t numPairedSignals() const { return _pairs.size(); }
 
@@ -63,10 +78,13 @@ class CrossCheck
         ProbeHandle subject;
     };
 
+    void recordDivergence();
+
     Engine &_golden;
     Engine &_subject;
     std::vector<Pair> _pairs;
     std::string _divergence;
+    runtime::ReplayRecorder *_recorder = nullptr;
 };
 
 /** Per-lane stimulus hook: called once per (lane, cycle) for the
@@ -122,8 +140,19 @@ class EnsembleCrossCheck
     RunResult run(uint64_t max_cycles);
 
     bool diverged() const { return !_divergence.empty(); }
-    /** "lane L cycle N: ..."; empty if every lane agreed so far. */
+    /** "lane L cycle N: ..."; empty if every lane agreed so far.
+     *  With a recorder attached the message also names the written
+     *  replay artifact. */
     const std::string &divergence() const { return _divergence; }
+
+    /** Attach a replay recorder; see CrossCheck::setRecorder.  On
+     *  divergence every lane's golden contributes one expectation, so
+     *  the artifact reproduces the whole ensemble including lanes
+     *  that terminated earlier. */
+    void setRecorder(runtime::ReplayRecorder *recorder)
+    {
+        _recorder = recorder;
+    }
 
     size_t
     numPairedSignals() const
@@ -139,6 +168,7 @@ class EnsembleCrossCheck
     };
 
     bool checkLane(unsigned lane);
+    void recordDivergence();
 
     std::vector<Engine *> _goldens;
     Engine &_subject;
@@ -146,6 +176,7 @@ class EnsembleCrossCheck
     std::vector<uint8_t> _settled; ///< lane reached agreed terminal
     LaneStimulus _stimulus;
     std::string _divergence;
+    runtime::ReplayRecorder *_recorder = nullptr;
 };
 
 } // namespace manticore::engine

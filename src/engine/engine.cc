@@ -137,4 +137,18 @@ Engine::laneDisplayLog(unsigned lane) const
     unsupported("ensemble lanes (cap::kEnsemble)");
 }
 
+void
+Engine::save(Snapshot &out) const
+{
+    (void)out;
+    unsupported("checkpoint/restore (cap::kSnapshot)");
+}
+
+void
+Engine::restore(const Snapshot &snapshot)
+{
+    (void)snapshot;
+    unsupported("checkpoint/restore (cap::kSnapshot)");
+}
+
 } // namespace manticore::engine

@@ -92,8 +92,13 @@ constexpr uint32_t kEnsemble = 1u << 6;
 /// cycle function, see src/netlist/aot.hh) — NOT set when the AOT
 /// engine fell back to the interpreted tape.
 constexpr uint32_t kAotCompiled = 1u << 7;
+/// save()/restore() checkpoint the full architectural state into an
+/// engine::Snapshot (see snapshot.hh) at a cycle boundary.
+constexpr uint32_t kSnapshot = 1u << 8;
 
 } // namespace cap
+
+struct Snapshot; // snapshot.hh
 
 /** Dense handle for a bound input (engine-specific index space). */
 using InputHandle = uint32_t;
@@ -224,6 +229,22 @@ class Engine
     virtual std::string laneFailureMessage(unsigned lane) const;
     virtual const std::vector<std::string> &
     laneDisplayLog(unsigned lane) const;
+
+    // ---- checkpoint/restore (cap::kSnapshot) ----------------------
+    // A Snapshot captures the complete architectural state of every
+    // lane at a cycle boundary — in the engine family's canonical
+    // byte format, so a snapshot saved on one engine restores on any
+    // other engine of the same family simulating the same design
+    // (identity is checked: family, design hash, lane count, version;
+    // a mismatched restore is a loud user-facing fatal()).
+
+    /** Serialize the full architectural state into `out` (reuses its
+     *  buffers, so repeated saves into one Snapshot don't allocate
+     *  once capacity is warm). */
+    virtual void save(Snapshot &out) const;
+    /** Replace the architectural state from a snapshot.  Fatal() on
+     *  any identity mismatch rather than restoring garbage. */
+    virtual void restore(const Snapshot &snapshot);
 
   protected:
     /** Shared fatal() for calls outside an engine's capability set. */

@@ -1,5 +1,6 @@
 #include "engine/registry.hh"
 
+#include "engine/snapshot.hh"
 #include "isa/interpreter.hh"
 #include "machine/machine.hh"
 #include "netlist/aot.hh"
@@ -52,7 +53,7 @@ createIsaLevel(const std::string &name,
                std::shared_ptr<ProgramContext> ctx,
                const isa::Program &program,
                const isa::MachineConfig &config,
-               std::vector<RtlSignal> signals)
+               std::vector<RtlSignal> signals, uint64_t design_hash)
 {
     if (name == "machine") {
         auto adapter = std::make_unique<MachineEngine>(
@@ -69,6 +70,9 @@ createIsaLevel(const std::string &name,
     auto adapter = std::make_unique<IsaEngine>(
         name, isa::makeInterpreter(program, config, mode),
         std::move(signals));
+    // Design identity for snapshots; 0 (= unknown, hash check skipped)
+    // on the program-only create() path where no netlist exists.
+    adapter->setDesignHash(design_hash);
     isa::GlobalMemory &global = adapter->interpreter().globalMemory();
     return finishSelfHosted(std::move(adapter), std::move(ctx), program,
                             global);
@@ -80,36 +84,46 @@ const std::vector<EngineInfo> &
 list()
 {
     static const std::vector<EngineInfo> kEngines = [] {
+        constexpr uint32_t kNetlistCaps =
+            cap::kInputs | cap::kProbes | cap::kDisplayLog |
+            cap::kSnapshot;
+        constexpr uint32_t kIsaCaps = cap::kExceptions | cap::kProbes |
+                                      cap::kDisplayLog | cap::kSnapshot;
         std::vector<EngineInfo> engines = {
             {"netlist.reference",
              "graph-walking netlist evaluator (allocating, obviously "
              "correct; the golden model)",
-             true},
+             true, kNetlistCaps},
             {"netlist.compiled",
              "netlist lowered once to a flat op tape over a limb arena "
              "(zero-allocation)",
-             true},
+             true,
+             kNetlistCaps | cap::kBatchedStep | cap::kEnsemble},
             {"netlist.parallel",
              "partition-parallel tapes on a persistent worker pool with "
              "the two-barrier Vcycle (batched step(n) amortises the "
              "rendezvous)",
-             true},
+             true,
+             kNetlistCaps | cap::kBatchedStep | cap::kEnsemble},
             {"netlist.aot",
              "the flat tape AOT-compiled to a dlopen'd straight-line "
              "cycle function (dispatch-free; hashed on-disk object "
              "cache)",
-             true},
+             true,
+             kNetlistCaps | cap::kBatchedStep | cap::kAotCompiled},
             {"isa.reference",
              "instruction-walking functional ISA interpreter (untimed)",
-             false},
+             false, kIsaCaps},
             {"isa.tape",
              "flat pre-decoded ISA op tape with fused dispatch (untimed; "
              "batched step(n) runs the whole batch per call)",
-             false},
+             false, kIsaCaps | cap::kBatchedStep},
             {"machine",
              "cycle-level grid model: static schedule, torus NoC, global "
              "stalls, perf counters",
-             false},
+             false,
+             cap::kExceptions | cap::kProbes | cap::kDisplayLog |
+                 cap::kPerfCounters},
         };
         // netlist.aot is the only engine with a host dependency: a
         // working C++ toolchain, probed (and memoized) once here.
@@ -179,7 +193,7 @@ create(const std::string &name, const netlist::Netlist &netlist,
     const isa::MachineConfig &config = ctx->config;
     std::vector<RtlSignal> signals = rtlSignals(netlist, ctx->compiled);
     return createIsaLevel(name, std::move(ctx), program, config,
-                          std::move(signals));
+                          std::move(signals), designHash(netlist));
 }
 
 std::unique_ptr<Engine>
@@ -193,7 +207,8 @@ create(const std::string &name, const isa::Program &program,
         MANTICORE_FATAL("engine ", name, " is netlist-level: create it "
                         "from a netlist, not a compiled program");
     return createIsaLevel(name, std::make_shared<ProgramContext>(),
-                          program, config, std::move(signals));
+                          program, config, std::move(signals),
+                          /*design_hash=*/0);
 }
 
 } // namespace manticore::engine

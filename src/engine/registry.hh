@@ -47,6 +47,12 @@ struct EngineInfo
     /// Netlist-level engines evaluate the netlist directly; ISA-level
     /// engines (isa.*, machine) execute a compiled program.
     bool netlistLevel;
+    /// Static summary of the cap:: bits instances of this engine can
+    /// support (conditional bits — kEnsemble at lanes > 1,
+    /// kAotCompiled when the AOT toolchain engaged — are included).
+    /// Harnesses use this to SKIP engines without a capability (e.g.
+    /// cap::kSnapshot) instead of fataling on an unsupported call.
+    uint32_t caps;
     /// Probed once at first list() call: can this engine run on this
     /// host?  Only netlist.aot has a host dependency (a working C++
     /// toolchain); every other engine is always available.

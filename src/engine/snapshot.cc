@@ -1,0 +1,128 @@
+#include "engine/snapshot.hh"
+
+#include "support/hashing.hh"
+#include "support/logging.hh"
+
+namespace manticore::engine {
+
+namespace {
+
+uint64_t
+foldU64(uint64_t v, uint64_t h)
+{
+    return fnv1a64(&v, sizeof(v), h);
+}
+
+uint64_t
+foldBits(const BitVector &v, uint64_t h)
+{
+    h = foldU64(v.width(), h);
+    for (uint64_t limb : v.limbs())
+        h = foldU64(limb, h);
+    return h;
+}
+
+uint64_t
+foldStr(const std::string &s, uint64_t h)
+{
+    h = foldU64(s.size(), h);
+    return fnv1a64(s, h);
+}
+
+} // namespace
+
+uint64_t
+designHash(const netlist::Netlist &nl)
+{
+    uint64_t h = foldStr(nl.name(), fnv1a64("manticore-design-v1"));
+    h = foldU64(nl.numNodes(), h);
+    for (const netlist::Node &n : nl.nodes()) {
+        h = foldU64(static_cast<uint64_t>(n.kind), h);
+        h = foldU64(n.width, h);
+        h = foldU64(n.lo, h);
+        h = foldU64(n.regId, h);
+        h = foldU64(n.memId, h);
+        h = foldU64(n.operands.size(), h);
+        for (netlist::NodeId op : n.operands)
+            h = foldU64(op, h);
+        if (n.kind == netlist::OpKind::Const)
+            h = foldBits(n.value, h);
+        h = foldStr(n.name, h);
+    }
+    h = foldU64(nl.numRegisters(), h);
+    for (const netlist::Register &r : nl.registers()) {
+        h = foldStr(r.name, h);
+        h = foldU64(r.width, h);
+        h = foldBits(r.init, h);
+        h = foldU64(r.current, h);
+        h = foldU64(r.next, h);
+    }
+    h = foldU64(nl.numMemories(), h);
+    for (const netlist::Memory &m : nl.memories()) {
+        h = foldStr(m.name, h);
+        h = foldU64(m.width, h);
+        h = foldU64(m.depth, h);
+        h = foldU64(m.init.size(), h);
+        for (const BitVector &v : m.init)
+            h = foldBits(v, h);
+    }
+    h = foldU64(nl.memWrites().size(), h);
+    for (const netlist::MemWrite &w : nl.memWrites()) {
+        h = foldU64(w.mem, h);
+        h = foldU64(w.addr, h);
+        h = foldU64(w.data, h);
+        h = foldU64(w.enable, h);
+    }
+    h = foldU64(nl.displays().size(), h);
+    for (const netlist::Display &d : nl.displays()) {
+        h = foldU64(d.enable, h);
+        h = foldStr(d.format, h);
+        h = foldU64(d.args.size(), h);
+        for (netlist::NodeId a : d.args)
+            h = foldU64(a, h);
+    }
+    h = foldU64(nl.finishes().size(), h);
+    for (const netlist::Finish &f : nl.finishes())
+        h = foldU64(f.enable, h);
+    h = foldU64(nl.asserts().size(), h);
+    for (const netlist::Assert &a : nl.asserts()) {
+        h = foldU64(a.enable, h);
+        h = foldU64(a.cond, h);
+        h = foldStr(a.message, h);
+    }
+    return h;
+}
+
+void
+forkLanes(Engine &target, const Snapshot &snapshot, unsigned src_lane,
+          const ForkStimulus &stimuli)
+{
+    if (!target.has(cap::kSnapshot))
+        MANTICORE_FATAL("engine ", target.name(),
+                        " does not support snapshots (cap::kSnapshot); "
+                        "cannot fork lanes into it");
+    if (src_lane >= snapshot.sections.size())
+        MANTICORE_FATAL("forkLanes: source lane ", src_lane,
+                        " out of range (snapshot has ",
+                        snapshot.sections.size(), " section(s))");
+
+    // Replicate the chosen section across the target's lanes and
+    // restore through the normal validated path.  forkLanes is a
+    // setup-time operation, so the copies are acceptable.
+    Snapshot forked;
+    forked.version = snapshot.version;
+    forked.family = snapshot.family;
+    forked.engine = snapshot.engine;
+    forked.designHash = snapshot.designHash;
+    forked.lanes = target.lanes();
+    forked.cycle = snapshot.cycle;
+    forked.sections.assign(forked.lanes,
+                           snapshot.sections[src_lane]);
+    target.restore(forked);
+
+    if (stimuli)
+        for (unsigned lane = 0; lane < target.lanes(); ++lane)
+            stimuli(target, lane);
+}
+
+} // namespace manticore::engine

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Engine checkpoints (cap::kSnapshot) and lane forking.
+ *
+ * A Snapshot is an engine-portable serialization of *architectural*
+ * state — the state that carries across a cycle boundary — plus a
+ * validated header.  It deliberately does NOT dump raw engine storage
+ * (arena offsets depend on the lane count, ISA register files on the
+ * engine's layout); instead each engine family defines one canonical
+ * per-section byte format:
+ *
+ *  - family "netlist": one section per lane — current input drive,
+ *    register file, memory images, and the lane's run state (cycle,
+ *    status, failure message, display transcript).  Portable between
+ *    netlist.reference / netlist.compiled / netlist.parallel /
+ *    netlist.aot and across lane counts (that is what forkLanes
+ *    exploits).
+ *
+ *  - family "isa": exactly one section — per-process register files
+ *    (16-bit value + carry), scratchpads, predicate flags, the global
+ *    memory pages, pending message buffer, and the run counters.
+ *    Portable between isa.reference and isa.tape (both size their
+ *    register files through exec::registerFileSizes).
+ *
+ * The header carries a format version, the saving engine's registry
+ * name, the lane count, and a structural hash of the design, so a
+ * restore against the wrong design, family, or format fails loudly
+ * instead of resuming garbage (see Engine::restore in engine.hh).
+ */
+
+#ifndef MANTICORE_ENGINE_SNAPSHOT_HH
+#define MANTICORE_ENGINE_SNAPSHOT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "netlist/netlist.hh"
+
+namespace manticore::engine {
+
+struct Snapshot
+{
+    /// Bumped whenever a section byte format changes; restore rejects
+    /// any other version.
+    static constexpr uint32_t kVersion = 1;
+
+    uint32_t version = kVersion;
+    /// Engine family that defines the section format: "netlist" or
+    /// "isa".  Restore rejects a family mismatch.
+    std::string family;
+    /// Registry name of the saving engine (informational: snapshots
+    /// are portable within a family, so restore does not require it
+    /// to match — it only makes mismatch diagnostics actionable).
+    std::string engine;
+    /// Structural hash of the design (engine::designHash); 0 when the
+    /// saving engine did not know it (bare wrap() adapters).  Restore
+    /// rejects two differing non-zero hashes.
+    uint64_t designHash = 0;
+    /// Number of sections (== saving engine's lane count for the
+    /// netlist family, 1 for the isa family).
+    unsigned lanes = 1;
+    /// Engine-level cycle (most-advanced lane) at save time.
+    uint64_t cycle = 0;
+    /// Per-lane serialized architectural state.
+    std::vector<std::vector<uint8_t>> sections;
+
+    /** Drop contents but keep every section's capacity, so repeated
+     *  save()s into one Snapshot do not allocate (the bench_snapshot
+     *  hot path). */
+    void
+    reset(unsigned nsections)
+    {
+        if (sections.size() != nsections)
+            sections.resize(nsections);
+        for (auto &s : sections)
+            s.clear();
+    }
+};
+
+/** Structural hash of a netlist (FNV-1a over nodes, registers,
+ *  memories, effects and names).  This is the design identity a
+ *  Snapshot and a replay artifact carry: two structurally identical
+ *  builds hash equal, any drift in the design fails the restore. */
+uint64_t designHash(const netlist::Netlist &netlist);
+
+/** Per-lane stimulus applied after a fork (drive lane-divergent
+ *  inputs before the next step). */
+using ForkStimulus = std::function<void(Engine &engine, unsigned lane)>;
+
+/** Seed every lane of `target` from one section of a checkpoint: the
+ *  warmup runs once, then N lanes explore divergent stimuli from the
+ *  same deep state.  `target` must support cap::kSnapshot and the
+ *  snapshot's family; `src_lane` selects the checkpointed lane.  The
+ *  optional stimulus hook is called once per target lane after the
+ *  restore so the caller can drive the divergent inputs.  Works on
+ *  scalar targets too (plain restore of the one lane). */
+void forkLanes(Engine &target, const Snapshot &snapshot,
+               unsigned src_lane = 0, const ForkStimulus &stimuli = {});
+
+} // namespace manticore::engine
+
+#endif // MANTICORE_ENGINE_SNAPSHOT_HH

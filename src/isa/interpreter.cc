@@ -1,11 +1,122 @@
 #include "isa/interpreter.hh"
 
+#include <algorithm>
+
 #include "isa/exec_semantics.hh"
+#include "support/bytestream.hh"
 #include "support/logging.hh"
 
 namespace manticore::isa {
 
 namespace ex = exec;
+
+// ---- checkpoint/restore ----------------------------------------------
+
+void
+GlobalMemory::save(support::ByteWriter &w) const
+{
+    std::vector<uint64_t> keys;
+    keys.reserve(_pages.size());
+    for (const auto &[page, _] : _pages)
+        keys.push_back(page);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (uint64_t key : keys) {
+        const Page &p = _pages.at(key);
+        w.u64(key);
+        // Raw 16-bit words + written bitmap; little-endian hosts only
+        // (as is the rest of the byte format).
+        w.bytes(p.words.data(), p.words.size() * sizeof(uint16_t));
+        w.bytes(p.written.data(), p.written.size() * sizeof(uint64_t));
+    }
+    w.u64(_footprint);
+}
+
+void
+GlobalMemory::load(support::ByteReader &r)
+{
+    _pages.clear();
+    uint64_t npages = r.u64();
+    for (uint64_t i = 0; i < npages; ++i) {
+        uint64_t key = r.u64();
+        Page &p = _pages[key];
+        r.bytes(p.words.data(), p.words.size() * sizeof(uint16_t));
+        r.bytes(p.written.data(), p.written.size() * sizeof(uint64_t));
+    }
+    _footprint = r.u64();
+}
+
+void
+InterpreterBase::saveState(support::ByteWriter &) const
+{
+    MANTICORE_PANIC("saveState() called on an interpreter without "
+                    "snapshot support");
+}
+
+void
+InterpreterBase::restoreState(support::ByteReader &)
+{
+    MANTICORE_PANIC("restoreState() called on an interpreter without "
+                    "snapshot support");
+}
+
+void
+Interpreter::saveState(support::ByteWriter &w) const
+{
+    MANTICORE_ASSERT(_pendingSends.empty(),
+                     "snapshot mid-Vcycle: the message buffer must be "
+                     "empty at a Vcycle boundary");
+    w.u32(static_cast<uint32_t>(_procs.size()));
+    for (const ProcState &p : _procs) {
+        w.u32(static_cast<uint32_t>(p.regs.size()));
+        w.bytes(p.regs.data(), p.regs.size() * sizeof(uint32_t));
+        w.u32(static_cast<uint32_t>(p.scratch.size()));
+        w.bytes(p.scratch.data(), p.scratch.size() * sizeof(uint16_t));
+        w.u8(p.pred ? 1 : 0);
+    }
+    w.u32(0); // pending messages (always empty between Vcycles)
+    _global.save(w);
+    w.u64(_vcycle);
+    w.u8(static_cast<uint8_t>(_status));
+    w.u64(_instretNonNop);
+    w.u64(_sends);
+}
+
+void
+Interpreter::restoreState(support::ByteReader &r)
+{
+    uint32_t nprocs = r.u32();
+    if (nprocs != _procs.size())
+        MANTICORE_FATAL("snapshot/program mismatch: snapshot has ",
+                        nprocs, " process(es), program has ",
+                        _procs.size(), " — refusing to restore");
+    for (ProcState &p : _procs) {
+        uint32_t nregs = r.u32();
+        if (nregs != p.regs.size())
+            MANTICORE_FATAL("snapshot/program mismatch: register-file "
+                            "size ", nregs, " vs ", p.regs.size(),
+                            " — refusing to restore");
+        r.bytes(p.regs.data(), p.regs.size() * sizeof(uint32_t));
+        uint32_t nscratch = r.u32();
+        if (nscratch != p.scratch.size())
+            MANTICORE_FATAL("snapshot/program mismatch: scratch size ",
+                            nscratch, " vs ", p.scratch.size(),
+                            " — refusing to restore");
+        r.bytes(p.scratch.data(), p.scratch.size() * sizeof(uint16_t));
+        p.pred = r.u8() != 0;
+    }
+    uint32_t pending = r.u32();
+    if (pending != 0)
+        MANTICORE_FATAL("snapshot carries ", pending, " mid-Vcycle "
+                        "message(s); only Vcycle-boundary snapshots "
+                        "can be restored");
+    _pendingSends.clear();
+    _global.load(r);
+    _vcycle = r.u64();
+    _status = static_cast<RunStatus>(r.u8());
+    _instretNonNop = r.u64();
+    _sends = r.u64();
+}
 
 Interpreter::Interpreter(const Program &program, const MachineConfig &config)
     : _program(program), _config(config)

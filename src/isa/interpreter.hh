@@ -39,6 +39,11 @@
 
 #include "isa/isa.hh"
 
+namespace manticore::support {
+class ByteWriter;
+class ByteReader;
+} // namespace manticore::support
+
 namespace manticore::isa {
 
 /** Word-addressed 16-bit global (DRAM) memory shared by the
@@ -76,6 +81,12 @@ class GlobalMemory
 
     /** Number of distinct words ever written. */
     size_t footprint() const { return _footprint; }
+
+    /** Serialize every page (sorted by page number, so the byte
+     *  stream is deterministic) for an engine snapshot. */
+    void save(support::ByteWriter &w) const;
+    /** Replace the contents from a serialized stream. */
+    void load(support::ByteReader &r);
 
   private:
     static constexpr uint64_t kPageWords = 2048; ///< 4 KiB per page
@@ -147,6 +158,23 @@ class InterpreterBase
     /** Raised when an EXPECT fires; defaults to Finish on any
      *  exception.  The runtime::Host installs the real servicing. */
     std::function<HostAction(uint32_t pid, uint16_t eid)> onException;
+
+    // ---- checkpoint/restore (engine::Snapshot plumbing) -----------
+    // One canonical byte format for the whole ISA family: per-process
+    // register files (16-bit value + carry), scratchpads, predicate
+    // flags, the pending message buffer (architecturally empty at
+    // every Vcycle boundary — asserted on save), the global memory
+    // pages and the run counters.  Both interpreters size their
+    // register files through exec::registerFileSizes, so a snapshot
+    // saved on either restores on the other bit-identically.
+
+    /** Does this interpreter implement save/restore? */
+    virtual bool snapshotSupported() const { return false; }
+    /** Serialize the full architectural state (canonical format). */
+    virtual void saveState(support::ByteWriter &w) const;
+    /** Restore from the canonical format; geometry mismatches
+     *  (process count, register-file sizes) are a loud fatal(). */
+    virtual void restoreState(support::ByteReader &r);
 };
 
 /** Which functional engine makeInterpreter() should build. */
@@ -191,6 +219,10 @@ class Interpreter : public InterpreterBase
         return _instretNonNop;
     }
     uint64_t sendsExecuted() const override { return _sends; }
+
+    bool snapshotSupported() const override { return true; }
+    void saveState(support::ByteWriter &w) const override;
+    void restoreState(support::ByteReader &r) override;
 
   private:
     struct ProcState

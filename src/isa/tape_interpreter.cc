@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "isa/exec_semantics.hh"
+#include "support/bytestream.hh"
 #include "support/logging.hh"
 
 namespace manticore::isa {
@@ -631,6 +632,70 @@ TapeInterpreter::scratchValue(uint32_t pid, uint32_t addr) const
                      "bad scratch access p", pid, "[", addr, "]");
     return _scratch[static_cast<size_t>(pid) * _config.scratchSize +
                     addr];
+}
+
+// The canonical ISA snapshot format (see InterpreterBase): the flat
+// _regs/_scratch arrays are sliced back into per-process sections so
+// the byte stream is identical to the reference Interpreter's — a
+// snapshot taken on either engine restores on the other.
+void
+TapeInterpreter::saveState(support::ByteWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(_regCount.size()));
+    for (size_t p = 0; p < _regCount.size(); ++p) {
+        w.u32(_regCount[p]);
+        w.bytes(_regs.data() + _regBase[p],
+                static_cast<size_t>(_regCount[p]) * sizeof(uint32_t));
+        w.u32(_config.scratchSize);
+        w.bytes(_scratch.data() + p * _config.scratchSize,
+                static_cast<size_t>(_config.scratchSize) *
+                    sizeof(uint16_t));
+        w.u8(_pred[p]);
+    }
+    w.u32(0); // pending messages (always empty between Vcycles)
+    _global.save(w);
+    w.u64(_vcycle);
+    w.u8(static_cast<uint8_t>(_status));
+    w.u64(_instretNonNop);
+    w.u64(_sends);
+}
+
+void
+TapeInterpreter::restoreState(support::ByteReader &r)
+{
+    uint32_t nprocs = r.u32();
+    if (nprocs != _regCount.size())
+        MANTICORE_FATAL("snapshot/program mismatch: snapshot has ",
+                        nprocs, " process(es), program has ",
+                        _regCount.size(), " — refusing to restore");
+    for (size_t p = 0; p < _regCount.size(); ++p) {
+        uint32_t nregs = r.u32();
+        if (nregs != _regCount[p])
+            MANTICORE_FATAL("snapshot/program mismatch: register-file "
+                            "size ", nregs, " vs ", _regCount[p],
+                            " — refusing to restore");
+        r.bytes(_regs.data() + _regBase[p],
+                static_cast<size_t>(_regCount[p]) * sizeof(uint32_t));
+        uint32_t nscratch = r.u32();
+        if (nscratch != _config.scratchSize)
+            MANTICORE_FATAL("snapshot/program mismatch: scratch size ",
+                            nscratch, " vs ", _config.scratchSize,
+                            " — refusing to restore");
+        r.bytes(_scratch.data() + p * _config.scratchSize,
+                static_cast<size_t>(_config.scratchSize) *
+                    sizeof(uint16_t));
+        _pred[p] = r.u8();
+    }
+    uint32_t pending = r.u32();
+    if (pending != 0)
+        MANTICORE_FATAL("snapshot carries ", pending, " mid-Vcycle "
+                        "message(s); only Vcycle-boundary snapshots "
+                        "can be restored");
+    _global.load(r);
+    _vcycle = r.u64();
+    _status = static_cast<RunStatus>(r.u8());
+    _instretNonNop = r.u64();
+    _sends = r.u64();
 }
 
 } // namespace manticore::isa

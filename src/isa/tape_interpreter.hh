@@ -91,6 +91,10 @@ class TapeInterpreter : public InterpreterBase
      *  smaller than the dynamic non-NOP instruction count. */
     size_t dispatches() const { return _dispatches; }
 
+    bool snapshotSupported() const override { return true; }
+    void saveState(support::ByteWriter &w) const override;
+    void restoreState(support::ByteReader &r) override;
+
   private:
     /** One pre-decoded tape element: a single instruction, a fused
      *  pair (second instruction in the *2 fields), or a same-opcode

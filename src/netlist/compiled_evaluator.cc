@@ -1,5 +1,7 @@
 #include "netlist/compiled_evaluator.hh"
 
+#include <algorithm>
+
 #include "netlist/aot.hh"
 #include "netlist/parallel_evaluator.hh"
 #include "support/limbops.hh"
@@ -465,6 +467,57 @@ parseEvalMode(const std::string &name, EvalMode &mode)
         }
     }
     return false;
+}
+
+// ---- checkpoint/restore hooks (see EvaluatorBase::saveLaneState) ----
+
+BitVector
+CompiledEvaluator::inputValueLane(unsigned lane, NodeId input) const
+{
+    return _arena.read(_slotOf[input], _netlist.node(input).width, lane);
+}
+
+void
+CompiledEvaluator::restoreReg(unsigned lane, RegId id,
+                              const BitVector &value)
+{
+    _arena.write(_slotOf[_netlist.reg(id).current], lane, value);
+}
+
+void
+CompiledEvaluator::restoreMemWord(unsigned lane, MemId id, uint64_t addr,
+                                  const BitVector &value)
+{
+    tape::MemState &ms = _mems[id];
+    uint64_t *dst = ms.word(addr, lane);
+    const std::vector<uint64_t> &limbs = value.limbs();
+    for (unsigned i = 0; i < ms.wordLimbs; ++i)
+        dst[i] = i < limbs.size() ? limbs[i] : 0;
+}
+
+void
+CompiledEvaluator::restoreLaneMeta(unsigned lane, uint64_t cycle,
+                                   SimStatus status, std::string failure,
+                                   std::vector<std::string> log)
+{
+    LaneState &ls = _lane[lane];
+    ls.cycle = cycle;
+    ls.status = status;
+    ls.failureMessage = std::move(failure);
+    ls.displayLog = std::move(log);
+    ls.logMark = ls.displayLog.size();
+}
+
+void
+CompiledEvaluator::snapshotRestored()
+{
+    recountActive();
+    std::fill(_laneCommit.begin(), _laneCommit.end(), 0);
+    std::fill(_laneFinish.begin(), _laneFinish.end(), 0);
+    uint64_t cycle = 0;
+    for (const LaneState &ls : _lane)
+        cycle = std::max(cycle, ls.cycle);
+    _cycle = cycle;
 }
 
 std::unique_ptr<EvaluatorBase>

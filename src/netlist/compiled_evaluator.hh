@@ -106,7 +106,22 @@ class CompiledEvaluator : public EvaluatorBase
     size_t tapeLength() const { return _tape.size(); }
     size_t arenaLimbs() const { return _arena.limbs(); }
 
+    bool snapshotSupported() const override { return true; }
+    /** Recount active lanes, reset per-cycle transients, and
+     *  recompute the engine-level (max-lane) cycle. */
+    void snapshotRestored() override;
+
   protected:
+    const Netlist &snapshotNetlist() const override { return _netlist; }
+    BitVector inputValueLane(unsigned lane, NodeId input) const override;
+    void restoreReg(unsigned lane, RegId id,
+                    const BitVector &value) override;
+    void restoreMemWord(unsigned lane, MemId id, uint64_t addr,
+                        const BitVector &value) override;
+    void restoreLaneMeta(unsigned lane, uint64_t cycle, SimStatus status,
+                         std::string failure,
+                         std::vector<std::string> log) override;
+
     /** Evaluate the combinational tape for one single-lane cycle —
      *  the ONLY hot-loop hook a subclass may replace.  The default
      *  runs the interpreted tape (tape::runScalar); AotEvaluator

@@ -1,9 +1,31 @@
 #include "netlist/evaluator.hh"
 
+#include "support/bytestream.hh"
+#include "support/limbops.hh"
 #include "support/logging.hh"
 #include "support/namelist.hh"
 
 namespace manticore::netlist {
+
+namespace {
+
+void
+writeValueLimbs(support::ByteWriter &w, const BitVector &value)
+{
+    for (uint64_t limb : value.limbs())
+        w.u64(limb);
+}
+
+BitVector
+readValueLimbs(support::ByteReader &r, unsigned width)
+{
+    std::vector<uint64_t> limbs(limbops::nlimbs(width));
+    for (uint64_t &limb : limbs)
+        limb = r.u64();
+    return BitVector::fromLimbs(width, limbs);
+}
+
+} // namespace
 
 Evaluator::Evaluator(Netlist netlist) : _netlist(std::move(netlist))
 {
@@ -106,6 +128,181 @@ EvaluatorBase::memValueLane(unsigned lane, MemId id, uint64_t addr) const
     MANTICORE_ASSERT(lane == 0, "engine has 1 lane, lane ", lane,
                      " read");
     return memValue(id, addr);
+}
+
+// ---- checkpoint/restore ----------------------------------------------
+// The ONE canonical per-lane serialization for the netlist family,
+// written against the virtual accessors/setters so every evaluator
+// (reference, compiled, parallel, AOT) shares the exact byte format.
+
+const Netlist &
+EvaluatorBase::snapshotNetlist() const
+{
+    MANTICORE_PANIC("snapshotNetlist() called on an evaluator without "
+                    "snapshot support");
+}
+
+BitVector
+EvaluatorBase::inputValueLane(unsigned, NodeId) const
+{
+    MANTICORE_PANIC("inputValueLane() called on an evaluator without "
+                    "snapshot support");
+}
+
+void
+EvaluatorBase::restoreReg(unsigned, RegId, const BitVector &)
+{
+    MANTICORE_PANIC("restoreReg() called on an evaluator without "
+                    "snapshot support");
+}
+
+void
+EvaluatorBase::restoreMemWord(unsigned, MemId, uint64_t, const BitVector &)
+{
+    MANTICORE_PANIC("restoreMemWord() called on an evaluator without "
+                    "snapshot support");
+}
+
+void
+EvaluatorBase::restoreLaneMeta(unsigned, uint64_t, SimStatus, std::string,
+                               std::vector<std::string>)
+{
+    MANTICORE_PANIC("restoreLaneMeta() called on an evaluator without "
+                    "snapshot support");
+}
+
+void
+EvaluatorBase::saveLaneState(unsigned lane, support::ByteWriter &w) const
+{
+    MANTICORE_ASSERT(snapshotSupported(),
+                     "saveLaneState on a snapshot-less evaluator");
+    const Netlist &nl = snapshotNetlist();
+
+    uint32_t ninputs = 0;
+    for (const Node &n : nl.nodes())
+        if (n.kind == OpKind::Input)
+            ++ninputs;
+    w.u32(ninputs);
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+        const Node &n = nl.node(id);
+        if (n.kind != OpKind::Input)
+            continue;
+        w.u32(id);
+        writeValueLimbs(w, inputValueLane(lane, id).resize(n.width));
+    }
+
+    w.u32(static_cast<uint32_t>(nl.numRegisters()));
+    for (RegId id = 0; id < nl.numRegisters(); ++id)
+        writeValueLimbs(w, regValueLane(lane, id));
+
+    w.u32(static_cast<uint32_t>(nl.numMemories()));
+    for (MemId id = 0; id < nl.numMemories(); ++id) {
+        const Memory &m = nl.memory(id);
+        w.u32(m.width);
+        w.u64(m.depth);
+        for (uint64_t addr = 0; addr < m.depth; ++addr)
+            writeValueLimbs(w, memValueLane(lane, id, addr));
+    }
+
+    w.u64(laneCycle(lane));
+    w.u8(static_cast<uint8_t>(laneStatus(lane)));
+    w.str(laneFailureMessage(lane));
+    const std::vector<std::string> &log = laneDisplayLog(lane);
+    w.u32(static_cast<uint32_t>(log.size()));
+    for (const std::string &line : log)
+        w.str(line);
+}
+
+void
+EvaluatorBase::restoreLaneState(unsigned lane, support::ByteReader &r)
+{
+    MANTICORE_ASSERT(snapshotSupported(),
+                     "restoreLaneState on a snapshot-less evaluator");
+    const Netlist &nl = snapshotNetlist();
+
+    uint32_t ninputs = r.u32();
+    for (uint32_t i = 0; i < ninputs; ++i) {
+        NodeId id = r.u32();
+        if (id >= nl.numNodes() || nl.node(id).kind != OpKind::Input)
+            MANTICORE_FATAL("snapshot/design mismatch: node ", id,
+                            " is not an input of design '", nl.name(),
+                            "' — refusing to restore");
+        driveInputLane(lane, id, readValueLimbs(r, nl.node(id).width));
+    }
+
+    uint32_t nregs = r.u32();
+    if (nregs != nl.numRegisters())
+        MANTICORE_FATAL("snapshot/design mismatch: snapshot has ", nregs,
+                        " register(s), design '", nl.name(), "' has ",
+                        nl.numRegisters(), " — refusing to restore");
+    for (RegId id = 0; id < nregs; ++id)
+        restoreReg(lane, id, readValueLimbs(r, nl.reg(id).width));
+
+    uint32_t nmems = r.u32();
+    if (nmems != nl.numMemories())
+        MANTICORE_FATAL("snapshot/design mismatch: snapshot has ", nmems,
+                        " memorie(s), design '", nl.name(), "' has ",
+                        nl.numMemories(), " — refusing to restore");
+    for (MemId id = 0; id < nmems; ++id) {
+        const Memory &m = nl.memory(id);
+        uint32_t width = r.u32();
+        uint64_t depth = r.u64();
+        if (width != m.width || depth != m.depth)
+            MANTICORE_FATAL("snapshot/design mismatch: memory '", m.name,
+                            "' is ", width, "x", depth,
+                            " in the snapshot, ", m.width, "x", m.depth,
+                            " in design '", nl.name(),
+                            "' — refusing to restore");
+        for (uint64_t addr = 0; addr < depth; ++addr)
+            restoreMemWord(lane, id, addr, readValueLimbs(r, m.width));
+    }
+
+    uint64_t cycle = r.u64();
+    auto status = static_cast<SimStatus>(r.u8());
+    std::string failure = r.str();
+    uint32_t nlog = r.u32();
+    std::vector<std::string> log;
+    log.reserve(nlog);
+    for (uint32_t i = 0; i < nlog; ++i)
+        log.push_back(r.str());
+    restoreLaneMeta(lane, cycle, status, std::move(failure),
+                    std::move(log));
+}
+
+// Reference Evaluator snapshot hooks: plain container writes.
+
+BitVector
+Evaluator::inputValueLane(unsigned lane, NodeId input) const
+{
+    MANTICORE_ASSERT(lane == 0, "engine has 1 lane");
+    return _inputs[input];
+}
+
+void
+Evaluator::restoreReg(unsigned lane, RegId id, const BitVector &value)
+{
+    MANTICORE_ASSERT(lane == 0, "engine has 1 lane");
+    _regs[id] = value;
+}
+
+void
+Evaluator::restoreMemWord(unsigned lane, MemId id, uint64_t addr,
+                          const BitVector &value)
+{
+    MANTICORE_ASSERT(lane == 0, "engine has 1 lane");
+    _mems[id][addr] = value;
+}
+
+void
+Evaluator::restoreLaneMeta(unsigned lane, uint64_t cycle, SimStatus status,
+                           std::string failure,
+                           std::vector<std::string> log)
+{
+    MANTICORE_ASSERT(lane == 0, "engine has 1 lane");
+    _cycle = cycle;
+    _status = status;
+    _failureMessage = std::move(failure);
+    _displayLog = std::move(log);
 }
 
 void

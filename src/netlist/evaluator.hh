@@ -35,6 +35,11 @@
 #include "netlist/netlist.hh"
 #include "support/mergealgo.hh"
 
+namespace manticore::support {
+class ByteWriter;
+class ByteReader;
+} // namespace manticore::support
+
 namespace manticore::netlist {
 
 enum class SimStatus
@@ -125,7 +130,43 @@ class EvaluatorBase
     /** Optional callback invoked for each $display line. */
     std::function<void(const std::string &)> onDisplay;
 
+    // ---- checkpoint/restore (engine::Snapshot plumbing) -----------
+    // One canonical per-lane byte format for the whole netlist
+    // family, implemented ONCE here against the small virtual
+    // accessors/setters below, so a snapshot saved on any netlist
+    // engine restores on any other (and across lane counts — the
+    // basis of engine::forkLanes).  Serialized per lane: input
+    // drive, register file, memory images, and the lane's run state.
+    // Combinational values are NOT state (every engine recomputes
+    // them before use each step) and constants are rebroadcast at
+    // compile, so neither is saved.
+
+    /** Does this evaluator implement the snapshot setters? */
+    virtual bool snapshotSupported() const { return false; }
+    /** Serialize one lane's architectural state (canonical format). */
+    void saveLaneState(unsigned lane, support::ByteWriter &w) const;
+    /** Restore one lane from the canonical format; mismatches against
+     *  this evaluator's netlist (counts, widths, unknown nodes) are a
+     *  loud fatal().  Call snapshotRestored() once after the last
+     *  lane. */
+    void restoreLaneState(unsigned lane, support::ByteReader &r);
+    /** Post-restore fixup: recompute engine-level cycle, active-lane
+     *  counts, and per-cycle transients. */
+    virtual void snapshotRestored() {}
+
   protected:
+    // Snapshot accessors/setters each engine supplies (only called
+    // when snapshotSupported()); defaults fatal.
+    virtual const Netlist &snapshotNetlist() const;
+    virtual BitVector inputValueLane(unsigned lane, NodeId input) const;
+    virtual void restoreReg(unsigned lane, RegId id,
+                            const BitVector &value);
+    virtual void restoreMemWord(unsigned lane, MemId id, uint64_t addr,
+                                const BitVector &value);
+    virtual void restoreLaneMeta(unsigned lane, uint64_t cycle,
+                                 SimStatus status, std::string failure,
+                                 std::vector<std::string> log);
+
     /** Shared setInput validation: resolve an input by name and check
      *  the driven width.  Unknown names and bad widths are
      *  user-facing fatal()s listing the valid input names. */
@@ -244,7 +285,19 @@ class Evaluator : public EvaluatorBase
     static std::string formatDisplay(const std::string &format,
                                      const std::vector<BitVector> &args);
 
+    bool snapshotSupported() const override { return true; }
+
   private:
+    const Netlist &snapshotNetlist() const override { return _netlist; }
+    BitVector inputValueLane(unsigned lane, NodeId input) const override;
+    void restoreReg(unsigned lane, RegId id,
+                    const BitVector &value) override;
+    void restoreMemWord(unsigned lane, MemId id, uint64_t addr,
+                        const BitVector &value) override;
+    void restoreLaneMeta(unsigned lane, uint64_t cycle, SimStatus status,
+                         std::string failure,
+                         std::vector<std::string> log) override;
+
     void evaluateNodes();
 
     Netlist _netlist;

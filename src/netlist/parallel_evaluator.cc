@@ -1,5 +1,6 @@
 #include "netlist/parallel_evaluator.hh"
 
+#include <algorithm>
 #include <exception>
 #include <unordered_map>
 
@@ -626,6 +627,64 @@ ParallelCompiledEvaluator::tapeLength() const
     for (const Proc &p : _procs)
         n += p.tape.size();
     return n;
+}
+
+// ---- checkpoint/restore hooks (see EvaluatorBase::saveLaneState) ----
+// All called from the master thread between step()/run() calls, when
+// the workers are parked on _computeGen: the shared arena, memory
+// images and lane state are master-owned at that point.
+
+BitVector
+ParallelCompiledEvaluator::inputValueLane(unsigned lane,
+                                          NodeId input) const
+{
+    return _arena.read(_sourceSlot[input], _netlist.node(input).width,
+                       lane);
+}
+
+void
+ParallelCompiledEvaluator::restoreReg(unsigned lane, RegId id,
+                                      const BitVector &value)
+{
+    _arena.write(_regSlot[id], lane, value);
+}
+
+void
+ParallelCompiledEvaluator::restoreMemWord(unsigned lane, MemId id,
+                                          uint64_t addr,
+                                          const BitVector &value)
+{
+    tape::MemState &ms = _mems[id];
+    uint64_t *dst = ms.word(addr, lane);
+    const std::vector<uint64_t> &limbs = value.limbs();
+    for (unsigned i = 0; i < ms.wordLimbs; ++i)
+        dst[i] = i < limbs.size() ? limbs[i] : 0;
+}
+
+void
+ParallelCompiledEvaluator::restoreLaneMeta(unsigned lane, uint64_t cycle,
+                                           SimStatus status,
+                                           std::string failure,
+                                           std::vector<std::string> log)
+{
+    LaneState &ls = _lane[lane];
+    ls.cycle = cycle;
+    ls.status = status;
+    ls.failureMessage = std::move(failure);
+    ls.displayLog = std::move(log);
+    ls.logMark = ls.displayLog.size();
+}
+
+void
+ParallelCompiledEvaluator::snapshotRestored()
+{
+    recountActive();
+    std::fill(_laneCommit.begin(), _laneCommit.end(), 0);
+    std::fill(_laneFinish.begin(), _laneFinish.end(), 0);
+    uint64_t cycle = 0;
+    for (const LaneState &ls : _lane)
+        cycle = std::max(cycle, ls.cycle);
+    _cycle = cycle;
 }
 
 } // namespace manticore::netlist

@@ -120,6 +120,13 @@ class ParallelCompiledEvaluator : public EvaluatorBase
         return _lane[0].displayLog;
     }
 
+    bool snapshotSupported() const override { return true; }
+    /** Recount active lanes and recompute the engine-level cycle.
+     *  Safe from the master thread: workers are parked between
+     *  step()/run() calls, so the arena and lane state are
+     *  master-owned here. */
+    void snapshotRestored() override;
+
     /** Introspection for tests and benches. */
     size_t numProcesses() const { return _procs.size(); }
     unsigned numThreads() const { return _numThreads; }
@@ -127,6 +134,17 @@ class ParallelCompiledEvaluator : public EvaluatorBase
     const NetlistPartitionStats &partitionStats() const { return _stats; }
     size_t tapeLength() const; ///< total instructions across processes
     size_t arenaLimbs() const { return _arena.limbs(); }
+
+  protected:
+    const Netlist &snapshotNetlist() const override { return _netlist; }
+    BitVector inputValueLane(unsigned lane, NodeId input) const override;
+    void restoreReg(unsigned lane, RegId id,
+                    const BitVector &value) override;
+    void restoreMemWord(unsigned lane, MemId id, uint64_t addr,
+                        const BitVector &value) override;
+    void restoreLaneMeta(unsigned lane, uint64_t cycle, SimStatus status,
+                         std::string failure,
+                         std::vector<std::string> log) override;
 
   private:
     /** Pre-barrier copy of a shared (RegRead) commit operand into the

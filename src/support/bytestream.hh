@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Minimal little-endian byte (de)serialization used by the engine
+ * snapshot machinery (see engine/snapshot.hh).
+ *
+ * ByteWriter appends into a caller-owned std::vector<uint8_t> so a
+ * long-lived Snapshot reuses its capacity across saves — after the
+ * first save of a given engine the hot path is pure memcpy, no
+ * allocation.  ByteReader is a bounds-checked cursor over a byte
+ * span; running past the end is a loud fatal() (a truncated or
+ * corrupt snapshot must never be silently half-restored).
+ */
+
+#ifndef MANTICORE_SUPPORT_BYTESTREAM_HH
+#define MANTICORE_SUPPORT_BYTESTREAM_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace manticore::support {
+
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::vector<uint8_t> &out) : _out(out) {}
+
+    void
+    bytes(const void *data, size_t size)
+    {
+        const uint8_t *p = static_cast<const uint8_t *>(data);
+        _out.insert(_out.end(), p, p + size);
+    }
+
+    void u8(uint8_t v) { _out.push_back(v); }
+    void u16(uint16_t v) { pod(v); }
+    void u32(uint32_t v) { pod(v); }
+    void u64(uint64_t v) { pod(v); }
+
+    /** u32 length + raw bytes. */
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        bytes(s.data(), s.size());
+    }
+
+    size_t size() const { return _out.size(); }
+
+  private:
+    template <typename T>
+    void
+    pod(T v)
+    {
+        // Little-endian on every supported host; memcpy keeps it
+        // alignment-safe.
+        uint8_t buf[sizeof(T)];
+        std::memcpy(buf, &v, sizeof(T));
+        bytes(buf, sizeof(T));
+    }
+
+    std::vector<uint8_t> &_out;
+};
+
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t size)
+        : _data(data), _size(size)
+    {}
+    explicit ByteReader(const std::vector<uint8_t> &data)
+        : ByteReader(data.data(), data.size())
+    {}
+
+    void
+    bytes(void *out, size_t size)
+    {
+        if (_pos + size > _size)
+            MANTICORE_FATAL("snapshot truncated: need ", size,
+                            " byte(s) at offset ", _pos, " of ", _size);
+        std::memcpy(out, _data + _pos, size);
+        _pos += size;
+    }
+
+    uint8_t
+    u8()
+    {
+        uint8_t v;
+        bytes(&v, 1);
+        return v;
+    }
+    uint16_t u16() { return pod<uint16_t>(); }
+    uint32_t u32() { return pod<uint32_t>(); }
+    uint64_t u64() { return pod<uint64_t>(); }
+
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        if (_pos + n > _size)
+            MANTICORE_FATAL("snapshot truncated: string of ", n,
+                            " byte(s) at offset ", _pos, " of ", _size);
+        std::string s(reinterpret_cast<const char *>(_data + _pos), n);
+        _pos += n;
+        return s;
+    }
+
+    size_t remaining() const { return _size - _pos; }
+    bool done() const { return _pos == _size; }
+
+  private:
+    template <typename T>
+    T
+    pod()
+    {
+        T v;
+        bytes(&v, sizeof(T));
+        return v;
+    }
+
+    const uint8_t *_data;
+    size_t _size;
+    size_t _pos = 0;
+};
+
+} // namespace manticore::support
+
+#endif // MANTICORE_SUPPORT_BYTESTREAM_HH

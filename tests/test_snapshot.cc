@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Checkpoint/restore tests: randomized save/restore round trips on
+ * every snapshot-capable registry engine (the capability summary in
+ * EngineInfo::caps decides who participates — engines without
+ * cap::kSnapshot are covered by the unsupported-call death test, not
+ * skipped silently), cross-engine restores inside each family,
+ * loudly-failing header mismatches, and the forkLanes differential:
+ * an N-lane ensemble seeded from one cycle-K checkpoint must match N
+ * fresh scalar runs lane for lane, for N in {2, 7, 16}.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/registry.hh"
+#include "engine/snapshot.hh"
+#include "netlist/builder.hh"
+#include "runtime/replay.hh"
+#include "support/rng.hh"
+
+using namespace manticore;
+
+namespace {
+
+/** Closed self-driving design exercising everything a netlist
+ *  snapshot serializes: registers (one crossing the 64-bit limb
+ *  boundary), a written memory, a display and a far-off $finish. */
+netlist::Netlist
+snapshotDesign(uint64_t finish_at)
+{
+    netlist::CircuitBuilder b("snap");
+    auto cyc = b.reg("cyc", 16);
+    b.next(cyc, cyc.read() + b.lit(16, 1));
+    auto acc = b.reg("acc", 72);
+    b.next(acc, (acc.read() + cyc.read().zext(72)) ^
+                    acc.read().shl(1));
+    auto mem = b.memory("scratch", 32, 16);
+    auto addr = cyc.read().slice(0, 4);
+    mem.write(addr, mem.read(addr) + acc.read().trunc(32),
+              b.lit(1, 1));
+    b.display(cyc.read() == b.lit(16, 5), "acc=%d", {acc.read()});
+    b.finish(cyc.read() == b.lit(16, finish_at));
+    return b.build();
+}
+
+uint64_t
+digestOf(engine::Engine &engine, unsigned lane,
+         const std::vector<runtime::ProbeSignal> &signals)
+{
+    return runtime::probeDigest(engine, lane, signals);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Randomized round trips on every snapshot-capable engine
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotRoundTrip, RandomizedOnEverySnapshotCapableEngine)
+{
+    netlist::Netlist nl = snapshotDesign(4000);
+    const auto signals = runtime::probeSignals(nl);
+    Rng rng(0xC0FFEE);
+    unsigned covered = 0;
+    for (const engine::EngineInfo &info : engine::list()) {
+        if (!info.available || !(info.caps & engine::cap::kSnapshot))
+            continue;
+        SCOPED_TRACE(info.name);
+        ++covered;
+        auto eng = engine::create(info.name, nl);
+        ASSERT_TRUE(eng->has(engine::cap::kSnapshot));
+        engine::Snapshot snap;
+        for (int round = 0; round < 3; ++round) {
+            eng->step(1 + rng.below(40));
+            eng->save(snap);
+            EXPECT_EQ(snap.cycle, eng->cycle());
+            const uint64_t c0 = eng->cycle();
+            const uint64_t d0 = digestOf(*eng, 0, signals);
+
+            const uint64_t j = 1 + rng.below(40);
+            eng->step(j);
+            const uint64_t c1 = eng->cycle();
+            const uint64_t d1 = digestOf(*eng, 0, signals);
+            ASSERT_GT(c1, c0);
+            EXPECT_NE(d1, d0); // the design never repeats state here
+
+            // Restore rewinds to the checkpoint...
+            eng->restore(snap);
+            EXPECT_EQ(eng->cycle(), c0);
+            EXPECT_EQ(eng->status(), engine::Status::Running);
+            EXPECT_EQ(digestOf(*eng, 0, signals), d0);
+            // ...and the resumed run is deterministic.
+            eng->step(j);
+            EXPECT_EQ(eng->cycle(), c1);
+            EXPECT_EQ(digestOf(*eng, 0, signals), d1);
+        }
+    }
+    // netlist.reference/compiled/parallel + isa.reference/isa.tape
+    // always run snapshot rounds (netlist.aot joins when the host
+    // toolchain probe succeeds).
+    EXPECT_GE(covered, 5u);
+}
+
+TEST(SnapshotRoundTrip, RepeatedSaveReusesSections)
+{
+    netlist::Netlist nl = snapshotDesign(4000);
+    auto eng = engine::create("netlist.compiled", nl);
+    engine::Snapshot snap;
+    eng->step(10);
+    eng->save(snap);
+    ASSERT_EQ(snap.sections.size(), 1u);
+    const size_t bytes = snap.sections[0].size();
+    const uint8_t *storage = snap.sections[0].data();
+    // Same engine, same design: a re-save must reuse the buffer
+    // (reset() keeps capacity — the bench_snapshot hot path).
+    eng->step(10);
+    eng->save(snap);
+    EXPECT_EQ(snap.sections[0].size(), bytes);
+    EXPECT_EQ(snap.sections[0].data(), storage);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine restores within a family
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotCrossEngine, NetlistFamilyIsPortable)
+{
+    netlist::Netlist nl = snapshotDesign(4000);
+    const auto signals = runtime::probeSignals(nl);
+
+    auto ref = engine::create("netlist.reference", nl);
+    ref->step(33);
+    engine::Snapshot snap;
+    ref->save(snap);
+    EXPECT_EQ(snap.family, "netlist");
+    const uint64_t d0 = digestOf(*ref, 0, signals);
+    ref->step(20);
+    const uint64_t d1 = digestOf(*ref, 0, signals);
+
+    for (const engine::EngineInfo &info : engine::list()) {
+        if (!info.netlistLevel || !info.available ||
+            !(info.caps & engine::cap::kSnapshot))
+            continue;
+        SCOPED_TRACE(info.name);
+        auto eng = engine::create(info.name, nl);
+        eng->restore(snap);
+        EXPECT_EQ(eng->cycle(), 33u);
+        EXPECT_EQ(digestOf(*eng, 0, signals), d0);
+        eng->step(20);
+        EXPECT_EQ(eng->cycle(), 53u);
+        EXPECT_EQ(digestOf(*eng, 0, signals), d1);
+    }
+}
+
+TEST(SnapshotCrossEngine, IsaFamilyIsPortableBothDirections)
+{
+    netlist::Netlist nl = snapshotDesign(4000);
+    const auto signals = runtime::probeSignals(nl);
+    const char *pair[2] = {"isa.reference", "isa.tape"};
+    for (int dir = 0; dir < 2; ++dir) {
+        SCOPED_TRACE(std::string(pair[dir]) + " -> " + pair[1 - dir]);
+        auto from = engine::create(pair[dir], nl);
+        auto to = engine::create(pair[1 - dir], nl);
+        from->step(27);
+        engine::Snapshot snap;
+        from->save(snap);
+        EXPECT_EQ(snap.family, "isa");
+        to->restore(snap);
+        EXPECT_EQ(to->cycle(), 27u);
+        EXPECT_EQ(digestOf(*to, 0, signals),
+                  digestOf(*from, 0, signals));
+        from->step(15);
+        to->step(15);
+        EXPECT_EQ(digestOf(*to, 0, signals),
+                  digestOf(*from, 0, signals));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mismatches fail loudly (MANTICORE_FATAL exits 1)
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotDeathTest, EngineWithoutSnapshotSupportFatals)
+{
+    netlist::Netlist nl = snapshotDesign(4000);
+    const engine::EngineInfo *machine = engine::find("machine");
+    ASSERT_NE(machine, nullptr);
+    EXPECT_EQ(machine->caps & engine::cap::kSnapshot, 0u);
+    auto eng = engine::create("machine", nl);
+    engine::Snapshot snap;
+    EXPECT_EXIT(eng->save(snap), ::testing::ExitedWithCode(1),
+                "kSnapshot");
+}
+
+TEST(SnapshotDeathTest, FamilyMismatchFatals)
+{
+    netlist::Netlist nl = snapshotDesign(4000);
+    auto netlist_eng = engine::create("netlist.reference", nl);
+    auto isa_eng = engine::create("isa.reference", nl);
+    netlist_eng->step(5);
+    engine::Snapshot snap;
+    netlist_eng->save(snap);
+    EXPECT_EXIT(isa_eng->restore(snap), ::testing::ExitedWithCode(1),
+                "snapshot family \"netlist\"");
+}
+
+TEST(SnapshotDeathTest, DesignDriftFatals)
+{
+    netlist::Netlist a = snapshotDesign(4000);
+    netlist::Netlist b = snapshotDesign(4001); // structurally distinct
+    ASSERT_NE(engine::designHash(a), engine::designHash(b));
+    auto on_a = engine::create("netlist.reference", a);
+    auto on_b = engine::create("netlist.reference", b);
+    on_a->step(5);
+    engine::Snapshot snap;
+    on_a->save(snap);
+    EXPECT_EXIT(on_b->restore(snap), ::testing::ExitedWithCode(1),
+                "design hash");
+}
+
+TEST(SnapshotDeathTest, LaneCountMismatchFatals)
+{
+    netlist::Netlist nl = snapshotDesign(4000);
+    auto scalar = engine::create("netlist.compiled", nl);
+    scalar->step(5);
+    engine::Snapshot snap;
+    scalar->save(snap);
+    engine::CreateOptions options;
+    options.lanes = 2;
+    auto wide = engine::create("netlist.compiled", nl, options);
+    // Plain restore refuses a lane-count change; forkLanes is the
+    // sanctioned re-laning path (tested below).
+    EXPECT_EXIT(wide->restore(snap), ::testing::ExitedWithCode(1),
+                "forkLanes");
+}
+
+// ---------------------------------------------------------------------------
+// forkLanes: checkpoint at cycle K, fork into N lanes, diverge — each
+// lane must match a fresh scalar run given the same stimulus.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Lane-divergent stimulus over the open-counter fixture: lanes
+ *  1 mod 3 fault (assert-fail on the next step), lanes 2 mod 3 freeze
+ *  (still Running at the horizon), the rest run to $finish. */
+void
+divergentStimulus(engine::Engine &eng, unsigned lane)
+{
+    if (lane % 3 == 1)
+        engine::driveLane(eng, eng.bindInput("fault"), lane,
+                          BitVector(1, 1));
+    else if (lane % 3 == 2)
+        engine::driveLane(eng, eng.bindInput("stop"), lane,
+                          BitVector(1, 1));
+}
+
+void
+forkVsFresh(const std::string &engine_name, unsigned n)
+{
+    SCOPED_TRACE(engine_name + " x" + std::to_string(n));
+    netlist::Netlist nl = runtime::buildOpenCtr(8, 60);
+    const auto signals = runtime::probeSignals(nl);
+    const uint64_t warmup = 20, horizon = 50;
+
+    // One warmup run, checkpointed at cycle K.
+    auto warm = engine::create("netlist.compiled", nl);
+    warm->step(warmup);
+    engine::Snapshot snap;
+    warm->save(snap);
+
+    engine::CreateOptions options;
+    options.lanes = n;
+    auto ensemble = engine::create(engine_name, nl, options);
+    engine::forkLanes(*ensemble, snap, 0, divergentStimulus);
+    for (unsigned l = 0; l < n; ++l) {
+        EXPECT_EQ(ensemble->laneCycle(l), warmup);
+        EXPECT_EQ(ensemble->laneStatus(l), engine::Status::Running);
+    }
+    ensemble->step(horizon);
+
+    // Differential: each lane vs a fresh scalar run that never went
+    // through a snapshot at all.
+    for (unsigned l = 0; l < n; ++l) {
+        SCOPED_TRACE("lane " + std::to_string(l));
+        auto fresh = engine::create("netlist.compiled", nl);
+        fresh->step(warmup);
+        divergentStimulus(*fresh, l);
+        fresh->step(horizon);
+        EXPECT_EQ(ensemble->laneStatus(l), fresh->status());
+        EXPECT_EQ(ensemble->laneCycle(l), fresh->cycle());
+        EXPECT_EQ(digestOf(*ensemble, l, signals),
+                  digestOf(*fresh, 0, signals));
+        if (l % 3 == 1)
+            EXPECT_EQ(ensemble->laneStatus(l),
+                      engine::Status::Failed);
+        else if (l % 3 == 2)
+            EXPECT_EQ(ensemble->laneStatus(l),
+                      engine::Status::Running);
+        else
+            EXPECT_EQ(ensemble->laneStatus(l),
+                      engine::Status::Finished);
+    }
+}
+
+} // namespace
+
+TEST(ForkLanes, TwoLanesMatchFreshRuns)
+{
+    forkVsFresh("netlist.compiled", 2);
+}
+
+TEST(ForkLanes, SevenLanesMatchFreshRuns)
+{
+    forkVsFresh("netlist.compiled", 7);
+}
+
+TEST(ForkLanes, SixteenLanesMatchFreshRuns)
+{
+    forkVsFresh("netlist.compiled", 16);
+}
+
+TEST(ForkLanes, ParallelEngineMatchesFreshRuns)
+{
+    forkVsFresh("netlist.parallel", 7);
+}
+
+TEST(ForkLanes, ScalarTargetIsPlainRestore)
+{
+    netlist::Netlist nl = snapshotDesign(4000);
+    const auto signals = runtime::probeSignals(nl);
+    auto warm = engine::create("netlist.reference", nl);
+    warm->step(17);
+    engine::Snapshot snap;
+    warm->save(snap);
+    auto target = engine::create("netlist.reference", nl);
+    engine::forkLanes(*target, snap);
+    EXPECT_EQ(target->cycle(), 17u);
+    EXPECT_EQ(digestOf(*target, 0, signals),
+              digestOf(*warm, 0, signals));
+}

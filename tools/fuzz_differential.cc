@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Randomized differential fuzzer with automatic replay artifacts:
+ * generates random-but-valid netlists (tests/random_circuit.hh),
+ * drives every free input with a fresh random waveform each cycle,
+ * and locksteps the reference evaluator against each fast netlist
+ * engine.  On the FIRST divergence the attached ReplayRecorder
+ * writes a one-file replay artifact (design seed + the full recorded
+ * stimulus + the golden's expected terminal) and the fuzzer exits
+ * nonzero — the artifact alone reproduces the failure via
+ * `replay_runner <artifact>` in a fresh process.
+ *
+ *   fuzz_differential [--seconds N] [--seed S] [--dir D]
+ *
+ * CI-friendly: --seconds bounds wall-clock (default 10), --seed makes
+ * the whole session deterministic, --dir picks the artifact
+ * directory ($MANTICORE_REPLAY_DIR, else ./replay-artifacts).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/crosscheck.hh"
+#include "engine/registry.hh"
+#include "engine/snapshot.hh"
+#include "runtime/replay.hh"
+#include "support/rng.hh"
+#include "tests/random_circuit.hh"
+
+using namespace manticore;
+
+namespace {
+
+uint64_t
+u64Flag(int argc, char **argv, const char *name, uint64_t fallback)
+{
+    size_t len = std::strlen(name);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0 && i + 1 < argc)
+            return std::strtoull(argv[i + 1], nullptr, 0);
+        if (std::strncmp(argv[i], name, len) == 0 &&
+            argv[i][len] == '=')
+            return std::strtoull(argv[i] + len + 1, nullptr, 0);
+    }
+    return fallback;
+}
+
+std::string
+strFlag(int argc, char **argv, const char *name,
+        const std::string &fallback)
+{
+    size_t len = std::strlen(name);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0 && i + 1 < argc)
+            return argv[i + 1];
+        if (std::strncmp(argv[i], name, len) == 0 &&
+            argv[i][len] == '=')
+            return argv[i] + len + 1;
+    }
+    return fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const uint64_t seconds = u64Flag(argc, argv, "--seconds", 10);
+    const uint64_t seed0 = u64Flag(argc, argv, "--seed", 1);
+    const uint64_t max_cycles =
+        u64Flag(argc, argv, "--max-cycles", 150);
+    const std::string dir = strFlag(argc, argv, "--dir", "");
+
+    // Subjects: the fast netlist engines (random circuits have free
+    // inputs, which the ISA-level engines compile away).  netlist.aot
+    // is skipped when no toolchain is present — and by default too:
+    // per-circuit AOT compiles dominate the budget.
+    std::vector<std::string> subjects = {"netlist.compiled",
+                                         "netlist.parallel"};
+    if (u64Flag(argc, argv, "--aot", 0)) {
+        const engine::EngineInfo *aot = engine::find("netlist.aot");
+        if (aot && aot->available)
+            subjects.push_back("netlist.aot");
+        else
+            std::fprintf(stderr, "--aot: netlist.aot unavailable (%s)"
+                                 ", skipping\n",
+                         aot ? aot->availabilityNote.c_str() : "?");
+    }
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(seconds);
+    uint64_t circuits = 0, pairs = 0;
+    for (uint64_t iter = 0;
+         std::chrono::steady_clock::now() < deadline; ++iter) {
+        const uint64_t seed = seed0 + iter;
+        netlist::Netlist nl = testing::RandomCircuit(seed).build();
+        ++circuits;
+
+        // Free inputs of the circuit, driven fresh each cycle.
+        std::vector<std::string> input_names;
+        std::vector<unsigned> input_widths;
+        for (size_t i = 0; i < nl.numNodes(); ++i) {
+            const netlist::Node &n =
+                nl.node(static_cast<netlist::NodeId>(i));
+            if (n.kind == netlist::OpKind::Input) {
+                input_names.push_back(n.name);
+                input_widths.push_back(n.width);
+            }
+        }
+
+        for (const std::string &subject_name : subjects) {
+            auto golden = engine::create("netlist.reference", nl);
+            auto subject = engine::create(subject_name, nl);
+            ++pairs;
+
+            runtime::ReplayRecorder recorder;
+            recorder.trace.designKind = "random";
+            recorder.trace.designArg = std::to_string(seed);
+            recorder.trace.designHash = engine::designHash(nl);
+            recorder.signals = runtime::probeSignals(nl);
+            recorder.dir = dir;
+            recorder.stem = "fuzz";
+
+            engine::CrossCheck cc(*golden, *subject);
+            cc.setRecorder(&recorder);
+
+            std::vector<engine::InputHandle> gh, sh;
+            for (const std::string &name : input_names) {
+                gh.push_back(golden->bindInput(name));
+                sh.push_back(subject->bindInput(name));
+            }
+
+            // One stimulus stream per (seed, subject) pair keeps a
+            // failure reproducible from the artifact alone.
+            Rng stimulus(seed ^ 0x5f5f5f5f5f5f5f5full);
+            for (uint64_t cycle = 0; cycle < max_cycles; ++cycle) {
+                for (size_t i = 0; i < input_names.size(); ++i) {
+                    BitVector value =
+                        testing::randomValue(stimulus, input_widths[i]);
+                    recorder.poke(cycle, 0, input_names[i], value);
+                    golden->setInput(gh[i], value);
+                    subject->setInput(sh[i], value);
+                }
+                engine::RunResult r = cc.run(1);
+                if (cc.diverged()) {
+                    std::fprintf(stderr,
+                                 "DIVERGENCE seed %llu %s vs "
+                                 "netlist.reference: %s\n",
+                                 static_cast<unsigned long long>(seed),
+                                 subject_name.c_str(),
+                                 cc.divergence().c_str());
+                    return 1;
+                }
+                if (r.status != engine::Status::Running)
+                    break; // agreed terminal: next pair
+            }
+        }
+    }
+    std::printf("fuzz: %llu circuit(s), %llu engine pair(s), no "
+                "divergence (seed %llu, %llu s budget)\n",
+                static_cast<unsigned long long>(circuits),
+                static_cast<unsigned long long>(pairs),
+                static_cast<unsigned long long>(seed0),
+                static_cast<unsigned long long>(seconds));
+    return 0;
+}

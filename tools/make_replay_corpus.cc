@@ -1,0 +1,221 @@
+/**
+ * @file
+ * (Re)generate the checked-in replay corpus under
+ * tests/replay_corpus/.  Each artifact is built by actually running
+ * one scalar netlist.reference golden per lane with that lane's
+ * recorded pokes and pinning the observed terminal (status, cycle,
+ * probe digest) as the expectation — so the corpus is self-consistent
+ * by construction and every other engine is then held to the
+ * reference's behavior byte-exactly.
+ *
+ *   make_replay_corpus [output-dir]      # default tests/replay_corpus
+ *
+ * The corpus covers the three behaviors the replay format exists to
+ * pin down: a clean $finish (mm, noc), an injected assertion failure
+ * (openctr + fault poke), divergent per-lane terminations in one
+ * ensemble artifact (finish / assert-fail / still-running / later
+ * assert-fail across 4 lanes), and a mid-flight Running expectation
+ * (mm stopped before its driver's horizon).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/registry.hh"
+#include "engine/snapshot.hh"
+#include "runtime/replay.hh"
+
+using namespace manticore;
+using runtime::ReplayExpect;
+using runtime::ReplayPoke;
+using runtime::ReplayTrace;
+
+namespace {
+
+/** Run one lane's scalar golden under the trace's stimulus and pin
+ *  its terminal as the lane's expectation (same loop as replayOn). */
+ReplayExpect
+pinLane(const ReplayTrace &trace, const netlist::Netlist &netlist,
+        const std::vector<runtime::ProbeSignal> &signals, unsigned lane)
+{
+    auto eng = engine::create("netlist.reference", netlist);
+    std::vector<const ReplayPoke *> pokes;
+    std::vector<engine::InputHandle> handles;
+    for (const ReplayPoke &p : trace.pokes) {
+        if (p.lane != lane)
+            continue;
+        pokes.push_back(&p);
+        handles.push_back(eng->bindInput(p.input));
+    }
+    size_t next = 0;
+    while (eng->cycle() < trace.runCycles) {
+        uint64_t c = eng->cycle();
+        while (next < pokes.size() && pokes[next]->cycle <= c) {
+            eng->setInput(handles[next], pokes[next]->value);
+            ++next;
+        }
+        if (eng->step(1).cycles == 0)
+            break;
+    }
+    ReplayExpect e;
+    e.lane = lane;
+    e.status = eng->status();
+    e.cycle = eng->cycle();
+    e.digest = runtime::probeDigest(*eng, 0, signals);
+    return e;
+}
+
+/** Fill hash + expectations, optionally tighten runCycles to the last
+ *  terminal cycle, write, and sanity-replay on the reference. */
+void
+emit(ReplayTrace trace, const std::string &dir,
+     const std::string &filename, bool tighten)
+{
+    netlist::Netlist netlist = runtime::buildReplayDesign(trace);
+    trace.designHash = engine::designHash(netlist);
+    std::vector<runtime::ProbeSignal> signals =
+        runtime::probeSignals(netlist);
+
+    trace.expectations.clear();
+    for (unsigned l = 0; l < trace.lanes; ++l)
+        trace.expectations.push_back(
+            pinLane(trace, netlist, signals, l));
+
+    if (tighten) {
+        // +1: a failed assert suppresses the cycle commit, so a
+        // lane's terminal cycle is the cycle it was still ON when the
+        // failing step ran — the horizon must cover that step.
+        uint64_t last = 0;
+        for (const ReplayExpect &e : trace.expectations)
+            last = std::max(last, e.cycle + 1);
+        trace.runCycles = last;
+        // Terminal state is frozen, so the tightened horizon pins the
+        // same expectations — but re-pin to keep it honest.
+        trace.expectations.clear();
+        for (unsigned l = 0; l < trace.lanes; ++l)
+            trace.expectations.push_back(
+                pinLane(trace, netlist, signals, l));
+    }
+
+    const std::string path = dir + "/" + filename;
+    trace.writeFile(path);
+
+    // Sanity: a multi-lane artifact needs an ensemble-capable engine.
+    runtime::ReplayResult check = runtime::replayOn(
+        trace, netlist,
+        trace.lanes > 1 ? "netlist.compiled" : "netlist.reference");
+    if (!check.ran || !check.passed) {
+        std::fprintf(stderr, "%s: self-replay failed: %s%s\n",
+                     path.c_str(), check.skipReason.c_str(),
+                     check.detail.c_str());
+        std::exit(1);
+    }
+    std::printf("wrote %s (%u lane(s), run %llu)\n", path.c_str(),
+                trace.lanes,
+                static_cast<unsigned long long>(trace.runCycles));
+}
+
+ReplayPoke
+poke(uint64_t cycle, unsigned lane, const char *input, uint64_t value)
+{
+    ReplayPoke p;
+    p.cycle = cycle;
+    p.lane = lane;
+    p.input = input;
+    p.value = BitVector(1, value);
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : "tests/replay_corpus";
+
+    // 1. Clean $finish: mm's self-checking driver at a short horizon.
+    {
+        ReplayTrace t;
+        t.designKind = "builtin";
+        t.designArg = "mm";
+        t.designParam = 96;
+        t.engine = "netlist.reference";
+        t.lanes = 1;
+        t.runCycles = 300;
+        t.notes.push_back("corpus: clean $finish (mm, 96-cycle "
+                          "driver horizon)");
+        emit(std::move(t), dir, "mm-finish.replay", /*tighten=*/true);
+    }
+
+    // 2. Clean $finish on a second design (noc).
+    {
+        ReplayTrace t;
+        t.designKind = "builtin";
+        t.designArg = "noc";
+        t.designParam = 128;
+        t.engine = "netlist.reference";
+        t.lanes = 1;
+        t.runCycles = 400;
+        t.notes.push_back("corpus: clean $finish (noc, 128-cycle "
+                          "driver horizon)");
+        emit(std::move(t), dir, "noc-finish.replay", /*tighten=*/true);
+    }
+
+    // 3. Assertion failure: openctr with a fault poked mid-run.
+    {
+        ReplayTrace t;
+        t.designKind = "openctr";
+        t.designArg = "8";
+        t.designParam = 200;
+        t.engine = "netlist.reference";
+        t.lanes = 1;
+        t.runCycles = 100;
+        t.pokes.push_back(poke(12, 0, "fault", 1));
+        t.notes.push_back("corpus: assertion failure (fault poked at "
+                          "cycle 12, well before the finish limit)");
+        emit(std::move(t), dir, "openctr-assert.replay",
+             /*tighten=*/true);
+    }
+
+    // 4. Divergent per-lane terminations in ONE ensemble artifact:
+    //    lane 0 finishes clean, lane 1 fails early, lane 2 is frozen
+    //    by `stop` and is still running at the horizon, lane 3 fails
+    //    late.
+    {
+        ReplayTrace t;
+        t.designKind = "openctr";
+        t.designArg = "8";
+        t.designParam = 40;
+        t.engine = "netlist.parallel";
+        t.lanes = 4;
+        t.runCycles = 60;
+        t.pokes.push_back(poke(5, 2, "stop", 1));
+        t.pokes.push_back(poke(10, 1, "fault", 1));
+        t.pokes.push_back(poke(30, 3, "fault", 1));
+        t.notes.push_back("corpus: divergent per-lane terminations — "
+                          "finish / early assert / still-running / "
+                          "late assert");
+        emit(std::move(t), dir, "openctr-lanes.replay",
+             /*tighten=*/false);
+    }
+
+    // 5. Mid-flight Running expectation: mm stopped at cycle 100 of a
+    //    256-cycle driver pins in-progress architectural state.
+    {
+        ReplayTrace t;
+        t.designKind = "builtin";
+        t.designArg = "mm";
+        t.designParam = 256;
+        t.engine = "netlist.reference";
+        t.lanes = 1;
+        t.runCycles = 100;
+        t.notes.push_back("corpus: mid-flight Running state (mm "
+                          "stopped before its 256-cycle horizon)");
+        emit(std::move(t), dir, "mm-run.replay", /*tighten=*/false);
+    }
+
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Re-execute replay artifacts (see src/runtime/replay.hh) against
+ * every registered engine:
+ *
+ *   replay_runner path/to/artifact.replay [more.replay ...]
+ *
+ * For each artifact the design is rebuilt from its recipe (the
+ * structural hash is re-checked), then every engine in the registry
+ * replays the recorded stimulus and is held to the recorded
+ * expectations — terminal status, cycle, and probe digest per lane.
+ * Engines that cannot run an artifact (no ensemble mode for a
+ * multi-lane trace, no free inputs for a poked trace, missing AOT
+ * toolchain) are reported as SKIP, not errors.  Exit status is
+ * nonzero iff any engine that ran failed to reproduce.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "engine/registry.hh"
+#include "runtime/replay.hh"
+#include "support/hashing.hh"
+#include "tests/random_circuit.hh"
+
+using namespace manticore;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <artifact.replay> [more.replay ...]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    int failures = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string path = argv[i];
+        runtime::ReplayTrace trace = runtime::ReplayTrace::load(path);
+        std::printf("%s: design %s %s %llu, %u lane(s), %zu poke(s), "
+                    "run %llu\n",
+                    path.c_str(), trace.designKind.c_str(),
+                    trace.designArg.c_str(),
+                    static_cast<unsigned long long>(trace.designParam),
+                    trace.lanes, trace.pokes.size(),
+                    static_cast<unsigned long long>(trace.runCycles));
+        for (const std::string &note : trace.notes)
+            std::printf("  note: %s\n", note.c_str());
+
+        netlist::Netlist netlist = runtime::buildReplayDesign(
+            trace, [](uint64_t seed) {
+                return testing::RandomCircuit(seed).build();
+            });
+
+        for (const engine::EngineInfo &info : engine::list()) {
+            runtime::ReplayResult r =
+                runtime::replayOn(trace, netlist, info.name);
+            if (!r.ran)
+                std::printf("  %-18s SKIP (%s)\n", info.name,
+                            r.skipReason.c_str());
+            else if (r.passed)
+                std::printf("  %-18s PASS\n", info.name);
+            else {
+                std::printf("  %-18s FAIL: %s\n", info.name,
+                            r.detail.c_str());
+                ++failures;
+            }
+        }
+    }
+    if (failures)
+        std::fprintf(stderr, "%d engine run(s) failed to reproduce\n",
+                     failures);
+    return failures ? 1 : 0;
+}
