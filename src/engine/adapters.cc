@@ -464,6 +464,8 @@ IsaEngine::capabilities() const
         caps |= cap::kDisplayLog;
     if (dynamic_cast<const isa::TapeInterpreter *>(_interp))
         caps |= cap::kBatchedStep;
+    if (_interp->lanes() > 1)
+        caps |= cap::kEnsemble;
     if (_interp->snapshotSupported())
         caps |= cap::kSnapshot;
     return caps;
@@ -481,12 +483,69 @@ IsaEngine::read(ProbeHandle handle) const
                             });
 }
 
+void
+IsaEngine::checkLane(unsigned lane) const
+{
+    if (lane >= _interp->lanes())
+        MANTICORE_FATAL("engine ", _name, ": lane ", lane,
+                        " out of range (", _interp->lanes(), " lanes)");
+}
+
+BitVector
+IsaEngine::readLane(ProbeHandle handle, unsigned lane) const
+{
+    MANTICORE_ASSERT(handle < _signals.size(), "bad probe handle ",
+                     handle);
+    checkLane(lane);
+    const RtlSignal &signal = _signals[handle];
+    return assembleRtlValue(signal.width, signal.homes,
+                            [this, lane](uint32_t pid, isa::Reg reg) {
+                                return _interp->regValueLane(lane, pid,
+                                                             reg);
+                            });
+}
+
+Status
+IsaEngine::laneStatus(unsigned lane) const
+{
+    checkLane(lane);
+    return mapStatus(_interp->laneStatus(lane));
+}
+
+uint64_t
+IsaEngine::laneCycle(unsigned lane) const
+{
+    checkLane(lane);
+    return _interp->laneVcycle(lane);
+}
+
+std::string
+IsaEngine::laneFailureMessage(unsigned lane) const
+{
+    checkLane(lane);
+    if (lane < _laneHosts.size() && _laneHosts[lane])
+        return _laneHosts[lane]->failureMessage();
+    return lane == 0 ? failureMessage() : std::string();
+}
+
+const std::vector<std::string> &
+IsaEngine::laneDisplayLog(unsigned lane) const
+{
+    checkLane(lane);
+    if (lane < _laneHosts.size() && _laneHosts[lane])
+        return _laneHosts[lane]->displayLog();
+    if (lane == 0)
+        return displayLog();
+    return Engine::laneDisplayLog(lane); // capability fatal
+}
+
 RunResult
 IsaEngine::step(uint64_t n)
 {
     uint64_t before = _interp->vcycle();
     isa::RunStatus st = _interp->run(n);
-    return {mapStatus(st), _interp->vcycle() - before};
+    return {mapStatus(st), _interp->vcycle() - before,
+            _interp->lanes()};
 }
 
 uint64_t
@@ -510,11 +569,26 @@ IsaEngine::failureMessage() const
 std::vector<Stat>
 IsaEngine::stats() const
 {
+    // Same aggregation contract as NetlistEngine: "cycles" is the
+    // total simulated Vcycles delivered across the ensemble, and
+    // instructions/sends already sum over the lanes inside the
+    // interpreter.  Padded lanes contribute nothing (they are frozen
+    // from birth and excluded from lanes()).
+    const unsigned lanes = _interp->lanes();
+    uint64_t total = 0;
+    for (unsigned l = 0; l < lanes; ++l)
+        total += _interp->laneVcycle(l);
     std::vector<Stat> stats{
-        {"cycles", _interp->vcycle()},
+        {"cycles", total},
         {"instructions", _interp->instructionsExecuted()},
         {"sends", _interp->sendsExecuted()},
     };
+    if (lanes > 1) {
+        stats.push_back({"lanes", lanes});
+        for (unsigned l = 0; l < lanes; ++l)
+            stats.push_back({"lane" + std::to_string(l) + ".cycles",
+                             _interp->laneVcycle(l)});
+    }
     if (auto *t = dynamic_cast<const isa::TapeInterpreter *>(_interp)) {
         stats.push_back({"tape_length", t->tapeLength()});
         stats.push_back({"nops_elided", t->nopsElided()});
@@ -550,15 +624,18 @@ IsaEngine::save(Snapshot &out) const
 {
     if (!_interp->snapshotSupported())
         unsupported("checkpoint/restore (cap::kSnapshot)");
+    const unsigned lanes = _interp->lanes();
     out.version = Snapshot::kVersion;
     out.family = "isa";
     out.engine = _name;
     out.designHash = _designHash;
-    out.lanes = 1;
+    out.lanes = lanes;
     out.cycle = _interp->vcycle();
-    out.reset(1);
-    support::ByteWriter w(out.sections[0]);
-    _interp->saveState(w);
+    out.reset(lanes);
+    for (unsigned l = 0; l < lanes; ++l) {
+        support::ByteWriter w(out.sections[l]);
+        _interp->saveLaneState(l, w);
+    }
 }
 
 void
@@ -566,13 +643,17 @@ IsaEngine::restore(const Snapshot &snapshot)
 {
     if (!_interp->snapshotSupported())
         unsupported("checkpoint/restore (cap::kSnapshot)");
-    checkSnapshotHeader(name(), snapshot, "isa", _designHash, 1);
-    support::ByteReader r(snapshot.sections[0]);
-    _interp->restoreState(r);
-    if (!r.done())
-        MANTICORE_FATAL("engine ", _name, ": snapshot section has ",
-                        r.remaining(), " trailing byte(s) (saved by ",
-                        snapshot.engine, ") — refusing to restore");
+    checkSnapshotHeader(name(), snapshot, "isa", _designHash,
+                        _interp->lanes());
+    for (unsigned l = 0; l < _interp->lanes(); ++l) {
+        support::ByteReader r(snapshot.sections[l]);
+        _interp->restoreLaneState(l, r);
+        if (!r.done())
+            MANTICORE_FATAL("engine ", _name, ": lane ", l,
+                            " snapshot section has ", r.remaining(),
+                            " trailing byte(s) (saved by ",
+                            snapshot.engine, ") — refusing to restore");
+    }
 }
 
 // ---------------------------------------------------------------------------

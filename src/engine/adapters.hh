@@ -178,15 +178,28 @@ class IsaEngine : public ProbedEngine
     uint64_t cycle() const override;
     Status status() const override;
     std::string failureMessage() const override;
+    /** "cycles" aggregates over the lanes, mirroring NetlistEngine;
+     *  an ensemble also reports "lanes" and "lane<i>.cycles". */
     std::vector<Stat> stats() const override;
 
     const std::vector<std::string> &displayLog() const override;
     void setDisplaySink(DisplaySink sink) override;
     void setExceptionHandler(ExceptionHandler handler) override;
 
+    // Ensemble plumbing (cap::kEnsemble when the interpreter has
+    // lanes() > 1; ISA designs take no inputs, so there is no
+    // setInputLane — lanes diverge through forkLanes/restore).
+    unsigned lanes() const override { return _interp->lanes(); }
+    BitVector readLane(ProbeHandle handle, unsigned lane) const override;
+    Status laneStatus(unsigned lane) const override;
+    uint64_t laneCycle(unsigned lane) const override;
+    std::string laneFailureMessage(unsigned lane) const override;
+    const std::vector<std::string> &
+    laneDisplayLog(unsigned lane) const override;
+
     // Checkpoint/restore (cap::kSnapshot when the interpreter
-    // supports it): one "isa"-family section in the canonical format
-    // (see isa::InterpreterBase::saveState).
+    // supports it): one "isa"-family section per lane in the
+    // canonical format (see isa::InterpreterBase::saveLaneState).
     void save(Snapshot &out) const override;
     void restore(const Snapshot &snapshot) override;
     /** Registry plumbing: design identity carried into snapshots.
@@ -208,7 +221,22 @@ class IsaEngine : public ProbedEngine
         _host = host;
     }
 
+    /** Laned variant: one host per requested lane (each servicing
+     *  its lane's EXPECTs over that lane's global memory, and routing
+     *  laneFailureMessage / laneDisplayLog).  Lane 0's host doubles
+     *  as the scalar host for the un-indexed accessors. */
+    void
+    selfHost(std::shared_ptr<void> context,
+             std::vector<runtime::Host *> lane_hosts)
+    {
+        _context = std::move(context);
+        _laneHosts = std::move(lane_hosts);
+        _host = _laneHosts.empty() ? nullptr : _laneHosts[0];
+    }
+
   private:
+    void checkLane(unsigned lane) const;
+
     std::string _name;
     /// Declared before _owned: the interpreter references program
     /// storage living in _context, so it must be destroyed first.
@@ -217,6 +245,7 @@ class IsaEngine : public ProbedEngine
     isa::InterpreterBase *_interp;
     std::vector<RtlSignal> _signals;
     runtime::Host *_host = nullptr;
+    std::vector<runtime::Host *> _laneHosts;
     uint64_t _designHash = 0;
 };
 

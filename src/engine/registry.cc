@@ -21,6 +21,9 @@ struct ProgramContext
     compiler::CompileResult compiled; ///< unused by the program overload
     isa::MachineConfig config;
     std::unique_ptr<runtime::Host> host;
+    /// Ensemble path: one host per requested lane, each bound to its
+    /// lane's global memory (laneHosts[0] doubles as the scalar host).
+    std::vector<std::unique_ptr<runtime::Host>> laneHosts;
 };
 
 [[noreturn]] void
@@ -29,6 +32,26 @@ unknownEngine(const std::string &name)
     MANTICORE_FATAL("no such engine: ", name,
                     " (registered engines: ", formatNameList(names()),
                     ")");
+}
+
+/** Registry names of the engines whose EngineInfo advertises
+ *  cap::kEnsemble (for the lanes-rejection diagnostic). */
+std::vector<std::string>
+ensembleEngineNames()
+{
+    std::vector<std::string> out;
+    for (const EngineInfo &info : list())
+        if (info.caps & cap::kEnsemble)
+            out.push_back(info.name);
+    return out;
+}
+
+[[noreturn]] void
+rejectLanes(const std::string &name, unsigned lanes)
+{
+    MANTICORE_FATAL("engine ", name, " has no ensemble mode (lanes=",
+                    lanes, "); ensemble engines: ",
+                    formatNameList(ensembleEngineNames()));
 }
 
 /** Wire an ISA-level adapter to its Host and context.  The adapter
@@ -48,12 +71,40 @@ finishSelfHosted(std::unique_ptr<Adapter> adapter,
     return adapter;
 }
 
+/** Ensemble variant of finishSelfHosted: one Host per requested lane,
+ *  each servicing its lane's EXPECTs against that lane's global
+ *  memory through the interpreter's lane-aware exception hook. */
+std::unique_ptr<Engine>
+finishSelfHostedLaned(std::unique_ptr<IsaEngine> adapter,
+                      std::shared_ptr<ProgramContext> ctx,
+                      const isa::Program &program)
+{
+    isa::InterpreterBase &interp = adapter->interpreter();
+    std::vector<runtime::Host *> hosts;
+    for (unsigned l = 0; l < interp.lanes(); ++l) {
+        ctx->laneHosts.push_back(std::make_unique<runtime::Host>(
+            program, interp.globalMemoryLane(l)));
+        hosts.push_back(ctx->laneHosts.back().get());
+    }
+    interp.onExceptionLane = [hosts](unsigned lane, uint32_t pid,
+                                     uint16_t eid) {
+        return hosts[lane]->service(pid, eid);
+    };
+    // Lane 0's host also covers the scalar onException path (unused
+    // while onExceptionLane is set, but keeps wrap()-style callers
+    // that clear the lane hook working).
+    hosts[0]->attach(*adapter);
+    adapter->selfHost(std::move(ctx), std::move(hosts));
+    return adapter;
+}
+
 std::unique_ptr<Engine>
 createIsaLevel(const std::string &name,
                std::shared_ptr<ProgramContext> ctx,
                const isa::Program &program,
                const isa::MachineConfig &config,
-               std::vector<RtlSignal> signals, uint64_t design_hash)
+               std::vector<RtlSignal> signals, uint64_t design_hash,
+               unsigned lanes)
 {
     if (name == "machine") {
         auto adapter = std::make_unique<MachineEngine>(
@@ -68,11 +119,14 @@ createIsaLevel(const std::string &name,
         !isa::parseExecMode(name.substr(4), mode))
         unknownEngine(name);
     auto adapter = std::make_unique<IsaEngine>(
-        name, isa::makeInterpreter(program, config, mode),
+        name, isa::makeInterpreter(program, config, mode, lanes),
         std::move(signals));
     // Design identity for snapshots; 0 (= unknown, hash check skipped)
     // on the program-only create() path where no netlist exists.
     adapter->setDesignHash(design_hash);
+    if (adapter->interpreter().lanes() > 1)
+        return finishSelfHostedLaned(std::move(adapter), std::move(ctx),
+                                     program);
     isa::GlobalMemory &global = adapter->interpreter().globalMemory();
     return finishSelfHosted(std::move(adapter), std::move(ctx), program,
                             global);
@@ -116,8 +170,9 @@ list()
              false, kIsaCaps},
             {"isa.tape",
              "flat pre-decoded ISA op tape with fused dispatch (untimed; "
-             "batched step(n) runs the whole batch per call)",
-             false, kIsaCaps | cap::kBatchedStep},
+             "batched step(n) runs the whole batch per call; lanes > 1 "
+             "runs an N-wide SIMD ensemble)",
+             false, kIsaCaps | cap::kBatchedStep | cap::kEnsemble},
             {"machine",
              "cycle-level grid model: static schedule, torus NoC, global "
              "stalls, perf counters",
@@ -165,16 +220,14 @@ create(const std::string &name, const netlist::Netlist &netlist,
     if (!info)
         unknownEngine(name);
 
-    // The top-level lanes shorthand overrides eval.lanes when set;
-    // only the compiled netlist engines can run an ensemble.
+    // The top-level lanes shorthand overrides eval.lanes when set; the
+    // rejection is caps-driven, so an engine gaining an ensemble mode
+    // only has to advertise cap::kEnsemble in its EngineInfo.
     netlist::EvalOptions eval = options.eval;
     if (options.lanes != 1)
         eval.lanes = options.lanes;
-    if (eval.lanes != 1 && name != "netlist.compiled" &&
-        name != "netlist.parallel")
-        MANTICORE_FATAL("engine ", name, " has no ensemble mode (lanes=",
-                        eval.lanes, "); ensemble engines: "
-                        "netlist.compiled, netlist.parallel");
+    if (eval.lanes != 1 && !(info->caps & cap::kEnsemble))
+        rejectLanes(name, eval.lanes);
 
     if (info->netlistLevel) {
         netlist::EvalMode mode;
@@ -193,12 +246,14 @@ create(const std::string &name, const netlist::Netlist &netlist,
     const isa::MachineConfig &config = ctx->config;
     std::vector<RtlSignal> signals = rtlSignals(netlist, ctx->compiled);
     return createIsaLevel(name, std::move(ctx), program, config,
-                          std::move(signals), designHash(netlist));
+                          std::move(signals), designHash(netlist),
+                          eval.lanes);
 }
 
 std::unique_ptr<Engine>
 create(const std::string &name, const isa::Program &program,
-       const isa::MachineConfig &config, std::vector<RtlSignal> signals)
+       const isa::MachineConfig &config, std::vector<RtlSignal> signals,
+       unsigned lanes)
 {
     const EngineInfo *info = find(name);
     if (!info)
@@ -206,9 +261,11 @@ create(const std::string &name, const isa::Program &program,
     if (info->netlistLevel)
         MANTICORE_FATAL("engine ", name, " is netlist-level: create it "
                         "from a netlist, not a compiled program");
+    if (lanes != 1 && !(info->caps & cap::kEnsemble))
+        rejectLanes(name, lanes);
     return createIsaLevel(name, std::make_shared<ProgramContext>(),
                           program, config, std::move(signals),
-                          /*design_hash=*/0);
+                          /*design_hash=*/0, lanes);
 }
 
 } // namespace manticore::engine

@@ -78,10 +78,10 @@ struct CreateOptions
 {
     /// Ensemble width: one engine advancing N decoupled simulations
     /// per step — `engine::create("netlist.compiled", nl, {.lanes=N})`.
-    /// Only the compiled netlist engines (netlist.compiled,
-    /// netlist.parallel) have an ensemble mode; any other engine
-    /// rejects lanes != 1 with a fatal().  Shorthand for (and, when
-    /// != 1, overriding) eval.lanes.
+    /// Only engines advertising cap::kEnsemble (netlist.compiled,
+    /// netlist.parallel, isa.tape) have an ensemble mode; any other
+    /// engine rejects lanes != 1 with a fatal() listing them.
+    /// Shorthand for (and, when != 1, overriding) eval.lanes.
     unsigned lanes = 1;
     /// netlist.parallel knobs (worker count, merge strategy, wait
     /// policy) and the compiled engines' lane count.
@@ -102,11 +102,13 @@ std::unique_ptr<Engine> create(const std::string &name,
 /** Create an ISA-level engine over an already-compiled program (the
  *  program and config must outlive the engine).  Pass the signal
  *  table from rtlSignals() to enable RTL probes; netlist-level names
- *  are rejected. */
+ *  are rejected.  lanes > 1 requests an ensemble (cap::kEnsemble
+ *  engines only — currently isa.tape at this level). */
 std::unique_ptr<Engine> create(const std::string &name,
                                const isa::Program &program,
                                const isa::MachineConfig &config,
-                               std::vector<RtlSignal> signals = {});
+                               std::vector<RtlSignal> signals = {},
+                               unsigned lanes = 1);
 
 /** The three-lines-to-simulate convenience: build an engine over a
  *  design and run it.

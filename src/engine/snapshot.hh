@@ -16,11 +16,13 @@
  *    netlist.aot and across lane counts (that is what forkLanes
  *    exploits).
  *
- *  - family "isa": exactly one section — per-process register files
+ *  - family "isa": one section per lane — per-process register files
  *    (16-bit value + carry), scratchpads, predicate flags, the global
  *    memory pages, pending message buffer, and the run counters.
  *    Portable between isa.reference and isa.tape (both size their
- *    register files through exec::registerFileSizes).
+ *    register files through exec::registerFileSizes) and across lane
+ *    counts (a lane section from an isa.tape ensemble restores on a
+ *    scalar engine and vice versa — forkLanes works here too).
  *
  * The header carries a format version, the saving engine's registry
  * name, the lane count, and a structural hash of the design, so a
@@ -59,8 +61,7 @@ struct Snapshot
     /// saving engine did not know it (bare wrap() adapters).  Restore
     /// rejects two differing non-zero hashes.
     uint64_t designHash = 0;
-    /// Number of sections (== saving engine's lane count for the
-    /// netlist family, 1 for the isa family).
+    /// Number of sections (== the saving engine's lane count).
     unsigned lanes = 1;
     /// Engine-level cycle (most-advanced lane) at save time.
     uint64_t cycle = 0;

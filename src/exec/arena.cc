@@ -1,6 +1,6 @@
-#include "netlist/arena.hh"
+#include "exec/arena.hh"
 
-namespace manticore::netlist {
+namespace manticore::exec {
 
 namespace lo = ::manticore::limbops;
 
@@ -26,4 +26,4 @@ Arena::broadcast(uint32_t slot, const BitVector &value)
                   lo::nlimbs(value.width()), _lanes);
 }
 
-} // namespace manticore::netlist
+} // namespace manticore::exec

@@ -1,0 +1,97 @@
+#include "exec/lane_kernels.hh"
+
+#include "support/limbops.hh"
+
+// Compiled into the manticore_simd target with the host's full SIMD
+// flags and WITHOUT sanitizer instrumentation (instrumented stores
+// defeat the vectoriser); see CMakeLists.txt.  noinline keeps every
+// instantiation behind its own symbol for tools/check_vectorized.
+
+namespace manticore::exec {
+
+namespace lo = ::manticore::limbops;
+
+#define MANTICORE_NOINLINE __attribute__((noinline))
+
+#define MANTICORE_DEFINE_LANE_KERNELS(W)                                    \
+    MANTICORE_NOINLINE void lanedAdd##W(                                    \
+        uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t mask)   \
+    {                                                                       \
+        lo::addN<W>(d, a, b, mask, W);                                      \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedSub##W(                                    \
+        uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t mask)   \
+    {                                                                       \
+        lo::subN<W>(d, a, b, mask, W);                                      \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedMul##W(                                    \
+        uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t mask)   \
+    {                                                                       \
+        lo::mulN<W>(d, a, b, mask, W);                                      \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedAnd##W(uint64_t *d, const uint64_t *a,     \
+                                        const uint64_t *b)                  \
+    {                                                                       \
+        lo::andN<W>(d, a, b, W);                                            \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedOr##W(uint64_t *d, const uint64_t *a,      \
+                                       const uint64_t *b)                   \
+    {                                                                       \
+        lo::orN<W>(d, a, b, W);                                             \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedXor##W(uint64_t *d, const uint64_t *a,     \
+                                        const uint64_t *b)                  \
+    {                                                                       \
+        lo::xorN<W>(d, a, b, W);                                            \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedNot##W(uint64_t *d, const uint64_t *a,     \
+                                        uint64_t mask)                      \
+    {                                                                       \
+        lo::notN<W>(d, a, mask, W);                                         \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedEq##W(uint64_t *d, const uint64_t *a,      \
+                                       const uint64_t *b)                   \
+    {                                                                       \
+        lo::eqN<W>(d, a, b, W);                                             \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedUlt##W(uint64_t *d, const uint64_t *a,     \
+                                        const uint64_t *b)                  \
+    {                                                                       \
+        lo::ultN<W>(d, a, b, W);                                            \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedSlt##W(                                    \
+        uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t sbit)   \
+    {                                                                       \
+        lo::sltN<W>(d, a, b, sbit, W);                                      \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedMux##W(uint64_t *d, const uint64_t *sel,   \
+                                        const uint64_t *t,                  \
+                                        const uint64_t *e)                  \
+    {                                                                       \
+        lo::muxN<W>(d, sel, t, e, W);                                       \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedSlice##W(uint64_t *d, const uint64_t *a,   \
+                                          unsigned lo_bit, uint64_t mask)   \
+    {                                                                       \
+        lo::sliceN<W>(d, a, lo_bit, mask, W);                               \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedConcat##W(                                 \
+        uint64_t *d, const uint64_t *hi, const uint64_t *lo_, unsigned lw)  \
+    {                                                                       \
+        lo::concatN<W>(d, hi, lo_, lw, W);                                  \
+    }                                                                       \
+    MANTICORE_NOINLINE void lanedSext##W(uint64_t *d, const uint64_t *a,    \
+                                         unsigned aw, uint64_t mask)        \
+    {                                                                       \
+        lo::sextN<W>(d, a, aw, mask, W);                                    \
+    }
+
+MANTICORE_DEFINE_LANE_KERNELS(2)
+MANTICORE_DEFINE_LANE_KERNELS(4)
+MANTICORE_DEFINE_LANE_KERNELS(8)
+MANTICORE_DEFINE_LANE_KERNELS(16)
+
+#undef MANTICORE_DEFINE_LANE_KERNELS
+#undef MANTICORE_NOINLINE
+
+} // namespace manticore::exec

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Named instantiations of the laned limb kernels, one symbol per
+ * (op, ensemble width) pair — the vectorisation witness for
+ * tools/check_vectorized.
+ *
+ * The tape executors inline the same limbops templates into their
+ * dispatch loops, where objdump cannot attribute vector instructions
+ * to a particular kernel.  This translation unit (compiled with the
+ * identical SIMD flags — see the manticore_simd target in
+ * CMakeLists.txt) pins each instantiation behind a non-inlined,
+ * demangleable symbol so the checker can disassemble exactly the
+ * loop the ensembles run and fail the build if a width compiles to
+ * scalar code.  The symbols are also handy in perf profiles.
+ */
+
+#ifndef MANTICORE_EXEC_LANE_KERNELS_HH
+#define MANTICORE_EXEC_LANE_KERNELS_HH
+
+#include <cstdint>
+
+namespace manticore::exec {
+
+// One block of kernels per instantiated ensemble width W (the widths
+// exec::paddedLaneCount pads every request to).  d/a/b are
+// lane-strided arena blocks of W consecutive limbs.
+#define MANTICORE_DECLARE_LANE_KERNELS(W)                                   \
+    void lanedAdd##W(uint64_t *d, const uint64_t *a, const uint64_t *b,     \
+                     uint64_t mask);                                        \
+    void lanedSub##W(uint64_t *d, const uint64_t *a, const uint64_t *b,     \
+                     uint64_t mask);                                        \
+    void lanedMul##W(uint64_t *d, const uint64_t *a, const uint64_t *b,     \
+                     uint64_t mask);                                        \
+    void lanedAnd##W(uint64_t *d, const uint64_t *a, const uint64_t *b);    \
+    void lanedOr##W(uint64_t *d, const uint64_t *a, const uint64_t *b);     \
+    void lanedXor##W(uint64_t *d, const uint64_t *a, const uint64_t *b);    \
+    void lanedNot##W(uint64_t *d, const uint64_t *a, uint64_t mask);        \
+    void lanedEq##W(uint64_t *d, const uint64_t *a, const uint64_t *b);     \
+    void lanedUlt##W(uint64_t *d, const uint64_t *a, const uint64_t *b);    \
+    void lanedSlt##W(uint64_t *d, const uint64_t *a, const uint64_t *b,     \
+                     uint64_t sbit);                                        \
+    void lanedMux##W(uint64_t *d, const uint64_t *sel, const uint64_t *t,   \
+                     const uint64_t *e);                                    \
+    void lanedSlice##W(uint64_t *d, const uint64_t *a, unsigned lo,         \
+                       uint64_t mask);                                      \
+    void lanedConcat##W(uint64_t *d, const uint64_t *hi,                    \
+                        const uint64_t *lo_, unsigned lw);                  \
+    void lanedSext##W(uint64_t *d, const uint64_t *a, unsigned aw,          \
+                      uint64_t mask);
+
+MANTICORE_DECLARE_LANE_KERNELS(2)
+MANTICORE_DECLARE_LANE_KERNELS(4)
+MANTICORE_DECLARE_LANE_KERNELS(8)
+MANTICORE_DECLARE_LANE_KERNELS(16)
+
+#undef MANTICORE_DECLARE_LANE_KERNELS
+
+} // namespace manticore::exec
+
+#endif // MANTICORE_EXEC_LANE_KERNELS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Per-lane run state shared by every ensemble-capable engine.
+ *
+ * An ensemble advances N decoupled simulations ("lanes") in lockstep.
+ * Each lane carries its own cycle count, terminal status, failure
+ * message and display transcript; a lane that reaches a terminal
+ * status is *frozen* — its state stops advancing while the other
+ * lanes continue.  These types used to live inside src/netlist/, but
+ * the lane model is engine-family-neutral (the ISA tape interpreter
+ * runs the same lockstep shape over its flat register files), so they
+ * live here in the shared lane-execution layer.
+ */
+
+#ifndef MANTICORE_EXEC_LANE_STATE_HH
+#define MANTICORE_EXEC_LANE_STATE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace manticore::exec {
+
+enum class SimStatus
+{
+    Ok,           ///< still running
+    Finished,     ///< a $finish fired
+    AssertFailed, ///< an assertion failed
+};
+
+/** One ensemble lane's run state.  Kept as a single block per lane so
+ *  the scalar hot path pays one pointer chase for the whole
+ *  cycle/status/transcript bundle. */
+struct LaneState
+{
+    uint64_t cycle = 0;
+    SimStatus status = SimStatus::Ok;
+    size_t logMark = 0; ///< display-log rollback mark on throw
+    std::string failureMessage;
+    std::vector<std::string> displayLog;
+};
+
+} // namespace manticore::exec
+
+#endif // MANTICORE_EXEC_LANE_STATE_HH

@@ -60,6 +60,93 @@ InterpreterBase::restoreState(support::ByteReader &)
                     "snapshot support");
 }
 
+// ---- ensemble-view defaults: the 1-lane degenerate case --------------
+
+#define MANTICORE_LANE0(lane) \
+    MANTICORE_ASSERT((lane) == 0, "lane ", lane, \
+                     " out of range on a scalar interpreter")
+
+RunStatus
+InterpreterBase::laneStatus(unsigned lane) const
+{
+    MANTICORE_LANE0(lane);
+    return status();
+}
+
+uint64_t
+InterpreterBase::laneVcycle(unsigned lane) const
+{
+    MANTICORE_LANE0(lane);
+    return vcycle();
+}
+
+uint16_t
+InterpreterBase::regValueLane(unsigned lane, uint32_t pid, Reg reg) const
+{
+    MANTICORE_LANE0(lane);
+    return regValue(pid, reg);
+}
+
+bool
+InterpreterBase::regCarryLane(unsigned lane, uint32_t pid, Reg reg) const
+{
+    MANTICORE_LANE0(lane);
+    return regCarry(pid, reg);
+}
+
+uint16_t
+InterpreterBase::scratchValueLane(unsigned lane, uint32_t pid,
+                                  uint32_t addr) const
+{
+    MANTICORE_LANE0(lane);
+    return scratchValue(pid, addr);
+}
+
+GlobalMemory &
+InterpreterBase::globalMemoryLane(unsigned lane)
+{
+    MANTICORE_LANE0(lane);
+    return globalMemory();
+}
+
+const GlobalMemory &
+InterpreterBase::globalMemoryLane(unsigned lane) const
+{
+    MANTICORE_LANE0(lane);
+    return globalMemory();
+}
+
+uint64_t
+InterpreterBase::laneInstructionsExecuted(unsigned lane) const
+{
+    MANTICORE_LANE0(lane);
+    return instructionsExecuted();
+}
+
+uint64_t
+InterpreterBase::laneSendsExecuted(unsigned lane) const
+{
+    MANTICORE_LANE0(lane);
+    return sendsExecuted();
+}
+
+void
+InterpreterBase::saveLaneState(unsigned lane,
+                               support::ByteWriter &w) const
+{
+    MANTICORE_LANE0(lane);
+    saveState(w);
+}
+
+void
+InterpreterBase::restoreLaneState(unsigned lane, support::ByteReader &r)
+{
+    MANTICORE_LANE0(lane);
+    restoreState(r);
+}
+
+#undef MANTICORE_LANE0
+
 void
 Interpreter::saveState(support::ByteWriter &w) const
 {

@@ -159,6 +159,33 @@ class InterpreterBase
      *  exception.  The runtime::Host installs the real servicing. */
     std::function<HostAction(uint32_t pid, uint16_t eid)> onException;
 
+    // ---- ensemble views -------------------------------------------
+    // An interpreter may advance N decoupled simulations ("lanes") per
+    // Vcycle (currently only the tape engine, see tape_interpreter.hh).
+    // Lane 0 is always the scalar API above; every default below is
+    // the 1-lane degenerate case, so scalar engines need no overrides.
+
+    /** Ensemble width (1 for scalar engines). */
+    virtual unsigned lanes() const { return 1; }
+    virtual RunStatus laneStatus(unsigned lane) const;
+    virtual uint64_t laneVcycle(unsigned lane) const;
+    virtual uint16_t regValueLane(unsigned lane, uint32_t pid,
+                                  Reg reg) const;
+    virtual bool regCarryLane(unsigned lane, uint32_t pid,
+                              Reg reg) const;
+    virtual uint16_t scratchValueLane(unsigned lane, uint32_t pid,
+                                      uint32_t addr) const;
+    virtual GlobalMemory &globalMemoryLane(unsigned lane);
+    virtual const GlobalMemory &globalMemoryLane(unsigned lane) const;
+    virtual uint64_t laneInstructionsExecuted(unsigned lane) const;
+    virtual uint64_t laneSendsExecuted(unsigned lane) const;
+
+    /** Lane-aware EXPECT servicing: when set, a laned interpreter
+     *  calls this INSTEAD of onException so the host can consult the
+     *  raising lane's global memory.  Scalar engines ignore it. */
+    std::function<HostAction(unsigned lane, uint32_t pid, uint16_t eid)>
+        onExceptionLane;
+
     // ---- checkpoint/restore (engine::Snapshot plumbing) -----------
     // One canonical byte format for the whole ISA family: per-process
     // register files (16-bit value + carry), scratchpads, predicate
@@ -175,6 +202,16 @@ class InterpreterBase
     /** Restore from the canonical format; geometry mismatches
      *  (process count, register-file sizes) are a loud fatal(). */
     virtual void restoreState(support::ByteReader &r);
+
+    /** Serialize ONE lane in the same canonical per-lane byte format
+     *  saveState writes for a scalar engine, so a lane section taken
+     *  from an N-lane engine restores on a 1-lane engine of either
+     *  family and vice versa.  A laned saveState is exactly the
+     *  requested lanes' sections concatenated in lane order. */
+    virtual void saveLaneState(unsigned lane,
+                               support::ByteWriter &w) const;
+    virtual void restoreLaneState(unsigned lane,
+                                  support::ByteReader &r);
 };
 
 /** Which functional engine makeInterpreter() should build. */
@@ -192,10 +229,13 @@ bool parseExecMode(const std::string &name, ExecMode &mode);
 
 /** Build an interpreter over the program in the given mode.  The
  *  program and config must outlive the interpreter (same contract as
- *  the direct constructors). */
+ *  the direct constructors).  lanes > 1 requests an N-lane ensemble:
+ *  only the tape engine supports it (the reference interpreter is
+ *  deliberately kept scalar), and it caps at 16 lanes — both limits
+ *  are a loud fatal(). */
 std::unique_ptr<InterpreterBase>
 makeInterpreter(const Program &program, const MachineConfig &config,
-                ExecMode mode);
+                ExecMode mode, unsigned lanes = 1);
 
 class Interpreter : public InterpreterBase
 {

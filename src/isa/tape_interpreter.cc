@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "exec/padding.hh"
 #include "isa/exec_semantics.hh"
 #include "support/bytestream.hh"
+#include "support/limbops.hh" // MANTICORE_LANED
 #include "support/logging.hh"
 
 namespace manticore::isa {
@@ -34,13 +36,19 @@ parseExecMode(const std::string &name, ExecMode &mode)
 
 std::unique_ptr<InterpreterBase>
 makeInterpreter(const Program &program, const MachineConfig &config,
-                ExecMode mode)
+                ExecMode mode, unsigned lanes)
 {
+    MANTICORE_ASSERT(lanes >= 1, "lanes must be >= 1");
     switch (mode) {
       case ExecMode::Reference:
+        if (lanes != 1)
+            MANTICORE_FATAL("the reference interpreter is scalar-only "
+                            "(lanes=", lanes, " requested); use the "
+                            "tape engine for ensembles");
         return std::make_unique<Interpreter>(program, config);
       case ExecMode::Tape:
-        return std::make_unique<TapeInterpreter>(program, config);
+        return std::make_unique<TapeInterpreter>(program, config,
+                                                 lanes);
     }
     MANTICORE_PANIC("bad ExecMode");
 }
@@ -108,14 +116,24 @@ static_assert(kNumBase == static_cast<int>(Opcode::NumOpcodes) - 1,
 } // namespace
 
 TapeInterpreter::TapeInterpreter(const Program &program,
-                                 const MachineConfig &config)
-    : _program(program), _config(config)
+                                 const MachineConfig &config,
+                                 unsigned lanes)
+    : _program(program), _config(config), _lanes(lanes),
+      _padded(manticore::exec::paddedLaneCount(lanes))
 {
     validate(program, config);
+    MANTICORE_ASSERT(lanes >= 1, "lanes must be >= 1");
+    if (lanes > 16)
+        MANTICORE_FATAL("isa.tape ensembles cap at 16 lanes (",
+                        lanes, " requested): the executor instantiates "
+                        "fixed-width masked lane loops");
 
     // One flat register array for all processes; slot 0 is a shared
     // constant zero that absent (kNoReg) operands resolve to, so the
-    // hot loop needs no bounds or presence checks.
+    // hot loop needs no bounds or presence checks.  Every stateful
+    // array is lane-strided by _padded (element i of lane l at
+    // i * _padded + l); at width 1 that IS the scalar layout.
+    const size_t P = _padded;
     std::vector<uint32_t> sizes = ex::registerFileSizes(program);
     size_t num_procs = program.processes.size();
     _regBase.resize(num_procs);
@@ -126,23 +144,48 @@ TapeInterpreter::TapeInterpreter(const Program &program,
         _regCount[i] = sizes[i];
         next += sizes[i];
     }
-    _regs.assign(next, 0);
-    _scratch.assign(static_cast<size_t>(num_procs) * config.scratchSize,
+    _regs.assign(next * P, 0);
+    _scratch.assign(static_cast<size_t>(num_procs) *
+                        config.scratchSize * P,
                     0);
-    _pred.assign(num_procs, 0);
+    _pred.assign(num_procs * P, 0);
 
+    // Broadcast the initial state across all lanes, padding included
+    // (padded lanes never commit, but their slots are read by the
+    // masked lane loops and must hold deterministic values).
     for (size_t i = 0; i < num_procs; ++i) {
         const Process &p = program.processes[i];
         for (const auto &[reg, v] : p.init)
-            _regs[_regBase[i] + reg] = v;
+            for (size_t l = 0; l < P; ++l)
+                _regs[(_regBase[i] + reg) * P + l] = v;
         for (size_t a = 0; a < p.scratchInit.size(); ++a)
-            _scratch[i * config.scratchSize + a] = p.scratchInit[a];
+            for (size_t l = 0; l < P; ++l)
+                _scratch[(i * config.scratchSize + a) * P + l] =
+                    p.scratchInit[a];
     }
-    for (const auto &[addr, value] : program.globalInit)
-        _global.write(addr, value);
+    if (P == 1) {
+        for (const auto &[addr, value] : program.globalInit)
+            _global.write(addr, value);
+    } else {
+        _laneGlobal.resize(P);
+        for (auto &g : _laneGlobal)
+            for (const auto &[addr, value] : program.globalInit)
+                g.write(addr, value);
+        _laneVcycle.assign(P, 0);
+        _laneStatus.assign(P, RunStatus::Running);
+        _laneInstret.assign(P, 0);
+        _laneSends.assign(P, 0);
+        for (size_t l = _lanes; l < P; ++l)
+            _laneStatus[l] = RunStatus::Finished; // padding: born frozen
+    }
 
     for (uint32_t pid = 0; pid < num_procs; ++pid)
         lowerProcess(pid, program);
+
+    // The SEND message buffer is lane-strided too (message i of lane
+    // l at i * P + l); lowering reserved one scalar entry per SEND.
+    if (P > 1)
+        _epilogue.values.assign(_epilogue.slots.size() * P, 0);
 }
 
 void
@@ -258,6 +301,7 @@ TapeInterpreter::lowerProcess(uint32_t pid, const Program &program)
     //    dependent neighbours need no special casing.
     size_t range_begin = _ops.size();
     uint32_t covered = 0;
+    uint32_t covered_sends = 0;
     size_t i = 0, n = lowered.size();
     while (i < n) {
         uint8_t code = lowered[i].code;
@@ -272,9 +316,13 @@ TapeInterpreter::lowerProcess(uint32_t pid, const Program &program)
             head.run = static_cast<uint16_t>(run);
             _ops.push_back(head);
             _instrPrefix.push_back(++covered);
+            covered_sends += code == kSend;
+            _sendPrefix.push_back(covered_sends);
             for (size_t t = 1; t < run; ++t) {
                 _ops.push_back(lowered[i + t]);
                 _instrPrefix.push_back(++covered);
+                covered_sends += code == kSend;
+                _sendPrefix.push_back(covered_sends);
             }
             ++_dispatches;
             i += run;
@@ -298,6 +346,8 @@ TapeInterpreter::lowerProcess(uint32_t pid, const Program &program)
             _ops.push_back(fused);
             covered += 2;
             _instrPrefix.push_back(covered);
+            covered_sends += (code == kSend) + (s.code == kSend);
+            _sendPrefix.push_back(covered_sends);
             ++_dispatches;
             i += 2;
         } else if (run == 2) {
@@ -306,13 +356,19 @@ TapeInterpreter::lowerProcess(uint32_t pid, const Program &program)
             head.run = 2;
             _ops.push_back(head);
             _instrPrefix.push_back(++covered);
+            covered_sends += code == kSend;
+            _sendPrefix.push_back(covered_sends);
             _ops.push_back(lowered[i + 1]);
             _instrPrefix.push_back(++covered);
+            covered_sends += code == kSend;
+            _sendPrefix.push_back(covered_sends);
             ++_dispatches;
             i += 2;
         } else {
             _ops.push_back(lowered[i]);
             _instrPrefix.push_back(++covered);
+            covered_sends += code == kSend;
+            _sendPrefix.push_back(covered_sends);
             ++_dispatches;
             ++i;
         }
@@ -323,6 +379,7 @@ TapeInterpreter::lowerProcess(uint32_t pid, const Program &program)
     range.end = static_cast<uint32_t>(_ops.size());
     range.pid = pid;
     range.instrs = covered;
+    range.sends = covered_sends;
     _ranges.push_back(range);
 }
 
@@ -516,12 +573,16 @@ MANTICORE_PAIR_LIST_B(MANTICORE_PAIR_CHECK_B, unused, 0)
 RunStatus
 TapeInterpreter::stepVcycle()
 {
+    if (_padded > 1)
+        return runLaned(1);
     return runBatch(1);
 }
 
 RunStatus
 TapeInterpreter::run(uint64_t max_vcycles)
 {
+    if (_padded > 1)
+        return runLaned(max_vcycles);
     if (_status != RunStatus::Running)
         return _status;
     return runBatch(max_vcycles);
@@ -607,95 +668,666 @@ TapeInterpreter::runBatch(uint64_t max_vcycles)
     return _status;
 }
 
+// ---------------------------------------------------------------------------
+// Laned executor.  Same tape, same dispatch structure; every handler
+// is a fixed-trip lane loop over all P (padded) lanes of its
+// lane-strided operands, so the compiler turns the ALU ops into
+// straight vector code (see tools/check_vectorized).  Freezing is a
+// per-lane blend mask: act[l] is all-ones while lane l runs and zero
+// once it finished / failed / is padding, and every architectural
+// write blends through it — d[l] = (r & act[l]) | (d[l] & ~act[l]) —
+// so a frozen lane recomputes harmlessly and never changes state.
+// Value-dependent addressing (scratch, global memory) stays scalar
+// per lane behind an explicit act test; EXPECT is custom-cased like
+// the scalar executor, servicing per lane through onExceptionLane.
+// ---------------------------------------------------------------------------
+
+#define EXECL_LOOP \
+    MANTICORE_LANED \
+    for (unsigned l = 0; l < P; ++l)
+#define EXECL_R(X) (regs + static_cast<size_t>(X) * P)
+#define EXECL_BLEND(D, R) \
+    (D) = ((R) & act[l]) | ((D) & ~act[l])
+
+#define EXECL_Set(S) \
+    { \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        const uint32_t imm_ = op->imm##S; \
+        EXECL_LOOP EXECL_BLEND(d_[l], imm_); \
+    }
+#define EXECL_Mov(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND(d_[l], ex::value(a_[l])); \
+    }
+#define EXECL_Add(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], \
+            ex::addCarry(ex::value(a_[l]), ex::value(b_[l]), 0)); \
+    }
+#define EXECL_Addc(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        const uint32_t *c_ = EXECL_R(op->c##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], ex::addCarry(ex::value(a_[l]), ex::value(b_[l]), \
+                                ex::carryIn(c_[l]))); \
+    }
+#define EXECL_Sub(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], \
+            ex::subBorrow(ex::value(a_[l]), ex::value(b_[l]), 0)); \
+    }
+#define EXECL_Subb(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        const uint32_t *c_ = EXECL_R(op->c##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], ex::subBorrow(ex::value(a_[l]), ex::value(b_[l]), \
+                                 ex::carryIn(c_[l]))); \
+    }
+#define EXECL_Mul(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], ex::mulLow(ex::value(a_[l]), ex::value(b_[l]))); \
+    }
+#define EXECL_Mulh(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], ex::mulHigh(ex::value(a_[l]), ex::value(b_[l]))); \
+    }
+#define EXECL_And(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], static_cast<uint32_t>(ex::value(a_[l]) & \
+                                         ex::value(b_[l]))); \
+    }
+#define EXECL_Or(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], static_cast<uint32_t>(ex::value(a_[l]) | \
+                                         ex::value(b_[l]))); \
+    }
+#define EXECL_Xor(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], static_cast<uint32_t>(ex::value(a_[l]) ^ \
+                                         ex::value(b_[l]))); \
+    }
+#define EXECL_Sll(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], \
+            ex::shiftLeft(ex::value(a_[l]), ex::value(b_[l]))); \
+    }
+#define EXECL_Srl(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], \
+            ex::shiftRight(ex::value(a_[l]), ex::value(b_[l]))); \
+    }
+#define EXECL_Seq(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], \
+            ex::value(a_[l]) == ex::value(b_[l]) ? 1u : 0u); \
+    }
+#define EXECL_Sltu(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], ex::value(a_[l]) < ex::value(b_[l]) ? 1u : 0u); \
+    }
+#define EXECL_Slts(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], ex::lessSigned(ex::value(a_[l]), \
+                                  ex::value(b_[l])) \
+                       ? 1u \
+                       : 0u); \
+    }
+#define EXECL_Mux(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        const uint32_t *c_ = EXECL_R(op->c##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        EXECL_LOOP EXECL_BLEND(d_[l], \
+                               ex::predicate(a_[l]) \
+                                   ? ex::value(b_[l]) \
+                                   : ex::value(c_[l])); \
+    }
+#define EXECL_Slice(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        const unsigned sh_ = op->shift##S; \
+        const uint16_t m_ = op->mask##S; \
+        EXECL_LOOP EXECL_BLEND( \
+            d_[l], ex::sliceExtract(ex::value(a_[l]), sh_, m_)); \
+    }
+#define EXECL_Cust(S) \
+    { \
+        const uint16_t *m_ = cfu_masks + op->aux##S; \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        const uint32_t *c_ = EXECL_R(op->c##S); \
+        const uint32_t *e_ = EXECL_R(op->d##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        for (unsigned l = 0; l < P; ++l) \
+            EXECL_BLEND(d_[l], \
+                        applyCfuMasks(m_, ex::value(a_[l]), \
+                                      ex::value(b_[l]), \
+                                      ex::value(c_[l]), \
+                                      ex::value(e_[l]))); \
+    }
+#define EXECL_Lld(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        for (unsigned l = 0; l < P; ++l) { \
+            if (!act[l]) \
+                continue; \
+            uint32_t addr_ = ex::scratchAddress( \
+                ex::value(a_[l]), op->imm##S, scratch_size); \
+            d_[l] = scratch[(static_cast<size_t>(op->aux##S) + \
+                             addr_) * \
+                                P + \
+                            l]; \
+        } \
+    }
+#define EXECL_Lst(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        for (unsigned l = 0; l < P; ++l) { \
+            if (!(act[l] & predv[l])) \
+                continue; \
+            uint32_t addr_ = ex::scratchAddress( \
+                ex::value(a_[l]), op->imm##S, scratch_size); \
+            scratch[(static_cast<size_t>(op->aux##S) + addr_) * P + \
+                    l] = ex::value(b_[l]); \
+        } \
+    }
+#define EXECL_Gld(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        uint32_t *d_ = EXECL_R(op->dst##S); \
+        for (unsigned l = 0; l < P; ++l) { \
+            if (!act[l]) \
+                continue; \
+            uint64_t addr_ = ex::globalAddress(ex::value(a_[l]), \
+                                               ex::value(b_[l]), \
+                                               op->imm##S); \
+            d_[l] = globals[l]->read(addr_); \
+        } \
+    }
+#define EXECL_Gst(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        const uint32_t *b_ = EXECL_R(op->b##S); \
+        const uint32_t *c_ = EXECL_R(op->c##S); \
+        for (unsigned l = 0; l < P; ++l) { \
+            if (!(act[l] & predv[l])) \
+                continue; \
+            uint64_t addr_ = ex::globalAddress(ex::value(a_[l]), \
+                                               ex::value(b_[l]), \
+                                               op->imm##S); \
+            globals[l]->write(addr_, ex::value(c_[l])); \
+        } \
+    }
+#define EXECL_Pred(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        EXECL_LOOP EXECL_BLEND(predv[l], \
+                               ex::predicate(a_[l]) ? ~0u : 0u); \
+    }
+#define EXECL_Send(S) \
+    { \
+        const uint32_t *a_ = EXECL_R(op->a##S); \
+        uint16_t *sv_ = \
+            send_values + static_cast<size_t>(op->aux##S) * P; \
+        EXECL_LOOP sv_[l] = ex::value(a_[l]); \
+    }
+
+#define MANTICORE_SINGLE_CASE_L(NAME) \
+    case k##NAME: { \
+        EXECL_##NAME() \
+        ++op; \
+        break; \
+    }
+
+#define MANTICORE_RUN_CASE_L(NAME) \
+    case kRunBase + k##NAME: { \
+        const Op *e2_ = op + op->run; \
+        do { \
+            EXECL_##NAME() \
+        } while (++op != e2_); \
+        break; \
+    }
+
+#define MANTICORE_PAIR_CASE_L(B, IB, A, IA) \
+    case kPairBase + IA *static_cast<int>(kNumPairable) + IB: { \
+        EXECL_##A() \
+        EXECL_##B(2) \
+        ++op; \
+        break; \
+    }
+
+#define MANTICORE_PAIR_ROW_L(A, IA) \
+    MANTICORE_PAIR_LIST_B(MANTICORE_PAIR_CASE_L, A, IA)
+
+template <unsigned P>
+RunStatus
+TapeInterpreter::runBatchLaned(uint64_t max_vcycles)
+{
+    uint32_t *const regs = _regs.data();
+    uint16_t *const scratch = _scratch.data();
+    uint16_t *const send_values = _epilogue.values.data();
+    const uint16_t *const cfu_masks = _cfuMasks.data();
+    const uint32_t scratch_size = _config.scratchSize;
+
+    GlobalMemory *globals[P];
+    for (unsigned l = 0; l < P; ++l)
+        globals[l] = &_laneGlobal[l];
+
+    uint32_t act[P]; ///< all-ones = lane runs, 0 = frozen / padding
+    unsigned active = 0;
+    for (unsigned l = 0; l < P; ++l) {
+        act[l] = _laneStatus[l] == RunStatus::Running ? ~0u : 0u;
+        active += act[l] != 0;
+    }
+    uint8_t fin[P]; ///< Finish-pending: freeze AFTER this Vcycle
+
+    for (uint64_t v = 0; v < max_vcycles && active; ++v) {
+        for (unsigned l = 0; l < P; ++l)
+            fin[l] = 0;
+
+        for (const ProcRange &pr : _ranges) {
+            uint32_t predv[P];
+            for (unsigned l = 0; l < P; ++l)
+                predv[l] =
+                    _pred[static_cast<size_t>(pr.pid) * P + l] ? ~0u
+                                                               : 0u;
+            const Op *op = _ops.data() + pr.begin;
+            const Op *const end = _ops.data() + pr.end;
+
+            while (op != end) {
+                switch (op->code) {
+                  MANTICORE_BASE_LIST(MANTICORE_SINGLE_CASE_L)
+                  MANTICORE_PAIR_LIST_A(MANTICORE_PAIR_ROW_L)
+                  MANTICORE_BASE_LIST(MANTICORE_RUN_CASE_L)
+                  case kExpect: {
+                    const uint32_t *a_ = EXECL_R(op->a);
+                    const uint32_t *b_ = EXECL_R(op->b);
+                    for (unsigned l = 0; l < P; ++l) {
+                        if (!act[l] ||
+                            ex::value(a_[l]) == ex::value(b_[l]))
+                            continue;
+                        HostAction action = HostAction::Finish;
+                        if (onExceptionLane)
+                            action =
+                                onExceptionLane(l, op->aux, op->imm);
+                        else if (onException)
+                            action = onException(op->aux, op->imm);
+                        if (action == HostAction::Finish) {
+                            fin[l] = 1;
+                        } else if (action == HostAction::Fail) {
+                            // Per-lane abort, exactly the scalar
+                            // rules: the failing EXPECT counts toward
+                            // the lane's instret, nothing after it
+                            // runs for the lane, no epilogue, no
+                            // Vcycle increment.
+                            size_t idx_ = op - _ops.data();
+                            act[l] = 0;
+                            fin[l] = 0;
+                            _laneStatus[l] = RunStatus::Failed;
+                            _laneInstret[l] += _instrPrefix[idx_];
+                            _laneSends[l] += _sendPrefix[idx_];
+                            --active;
+                        }
+                    }
+                    ++op;
+                    break;
+                  }
+                  default:
+                    MANTICORE_PANIC("corrupt tape code ", op->code);
+                }
+            }
+
+            for (unsigned l = 0; l < P; ++l)
+                _pred[static_cast<size_t>(pr.pid) * P + l] =
+                    predv[l] ? 1 : 0;
+            for (unsigned l = 0; l < P; ++l) {
+                if (act[l]) {
+                    _laneInstret[l] += pr.instrs;
+                    _laneSends[l] += pr.sends;
+                }
+            }
+        }
+
+        // Vcycle epilogue: buffered messages applied as SETs, masked
+        // so a lane that failed mid-Vcycle keeps its abort-point
+        // state (Finish-pending lanes still apply — they complete
+        // the Vcycle before freezing).
+        const uint32_t *slots = _epilogue.slots.data();
+        for (size_t i = 0; i < _epilogue.slots.size(); ++i) {
+            uint32_t *d_ = regs + static_cast<size_t>(slots[i]) * P;
+            const uint16_t *sv_ = send_values + i * P;
+            MANTICORE_LANED
+            for (unsigned l = 0; l < P; ++l)
+                d_[l] = (sv_[l] & act[l]) | (d_[l] & ~act[l]);
+        }
+
+        for (unsigned l = 0; l < P; ++l) {
+            if (!act[l])
+                continue;
+            ++_laneVcycle[l];
+            if (fin[l]) {
+                _laneStatus[l] = RunStatus::Finished;
+                act[l] = 0;
+                --active;
+            }
+        }
+    }
+    return status();
+}
+
+RunStatus
+TapeInterpreter::runLaned(uint64_t max_vcycles)
+{
+    if (max_vcycles == 0)
+        return status();
+    switch (_padded) {
+      case 2: return runBatchLaned<2>(max_vcycles);
+      case 4: return runBatchLaned<4>(max_vcycles);
+      case 8: return runBatchLaned<8>(max_vcycles);
+      case 16: return runBatchLaned<16>(max_vcycles);
+    }
+    MANTICORE_PANIC("bad padded lane count ", _padded);
+}
+
+uint64_t
+TapeInterpreter::vcycle() const
+{
+    if (_padded == 1)
+        return _vcycle;
+    uint64_t most = 0;
+    for (unsigned l = 0; l < _lanes; ++l)
+        most = std::max(most, _laneVcycle[l]);
+    return most;
+}
+
+uint64_t
+TapeInterpreter::instructionsExecuted() const
+{
+    if (_padded == 1)
+        return _instretNonNop;
+    uint64_t sum = 0;
+    for (unsigned l = 0; l < _lanes; ++l)
+        sum += _laneInstret[l];
+    return sum;
+}
+
+uint64_t
+TapeInterpreter::sendsExecuted() const
+{
+    if (_padded == 1)
+        return _sends;
+    uint64_t sum = 0;
+    for (unsigned l = 0; l < _lanes; ++l)
+        sum += _laneSends[l];
+    return sum;
+}
+
 uint16_t
 TapeInterpreter::regValue(uint32_t pid, Reg reg) const
 {
-    MANTICORE_ASSERT(pid < _regBase.size(), "bad pid ", pid);
-    return reg < _regCount[pid]
-               ? ex::value(_regs[_regBase[pid] + reg])
-               : 0;
+    return regValueLane(0, pid, reg);
 }
 
 bool
 TapeInterpreter::regCarry(uint32_t pid, Reg reg) const
 {
-    MANTICORE_ASSERT(pid < _regBase.size(), "bad pid ", pid);
-    return reg < _regCount[pid] &&
-           (_regs[_regBase[pid] + reg] & ex::kCarryBit);
+    return regCarryLane(0, pid, reg);
 }
 
 uint16_t
 TapeInterpreter::scratchValue(uint32_t pid, uint32_t addr) const
 {
+    return scratchValueLane(0, pid, addr);
+}
+
+#define MANTICORE_LANE_CHECK(lane) \
+    MANTICORE_ASSERT((lane) < _lanes, "lane ", lane, \
+                     " out of range (", _lanes, " lanes)")
+
+RunStatus
+TapeInterpreter::laneStatus(unsigned lane) const
+{
+    MANTICORE_LANE_CHECK(lane);
+    return _padded == 1 ? _status : _laneStatus[lane];
+}
+
+uint64_t
+TapeInterpreter::laneVcycle(unsigned lane) const
+{
+    MANTICORE_LANE_CHECK(lane);
+    return _padded == 1 ? _vcycle : _laneVcycle[lane];
+}
+
+uint16_t
+TapeInterpreter::regValueLane(unsigned lane, uint32_t pid,
+                              Reg reg) const
+{
+    MANTICORE_LANE_CHECK(lane);
+    MANTICORE_ASSERT(pid < _regBase.size(), "bad pid ", pid);
+    return reg < _regCount[pid]
+               ? ex::value(
+                     _regs[static_cast<size_t>(_regBase[pid] + reg) *
+                               _padded +
+                           lane])
+               : 0;
+}
+
+bool
+TapeInterpreter::regCarryLane(unsigned lane, uint32_t pid,
+                              Reg reg) const
+{
+    MANTICORE_LANE_CHECK(lane);
+    MANTICORE_ASSERT(pid < _regBase.size(), "bad pid ", pid);
+    return reg < _regCount[pid] &&
+           (_regs[static_cast<size_t>(_regBase[pid] + reg) * _padded +
+                  lane] &
+            ex::kCarryBit);
+}
+
+uint16_t
+TapeInterpreter::scratchValueLane(unsigned lane, uint32_t pid,
+                                  uint32_t addr) const
+{
+    MANTICORE_LANE_CHECK(lane);
     MANTICORE_ASSERT(pid < _regBase.size() &&
                          addr < _config.scratchSize,
                      "bad scratch access p", pid, "[", addr, "]");
-    return _scratch[static_cast<size_t>(pid) * _config.scratchSize +
-                    addr];
+    return _scratch[(static_cast<size_t>(pid) * _config.scratchSize +
+                     addr) *
+                        _padded +
+                    lane];
 }
 
-// The canonical ISA snapshot format (see InterpreterBase): the flat
-// _regs/_scratch arrays are sliced back into per-process sections so
-// the byte stream is identical to the reference Interpreter's — a
-// snapshot taken on either engine restores on the other.
-void
-TapeInterpreter::saveState(support::ByteWriter &w) const
+GlobalMemory &
+TapeInterpreter::globalMemoryLane(unsigned lane)
 {
+    MANTICORE_LANE_CHECK(lane);
+    return _padded == 1 ? _global : _laneGlobal[lane];
+}
+
+const GlobalMemory &
+TapeInterpreter::globalMemoryLane(unsigned lane) const
+{
+    MANTICORE_LANE_CHECK(lane);
+    return _padded == 1 ? _global : _laneGlobal[lane];
+}
+
+uint64_t
+TapeInterpreter::laneInstructionsExecuted(unsigned lane) const
+{
+    MANTICORE_LANE_CHECK(lane);
+    return _padded == 1 ? _instretNonNop : _laneInstret[lane];
+}
+
+uint64_t
+TapeInterpreter::laneSendsExecuted(unsigned lane) const
+{
+    MANTICORE_LANE_CHECK(lane);
+    return _padded == 1 ? _sends : _laneSends[lane];
+}
+
+// The canonical ISA snapshot format (see InterpreterBase): one
+// per-lane section in the exact byte layout the scalar engines write,
+// so a lane section gathered out of the strided arrays restores on a
+// 1-lane engine of either family and vice versa.  saveState is the
+// requested lanes' sections concatenated in lane order (one section —
+// the historical stream — when scalar).
+void
+TapeInterpreter::saveLaneState(unsigned lane,
+                               support::ByteWriter &w) const
+{
+    MANTICORE_LANE_CHECK(lane);
+    const size_t P = _padded;
     w.u32(static_cast<uint32_t>(_regCount.size()));
+    std::vector<uint32_t> rtmp;
+    std::vector<uint16_t> stmp(_config.scratchSize);
     for (size_t p = 0; p < _regCount.size(); ++p) {
         w.u32(_regCount[p]);
-        w.bytes(_regs.data() + _regBase[p],
-                static_cast<size_t>(_regCount[p]) * sizeof(uint32_t));
+        rtmp.resize(_regCount[p]);
+        for (size_t i = 0; i < rtmp.size(); ++i)
+            rtmp[i] = _regs[(_regBase[p] + i) * P + lane];
+        w.bytes(rtmp.data(), rtmp.size() * sizeof(uint32_t));
         w.u32(_config.scratchSize);
-        w.bytes(_scratch.data() + p * _config.scratchSize,
-                static_cast<size_t>(_config.scratchSize) *
-                    sizeof(uint16_t));
-        w.u8(_pred[p]);
+        for (size_t a = 0; a < stmp.size(); ++a)
+            stmp[a] =
+                _scratch[(p * _config.scratchSize + a) * P + lane];
+        w.bytes(stmp.data(), stmp.size() * sizeof(uint16_t));
+        w.u8(_pred[p * P + lane]);
     }
     w.u32(0); // pending messages (always empty between Vcycles)
-    _global.save(w);
-    w.u64(_vcycle);
-    w.u8(static_cast<uint8_t>(_status));
-    w.u64(_instretNonNop);
-    w.u64(_sends);
+    (P == 1 ? _global : _laneGlobal[lane]).save(w);
+    w.u64(P == 1 ? _vcycle : _laneVcycle[lane]);
+    w.u8(static_cast<uint8_t>(P == 1 ? _status : _laneStatus[lane]));
+    w.u64(P == 1 ? _instretNonNop : _laneInstret[lane]);
+    w.u64(P == 1 ? _sends : _laneSends[lane]);
 }
 
 void
-TapeInterpreter::restoreState(support::ByteReader &r)
+TapeInterpreter::restoreLaneState(unsigned lane, support::ByteReader &r)
 {
+    MANTICORE_LANE_CHECK(lane);
+    const size_t P = _padded;
     uint32_t nprocs = r.u32();
     if (nprocs != _regCount.size())
         MANTICORE_FATAL("snapshot/program mismatch: snapshot has ",
                         nprocs, " process(es), program has ",
                         _regCount.size(), " — refusing to restore");
+    std::vector<uint32_t> rtmp;
+    std::vector<uint16_t> stmp(_config.scratchSize);
     for (size_t p = 0; p < _regCount.size(); ++p) {
         uint32_t nregs = r.u32();
         if (nregs != _regCount[p])
             MANTICORE_FATAL("snapshot/program mismatch: register-file "
                             "size ", nregs, " vs ", _regCount[p],
                             " — refusing to restore");
-        r.bytes(_regs.data() + _regBase[p],
-                static_cast<size_t>(_regCount[p]) * sizeof(uint32_t));
+        rtmp.resize(nregs);
+        r.bytes(rtmp.data(), rtmp.size() * sizeof(uint32_t));
+        for (size_t i = 0; i < rtmp.size(); ++i)
+            _regs[(_regBase[p] + i) * P + lane] = rtmp[i];
         uint32_t nscratch = r.u32();
         if (nscratch != _config.scratchSize)
             MANTICORE_FATAL("snapshot/program mismatch: scratch size ",
                             nscratch, " vs ", _config.scratchSize,
                             " — refusing to restore");
-        r.bytes(_scratch.data() + p * _config.scratchSize,
-                static_cast<size_t>(_config.scratchSize) *
-                    sizeof(uint16_t));
-        _pred[p] = r.u8();
+        r.bytes(stmp.data(), stmp.size() * sizeof(uint16_t));
+        for (size_t a = 0; a < stmp.size(); ++a)
+            _scratch[(p * _config.scratchSize + a) * P + lane] =
+                stmp[a];
+        _pred[p * P + lane] = r.u8();
     }
     uint32_t pending = r.u32();
     if (pending != 0)
         MANTICORE_FATAL("snapshot carries ", pending, " mid-Vcycle "
                         "message(s); only Vcycle-boundary snapshots "
                         "can be restored");
-    _global.load(r);
-    _vcycle = r.u64();
-    _status = static_cast<RunStatus>(r.u8());
-    _instretNonNop = r.u64();
-    _sends = r.u64();
+    if (P == 1) {
+        _global.load(r);
+        _vcycle = r.u64();
+        _status = static_cast<RunStatus>(r.u8());
+        _instretNonNop = r.u64();
+        _sends = r.u64();
+    } else {
+        _laneGlobal[lane].load(r);
+        _laneVcycle[lane] = r.u64();
+        _laneStatus[lane] = static_cast<RunStatus>(r.u8());
+        _laneInstret[lane] = r.u64();
+        _laneSends[lane] = r.u64();
+    }
+}
+
+void
+TapeInterpreter::saveState(support::ByteWriter &w) const
+{
+    for (unsigned l = 0; l < _lanes; ++l)
+        saveLaneState(l, w);
+}
+
+void
+TapeInterpreter::restoreState(support::ByteReader &r)
+{
+    for (unsigned l = 0; l < _lanes; ++l)
+        restoreLaneState(l, r);
 }
 
 } // namespace manticore::isa

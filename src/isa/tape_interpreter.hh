@@ -60,28 +60,58 @@ namespace manticore::isa {
 class TapeInterpreter : public InterpreterBase
 {
   public:
-    TapeInterpreter(const Program &program, const MachineConfig &config);
+    /** lanes > 1 builds an N-lane ensemble: N decoupled simulations
+     *  over ONE shared tape, every architectural array lane-strided
+     *  (element i of lane l at i * padded + l) so the executor's
+     *  per-op lane loops vectorise.  The requested width is padded up
+     *  to the instantiated kernel width (exec/padding.hh, capped at
+     *  16); padded lanes are born frozen and invisible.  lanes == 1
+     *  is bit- and codegen-identical to the pre-ensemble engine. */
+    TapeInterpreter(const Program &program, const MachineConfig &config,
+                    unsigned lanes = 1);
 
     RunStatus stepVcycle() override;
     /** Natively batched: up to max_vcycles Vcycles per call, hot-loop
      *  pointers hoisted out of the per-Vcycle loop (see runBatch). */
     RunStatus run(uint64_t max_vcycles) override;
 
-    uint64_t vcycle() const override { return _vcycle; }
-    RunStatus status() const override { return _status; }
+    /** Most-advanced lane's Vcycle count (== lane 0 when scalar). */
+    uint64_t vcycle() const override;
+    RunStatus status() const override
+    {
+        return _padded == 1 ? _status : _laneStatus[0];
+    }
 
     uint16_t regValue(uint32_t pid, Reg reg) const override;
     bool regCarry(uint32_t pid, Reg reg) const override;
     uint16_t scratchValue(uint32_t pid, uint32_t addr) const override;
 
-    GlobalMemory &globalMemory() override { return _global; }
-    const GlobalMemory &globalMemory() const override { return _global; }
-
-    uint64_t instructionsExecuted() const override
+    GlobalMemory &globalMemory() override
     {
-        return _instretNonNop;
+        return _padded == 1 ? _global : _laneGlobal[0];
     }
-    uint64_t sendsExecuted() const override { return _sends; }
+    const GlobalMemory &globalMemory() const override
+    {
+        return _padded == 1 ? _global : _laneGlobal[0];
+    }
+
+    uint64_t instructionsExecuted() const override;
+    uint64_t sendsExecuted() const override;
+
+    // Ensemble views (lane 0 == the scalar API above).
+    unsigned lanes() const override { return _lanes; }
+    RunStatus laneStatus(unsigned lane) const override;
+    uint64_t laneVcycle(unsigned lane) const override;
+    uint16_t regValueLane(unsigned lane, uint32_t pid,
+                          Reg reg) const override;
+    bool regCarryLane(unsigned lane, uint32_t pid,
+                      Reg reg) const override;
+    uint16_t scratchValueLane(unsigned lane, uint32_t pid,
+                              uint32_t addr) const override;
+    GlobalMemory &globalMemoryLane(unsigned lane) override;
+    const GlobalMemory &globalMemoryLane(unsigned lane) const override;
+    uint64_t laneInstructionsExecuted(unsigned lane) const override;
+    uint64_t laneSendsExecuted(unsigned lane) const override;
 
     /** Introspection for tests and benches. */
     size_t tapeLength() const { return _ops.size(); } ///< stream elems
@@ -92,8 +122,14 @@ class TapeInterpreter : public InterpreterBase
     size_t dispatches() const { return _dispatches; }
 
     bool snapshotSupported() const override { return true; }
+    /** The requested lanes' canonical sections, in lane order (the
+     *  1-lane stream is byte-identical to the reference engine's). */
     void saveState(support::ByteWriter &w) const override;
     void restoreState(support::ByteReader &r) override;
+    void saveLaneState(unsigned lane,
+                       support::ByteWriter &w) const override;
+    void restoreLaneState(unsigned lane,
+                          support::ByteReader &r) override;
 
   private:
     /** One pre-decoded tape element: a single instruction, a fused
@@ -117,6 +153,7 @@ class TapeInterpreter : public InterpreterBase
         uint32_t begin, end; ///< stream range in _ops
         uint32_t pid;
         uint32_t instrs; ///< non-NOP instructions covered
+        uint32_t sends;  ///< static SENDs covered (laned accounting)
     };
 
     /// Statically-resolved SEND epilogue: message i is delivered to
@@ -129,12 +166,27 @@ class TapeInterpreter : public InterpreterBase
 
     void lowerProcess(uint32_t pid, const Program &program);
     RunStatus runBatch(uint64_t max_vcycles);
+    /** Laned executor: same dispatch structure as runBatch, every op
+     *  advancing all P (padded) lanes through masked lane loops; a
+     *  frozen lane's act mask blends every write back to its old
+     *  value, so finish/fail freeze per lane with zero state drift. */
+    template <unsigned P> RunStatus runBatchLaned(uint64_t max_vcycles);
+    RunStatus runLaned(uint64_t max_vcycles); ///< dispatch on _padded
 
     const Program &_program;
     MachineConfig _config;
 
+    // _lanes is the requested (API-visible) ensemble width; _padded
+    // the instantiated kernel width (exec/padding.hh).  All flat
+    // arrays below are lane-strided by _padded — element i of lane l
+    // at i * _padded + l — which degenerates to the scalar layout at
+    // width 1.  Padded lanes are broadcast-initialised, born frozen
+    // (status Finished, act mask 0), and invisible to every accessor.
+    unsigned _lanes = 1;
+    unsigned _padded = 1;
+
     std::vector<uint32_t> _regs;    ///< flat 17-bit register images
-    std::vector<uint32_t> _regBase; ///< per-process offset into _regs
+    std::vector<uint32_t> _regBase; ///< per-process offset (lane 0)
     std::vector<uint32_t> _regCount;
     std::vector<uint16_t> _scratch; ///< flat, scratchSize per process
     std::vector<uint8_t> _pred;     ///< per-process predicate flag
@@ -143,6 +195,9 @@ class TapeInterpreter : public InterpreterBase
     /// its process; consulted only on EXPECT-Fail aborts so instret
     /// stays exact without hot-loop bookkeeping.
     std::vector<uint32_t> _instrPrefix;
+    /// Same, for SEND instructions (per-lane send accounting on
+    /// mid-Vcycle aborts in the laned executor).
+    std::vector<uint32_t> _sendPrefix;
     std::vector<ProcRange> _ranges;
     /// Pre-expanded CFU minterm masks, 16 per referenced slot
     /// (CUST ops carry their offset in aux).
@@ -157,6 +212,15 @@ class TapeInterpreter : public InterpreterBase
     RunStatus _status = RunStatus::Running;
     uint64_t _instretNonNop = 0;
     uint64_t _sends = 0;
+
+    // Per-lane run state, laned mode only (sized _padded; entries
+    // past _lanes belong to the frozen padding).  Scalar mode keeps
+    // the flat members above untouched, preserving its codegen.
+    std::vector<GlobalMemory> _laneGlobal;
+    std::vector<uint64_t> _laneVcycle;
+    std::vector<RunStatus> _laneStatus;
+    std::vector<uint64_t> _laneInstret;
+    std::vector<uint64_t> _laneSends;
 };
 
 } // namespace manticore::isa

@@ -14,7 +14,7 @@ namespace lo = ::manticore::limbops;
 CompiledEvaluator::CompiledEvaluator(Netlist netlist,
                                      const EvalOptions &options)
     : _netlist(std::move(netlist)), _lanes(options.lanes),
-      _arena(options.lanes)
+      _padded(exec::paddedLaneCount(options.lanes)), _arena(_padded)
 {
     MANTICORE_ASSERT(_lanes >= 1, "ensemble needs at least one lane");
     _netlist.validate();
@@ -48,8 +48,9 @@ CompiledEvaluator::compile()
     for (const Register &r : _netlist.registers())
         _arena.broadcast(_slotOf[r.current], r.init);
 
-    // Memories become dense limb arrays, one image per lane.
-    _mems = tape::buildMemStates(_netlist, _lanes);
+    // Memories become dense limb arrays, one image per lane
+    // (including the frozen padded lanes — the tape reads them).
+    _mems = tape::buildMemStates(_netlist, _padded);
 
     // Lower each combinational node to one tape instruction.  Node ids
     // are already topologically ordered (operands precede users).
@@ -249,7 +250,7 @@ CompiledEvaluator::stepOnce()
     // lane; a failed assert suppresses that lane's displays, $finish
     // and commit.
     tape::run(_tape.data(), _tape.size(), _arena.data(), _mems.data(),
-              _lanes);
+              _padded);
     const uint64_t *A = _arena.data();
 
     // Fused fast path: no asserts or displays (nothing can fail,

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/padding.hh"
 #include "netlist/arena.hh"
 #include "netlist/evaluator.hh"
 #include "netlist/netlist.hh"
@@ -155,7 +156,15 @@ class CompiledEvaluator : public EvaluatorBase
 
     Netlist _netlist; ///< cold copy for name/width lookups only
 
+    // _lanes is the requested (API-visible) ensemble width; _padded
+    // is the instantiated kernel width it is padded up to (see
+    // exec/padding.hh).  The arena, memory images and tape execution
+    // use _padded so the vectorised lane loops never run a scalar
+    // tail; effects, commits, stats and snapshots use _lanes, so the
+    // padded lanes are born frozen at their init state and are
+    // invisible to every observer.
     unsigned _lanes;
+    unsigned _padded;
     Arena _arena;
     std::vector<uint32_t> _slotOf; ///< node id -> lane-0 limb offset
     std::vector<tape::Instr> _tape;

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/lane_state.hh"
 #include "netlist/netlist.hh"
 #include "support/mergealgo.hh"
 
@@ -42,12 +43,11 @@ class ByteReader;
 
 namespace manticore::netlist {
 
-enum class SimStatus
-{
-    Ok,           ///< still running
-    Finished,     ///< a $finish fired
-    AssertFailed, ///< an assertion failed
-};
+// The per-lane run model (status enum, LaneState block, frozen-lane
+// semantics) lives in the shared lane-execution layer; the netlist
+// family keeps the unqualified names.
+using SimStatus = exec::SimStatus;
+using LaneState = exec::LaneState;
 
 /** Common interface of the reference and compiled evaluators.
  *
@@ -195,18 +195,6 @@ const char *evalModeName(EvalMode mode);
  *  evalModeName spellings) into an EvalMode; returns false on
  *  anything else. */
 bool parseEvalMode(const std::string &name, EvalMode &mode);
-
-/** One ensemble lane's run state, shared by both compiled engines.
- *  Kept as a single block per lane so the scalar hot path pays one
- *  pointer chase for the whole cycle/status/transcript bundle. */
-struct LaneState
-{
-    uint64_t cycle = 0;
-    SimStatus status = SimStatus::Ok;
-    size_t logMark = 0; ///< display-log rollback mark on throw
-    std::string failureMessage;
-    std::vector<std::string> displayLog;
-};
 
 /** How the parallel evaluator's rendezvous waits for its peers. */
 enum class WaitPolicy

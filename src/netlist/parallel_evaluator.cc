@@ -62,7 +62,8 @@ ParallelCompiledEvaluator::wakeBlocked() const
 ParallelCompiledEvaluator::ParallelCompiledEvaluator(
     Netlist netlist, const EvalOptions &options)
     : _netlist(std::move(netlist)), _lanes(options.lanes),
-      _arena(options.lanes), _waitPolicy(options.waitPolicy)
+      _padded(exec::paddedLaneCount(options.lanes)), _arena(_padded),
+      _waitPolicy(options.waitPolicy)
 {
     MANTICORE_ASSERT(_lanes >= 1, "ensemble needs at least one lane");
     _netlist.validate();
@@ -96,7 +97,7 @@ ParallelCompiledEvaluator::compile(MergeAlgo algo)
 {
     NetlistPartition part = partitionNetlist(_netlist, _numThreads, algo);
     _stats = part.stats;
-    _mems = tape::buildMemStates(_netlist, _lanes);
+    _mems = tape::buildMemStates(_netlist, _padded);
 
     const auto &nodes = _netlist.nodes();
 
@@ -237,7 +238,7 @@ void
 ParallelCompiledEvaluator::computeProc(const Proc &proc)
 {
     uint64_t *A = _arena.data();
-    tape::run(proc.tape, A, _mems, _lanes);
+    tape::run(proc.tape, A, _mems, _padded);
     // Staged blocks and their register-file sources are both
     // lane-strided with the same per-lane limb count, so one copy
     // (s.limbs spans every lane) moves the whole block.

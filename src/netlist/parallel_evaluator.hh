@@ -54,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/padding.hh"
 #include "netlist/arena.hh"
 #include "netlist/evaluator.hh"
 #include "netlist/netlist.hh"
@@ -247,7 +248,12 @@ class ParallelCompiledEvaluator : public EvaluatorBase
 
     Netlist _netlist; ///< cold copy for name/width lookups only
 
+    // Requested vs padded ensemble width: the arena, memory images
+    // and tape execution run _padded lanes (see exec/padding.hh);
+    // effects, commits, stats and snapshots see only _lanes, so the
+    // padded lanes stay frozen at init and invisible.
     unsigned _lanes;
+    unsigned _padded;
     Arena _arena;
     std::vector<uint32_t> _sourceSlot; ///< node id -> slot (Const/Input)
     std::vector<uint32_t> _regSlot;    ///< reg id -> register-file slot

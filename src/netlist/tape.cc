@@ -272,18 +272,18 @@ runImpl(const Instr *instrs, size_t count, uint64_t *A,
         const Instr &in = instrs[i];
         switch (in.op) {
           case Op::NAdd:
-            lo::addN(A + in.dst, A + in.a, A + in.b, in.mask, L);
+            lo::addN<kLanes>(A + in.dst, A + in.a, A + in.b, in.mask, L);
             break;
           case Op::NSub:
-            lo::subN(A + in.dst, A + in.a, A + in.b, in.mask, L);
+            lo::subN<kLanes>(A + in.dst, A + in.a, A + in.b, in.mask, L);
             break;
           case Op::NMul:
-            lo::mulN(A + in.dst, A + in.a, A + in.b, in.mask, L);
+            lo::mulN<kLanes>(A + in.dst, A + in.a, A + in.b, in.mask, L);
             break;
-          case Op::NAnd: lo::andN(A + in.dst, A + in.a, A + in.b, L); break;
-          case Op::NOr: lo::orN(A + in.dst, A + in.a, A + in.b, L); break;
-          case Op::NXor: lo::xorN(A + in.dst, A + in.a, A + in.b, L); break;
-          case Op::NNot: lo::notN(A + in.dst, A + in.a, in.mask, L); break;
+          case Op::NAnd: lo::andN<kLanes>(A + in.dst, A + in.a, A + in.b, L); break;
+          case Op::NOr: lo::orN<kLanes>(A + in.dst, A + in.a, A + in.b, L); break;
+          case Op::NXor: lo::xorN<kLanes>(A + in.dst, A + in.a, A + in.b, L); break;
+          case Op::NNot: lo::notN<kLanes>(A + in.dst, A + in.a, in.mask, L); break;
           case Op::NShl: {
             const uint32_t bs = lo::nlimbs(in.bw);
             for (unsigned l = 0; l < L; ++l) {
@@ -301,33 +301,33 @@ runImpl(const Instr *instrs, size_t count, uint64_t *A,
             }
             break;
           }
-          case Op::NEq: lo::eqN(A + in.dst, A + in.a, A + in.b, L); break;
-          case Op::NUlt: lo::ultN(A + in.dst, A + in.a, A + in.b, L); break;
+          case Op::NEq: lo::eqN<kLanes>(A + in.dst, A + in.a, A + in.b, L); break;
+          case Op::NUlt: lo::ultN<kLanes>(A + in.dst, A + in.a, A + in.b, L); break;
           case Op::NSlt:
-            lo::sltN(A + in.dst, A + in.a, A + in.b,
+            lo::sltN<kLanes>(A + in.dst, A + in.a, A + in.b,
                      1ull << (in.aw - 1), L);
             break;
           case Op::NMux:
-            lo::muxN(A + in.dst, A + in.a, A + in.b, A + in.c, L);
+            lo::muxN<kLanes>(A + in.dst, A + in.a, A + in.b, A + in.c, L);
             break;
           case Op::NSlice:
-            lo::sliceN(A + in.dst, A + in.a, in.lo, in.mask, L);
+            lo::sliceN<kLanes>(A + in.dst, A + in.a, in.lo, in.mask, L);
             break;
           case Op::NConcat:
-            lo::concatN(A + in.dst, A + in.a, A + in.b, in.bw, L);
+            lo::concatN<kLanes>(A + in.dst, A + in.a, A + in.b, in.bw, L);
             break;
-          case Op::NZExt: lo::copyN(A + in.dst, A + in.a, L); break;
+          case Op::NZExt: lo::copyN<kLanes>(A + in.dst, A + in.a, L); break;
           case Op::NSExt:
             if (in.aw < in.width)
-                lo::sextN(A + in.dst, A + in.a, in.aw, in.mask, L);
+                lo::sextN<kLanes>(A + in.dst, A + in.a, in.aw, in.mask, L);
             else
-                lo::copyN(A + in.dst, A + in.a, L);
+                lo::copyN<kLanes>(A + in.dst, A + in.a, L);
             break;
-          case Op::NRedOr: lo::redOrN(A + in.dst, A + in.a, L); break;
+          case Op::NRedOr: lo::redOrN<kLanes>(A + in.dst, A + in.a, L); break;
           case Op::NRedAnd:
-            lo::redAndN(A + in.dst, A + in.a, in.mask, L);
+            lo::redAndN<kLanes>(A + in.dst, A + in.a, in.mask, L);
             break;
-          case Op::NRedXor: lo::redXorN(A + in.dst, A + in.a, L); break;
+          case Op::NRedXor: lo::redXorN<kLanes>(A + in.dst, A + in.a, L); break;
           case Op::NMemRead: {
             const MemState &m = mems[in.lo];
             const uint32_t as = lo::nlimbs(in.aw);

@@ -1,6 +1,7 @@
 #include "runtime/waveform.hh"
 
 #include "engine/adapters.hh"
+#include "engine/engine.hh"
 #include "support/logging.hh"
 
 namespace manticore::runtime {
@@ -72,6 +73,33 @@ WaveformRecorder::sample(const netlist::EvaluatorBase &eval,
 {
     for (size_t r = 0; r < _names.size(); ++r)
         record(r, eval.regValue(static_cast<uint32_t>(r)), vcycle);
+}
+
+void
+WaveformRecorder::sample(const netlist::EvaluatorBase &eval,
+                         unsigned lane, uint64_t vcycle)
+{
+    MANTICORE_ASSERT(lane < eval.lanes(), "waveform: lane ", lane,
+                     " out of range (", eval.lanes(), " lanes)");
+    for (size_t r = 0; r < _names.size(); ++r)
+        record(r, eval.regValueLane(lane, static_cast<uint32_t>(r)),
+               vcycle);
+}
+
+void
+WaveformRecorder::sample(const engine::Engine &engine, unsigned lane,
+                         uint64_t vcycle)
+{
+    MANTICORE_ASSERT(engine.numProbes() == _names.size(),
+                     "waveform: engine probe table (",
+                     engine.numProbes(), ") does not match the design's "
+                     "register table (", _names.size(), ")");
+    const bool scalar = engine.lanes() == 1 && lane == 0;
+    for (size_t r = 0; r < _names.size(); ++r) {
+        auto h = static_cast<engine::ProbeHandle>(r);
+        record(r, scalar ? engine.read(h) : engine.readLane(h, lane),
+               vcycle);
+    }
 }
 
 void

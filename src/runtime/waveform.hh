@@ -20,6 +20,10 @@
 #include "netlist/evaluator.hh"
 #include "netlist/netlist.hh"
 
+namespace manticore::engine {
+class Engine;
+}
+
 namespace manticore::runtime {
 
 /** Reassemble one RTL register's current value from its machine
@@ -49,6 +53,20 @@ class WaveformRecorder
     /** Sample all registers from an evaluator (either engine).  Call
      *  once after every EvaluatorBase::step(). */
     void sample(const netlist::EvaluatorBase &eval, uint64_t vcycle);
+
+    /** Sample ONE lane of an ensemble evaluator: the recorder then
+     *  holds that lane's waveform only, so a failing lane can be
+     *  dumped without the N-1 healthy ones.  Lane 0 of a scalar
+     *  evaluator is the plain sample() above. */
+    void sample(const netlist::EvaluatorBase &eval, unsigned lane,
+                uint64_t vcycle);
+
+    /** Same, over an engine adapter's probe table (the netlist-family
+     *  engines expose exactly the RTL registers, in RegId order —
+     *  asserted).  This is what fuzz_differential wires to dump the
+     *  diverging engine's waveform. */
+    void sample(const engine::Engine &engine, unsigned lane,
+                uint64_t vcycle);
 
     /** Write the collected changes as a VCD document. */
     void writeVcd(std::ostream &os) const;

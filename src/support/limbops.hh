@@ -346,149 +346,224 @@ reduceXor(const uint64_t *s, unsigned width)
 // lanes of one word are N consecutive limbs.  These kernels execute
 // one decoded op across all lanes with a unit stride — a shape the
 // compiler auto-vectorises — so the per-op dispatch cost is paid once
-// per N simulations.  Instantiated with a compile-time lane count of
-// 1 they fold to the scalar op (the tape keeps its pre-ensemble
-// codegen for single-lane engines).
+// per N simulations.
+//
+// Each kernel is templated on the compile-time lane count L so the
+// lane loop has a KNOWN trip count: at the instantiated ensemble
+// widths {2, 4, 8, 16} (see exec/padding.hh — requested counts are
+// padded up so these are the only widths that run) the loop compiles
+// to straight vector ops with no remainder, and at L == 1 it folds to
+// the scalar op (the tape keeps its pre-ensemble codegen for
+// single-lane engines).  L == 0 takes the width from the trailing
+// `lanes` argument — the dynamic fallback for >16-lane ensembles,
+// whose padded counts are multiples of 16 so the vectorised body
+// still never runs a scalar tail.
+//
+// MANTICORE_LANED marks the per-lane loops with GCC/Clang ivdep-style
+// pragmas where available: the engines allocate every destination
+// slot privately (see arena.hh), so lanes never alias.
 
+#if defined(__clang__)
+#define MANTICORE_LANED _Pragma("clang loop vectorize(enable)")
+#elif defined(__GNUC__)
+#define MANTICORE_LANED _Pragma("GCC ivdep")
+#else
+#define MANTICORE_LANED
+#endif
+
+template <unsigned L>
 inline void
 addN(uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t mask,
      unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = (a[l] + b[l]) & mask;
 }
 
+template <unsigned L>
 inline void
 subN(uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t mask,
      unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = (a[l] - b[l]) & mask;
 }
 
+template <unsigned L>
 inline void
 mulN(uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t mask,
      unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = (a[l] * b[l]) & mask;
 }
 
+template <unsigned L>
 inline void
 andN(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = a[l] & b[l];
 }
 
+template <unsigned L>
 inline void
 orN(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = a[l] | b[l];
 }
 
+template <unsigned L>
 inline void
 xorN(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = a[l] ^ b[l];
 }
 
+template <unsigned L>
 inline void
 notN(uint64_t *d, const uint64_t *a, uint64_t mask, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = ~a[l] & mask;
 }
 
+template <unsigned L>
 inline void
 eqN(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = a[l] == b[l];
 }
 
+template <unsigned L>
 inline void
 ultN(uint64_t *d, const uint64_t *a, const uint64_t *b, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = a[l] < b[l];
 }
 
 /** sbit is the operand sign bit (1 << (aw - 1)). */
+template <unsigned L>
 inline void
 sltN(uint64_t *d, const uint64_t *a, const uint64_t *b, uint64_t sbit,
      unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = (a[l] ^ sbit) < (b[l] ^ sbit);
 }
 
+template <unsigned L>
 inline void
 muxN(uint64_t *d, const uint64_t *sel, const uint64_t *t,
      const uint64_t *e, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = sel[l] ? t[l] : e[l];
 }
 
+template <unsigned L>
 inline void
 sliceN(uint64_t *d, const uint64_t *a, unsigned lo, uint64_t mask,
        unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = (a[l] >> lo) & mask;
 }
 
+template <unsigned L>
 inline void
 concatN(uint64_t *d, const uint64_t *hi, const uint64_t *lo_,
         unsigned lw, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = (hi[l] << lw) | lo_[l];
 }
 
+template <unsigned L>
 inline void
 copyN(uint64_t *d, const uint64_t *a, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = a[l];
 }
 
 /** Single-limb sign extension; requires aw < result width (callers
  *  lower the aw == width case to a plain copy). */
+template <unsigned L>
 inline void
 sextN(uint64_t *d, const uint64_t *a, unsigned aw, uint64_t mask,
       unsigned lanes)
 {
+    const unsigned n = L != 0 ? L : lanes;
     uint64_t sbit = 1ull << (aw - 1);
     uint64_t fill = (~0ull << aw) & mask;
-    for (unsigned l = 0; l < lanes; ++l) {
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l) {
         uint64_t v = a[l];
         d[l] = (v & sbit) ? (v | fill) : v;
     }
 }
 
+template <unsigned L>
 inline void
 redOrN(uint64_t *d, const uint64_t *a, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = a[l] != 0;
 }
 
 /** mask covers the operand's valid bits. */
+template <unsigned L>
 inline void
 redAndN(uint64_t *d, const uint64_t *a, uint64_t mask, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] = a[l] == mask;
 }
 
+template <unsigned L>
 inline void
 redXorN(uint64_t *d, const uint64_t *a, unsigned lanes)
 {
-    for (unsigned l = 0; l < lanes; ++l)
+    const unsigned n = L != 0 ? L : lanes;
+    MANTICORE_LANED
+    for (unsigned l = 0; l < n; ++l)
         d[l] =
             static_cast<unsigned>(__builtin_popcountll(a[l])) & 1u;
 }

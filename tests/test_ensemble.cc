@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <unordered_map>
 
 #include "engine/crosscheck.hh"
@@ -21,6 +22,7 @@
 #include "netlist/evaluator.hh"
 #include "support/rng.hh"
 #include "runtime/simulation.hh"
+#include "runtime/waveform.hh"
 #include "tests/random_circuit.hh"
 
 using namespace manticore;
@@ -376,14 +378,49 @@ TEST(Ensemble, SimulationEnsembleCrossCheck)
     EXPECT_TRUE(sim.divergence().empty()) << sim.divergence();
 }
 
+TEST(Ensemble, PerLaneWaveformCapture)
+{
+    // The recorder's lane index isolates one lane's waveform: drive
+    // lane 1 to finish early, sample both lanes every cycle, and the
+    // two VCDs must document different histories (this is the hook
+    // fuzz_differential uses to dump the diverging lane on failure).
+    netlist::Netlist nl = finishAtInputDesign();
+    auto eng = engine::create("netlist.compiled", nl,
+                              ensembleOptions(2));
+    engine::InputHandle x = eng->bindInput("x");
+    engine::driveLane(*eng, x, 0, BitVector(16, 50));
+    engine::driveLane(*eng, x, 1, BitVector(16, 5));
+
+    runtime::WaveformRecorder lane0(nl), lane1(nl);
+    for (uint64_t cycle = 0; cycle < 20; ++cycle) {
+        eng->step(1);
+        lane0.sample(*eng, 0, cycle);
+        lane1.sample(*eng, 1, cycle);
+    }
+    EXPECT_EQ(eng->laneStatus(0), engine::Status::Running);
+    EXPECT_EQ(eng->laneStatus(1), engine::Status::Finished);
+    EXPECT_GT(lane0.changesRecorded(), lane1.changesRecorded())
+        << "the frozen lane must stop producing value changes";
+
+    std::ostringstream v0, v1;
+    lane0.writeVcd(v0);
+    lane1.writeVcd(v1);
+    EXPECT_NE(v0.str(), v1.str());
+    EXPECT_NE(v0.str().find("$enddefinitions"), std::string::npos);
+}
+
 TEST(Ensemble, NonEnsembleEnginesRejectLanes)
 {
     netlist::Netlist nl = finishAtInputDesign();
     engine::CreateOptions opts;
     opts.lanes = 2;
+    // The rejection is caps-driven and its diagnostic lists every
+    // engine advertising cap::kEnsemble (isa.tape joined the club, so
+    // it must no longer be rejected — and must be named in the list).
     EXPECT_DEATH(engine::create("netlist.reference", nl, opts),
-                 "no ensemble mode");
-    EXPECT_DEATH(engine::create("isa.tape", nl, opts),
+                 "no ensemble mode.*netlist\\.compiled.*"
+                 "netlist\\.parallel.*isa\\.tape");
+    EXPECT_DEATH(engine::create("isa.reference", nl, opts),
                  "no ensemble mode");
     EXPECT_DEATH(engine::create("machine", nl, opts),
                  "no ensemble mode");

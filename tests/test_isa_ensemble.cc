@@ -1,0 +1,447 @@
+/**
+ * @file
+ * isa.tape ensemble tests: the lane-strided SIMD interpreter must be
+ * indistinguishable, lane for lane, from independent scalar runs.
+ *
+ *  - EnsembleCrossCheck vs N independent scalar goldens (the
+ *    acceptance differential) for N in {1, 2, 7, 16},
+ *  - snapshot round trips on a laned engine (one canonical section
+ *    per requested lane) and forkLanes seeding,
+ *  - staggered per-lane restores: lanes at different Vcycles finish
+ *    at different wall steps, so frozen lanes must coexist with
+ *    running ones with zero state drift,
+ *  - lane padding invisibility: a 7-lane ensemble runs on 8-wide
+ *    kernels, but the padding lane never shows up in lanes(),
+ *    RunResult::lanes, stats, snapshots, or replay digests.
+ *
+ * ISA-level designs are closed (free inputs compile away), so lanes
+ * diverge through restores rather than stimulus — which is exactly
+ * the checkpoint-fork exploration workflow forkLanes exists for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/crosscheck.hh"
+#include "engine/registry.hh"
+#include "engine/snapshot.hh"
+#include "netlist/builder.hh"
+#include "runtime/replay.hh"
+
+using namespace manticore;
+
+namespace {
+
+/** Closed self-driving design touching every piece of ISA lane state:
+ *  registers (one past the 16-bit chunk boundary), a written memory
+ *  (scratch/global traffic), a $display and a $finish. */
+netlist::Netlist
+laneDesign(uint64_t finish_at)
+{
+    netlist::CircuitBuilder b("isa_ens");
+    auto cyc = b.reg("cyc", 16);
+    b.next(cyc, cyc.read() + b.lit(16, 1));
+    auto acc = b.reg("acc", 40);
+    b.next(acc, (acc.read() + cyc.read().zext(40)) ^
+                    acc.read().shl(1));
+    auto mem = b.memory("scratch", 16, 16);
+    auto addr = cyc.read().slice(0, 4);
+    mem.write(addr, mem.read(addr) + acc.read().trunc(16),
+              b.lit(1, 1));
+    b.display(cyc.read() == b.lit(16, 3), "acc=%d", {acc.read()});
+    b.finish(cyc.read() == b.lit(16, finish_at));
+    return b.build();
+}
+
+std::unique_ptr<engine::Engine>
+makeLaned(const netlist::Netlist &nl, unsigned lanes)
+{
+    engine::CreateOptions options;
+    options.lanes = lanes;
+    return engine::create("isa.tape", nl, options);
+}
+
+uint64_t
+digestOf(engine::Engine &engine, unsigned lane,
+         const std::vector<runtime::ProbeSignal> &signals)
+{
+    return runtime::probeDigest(engine, lane, signals);
+}
+
+bool
+hasStat(const std::vector<engine::Stat> &stats, const std::string &name,
+        uint64_t *value = nullptr)
+{
+    for (const engine::Stat &s : stats)
+        if (s.name == name) {
+            if (value)
+                *value = s.value;
+            return true;
+        }
+    return false;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Capability surface and lane accounting
+// ---------------------------------------------------------------------------
+
+TEST(IsaEnsemble, CapsStatsAndRunResult)
+{
+    netlist::Netlist nl = laneDesign(500);
+    auto eng = makeLaned(nl, 7); // padded to 8-wide kernels inside
+    EXPECT_TRUE(eng->has(engine::cap::kEnsemble));
+    EXPECT_TRUE(eng->has(engine::cap::kBatchedStep));
+    EXPECT_TRUE(eng->has(engine::cap::kSnapshot));
+    EXPECT_EQ(eng->lanes(), 7u);
+
+    engine::RunResult r = eng->step(5);
+    EXPECT_EQ(r.lanes, 7u);
+    EXPECT_EQ(r.cycles, 5u);
+    for (unsigned l = 0; l < 7; ++l) {
+        EXPECT_EQ(eng->laneCycle(l), 5u);
+        EXPECT_EQ(eng->laneStatus(l), engine::Status::Running);
+    }
+
+    uint64_t v = 0;
+    auto stats = eng->stats();
+    ASSERT_TRUE(hasStat(stats, "lanes", &v));
+    EXPECT_EQ(v, 7u);
+    ASSERT_TRUE(hasStat(stats, "cycles", &v));
+    EXPECT_EQ(v, 7u * 5u); // aggregate over the requested lanes only
+    EXPECT_TRUE(hasStat(stats, "lane6.cycles"));
+
+    // Instructions aggregate over the lanes: 7 identical lanes did
+    // exactly 7x the work of one scalar run.
+    auto scalar = engine::create("isa.tape", nl);
+    scalar->step(5);
+    uint64_t ens_instr = 0, one_instr = 0;
+    ASSERT_TRUE(hasStat(stats, "instructions", &ens_instr));
+    ASSERT_TRUE(hasStat(scalar->stats(), "instructions", &one_instr));
+    EXPECT_EQ(ens_instr, 7u * one_instr);
+}
+
+TEST(IsaEnsemble, ScalarEngineIsUnchanged)
+{
+    netlist::Netlist nl = laneDesign(500);
+    auto eng = engine::create("isa.tape", nl);
+    EXPECT_FALSE(eng->has(engine::cap::kEnsemble));
+    EXPECT_EQ(eng->lanes(), 1u);
+    EXPECT_EQ(eng->step(5).lanes, 1u);
+    auto stats = eng->stats();
+    uint64_t v = 0;
+    ASSERT_TRUE(hasStat(stats, "cycles", &v));
+    EXPECT_EQ(v, 5u);
+    EXPECT_FALSE(hasStat(stats, "lanes"));
+    EXPECT_FALSE(hasStat(stats, "lane0.cycles"));
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance differential: EnsembleCrossCheck vs N independent
+// scalar goldens, N in {1, 2, 7, 16}
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+crossCheckVsScalarGoldens(unsigned n)
+{
+    SCOPED_TRACE("isa.tape x" + std::to_string(n));
+    netlist::Netlist nl = laneDesign(30);
+
+    std::vector<std::unique_ptr<engine::Engine>> goldens;
+    std::vector<engine::Engine *> golden_ptrs;
+    for (unsigned l = 0; l < n; ++l) {
+        goldens.push_back(engine::create("isa.reference", nl));
+        golden_ptrs.push_back(goldens.back().get());
+    }
+    auto subject = makeLaned(nl, n);
+
+    engine::EnsembleCrossCheck cc(golden_ptrs, *subject);
+    EXPECT_GT(cc.numPairedSignals(), 0u);
+    engine::RunResult res = cc.run(200);
+    EXPECT_EQ(res.status, engine::Status::Finished)
+        << cc.divergence();
+    EXPECT_TRUE(cc.divergence().empty()) << cc.divergence();
+    for (unsigned l = 0; l < n; ++l)
+        EXPECT_EQ(subject->laneStatus(l), engine::Status::Finished);
+}
+
+} // namespace
+
+TEST(IsaEnsemble, CrossCheckOneLane) { crossCheckVsScalarGoldens(1); }
+TEST(IsaEnsemble, CrossCheckTwoLanes) { crossCheckVsScalarGoldens(2); }
+TEST(IsaEnsemble, CrossCheckSevenLanes) { crossCheckVsScalarGoldens(7); }
+TEST(IsaEnsemble, CrossCheckSixteenLanes)
+{
+    crossCheckVsScalarGoldens(16);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots: laned round trip, forkLanes seeding, staggered lanes
+// ---------------------------------------------------------------------------
+
+TEST(IsaEnsemble, SnapshotRoundTripLaned)
+{
+    netlist::Netlist nl = laneDesign(4000);
+    const auto signals = runtime::probeSignals(nl);
+    auto eng = makeLaned(nl, 7);
+    eng->step(15);
+
+    engine::Snapshot snap;
+    eng->save(snap);
+    EXPECT_EQ(snap.family, "isa");
+    EXPECT_EQ(snap.lanes, 7u);
+    ASSERT_EQ(snap.sections.size(), 7u);
+    std::vector<uint64_t> d0;
+    for (unsigned l = 0; l < 7; ++l)
+        d0.push_back(digestOf(*eng, l, signals));
+
+    eng->step(9);
+    std::vector<uint64_t> d1;
+    for (unsigned l = 0; l < 7; ++l) {
+        d1.push_back(digestOf(*eng, l, signals));
+        EXPECT_NE(d1[l], d0[l]); // the design never repeats state
+    }
+
+    eng->restore(snap);
+    for (unsigned l = 0; l < 7; ++l) {
+        EXPECT_EQ(eng->laneCycle(l), 15u);
+        EXPECT_EQ(digestOf(*eng, l, signals), d0[l]);
+    }
+    eng->step(9);
+    for (unsigned l = 0; l < 7; ++l)
+        EXPECT_EQ(digestOf(*eng, l, signals), d1[l]);
+}
+
+TEST(IsaEnsemble, LaneSectionPortableToScalarEngines)
+{
+    // A lane section cut from an ensemble restores on a scalar engine
+    // of either ISA interpreter: the per-lane byte format IS the
+    // scalar format.
+    netlist::Netlist nl = laneDesign(4000);
+    const auto signals = runtime::probeSignals(nl);
+    auto ens = makeLaned(nl, 4);
+    ens->step(21);
+    engine::Snapshot snap;
+    ens->save(snap);
+
+    engine::Snapshot one;
+    one.family = snap.family;
+    one.engine = snap.engine;
+    one.designHash = snap.designHash;
+    one.lanes = 1;
+    one.cycle = snap.cycle;
+    one.sections.push_back(snap.sections[2]); // any lane
+    for (const char *target : {"isa.reference", "isa.tape"}) {
+        SCOPED_TRACE(target);
+        auto scalar = engine::create(target, nl);
+        scalar->restore(one);
+        EXPECT_EQ(scalar->cycle(), 21u);
+        EXPECT_EQ(digestOf(*scalar, 0, signals),
+                  digestOf(*ens, 2, signals));
+        scalar->step(10);
+    }
+}
+
+namespace {
+
+void
+forkVsFreshIsa(unsigned n)
+{
+    SCOPED_TRACE("isa.tape x" + std::to_string(n));
+    netlist::Netlist nl = laneDesign(60);
+    const auto signals = runtime::probeSignals(nl);
+    const uint64_t warmup = 20, horizon = 100;
+
+    auto warm = engine::create("isa.tape", nl);
+    warm->step(warmup);
+    engine::Snapshot snap;
+    warm->save(snap);
+
+    auto ensemble = makeLaned(nl, n);
+    engine::forkLanes(*ensemble, snap);
+    for (unsigned l = 0; l < n; ++l) {
+        EXPECT_EQ(ensemble->laneCycle(l), warmup);
+        EXPECT_EQ(ensemble->laneStatus(l), engine::Status::Running);
+    }
+    ensemble->step(horizon);
+
+    for (unsigned l = 0; l < n; ++l) {
+        SCOPED_TRACE("lane " + std::to_string(l));
+        auto fresh = engine::create("isa.tape", nl);
+        fresh->step(warmup + horizon);
+        EXPECT_EQ(ensemble->laneStatus(l), engine::Status::Finished);
+        EXPECT_EQ(ensemble->laneStatus(l), fresh->status());
+        EXPECT_EQ(ensemble->laneCycle(l), fresh->cycle());
+        EXPECT_EQ(digestOf(*ensemble, l, signals),
+                  digestOf(*fresh, 0, signals));
+    }
+}
+
+} // namespace
+
+TEST(IsaEnsemble, ForkTwoLanesMatchFreshRuns) { forkVsFreshIsa(2); }
+TEST(IsaEnsemble, ForkSevenLanesMatchFreshRuns) { forkVsFreshIsa(7); }
+TEST(IsaEnsemble, ForkSixteenLanesMatchFreshRuns)
+{
+    forkVsFreshIsa(16);
+}
+
+TEST(IsaEnsemble, StaggeredLanesRunDecoupled)
+{
+    // The strongest laned-executor test: seed every lane from a
+    // DIFFERENT cycle's checkpoint, so the lanes are at genuinely
+    // different architectural states, reach $finish after different
+    // numbers of ensemble steps, and the early finishers must freeze
+    // bit-exactly while their neighbours keep executing.
+    const unsigned n = 7;
+    const uint64_t finish_at = 40; // terminal Vcycle = 41
+    netlist::Netlist nl = laneDesign(finish_at);
+    const auto signals = runtime::probeSignals(nl);
+
+    // One scalar warmup run, checkpointed at cycles 5, 8, 11, ...
+    std::vector<uint64_t> at;
+    engine::Snapshot staggered;
+    auto warm = engine::create("isa.tape", nl);
+    for (unsigned l = 0; l < n; ++l) {
+        at.push_back(5 + 3 * l);
+        warm->step(at[l] - (l ? at[l - 1] : 0));
+        engine::Snapshot one;
+        warm->save(one);
+        staggered.sections.push_back(one.sections[0]);
+        staggered.family = one.family;
+        staggered.engine = one.engine;
+        staggered.designHash = one.designHash;
+    }
+    staggered.lanes = n;
+    staggered.cycle = at.back();
+
+    auto ensemble = makeLaned(nl, n);
+    ensemble->restore(staggered);
+    for (unsigned l = 0; l < n; ++l)
+        EXPECT_EQ(ensemble->laneCycle(l), at[l]);
+
+    // Step to a point where some lanes finished and some still run,
+    // and compare every lane against an independent scalar run.
+    const uint64_t mid = finish_at + 1 - at.back() + 2; // lanes 5,6 done
+    ensemble->step(mid);
+    bool running = false, finished = false;
+    for (unsigned l = 0; l < n; ++l) {
+        SCOPED_TRACE("lane " + std::to_string(l));
+        auto golden = engine::create("isa.reference", nl);
+        golden->step(at[l] + mid);
+        EXPECT_EQ(ensemble->laneStatus(l), golden->status());
+        EXPECT_EQ(ensemble->laneCycle(l), golden->cycle());
+        EXPECT_EQ(digestOf(*ensemble, l, signals),
+                  digestOf(*golden, 0, signals));
+        running |= ensemble->laneStatus(l) == engine::Status::Running;
+        finished |=
+            ensemble->laneStatus(l) == engine::Status::Finished;
+    }
+    EXPECT_TRUE(running) << "mid-point picked badly: no running lane";
+    EXPECT_TRUE(finished) << "mid-point picked badly: no frozen lane";
+
+    // Run everything to the terminal and re-check.
+    ensemble->step(1000);
+    for (unsigned l = 0; l < n; ++l) {
+        SCOPED_TRACE("lane " + std::to_string(l));
+        auto golden = engine::create("isa.reference", nl);
+        golden->step(1000);
+        EXPECT_EQ(ensemble->laneStatus(l), engine::Status::Finished);
+        EXPECT_EQ(ensemble->laneCycle(l), golden->cycle());
+        EXPECT_EQ(digestOf(*ensemble, l, signals),
+                  digestOf(*golden, 0, signals));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Padding invisibility: requested 7, instantiated 8, observable 7
+// ---------------------------------------------------------------------------
+
+TEST(IsaEnsemble, PaddingIsInvisible)
+{
+    netlist::Netlist nl = laneDesign(30);
+    const auto signals = runtime::probeSignals(nl);
+    for (const char *name : {"isa.tape", "netlist.compiled"}) {
+        SCOPED_TRACE(name);
+        engine::CreateOptions options;
+        options.lanes = 7; // instantiated kernel width is 8
+        auto eng = engine::create(name, nl, options);
+        EXPECT_EQ(eng->lanes(), 7u);
+        engine::RunResult r = eng->step(10);
+        EXPECT_EQ(r.lanes, 7u);
+
+        auto stats = eng->stats();
+        uint64_t v = 0;
+        ASSERT_TRUE(hasStat(stats, "lanes", &v));
+        EXPECT_EQ(v, 7u);
+        ASSERT_TRUE(hasStat(stats, "cycles", &v));
+        EXPECT_EQ(v, 7u * 10u); // the padding lane contributes nothing
+        EXPECT_TRUE(hasStat(stats, "lane6.cycles"));
+        EXPECT_FALSE(hasStat(stats, "lane7.cycles"));
+
+        engine::Snapshot snap;
+        eng->save(snap);
+        EXPECT_EQ(snap.lanes, 7u);
+        EXPECT_EQ(snap.sections.size(), 7u);
+
+        // Replay digests run over lanes 0..6 only, and every visible
+        // lane digests equal to a scalar run (the padding lane cannot
+        // bleed state into its neighbours).
+        auto scalar = engine::create(name, nl);
+        scalar->step(10);
+        for (unsigned l = 0; l < 7; ++l)
+            EXPECT_EQ(digestOf(*eng, l, signals),
+                      digestOf(*scalar, 0, signals));
+    }
+}
+
+TEST(IsaEnsembleDeathTest, PaddingLaneIsOutOfRange)
+{
+    netlist::Netlist nl = laneDesign(30);
+    auto eng = makeLaned(nl, 7);
+    eng->step(3);
+    EXPECT_EXIT(eng->laneStatus(7), ::testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(eng->laneCycle(7), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(IsaEnsembleDeathTest, MoreThanSixteenLanesFatals)
+{
+    netlist::Netlist nl = laneDesign(30);
+    engine::CreateOptions options;
+    options.lanes = 17;
+    EXPECT_EXIT(engine::create("isa.tape", nl, options),
+                ::testing::ExitedWithCode(1), "cap at 16 lanes");
+}
+
+TEST(IsaEnsembleDeathTest, ReferenceInterpreterStaysScalar)
+{
+    netlist::Netlist nl = laneDesign(30);
+    engine::CreateOptions options;
+    options.lanes = 2;
+    EXPECT_EXIT(engine::create("isa.reference", nl, options),
+                ::testing::ExitedWithCode(1), "no ensemble mode");
+}
+
+// ---------------------------------------------------------------------------
+// Per-lane display transcripts
+// ---------------------------------------------------------------------------
+
+TEST(IsaEnsemble, PerLaneDisplayTranscripts)
+{
+    netlist::Netlist nl = laneDesign(30);
+    auto eng = makeLaned(nl, 3);
+    eng->step(100);
+    for (unsigned l = 0; l < 3; ++l) {
+        const auto &log = eng->laneDisplayLog(l);
+        ASSERT_EQ(log.size(), 1u) << "lane " << l;
+        EXPECT_NE(log[0].find("acc="), std::string::npos);
+    }
+}

@@ -19,7 +19,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -27,6 +30,7 @@
 #include "engine/registry.hh"
 #include "engine/snapshot.hh"
 #include "runtime/replay.hh"
+#include "runtime/waveform.hh"
 #include "support/rng.hh"
 #include "tests/random_circuit.hh"
 
@@ -61,6 +65,39 @@ strFlag(int argc, char **argv, const char *name,
             return argv[i] + len + 1;
     }
     return fallback;
+}
+
+/** Same directory the replay artifact lands in (see
+ *  ReplayRecorder::write). */
+std::string
+artifactDir(const std::string &dir)
+{
+    if (!dir.empty())
+        return dir;
+    if (const char *env = std::getenv("MANTICORE_REPLAY_DIR"))
+        return env;
+    return "replay-artifacts";
+}
+
+/** Dump the subject's recorded waveform (the diverging lane only)
+ *  next to the replay artifact; returns the path, "" on I/O error. */
+std::string
+writeDivergenceVcd(const runtime::WaveformRecorder &wave,
+                   const std::string &dir, uint64_t seed,
+                   const std::string &subject, unsigned lane)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return "";
+    std::string path = dir + "/fuzz-" + std::to_string(seed) + "-" +
+                       subject + "-lane" + std::to_string(lane) +
+                       ".vcd";
+    std::ofstream os(path);
+    if (!os)
+        return "";
+    wave.writeVcd(os);
+    return os ? path : "";
 }
 
 } // namespace
@@ -127,6 +164,10 @@ main(int argc, char **argv)
             engine::CrossCheck cc(*golden, *subject);
             cc.setRecorder(&recorder);
 
+            // Per-lane waveform of the subject: on divergence the VCD
+            // of the failing lane lands next to the replay artifact.
+            runtime::WaveformRecorder wave(nl);
+
             std::vector<engine::InputHandle> gh, sh;
             for (const std::string &name : input_names) {
                 gh.push_back(golden->bindInput(name));
@@ -145,13 +186,20 @@ main(int argc, char **argv)
                     subject->setInput(sh[i], value);
                 }
                 engine::RunResult r = cc.run(1);
+                wave.sample(*subject, /*lane=*/0, cycle);
                 if (cc.diverged()) {
+                    std::string vcd = writeDivergenceVcd(
+                        wave, artifactDir(dir), seed, subject_name,
+                        /*lane=*/0);
                     std::fprintf(stderr,
                                  "DIVERGENCE seed %llu %s vs "
-                                 "netlist.reference: %s\n",
+                                 "netlist.reference: %s\n  lane "
+                                 "waveform: %s\n",
                                  static_cast<unsigned long long>(seed),
                                  subject_name.c_str(),
-                                 cc.divergence().c_str());
+                                 cc.divergence().c_str(),
+                                 vcd.empty() ? "(vcd write failed)"
+                                             : vcd.c_str());
                     return 1;
                 }
                 if (r.status != engine::Status::Running)
