@@ -134,64 +134,84 @@ createIsaLevel(const std::string &name,
 
 } // namespace
 
+// Registration is once-guarded: the first list() call from ANY
+// thread builds the table (including the memoized AOT toolchain
+// probe, which takes its own mutex in aotToolchain()); every later
+// call — find(), names(), create() — reads the immutable result.
+// The guard is a function-local static rather than std::call_once:
+// the [stmt.dcl] initialization guarantee is identical, but it also
+// holds in binaries where the pthread runtime is not active (glibc's
+// gthr once-stub silently skips the callable there, which would
+// leave the registry empty for every single-threaded tool).
+// Concurrent engine::create() from many threads is a supported,
+// tested pattern (the multi-tenant service constructs tenant engines
+// on its worker pool; see tests/test_service.cc).
+namespace {
+
+std::vector<EngineInfo>
+registerEngines()
+{
+    constexpr uint32_t kNetlistCaps =
+        cap::kInputs | cap::kProbes | cap::kDisplayLog |
+        cap::kSnapshot;
+    constexpr uint32_t kIsaCaps = cap::kExceptions | cap::kProbes |
+                                  cap::kDisplayLog | cap::kSnapshot;
+    std::vector<EngineInfo> engines = {
+        {"netlist.reference",
+         "graph-walking netlist evaluator (allocating, obviously "
+         "correct; the golden model)",
+         true, kNetlistCaps},
+        {"netlist.compiled",
+         "netlist lowered once to a flat op tape over a limb arena "
+         "(zero-allocation)",
+         true,
+         kNetlistCaps | cap::kBatchedStep | cap::kEnsemble},
+        {"netlist.parallel",
+         "partition-parallel tapes on a persistent worker pool with "
+         "the two-barrier Vcycle (batched step(n) amortises the "
+         "rendezvous)",
+         true,
+         kNetlistCaps | cap::kBatchedStep | cap::kEnsemble},
+        {"netlist.aot",
+         "the flat tape AOT-compiled to a dlopen'd straight-line "
+         "cycle function (dispatch-free; hashed on-disk object "
+         "cache)",
+         true,
+         kNetlistCaps | cap::kBatchedStep | cap::kAotCompiled},
+        {"isa.reference",
+         "instruction-walking functional ISA interpreter (untimed)",
+         false, kIsaCaps},
+        {"isa.tape",
+         "flat pre-decoded ISA op tape with fused dispatch (untimed; "
+         "batched step(n) runs the whole batch per call; lanes > 1 "
+         "runs an N-wide SIMD ensemble)",
+         false, kIsaCaps | cap::kBatchedStep | cap::kEnsemble},
+        {"machine",
+         "cycle-level grid model: static schedule, torus NoC, global "
+         "stalls, perf counters",
+         false,
+         cap::kExceptions | cap::kProbes | cap::kDisplayLog |
+             cap::kPerfCounters},
+    };
+    // netlist.aot is the only engine with a host dependency: a
+    // working C++ toolchain, probed (and memoized) once here.
+    const netlist::AotToolchain &tc = netlist::aotToolchain();
+    for (EngineInfo &info : engines) {
+        if (std::string(info.name) != "netlist.aot")
+            continue;
+        info.available = tc.ok;
+        info.availabilityNote = tc.ok ? tc.compiler : tc.message;
+    }
+    return engines;
+}
+
+} // namespace
+
 const std::vector<EngineInfo> &
 list()
 {
-    static const std::vector<EngineInfo> kEngines = [] {
-        constexpr uint32_t kNetlistCaps =
-            cap::kInputs | cap::kProbes | cap::kDisplayLog |
-            cap::kSnapshot;
-        constexpr uint32_t kIsaCaps = cap::kExceptions | cap::kProbes |
-                                      cap::kDisplayLog | cap::kSnapshot;
-        std::vector<EngineInfo> engines = {
-            {"netlist.reference",
-             "graph-walking netlist evaluator (allocating, obviously "
-             "correct; the golden model)",
-             true, kNetlistCaps},
-            {"netlist.compiled",
-             "netlist lowered once to a flat op tape over a limb arena "
-             "(zero-allocation)",
-             true,
-             kNetlistCaps | cap::kBatchedStep | cap::kEnsemble},
-            {"netlist.parallel",
-             "partition-parallel tapes on a persistent worker pool with "
-             "the two-barrier Vcycle (batched step(n) amortises the "
-             "rendezvous)",
-             true,
-             kNetlistCaps | cap::kBatchedStep | cap::kEnsemble},
-            {"netlist.aot",
-             "the flat tape AOT-compiled to a dlopen'd straight-line "
-             "cycle function (dispatch-free; hashed on-disk object "
-             "cache)",
-             true,
-             kNetlistCaps | cap::kBatchedStep | cap::kAotCompiled},
-            {"isa.reference",
-             "instruction-walking functional ISA interpreter (untimed)",
-             false, kIsaCaps},
-            {"isa.tape",
-             "flat pre-decoded ISA op tape with fused dispatch (untimed; "
-             "batched step(n) runs the whole batch per call; lanes > 1 "
-             "runs an N-wide SIMD ensemble)",
-             false, kIsaCaps | cap::kBatchedStep | cap::kEnsemble},
-            {"machine",
-             "cycle-level grid model: static schedule, torus NoC, global "
-             "stalls, perf counters",
-             false,
-             cap::kExceptions | cap::kProbes | cap::kDisplayLog |
-                 cap::kPerfCounters},
-        };
-        // netlist.aot is the only engine with a host dependency: a
-        // working C++ toolchain, probed (and memoized) once here.
-        const netlist::AotToolchain &tc = netlist::aotToolchain();
-        for (EngineInfo &info : engines) {
-            if (std::string(info.name) != "netlist.aot")
-                continue;
-            info.available = tc.ok;
-            info.availabilityNote = tc.ok ? tc.compiler : tc.message;
-        }
-        return engines;
-    }();
-    return kEngines;
+    static const std::vector<EngineInfo> registry = registerEngines();
+    return registry;
 }
 
 const EngineInfo *

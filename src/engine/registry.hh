@@ -24,6 +24,13 @@
  *
  * Session is the quickstart convenience: a created engine plus the
  * one-call run loop (see README.md).
+ *
+ * Thread safety: registration is once-guarded, so
+ * `list` / `find` / `names` / `create` may be called concurrently
+ * from any number of threads — the multi-tenant service constructs
+ * tenant engines on its worker pool (see src/service/scheduler.hh).
+ * The Engine instances returned are NOT thread-safe themselves; one
+ * engine, one thread at a time.
  */
 
 #ifndef MANTICORE_ENGINE_REGISTRY_HH

@@ -1,0 +1,127 @@
+#include "engine/snapshot_io.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h> // getpid: unique temp-file suffix
+
+#include "support/bytestream.hh"
+#include "support/hashing.hh"
+#include "support/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace manticore::engine {
+
+namespace {
+
+constexpr char kMagic[7] = {'M', 'T', 'S', 'N', 'A', 'P', '\0'};
+
+} // namespace
+
+void
+writeSnapshotFile(const Snapshot &snapshot, const std::string &path)
+{
+    std::vector<uint8_t> buf;
+    buf.reserve(64);
+    support::ByteWriter w(buf);
+    w.bytes(kMagic, sizeof(kMagic));
+    w.u8(kSnapshotFileVersion);
+    w.u32(snapshot.version);
+    w.str(snapshot.family);
+    w.str(snapshot.engine);
+    w.u64(snapshot.designHash);
+    w.u32(snapshot.lanes);
+    w.u64(snapshot.cycle);
+    w.u32(static_cast<uint32_t>(snapshot.sections.size()));
+    for (const std::vector<uint8_t> &section : snapshot.sections) {
+        w.u64(section.size());
+        w.bytes(section.data(), section.size());
+    }
+    w.u64(fnv1a64(buf.data(), buf.size()));
+
+    // Temp file in the destination directory + rename: the final name
+    // either holds the complete old file or the complete new one,
+    // never a torn write (same discipline as the AOT object cache).
+    std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            MANTICORE_FATAL("cannot write checkpoint ", tmp);
+        out.write(reinterpret_cast<const char *>(buf.data()),
+                  static_cast<std::streamsize>(buf.size()));
+        if (!out)
+            MANTICORE_FATAL("short write on checkpoint ", tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        MANTICORE_FATAL("cannot move checkpoint into place at ", path,
+                        ": ", ec.message());
+    }
+}
+
+Snapshot
+readSnapshotFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        MANTICORE_FATAL("cannot open checkpoint ", path);
+    std::vector<uint8_t> buf((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+    if (buf.size() < sizeof(kMagic) + 1 + sizeof(uint64_t))
+        MANTICORE_FATAL("checkpoint ", path, " truncated (", buf.size(),
+                        " byte(s))");
+
+    // Checksum first: it covers everything, so one check catches
+    // truncation and corruption anywhere in the body.
+    size_t body = buf.size() - sizeof(uint64_t);
+    uint64_t want;
+    std::memcpy(&want, buf.data() + body, sizeof(want));
+    uint64_t got = fnv1a64(buf.data(), body);
+    if (got != want)
+        MANTICORE_FATAL("checkpoint ", path, " corrupt: checksum ",
+                        hashHex(got), " != recorded ", hashHex(want));
+
+    support::ByteReader r(buf.data(), body);
+    char magic[sizeof(kMagic)];
+    r.bytes(magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        MANTICORE_FATAL("not a manticore checkpoint: ", path);
+    uint8_t file_version = r.u8();
+    if (file_version != kSnapshotFileVersion)
+        MANTICORE_FATAL("checkpoint ", path, " has container version ",
+                        unsigned(file_version), "; this build reads ",
+                        unsigned(kSnapshotFileVersion));
+
+    Snapshot snap;
+    snap.version = r.u32();
+    snap.family = r.str();
+    snap.engine = r.str();
+    snap.designHash = r.u64();
+    snap.lanes = r.u32();
+    snap.cycle = r.u64();
+    uint32_t nsections = r.u32();
+    if (nsections != snap.lanes)
+        MANTICORE_FATAL("checkpoint ", path, " malformed: ", nsections,
+                        " section(s) for ", snap.lanes, " lane(s)");
+    snap.sections.resize(nsections);
+    for (std::vector<uint8_t> &section : snap.sections) {
+        uint64_t len = r.u64();
+        if (len > r.remaining())
+            MANTICORE_FATAL("checkpoint ", path,
+                            " truncated: section of ", len,
+                            " byte(s) with ", r.remaining(), " left");
+        section.resize(len);
+        r.bytes(section.data(), len);
+    }
+    if (!r.done())
+        MANTICORE_FATAL("checkpoint ", path, " malformed: ",
+                        r.remaining(), " trailing byte(s)");
+    return snap;
+}
+
+} // namespace manticore::engine

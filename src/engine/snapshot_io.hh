@@ -1,0 +1,60 @@
+/**
+ * @file
+ * On-disk container for engine checkpoints (engine::Snapshot).
+ *
+ * The in-memory Snapshot (snapshot.hh) is the canonical format — one
+ * validated header plus per-lane architectural sections.  This file
+ * adds the versioned FILE container around it ("MTSNAP"): magic,
+ * container version, the header fields, length-prefixed sections, and
+ * a trailing FNV-1a checksum over everything before it, so a
+ * truncated or bit-flipped checkpoint fails loudly at load instead of
+ * resuming garbage.  Writes go through a temp file + atomic rename
+ * (same discipline as the AOT object cache), so a crash mid-write —
+ * the whole point of service-run checkpointing — can never leave a
+ * half-written file under the final name.
+ *
+ * Layout (all little-endian, see support/bytestream.hh):
+ *
+ *   "MTSNAP\0" (7 bytes)  file magic
+ *   u8   container version        (kSnapshotFileVersion)
+ *   u32  Snapshot::version        (section-format version)
+ *   str  family                   ("netlist" | "isa")
+ *   str  engine                   (saving engine's registry name)
+ *   u64  designHash
+ *   u32  lanes
+ *   u64  cycle
+ *   u32  section count
+ *   [u64 length + raw bytes] x section count
+ *   u64  FNV-1a 64 of every preceding byte
+ *
+ * Restore-side identity checks (family, design hash, lane count,
+ * section version) stay where they are — in Engine::restore — so the
+ * file layer only vets container integrity.
+ */
+
+#ifndef MANTICORE_ENGINE_SNAPSHOT_IO_HH
+#define MANTICORE_ENGINE_SNAPSHOT_IO_HH
+
+#include <string>
+
+#include "engine/snapshot.hh"
+
+namespace manticore::engine {
+
+/// Bumped when the FILE layout above changes (independent of
+/// Snapshot::kVersion, which versions the section byte formats).
+constexpr uint8_t kSnapshotFileVersion = 1;
+
+/** Serialize `snapshot` into the MTSNAP container at `path`,
+ *  atomically (temp file in the same directory + rename).  Any I/O
+ *  failure is a loud user-facing fatal(). */
+void writeSnapshotFile(const Snapshot &snapshot, const std::string &path);
+
+/** Load an MTSNAP container.  Bad magic, unknown container version,
+ *  truncation, and checksum mismatch are loud user-facing fatal()s —
+ *  a damaged checkpoint must never half-restore. */
+Snapshot readSnapshotFile(const std::string &path);
+
+} // namespace manticore::engine
+
+#endif // MANTICORE_ENGINE_SNAPSHOT_IO_HH

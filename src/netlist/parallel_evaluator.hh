@@ -131,6 +131,14 @@ class ParallelCompiledEvaluator : public EvaluatorBase
     /** Introspection for tests and benches. */
     size_t numProcesses() const { return _procs.size(); }
     unsigned numThreads() const { return _numThreads; }
+    /** Threads this evaluator actually OWNS (spawned pool workers —
+     *  the master runs process 0 inline, so this is numThreads()-1,
+     *  and 0 when numThreads == 1).  The multi-tenant service relies
+     *  on the zero-owned-threads mode: with EvalOptions::numThreads
+     *  = 1 every cycle executes entirely on the calling thread, i.e.
+     *  on whatever scheduler worker borrowed the session (see
+     *  src/service/scheduler.hh). */
+    size_t ownedThreads() const { return _pool.size(); }
     WaitPolicy waitPolicy() const { return _waitPolicy; }
     const NetlistPartitionStats &partitionStats() const { return _stats; }
     size_t tapeLength() const; ///< total instructions across processes

@@ -1,0 +1,896 @@
+#include "service/protocol.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "designs/designs.hh"
+#include "netlist/builder.hh"
+#include "support/logging.hh"
+
+namespace manticore::service {
+
+// ---------------------------------------------------------------------------
+// Design catalog
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** ctr32: the smallest closed design — a free-running 32-bit counter
+ *  that $finishes at the horizon.  The service bench/tests tenant. */
+netlist::Netlist
+buildCtr32(uint64_t check_cycles)
+{
+    netlist::CircuitBuilder b("ctr32");
+    auto c = b.reg("c", 32);
+    b.next(c, c.read() + b.lit(32, 1));
+    b.finish(c.read() == b.lit(32, check_cycles));
+    return b.build();
+}
+
+/** acc8: an 8-bit accumulator over a free input — the poke/probe
+ *  exercise design (never finishes on its own). */
+netlist::Netlist
+buildAcc8(uint64_t /*check_cycles*/)
+{
+    netlist::CircuitBuilder b("acc8");
+    auto in = b.input("in", 8);
+    auto acc = b.reg("acc", 8);
+    b.next(acc, acc.read() + in);
+    return b.build();
+}
+
+} // namespace
+
+const std::vector<DesignEntry> &
+designCatalog()
+{
+    static const std::vector<DesignEntry> kCatalog = [] {
+        std::vector<DesignEntry> out;
+        for (const designs::Benchmark &bm : designs::allBenchmarks())
+            out.push_back({bm.name, bm.build, bm.defaultCheckCycles});
+        out.push_back({"ctr32", buildCtr32, 1u << 20});
+        out.push_back({"acc8", buildAcc8, 1u << 20});
+        out.push_back({"fifo1", [](uint64_t c) {
+                           return designs::buildFifoMicro(1, c);
+                       },
+                       4096});
+        out.push_back({"ram1", [](uint64_t c) {
+                           return designs::buildRamMicro(1, c);
+                       },
+                       4096});
+        return out;
+    }();
+    return kCatalog;
+}
+
+const DesignEntry *
+findDesign(const std::string &name)
+{
+    for (const DesignEntry &d : designCatalog())
+        if (d.name == name)
+            return &d;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Value encoding
+// ---------------------------------------------------------------------------
+
+std::string
+bitsToHex(const BitVector &value)
+{
+    unsigned digits = (value.width() + 3) / 4;
+    std::string out(digits, '0');
+    static const char kHex[] = "0123456789abcdef";
+    const std::vector<uint64_t> &limbs = value.limbs();
+    for (unsigned d = 0; d < digits; ++d) {
+        unsigned bit = 4 * (digits - 1 - d);
+        unsigned limb = bit / 64, shift = bit % 64;
+        uint64_t nib =
+            limb < limbs.size() ? (limbs[limb] >> shift) & 0xf : 0;
+        // A nibble straddling a limb boundary picks up the high bits
+        // from the next limb.
+        if (shift > 60 && limb + 1 < limbs.size())
+            nib |= (limbs[limb + 1] << (64 - shift)) & 0xf;
+        out[d] = kHex[nib];
+    }
+    return out;
+}
+
+bool
+hexToBits(const std::string &hex, unsigned width, BitVector *out)
+{
+    unsigned digits = (width + 3) / 4;
+    if (width == 0 || hex.size() != digits)
+        return false;
+    std::vector<uint64_t> limbs((width + 63) / 64, 0);
+    for (unsigned d = 0; d < digits; ++d) {
+        char c = hex[d];
+        uint64_t nib;
+        if (c >= '0' && c <= '9')
+            nib = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nib = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            nib = c - 'A' + 10;
+        else
+            return false;
+        unsigned bit = 4 * (digits - 1 - d);
+        limbs[bit / 64] |= nib << (bit % 64);
+        if (bit % 64 > 60 && bit / 64 + 1 < limbs.size())
+            limbs[bit / 64 + 1] |= nib >> (64 - bit % 64);
+    }
+    BitVector parsed = BitVector::fromLimbs(width, limbs);
+    // fromLimbs truncates; reject values whose set bits exceeded the
+    // declared width instead of silently masking tenant input.
+    if (bitsToHex(parsed) != [&] {
+            std::string lower = hex;
+            for (char &c : lower)
+                c = static_cast<char>(std::tolower(c));
+            return lower;
+        }())
+        return false;
+    *out = parsed;
+    return true;
+}
+
+std::string
+formatValue(const BitVector &value)
+{
+    return std::to_string(value.width()) + "'h" + bitsToHex(value);
+}
+
+bool
+parseValue(const std::string &token, BitVector *out)
+{
+    size_t sep = token.find("'h");
+    if (sep == std::string::npos)
+        return false;
+    char *end = nullptr;
+    unsigned long width = std::strtoul(token.c_str(), &end, 10);
+    if (end != token.c_str() + sep || width == 0)
+        return false;
+    return hexToBits(token.substr(sep + 2),
+                     static_cast<unsigned>(width), out);
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(line);
+    std::string tok;
+    while (iss >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+bool
+parseU64(const std::string &tok, uint64_t *out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (errno != 0 || end != tok.c_str() + tok.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+writeAllFd(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+struct Server::Connection
+{
+    int fd = -1;
+    std::string inbuf;
+    /// Sessions created here and not yet detached/destroyed: they die
+    /// with the connection (SessionHandle's ownership rule).
+    std::vector<SessionId> owned;
+    std::string outbuf; ///< reply being assembled for one request
+
+    void
+    payload(const std::string &line)
+    {
+        outbuf += "| ";
+        outbuf += line;
+        outbuf += '\n';
+    }
+    void
+    ok(const std::string &detail = "")
+    {
+        outbuf += detail.empty() ? "ok" : "ok " + detail;
+        outbuf += '\n';
+    }
+    void
+    err(const std::string &message)
+    {
+        outbuf += "err ";
+        outbuf += message;
+        outbuf += '\n';
+    }
+    void
+    disown(SessionId id)
+    {
+        for (size_t i = 0; i < owned.size(); ++i)
+            if (owned[i] == id) {
+                owned.erase(owned.begin() + i);
+                return;
+            }
+    }
+
+    bool
+    readLine(std::string *line)
+    {
+        for (;;) {
+            size_t nl = inbuf.find('\n');
+            if (nl != std::string::npos) {
+                *line = inbuf.substr(0, nl);
+                inbuf.erase(0, nl + 1);
+                if (!line->empty() && line->back() == '\r')
+                    line->pop_back();
+                return true;
+            }
+            char buf[4096];
+            ssize_t n = ::read(fd, buf, sizeof(buf));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                return false;
+            inbuf.append(buf, static_cast<size_t>(n));
+        }
+    }
+};
+
+bool
+Server::handleLine(Connection &conn, const std::string &line)
+{
+    std::vector<std::string> tok = tokenize(line);
+    if (tok.empty())
+        return true; // blank keep-alive
+    const std::string &cmd = tok[0];
+    std::string error;
+
+    // Commands addressing a session parse the id first.
+    auto sessionArg = [&](size_t index, SessionId *id) -> bool {
+        uint64_t v;
+        if (tok.size() <= index || !parseU64(tok[index], &v) || v == 0) {
+            conn.err("expected a session id");
+            return false;
+        }
+        *id = v;
+        return true;
+    };
+
+    if (cmd == "hello") {
+        conn.ok("manticored proto=" + std::to_string(kProtocolVersion) +
+                " workers=" + std::to_string(_scheduler.numWorkers()));
+    } else if (cmd == "engines") {
+        for (const engine::EngineInfo &info : engine::list())
+            conn.payload(std::string(info.name) +
+                         " available=" + (info.available ? "1" : "0") +
+                         " " + info.description);
+        conn.ok(std::to_string(engine::list().size()));
+    } else if (cmd == "designs") {
+        for (const DesignEntry &d : designCatalog())
+            conn.payload(d.name +
+                         " cycles=" + std::to_string(d.defaultCycles));
+        conn.ok(std::to_string(designCatalog().size()));
+    } else if (cmd == "new") {
+        if (tok.size() < 3) {
+            conn.err("usage: new <design> <engine> [lanes [horizon]]");
+            return true;
+        }
+        const DesignEntry *design = findDesign(tok[1]);
+        if (!design) {
+            conn.err("no such design: " + tok[1]);
+            return true;
+        }
+        uint64_t lanes = 1, horizon = design->defaultCycles;
+        if (tok.size() > 3 && !parseU64(tok[3], &lanes)) {
+            conn.err("bad lane count: " + tok[3]);
+            return true;
+        }
+        if (tok.size() > 4 && !parseU64(tok[4], &horizon)) {
+            conn.err("bad horizon: " + tok[4]);
+            return true;
+        }
+        engine::CreateOptions options;
+        options.lanes = static_cast<unsigned>(lanes);
+        SessionId id = _scheduler.createSession(
+            tok[2], design->build(horizon), options, &error);
+        if (id == 0) {
+            conn.err(error);
+            return true;
+        }
+        conn.owned.push_back(id);
+        conn.ok(std::to_string(id));
+    } else if (cmd == "run" || cmd == "runto") {
+        SessionId id;
+        uint64_t cycles;
+        if (!sessionArg(1, &id))
+            return true;
+        if (tok.size() < 3 || !parseU64(tok[2], &cycles)) {
+            conn.err("expected a cycle count");
+            return true;
+        }
+        bool ok = cmd == "run"
+                      ? _scheduler.submitRun(id, cycles, &error)
+                      : _scheduler.submitRunTo(id, cycles, &error);
+        ok ? conn.ok("queued") : conn.err(error);
+    } else if (cmd == "poke") {
+        SessionId id;
+        if (!sessionArg(1, &id))
+            return true;
+        if (tok.size() < 5) {
+            conn.err("usage: poke <sid> <input> <lane|all> <hex>");
+            return true;
+        }
+        unsigned lane = kAllLanes;
+        uint64_t lane_v;
+        if (tok[3] != "all") {
+            if (!parseU64(tok[3], &lane_v)) {
+                conn.err("bad lane: " + tok[3]);
+                return true;
+            }
+            lane = static_cast<unsigned>(lane_v);
+        }
+        unsigned width = _scheduler.inputWidth(id, tok[2], &error);
+        if (width == 0) {
+            conn.err(error);
+            return true;
+        }
+        BitVector value;
+        if (!hexToBits(tok[4], width, &value)) {
+            conn.err("bad value '" + tok[4] + "' for " +
+                     std::to_string(width) + "-bit input " + tok[2] +
+                     " (want " + std::to_string((width + 3) / 4) +
+                     " hex digit(s))");
+            return true;
+        }
+        _scheduler.submitPoke(id, tok[2], lane, value, &error)
+            ? conn.ok("queued")
+            : conn.err(error);
+    } else if (cmd == "poll") {
+        SessionId id;
+        if (!sessionArg(1, &id))
+            return true;
+        PollResult r = _scheduler.poll(id);
+        if (!r.exists) {
+            conn.err("no such session: " + std::to_string(id));
+            return true;
+        }
+        std::string detail =
+            std::string("phase=") + phaseName(r.phase) +
+            " status=" + engine::statusName(r.status) +
+            " cycle=" + std::to_string(r.cycle) +
+            " lanes=" + std::to_string(r.lanes) +
+            " queued=" + std::to_string(r.queued) +
+            " executing=" + (r.executing ? "1" : "0") +
+            " done=" + std::to_string(r.completedRuns) +
+            " of=" + std::to_string(r.submittedRuns) +
+            " canceled=" + std::to_string(r.canceledRuns);
+        if (!r.error.empty())
+            conn.err(r.error + " (" + detail + ")");
+        else
+            conn.ok(detail);
+    } else if (cmd == "wait") {
+        SessionId id;
+        uint64_t timeout = 0;
+        if (!sessionArg(1, &id))
+            return true;
+        if (tok.size() > 2 && !parseU64(tok[2], &timeout)) {
+            conn.err("bad timeout: " + tok[2]);
+            return true;
+        }
+        _scheduler.wait(id, timeout)
+            ? conn.ok("drained")
+            : conn.err(timeout ? "timeout" : "no such session: " +
+                                                 std::to_string(id));
+    } else if (cmd == "probe") {
+        SessionId id;
+        uint64_t lane;
+        if (!sessionArg(1, &id))
+            return true;
+        if (tok.size() < 4 || !parseU64(tok[3], &lane)) {
+            conn.err("usage: probe <sid> <signal> <lane>");
+            return true;
+        }
+        BitVector value;
+        if (!_scheduler.readProbe(id, tok[2],
+                                  static_cast<unsigned>(lane), &value,
+                                  &error)) {
+            conn.err(error);
+            return true;
+        }
+        conn.ok(formatValue(value));
+    } else if (cmd == "lanes") {
+        SessionId id;
+        if (!sessionArg(1, &id))
+            return true;
+        std::vector<LaneView> lanes = _scheduler.laneViews(id);
+        for (size_t l = 0; l < lanes.size(); ++l) {
+            std::string row =
+                "lane=" + std::to_string(l) +
+                " status=" + engine::statusName(lanes[l].status) +
+                " cycle=" + std::to_string(lanes[l].cycle);
+            if (!lanes[l].failureMessage.empty())
+                row += " fail=" + lanes[l].failureMessage;
+            conn.payload(row);
+        }
+        conn.ok(std::to_string(lanes.size()));
+    } else if (cmd == "log") {
+        SessionId id;
+        uint64_t lane = 0;
+        if (!sessionArg(1, &id))
+            return true;
+        if (tok.size() > 2 && !parseU64(tok[2], &lane)) {
+            conn.err("bad lane: " + tok[2]);
+            return true;
+        }
+        for (const std::string &l :
+             _scheduler.displayLog(id, static_cast<unsigned>(lane)))
+            conn.payload(l);
+        conn.ok();
+    } else if (cmd == "meter") {
+        SessionId id;
+        if (!sessionArg(1, &id))
+            return true;
+        for (const engine::Stat &s : _scheduler.meter(id))
+            conn.payload(s.name + " " + std::to_string(s.value));
+        conn.ok();
+    } else if (cmd == "cancel") {
+        SessionId id;
+        if (!sessionArg(1, &id))
+            return true;
+        _scheduler.cancel(id)
+            ? conn.ok()
+            : conn.err("no such session: " + std::to_string(id));
+    } else if (cmd == "save") {
+        SessionId id;
+        if (!sessionArg(1, &id))
+            return true;
+        if (tok.size() < 3) {
+            conn.err("usage: save <sid> <path>");
+            return true;
+        }
+        _scheduler.saveCheckpoint(id, tok[2], &error)
+            ? conn.ok(tok[2])
+            : conn.err(error);
+    } else if (cmd == "detach") {
+        SessionId id;
+        if (!sessionArg(1, &id))
+            return true;
+        conn.disown(id);
+        conn.ok();
+    } else if (cmd == "destroy") {
+        SessionId id;
+        if (!sessionArg(1, &id))
+            return true;
+        conn.disown(id);
+        _scheduler.destroySession(id)
+            ? conn.ok()
+            : conn.err("no such session: " + std::to_string(id));
+    } else if (cmd == "stats") {
+        for (const engine::Stat &s : _scheduler.serviceStats())
+            conn.payload(s.name + " " + std::to_string(s.value));
+        conn.ok();
+    } else if (cmd == "shutdown") {
+        if (_stop)
+            _stop->store(true);
+        conn.ok(_stop ? "stopping" : "no server loop to stop");
+        return false;
+    } else if (cmd == "quit") {
+        conn.ok("bye");
+        return false;
+    } else {
+        conn.err("unknown command: " + cmd);
+    }
+    return true;
+}
+
+void
+Server::serveConnection(int fd)
+{
+    Connection conn;
+    conn.fd = fd;
+    std::string line;
+    bool more = true;
+    while (more && conn.readLine(&line)) {
+        conn.outbuf.clear();
+        more = handleLine(conn, line);
+        if (!writeAllFd(fd, conn.outbuf))
+            break; // client went away mid-reply
+    }
+    for (SessionId id : conn.owned)
+        _scheduler.destroySession(id);
+    ::close(fd);
+}
+
+void
+Server::serveStdio()
+{
+    // One connection over the stdio pipe pair; dup so the Connection
+    // teardown close() does not close the process's stdin.
+    int in = ::dup(0);
+    Connection conn;
+    conn.fd = in;
+    std::string line;
+    bool more = true;
+    while (more && conn.readLine(&line)) {
+        conn.outbuf.clear();
+        more = handleLine(conn, line);
+        if (!writeAllFd(1, conn.outbuf))
+            break;
+    }
+    for (SessionId id : conn.owned)
+        _scheduler.destroySession(id);
+    ::close(in);
+}
+
+bool
+Server::serveUnixSocket(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        MANTICORE_WARN("socket path too long: ", path);
+        return false;
+    }
+    int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0) {
+        MANTICORE_WARN("cannot create socket: ", std::strerror(errno));
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());
+    if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listener, 64) < 0) {
+        MANTICORE_WARN("cannot bind ", path, ": ",
+                       std::strerror(errno));
+        ::close(listener);
+        return false;
+    }
+
+    std::vector<std::thread> connections;
+    while (!_stop || !_stop->load()) {
+        // Poll with a timeout so the shutdown command (which a
+        // connection thread handles) can stop the accept loop.
+        pollfd pfd{listener, POLLIN, 0};
+        int pr = ::poll(&pfd, 1, 200);
+        if (pr < 0 && errno != EINTR)
+            break;
+        if (pr <= 0 || !(pfd.revents & POLLIN))
+            continue;
+        int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        connections.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+    for (std::thread &t : connections)
+        t.join();
+    ::close(listener);
+    ::unlink(path.c_str());
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::~Client() { close(); }
+
+void
+Client::close()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+    _fd = -1;
+    _buf.clear();
+}
+
+bool
+Client::connectTo(const std::string &path, std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return false;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::strerror(errno);
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        if (error)
+            *error = path + ": " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    _fd = fd;
+    return true;
+}
+
+void
+Client::adopt(int fd)
+{
+    close();
+    _fd = fd;
+}
+
+bool
+Client::writeAll(const std::string &data)
+{
+    return _fd >= 0 && writeAllFd(_fd, data);
+}
+
+bool
+Client::readLine(std::string *line)
+{
+    for (;;) {
+        size_t nl = _buf.find('\n');
+        if (nl != std::string::npos) {
+            *line = _buf.substr(0, nl);
+            _buf.erase(0, nl + 1);
+            return true;
+        }
+        char buf[4096];
+        ssize_t n = ::read(_fd, buf, sizeof(buf));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        _buf.append(buf, static_cast<size_t>(n));
+    }
+}
+
+Client::Reply
+Client::request(const std::string &line)
+{
+    Reply reply;
+    if (!writeAll(line + "\n")) {
+        reply.detail = "connection closed";
+        return reply;
+    }
+    std::string got;
+    for (;;) {
+        if (!readLine(&got)) {
+            reply.lines.clear();
+            reply.detail = "connection closed";
+            return reply;
+        }
+        if (got.rfind("| ", 0) == 0) {
+            reply.lines.push_back(got.substr(2));
+            continue;
+        }
+        if (got == "ok" || got.rfind("ok ", 0) == 0) {
+            reply.ok = true;
+            reply.detail = got.size() > 3 ? got.substr(3) : "";
+        } else if (got.rfind("err ", 0) == 0) {
+            reply.detail = got.substr(4);
+        } else {
+            reply.detail = "malformed reply: " + got;
+        }
+        return reply;
+    }
+}
+
+bool
+Client::hello(std::string *detail)
+{
+    Reply r = request("hello");
+    if (detail)
+        *detail = r.detail;
+    return r.ok;
+}
+
+SessionId
+Client::newSession(const std::string &design, const std::string &engine,
+                   unsigned lanes, uint64_t horizon, std::string *error)
+{
+    std::string req = "new " + design + " " + engine + " " +
+                      std::to_string(lanes);
+    if (horizon != 0)
+        req += " " + std::to_string(horizon);
+    Reply r = request(req);
+    uint64_t id = 0;
+    if (r.ok && parseU64(r.detail, &id))
+        return id;
+    if (error)
+        *error = r.detail;
+    return 0;
+}
+
+bool
+Client::run(SessionId id, uint64_t cycles, std::string *error)
+{
+    Reply r = request("run " + std::to_string(id) + " " +
+                      std::to_string(cycles));
+    if (!r.ok && error)
+        *error = r.detail;
+    return r.ok;
+}
+
+bool
+Client::poke(SessionId id, const std::string &input, unsigned lane,
+             const BitVector &value, std::string *error)
+{
+    std::string lane_tok =
+        lane == kAllLanes ? "all" : std::to_string(lane);
+    Reply r = request("poke " + std::to_string(id) + " " + input + " " +
+                      lane_tok + " " + bitsToHex(value));
+    if (!r.ok && error)
+        *error = r.detail;
+    return r.ok;
+}
+
+Client::Poll
+Client::poll(SessionId id)
+{
+    Poll p;
+    Reply r = request("poll " + std::to_string(id));
+    if (!r.ok)
+        return p;
+    p.ok = true;
+    for (const std::string &tok : tokenize(r.detail)) {
+        size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            continue;
+        std::string key = tok.substr(0, eq);
+        std::string val = tok.substr(eq + 1);
+        uint64_t num = 0;
+        parseU64(val, &num);
+        if (key == "phase")
+            p.phase = val;
+        else if (key == "status")
+            p.status = val;
+        else if (key == "cycle")
+            p.cycle = num;
+        else if (key == "lanes")
+            p.lanes = static_cast<unsigned>(num);
+        else if (key == "queued")
+            p.queued = num;
+        else if (key == "executing")
+            p.executing = num != 0;
+        else if (key == "done")
+            p.done = num;
+        else if (key == "of")
+            p.of = num;
+    }
+    return p;
+}
+
+bool
+Client::wait(SessionId id, uint64_t timeout_ms)
+{
+    std::string req = "wait " + std::to_string(id);
+    if (timeout_ms != 0)
+        req += " " + std::to_string(timeout_ms);
+    return request(req).ok;
+}
+
+bool
+Client::probe(SessionId id, const std::string &signal, unsigned lane,
+              BitVector *out, std::string *error)
+{
+    Reply r = request("probe " + std::to_string(id) + " " + signal +
+                      " " + std::to_string(lane));
+    if (!r.ok) {
+        if (error)
+            *error = r.detail;
+        return false;
+    }
+    if (!parseValue(r.detail, out)) {
+        if (error)
+            *error = "malformed value: " + r.detail;
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+Client::displayLog(SessionId id, unsigned lane)
+{
+    return request("log " + std::to_string(id) + " " +
+                   std::to_string(lane))
+        .lines;
+}
+
+namespace {
+
+std::vector<std::pair<std::string, uint64_t>>
+parseStatLines(const std::vector<std::string> &lines)
+{
+    std::vector<std::pair<std::string, uint64_t>> out;
+    for (const std::string &l : lines) {
+        size_t sp = l.rfind(' ');
+        if (sp == std::string::npos)
+            continue;
+        uint64_t v = 0;
+        if (!parseU64(l.substr(sp + 1), &v))
+            continue;
+        out.emplace_back(l.substr(0, sp), v);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, uint64_t>>
+Client::meter(SessionId id)
+{
+    return parseStatLines(request("meter " + std::to_string(id)).lines);
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+Client::serviceStats()
+{
+    return parseStatLines(request("stats").lines);
+}
+
+bool
+Client::cancel(SessionId id)
+{
+    return request("cancel " + std::to_string(id)).ok;
+}
+
+bool
+Client::detach(SessionId id)
+{
+    return request("detach " + std::to_string(id)).ok;
+}
+
+bool
+Client::destroy(SessionId id)
+{
+    return request("destroy " + std::to_string(id)).ok;
+}
+
+bool
+Client::shutdownServer()
+{
+    return request("shutdown").ok;
+}
+
+} // namespace manticore::service

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The manticored wire protocol: line-oriented requests over a local
+ * stream (unix socket or stdio), one scheduler shared by every
+ * connection.
+ *
+ * ## Grammar
+ *
+ * Requests are single lines of whitespace-separated tokens.  Every
+ * reply is zero or more payload lines, each prefixed `"| "`, followed
+ * by exactly one status line: `ok [detail...]` or `err <message>`.
+ * A client therefore reads lines until the first one that does not
+ * start with `"| "` — no length framing, no ambiguity.
+ *
+ *   hello                          -> ok manticored proto=1 workers=N
+ *   engines                        -> | <name> available=0|1 <descr>
+ *   designs                        -> | <name> cycles=<horizon>
+ *   new <design> <engine> [lanes [horizon]]
+ *                                  -> ok <sid>
+ *   run <sid> <cycles>             -> ok queued
+ *   runto <sid> <cycle>            -> ok queued
+ *   poke <sid> <input> <lane|all> <hex>
+ *                                  -> ok queued
+ *   poll <sid>                     -> ok phase=.. status=.. cycle=..
+ *                                        lanes=.. queued=.. executing=..
+ *                                        done=.. of=.. canceled=..
+ *   wait <sid> [timeout_ms]        -> ok drained | err timeout
+ *   probe <sid> <signal> <lane>    -> ok <w>'h<hex>
+ *   lanes <sid>                    -> | lane=<i> status=.. cycle=..
+ *   log <sid> <lane>               -> | <$display line>
+ *   meter <sid>                    -> | <stat name> <value>
+ *   cancel <sid>                   -> ok
+ *   save <sid> <path>              -> ok <path>
+ *   detach <sid>                   -> ok   (survives this connection)
+ *   destroy <sid>                  -> ok
+ *   stats                          -> | <stat name> <value>
+ *   shutdown                       -> ok   (stops the whole server)
+ *   quit                           -> ok bye (ends this connection)
+ *
+ * Sessions created on a connection die with it unless `detach`ed —
+ * the same ownership rule as service::SessionHandle.  `<design>` is a
+ * name from the built-in catalog (the nine Fig. 6 benchmarks plus the
+ * ctr32/fifo/ram micros); tenants name designs, they do not upload
+ * netlists, so every input is validated server-side and a bad request
+ * is an `err` line, never a dead server.
+ *
+ * ## Pieces
+ *
+ *  - designCatalog(): named buildable designs for `new`.
+ *  - bitsToHex()/hexToBits(): the value encoding (plain hex digits,
+ *    MSB first, exactly ceil(width/4) of them accepted).
+ *  - Server: serves connections against a shared Scheduler.
+ *  - Client: blocking request/reply with typed helpers (used by
+ *    manticore-client and the protocol tests).
+ */
+
+#ifndef MANTICORE_SERVICE_PROTOCOL_HH
+#define MANTICORE_SERVICE_PROTOCOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/scheduler.hh"
+
+namespace manticore::service {
+
+constexpr unsigned kProtocolVersion = 1;
+
+/** One named design tenants can instantiate with `new`. */
+struct DesignEntry
+{
+    std::string name;
+    /// Build the netlist with the given self-check horizon.
+    std::function<netlist::Netlist(uint64_t)> build;
+    /// Default horizon (the design's self-check cycle count).
+    uint64_t defaultCycles;
+};
+
+/** The servable designs: the nine Fig. 6 benchmarks (Table 3 order)
+ *  plus the ctr32 counter and the small FIFO/RAM micros. */
+const std::vector<DesignEntry> &designCatalog();
+
+const DesignEntry *findDesign(const std::string &name);
+
+/** MSB-first plain hex digits, exactly ceil(width/4) of them. */
+std::string bitsToHex(const BitVector &value);
+
+/** Parse `hex` as a `width`-bit value.  False on non-hex characters,
+ *  wrong digit count, or set bits above `width`. */
+bool hexToBits(const std::string &hex, unsigned width, BitVector *out);
+
+/** Format/parse the probe-reply value token ("<w>'h<hex>"). */
+std::string formatValue(const BitVector &value);
+bool parseValue(const std::string &token, BitVector *out);
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+class Server
+{
+  public:
+    /** Serve `scheduler` to protocol clients.  `stop`, when non-null,
+     *  is polled by the accept loop and set by the `shutdown`
+     *  command. */
+    explicit Server(Scheduler &scheduler,
+                    std::atomic<bool> *stop = nullptr)
+        : _scheduler(scheduler), _stop(stop)
+    {}
+
+    /** Serve one established connection (socketpair end, accepted
+     *  socket, ...) until EOF/`quit`/`shutdown`.  Owns and closes
+     *  `fd`.  Non-detached sessions of the connection are destroyed
+     *  on return.  Safe to call from many threads at once. */
+    void serveConnection(int fd);
+
+    /** Serve stdin/stdout as one connection (the --stdio daemon
+     *  mode); does not close the stdio descriptors. */
+    void serveStdio();
+
+    /** Bind a unix-domain listening socket at `path` (unlinking any
+     *  stale one), then accept connections — one service thread each
+     *  — until `stop` is set or the `shutdown` command arrives.
+     *  Returns false (+ a warning) when the socket cannot be bound. */
+    bool serveUnixSocket(const std::string &path);
+
+    Scheduler &scheduler() { return _scheduler; }
+
+  private:
+    struct Connection; // per-connection state (owned sessions, buffer)
+
+    /** Execute one request line; returns false when the connection
+     *  should close (quit/shutdown). */
+    bool handleLine(Connection &conn, const std::string &line);
+
+    Scheduler &_scheduler;
+    std::atomic<bool> *_stop = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to a manticored unix socket.  False + error on
+     *  failure. */
+    bool connectTo(const std::string &path,
+                   std::string *error = nullptr);
+    /** Adopt an already-connected stream fd (socketpair tests). */
+    void adopt(int fd);
+
+    bool connected() const { return _fd >= 0; }
+    void close();
+
+    struct Reply
+    {
+        bool ok = false;
+        std::string detail; ///< status line after "ok "/"err "
+        std::vector<std::string> lines; ///< "| " payload, unprefixed
+    };
+
+    /** One blocking request/reply round-trip.  An I/O failure (server
+     *  gone) returns ok=false with detail "connection closed". */
+    Reply request(const std::string &line);
+
+    // ---- typed helpers --------------------------------------------
+    bool hello(std::string *detail = nullptr);
+    SessionId newSession(const std::string &design,
+                         const std::string &engine, unsigned lanes = 1,
+                         uint64_t horizon = 0,
+                         std::string *error = nullptr);
+    bool run(SessionId id, uint64_t cycles,
+             std::string *error = nullptr);
+    bool poke(SessionId id, const std::string &input, unsigned lane,
+              const BitVector &value, std::string *error = nullptr);
+    /** poll key=value fields, parsed. */
+    struct Poll
+    {
+        bool ok = false;
+        std::string phase;
+        std::string status;
+        uint64_t cycle = 0;
+        unsigned lanes = 1;
+        uint64_t queued = 0;
+        bool executing = false;
+        uint64_t done = 0; ///< completed runs
+        uint64_t of = 0;   ///< submitted runs
+    };
+    Poll poll(SessionId id);
+    bool wait(SessionId id, uint64_t timeout_ms = 0);
+    bool probe(SessionId id, const std::string &signal, unsigned lane,
+               BitVector *out, std::string *error = nullptr);
+    std::vector<std::string> displayLog(SessionId id, unsigned lane);
+    std::vector<std::pair<std::string, uint64_t>> meter(SessionId id);
+    std::vector<std::pair<std::string, uint64_t>> serviceStats();
+    bool cancel(SessionId id);
+    bool detach(SessionId id);
+    bool destroy(SessionId id);
+    bool shutdownServer();
+
+  private:
+    bool readLine(std::string *line);
+    bool writeAll(const std::string &data);
+
+    int _fd = -1;
+    std::string _buf; ///< readLine carry-over
+};
+
+} // namespace manticore::service
+
+#endif // MANTICORE_SERVICE_PROTOCOL_HH

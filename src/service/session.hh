@@ -1,0 +1,158 @@
+/**
+ * @file
+ * SessionHandle: the client-side RAII view of one scheduler tenant.
+ *
+ * A handle owns its session's lifetime — destruction destroys the
+ * session (queued work dropped, engine released at the next quantum
+ * boundary) unless `detach()` was called, after which the session
+ * lives on in the scheduler and the id is the only way back to it.
+ * Everything else forwards to the Scheduler's async submit/poll/
+ * cancel and synchronous-read API; the handle adds no locking of its
+ * own, so one handle may be shared the way a SessionId may be shared
+ * (the scheduler's contract covers concurrent calls on one id;
+ * detach()/release() themselves are owner-only).
+ *
+ * @code
+ * service::Scheduler sched;
+ * auto h = service::SessionHandle::create(sched, "netlist.compiled",
+ *                                         design, {.lanes = 4});
+ * h.submitRun(100'000);
+ * h.wait();
+ * BitVector v;
+ * h.readProbe("state", 0, &v);
+ * @endcode
+ */
+
+#ifndef MANTICORE_SERVICE_SESSION_HH
+#define MANTICORE_SERVICE_SESSION_HH
+
+#include <utility>
+
+#include "service/scheduler.hh"
+
+namespace manticore::service {
+
+class SessionHandle
+{
+  public:
+    /** Admit a session (see Scheduler::createSession).  The returned
+     *  handle is empty — `!valid()` — when admission was rejected,
+     *  with the reason in `error`. */
+    static SessionHandle
+    create(Scheduler &scheduler, const std::string &engine_name,
+           netlist::Netlist netlist,
+           engine::CreateOptions options = {},
+           std::string *error = nullptr)
+    {
+        SessionId id = scheduler.createSession(
+            engine_name, std::move(netlist), std::move(options), error);
+        return SessionHandle(scheduler, id);
+    }
+
+    /** Re-attach to a detached session by id (no existence check —
+     *  the first poll()/submit reports unknown ids). */
+    SessionHandle(Scheduler &scheduler, SessionId id)
+        : _scheduler(&scheduler), _id(id)
+    {}
+
+    SessionHandle() = default;
+
+    ~SessionHandle()
+    {
+        if (_scheduler && _id != 0)
+            _scheduler->destroySession(_id);
+    }
+
+    SessionHandle(SessionHandle &&other) noexcept
+        : _scheduler(other._scheduler), _id(other._id)
+    {
+        other._scheduler = nullptr;
+        other._id = 0;
+    }
+
+    SessionHandle &
+    operator=(SessionHandle &&other) noexcept
+    {
+        if (this != &other) {
+            if (_scheduler && _id != 0)
+                _scheduler->destroySession(_id);
+            _scheduler = other._scheduler;
+            _id = other._id;
+            other._scheduler = nullptr;
+            other._id = 0;
+        }
+        return *this;
+    }
+
+    SessionHandle(const SessionHandle &) = delete;
+    SessionHandle &operator=(const SessionHandle &) = delete;
+
+    bool valid() const { return _scheduler != nullptr && _id != 0; }
+    SessionId id() const { return _id; }
+
+    /** Give up ownership: the session keeps running in the scheduler
+     *  after this handle dies.  Returns the id for later re-attach. */
+    SessionId
+    detach()
+    {
+        SessionId id = _id;
+        _scheduler = nullptr;
+        _id = 0;
+        return id;
+    }
+
+    // ---- forwarders (see Scheduler for semantics) ------------------
+
+    bool
+    submitRun(uint64_t cycles, std::string *error = nullptr)
+    {
+        return _scheduler->submitRun(_id, cycles, error);
+    }
+    bool
+    submitRunTo(uint64_t target_cycle, std::string *error = nullptr)
+    {
+        return _scheduler->submitRunTo(_id, target_cycle, error);
+    }
+    bool
+    submitPoke(const std::string &input, unsigned lane,
+               const BitVector &value, std::string *error = nullptr)
+    {
+        return _scheduler->submitPoke(_id, input, lane, value, error);
+    }
+    PollResult poll() const { return _scheduler->poll(_id); }
+    bool
+    wait(uint64_t timeout_ms = 0)
+    {
+        return _scheduler->wait(_id, timeout_ms);
+    }
+    bool cancel() { return _scheduler->cancel(_id); }
+    bool
+    readProbe(const std::string &signal, unsigned lane, BitVector *out,
+              std::string *error = nullptr)
+    {
+        return _scheduler->readProbe(_id, signal, lane, out, error);
+    }
+    std::vector<engine::Stat> meter() { return _scheduler->meter(_id); }
+    std::vector<LaneView> laneViews() const
+    {
+        return _scheduler->laneViews(_id);
+    }
+    std::vector<std::string>
+    displayLog(unsigned lane = 0)
+    {
+        return _scheduler->displayLog(_id, lane);
+    }
+    bool
+    saveCheckpoint(const std::string &path, std::string *error = nullptr)
+    {
+        return _scheduler->saveCheckpoint(_id, path, error);
+    }
+
+  private:
+    Scheduler *_scheduler = nullptr;
+    SessionId _id = 0;
+};
+
+} // namespace manticore::service
+
+#endif // MANTICORE_SERVICE_SESSION_HH

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * manticore-client: batch CLI for a shared manticored instance.
+ *
+ *   manticore_client --spawn --run-all
+ *   manticore_client --server /tmp/manticored.sock run mm
+ *   manticore_client --server /tmp/manticored.sock --list
+ *
+ * `--run-all` is the regression-farm demo this subsystem exists for:
+ * all nine Fig. 6 benchmark designs are admitted as concurrent tenant
+ * sessions of ONE server and run to their self-check horizons
+ * simultaneously on its fixed worker pool — no lock file, no
+ * one-job-at-a-time serialization — then each tenant's verdict and
+ * per-tenant metering (scheduler quanta/cycles plus the engine's own
+ * counters) are printed.  The exit status is nonzero iff any tenant
+ * failed its self-check.
+ *
+ * `--spawn` forks a private manticored (found next to this binary) on
+ * a temporary socket and shuts it down on exit, so the demo is one
+ * command.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/protocol.hh"
+
+using namespace manticore;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--server PATH | --spawn] <mode>\n"
+        "modes:\n"
+        "  --run-all            run all nine Fig. 6 designs as\n"
+        "                       concurrent tenants of one server\n"
+        "  run <design> [cycles]  run one design to its horizon\n"
+        "  --list               list servable designs and engines\n"
+        "options:\n"
+        "  --engine NAME        engine for every session (default\n"
+        "                       netlist.compiled)\n"
+        "  --lanes N            ensemble width per session\n"
+        "  --workers N          (with --spawn) server worker count\n",
+        argv0);
+    return 2;
+}
+
+/** Fork a private manticored next to this binary; returns its pid or
+ *  -1.  The socket appears asynchronously — poll for connect. */
+pid_t
+spawnServer(const char *argv0, const std::string &socket_path,
+            unsigned workers)
+{
+    std::string self = argv0;
+    size_t slash = self.rfind('/');
+    std::string daemon =
+        (slash == std::string::npos ? std::string()
+                                    : self.substr(0, slash + 1)) +
+        "manticored";
+    pid_t pid = ::fork();
+    if (pid < 0)
+        return -1;
+    if (pid == 0) {
+        std::string workers_s = std::to_string(workers);
+        if (workers != 0)
+            ::execl(daemon.c_str(), daemon.c_str(), "--socket",
+                    socket_path.c_str(), "--workers",
+                    workers_s.c_str(), (char *)nullptr);
+        else
+            ::execl(daemon.c_str(), daemon.c_str(), "--socket",
+                    socket_path.c_str(), (char *)nullptr);
+        std::fprintf(stderr, "cannot exec %s: %s\n", daemon.c_str(),
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+bool
+connectWithRetry(service::Client &client, const std::string &path,
+                 std::string *error)
+{
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        if (client.connectTo(path, error))
+            return true;
+        ::usleep(50'000);
+    }
+    return false;
+}
+
+struct Tenant
+{
+    std::string design;
+    service::SessionId id = 0;
+    uint64_t horizon = 0;
+};
+
+void
+printMeter(service::Client &client, const Tenant &t)
+{
+    std::printf("  %-8s", t.design.c_str());
+    for (const auto &kv : client.meter(t.id)) {
+        // The interesting per-tenant counters; engines add many more.
+        if (kv.first == "service.quanta" ||
+            kv.first == "service.cycles" ||
+            kv.first == "service.completed_runs" ||
+            kv.first == "cycles")
+            std::printf("  %s=%llu", kv.first.c_str(),
+                        static_cast<unsigned long long>(kv.second));
+    }
+    std::printf("\n");
+}
+
+int
+runAll(service::Client &client, const std::string &engine,
+       unsigned lanes)
+{
+    // The nine Fig. 6 designs are exactly the catalog entries before
+    // the micros — ask the server so client and server agree.
+    std::vector<Tenant> tenants;
+    for (const service::DesignEntry &d : service::designCatalog()) {
+        if (d.name == "ctr32" || d.name == "acc8" ||
+            d.name == "fifo1" || d.name == "ram1")
+            continue;
+        tenants.push_back({d.name, 0, d.defaultCycles});
+    }
+
+    std::printf("admitting %zu tenants (engine %s, lanes %u)\n",
+                tenants.size(), engine.c_str(), lanes);
+    for (Tenant &t : tenants) {
+        std::string error;
+        t.id = client.newSession(t.design, engine, lanes, 0, &error);
+        if (t.id == 0) {
+            std::fprintf(stderr, "%s: admission failed: %s\n",
+                         t.design.c_str(), error.c_str());
+            return 1;
+        }
+        // The designs $finish at their horizon; the slack lets a
+        // broken design overrun into a visible Running status rather
+        // than a silent exact-count success.
+        if (!client.run(t.id, t.horizon + 64, &error)) {
+            std::fprintf(stderr, "%s: submit failed: %s\n",
+                         t.design.c_str(), error.c_str());
+            return 1;
+        }
+    }
+
+    int failures = 0;
+    for (Tenant &t : tenants) {
+        client.wait(t.id);
+        service::Client::Poll p = client.poll(t.id);
+        bool passed = p.ok && p.status == "finished";
+        if (!passed)
+            ++failures;
+        std::printf("%-8s %-8s cycle=%llu lanes=%u\n", t.design.c_str(),
+                    p.ok ? p.status.c_str() : "lost",
+                    static_cast<unsigned long long>(p.cycle), p.lanes);
+        for (const std::string &line : client.displayLog(t.id, 0))
+            std::printf("  $display: %s\n", line.c_str());
+    }
+
+    std::printf("\nper-tenant metering:\n");
+    for (const Tenant &t : tenants)
+        printMeter(client, t);
+    std::printf("\nservice totals:\n");
+    for (const auto &kv : client.serviceStats())
+        std::printf("  %-20s %llu\n", kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second));
+
+    std::printf("\n%zu/%zu tenants passed\n",
+                tenants.size() - failures, tenants.size());
+    return failures == 0 ? 0 : 1;
+}
+
+int
+runOne(service::Client &client, const std::string &design,
+       uint64_t cycles, const std::string &engine, unsigned lanes)
+{
+    const service::DesignEntry *entry = service::findDesign(design);
+    uint64_t horizon =
+        cycles ? cycles : (entry ? entry->defaultCycles + 64 : 0);
+    std::string error;
+    service::SessionId id =
+        client.newSession(design, engine, lanes, 0, &error);
+    if (id == 0) {
+        std::fprintf(stderr, "%s: %s\n", design.c_str(), error.c_str());
+        return 1;
+    }
+    if (!client.run(id, horizon, &error)) {
+        std::fprintf(stderr, "%s: %s\n", design.c_str(), error.c_str());
+        return 1;
+    }
+    client.wait(id);
+    service::Client::Poll p = client.poll(id);
+    std::printf("%s: %s at cycle %llu\n", design.c_str(),
+                p.ok ? p.status.c_str() : "lost",
+                static_cast<unsigned long long>(p.cycle));
+    for (const std::string &line : client.displayLog(id, 0))
+        std::printf("  $display: %s\n", line.c_str());
+    for (const auto &kv : client.meter(id))
+        std::printf("  %-24s %llu\n", kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second));
+    return p.ok && p.status == "finished" ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string server_path;
+    std::string engine = "netlist.compiled";
+    std::string design;
+    unsigned lanes = 1;
+    unsigned workers = 0;
+    uint64_t cycles = 0;
+    bool spawn = false, run_all = false, list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--server" && i + 1 < argc) {
+            server_path = argv[++i];
+        } else if (arg == "--spawn") {
+            spawn = true;
+        } else if (arg == "--run-all") {
+            run_all = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--engine" && i + 1 < argc) {
+            engine = argv[++i];
+        } else if (arg == "--lanes" && i + 1 < argc) {
+            lanes = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--workers" && i + 1 < argc) {
+            workers = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "run" && i + 1 < argc) {
+            design = argv[++i];
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                cycles = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (!run_all && !list && design.empty())
+        return usage(argv[0]);
+    if (spawn == !server_path.empty())
+        return usage(argv[0]); // exactly one way to find a server
+
+    std::signal(SIGPIPE, SIG_IGN);
+
+    pid_t server_pid = -1;
+    if (spawn) {
+        const char *tmp = std::getenv("TMPDIR");
+        server_path = std::string(tmp && *tmp ? tmp : "/tmp") +
+                      "/manticored-" + std::to_string(::getpid()) +
+                      ".sock";
+        server_pid = spawnServer(argv[0], server_path, workers);
+        if (server_pid < 0) {
+            std::fprintf(stderr, "cannot spawn manticored\n");
+            return 1;
+        }
+    }
+
+    service::Client client;
+    std::string error;
+    int rc = 1;
+    if (!connectWithRetry(client, server_path, &error)) {
+        std::fprintf(stderr, "cannot connect to %s: %s\n",
+                     server_path.c_str(), error.c_str());
+    } else if (list) {
+        std::printf("designs:\n");
+        for (const service::DesignEntry &d : service::designCatalog())
+            std::printf("  %-8s (horizon %llu)\n", d.name.c_str(),
+                        static_cast<unsigned long long>(
+                            d.defaultCycles));
+        std::printf("engines:\n");
+        for (const auto &kv : client.serviceStats())
+            (void)kv; // server reachable; names come from the library
+        for (const engine::EngineInfo &info : engine::list())
+            std::printf("  %-18s %s\n", info.name,
+                        info.available ? "" : "(unavailable)");
+        rc = 0;
+    } else if (run_all) {
+        rc = runAll(client, engine, lanes);
+    } else {
+        rc = runOne(client, design, cycles, engine, lanes);
+    }
+
+    if (server_pid > 0) {
+        client.shutdownServer();
+        client.close();
+        int status = 0;
+        ::waitpid(server_pid, &status, 0);
+    }
+    return rc;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * manticored: the multi-tenant simulation daemon.
+ *
+ *   manticored --socket /tmp/manticored.sock [--workers N] ...
+ *   manticored --stdio
+ *
+ * Hosts ONE service::Scheduler — a fixed worker pool time-slicing
+ * every tenant session — behind the line protocol in
+ * src/service/protocol.hh (unix-domain socket, one service thread per
+ * connection, or a single stdio connection for harnesses and
+ * debugging).  Stops on SIGINT/SIGTERM or the `shutdown` command;
+ * detached sessions die with the daemon, their periodic checkpoints
+ * (--checkpoint-every) survive it.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/protocol.hh"
+
+using namespace manticore;
+
+namespace {
+
+std::atomic<bool> gStop{false};
+
+void
+onSignal(int)
+{
+    gStop.store(true);
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s (--socket PATH | --stdio) [options]\n"
+        "  --socket PATH        serve a unix-domain socket at PATH\n"
+        "  --stdio              serve stdin/stdout as one connection\n"
+        "  --workers N          worker-pool size (default: all cores)\n"
+        "  --quantum N          cycles per scheduling quantum "
+        "(default 4096)\n"
+        "  --max-sessions N     admission-control session cap "
+        "(default 1024)\n"
+        "  --max-queue N        per-session queued-command cap "
+        "(default 64)\n"
+        "  --checkpoint-dir D   where periodic checkpoints go\n"
+        "  --checkpoint-every N checkpoint every N simulated cycles\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    bool stdio = false;
+    service::SchedulerOptions options;
+
+    auto numArg = [&](int &i, uint64_t *out) -> bool {
+        if (i + 1 >= argc)
+            return false;
+        char *end = nullptr;
+        *out = std::strtoull(argv[++i], &end, 10);
+        return end && *end == '\0';
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        uint64_t v = 0;
+        if (arg == "--socket" && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else if (arg == "--stdio") {
+            stdio = true;
+        } else if (arg == "--workers" && numArg(i, &v)) {
+            options.numWorkers = static_cast<unsigned>(v);
+        } else if (arg == "--quantum" && numArg(i, &v)) {
+            options.quantumCycles = v;
+        } else if (arg == "--max-sessions" && numArg(i, &v)) {
+            options.maxSessions = v;
+        } else if (arg == "--max-queue" && numArg(i, &v)) {
+            options.maxQueuedPerSession = v;
+        } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+            options.checkpointDir = argv[++i];
+        } else if (arg == "--checkpoint-every" && numArg(i, &v)) {
+            options.checkpointEveryCycles = v;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (stdio == !socket_path.empty())
+        return usage(argv[0]); // exactly one of --socket / --stdio
+    if (options.checkpointEveryCycles != 0 &&
+        options.checkpointDir.empty()) {
+        std::fprintf(stderr,
+                     "--checkpoint-every needs --checkpoint-dir\n");
+        return 2;
+    }
+
+    // A client vanishing mid-reply must be an EPIPE on the connection
+    // thread, not a process-wide SIGPIPE death.
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    service::Scheduler scheduler(options);
+    service::Server server(scheduler, &gStop);
+    if (stdio) {
+        server.serveStdio();
+        return 0;
+    }
+    std::fprintf(stderr,
+                 "manticored: serving %s with %u worker(s), quantum %llu"
+                 "\n",
+                 socket_path.c_str(), scheduler.numWorkers(),
+                 static_cast<unsigned long long>(
+                     scheduler.options().quantumCycles));
+    return server.serveUnixSocket(socket_path) ? 0 : 1;
+}
