@@ -20,9 +20,16 @@ constexpr char kMagic[7] = {'M', 'T', 'S', 'N', 'A', 'P', '\0'};
 
 } // namespace
 
-void
-writeSnapshotFile(const Snapshot &snapshot, const std::string &path)
+bool
+tryWriteSnapshotFile(const Snapshot &snapshot, const std::string &path,
+                     std::string *error)
 {
+    auto fail = [&](std::string msg) -> bool {
+        if (error)
+            *error = std::move(msg);
+        return false;
+    };
+
     std::vector<uint8_t> buf;
     buf.reserve(64);
     support::ByteWriter w(buf);
@@ -49,19 +56,33 @@ writeSnapshotFile(const Snapshot &snapshot, const std::string &path)
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
-            MANTICORE_FATAL("cannot write checkpoint ", tmp);
+            return fail("cannot write checkpoint " + tmp);
         out.write(reinterpret_cast<const char *>(buf.data()),
                   static_cast<std::streamsize>(buf.size()));
-        if (!out)
-            MANTICORE_FATAL("short write on checkpoint ", tmp);
+        if (!out) {
+            out.close();
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return fail("short write on checkpoint " + tmp);
+        }
     }
     std::error_code ec;
     fs::rename(tmp, path, ec);
     if (ec) {
+        std::string msg = "cannot move checkpoint into place at " +
+                          path + ": " + ec.message();
         fs::remove(tmp, ec);
-        MANTICORE_FATAL("cannot move checkpoint into place at ", path,
-                        ": ", ec.message());
+        return fail(std::move(msg));
     }
+    return true;
+}
+
+void
+writeSnapshotFile(const Snapshot &snapshot, const std::string &path)
+{
+    std::string error;
+    if (!tryWriteSnapshotFile(snapshot, path, &error))
+        MANTICORE_FATAL(error);
 }
 
 Snapshot

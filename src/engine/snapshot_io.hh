@@ -46,8 +46,17 @@ namespace manticore::engine {
 constexpr uint8_t kSnapshotFileVersion = 1;
 
 /** Serialize `snapshot` into the MTSNAP container at `path`,
- *  atomically (temp file in the same directory + rename).  Any I/O
- *  failure is a loud user-facing fatal(). */
+ *  atomically (temp file in the same directory + rename).  Returns
+ *  false and fills `error` on any I/O failure (unwritable directory,
+ *  disk full, ...) — the caller decides whether that is fatal.  The
+ *  multi-tenant service uses this so one tenant's bad path is an
+ *  `err` reply, never a dead server. */
+bool tryWriteSnapshotFile(const Snapshot &snapshot,
+                          const std::string &path,
+                          std::string *error = nullptr);
+
+/** tryWriteSnapshotFile, with any I/O failure a loud user-facing
+ *  fatal() (the single-user CLI-tool behavior). */
 void writeSnapshotFile(const Snapshot &snapshot, const std::string &path);
 
 /** Load an MTSNAP container.  Bad magic, unknown container version,

@@ -1,9 +1,11 @@
 #include "service/protocol.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -183,7 +185,9 @@ tokenize(const std::string &line)
 bool
 parseU64(const std::string &tok, uint64_t *out)
 {
-    if (tok.empty())
+    // strtoull accepts "-1" (wrapping to 2^64-1), "+1", and leading
+    // whitespace; a wire token must be plain digits only.
+    if (tok.empty() || !std::isdigit(static_cast<unsigned char>(tok[0])))
         return false;
     char *end = nullptr;
     errno = 0;
@@ -191,6 +195,18 @@ parseU64(const std::string &tok, uint64_t *out)
     if (errno != 0 || end != tok.c_str() + tok.size())
         return false;
     *out = v;
+    return true;
+}
+
+/** A concrete lane index: fits in unsigned and is not the kAllLanes
+ *  wildcard (4294967295 must be rejected, not alias a broadcast). */
+bool
+parseLane(const std::string &tok, unsigned *out)
+{
+    uint64_t v;
+    if (!parseU64(tok, &v) || v >= kAllLanes)
+        return false;
+    *out = static_cast<unsigned>(v);
     return true;
 }
 
@@ -319,7 +335,11 @@ Server::handleLine(Connection &conn, const std::string &line)
             return true;
         }
         uint64_t lanes = 1, horizon = design->defaultCycles;
-        if (tok.size() > 3 && !parseU64(tok[3], &lanes)) {
+        if (tok.size() > 3 &&
+            (!parseU64(tok[3], &lanes) || lanes == 0 ||
+             lanes > 0xFFFFFFFFull)) {
+            // The range check guards the narrowing below: 2^32+1
+            // must be an err, not silently one lane.
             conn.err("bad lane count: " + tok[3]);
             return true;
         }
@@ -359,13 +379,9 @@ Server::handleLine(Connection &conn, const std::string &line)
             return true;
         }
         unsigned lane = kAllLanes;
-        uint64_t lane_v;
-        if (tok[3] != "all") {
-            if (!parseU64(tok[3], &lane_v)) {
-                conn.err("bad lane: " + tok[3]);
-                return true;
-            }
-            lane = static_cast<unsigned>(lane_v);
+        if (tok[3] != "all" && !parseLane(tok[3], &lane)) {
+            conn.err("bad lane: " + tok[3]);
+            return true;
         }
         unsigned width = _scheduler.inputWidth(id, tok[2], &error);
         if (width == 0) {
@@ -415,22 +431,47 @@ Server::handleLine(Connection &conn, const std::string &line)
             conn.err("bad timeout: " + tok[2]);
             return true;
         }
-        _scheduler.wait(id, timeout)
-            ? conn.ok("drained")
-            : conn.err(timeout ? "timeout" : "no such session: " +
-                                                 std::to_string(id));
+        // Slice the scheduler wait so a daemon shutdown (a signal, or
+        // `shutdown` arriving on another connection) interrupts a
+        // parked wait instead of leaving this connection thread — and
+        // the join that reaps it — hung on a huge run.
+        constexpr uint64_t kWaitSliceMs = 200;
+        uint64_t left = timeout; // 0 = wait forever
+        for (;;) {
+            uint64_t slice = timeout == 0
+                                 ? kWaitSliceMs
+                                 : std::min(kWaitSliceMs, left);
+            if (_scheduler.wait(id, slice)) {
+                conn.ok("drained");
+                break;
+            }
+            if (!_scheduler.poll(id).exists) {
+                conn.err("no such session: " + std::to_string(id));
+                break;
+            }
+            if (_stop && _stop->load()) {
+                conn.err("server shutting down");
+                break;
+            }
+            if (timeout != 0) {
+                left -= slice;
+                if (left == 0) {
+                    conn.err("timeout");
+                    break;
+                }
+            }
+        }
     } else if (cmd == "probe") {
         SessionId id;
-        uint64_t lane;
+        unsigned lane;
         if (!sessionArg(1, &id))
             return true;
-        if (tok.size() < 4 || !parseU64(tok[3], &lane)) {
+        if (tok.size() < 4 || !parseLane(tok[3], &lane)) {
             conn.err("usage: probe <sid> <signal> <lane>");
             return true;
         }
         BitVector value;
-        if (!_scheduler.readProbe(id, tok[2],
-                                  static_cast<unsigned>(lane), &value,
+        if (!_scheduler.readProbe(id, tok[2], lane, &value,
                                   &error)) {
             conn.err(error);
             return true;
@@ -453,15 +494,14 @@ Server::handleLine(Connection &conn, const std::string &line)
         conn.ok(std::to_string(lanes.size()));
     } else if (cmd == "log") {
         SessionId id;
-        uint64_t lane = 0;
+        unsigned lane = 0;
         if (!sessionArg(1, &id))
             return true;
-        if (tok.size() > 2 && !parseU64(tok[2], &lane)) {
+        if (tok.size() > 2 && !parseLane(tok[2], &lane)) {
             conn.err("bad lane: " + tok[2]);
             return true;
         }
-        for (const std::string &l :
-             _scheduler.displayLog(id, static_cast<unsigned>(lane)))
+        for (const std::string &l : _scheduler.displayLog(id, lane))
             conn.payload(l);
         conn.ok();
     } else if (cmd == "meter") {
@@ -486,8 +526,22 @@ Server::handleLine(Connection &conn, const std::string &line)
             conn.err("usage: save <sid> <path>");
             return true;
         }
-        _scheduler.saveCheckpoint(id, tok[2], &error)
-            ? conn.ok(tok[2])
+        std::string path = tok[2];
+        if (!_saveDir.empty()) {
+            // Confined mode: tenants name files, not paths — no
+            // directory components, so a tenant cannot point the
+            // daemon's write at an arbitrary server-side location.
+            if (path.empty() || path == "." || path == ".." ||
+                path.find('/') != std::string::npos) {
+                conn.err("save is restricted to plain filenames "
+                         "under the configured save dir (got '" +
+                         path + "')");
+                return true;
+            }
+            path = _saveDir + "/" + path;
+        }
+        _scheduler.saveCheckpoint(id, path, &error)
+            ? conn.ok(path)
             : conn.err(error);
     } else if (cmd == "detach") {
         SessionId id;
@@ -585,12 +639,31 @@ Server::serveUnixSocket(const std::string &path)
         return false;
     }
 
-    std::vector<std::thread> connections;
+    // One thread per live connection, reaped as connections finish:
+    // a long-running daemon must not accumulate a joinable thread
+    // (stack + handle) per client that ever came and went.
+    struct ConnThread
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+    std::vector<ConnThread> connections;
+    auto reap = [&](bool all) {
+        for (size_t i = 0; i < connections.size();) {
+            if (all || connections[i].done->load()) {
+                connections[i].thread.join();
+                connections.erase(connections.begin() + i);
+            } else {
+                ++i;
+            }
+        }
+    };
     while (!_stop || !_stop->load()) {
         // Poll with a timeout so the shutdown command (which a
         // connection thread handles) can stop the accept loop.
         pollfd pfd{listener, POLLIN, 0};
         int pr = ::poll(&pfd, 1, 200);
+        reap(false);
         if (pr < 0 && errno != EINTR)
             break;
         if (pr <= 0 || !(pfd.revents & POLLIN))
@@ -598,11 +671,14 @@ Server::serveUnixSocket(const std::string &path)
         int fd = ::accept(listener, nullptr, nullptr);
         if (fd < 0)
             continue;
-        connections.emplace_back(
-            [this, fd] { serveConnection(fd); });
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        std::thread thread([this, fd, done] {
+            serveConnection(fd);
+            done->store(true);
+        });
+        connections.push_back({std::move(thread), std::move(done)});
     }
-    for (std::thread &t : connections)
-        t.join();
+    reap(true);
     ::close(listener);
     ::unlink(path.c_str());
     return true;

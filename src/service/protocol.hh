@@ -31,6 +31,8 @@
  *   meter <sid>                    -> | <stat name> <value>
  *   cancel <sid>                   -> ok
  *   save <sid> <path>              -> ok <path>
+ *     (with a configured save dir, <path> must be a plain filename
+ *      and lands inside that directory; I/O failures are err replies)
  *   detach <sid>                   -> ok   (survives this connection)
  *   destroy <sid>                  -> ok
  *   stats                          -> | <stat name> <value>
@@ -125,8 +127,17 @@ class Server
     /** Bind a unix-domain listening socket at `path` (unlinking any
      *  stale one), then accept connections — one service thread each
      *  — until `stop` is set or the `shutdown` command arrives.
+     *  Finished connection threads are reaped as the loop runs.
      *  Returns false (+ a warning) when the socket cannot be bound. */
     bool serveUnixSocket(const std::string &path);
+
+    /** Confine tenant `save` paths: when set, the `save` argument
+     *  must be a plain filename (no '/' components), written inside
+     *  `dir`.  Unset (the default), tenants name arbitrary paths —
+     *  acceptable for a local single-user daemon, not for one shared
+     *  across trust domains. */
+    void setSaveDir(std::string dir) { _saveDir = std::move(dir); }
+    const std::string &saveDir() const { return _saveDir; }
 
     Scheduler &scheduler() { return _scheduler; }
 
@@ -139,6 +150,7 @@ class Server
 
     Scheduler &_scheduler;
     std::atomic<bool> *_stop = nullptr;
+    std::string _saveDir; ///< tenant `save` confinement (see above)
 };
 
 // ---------------------------------------------------------------------------

@@ -520,12 +520,17 @@ Scheduler::saveCheckpoint(SessionId id, const std::string &path,
     } else {
         engine::Snapshot snap;
         eng.save(snap);
-        engine::writeSnapshotFile(snap, path);
-        {
+        // The tenant names the path, so write failures (bad directory,
+        // no permission, disk full) must be err replies, never a
+        // fatal(): one bad request must not kill the daemon.
+        std::string io_error;
+        if (engine::tryWriteSnapshotFile(snap, path, &io_error)) {
             std::lock_guard<std::mutex> lk(_mx);
             ++s->checkpoints;
+            ok = true;
+        } else {
+            setError(error, io_error);
         }
-        ok = true;
     }
     releaseClaim(s);
     return ok;
@@ -654,7 +659,7 @@ Scheduler::publish(Session &s)
 }
 
 bool
-Scheduler::maybeCheckpoint(Session &s)
+Scheduler::maybeCheckpoint(Session &s, std::string *error)
 {
     // Called with the claim held and _mx UNLOCKED (file I/O).
     // `checkpointDue` is claim-protected; `checkpoints` is read by
@@ -666,12 +671,21 @@ Scheduler::maybeCheckpoint(Session &s)
         return false;
     if (eng.cycle() < s.checkpointDue)
         return false;
+    // Either way the next attempt is a full interval out: a dead
+    // checkpoint directory must degrade to a warning per interval,
+    // not a write failure per quantum — and never a dead daemon.
+    s.checkpointDue = eng.cycle() + _opts.checkpointEveryCycles;
     engine::Snapshot snap;
     eng.save(snap);
     std::string path = _opts.checkpointDir + "/session-" +
                        std::to_string(s.id) + ".mtsnap";
-    engine::writeSnapshotFile(snap, path);
-    s.checkpointDue = eng.cycle() + _opts.checkpointEveryCycles;
+    std::string io_error;
+    if (!engine::tryWriteSnapshotFile(snap, path, &io_error)) {
+        MANTICORE_WARN("session ", s.id, ": periodic checkpoint "
+                       "failed: ", io_error);
+        setError(error, std::move(io_error));
+        return false;
+    }
     return true;
 }
 
@@ -695,17 +709,31 @@ Scheduler::executeQuantum(std::unique_lock<std::mutex> &lk, Session &s)
         Command cmd = std::move(s.queue.front());
         s.queue.pop_front();
         lk.unlock();
-        auto it = s.inputHandles.find(cmd.inputName);
-        if (it == s.inputHandles.end())
-            it = s.inputHandles
-                     .emplace(cmd.inputName,
-                              eng->bindInput(cmd.inputName))
-                     .first;
-        if (cmd.lane == kAllLanes)
-            eng->setInput(it->second, cmd.value);
-        else
-            engine::driveLane(*eng, it->second, cmd.lane, cmd.value);
+        // Same discipline as the step() quantum below: an engine
+        // exception (bad_alloc, an edge case submit-time validation
+        // missed) is recorded on the session, never allowed to
+        // propagate out of workerLoop and terminate the daemon.
+        std::string poke_err;
+        try {
+            auto it = s.inputHandles.find(cmd.inputName);
+            if (it == s.inputHandles.end())
+                it = s.inputHandles
+                         .emplace(cmd.inputName,
+                                  eng->bindInput(cmd.inputName))
+                         .first;
+            if (cmd.lane == kAllLanes)
+                eng->setInput(it->second, cmd.value);
+            else
+                engine::driveLane(*eng, it->second, cmd.lane,
+                                  cmd.value);
+        } catch (const std::exception &e) {
+            poke_err = e.what();
+        } catch (...) {
+            poke_err = "engine exception during poke";
+        }
         lk.lock();
+        if (!poke_err.empty())
+            s.error = std::move(poke_err);
         if (s.canceled) {
             s.canceled = false; // queue already cleared by cancel()
             publish(s);
@@ -737,10 +765,17 @@ Scheduler::executeQuantum(std::unique_lock<std::mutex> &lk, Session &s)
     } catch (...) {
         err = "engine exception during quantum";
     }
-    bool checkpointed = err.empty() && maybeCheckpoint(s);
+    std::string checkpoint_err;
+    bool checkpointed =
+        err.empty() && maybeCheckpoint(s, &checkpoint_err);
     lk.lock();
     if (checkpointed)
         ++s.checkpoints;
+    // A failed periodic checkpoint degrades: the session keeps
+    // running (the run is NOT aborted like an engine error below),
+    // but the failure is visible through poll()'s error field.
+    if (!checkpoint_err.empty())
+        s.error = std::move(checkpoint_err);
     publish(s);
     uint64_t delivered =
         rr.cycles * std::max<uint64_t>(1, rr.lanes);

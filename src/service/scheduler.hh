@@ -327,8 +327,11 @@ class Scheduler
     void releaseClaim(const SessionPtr &s);
     /** Periodic checkpoint (claim held, _mx unlocked: file I/O).
      *  Returns true when a checkpoint file was written — the caller
-     *  bumps Session::checkpoints under the lock. */
-    bool maybeCheckpoint(Session &s);
+     *  bumps Session::checkpoints under the lock.  A write failure
+     *  (checkpoint directory gone, disk full) warns, fills `error`
+     *  for the caller to record on the session, and backs off one
+     *  full interval; it never kills the daemon. */
+    bool maybeCheckpoint(Session &s, std::string *error);
 
     SchedulerOptions _opts;
     unsigned _numWorkers = 1;

@@ -623,8 +623,13 @@ struct ProtoFixture
     service::Client client;
     std::thread thread;
 
-    ProtoFixture() : sched(smallQuantum(256, 2)), server(sched, &stop)
+    explicit ProtoFixture(std::string save_dir = "")
+        : sched(smallQuantum(256, 2)), server(sched, &stop)
     {
+        // Before connect(): the connection thread reads the save dir,
+        // so it must be set before that thread exists.
+        if (!save_dir.empty())
+            server.setSaveDir(std::move(save_dir));
         connect();
     }
 
@@ -748,6 +753,21 @@ TEST(ServiceProtocol, ErrorsAreRepliesNotDeaths)
     expectErr("probe " + sid + " bogus 0", "no such signal");
     expectErr("probe " + sid + " acc 7", "lane");
 
+    // Numeric hardening: strtoull would accept "-1" (wrapping to
+    // 2^64-1) and narrowing to unsigned would wrap 2^32+1 to 1 and
+    // alias lane 4294967295 to the kAllLanes broadcast wildcard.
+    expectErr("run " + sid + " -1", "cycle count");
+    expectErr("new ctr32 netlist.compiled 4294967297", "lane count");
+    expectErr("new ctr32 netlist.compiled +2", "lane count");
+    expectErr("poke " + sid + " in 4294967295 05", "bad lane");
+    expectErr("probe " + sid + " acc 4294967295", "probe");
+
+    // A tenant-named unwritable save path is an err reply, not a
+    // dead daemon (writeSnapshotFile's fatal() path must be unused
+    // here).
+    expectErr("save " + sid + " /manticore-no-such-dir/x.mtsnap",
+              "cannot write");
+
     // After all that abuse, the session still works.
     ASSERT_TRUE(fx.client.run(id, 10, &error)) << error;
     ASSERT_TRUE(fx.client.wait(id));
@@ -800,4 +820,66 @@ TEST(ServiceProtocol, ValueEncodingRoundTrips)
     EXPECT_FALSE(service::hexToBits("g", 4, &out));  // not hex
     EXPECT_TRUE(service::hexToBits("7", 3, &out));
     EXPECT_EQ(out.toUint64(), 7u);
+}
+
+TEST(ServiceProtocol, SaveDirConfinesTenantPaths)
+{
+    fs::path dir =
+        fs::temp_directory_path() / "manticore_service_savedir_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    ProtoFixture fx(dir.string());
+    std::string error;
+    service::SessionId id = fx.client.newSession(
+        "ctr32", "netlist.compiled", 1, 1u << 20, &error);
+    ASSERT_NE(id, 0u) << error;
+    ASSERT_TRUE(fx.client.run(id, 100, &error)) << error;
+    ASSERT_TRUE(fx.client.wait(id));
+    std::string sid = std::to_string(id);
+
+    // Directory components cannot steer the daemon's write outside
+    // the configured directory.
+    for (const char *evil : {"../evil.mtsnap", "/tmp/evil.mtsnap",
+                             "a/b.mtsnap", "..", "."}) {
+        service::Client::Reply r =
+            fx.client.request("save " + sid + " " + evil);
+        EXPECT_FALSE(r.ok) << evil;
+        EXPECT_NE(r.detail.find("plain filenames"), std::string::npos)
+            << evil << " -> " << r.detail;
+    }
+
+    service::Client::Reply r =
+        fx.client.request("save " + sid + " good.mtsnap");
+    ASSERT_TRUE(r.ok) << r.detail;
+    fs::path file = dir / "good.mtsnap";
+    ASSERT_TRUE(fs::exists(file)) << file;
+    EXPECT_EQ(engine::readSnapshotFile(file.string()).cycle, 100u);
+    fs::remove_all(dir);
+}
+
+TEST(Service, CheckpointFailureDegradesInsteadOfDying)
+{
+    fs::path dir =
+        fs::temp_directory_path() / "manticore_service_ckpt_degrade";
+    fs::remove_all(dir);
+    service::SchedulerOptions o = smallQuantum(128, 1);
+    o.checkpointEveryCycles = 512;
+    o.checkpointDir = dir.string();
+    service::Scheduler sched(o); // creates the directory...
+    fs::remove_all(dir);         // ...which then vanishes at runtime
+    std::string error;
+    auto h = service::SessionHandle::create(
+        sched, "netlist.compiled", ctr32(1u << 20), {}, &error);
+    ASSERT_TRUE(h.valid()) << error;
+    ASSERT_TRUE(h.submitRun(3000, &error)) << error;
+    ASSERT_TRUE(h.wait());
+    service::PollResult p = h.poll();
+    // The run completed despite every checkpoint write failing, and
+    // the failure is visible rather than fatal.
+    EXPECT_EQ(p.cycle, 3000u);
+    EXPECT_NE(p.error.find("checkpoint"), std::string::npos) << p.error;
+    // The scheduler still takes new work afterwards.
+    ASSERT_TRUE(h.submitRun(100, &error)) << error;
+    ASSERT_TRUE(h.wait());
+    EXPECT_EQ(h.poll().cycle, 3100u);
 }

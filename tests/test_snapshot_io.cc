@@ -117,6 +117,30 @@ TEST(SnapshotIo, RoundTripsThroughDisk)
     fs::remove(path);
 }
 
+TEST(SnapshotIo, TryWriteReportsFailureInsteadOfExiting)
+{
+    // The multi-tenant daemon writes checkpoints to tenant-influenced
+    // and runtime-mutable paths: an unwritable destination must come
+    // back as an error string, never a process exit.
+    auto eng = engine::create("netlist.compiled", counter(1u << 20));
+    eng->step(7);
+    engine::Snapshot snap;
+    eng->save(snap);
+    std::string error;
+    EXPECT_FALSE(engine::tryWriteSnapshotFile(
+        snap, "/manticore-no-such-dir/x.mtsnap", &error));
+    EXPECT_NE(error.find("cannot write"), std::string::npos) << error;
+
+    // And the happy path still reports success.
+    fs::path path = tmpFile("trywrite");
+    error.clear();
+    EXPECT_TRUE(engine::tryWriteSnapshotFile(snap, path.string(), &error))
+        << error;
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(engine::readSnapshotFile(path.string()).cycle, 7u);
+    fs::remove(path);
+}
+
 TEST(SnapshotIo, AtomicWriteLeavesNoTempFiles)
 {
     fs::path path = writeSample("atomic");

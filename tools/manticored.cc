@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "service/protocol.hh"
@@ -51,7 +52,9 @@ usage(const char *argv0)
         "  --max-queue N        per-session queued-command cap "
         "(default 64)\n"
         "  --checkpoint-dir D   where periodic checkpoints go\n"
-        "  --checkpoint-every N checkpoint every N simulated cycles\n",
+        "  --checkpoint-every N checkpoint every N simulated cycles\n"
+        "  --save-dir D         confine tenant `save` paths to plain\n"
+        "                       filenames under D\n",
         argv0);
     return 2;
 }
@@ -62,6 +65,7 @@ int
 main(int argc, char **argv)
 {
     std::string socket_path;
+    std::string save_dir;
     bool stdio = false;
     service::SchedulerOptions options;
 
@@ -92,6 +96,8 @@ main(int argc, char **argv)
             options.checkpointDir = argv[++i];
         } else if (arg == "--checkpoint-every" && numArg(i, &v)) {
             options.checkpointEveryCycles = v;
+        } else if (arg == "--save-dir" && i + 1 < argc) {
+            save_dir = argv[++i];
         } else {
             return usage(argv[0]);
         }
@@ -111,8 +117,21 @@ main(int argc, char **argv)
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
 
+    if (!save_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(save_dir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "cannot create --save-dir %s: %s\n",
+                         save_dir.c_str(), ec.message().c_str());
+            return 2;
+        }
+    }
+
     service::Scheduler scheduler(options);
     service::Server server(scheduler, &gStop);
+    if (!save_dir.empty())
+        server.setSaveDir(save_dir);
     if (stdio) {
         server.serveStdio();
         return 0;
