@@ -7,6 +7,13 @@
  * dispatch-free cycle function against netlist.compiled.  Rows are
  * appended to BENCH_aot.json.
  *
+ * A second section measures cold-start concurrency: the big tapes
+ * emit as ≤1024-statement chunk translation units that compile
+ * through concurrent compiler processes (EvalOptions::aotJobs), so a
+ * cold build with aotJobs=4 should beat aotJobs=1 on mm/rv32r
+ * wherever the host has the cores (on a 1-thread host the two
+ * columns document the overhead-free degeneration instead).
+ *
  * Flags: --cache-dir <dir> selects the object-cache directory
  * (default: the evaluator's own resolution, see netlist/aot.hh);
  * --engine <name> selects the baseline engine (default
@@ -15,6 +22,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "bench/common.hh"
 #include "netlist/aot.hh"
@@ -128,6 +136,54 @@ main(int argc, char **argv)
                 gm);
     std::printf("warm-cache startups compile-free: %s\n",
                 warm_clean ? "yes" : "NO");
+
+    // ---- cold-start concurrency (chunked TUs, aotJobs) -------------
+    // Throwaway cache subdirectories so every construction is a true
+    // cold build; wiped before and after.
+    if (json)
+        std::fprintf(json, "\n  ],\n  \"cold_start_rows\": [\n");
+    std::printf("\ncold-start concurrency (chunk TUs, serial vs "
+                "aotJobs=4):\n");
+    std::printf("%8s  %9s  %12s  %12s  %9s\n", "bench", "invokes",
+                "serial s", "parallel s", "speedup");
+    first = true;
+    for (const designs::Benchmark &bm : designs::allBenchmarksLarge()) {
+        if (bm.name != "mm" && bm.name != "rv32r")
+            continue;
+        netlist::Netlist nl = bm.build(bench::measureHorizon(bm.name));
+        double secs[2] = {0.0, 0.0};
+        unsigned invocations = 0;
+        for (int pass = 0; pass < 2; ++pass) {
+            netlist::EvalOptions cold_options = aot_options;
+            cold_options.aotJobs = pass == 0 ? 1 : 4;
+            cold_options.aotCacheDir =
+                netlist::aotResolveCacheDir(aot_options) +
+                "/cold-start-bench";
+            std::error_code ec;
+            std::filesystem::remove_all(cold_options.aotCacheDir, ec);
+            auto t0 = std::chrono::steady_clock::now();
+            netlist::AotEvaluator cold(nl, cold_options);
+            secs[pass] = secondsSince(t0);
+            invocations = cold.compilerInvocations();
+            std::filesystem::remove_all(cold_options.aotCacheDir, ec);
+        }
+        double speedup = secs[1] > 0 ? secs[0] / secs[1] : 0.0;
+        std::printf("%8s  %9u  %12.2f  %12.2f  %8.2fx\n",
+                    bm.name.c_str(), invocations, secs[0], secs[1],
+                    speedup);
+        if (json) {
+            std::fprintf(
+                json,
+                "%s    {\"design\": \"%s\", "
+                "\"compiler_invocations\": %u, "
+                "\"serial_cold_s\": %.2f, \"parallel_cold_s\": %.2f, "
+                "\"cold_speedup\": %.2f}",
+                first ? "" : ",\n", bm.name.c_str(), invocations,
+                secs[0], secs[1], speedup);
+            first = false;
+        }
+    }
+
     if (json) {
         std::fprintf(json,
                      "\n  ],\n  \"baseline\": \"%s\",\n"

@@ -215,9 +215,14 @@ NetlistEngine::capabilities() const
     if (_eval->lanes() > 1)
         caps |= cap::kEnsemble;
     // kAotCompiled reports the executor actually running, so it is
-    // NOT set when the AOT engine fell back to the interpreted tape.
+    // NOT set when an AOT engine fell back to the interpreted
+    // tape(s) — or, for the parallel variant, when any partition did.
     if (auto *a = dynamic_cast<const netlist::AotEvaluator *>(_eval);
         a && a->usingAot())
+        caps |= cap::kAotCompiled;
+    if (auto *pa =
+            dynamic_cast<const netlist::AotParallelEvaluator *>(_eval);
+        pa && pa->usingAot())
         caps |= cap::kAotCompiled;
     if (_eval->snapshotSupported())
         caps |= cap::kSnapshot;
@@ -376,6 +381,15 @@ NetlistEngine::stats() const
         stats.push_back({"arena_limbs", p->arenaLimbs()});
         stats.push_back({"processes", p->numProcesses()});
         stats.push_back({"threads", p->numThreads()});
+        if (auto *pa =
+                dynamic_cast<const netlist::AotParallelEvaluator *>(
+                    _eval)) {
+            stats.push_back({"aot_active", pa->usingAot() ? 1u : 0u});
+            stats.push_back({"aot_cache_hit", pa->cacheHit() ? 1u : 0u});
+            stats.push_back(
+                {"aot_compiler_runs", pa->compilerInvocations()});
+            stats.push_back({"aot_partitions", pa->aotPartitions()});
+        }
     }
     return stats;
 }
@@ -771,7 +785,10 @@ NetlistEngine
 wrap(netlist::EvaluatorBase &eval, const netlist::Netlist &netlist)
 {
     const char *name = "netlist.reference";
-    if (dynamic_cast<const netlist::ParallelCompiledEvaluator *>(&eval))
+    if (dynamic_cast<const netlist::AotParallelEvaluator *>(&eval))
+        name = "netlist.parallel.aot";
+    else if (dynamic_cast<const netlist::ParallelCompiledEvaluator *>(
+                 &eval))
         name = "netlist.parallel";
     else if (dynamic_cast<const netlist::AotEvaluator *>(&eval))
         name = "netlist.aot";

@@ -175,9 +175,18 @@ registerEngines()
         {"netlist.aot",
          "the flat tape AOT-compiled to a dlopen'd straight-line "
          "cycle function (dispatch-free; hashed on-disk object "
-         "cache)",
+         "cache; lanes > 1 compiles a lane-width-templated SIMD "
+         "body)",
          true,
-         kNetlistCaps | cap::kBatchedStep | cap::kAotCompiled},
+         kNetlistCaps | cap::kBatchedStep | cap::kEnsemble |
+             cap::kAotCompiled},
+        {"netlist.parallel.aot",
+         "partition-parallel tapes with each partition's tape "
+         "AOT-compiled into its own cached object, dispatched inside "
+         "the two-barrier Vcycle",
+         true,
+         kNetlistCaps | cap::kBatchedStep | cap::kEnsemble |
+             cap::kAotCompiled},
         {"isa.reference",
          "instruction-walking functional ISA interpreter (untimed)",
          false, kIsaCaps},
@@ -193,11 +202,11 @@ registerEngines()
          cap::kExceptions | cap::kProbes | cap::kDisplayLog |
              cap::kPerfCounters},
     };
-    // netlist.aot is the only engine with a host dependency: a
+    // The AOT engines are the only ones with a host dependency: a
     // working C++ toolchain, probed (and memoized) once here.
     const netlist::AotToolchain &tc = netlist::aotToolchain();
     for (EngineInfo &info : engines) {
-        if (std::string(info.name) != "netlist.aot")
+        if (!(info.caps & cap::kAotCompiled))
             continue;
         info.available = tc.ok;
         info.availabilityNote = tc.ok ? tc.compiler : tc.message;
@@ -251,8 +260,16 @@ create(const std::string &name, const netlist::Netlist &netlist,
 
     if (info->netlistLevel) {
         netlist::EvalMode mode;
-        bool ok = netlist::parseEvalMode(name.substr(8), mode);
-        MANTICORE_ASSERT(ok, "registry/EvalMode name drift for ", name);
+        if (name == "netlist.parallel.aot") {
+            // Registry variant, not a distinct EvalMode: the parallel
+            // engine with per-partition compiled objects.
+            mode = netlist::EvalMode::Parallel;
+            eval.aot = true;
+        } else {
+            bool ok = netlist::parseEvalMode(name.substr(8), mode);
+            MANTICORE_ASSERT(ok, "registry/EvalMode name drift for ",
+                             name);
+        }
         return std::make_unique<NetlistEngine>(
             name, netlist::makeEvaluator(netlist, mode, eval), netlist);
     }

@@ -3,15 +3,16 @@
  * The named-engine registry: every execution engine in the repository
  * is creatable by registry name —
  *
- *   | name                | engine                                    |
- *   |---------------------|-------------------------------------------|
- *   | netlist.reference   | graph-walking netlist::Evaluator          |
- *   | netlist.compiled    | flat-tape netlist::CompiledEvaluator      |
- *   | netlist.parallel    | netlist::ParallelCompiledEvaluator        |
- *   | netlist.aot         | AOT-codegen netlist::AotEvaluator         |
- *   | isa.reference       | instruction-walking isa::Interpreter      |
- *   | isa.tape            | flat-tape isa::TapeInterpreter            |
- *   | machine             | cycle-level machine::Machine              |
+ *   | name                 | engine                                    |
+ *   |----------------------|-------------------------------------------|
+ *   | netlist.reference    | graph-walking netlist::Evaluator          |
+ *   | netlist.compiled     | flat-tape netlist::CompiledEvaluator      |
+ *   | netlist.parallel     | netlist::ParallelCompiledEvaluator        |
+ *   | netlist.aot          | AOT-codegen netlist::AotEvaluator         |
+ *   | netlist.parallel.aot | netlist::AotParallelEvaluator             |
+ *   | isa.reference        | instruction-walking isa::Interpreter      |
+ *   | isa.tape             | flat-tape isa::TapeInterpreter            |
+ *   | machine              | cycle-level machine::Machine              |
  *
  * `create(name, netlist)` works for ALL of them: netlist-level
  * engines evaluate the netlist directly; ISA-level engines compile it
@@ -61,7 +62,8 @@ struct EngineInfo
     /// cap::kSnapshot) instead of fataling on an unsupported call.
     uint32_t caps;
     /// Probed once at first list() call: can this engine run on this
-    /// host?  Only netlist.aot has a host dependency (a working C++
+    /// host?  Only the AOT engines (netlist.aot,
+    /// netlist.parallel.aot) have a host dependency (a working C++
     /// toolchain); every other engine is always available.
     bool available = true;
     /// Availability detail: the probed compiler when available
@@ -86,8 +88,9 @@ struct CreateOptions
     /// Ensemble width: one engine advancing N decoupled simulations
     /// per step — `engine::create("netlist.compiled", nl, {.lanes=N})`.
     /// Only engines advertising cap::kEnsemble (netlist.compiled,
-    /// netlist.parallel, isa.tape) have an ensemble mode; any other
-    /// engine rejects lanes != 1 with a fatal() listing them.
+    /// netlist.parallel, netlist.aot, netlist.parallel.aot,
+    /// isa.tape) have an ensemble mode; any other engine rejects
+    /// lanes != 1 with a fatal() listing them.
     /// Shorthand for (and, when != 1, overriding) eval.lanes.
     unsigned lanes = 1;
     /// netlist.parallel knobs (worker count, merge strategy, wait

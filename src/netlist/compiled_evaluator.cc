@@ -184,8 +184,10 @@ CompiledEvaluator::recountActive()
 void
 CompiledEvaluator::evalCycle()
 {
-    tape::runScalar(_tape.data(), _tape.size(), _arena.data(),
-                    _mems.data());
+    // tape::run folds to the scalar executor at _padded == 1, so the
+    // single-lane path keeps its pre-ensemble codegen.
+    tape::run(_tape.data(), _tape.size(), _arena.data(), _mems.data(),
+              _padded);
 }
 
 void
@@ -248,9 +250,10 @@ CompiledEvaluator::stepOnce()
     // active lane's side effects in lane order against this cycle's
     // values — the same order as the reference evaluator within each
     // lane; a failed assert suppresses that lane's displays, $finish
-    // and commit.
-    tape::run(_tape.data(), _tape.size(), _arena.data(), _mems.data(),
-              _padded);
+    // and commit.  The tape evaluation goes through the evalCycle()
+    // hook so the AOT engine's laned cycle function covers ensembles
+    // too.
+    evalCycle();
     const uint64_t *A = _arena.data();
 
     // Fused fast path: no asserts or displays (nothing can fail,
@@ -535,13 +538,24 @@ makeEvaluator(Netlist netlist, EvalMode mode, const EvalOptions &options)
         return std::make_unique<CompiledEvaluator>(std::move(netlist),
                                                    options);
       case EvalMode::Parallel:
+        if (options.aot) {
+            // Strict availability, as for EvalMode::Aot below: a
+            // caller who ASKED for per-partition AOT gets an
+            // actionable error, not a silent interpreter.
+            const AotToolchain &tc = aotToolchain(options.aotCompiler);
+            if (!tc.ok)
+                MANTICORE_FATAL(
+                    "netlist.parallel.aot needs a working host C++ "
+                    "compiler: ", tc.message,
+                    " -- set $MANTICORE_AOT_CXX or "
+                    "EvalOptions::aotCompiler, or use "
+                    "netlist.parallel");
+            return std::make_unique<AotParallelEvaluator>(
+                std::move(netlist), options);
+        }
         return std::make_unique<ParallelCompiledEvaluator>(
             std::move(netlist), options);
       case EvalMode::Aot: {
-        if (options.lanes != 1)
-            MANTICORE_FATAL("the AOT evaluator has no ensemble mode "
-                            "(lanes=", options.lanes,
-                            "); use compiled or parallel");
         // Strict availability at the factory/registry boundary: a
         // caller who ASKED for netlist.aot gets an actionable error,
         // not a silent interpreter.  (Direct AotEvaluator

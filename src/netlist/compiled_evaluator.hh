@@ -123,12 +123,14 @@ class CompiledEvaluator : public EvaluatorBase
                          std::string failure,
                          std::vector<std::string> log) override;
 
-    /** Evaluate the combinational tape for one single-lane cycle —
-     *  the ONLY hot-loop hook a subclass may replace.  The default
-     *  runs the interpreted tape (tape::runScalar); AotEvaluator
-     *  (aot.hh) swaps in a dlopen'd straight-line cycle function.
-     *  Effects, commits and lane bookkeeping stay in this class so
-     *  an executor swap cannot drift semantically. */
+    /** Evaluate the combinational tape for one cycle (every _padded
+     *  lane) — the ONLY hot-loop hook a subclass may replace.  The
+     *  default runs the interpreted tape (tape::run, which folds to
+     *  the scalar executor at one lane); AotEvaluator (aot.hh) swaps
+     *  in a dlopen'd straight-line cycle function emitted at the
+     *  padded lane width.  Effects, commits and lane bookkeeping
+     *  stay in this class so an executor swap cannot drift
+     *  semantically. */
     virtual void evalCycle();
 
     struct RegCommit

@@ -224,14 +224,24 @@ struct EvalOptions
     unsigned lanes = 1;
     /// Rendezvous wait policy (EvalMode::Parallel only).
     WaitPolicy waitPolicy = WaitPolicy::Spin;
-    /// EvalMode::Aot only: object-cache directory override.  Empty
-    /// means $MANTICORE_AOT_CACHE, then a per-user directory under
+    /// EvalMode::Parallel only: evaluate each partition's tape
+    /// through a per-partition AOT-compiled object (the
+    /// "netlist.parallel.aot" registry variant).  The rendezvous
+    /// protocol is untouched; only the compute phase's executor
+    /// changes (see src/netlist/aot.hh).
+    bool aot = false;
+    /// AOT modes: object-cache directory override.  Empty means
+    /// $MANTICORE_AOT_CACHE, then a per-user directory under
     /// $TMPDIR (see src/netlist/aot.hh for the resolution order).
     std::string aotCacheDir;
-    /// EvalMode::Aot only: host C++ compiler override.  Empty means
+    /// AOT modes: host C++ compiler override.  Empty means
     /// $MANTICORE_AOT_CXX, then the first of c++ / g++ / clang++
     /// that passes the toolchain probe.
     std::string aotCompiler;
+    /// AOT modes: cold-build concurrency — chunked translation units
+    /// and per-partition objects compile through up to this many
+    /// concurrent compiler processes (0 = hardware concurrency).
+    unsigned aotJobs = 0;
 };
 
 /** Build an evaluator over (a copy of) the netlist in the given mode. */

@@ -235,14 +235,23 @@ ParallelCompiledEvaluator::compile(MergeAlgo algo)
 }
 
 void
-ParallelCompiledEvaluator::computeProc(const Proc &proc)
+ParallelCompiledEvaluator::computeTape(size_t proc_index)
 {
+    tape::run(_procs[proc_index].tape, _arena.data(), _mems, _padded);
+}
+
+void
+ParallelCompiledEvaluator::computeProc(size_t proc_index)
+{
+    // Tape evaluation goes through the computeTape() hook so the AOT
+    // subclass can dispatch a per-partition compiled cycle function;
+    // the stage copies below are part of the protocol and stay here.
+    computeTape(proc_index);
     uint64_t *A = _arena.data();
-    tape::run(proc.tape, A, _mems, _padded);
     // Staged blocks and their register-file sources are both
     // lane-strided with the same per-lane limb count, so one copy
     // (s.limbs spans every lane) moves the whole block.
-    for (const StageCopy &s : proc.stages)
+    for (const StageCopy &s : _procs[proc_index].stages)
         lo::copy(A + s.dst, A + s.src, s.limbs);
 }
 
@@ -343,7 +352,7 @@ ParallelCompiledEvaluator::workerLoop(size_t proc_index)
         uint64_t commit_target =
             _commitDone.load(std::memory_order_acquire);
         while (true) {
-            computeProc(_procs[proc_index]);
+            computeProc(proc_index);
             _computeDone.fetch_add(1, std::memory_order_release);
             wake();
             seen_commit = waitAbove(_commitGen, seen_commit);
@@ -401,7 +410,7 @@ ParallelCompiledEvaluator::runBatchScalar(uint64_t max_cycles)
     wake();
     for (uint64_t left = max_cycles;; --left) {
         if (!_procs.empty())
-            computeProc(_procs[0]);
+            computeProc(0);
         _computeTarget += workers;
         waitCount(_computeDone, _computeTarget);
 
@@ -462,7 +471,7 @@ ParallelCompiledEvaluator::runBatch(uint64_t max_cycles)
     wake();
     for (uint64_t left = max_cycles;; --left) {
         if (!_procs.empty())
-            computeProc(_procs[0]);
+            computeProc(0);
         _computeTarget += workers;
         waitCount(_computeDone, _computeTarget);
 

@@ -155,6 +155,31 @@ class ParallelCompiledEvaluator : public EvaluatorBase
                          std::string failure,
                          std::vector<std::string> log) override;
 
+    /** Evaluate one process's combinational tape for one cycle
+     *  (every _padded lane) — the ONLY hot-loop hook a subclass may
+     *  replace, the partition-parallel analogue of
+     *  CompiledEvaluator::evalCycle().  The default runs the
+     *  interpreted tape; AotParallelEvaluator (aot.hh) dispatches a
+     *  per-partition dlopen'd cycle function.  Called concurrently
+     *  from the worker pool (and from the master for process 0), so
+     *  an override must only read shared state and write the
+     *  process's private arena region — exactly what the emitted
+     *  tape code does.  Stage copies, commits, effects and the
+     *  two-barrier rendezvous stay in this class, so an executor
+     *  swap cannot drift semantically or break the protocol. */
+    virtual void computeTape(size_t proc_index);
+
+    // Read-only introspection for the AOT subclass's per-partition
+    // codegen (workers are parked between step()/run() calls, so
+    // construction-time reads are master-owned).
+    const std::vector<tape::Instr> &procTape(size_t p) const
+    {
+        return _procs[p].tape;
+    }
+    const std::vector<tape::MemState> &memStates() const { return _mems; }
+    uint64_t *arenaData() { return _arena.data(); }
+    unsigned paddedLanes() const { return _padded; }
+
   private:
     /** Pre-barrier copy of a shared (RegRead) commit operand into the
      *  process's private staging, so the commit phase never reads a
@@ -191,7 +216,7 @@ class ParallelCompiledEvaluator : public EvaluatorBase
     };
 
     void compile(MergeAlgo algo);
-    void computeProc(const Proc &proc);
+    void computeProc(size_t proc_index);
     void commitProc(const Proc &proc);
     void workerLoop(size_t proc_index);
     SimStatus runBatch(uint64_t max_cycles);

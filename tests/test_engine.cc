@@ -73,9 +73,9 @@ smallGrid()
 
 } // namespace
 
-TEST(EngineRegistry, ListsAllSevenEngines)
+TEST(EngineRegistry, ListsAllEightEngines)
 {
-    EXPECT_EQ(engine::list().size(), 7u);
+    EXPECT_EQ(engine::list().size(), 8u);
     for (const std::string &name : kAllEngines) {
         const engine::EngineInfo *info = engine::find(name);
         ASSERT_NE(info, nullptr) << name;
@@ -85,11 +85,11 @@ TEST(EngineRegistry, ListsAllSevenEngines)
     EXPECT_EQ(engine::find(""), nullptr);
     EXPECT_EQ(engine::names().size(), engine::list().size());
 
-    // Availability reporting: only netlist.aot has a host dependency;
-    // every other engine is unconditionally available.  Whichever way
-    // the toolchain probe went, the note says why.
+    // Availability reporting: only the AOT engines have a host
+    // dependency; every other engine is unconditionally available.
+    // Whichever way the toolchain probe went, the note says why.
     for (const engine::EngineInfo &info : engine::list()) {
-        if (std::string(info.name) == "netlist.aot") {
+        if (info.caps & engine::cap::kAotCompiled) {
             EXPECT_FALSE(info.availabilityNote.empty()) << info.name;
         } else {
             EXPECT_TRUE(info.available) << info.name;
@@ -122,9 +122,14 @@ TEST(EngineRegistry, ModeNamesRoundTrip)
     EXPECT_FALSE(isa::parseExecMode("parallel", xm));
 
     // Registry names round-trip through create()->name(), and the
-    // netlist-level names are exactly "netlist." + evalModeName.
+    // netlist-level names are exactly "netlist." + evalModeName —
+    // except netlist.parallel.aot, a registry-only variant (EvalMode
+    // Parallel plus EvalOptions::aot), which has no EvalMode of its
+    // own by design.
     for (const engine::EngineInfo &info : engine::list()) {
         if (!info.netlistLevel)
+            continue;
+        if (std::string(info.name) == "netlist.parallel.aot")
             continue;
         netlist::EvalMode mode;
         ASSERT_TRUE(netlist::parseEvalMode(

@@ -10,8 +10,9 @@
  * slowdown.
  *
  *   check_vectorized <path/to/libmanticore_simd.a>
+ *   check_vectorized --aot
  *
- * Policy:
+ * Policy (archive mode):
  *  - widths 4, 8, 16 must each have at least one kernel whose body
  *    uses vector registers (x86 xmm/ymm/zmm, AArch64 v<N>.<lanes>);
  *    the pure-bitwise kernels vectorize on every SIMD ISA, so zero
@@ -19,20 +20,34 @@
  *  - width 2 is reported but not required: two 64-bit limbs fit the
  *    scalar pipes, and the cost model may legitimately prefer them.
  *
+ * `--aot` proves the SAME property for the laned AOT codegen path
+ * (netlist.aot with lanes > 1): it builds a small mixing design's
+ * laned cycle objects at widths 4, 8 and 16 through AotEvaluator —
+ * into a private throwaway cache — disassembles each dlopen'd .so,
+ * and fails unless the cycle function's body uses vector registers.
+ * A laned object regressing to scalar code would otherwise only show
+ * up as an ensemble-bench slowdown.
+ *
  * Exit codes: 0 pass, 1 fail, 77 skip (no objdump/llvm-objdump on
- * PATH, or an object format this checker does not know) — wired as
- * SKIP_RETURN_CODE in CMake so ctest reports it as a skip, not a
- * pass.
+ * PATH, an object format this checker does not know, or --aot
+ * without a working host toolchain) — wired as SKIP_RETURN_CODE in
+ * CMake so ctest reports it as a skip, not a pass.
  */
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
+
+#include "netlist/aot.hh"
+#include "netlist/builder.hh"
 
 namespace {
 
@@ -109,16 +124,158 @@ isVectorLineAArch64(const std::string &line)
     return false;
 }
 
+/** Disassemble `path` with the first working disassembler; empty on
+ *  none.  `tool` reports which one ran. */
+std::string
+disassemble(const std::string &path, std::string &tool)
+{
+    for (const char *candidate : {"objdump", "llvm-objdump"}) {
+        std::string cmd = std::string(candidate) + " -d '" + path +
+                          "' 2>/dev/null";
+        std::string disasm = capture(cmd);
+        if (!disasm.empty()) {
+            tool = candidate;
+            return disasm;
+        }
+    }
+    return {};
+}
+
+/** A small design whose tape mixes narrow adds / xors / muxes /
+ *  compares — every op lowers to a laned kernel call in the emitted
+ *  source, so the laned object has plenty to vectorize. */
+manticore::netlist::Netlist
+mixingDesign()
+{
+    using namespace manticore;
+    netlist::CircuitBuilder b("check_vectorized_aot");
+    std::vector<netlist::RegHandle> regs;
+    for (unsigned i = 0; i < 8; ++i)
+        regs.push_back(b.reg("r" + std::to_string(i), 32, i + 1));
+    for (unsigned i = 0; i < 8; ++i) {
+        netlist::Signal a = regs[i].read();
+        netlist::Signal c = regs[(i + 1) % 8].read();
+        netlist::Signal mixed =
+            (a + c) ^ (a & b.lit(32, 0x9e3779b9ull)) ^ c.lshr(3);
+        b.next(regs[i], b.mux(a < c, mixed, mixed + b.lit(32, 1)));
+    }
+    return b.build();
+}
+
+/** --aot mode: build the laned AOT cycle objects at the given widths
+ *  into a throwaway cache and require vector code in each. */
+int
+checkAotObjects()
+{
+    using namespace manticore;
+    const netlist::AotToolchain &tc = netlist::aotToolchain();
+    if (!tc.ok) {
+        std::fprintf(stderr,
+                     "check_vectorized --aot: no working host "
+                     "toolchain (%s) — skipping\n",
+                     tc.message.c_str());
+        return 77;
+    }
+
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::string cache =
+        (fs::temp_directory_path(ec) /
+         ("check-vectorized-aot-" +
+          std::to_string(static_cast<long>(getpid()))))
+            .string();
+
+    int rc = 0;
+    bool skipped = false;
+    for (unsigned width : {4u, 8u, 16u}) {
+        netlist::EvalOptions options;
+        options.lanes = width;
+        options.aotCacheDir = cache;
+        netlist::AotEvaluator eval(mixingDesign(), options);
+        if (!eval.usingAot()) {
+            std::fprintf(stderr,
+                         "check_vectorized --aot: width %u object "
+                         "failed to build/load\n",
+                         width);
+            rc = 1;
+            continue;
+        }
+        std::string tool;
+        std::string disasm = disassemble(eval.objectPath(), tool);
+        if (disasm.empty()) {
+            std::fprintf(stderr,
+                         "check_vectorized --aot: no working "
+                         "objdump/llvm-objdump for %s — skipping\n",
+                         eval.objectPath().c_str());
+            skipped = true;
+            continue;
+        }
+        bool x86 = disasm.find("x86-64") != std::string::npos ||
+                   disasm.find("i386") != std::string::npos;
+        bool arm = disasm.find("aarch64") != std::string::npos ||
+                   disasm.find("littleaarch64") != std::string::npos;
+        if (!x86 && !arm) {
+            std::fprintf(stderr,
+                         "check_vectorized --aot: unrecognized object "
+                         "format — skipping\n");
+            skipped = true;
+            continue;
+        }
+
+        // Count vector lines inside the cycle symbols only (the .so
+        // also carries loader scaffolding).
+        size_t hits = 0;
+        bool in_cycle = false;
+        size_t pos = 0;
+        while (pos < disasm.size()) {
+            size_t eol = disasm.find('\n', pos);
+            if (eol == std::string::npos)
+                eol = disasm.size();
+            std::string line = disasm.substr(pos, eol - pos);
+            pos = eol + 1;
+            if (!line.empty() && line.back() == ':' &&
+                line.find('<') != std::string::npos) {
+                in_cycle = line.find("cycle") != std::string::npos;
+                continue;
+            }
+            if (line.empty()) {
+                in_cycle = false;
+                continue;
+            }
+            if (in_cycle &&
+                (x86 ? isVectorLineX86(line)
+                     : isVectorLineAArch64(line)))
+                ++hits;
+        }
+        std::printf("aot width %2u: %4zu vector lines %s (%s)\n",
+                    width, hits, hits ? "vectorized" : "SCALAR (FAIL)",
+                    tool.c_str());
+        if (hits == 0)
+            rc = 1;
+    }
+    fs::remove_all(cache, ec);
+    if (rc)
+        std::fprintf(stderr,
+                     "check_vectorized --aot: a laned AOT object "
+                     "emitted no vector instructions — the laned "
+                     "codegen or the SIMD flags regressed\n");
+    else if (!skipped)
+        std::printf("check_vectorized --aot: OK\n");
+    return skipped && !rc ? 77 : rc;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: check_vectorized <libmanticore_simd.a>\n");
+        std::fprintf(stderr, "usage: check_vectorized "
+                             "<libmanticore_simd.a> | --aot\n");
         return 1;
     }
+    if (std::strcmp(argv[1], "--aot") == 0)
+        return checkAotObjects();
     const std::string archive = argv[1];
 
     std::string disasm;

@@ -126,6 +126,15 @@ int
 runAll(service::Client &client, const std::string &engine,
        unsigned lanes)
 {
+    // An unavailable engine (an AOT variant without a working host
+    // toolchain) would fail every admission with the same server-side
+    // fatal; say why up front instead.
+    if (const engine::EngineInfo *info = engine::find(engine);
+        info && !info->available) {
+        std::fprintf(stderr, "engine %s is unavailable on this host: %s\n",
+                     engine.c_str(), info->availabilityNote.c_str());
+        return 1;
+    }
     // The nine Fig. 6 designs are exactly the catalog entries before
     // the micros — ask the server so client and server agree.
     std::vector<Tenant> tenants;
@@ -286,9 +295,13 @@ main(int argc, char **argv)
         std::printf("engines:\n");
         for (const auto &kv : client.serviceStats())
             (void)kv; // server reachable; names come from the library
-        for (const engine::EngineInfo &info : engine::list())
-            std::printf("  %-18s %s\n", info.name,
-                        info.available ? "" : "(unavailable)");
+        for (const engine::EngineInfo &info : engine::list()) {
+            if (info.available)
+                std::printf("  %-20s\n", info.name);
+            else
+                std::printf("  %-20s (unavailable: %s)\n", info.name,
+                            info.availabilityNote.c_str());
+        }
         rc = 0;
     } else if (run_all) {
         rc = runAll(client, engine, lanes);
